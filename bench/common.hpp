@@ -1,0 +1,78 @@
+// Shared infrastructure for the reproduction benches: one medium-scale
+// scenario reused by every registered benchmark in a binary, plus the
+// customary main() that first runs the google-benchmark timers and then
+// prints the table/figure the binary reproduces.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+
+#include "scenario/scenario.hpp"
+
+namespace spoofscope::bench {
+
+/// The bench-scale configuration: large enough for the paper's shapes to
+/// be visible, small enough that the whole bench suite runs in minutes.
+inline scenario::ScenarioParams bench_params() {
+  scenario::ScenarioParams p;
+  p.seed = 20170205;  // first day of the paper's measurement window
+  p.topology.num_tier1 = 5;
+  p.topology.num_transit = 30;
+  p.topology.num_isp = 130;
+  p.topology.num_hosting = 85;
+  p.topology.num_content = 40;
+  p.topology.num_other = 130;
+  p.ixp.member_count = 250;
+  p.num_collectors = 9;
+  p.feeders_per_collector = 14;
+  p.ark.num_traces = 20000;
+  p.workload.regular_flows = 300'000;
+  p.workload.nat_leak_flows = 2'000;
+  p.workload.background_noise_flows = 2'400;
+  p.workload.random_spoof_events = 30;
+  p.workload.flood_flows_mean = 150;
+  p.workload.flood_flows_cap = 2'000;
+  p.workload.ntp_campaigns = 14;
+  p.workload.ntp_flows_mean = 350;
+  p.workload.ntp_flows_cap = 3'000;
+  p.workload.ntp_server_pool = 1'200;
+  p.workload.steam_flood_events = 4;
+  p.workload.steam_flows_cap = 1'000;
+  p.workload.router_stray_flows = 2'600;
+  p.workload.uncommon_setup_flows_per_member = 250;
+  return p;
+}
+
+/// The shared world, built once per binary.
+inline const scenario::Scenario& world() {
+  static const std::unique_ptr<scenario::Scenario> w =
+      scenario::build_scenario(bench_params());
+  return *w;
+}
+
+/// Section header for the reproduction output.
+inline void print_header(const char* artifact, const char* paper_summary) {
+  std::cout << "\n================================================================\n"
+            << "Reproduction of " << artifact << "\n"
+            << "Paper reports: " << paper_summary << "\n"
+            << "Scenario: " << world().topology().as_count() << " ASes, "
+            << world().ixp().member_count() << " members, "
+            << world().trace().flows.size() << " sampled flows, seed "
+            << world().params().seed << "\n"
+            << "================================================================\n";
+}
+
+}  // namespace spoofscope::bench
+
+/// Standard bench main: timers first, reproduction output second.
+#define SPOOFSCOPE_BENCH_MAIN(print_fn)                       \
+  int main(int argc, char** argv) {                           \
+    ::benchmark::Initialize(&argc, argv);                     \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                    \
+    print_fn();                                               \
+    return 0;                                                 \
+  }

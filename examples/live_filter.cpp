@@ -1,0 +1,101 @@
+// Operational use of the library: a BGP-informed ingress filter, as the
+// paper's conclusion suggests ("every network can opt to apply it to
+// filter its incoming traffic"). We build the valid space for one peer
+// AS, then stream packets through an accept/drop decision and report
+// what a deployment would have dropped.
+//
+//   $ ./live_filter [seed]
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "classify/classifier.hpp"
+#include "scenario/scenario.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+/// The decision a border router would take for a packet arriving from a
+/// given peer, based on the Fig 3 pipeline: drop everything that is not
+/// `Valid` (operators preferring fewer false positives can choose to
+/// drop only Bogon + Unrouted).
+struct IngressFilter {
+  const spoofscope::classify::Classifier* classifier;
+  std::size_t space_idx;
+  bool drop_invalid = true;
+
+  bool accepts(spoofscope::net::Ipv4Addr src, spoofscope::net::Asn peer) const {
+    using spoofscope::classify::TrafficClass;
+    const TrafficClass c = classifier->classify(src, peer, space_idx);
+    if (c == TrafficClass::kValid) return true;
+    if (c == TrafficClass::kInvalid) return !drop_invalid;
+    return false;  // Bogon / Unrouted always dropped
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spoofscope;
+
+  scenario::ScenarioParams params = scenario::ScenarioParams::small();
+  if (argc > 1) params.seed = std::strtoull(argv[1], nullptr, 10);
+  const auto world = scenario::build_scenario(params);
+
+  // Deploy the filter at the IXP port of the busiest member.
+  const auto& members = world->ixp().members();
+  net::Asn peer = members.front().asn;
+  double best = 0;
+  for (const auto& m : members) {
+    if (m.traffic_weight > best) {
+      best = m.traffic_weight;
+      peer = m.asn;
+    }
+  }
+
+  const IngressFilter strict{&world->classifier(),
+                             scenario::Scenario::space_index(
+                                 inference::Method::kFullCone),
+                             /*drop_invalid=*/true};
+  const IngressFilter lenient{&world->classifier(),
+                              scenario::Scenario::space_index(
+                                  inference::Method::kFullCone),
+                              /*drop_invalid=*/false};
+
+  std::size_t total = 0, strict_drops = 0, lenient_drops = 0;
+  for (const auto& f : world->trace().flows) {
+    if (f.member_in != peer) continue;
+    ++total;
+    strict_drops += !strict.accepts(f.src, peer);
+    lenient_drops += !lenient.accepts(f.src, peer);
+  }
+
+  std::cout << "Ingress filtering for traffic from AS" << peer << " ("
+            << total << " sampled flows)\n"
+            << "  strict (drop Bogon+Unrouted+Invalid): " << strict_drops
+            << " drops ("
+            << util::percent(total ? double(strict_drops) / total : 0) << ")\n"
+            << "  lenient (drop Bogon+Unrouted only):   " << lenient_drops
+            << " drops ("
+            << util::percent(total ? double(lenient_drops) / total : 0)
+            << ")\n";
+
+  // Latency sanity check: a software path should do millions of
+  // classifications per second.
+  util::Rng rng(1);
+  std::size_t sink = 0;
+  const std::size_t n = 2'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    sink += strict.accepts(net::Ipv4Addr(rng.next_u32()), peer);
+  }
+  if (sink == n + 1) std::cout << "";  // keep the loop observable
+  const auto dt = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  std::cout << "  classification throughput: "
+            << util::human_count(static_cast<double>(n) / dt)
+            << " lookups/s\n";
+  return 0;
+}

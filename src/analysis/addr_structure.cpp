@@ -1,0 +1,80 @@
+#include "analysis/addr_structure.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace spoofscope::analysis {
+
+namespace {
+
+double concentration(const std::array<double, 256>& bins) {
+  double total = 0;
+  for (const double b : bins) total += b;
+  if (total <= 0) return 0.0;
+  double h = 0;
+  for (const double b : bins) {
+    const double f = b / total;
+    h += f * f;
+  }
+  return h;
+}
+
+}  // namespace
+
+double AddressStructure::src_fraction(TrafficClass cls, int slash8) const {
+  const auto& bins = src[static_cast<int>(cls)];
+  double total = 0;
+  for (const double b : bins) total += b;
+  return total > 0 ? bins[slash8] / total : 0.0;
+}
+
+double AddressStructure::src_concentration(TrafficClass cls) const {
+  return concentration(src[static_cast<int>(cls)]);
+}
+
+double AddressStructure::dst_concentration(TrafficClass cls) const {
+  return concentration(dst[static_cast<int>(cls)]);
+}
+
+AddressStructure address_structure(std::span<const net::FlowRecord> flows,
+                                   std::span<const Label> labels,
+                                   std::size_t space_idx) {
+  AddressStructure out;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto c = static_cast<int>(classify::Classifier::unpack(labels[i], space_idx));
+    out.src[c][flows[i].src.slash8()] += flows[i].packets;
+    out.dst[c][flows[i].dst.slash8()] += flows[i].packets;
+  }
+  return out;
+}
+
+std::string format_address_structure(const AddressStructure& a, int top_n) {
+  std::ostringstream os;
+  static const char* kClassNames[] = {"bogon", "unrouted", "invalid", "regular"};
+  const auto render = [&](const char* which,
+                          const std::array<double, 256>& bins) {
+    double total = 0;
+    for (const double b : bins) total += b;
+    std::vector<std::pair<double, int>> ranked;
+    for (int i = 0; i < 256; ++i) {
+      if (bins[i] > 0) ranked.emplace_back(bins[i], i);
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    os << "    " << which << " top /8:";
+    for (int i = 0; i < top_n && i < static_cast<int>(ranked.size()); ++i) {
+      os << "  " << ranked[i].second << "/8="
+         << util::percent(total > 0 ? ranked[i].first / total : 0);
+    }
+    os << "\n";
+  };
+  for (const int c : {0, 1, 2}) {  // Fig 10 shows the three spoofed classes
+    os << "  " << kClassNames[c] << ":\n";
+    render("src", a.src[c]);
+    render("dst", a.dst[c]);
+  }
+  return os.str();
+}
+
+}  // namespace spoofscope::analysis

@@ -1,0 +1,36 @@
+// Fig 10: spatial structure of source and destination addresses — sampled
+// packets per /8 block, per class.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+
+#include "analysis/member_stats.hpp"
+
+namespace spoofscope::analysis {
+
+/// Packets binned by the high-order /8 of the address.
+struct AddressStructure {
+  /// src[class][slash8] and dst[class][slash8], sampled packets.
+  std::array<std::array<double, 256>, kNumClasses> src{};
+  std::array<std::array<double, 256>, kNumClasses> dst{};
+
+  /// Fraction of the class's packets in a given source /8.
+  double src_fraction(TrafficClass cls, int slash8) const;
+
+  /// Herfindahl-style concentration of the class's source /8 mass
+  /// (1/256 = perfectly uniform, -> 1 = single /8).
+  double src_concentration(TrafficClass cls) const;
+
+  double dst_concentration(TrafficClass cls) const;
+};
+
+AddressStructure address_structure(std::span<const net::FlowRecord> flows,
+                                   std::span<const Label> labels,
+                                   std::size_t space_idx);
+
+/// Compact rendering: the top /8 peaks per class.
+std::string format_address_structure(const AddressStructure& a, int top_n = 4);
+
+}  // namespace spoofscope::analysis

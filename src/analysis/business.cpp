@@ -1,0 +1,71 @@
+#include "analysis/business.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+#include "util/stats.hpp"
+
+namespace spoofscope::analysis {
+
+std::vector<BusinessPoint> business_scatter(
+    std::span<const MemberClassCounts> counts) {
+  std::vector<BusinessPoint> out;
+  out.reserve(counts.size());
+  for (const auto& mc : counts) {
+    BusinessPoint p;
+    p.member = mc.member;
+    p.type = mc.type;
+    p.total_packets = mc.total_packets();
+    p.share_bogon = mc.packet_share(TrafficClass::kBogon);
+    p.share_unrouted = mc.packet_share(TrafficClass::kUnrouted);
+    p.share_invalid = mc.packet_share(TrafficClass::kInvalid);
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<BusinessTypeSummary> business_summary(
+    std::span<const BusinessPoint> points, double significant_threshold) {
+  std::vector<BusinessTypeSummary> rows(topo::kNumBusinessTypes);
+  std::vector<std::vector<double>> totals(topo::kNumBusinessTypes);
+  for (int t = 0; t < topo::kNumBusinessTypes; ++t) {
+    rows[t].type = static_cast<topo::BusinessType>(t);
+  }
+  for (const auto& p : points) {
+    auto& r = rows[static_cast<int>(p.type)];
+    ++r.members;
+    totals[static_cast<int>(p.type)].push_back(p.total_packets);
+    r.significant_bogon += p.share_bogon > significant_threshold;
+    r.significant_unrouted += p.share_unrouted > significant_threshold;
+    r.significant_invalid += p.share_invalid > significant_threshold;
+  }
+  for (int t = 0; t < topo::kNumBusinessTypes; ++t) {
+    auto& r = rows[t];
+    if (r.members > 0) {
+      r.significant_bogon /= r.members;
+      r.significant_unrouted /= r.members;
+      r.significant_invalid /= r.members;
+      r.median_total_packets = util::quantile(totals[t], 0.5);
+    }
+  }
+  return rows;
+}
+
+std::string format_business_summary(std::span<const BusinessTypeSummary> rows) {
+  std::ostringstream os;
+  os << "Business types vs illegitimate shares (Fig 6; significant = >1% of own pkts)\n";
+  os << "  " << util::pad_right("type", 10) << util::pad_left("members", 8)
+     << util::pad_left("median pkts", 13) << util::pad_left(">1% Bogon", 11)
+     << util::pad_left(">1% Unrtd", 11) << util::pad_left(">1% Inval", 11) << "\n";
+  for (const auto& r : rows) {
+    os << "  " << util::pad_right(topo::business_name(r.type), 10)
+       << util::pad_left(std::to_string(r.members), 8)
+       << util::pad_left(util::human_count(r.median_total_packets), 13)
+       << util::pad_left(util::percent(r.significant_bogon), 11)
+       << util::pad_left(util::percent(r.significant_unrouted), 11)
+       << util::pad_left(util::percent(r.significant_invalid), 11) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace spoofscope::analysis

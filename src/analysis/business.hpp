@@ -1,0 +1,43 @@
+// Fig 6: per-member total traffic vs. share of Bogon / Invalid, broken
+// down by business type — do hosters really leak more than content
+// networks?
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/member_stats.hpp"
+
+namespace spoofscope::analysis {
+
+/// One scatter point of Fig 6.
+struct BusinessPoint {
+  Asn member = net::kNoAsn;
+  topo::BusinessType type = topo::BusinessType::kOther;
+  double total_packets = 0;     ///< sampled, x-axis
+  double share_bogon = 0;       ///< y-axis of Fig 6a
+  double share_unrouted = 0;
+  double share_invalid = 0;     ///< y-axis of Fig 6b
+};
+
+std::vector<BusinessPoint> business_scatter(
+    std::span<const MemberClassCounts> counts);
+
+/// Per-business-type aggregates: member count, and the fraction of the
+/// type's members with a significant (> 1%) share of each class.
+struct BusinessTypeSummary {
+  topo::BusinessType type = topo::BusinessType::kOther;
+  std::size_t members = 0;
+  double significant_bogon = 0;
+  double significant_unrouted = 0;
+  double significant_invalid = 0;
+  double median_total_packets = 0;
+};
+
+std::vector<BusinessTypeSummary> business_summary(
+    std::span<const BusinessPoint> points, double significant_threshold = 0.01);
+
+std::string format_business_summary(std::span<const BusinessTypeSummary> rows);
+
+}  // namespace spoofscope::analysis

@@ -1,0 +1,125 @@
+#include "analysis/export.hpp"
+
+#include "util/csv.hpp"
+
+namespace spoofscope::analysis {
+
+namespace {
+
+const char* class_label(int c) {
+  static const char* kNames[] = {"bogon", "unrouted", "invalid", "regular"};
+  return kNames[c];
+}
+
+}  // namespace
+
+void export_table1_csv(std::ostream& out, std::span<const Table1Column> columns) {
+  util::CsvWriter w(out);
+  w.row({"column", "members", "member_fraction", "bytes", "bytes_fraction",
+         "packets", "packets_fraction"});
+  for (const auto& c : columns) {
+    w.row_of(c.name, c.members, c.member_fraction, c.bytes, c.bytes_fraction,
+             c.packets, c.packets_fraction);
+  }
+}
+
+void export_distribution_csv(std::ostream& out,
+                             std::span<const util::DistPoint> points) {
+  util::CsvWriter w(out);
+  w.row({"x", "y"});
+  for (const auto& p : points) w.row_of(p.x, p.y);
+}
+
+void export_valid_sizes_csv(std::ostream& out,
+                            std::span<const std::pair<Asn, double>> sizes) {
+  util::CsvWriter w(out);
+  w.row({"asn", "slash24_equivalents"});
+  for (const auto& [asn, s] : sizes) w.row_of(asn, s);
+}
+
+void export_venn_csv(std::ostream& out, const VennCounts& v) {
+  util::CsvWriter w(out);
+  w.row({"region", "fraction"});
+  w.row_of("clean", v.clean);
+  w.row_of("bogon_only", v.only_bogon);
+  w.row_of("unrouted_only", v.only_unrouted);
+  w.row_of("invalid_only", v.only_invalid);
+  w.row_of("bogon_unrouted", v.bogon_unrouted);
+  w.row_of("bogon_invalid", v.bogon_invalid);
+  w.row_of("unrouted_invalid", v.unrouted_invalid);
+  w.row_of("all_three", v.all_three);
+}
+
+void export_business_csv(std::ostream& out,
+                         std::span<const BusinessPoint> points) {
+  util::CsvWriter w(out);
+  w.row({"asn", "type", "total_packets", "share_bogon", "share_unrouted",
+         "share_invalid"});
+  for (const auto& p : points) {
+    w.row_of(p.member, topo::business_name(p.type), p.total_packets,
+             p.share_bogon, p.share_unrouted, p.share_invalid);
+  }
+}
+
+void export_time_series_csv(std::ostream& out, const ClassTimeSeries& ts) {
+  util::CsvWriter w(out);
+  w.row({"bin_start_seconds", "bogon", "unrouted", "invalid", "regular"});
+  const std::size_t bins = ts.series[0].size();
+  for (std::size_t b = 0; b < bins; ++b) {
+    w.row_of(b * ts.bin_seconds, ts.series[0][b], ts.series[1][b],
+             ts.series[2][b], ts.series[3][b]);
+  }
+}
+
+void export_port_mix_csv(std::ostream& out, const PortMix& mix) {
+  util::CsvWriter w(out);
+  w.row({"class", "transport", "direction", "port", "fraction"});
+  for (int c = 0; c < kNumClasses; ++c) {
+    for (int t = 0; t < 2; ++t) {
+      for (int d = 0; d < 2; ++d) {
+        for (const auto& s : mix.shares[c][t][d]) {
+          w.row_of(class_label(c), t == 0 ? "tcp" : "udp",
+                   d == 0 ? "dst" : "src",
+                   s.port == 0 ? std::string("other") : std::to_string(s.port),
+                   s.fraction);
+        }
+      }
+    }
+  }
+}
+
+void export_address_structure_csv(std::ostream& out, const AddressStructure& a) {
+  util::CsvWriter w(out);
+  w.row({"class", "direction", "slash8", "packets"});
+  for (int c = 0; c < kNumClasses; ++c) {
+    for (int i = 0; i < 256; ++i) {
+      if (a.src[c][i] > 0) w.row_of(class_label(c), "src", i, a.src[c][i]);
+      if (a.dst[c][i] > 0) w.row_of(class_label(c), "dst", i, a.dst[c][i]);
+    }
+  }
+}
+
+void export_ntp_victims_csv(std::ostream& out,
+                            std::span<const NtpVictim> victims) {
+  util::CsvWriter w(out);
+  w.row({"victim", "rank", "packets"});
+  for (const auto& v : victims) {
+    for (std::size_t r = 0; r < v.packets_per_amplifier.size(); ++r) {
+      w.row_of(v.victim.str(), r + 1, v.packets_per_amplifier[r]);
+    }
+  }
+}
+
+void export_amplification_csv(std::ostream& out,
+                              const AmplificationTimeseries& ts) {
+  util::CsvWriter w(out);
+  w.row({"bin_start_seconds", "pkts_to_amplifier", "pkts_from_amplifier",
+         "bytes_to_amplifier", "bytes_from_amplifier"});
+  for (std::size_t b = 0; b < ts.packets_to_amplifier.size(); ++b) {
+    w.row_of(b * ts.bin_seconds, ts.packets_to_amplifier[b],
+             ts.packets_from_amplifier[b], ts.bytes_to_amplifier[b],
+             ts.bytes_from_amplifier[b]);
+  }
+}
+
+}  // namespace spoofscope::analysis

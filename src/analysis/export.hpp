@@ -1,0 +1,54 @@
+// CSV export of every reproduced artifact, so the tables/figures can be
+// plotted with external tooling (gnuplot, pandas, R) straight from the
+// bench scenario.
+#pragma once
+
+#include <ostream>
+#include <span>
+
+#include "analysis/addr_structure.hpp"
+#include "analysis/attack_patterns.hpp"
+#include "analysis/business.hpp"
+#include "analysis/member_stats.hpp"
+#include "analysis/portmix.hpp"
+#include "analysis/table1.hpp"
+#include "analysis/traffic_char.hpp"
+#include "analysis/venn.hpp"
+
+namespace spoofscope::analysis {
+
+/// Table 1 as rows: column,members,member_frac,bytes,bytes_frac,...
+void export_table1_csv(std::ostream& out, std::span<const Table1Column> columns);
+
+/// One CDF/CCDF as rows: x,y.
+void export_distribution_csv(std::ostream& out,
+                             std::span<const util::DistPoint> points);
+
+/// Fig 2 data: asn,slash24 (already sorted ascending by the factory).
+void export_valid_sizes_csv(std::ostream& out,
+                            std::span<const std::pair<Asn, double>> sizes);
+
+/// Fig 5 regions: region,fraction.
+void export_venn_csv(std::ostream& out, const VennCounts& v);
+
+/// Fig 6 scatter: asn,type,total_packets,share_bogon,share_unrouted,share_invalid.
+void export_business_csv(std::ostream& out,
+                         std::span<const BusinessPoint> points);
+
+/// Fig 8b series: bin_start_seconds,bogon,unrouted,invalid,regular.
+void export_time_series_csv(std::ostream& out, const ClassTimeSeries& ts);
+
+/// Fig 9: class,transport,direction,port,fraction ("other" = port 0).
+void export_port_mix_csv(std::ostream& out, const PortMix& mix);
+
+/// Fig 10: class,direction,slash8,packets.
+void export_address_structure_csv(std::ostream& out, const AddressStructure& a);
+
+/// Fig 11b: victim,rank,packets (one row per victim x amplifier rank).
+void export_ntp_victims_csv(std::ostream& out, std::span<const NtpVictim> victims);
+
+/// Fig 11c: bin_start_seconds,pkts_to,pkts_from,bytes_to,bytes_from.
+void export_amplification_csv(std::ostream& out,
+                              const AmplificationTimeseries& ts);
+
+}  // namespace spoofscope::analysis

@@ -1,0 +1,73 @@
+#include "analysis/filtering_strategy.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace spoofscope::analysis {
+
+std::string strategy_name(FilteringStrategy s) {
+  switch (s) {
+    case FilteringStrategy::kClean: return "clean";
+    case FilteringStrategy::kBogonLeakOnly: return "bogon-leak-only";
+    case FilteringStrategy::kSemiStaticOnly: return "semi-static-only";
+    case FilteringStrategy::kNoFiltering: return "no-filtering";
+    case FilteringStrategy::kInconsistent: return "inconsistent";
+  }
+  return "?";
+}
+
+FilteringStrategy deduce_strategy(const MemberClassCounts& counts) {
+  const bool b = counts.contributes(TrafficClass::kBogon);
+  const bool u = counts.contributes(TrafficClass::kUnrouted);
+  const bool i = counts.contributes(TrafficClass::kInvalid);
+  if (!b && !u && !i) return FilteringStrategy::kClean;
+  if (b && !u && !i) return FilteringStrategy::kBogonLeakOnly;
+  if (!b && !u && i) return FilteringStrategy::kSemiStaticOnly;
+  if (b && u && i) return FilteringStrategy::kNoFiltering;
+  return FilteringStrategy::kInconsistent;
+}
+
+StrategyAccuracy strategy_accuracy(std::span<const MemberClassCounts> counts,
+                                   const topo::Topology& topo) {
+  StrategyAccuracy acc;
+  for (const auto& mc : counts) {
+    const auto* info = topo.find(mc.member);
+    if (!info) continue;
+    ++acc.members;
+    switch (deduce_strategy(mc)) {
+      case FilteringStrategy::kClean:
+        ++acc.clean_deduced;
+        acc.clean_truly_filtering += info->filter.blocks_spoofed;
+        break;
+      case FilteringStrategy::kNoFiltering:
+        ++acc.none_deduced;
+        acc.none_truly_unfiltered +=
+            !info->filter.blocks_spoofed && !info->filter.blocks_bogon;
+        break;
+      case FilteringStrategy::kBogonLeakOnly:
+        ++acc.bogonleak_deduced;
+        acc.bogonleak_match +=
+            info->filter.blocks_spoofed && !info->filter.blocks_bogon;
+        break;
+      default:
+        break;
+    }
+  }
+  return acc;
+}
+
+std::string format_strategy_accuracy(const StrategyAccuracy& a) {
+  std::ostringstream os;
+  os << "Deduction vs ground truth over " << a.members << " members (Sec 5.1 "
+     << "lower-bound check):\n"
+     << "  deduced clean: " << a.clean_deduced << ", truly source-validating: "
+     << util::percent(a.clean_precision()) << "\n"
+     << "  deduced no-filtering: " << a.none_deduced
+     << ", truly unfiltered: " << util::percent(a.none_precision()) << "\n"
+     << "  deduced bogon-leak-only: " << a.bogonleak_deduced
+     << ", policy matches: " << util::percent(a.bogonleak_precision()) << "\n";
+  return os.str();
+}
+
+}  // namespace spoofscope::analysis

@@ -1,0 +1,76 @@
+// Sec 5.1: deducing each member's filtering strategy from what it emits.
+// The paper derives *lower bounds* ("if we do not observe a member
+// emitting flows in a class, we assume it filters that type") and argues
+// this is a reasonable approximation over a 4-week window. With ground
+// truth available, the simulation can also *score* that deduction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "analysis/member_stats.hpp"
+#include "topo/topology.hpp"
+
+namespace spoofscope::analysis {
+
+/// The strategies the paper distinguishes in its Fig 5 discussion.
+enum class FilteringStrategy : std::uint8_t {
+  /// Emits nothing illegitimate — "clean" (paper: 18% of members).
+  kClean = 0,
+  /// Emits only Bogon — presumably filters spoofing but lacks the static
+  /// bogon ACL (paper: ~9.6%).
+  kBogonLeakOnly = 1,
+  /// Emits only Invalid — best-effort semi-static filters, no BCP38/84
+  /// (paper: ~7.6%).
+  kSemiStaticOnly = 2,
+  /// Emits all three classes — no proper filtering (paper: 28%).
+  kNoFiltering = 3,
+  /// Any other combination — inconsistent/partial filtering.
+  kInconsistent = 4,
+};
+
+inline constexpr int kNumStrategies = 5;
+
+std::string strategy_name(FilteringStrategy s);
+
+/// The paper's deduction rule applied to one member's observed classes.
+FilteringStrategy deduce_strategy(const MemberClassCounts& counts);
+
+/// How well the observation-based deduction matches the ground-truth
+/// egress policy (unknowable outside a simulation).
+struct StrategyAccuracy {
+  std::size_t members = 0;
+
+  /// Members deduced clean whose ground truth really validates sources.
+  std::size_t clean_deduced = 0;
+  std::size_t clean_truly_filtering = 0;
+
+  /// Members deduced as not filtering whose ground truth indeed has
+  /// neither filter enabled.
+  std::size_t none_deduced = 0;
+  std::size_t none_truly_unfiltered = 0;
+
+  /// Members deduced bogon-leak-only whose ground truth matches
+  /// (validates sources, no bogon ACL).
+  std::size_t bogonleak_deduced = 0;
+  std::size_t bogonleak_match = 0;
+
+  double clean_precision() const {
+    return clean_deduced ? double(clean_truly_filtering) / clean_deduced : 0;
+  }
+  double none_precision() const {
+    return none_deduced ? double(none_truly_unfiltered) / none_deduced : 0;
+  }
+  double bogonleak_precision() const {
+    return bogonleak_deduced ? double(bogonleak_match) / bogonleak_deduced : 0;
+  }
+};
+
+/// Scores the deduction against the topology's ground-truth policies.
+StrategyAccuracy strategy_accuracy(std::span<const MemberClassCounts> counts,
+                                   const topo::Topology& topo);
+
+std::string format_strategy_accuracy(const StrategyAccuracy& a);
+
+}  // namespace spoofscope::analysis

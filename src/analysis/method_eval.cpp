@@ -1,0 +1,81 @@
+#include "analysis/method_eval.hpp"
+
+#include <sstream>
+
+#include "net/bogon.hpp"
+#include "util/format.hpp"
+
+namespace spoofscope::analysis {
+
+namespace {
+
+/// Accumulates one flow into the right ground-truth bucket.
+void account(DetectionScore& score, const net::FlowRecord& f,
+             traffic::Component c, bool flagged) {
+  const double pkts = f.packets;
+  if (traffic::is_intentionally_spoofed(c)) {
+    score.spoofed_packets += pkts;
+    if (flagged) score.spoofed_flagged += pkts;
+  } else if (traffic::is_stray(c)) {
+    score.stray_packets += pkts;
+    if (flagged) score.stray_flagged += pkts;
+  } else {
+    score.legit_packets += pkts;
+    if (flagged) score.legit_flagged += pkts;
+  }
+}
+
+}  // namespace
+
+DetectionScore score_method(std::span<const net::FlowRecord> flows,
+                            std::span<const classify::Label> labels,
+                            std::size_t space_idx,
+                            std::span<const traffic::Component> components,
+                            std::string name) {
+  DetectionScore score;
+  score.name = std::move(name);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const bool flagged = classify::Classifier::unpack(labels[i], space_idx) !=
+                         classify::TrafficClass::kValid;
+    account(score, flows[i], components[i], flagged);
+  }
+  return score;
+}
+
+DetectionScore score_urpf(std::span<const net::FlowRecord> flows,
+                          std::span<const traffic::Component> components,
+                          const classify::UrpfFilter& filter, std::string name) {
+  DetectionScore score;
+  score.name = std::move(name);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const bool flagged = !filter.accepts(flows[i].src, flows[i].member_in);
+    account(score, flows[i], components[i], flagged);
+  }
+  return score;
+}
+
+DetectionScore score_bogon_acl(std::span<const net::FlowRecord> flows,
+                               std::span<const traffic::Component> components) {
+  DetectionScore score;
+  score.name = "bogon ACL only";
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    account(score, flows[i], components[i], net::is_bogon(flows[i].src));
+  }
+  return score;
+}
+
+std::string format_scores(std::span<const DetectionScore> scores) {
+  std::ostringstream os;
+  os << util::pad_right("strategy", 16) << util::pad_left("spoofed recall", 16)
+     << util::pad_left("legit FP rate", 15) << util::pad_left("stray flagged", 15)
+     << "\n";
+  for (const auto& s : scores) {
+    os << util::pad_right(s.name, 16)
+       << util::pad_left(util::percent(s.recall()), 16)
+       << util::pad_left(util::percent(s.false_positive_rate()), 15)
+       << util::pad_left(util::percent(s.stray_rate()), 15) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace spoofscope::analysis

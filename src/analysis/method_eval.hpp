@@ -1,0 +1,63 @@
+// Scoring the detection methods against the workload's ground truth — an
+// evaluation the paper could not run (no ground truth exists for real
+// traces, Sec 4.5 uses Spoofer as a weak proxy). With the simulator we
+// can measure recall on intentionally spoofed traffic and the
+// false-positive rate on legitimate traffic, for the paper's methods and
+// for the deployed uRPF baselines alike.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "classify/classifier.hpp"
+#include "classify/urpf.hpp"
+#include "traffic/workload.hpp"
+
+namespace spoofscope::analysis {
+
+/// Packet-weighted confusion summary of one detection strategy.
+struct DetectionScore {
+  std::string name;
+  double spoofed_packets = 0;  ///< ground-truth intentionally spoofed
+  double spoofed_flagged = 0;  ///< of those, flagged by the strategy
+  double legit_packets = 0;    ///< regular, responses, uncommon setups
+  double legit_flagged = 0;
+  double stray_packets = 0;    ///< NAT leaks, router strays
+  double stray_flagged = 0;
+
+  /// Fraction of spoofed packets caught.
+  double recall() const {
+    return spoofed_packets > 0 ? spoofed_flagged / spoofed_packets : 0.0;
+  }
+  /// Fraction of legitimate packets wrongly flagged.
+  double false_positive_rate() const {
+    return legit_packets > 0 ? legit_flagged / legit_packets : 0.0;
+  }
+  /// Fraction of stray packets flagged (neither good nor bad per se).
+  double stray_rate() const {
+    return stray_packets > 0 ? stray_flagged / stray_packets : 0.0;
+  }
+};
+
+/// Scores one inference method: a packet is "flagged" when its class is
+/// not kValid (Bogon, Unrouted or Invalid).
+DetectionScore score_method(std::span<const net::FlowRecord> flows,
+                            std::span<const classify::Label> labels,
+                            std::size_t space_idx,
+                            std::span<const traffic::Component> components,
+                            std::string name);
+
+/// Scores a uRPF filter: a packet is "flagged" when the filter drops it.
+DetectionScore score_urpf(std::span<const net::FlowRecord> flows,
+                          std::span<const traffic::Component> components,
+                          const classify::UrpfFilter& filter, std::string name);
+
+/// Scores a static bogon-only ACL (the most common deployed filter).
+DetectionScore score_bogon_acl(std::span<const net::FlowRecord> flows,
+                               std::span<const traffic::Component> components);
+
+/// Aligned comparison table.
+std::string format_scores(std::span<const DetectionScore> scores);
+
+}  // namespace spoofscope::analysis

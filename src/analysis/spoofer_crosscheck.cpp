@@ -1,0 +1,55 @@
+#include "analysis/spoofer_crosscheck.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "util/format.hpp"
+
+namespace spoofscope::analysis {
+
+SpooferCrossCheck cross_check_spoofer(
+    std::span<const MemberClassCounts> counts,
+    std::span<const data::SpooferRecord> spoofer) {
+  std::unordered_map<Asn, bool> passive;  // member -> we saw spoofed traffic
+  for (const auto& mc : counts) {
+    passive[mc.member] = mc.contributes(TrafficClass::kInvalid) ||
+                         mc.contributes(TrafficClass::kUnrouted);
+  }
+
+  SpooferCrossCheck out;
+  double both = 0, ours = 0, theirs = 0;
+  for (const auto& rec : spoofer) {
+    const auto it = passive.find(rec.asn);
+    if (it == passive.end()) continue;  // no overlap: not a member / no traffic
+    ++out.overlapping_ases;
+    const bool we = it->second;
+    ours += we;
+    theirs += rec.spoofable;
+    both += we && rec.spoofable;
+  }
+  if (out.overlapping_ases > 0) {
+    const double n = static_cast<double>(out.overlapping_ases);
+    out.passive_detection_rate = ours / n;
+    out.spoofer_positive_rate = theirs / n;
+  }
+  if (ours > 0) out.spoofer_agrees_with_passive = both / ours;
+  if (theirs > 0) out.passive_detects_spoofer_positives = both / theirs;
+  return out;
+}
+
+std::string format_cross_check(const SpooferCrossCheck& c) {
+  std::ostringstream os;
+  os << "Spoofer cross-check (Sec 4.5), " << c.overlapping_ases
+     << " overlapping ASes\n";
+  os << "  passive detection rate (paper 74%):        "
+     << util::percent(c.passive_detection_rate) << "\n";
+  os << "  Spoofer spoofable rate (paper 30%):        "
+     << util::percent(c.spoofer_positive_rate) << "\n";
+  os << "  Spoofer agrees w/ passive (paper 28%):     "
+     << util::percent(c.spoofer_agrees_with_passive) << "\n";
+  os << "  passive detects Spoofer+ (paper 69%):      "
+     << util::percent(c.passive_detects_spoofer_positives) << "\n";
+  return os.str();
+}
+
+}  // namespace spoofscope::analysis

@@ -1,0 +1,36 @@
+// Sec 4.5: cross-check of the passive detections against the (simulated)
+// CAIDA Spoofer active measurements.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "analysis/member_stats.hpp"
+#include "data/spoofer.hpp"
+
+namespace spoofscope::analysis {
+
+/// The contingency numbers the paper reports.
+struct SpooferCrossCheck {
+  std::size_t overlapping_ases = 0;  ///< members with Spoofer data
+  /// Fraction of overlapping ASes where we passively detected spoofed
+  /// traffic (Invalid or Unrouted) — paper: 74%.
+  double passive_detection_rate = 0;
+  /// Fraction of overlapping ASes Spoofer found spoofable — paper: 30%.
+  double spoofer_positive_rate = 0;
+  /// Of our positive detections, the fraction Spoofer agrees with — 28%.
+  double spoofer_agrees_with_passive = 0;
+  /// Of Spoofer's positives, the fraction we also detect — 69%.
+  double passive_detects_spoofer_positives = 0;
+};
+
+/// Joins per-member classification results with Spoofer records. An AS
+/// counts as passively detected if it contributed Invalid or Unrouted
+/// traffic.
+SpooferCrossCheck cross_check_spoofer(
+    std::span<const MemberClassCounts> counts,
+    std::span<const data::SpooferRecord> spoofer);
+
+std::string format_cross_check(const SpooferCrossCheck& c);
+
+}  // namespace spoofscope::analysis

@@ -1,0 +1,82 @@
+#include "analysis/table1.hpp"
+
+#include <sstream>
+
+#include "classify/classifier.hpp"
+#include "util/format.hpp"
+
+namespace spoofscope::analysis {
+
+namespace {
+
+using classify::TrafficClass;
+using inference::Method;
+
+Table1Column column_from(const classify::Aggregate& agg, const std::string& name,
+                         std::size_t space_idx, TrafficClass cls, double scale,
+                         std::size_t total_members) {
+  const auto& cell = agg.totals[space_idx][static_cast<int>(cls)];
+  Table1Column col;
+  col.name = name;
+  col.members = cell.members;
+  col.member_fraction =
+      total_members > 0 ? static_cast<double>(cell.members) / total_members : 0;
+  col.bytes = cell.bytes * scale;
+  col.bytes_fraction = agg.total_bytes > 0 ? cell.bytes / agg.total_bytes : 0;
+  col.packets = cell.packets * scale;
+  col.packets_fraction =
+      agg.total_packets > 0 ? cell.packets / agg.total_packets : 0;
+  return col;
+}
+
+}  // namespace
+
+std::vector<Table1Column> table1_columns(const classify::Aggregate& agg,
+                                         double scale,
+                                         std::size_t total_members) {
+  // Table 1 allows bidirectional traffic inside multi-AS organizations
+  // (Sec 4.3), i.e. the cone columns are the org-adjusted variants.
+  const auto full = static_cast<std::size_t>(Method::kFullConeOrg);
+  const auto naive = static_cast<std::size_t>(Method::kNaive);
+  const auto cc = static_cast<std::size_t>(Method::kCustomerConeOrg);
+  std::vector<Table1Column> out;
+  out.push_back(column_from(agg, "Bogon", full, TrafficClass::kBogon, scale,
+                            total_members));
+  out.push_back(column_from(agg, "Unrouted", full, TrafficClass::kUnrouted,
+                            scale, total_members));
+  out.push_back(column_from(agg, "Invalid FULL", full, TrafficClass::kInvalid,
+                            scale, total_members));
+  out.push_back(column_from(agg, "Invalid NAIVE", naive, TrafficClass::kInvalid,
+                            scale, total_members));
+  out.push_back(column_from(agg, "Invalid CC", cc, TrafficClass::kInvalid,
+                            scale, total_members));
+  return out;
+}
+
+std::string format_table1(const std::vector<Table1Column>& columns) {
+  std::ostringstream os;
+  os << util::pad_right("", 9);
+  for (const auto& c : columns) os << util::pad_left(c.name, 24);
+  os << "\n" << util::pad_right("members", 9);
+  for (const auto& c : columns) {
+    os << util::pad_left(std::to_string(c.members) + " (" +
+                             util::percent(c.member_fraction) + ")",
+                         24);
+  }
+  os << "\n" << util::pad_right("bytes", 9);
+  for (const auto& c : columns) {
+    os << util::pad_left(util::human_bytes(c.bytes) + " (" +
+                             util::percent(c.bytes_fraction) + ")",
+                         24);
+  }
+  os << "\n" << util::pad_right("packets", 9);
+  for (const auto& c : columns) {
+    os << util::pad_left(util::human_count(c.packets) + " (" +
+                             util::percent(c.packets_fraction) + ")",
+                         24);
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace spoofscope::analysis

@@ -1,0 +1,38 @@
+// Table 1: members / bytes / packets per class, for the Full Cone, Naive
+// and Customer Cone variants, scaled to account for sampling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "classify/pipeline.hpp"
+#include "inference/valid_space.hpp"
+
+namespace spoofscope::analysis {
+
+/// One column of Table 1.
+struct Table1Column {
+  std::string name;          ///< "Bogon", "Unrouted", "Invalid FULL", ...
+  std::size_t members = 0;
+  double member_fraction = 0;
+  double bytes = 0;          ///< extrapolated (sampled x sampling rate)
+  double bytes_fraction = 0;
+  double packets = 0;        ///< extrapolated
+  double packets_fraction = 0;
+};
+
+/// Builds the five columns from an Aggregate whose spaces are ordered as
+/// inference::Method (NAIVE, CC, CC+org, FULL, FULL+org). As in the
+/// paper's Table 1, the cone columns allow bidirectional traffic across
+/// multi-AS organizations (the +org variants). The Bogon and Unrouted
+/// columns are method-independent. `scale` is the sampling extrapolation
+/// factor, `total_members` the number of IXP members (for the member
+/// fraction).
+std::vector<Table1Column> table1_columns(const classify::Aggregate& agg,
+                                         double scale,
+                                         std::size_t total_members);
+
+/// Renders the table in the paper's layout.
+std::string format_table1(const std::vector<Table1Column>& columns);
+
+}  // namespace spoofscope::analysis

@@ -1,0 +1,48 @@
+#include "asgraph/customer_cone.hpp"
+
+namespace spoofscope::asgraph {
+
+namespace {
+
+AsGraph p2c_graph(std::span<const InferredLink> links) {
+  std::vector<Asn> nodes;
+  std::vector<std::pair<Asn, Asn>> edges;
+  for (const auto& l : links) {
+    nodes.push_back(l.a);
+    nodes.push_back(l.b);
+    if (l.rel == InferredRel::kC2P) {
+      edges.emplace_back(l.b, l.a);  // provider -> customer
+    }
+  }
+  return AsGraph(std::move(nodes), std::move(edges));
+}
+
+}  // namespace
+
+CustomerCone::CustomerCone(std::span<const InferredLink> links)
+    : graph_(p2c_graph(links)), desc_(graph_) {}
+
+bool CustomerCone::in_cone(Asn holder, Asn origin) const {
+  if (holder == origin) return true;
+  const auto h = graph_.index_of(holder);
+  const auto o = graph_.index_of(origin);
+  if (!h || !o) return false;
+  return desc_.reaches(*h, *o);
+}
+
+std::vector<Asn> CustomerCone::cone_of(Asn holder) const {
+  const auto h = graph_.index_of(holder);
+  if (!h) return {};
+  std::vector<Asn> out;
+  for (const std::uint32_t idx : desc_.descendants(*h)) {
+    out.push_back(graph_.asn_at(idx));
+  }
+  return out;
+}
+
+std::size_t CustomerCone::cone_size(Asn holder) const {
+  const auto h = graph_.index_of(holder);
+  return h ? desc_.descendant_count(*h) : 0;
+}
+
+}  // namespace spoofscope::asgraph

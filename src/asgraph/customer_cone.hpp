@@ -1,0 +1,39 @@
+// CAIDA-style Customer Cone (Sec 3.2): the cone of an AS is the set of
+// ASes reachable over provider->customer links only. Peering links are
+// intentionally excluded — which is exactly why this method misclassifies
+// traffic crossing peerings (Fig 1c).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "asgraph/full_cone.hpp"
+#include "asgraph/relationship.hpp"
+
+namespace spoofscope::asgraph {
+
+/// Customer cones computed from inferred relationships.
+class CustomerCone {
+ public:
+  /// Builds from classified links; only kC2P links contribute edges
+  /// (provider -> customer direction).
+  explicit CustomerCone(std::span<const InferredLink> links);
+
+  /// True if `origin` is in `holder`'s customer cone (always true when
+  /// holder == origin).
+  bool in_cone(Asn holder, Asn origin) const;
+
+  /// ASNs in the cone of `holder` (itself included when known).
+  std::vector<Asn> cone_of(Asn holder) const;
+
+  /// Cone size in ASes (0 for unknown holders).
+  std::size_t cone_size(Asn holder) const;
+
+  const AsGraph& graph() const { return graph_; }
+
+ private:
+  AsGraph graph_;
+  DescendantSets desc_;
+};
+
+}  // namespace spoofscope::asgraph

@@ -1,0 +1,88 @@
+#include "asgraph/full_cone.hpp"
+
+#include <bit>
+
+namespace spoofscope::asgraph {
+
+DescendantSets::DescendantSets(const AsGraph& g)
+    : scc_(strongly_connected_components(g)) {
+  const std::size_t nc = scc_.component_count;
+  words_per_row_ = (nc + 63) / 64;
+  bits_.assign(nc * words_per_row_, 0);
+  comp_reach_count_.assign(nc, 0);
+
+  // Component ids are in reverse topological order: successors of c have
+  // smaller ids, so ascending order processes children before parents.
+  for (std::uint32_t c = 0; c < nc; ++c) {
+    std::uint64_t* r = bits_.data() + c * words_per_row_;
+    r[c / 64] |= std::uint64_t(1) << (c % 64);
+    for (const std::uint32_t d : scc_.dag_successors[c]) {
+      const std::uint64_t* rd = row(d);
+      for (std::size_t w = 0; w < words_per_row_; ++w) r[w] |= rd[w];
+    }
+  }
+
+  // Reachable node counts: sum of member counts over reachable components.
+  for (std::uint32_t c = 0; c < nc; ++c) {
+    const std::uint64_t* r = row(c);
+    std::size_t count = 0;
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t bitsw = r[w];
+      while (bitsw) {
+        const int b = std::countr_zero(bitsw);
+        bitsw &= bitsw - 1;
+        count += scc_.members[w * 64 + b].size();
+      }
+    }
+    comp_reach_count_[c] = count;
+  }
+}
+
+bool DescendantSets::reaches(std::size_t from, std::size_t to) const {
+  const std::uint32_t cf = scc_.component_of[from];
+  const std::uint32_t ct = scc_.component_of[to];
+  return (row(cf)[ct / 64] >> (ct % 64)) & 1;
+}
+
+std::size_t DescendantSets::descendant_count(std::size_t from) const {
+  return comp_reach_count_[scc_.component_of[from]];
+}
+
+std::vector<std::uint32_t> DescendantSets::descendants(std::size_t from) const {
+  std::vector<std::uint32_t> out;
+  const std::uint64_t* r = row(scc_.component_of[from]);
+  for (std::size_t w = 0; w < words_per_row_; ++w) {
+    std::uint64_t bitsw = r[w];
+    while (bitsw) {
+      const int b = std::countr_zero(bitsw);
+      bitsw &= bitsw - 1;
+      for (const std::uint32_t m : scc_.members[w * 64 + b]) out.push_back(m);
+    }
+  }
+  return out;
+}
+
+bool FullCone::in_cone(Asn holder, Asn origin) const {
+  if (holder == origin) return true;
+  const auto h = graph_.index_of(holder);
+  const auto o = graph_.index_of(origin);
+  if (!h || !o) return false;
+  return desc_.reaches(*h, *o);
+}
+
+std::vector<Asn> FullCone::cone_of(Asn holder) const {
+  const auto h = graph_.index_of(holder);
+  if (!h) return {};
+  std::vector<Asn> out;
+  for (const std::uint32_t idx : desc_.descendants(*h)) {
+    out.push_back(graph_.asn_at(idx));
+  }
+  return out;
+}
+
+std::size_t FullCone::cone_size(Asn holder) const {
+  const auto h = graph_.index_of(holder);
+  return h ? desc_.descendant_count(*h) : 0;
+}
+
+}  // namespace spoofscope::asgraph

@@ -1,0 +1,73 @@
+// Transitive-closure cones over directed AS graphs.
+//
+// DescendantSets is the shared engine: SCC condensation followed by a
+// reverse-topological bitset sweep, giving "is origin in the cone of
+// holder" in O(1). FullCone is the paper's most conservative inference
+// (Sec 3.2): the cone of an AS is everything reachable in the observed
+// left-upstream-of-right graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asgraph/graph.hpp"
+#include "asgraph/scc.hpp"
+
+namespace spoofscope::asgraph {
+
+/// Reachability ("descendants including self") for every node of a
+/// directed graph, SCC-aware.
+class DescendantSets {
+ public:
+  explicit DescendantSets(const AsGraph& g);
+
+  /// True if `to` is reachable from `from` (or from == to).
+  bool reaches(std::size_t from, std::size_t to) const;
+
+  /// Number of nodes reachable from `from` (including itself).
+  std::size_t descendant_count(std::size_t from) const;
+
+  /// Dense indices of all nodes reachable from `from` (including itself).
+  std::vector<std::uint32_t> descendants(std::size_t from) const;
+
+  std::size_t node_count() const { return scc_.component_of.size(); }
+
+  const SccResult& scc() const { return scc_; }
+
+ private:
+  std::size_t words_per_row_ = 0;
+  SccResult scc_;
+  std::vector<std::uint64_t> bits_;  // component_count rows, component bits
+  std::vector<std::size_t> comp_reach_count_;  // reachable *nodes* per comp
+
+  const std::uint64_t* row(std::uint32_t comp) const {
+    return bits_.data() + comp * words_per_row_;
+  }
+};
+
+/// The Full Cone (Sec 3.2): for each AS observed in BGP, the set of ASes
+/// whose prefixes it may legitimately source.
+class FullCone {
+ public:
+  /// Takes ownership of the graph (cones keep it alive).
+  explicit FullCone(AsGraph g) : graph_(std::move(g)), desc_(graph_) {}
+
+  /// True if `origin` is in the cone of `holder`. ASes not in the graph
+  /// have an empty cone (always false), except holder == origin.
+  bool in_cone(Asn holder, Asn origin) const;
+
+  /// All ASNs in the cone of `holder` (includes `holder` itself when the
+  /// AS is known; empty otherwise).
+  std::vector<Asn> cone_of(Asn holder) const;
+
+  /// Cone size in number of ASes (0 for unknown holders).
+  std::size_t cone_size(Asn holder) const;
+
+  const AsGraph& graph() const { return graph_; }
+
+ private:
+  AsGraph graph_;
+  DescendantSets desc_;
+};
+
+}  // namespace spoofscope::asgraph

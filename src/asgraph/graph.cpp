@@ -1,0 +1,58 @@
+#include "asgraph/graph.hpp"
+
+#include <algorithm>
+
+namespace spoofscope::asgraph {
+
+AsGraph::AsGraph(std::vector<Asn> nodes, std::vector<std::pair<Asn, Asn>> edges) {
+  nodes_ = std::move(nodes);
+  std::sort(nodes_.begin(), nodes_.end());
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
+  for (const auto& [a, b] : edges) {
+    if (std::find(nodes_.begin(), nodes_.end(), a) == nodes_.end()) nodes_.push_back(a);
+    if (std::find(nodes_.begin(), nodes_.end(), b) == nodes_.end()) nodes_.push_back(b);
+  }
+  index_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) index_.emplace(nodes_[i], i);
+
+  succ_.resize(nodes_.size());
+  pred_.resize(nodes_.size());
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  for (const auto& [a, b] : edges) {
+    if (a == b) continue;
+    const auto i = static_cast<std::uint32_t>(index_.at(a));
+    const auto j = static_cast<std::uint32_t>(index_.at(b));
+    succ_[i].push_back(j);
+    pred_[j].push_back(i);
+    ++edge_count_;
+  }
+}
+
+AsGraph AsGraph::from_routing_table(const bgp::RoutingTable& table) {
+  return AsGraph(table.ases(), table.edges());
+}
+
+AsGraph AsGraph::with_extra_edges(
+    std::span<const std::pair<Asn, Asn>> extra) const {
+  auto all = edges();
+  all.insert(all.end(), extra.begin(), extra.end());
+  return AsGraph(nodes_, std::move(all));
+}
+
+std::optional<std::size_t> AsGraph::index_of(Asn asn) const {
+  const auto it = index_.find(asn);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<Asn, Asn>> AsGraph::edges() const {
+  std::vector<std::pair<Asn, Asn>> out;
+  out.reserve(edge_count_);
+  for (std::size_t i = 0; i < succ_.size(); ++i) {
+    for (const auto j : succ_[i]) out.emplace_back(nodes_[i], nodes_[j]);
+  }
+  return out;
+}
+
+}  // namespace spoofscope::asgraph

@@ -1,0 +1,63 @@
+// The *observed* AS graph: nodes are ASes seen in BGP data, directed edges
+// (left -> right) come from adjacent pairs on AS paths, with the left AS
+// considered upstream of the right one (Sec 3.2, Full Cone construction).
+// Unlike topo::Topology (ground truth) this graph may contain cycles and
+// misses everything invisible to the collectors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bgp/routing_table.hpp"
+
+namespace spoofscope::asgraph {
+
+using net::Asn;
+
+/// Immutable directed graph over densely indexed AS nodes.
+class AsGraph {
+ public:
+  /// Builds from explicit nodes and directed (upstream, downstream) edges.
+  /// Edges referencing ASes not in `nodes` are added as new nodes.
+  /// Duplicate edges and self-loops are dropped.
+  AsGraph(std::vector<Asn> nodes, std::vector<std::pair<Asn, Asn>> edges);
+
+  /// The graph the Full Cone method runs on: every AS and every directed
+  /// adjacency observed in the routing data.
+  static AsGraph from_routing_table(const bgp::RoutingTable& table);
+
+  /// A copy of this graph with extra directed edges added (used to inject
+  /// the full mesh between multi-AS organization members).
+  AsGraph with_extra_edges(std::span<const std::pair<Asn, Asn>> extra) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  Asn asn_at(std::size_t i) const { return nodes_[i]; }
+  std::optional<std::size_t> index_of(Asn asn) const;
+
+  /// Downstream neighbors (the "children" direction of the Full Cone).
+  std::span<const std::uint32_t> successors(std::size_t i) const { return succ_[i]; }
+
+  /// Upstream neighbors.
+  std::span<const std::uint32_t> predecessors(std::size_t i) const { return pred_[i]; }
+
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// All nodes' ASNs (dense order).
+  const std::vector<Asn>& nodes() const { return nodes_; }
+
+  /// All directed edges as (upstream ASN, downstream ASN).
+  std::vector<std::pair<Asn, Asn>> edges() const;
+
+ private:
+  std::vector<Asn> nodes_;
+  std::unordered_map<Asn, std::size_t> index_;
+  std::vector<std::vector<std::uint32_t>> succ_;
+  std::vector<std::vector<std::uint32_t>> pred_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace spoofscope::asgraph

@@ -1,0 +1,42 @@
+#include "asgraph/org_merge.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace spoofscope::asgraph {
+
+OrgMap::OrgMap(std::vector<std::vector<Asn>> groups) {
+  for (auto& g : groups) {
+    std::sort(g.begin(), g.end());
+    g.erase(std::unique(g.begin(), g.end()), g.end());
+    if (g.size() < 2) continue;  // singletons are no-ops
+    const std::size_t idx = groups_.size();
+    for (const Asn a : g) {
+      if (!group_index_.emplace(a, idx).second) {
+        throw std::invalid_argument("OrgMap: AS " + std::to_string(a) +
+                                    " appears in multiple organizations");
+      }
+    }
+    groups_.push_back(std::move(g));
+  }
+}
+
+std::span<const Asn> OrgMap::group_of(Asn asn) const {
+  const auto it = group_index_.find(asn);
+  if (it == group_index_.end()) return {};
+  return groups_[it->second];
+}
+
+std::vector<std::pair<Asn, Asn>> OrgMap::mesh_edges() const {
+  std::vector<std::pair<Asn, Asn>> out;
+  for (const auto& g : groups_) {
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      for (std::size_t j = 0; j < g.size(); ++j) {
+        if (i != j) out.emplace_back(g[i], g[j]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace spoofscope::asgraph

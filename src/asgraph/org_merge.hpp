@@ -1,0 +1,42 @@
+// Multi-AS organization handling (Sec 3.2): ASes of the same organization
+// exchange traffic freely even when no BGP link between them is visible.
+// OrgMap groups ASes by organization; mesh_edges() produces the full mesh
+// of directed links to inject into cone graphs.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace spoofscope::asgraph {
+
+using net::Asn;
+
+/// Groups of ASes belonging to the same organization. Single-member
+/// groups may be omitted by the caller — they change nothing.
+class OrgMap {
+ public:
+  OrgMap() = default;
+  explicit OrgMap(std::vector<std::vector<Asn>> groups);
+
+  /// All ASes of the organization `asn` belongs to (including `asn`), or
+  /// an empty span if the AS is in no known multi-AS organization.
+  std::span<const Asn> group_of(Asn asn) const;
+
+  const std::vector<std::vector<Asn>>& groups() const { return groups_; }
+
+  /// Directed full mesh inside each group, both directions — ready to be
+  /// fed to AsGraph::with_extra_edges.
+  std::vector<std::pair<Asn, Asn>> mesh_edges() const;
+
+  std::size_t group_count() const { return groups_.size(); }
+
+ private:
+  std::vector<std::vector<Asn>> groups_;
+  std::unordered_map<Asn, std::size_t> group_index_;
+};
+
+}  // namespace spoofscope::asgraph

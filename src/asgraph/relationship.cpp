@@ -1,0 +1,151 @@
+#include "asgraph/relationship.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace spoofscope::asgraph {
+
+namespace {
+
+using DegreeMap = std::unordered_map<Asn, std::size_t>;
+
+DegreeMap undirected_degrees(const bgp::RoutingTable& table) {
+  std::set<std::pair<Asn, Asn>> und;
+  for (const auto& [l, r] : table.edges()) {
+    und.emplace(std::min(l, r), std::max(l, r));
+  }
+  DegreeMap deg;
+  for (const auto& [a, b] : und) {
+    ++deg[a];
+    ++deg[b];
+  }
+  return deg;
+}
+
+std::set<std::pair<Asn, Asn>> undirected_edges(const bgp::RoutingTable& table) {
+  std::set<std::pair<Asn, Asn>> und;
+  for (const auto& [l, r] : table.edges()) {
+    und.emplace(std::min(l, r), std::max(l, r));
+  }
+  return und;
+}
+
+std::vector<Asn> clique_from(const DegreeMap& deg,
+                             const std::set<std::pair<Asn, Asn>>& edges,
+                             std::size_t max_size) {
+  std::vector<std::pair<std::size_t, Asn>> ranked;
+  ranked.reserve(deg.size());
+  for (const auto& [asn, d] : deg) ranked.emplace_back(d, asn);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
+    if (x.first != y.first) return x.first > y.first;
+    return x.second < y.second;  // deterministic tiebreak
+  });
+
+  const auto connected = [&](Asn a, Asn b) {
+    return edges.count({std::min(a, b), std::max(a, b)}) > 0;
+  };
+
+  std::vector<Asn> clique;
+  for (const auto& [d, asn] : ranked) {
+    if (clique.size() >= max_size) break;
+    bool ok = true;
+    for (const Asn m : clique) {
+      if (!connected(asn, m)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) clique.push_back(asn);
+  }
+  std::sort(clique.begin(), clique.end());
+  return clique;
+}
+
+}  // namespace
+
+std::vector<Asn> infer_clique(const bgp::RoutingTable& table, std::size_t max_size) {
+  const auto deg = undirected_degrees(table);
+  const auto und = undirected_edges(table);
+  return clique_from(deg, und, max_size);
+}
+
+std::vector<InferredLink> infer_relationships(const bgp::RoutingTable& table,
+                                              const RelationshipOptions& options) {
+  const DegreeMap deg = undirected_degrees(table);
+  const auto und = undirected_edges(table);
+  const auto clique = clique_from(deg, und, options.clique_size);
+  const auto in_clique = [&](Asn a) {
+    return std::binary_search(clique.begin(), clique.end(), a);
+  };
+
+  // Rank used to find the "top" of each path: clique members dominate,
+  // then degree, then (deterministically) the ASN.
+  const auto rank = [&](Asn a) {
+    const auto it = deg.find(a);
+    const std::size_t d = it == deg.end() ? 0 : it->second;
+    return std::tuple(in_clique(a) ? 1 : 0, d, ~a);
+  };
+
+  // Vote on every adjacent pair of every distinct observed path.
+  // key: (min, max) -> votes where .first counts "min is customer of max".
+  std::map<std::pair<Asn, Asn>, std::pair<std::size_t, std::size_t>> votes;
+  const auto vote = [&](Asn customer, Asn provider) {
+    const auto key = std::make_pair(std::min(customer, provider),
+                                    std::max(customer, provider));
+    auto& v = votes[key];
+    (customer < provider ? v.first : v.second) += 1;
+  };
+
+  for (const auto& path : table.paths()) {
+    const auto& hops = path.hops();
+    if (hops.size() < 2) continue;
+    // Position of the highest-ranked AS (the path's "top").
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      if (rank(hops[i]) > rank(hops[top])) top = i;
+    }
+    // Path layout: hops[0] is observer-side, hops.back() is the origin.
+    // From the origin up to the top the announcement climbs
+    // customer->provider; from the top towards the observer it descends.
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      const Asn left = hops[i];
+      const Asn right = hops[i + 1];
+      if (left == right) continue;  // prepending
+      if (i + 1 <= top) {
+        vote(/*customer=*/left, /*provider=*/right);   // descending side
+      } else {
+        vote(/*customer=*/right, /*provider=*/left);   // ascending side
+      }
+    }
+  }
+
+  std::vector<InferredLink> out;
+  out.reserve(votes.size());
+  for (const auto& [key, v] : votes) {
+    const auto [lo, hi] = key;
+    InferredLink link;
+    // Clique members peer with each other by construction.
+    if (in_clique(lo) && in_clique(hi)) {
+      link = {lo, hi, InferredRel::kP2P};
+      out.push_back(link);
+      continue;
+    }
+    const std::size_t total = v.first + v.second;
+    const std::size_t minority = std::min(v.first, v.second);
+    if (total > 0 &&
+        static_cast<double>(minority) / static_cast<double>(total) >=
+            options.peer_vote_ratio) {
+      link = {lo, hi, InferredRel::kP2P};
+    } else if (v.first >= v.second) {
+      link = {lo, hi, InferredRel::kC2P};  // lo customer of hi
+    } else {
+      link = {hi, lo, InferredRel::kC2P};  // hi customer of lo
+    }
+    out.push_back(link);
+  }
+  return out;
+}
+
+}  // namespace spoofscope::asgraph

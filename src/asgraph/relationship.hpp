@@ -1,0 +1,53 @@
+// AS relationship inference from observed AS paths — a Gao-style
+// degree/clique heuristic in the spirit of CAIDA's AS-rank algorithm
+// (Luckie et al. 2013), which the paper's Customer Cone method builds on.
+// Deliberately imperfect, exactly like its real-world counterpart: the
+// Customer Cone's false positives in the paper stem from peerings and
+// sibling relations this inference cannot see or classify.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/routing_table.hpp"
+
+namespace spoofscope::asgraph {
+
+using net::Asn;
+
+/// Relationship classes the inference can assign.
+enum class InferredRel : std::uint8_t {
+  kC2P,  ///< `a` is a customer of `b`
+  kP2P,  ///< settlement-free peers
+};
+
+/// One classified link of the observed graph.
+struct InferredLink {
+  Asn a = net::kNoAsn;
+  Asn b = net::kNoAsn;
+  InferredRel rel = InferredRel::kP2P;
+
+  friend bool operator==(const InferredLink&, const InferredLink&) = default;
+};
+
+/// Inference knobs.
+struct RelationshipOptions {
+  /// Maximum size of the inferred top clique (greedy, by degree).
+  std::size_t clique_size = 10;
+  /// If the minority direction of up/down votes on a link exceeds this
+  /// fraction, the link is classified as peering.
+  double peer_vote_ratio = 0.35;
+};
+
+/// Infers relationships for every undirected adjacency observed in
+/// `table`. Results are deterministic; each observed link appears exactly
+/// once.
+std::vector<InferredLink> infer_relationships(const bgp::RoutingTable& table,
+                                              const RelationshipOptions& options = {});
+
+/// The inferred top clique (by ASN, sorted) — exposed for diagnostics and
+/// tests.
+std::vector<Asn> infer_clique(const bgp::RoutingTable& table, std::size_t max_size);
+
+}  // namespace spoofscope::asgraph

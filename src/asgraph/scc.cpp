@@ -1,0 +1,85 @@
+#include "asgraph/scc.hpp"
+
+#include <algorithm>
+
+namespace spoofscope::asgraph {
+
+SccResult strongly_connected_components(const AsGraph& g) {
+  const std::size_t n = g.node_count();
+  constexpr std::uint32_t kUnvisited = ~0u;
+
+  SccResult res;
+  res.component_of.assign(n, kUnvisited);
+
+  std::vector<std::uint32_t> low(n, 0), disc(n, kUnvisited);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> stack;
+  std::uint32_t timer = 0;
+
+  // Iterative Tarjan: explicit DFS frames (node, next-successor index).
+  struct Frame {
+    std::uint32_t node;
+    std::size_t next;
+  };
+  std::vector<Frame> frames;
+
+  for (std::uint32_t start = 0; start < n; ++start) {
+    if (disc[start] != kUnvisited) continue;
+    frames.push_back({start, 0});
+    disc[start] = low[start] = timer++;
+    stack.push_back(start);
+    on_stack[start] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto succ = g.successors(f.node);
+      if (f.next < succ.size()) {
+        const std::uint32_t w = succ[f.next++];
+        if (disc[w] == kUnvisited) {
+          disc[w] = low[w] = timer++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.node] = std::min(low[f.node], disc[w]);
+        }
+        continue;
+      }
+      // All successors explored: close the frame.
+      const std::uint32_t v = f.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        low[frames.back().node] = std::min(low[frames.back().node], low[v]);
+      }
+      if (low[v] == disc[v]) {
+        const auto comp = static_cast<std::uint32_t>(res.component_count++);
+        res.members.emplace_back();
+        while (true) {
+          const std::uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          res.component_of[w] = comp;
+          res.members[comp].push_back(w);
+          if (w == v) break;
+        }
+      }
+    }
+  }
+
+  // Condensed DAG edges.
+  res.dag_successors.resize(res.component_count);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t cv = res.component_of[v];
+    for (const std::uint32_t w : g.successors(v)) {
+      const std::uint32_t cw = res.component_of[w];
+      if (cv != cw) res.dag_successors[cv].push_back(cw);
+    }
+  }
+  for (auto& s : res.dag_successors) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+  return res;
+}
+
+}  // namespace spoofscope::asgraph

@@ -1,0 +1,33 @@
+// Strongly connected components (iterative Tarjan) and condensation.
+// The Full Cone's directed AS graph "may indeed contain loops" (Sec 3.2);
+// condensing SCCs turns the transitive-closure computation into a DAG
+// sweep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asgraph/graph.hpp"
+
+namespace spoofscope::asgraph {
+
+/// SCC decomposition of an AsGraph.
+struct SccResult {
+  /// Component id of each node. Ids are numbered in *reverse topological*
+  /// order of the condensation: every successor component of c has an id
+  /// smaller than c.
+  std::vector<std::uint32_t> component_of;
+  std::size_t component_count = 0;
+
+  /// Condensed DAG: successors of each component (deduplicated, no
+  /// self-edges).
+  std::vector<std::vector<std::uint32_t>> dag_successors;
+
+  /// Nodes in each component.
+  std::vector<std::vector<std::uint32_t>> members;
+};
+
+/// Computes the SCCs of `g`. Iterative; safe for deep graphs.
+SccResult strongly_connected_components(const AsGraph& g);
+
+}  // namespace spoofscope::asgraph

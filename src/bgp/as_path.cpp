@@ -1,0 +1,53 @@
+#include "bgp/as_path.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace spoofscope::bgp {
+
+std::optional<AsPath> AsPath::parse(std::string_view s) {
+  s = util::trim(s);
+  if (s.empty()) return AsPath();
+  std::vector<Asn> hops;
+  for (const auto tok : util::split(s, ' ')) {
+    if (tok.empty()) continue;  // tolerate double spaces
+    std::uint32_t asn;
+    if (!util::parse_u32(tok, asn) || asn == net::kNoAsn) return std::nullopt;
+    hops.push_back(asn);
+  }
+  if (hops.empty()) return std::nullopt;
+  return AsPath(std::move(hops));
+}
+
+bool AsPath::contains(Asn asn) const {
+  return std::find(hops_.begin(), hops_.end(), asn) != hops_.end();
+}
+
+bool AsPath::has_duplicates() const {
+  std::unordered_set<Asn> seen;
+  for (const Asn a : hops_) {
+    if (!seen.insert(a).second) return true;
+  }
+  return false;
+}
+
+AsPath AsPath::prepend(Asn asn) const {
+  std::vector<Asn> hops;
+  hops.reserve(hops_.size() + 1);
+  hops.push_back(asn);
+  hops.insert(hops.end(), hops_.begin(), hops_.end());
+  return AsPath(std::move(hops));
+}
+
+std::string AsPath::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i) out.push_back(' ');
+    out += std::to_string(hops_[i]);
+  }
+  return out;
+}
+
+}  // namespace spoofscope::bgp

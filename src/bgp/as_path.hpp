@@ -1,0 +1,62 @@
+// BGP AS path: the sequence of ASes a route announcement traversed.
+// Convention throughout spoofscope: index 0 is the AS nearest the observer
+// (the neighbor that sent the announcement) and the last element is the
+// origin AS — the same left-to-right order as in looking-glass output.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace spoofscope::bgp {
+
+using net::Asn;
+
+/// An AS path. Value type; empty paths are valid (meaning "no route").
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<Asn> hops) : hops_(std::move(hops)) {}
+  AsPath(std::initializer_list<Asn> hops) : hops_(hops) {}
+
+  /// Parses a space-separated path ("3320 1299 64500"). Empty string
+  /// parses as the empty path. Returns nullopt on malformed tokens.
+  static std::optional<AsPath> parse(std::string_view s);
+
+  bool empty() const { return hops_.empty(); }
+  std::size_t length() const { return hops_.size(); }
+
+  /// The AS that handed the route to the observer.
+  Asn first() const { return hops_.front(); }
+
+  /// The AS that originated the prefix.
+  Asn origin() const { return hops_.back(); }
+
+  Asn at(std::size_t i) const { return hops_[i]; }
+
+  const std::vector<Asn>& hops() const { return hops_; }
+
+  /// True if `asn` appears anywhere on the path.
+  bool contains(Asn asn) const;
+
+  /// True if any AS appears more than once (loop / prepending).
+  bool has_duplicates() const;
+
+  /// Returns a new path with `asn` prepended (the receiving AS adding
+  /// itself before re-export).
+  AsPath prepend(Asn asn) const;
+
+  /// "a b c" space-separated form.
+  std::string str() const;
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<Asn> hops_;
+};
+
+}  // namespace spoofscope::bgp

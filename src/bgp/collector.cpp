@@ -1,0 +1,188 @@
+#include "bgp/collector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace spoofscope::bgp {
+
+std::size_t AnnouncementPlan::prefix_count() const {
+  std::size_t n = 0;
+  for (const auto& g : groups) n += g.prefixes.size();
+  return n;
+}
+
+AnnouncementPlan make_announcement_plan(const topo::Topology& topo,
+                                        const PlanParams& params,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  AnnouncementPlan plan;
+
+  for (const auto& as : topo.ases()) {
+    const std::size_t n_announced = topo::announced_prefix_count(as);
+    if (n_announced == 0) continue;
+
+    AnnouncementGroup stable;
+    stable.origin = as.asn;
+
+    const auto providers = topo.providers_of(as.asn);
+    for (std::size_t i = 0; i < n_announced; ++i) {
+      const net::Prefix& p = as.prefixes[i];
+
+      // Traffic-engineering deaggregation: replace (or complement) the
+      // aggregate with its two halves, occasionally one level deeper.
+      if (p.length() <= 22 && rng.chance(params.deaggregate_prob)) {
+        if (rng.chance(0.5)) stable.prefixes.push_back(p);  // keep aggregate
+        const int extra_levels = rng.chance(0.3) ? 2 : 1;
+        std::vector<net::Prefix> pieces{p.child(0), p.child(1)};
+        for (int lvl = 1; lvl < extra_levels; ++lvl) {
+          std::vector<net::Prefix> next;
+          for (const auto& piece : pieces) {
+            next.push_back(piece.child(0));
+            next.push_back(piece.child(1));
+          }
+          pieces = std::move(next);
+        }
+        for (const auto& piece : pieces) stable.prefixes.push_back(piece);
+        continue;
+      }
+
+      // Selective announcement requires at least two providers to choose
+      // a strict subset from.
+      if (providers.size() >= 2 && rng.chance(params.selective_prob)) {
+        AnnouncementGroup g;
+        g.origin = as.asn;
+        g.prefixes.push_back(p);
+        const std::size_t keep = 1 + rng.index(providers.size() - 1);
+        std::vector<Asn> hops(providers.begin(), providers.end());
+        rng.shuffle(hops);
+        hops.resize(keep);
+        std::sort(hops.begin(), hops.end());
+        g.first_hops = std::move(hops);
+        plan.groups.push_back(std::move(g));
+        continue;
+      }
+
+      if (rng.chance(params.transient_prob)) {
+        AnnouncementGroup g;
+        g.origin = as.asn;
+        g.prefixes.push_back(p);
+        g.transient = true;
+        g.announce_ts = rng.uniform_u32(1, params.window_seconds / 2);
+        // Half of the transient prefixes get withdrawn again inside the
+        // window; either way they count as routed for the whole period.
+        g.withdraw_ts = rng.chance(0.5)
+                            ? g.announce_ts +
+                                  rng.uniform_u32(3600, params.window_seconds / 4)
+                            : 0;
+        plan.groups.push_back(std::move(g));
+        continue;
+      }
+
+      stable.prefixes.push_back(p);
+    }
+    if (!stable.prefixes.empty()) plan.groups.push_back(std::move(stable));
+  }
+  return plan;
+}
+
+RouteFabric::RouteFabric(const Simulator& sim, const AnnouncementPlan& plan)
+    : sim_(&sim), plan_(&plan) {
+  results_.reserve(plan.groups.size());
+  for (const auto& g : plan.groups) {
+    results_.push_back(sim.propagate(g.origin, g.first_hops));
+  }
+}
+
+std::vector<MrtRecord> collect_records(const RouteFabric& fabric,
+                                       const CollectorSpec& spec) {
+  std::vector<MrtRecord> out;
+  collect_records(fabric, spec,
+                  [&out](const MrtRecord& r) { out.push_back(r); });
+  return out;
+}
+
+void collect_records(const RouteFabric& fabric, const CollectorSpec& spec,
+                     const std::function<void(const MrtRecord&)>& sink) {
+  const auto& topo = fabric.simulator().topology();
+
+  std::vector<std::size_t> feeder_idx;
+  feeder_idx.reserve(spec.feeders.size());
+  for (const Asn f : spec.feeders) {
+    const auto idx = topo.index_of(f);
+    if (!idx) {
+      throw std::invalid_argument("collect_records: unknown feeder AS " +
+                                  std::to_string(f));
+    }
+    feeder_idx.push_back(*idx);
+  }
+
+  // Dump schedule: a single t=0 dump by default, or RIS/RouteViews-style
+  // periodic snapshots.
+  std::vector<std::uint32_t> dump_times{0};
+  if (spec.dump_interval_seconds > 0) {
+    for (std::uint32_t t = spec.dump_interval_seconds; t < spec.window_seconds;
+         t += spec.dump_interval_seconds) {
+      dump_times.push_back(t);
+    }
+  }
+
+  const auto& plan = fabric.plan();
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    const auto& group = plan.groups[g];
+    const auto& res = fabric.result(g);
+    for (std::size_t fi = 0; fi < feeder_idx.size(); ++fi) {
+      const std::size_t idx = feeder_idx[fi];
+      if (!res.reachable(idx)) continue;
+      const RouteClass cls = res.route_class(idx);
+      if (!spec.full_feed && cls != RouteClass::kOrigin &&
+          cls != RouteClass::kCustomer) {
+        continue;  // route servers only see peer-exportable routes
+      }
+      const AsPath path = res.path_at(idx);
+      for (const auto& prefix : group.prefixes) {
+        if (group.transient) {
+          UpdateMessage a;
+          a.kind = UpdateMessage::Kind::kAnnounce;
+          a.timestamp = group.announce_ts;
+          a.peer = spec.feeders[fi];
+          a.prefix = prefix;
+          a.path = path;
+          sink(MrtRecord{a});
+          if (group.withdraw_ts != 0) {
+            UpdateMessage w;
+            w.kind = UpdateMessage::Kind::kWithdraw;
+            w.timestamp = group.withdraw_ts;
+            w.peer = spec.feeders[fi];
+            w.prefix = prefix;
+            sink(MrtRecord{w});
+          }
+          // Periodic dumps taken while the route was installed also
+          // carry it.
+          for (const std::uint32_t t : dump_times) {
+            if (t < group.announce_ts) continue;
+            if (group.withdraw_ts != 0 && t >= group.withdraw_ts) continue;
+            RibEntry e;
+            e.timestamp = t;
+            e.peer = spec.feeders[fi];
+            e.prefix = prefix;
+            e.path = path;
+            sink(MrtRecord{e});
+          }
+        } else {
+          for (const std::uint32_t t : dump_times) {
+            RibEntry e;
+            e.timestamp = t;
+            e.peer = spec.feeders[fi];
+            e.prefix = prefix;
+            e.path = path;
+            sink(MrtRecord{e});
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace spoofscope::bgp

@@ -1,0 +1,123 @@
+// Route collectors and the announcement plan.
+//
+// The paper consumes table dumps and updates from RIPE RIS / RouteViews
+// collectors plus the IXP's route server. Here:
+//  - an AnnouncementPlan decides which prefixes each AS announces, which
+//    are announced only selectively (to a subset of providers — a source
+//    of Naive/CC false positives) and which are transient (visible only
+//    in update messages, not in table dumps);
+//  - a RouteFabric runs the propagation once per plan group;
+//  - collect_records() renders what one collector would record during the
+//    measurement window, as MRT-lite records.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bgp/mrt_lite.hpp"
+#include "bgp/simulator.hpp"
+#include "topo/topology.hpp"
+
+namespace spoofscope::bgp {
+
+/// One group of identically-announced prefixes of a single origin.
+struct AnnouncementGroup {
+  Asn origin = net::kNoAsn;
+  std::vector<net::Prefix> prefixes;
+  /// Empty = export to all neighbors; otherwise selective announcement.
+  std::vector<Asn> first_hops;
+  /// Transient prefixes appear only in updates: announced at `announce_ts`
+  /// and withdrawn at `withdraw_ts` (0 = never withdrawn).
+  bool transient = false;
+  std::uint32_t announce_ts = 0;
+  std::uint32_t withdraw_ts = 0;
+};
+
+/// Everything every AS announces.
+struct AnnouncementPlan {
+  std::vector<AnnouncementGroup> groups;
+
+  /// Total number of announced prefixes across all groups.
+  std::size_t prefix_count() const;
+};
+
+/// Knobs for plan generation.
+struct PlanParams {
+  /// Fraction of announced prefixes announced only to a strict subset of
+  /// the origin's providers (multihoming asymmetry, Sec 3.2 Naive pitfall).
+  double selective_prob = 0.05;
+  /// Fraction of announced prefixes that are transient (update-only).
+  double transient_prob = 0.02;
+  /// Fraction of announced prefixes deaggregated into more-specifics
+  /// (traffic engineering); the paper notes ASes "announce changing sets
+  /// of prefixes with varying aggregation levels". The aggregate is kept
+  /// alongside its more-specifics half of the time.
+  double deaggregate_prob = 0.10;
+  /// Measurement window length (bounds transient timestamps).
+  std::uint32_t window_seconds = net::kFourWeeks;
+};
+
+/// Builds the plan from the topology ground truth: each AS announces the
+/// first announced_prefix_count() of its allocations, grouped by identical
+/// export behaviour. Deterministic in (topology, params, seed).
+AnnouncementPlan make_announcement_plan(const topo::Topology& topo,
+                                        const PlanParams& params,
+                                        std::uint64_t seed);
+
+/// Precomputed propagation results for every plan group, shared by all
+/// collectors (propagation depends only on origin and first-hop policy).
+class RouteFabric {
+ public:
+  RouteFabric(const Simulator& sim, const AnnouncementPlan& plan);
+
+  const AnnouncementPlan& plan() const { return *plan_; }
+  const Simulator& simulator() const { return *sim_; }
+
+  /// Propagation result of plan group `g`.
+  const PropagationResult& result(std::size_t g) const { return results_[g]; }
+
+  std::size_t group_count() const { return results_.size(); }
+
+ private:
+  const Simulator* sim_;
+  const AnnouncementPlan* plan_;
+  std::vector<PropagationResult> results_;
+};
+
+/// One collector (or route server) configuration.
+struct CollectorSpec {
+  std::string name;
+  /// ASes feeding this collector.
+  std::vector<Asn> feeders;
+  /// Full-feed collectors (RIS/RouteViews style) receive the feeder's
+  /// entire best-path table. Route-server-style collectors (full_feed ==
+  /// false) receive only routes the feeder would export to a peer, i.e.
+  /// origin/customer-class routes.
+  bool full_feed = true;
+
+  /// Table-dump cadence: 0 emits a single dump at t=0 (the default used
+  /// by the scenario builder — the aggregated table is identical since
+  /// the builder deduplicates); a positive value emits dumps every N
+  /// seconds over `window_seconds`, like RIPE RIS (8h) and RouteViews
+  /// (2h). Transient prefixes appear in the dumps taken while they were
+  /// announced, in addition to their update messages.
+  std::uint32_t dump_interval_seconds = 0;
+  std::uint32_t window_seconds = net::kFourWeeks;
+};
+
+/// Renders the records `spec` collects over the window: TABLE_DUMP lines
+/// for stable routes (dumped at t=0) and UPDATE lines for transient ones.
+/// Feeders unknown to the topology throw std::invalid_argument.
+std::vector<MrtRecord> collect_records(const RouteFabric& fabric,
+                                       const CollectorSpec& spec);
+
+/// Streaming variant: invokes `sink(record)` for every record instead of
+/// materializing them — full feeds at paper scale produce tens of
+/// millions of records, which should go straight into a
+/// RoutingTableBuilder (or an MRT writer) without an intermediate vector.
+void collect_records(const RouteFabric& fabric, const CollectorSpec& spec,
+                     const std::function<void(const MrtRecord&)>& sink);
+
+}  // namespace spoofscope::bgp

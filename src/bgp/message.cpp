@@ -1,0 +1,2 @@
+// Message types are plain aggregates; serialization lives in mrt_lite.cpp.
+#include "bgp/message.hpp"

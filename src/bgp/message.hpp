@@ -1,0 +1,37 @@
+// BGP data records as seen by route collectors: RIB (table dump) entries
+// and update messages. These are the units the MRT-lite files carry and
+// the RoutingTableBuilder consumes.
+#pragma once
+
+#include <cstdint>
+
+#include "bgp/as_path.hpp"
+#include "net/prefix.hpp"
+
+namespace spoofscope::bgp {
+
+/// One routing-table entry at a collector: the route that feeder peer
+/// `peer` had installed for `prefix` at dump time.
+struct RibEntry {
+  std::uint32_t timestamp = 0;  ///< seconds since measurement window start
+  Asn peer = net::kNoAsn;       ///< the feeder that exported this route
+  net::Prefix prefix;
+  AsPath path;  ///< starts at `peer`, ends at the origin AS
+
+  friend bool operator==(const RibEntry&, const RibEntry&) = default;
+};
+
+/// One BGP update message received by a collector from a feeder.
+struct UpdateMessage {
+  enum class Kind : std::uint8_t { kAnnounce, kWithdraw };
+
+  Kind kind = Kind::kAnnounce;
+  std::uint32_t timestamp = 0;
+  Asn peer = net::kNoAsn;
+  net::Prefix prefix;
+  AsPath path;  ///< only meaningful for kAnnounce
+
+  friend bool operator==(const UpdateMessage&, const UpdateMessage&) = default;
+};
+
+}  // namespace spoofscope::bgp

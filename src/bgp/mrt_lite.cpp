@@ -1,0 +1,121 @@
+#include "bgp/mrt_lite.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace spoofscope::bgp {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view line, const std::string& why) {
+  throw std::runtime_error("MRT-lite parse error: " + why + " in line: " +
+                           std::string(line));
+}
+
+std::uint32_t parse_ts(std::string_view line, std::string_view tok) {
+  std::uint32_t ts;
+  if (!util::parse_u32(tok, ts)) fail(line, "bad timestamp");
+  return ts;
+}
+
+Asn parse_peer(std::string_view line, std::string_view tok) {
+  std::uint32_t asn;
+  if (!util::parse_u32(tok, asn) || asn == net::kNoAsn) fail(line, "bad peer ASN");
+  return asn;
+}
+
+net::Prefix parse_prefix(std::string_view line, std::string_view tok) {
+  const auto p = net::Prefix::parse(tok);
+  if (!p) fail(line, "bad prefix");
+  return *p;
+}
+
+AsPath parse_path(std::string_view line, std::string_view tok) {
+  const auto p = AsPath::parse(tok);
+  if (!p || p->empty()) fail(line, "bad AS path");
+  return *p;
+}
+
+}  // namespace
+
+std::string to_mrt_line(const RibEntry& e) {
+  return "TABLE_DUMP|" + std::to_string(e.timestamp) + "|" +
+         std::to_string(e.peer) + "|" + e.prefix.str() + "|" + e.path.str();
+}
+
+std::string to_mrt_line(const UpdateMessage& u) {
+  std::string out = "UPDATE|";
+  out += (u.kind == UpdateMessage::Kind::kAnnounce) ? "A" : "W";
+  out += "|" + std::to_string(u.timestamp) + "|" + std::to_string(u.peer) +
+         "|" + u.prefix.str();
+  if (u.kind == UpdateMessage::Kind::kAnnounce) out += "|" + u.path.str();
+  return out;
+}
+
+MrtRecord parse_mrt_line(std::string_view line) {
+  const auto fields = util::split(line, '|');
+  if (fields.empty()) fail(line, "empty record");
+
+  if (fields[0] == "TABLE_DUMP") {
+    if (fields.size() != 5) fail(line, "TABLE_DUMP needs 5 fields");
+    RibEntry e;
+    e.timestamp = parse_ts(line, fields[1]);
+    e.peer = parse_peer(line, fields[2]);
+    e.prefix = parse_prefix(line, fields[3]);
+    e.path = parse_path(line, fields[4]);
+    return e;
+  }
+
+  if (fields[0] == "UPDATE") {
+    if (fields.size() < 2) fail(line, "UPDATE needs a kind field");
+    UpdateMessage u;
+    if (fields[1] == "A") {
+      if (fields.size() != 6) fail(line, "UPDATE|A needs 6 fields");
+      u.kind = UpdateMessage::Kind::kAnnounce;
+      u.timestamp = parse_ts(line, fields[2]);
+      u.peer = parse_peer(line, fields[3]);
+      u.prefix = parse_prefix(line, fields[4]);
+      u.path = parse_path(line, fields[5]);
+    } else if (fields[1] == "W") {
+      if (fields.size() != 5) fail(line, "UPDATE|W needs 5 fields");
+      u.kind = UpdateMessage::Kind::kWithdraw;
+      u.timestamp = parse_ts(line, fields[2]);
+      u.peer = parse_peer(line, fields[3]);
+      u.prefix = parse_prefix(line, fields[4]);
+    } else {
+      fail(line, "unknown UPDATE kind");
+    }
+    return u;
+  }
+
+  fail(line, "unknown record type");
+}
+
+void write_mrt(std::ostream& out, const std::vector<MrtRecord>& records) {
+  for (const auto& r : records) {
+    std::visit([&](const auto& rec) { out << to_mrt_line(rec) << '\n'; }, r);
+  }
+}
+
+std::vector<MrtRecord> read_mrt(std::istream& in) {
+  std::vector<MrtRecord> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    try {
+      out.push_back(parse_mrt_line(trimmed));
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error(std::string(e.what()) + " (line " +
+                               std::to_string(lineno) + ")");
+    }
+  }
+  return out;
+}
+
+}  // namespace spoofscope::bgp

@@ -1,0 +1,43 @@
+// MRT-lite: a line-oriented text serialization of collector data, in the
+// spirit of the `bgpdump -m` output the measurement community exchanges.
+//
+//   TABLE_DUMP|<ts>|<peer_asn>|<prefix>|<as path>
+//   UPDATE|A|<ts>|<peer_asn>|<prefix>|<as path>
+//   UPDATE|W|<ts>|<peer_asn>|<prefix>
+//
+// Parsing is strict: malformed lines are reported with their line number
+// so broken dumps fail loudly instead of silently shrinking the dataset.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "bgp/message.hpp"
+
+namespace spoofscope::bgp {
+
+/// A parsed MRT-lite record.
+using MrtRecord = std::variant<RibEntry, UpdateMessage>;
+
+/// Serializes one RIB entry as a TABLE_DUMP line (no trailing newline).
+std::string to_mrt_line(const RibEntry& e);
+
+/// Serializes one update as an UPDATE line (no trailing newline).
+std::string to_mrt_line(const UpdateMessage& u);
+
+/// Parses one line. Throws std::runtime_error with a descriptive message
+/// on malformed input. Empty lines and '#' comments are not accepted here;
+/// the stream reader filters them.
+MrtRecord parse_mrt_line(std::string_view line);
+
+/// Writes records to a stream, one line each.
+void write_mrt(std::ostream& out, const std::vector<MrtRecord>& records);
+
+/// Reads a whole MRT-lite stream; skips blank lines and '#' comments.
+/// Throws std::runtime_error naming the offending line on parse failure.
+std::vector<MrtRecord> read_mrt(std::istream& in);
+
+}  // namespace spoofscope::bgp

@@ -1,0 +1,158 @@
+#include "bgp/routing_table.hpp"
+
+#include <algorithm>
+
+namespace spoofscope::bgp {
+
+std::optional<Asn> RoutingTable::origin_of(net::Ipv4Addr a) const {
+  const auto* m = routed_.match_longest(a);
+  if (!m) return std::nullopt;
+  return prefix_origins_[m->second].front();
+}
+
+std::optional<RoutingTable::PrefixId> RoutingTable::covering_prefix(
+    net::Ipv4Addr a) const {
+  const auto* m = routed_.match_longest(a);
+  if (!m) return std::nullopt;
+  return m->second;
+}
+
+std::optional<RoutingTable::PrefixId> RoutingTable::prefix_id(
+    const net::Prefix& p) const {
+  const auto* id = routed_.find_exact(p);
+  if (!id) return std::nullopt;
+  return *id;
+}
+
+std::span<const Asn> RoutingTable::origins_of(PrefixId pid) const {
+  return prefix_origins_[pid];
+}
+
+std::span<const RoutingTable::PathId> RoutingTable::paths_of(PrefixId pid) const {
+  return prefix_paths_[pid];
+}
+
+std::span<const RoutingTable::PrefixId> RoutingTable::prefixes_on_paths_of(
+    Asn asn) const {
+  static const std::vector<PrefixId> kEmpty;
+  const auto it = as_prefixes_.find(asn);
+  return it == as_prefixes_.end() ? kEmpty : it->second;
+}
+
+std::size_t RoutingTableBuilder::PathKey::operator()(
+    const std::vector<Asn>& hops) const {
+  std::size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Asn a : hops) {
+    h ^= a + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+RoutingTableBuilder::RoutingTableBuilder(Options options) : options_(options) {}
+
+void RoutingTableBuilder::ingest(const MrtRecord& record) {
+  if (const auto* rib = std::get_if<RibEntry>(&record)) {
+    ingest_route(rib->prefix, rib->path);
+    return;
+  }
+  const auto& upd = std::get<UpdateMessage>(record);
+  if (upd.kind == UpdateMessage::Kind::kAnnounce) {
+    ingest_route(upd.prefix, upd.path);
+  } else {
+    ++table_.ingested_;  // withdrawals are observed but change nothing
+  }
+}
+
+void RoutingTableBuilder::ingest(std::span<const MrtRecord> records) {
+  for (const auto& r : records) ingest(r);
+}
+
+void RoutingTableBuilder::ingest_route(const net::Prefix& prefix,
+                                       const AsPath& path) {
+  ++table_.ingested_;
+  if (path.empty()) return;
+  if (prefix.length() < options_.min_length ||
+      prefix.length() > options_.max_length) {
+    ++table_.dropped_;
+    return;
+  }
+
+  // Intern the prefix.
+  RoutingTable::PrefixId pid;
+  if (const auto* existing = table_.routed_.find_exact(prefix)) {
+    pid = *existing;
+  } else {
+    pid = static_cast<RoutingTable::PrefixId>(table_.prefixes_.size());
+    table_.routed_.insert(prefix, pid);
+    table_.prefixes_.push_back(prefix);
+    table_.prefix_origins_.emplace_back();
+    table_.prefix_paths_.emplace_back();
+  }
+
+  // Intern the path.
+  const auto [it, inserted] = path_ids_.try_emplace(
+      path.hops(), static_cast<RoutingTable::PathId>(table_.paths_.size()));
+  if (inserted) table_.paths_.push_back(path);
+  const RoutingTable::PathId path_id = it->second;
+
+  auto& pp = table_.prefix_paths_[pid];
+  if (std::find(pp.begin(), pp.end(), path_id) == pp.end()) {
+    pp.push_back(path_id);
+    auto& origins = table_.prefix_origins_[pid];
+    if (std::find(origins.begin(), origins.end(), path.origin()) == origins.end()) {
+      origins.push_back(path.origin());
+    }
+  }
+}
+
+RoutingTable RoutingTableBuilder::build() {
+  RoutingTable out = std::move(table_);
+  table_ = RoutingTable{};
+  path_ids_.clear();
+
+  // Directed edges and AS set from the distinct paths.
+  std::vector<std::uint64_t> edge_keys;
+  std::vector<Asn> ases;
+  for (const auto& path : out.paths_) {
+    const auto& hops = path.hops();
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      ases.push_back(hops[i]);
+      if (i + 1 < hops.size() && hops[i] != hops[i + 1]) {
+        edge_keys.push_back((std::uint64_t(hops[i]) << 32) | hops[i + 1]);
+      }
+    }
+  }
+  std::sort(edge_keys.begin(), edge_keys.end());
+  edge_keys.erase(std::unique(edge_keys.begin(), edge_keys.end()), edge_keys.end());
+  out.edges_.reserve(edge_keys.size());
+  for (const std::uint64_t k : edge_keys) {
+    out.edges_.emplace_back(static_cast<Asn>(k >> 32),
+                            static_cast<Asn>(k & 0xffffffffu));
+  }
+  std::sort(ases.begin(), ases.end());
+  ases.erase(std::unique(ases.begin(), ases.end()), ases.end());
+  out.ases_ = std::move(ases);
+
+  // Per-AS prefix sets for the Naive method.
+  for (RoutingTable::PrefixId pid = 0; pid < out.prefixes_.size(); ++pid) {
+    for (const auto path_id : out.prefix_paths_[pid]) {
+      for (const Asn asn : out.paths_[path_id].hops()) {
+        out.as_prefixes_[asn].push_back(pid);
+      }
+    }
+  }
+  for (auto& [asn, pids] : out.as_prefixes_) {
+    std::sort(pids.begin(), pids.end());
+    pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+  }
+
+  // Routed space.
+  std::vector<trie::Interval> ivs;
+  ivs.reserve(out.prefixes_.size());
+  for (const auto& p : out.prefixes_) ivs.push_back({p.first(), p.last()});
+  out.routed_space_ = trie::IntervalSet::from_intervals(std::move(ivs));
+
+  return out;
+}
+
+}  // namespace spoofscope::bgp

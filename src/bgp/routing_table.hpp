@@ -1,0 +1,129 @@
+// Aggregation of everything the collectors saw during the measurement
+// window into the datasets the detection method runs on:
+//   - the routed prefix table (prefix -> origin ASes) and routed space,
+//   - the set of distinct observed AS paths,
+//   - the directed AS adjacency (left neighbor upstream of right),
+//   - per-AS "appears on the path of" prefix sets (the Naive method).
+//
+// Announcements more specific than /24 or less specific than /8 are
+// disregarded, as in the paper (Sec 3.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/mrt_lite.hpp"
+#include "trie/interval_set.hpp"
+#include "trie/prefix_trie.hpp"
+
+namespace spoofscope::bgp {
+
+/// Immutable product of RoutingTableBuilder.
+class RoutingTable {
+ public:
+  /// Identifier of a distinct routed prefix (index into prefixes()).
+  using PrefixId = std::uint32_t;
+  /// Identifier of a distinct observed AS path (index into paths()).
+  using PathId = std::uint32_t;
+
+  /// True if some routed prefix covers `a`.
+  bool is_routed(net::Ipv4Addr a) const { return routed_.covers(a); }
+
+  /// Origin of the most specific routed prefix covering `a` (one origin
+  /// in case of MOAS); nullopt if unrouted.
+  std::optional<Asn> origin_of(net::Ipv4Addr a) const;
+
+  /// Id of the most specific routed prefix covering `a` (the FIB match);
+  /// nullopt if unrouted.
+  std::optional<PrefixId> covering_prefix(net::Ipv4Addr a) const;
+
+  /// All distinct routed prefixes.
+  const std::vector<net::Prefix>& prefixes() const { return prefixes_; }
+
+  /// Id of a routed prefix; nullopt if not in the table.
+  std::optional<PrefixId> prefix_id(const net::Prefix& p) const;
+
+  /// Origin ASes observed for prefix `pid` (>= 1; more on MOAS).
+  std::span<const Asn> origins_of(PrefixId pid) const;
+
+  /// All distinct AS paths observed.
+  const std::vector<AsPath>& paths() const { return paths_; }
+
+  /// Distinct paths observed for prefix `pid`.
+  std::span<const PathId> paths_of(PrefixId pid) const;
+
+  /// Directed AS graph edges derived from paths: (left, right) where left
+  /// was observed immediately upstream (closer to the collector) of right.
+  const std::vector<std::pair<Asn, Asn>>& edges() const { return edges_; }
+
+  /// All ASes that appear anywhere in the observed paths.
+  const std::vector<Asn>& ases() const { return ases_; }
+
+  /// Ids of prefixes on whose observed paths `asn` appears (the Naive
+  /// method's valid set). Empty when the AS was never observed.
+  std::span<const PrefixId> prefixes_on_paths_of(Asn asn) const;
+
+  /// Routed address space as a normalized interval set.
+  const trie::IntervalSet& routed_space() const { return routed_space_; }
+
+  /// Routed space in /24 equivalents.
+  double routed_slash24() const { return routed_space_.slash24_equivalents(); }
+
+  /// Ingestion statistics.
+  std::size_t ingested_records() const { return ingested_; }
+  std::size_t dropped_by_length() const { return dropped_; }
+
+ private:
+  friend class RoutingTableBuilder;
+
+  trie::PrefixTrie<PrefixId> routed_;  // prefix -> PrefixId
+  std::vector<net::Prefix> prefixes_;
+  std::vector<std::vector<Asn>> prefix_origins_;   // by PrefixId
+  std::vector<std::vector<PathId>> prefix_paths_;  // by PrefixId
+  std::vector<AsPath> paths_;
+  std::vector<std::pair<Asn, Asn>> edges_;
+  std::vector<Asn> ases_;
+  std::unordered_map<Asn, std::vector<PrefixId>> as_prefixes_;
+  trie::IntervalSet routed_space_;
+  std::size_t ingested_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+/// Incremental builder; ingest everything, then build() once.
+class RoutingTableBuilder {
+ public:
+  struct Options {
+    std::uint8_t min_length = 8;   ///< drop announcements shorter than this
+    std::uint8_t max_length = 24;  ///< drop announcements longer than this
+  };
+
+  RoutingTableBuilder() : RoutingTableBuilder(Options{}) {}
+  explicit RoutingTableBuilder(Options options);
+
+  /// Ingests a RIB entry or update. Withdrawals are counted but do not
+  /// remove anything: a prefix announced at any time in the window counts
+  /// as routed (Sec 3.3).
+  void ingest(const MrtRecord& record);
+
+  void ingest(std::span<const MrtRecord> records);
+
+  /// Core ingestion: one (prefix, path) observation.
+  void ingest_route(const net::Prefix& prefix, const AsPath& path);
+
+  /// Finalizes into an immutable RoutingTable. The builder is left empty.
+  RoutingTable build();
+
+ private:
+  struct PathKey {
+    std::size_t operator()(const std::vector<Asn>& hops) const;
+  };
+
+  Options options_;
+  RoutingTable table_;
+  std::unordered_map<std::vector<Asn>, RoutingTable::PathId, PathKey> path_ids_;
+};
+
+}  // namespace spoofscope::bgp

@@ -1,0 +1,155 @@
+#include "bgp/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace spoofscope::bgp {
+
+using topo::RelType;
+
+AsPath PropagationResult::path_at(std::size_t idx) const {
+  if (routes_[idx].cls == RouteClass::kNone) return AsPath();
+  std::vector<Asn> hops;
+  std::uint32_t cur = static_cast<std::uint32_t>(idx);
+  for (std::size_t guard = 0; guard <= routes_.size(); ++guard) {
+    hops.push_back(topo_->asn_at(cur));
+    if (routes_[cur].cls == RouteClass::kOrigin) return AsPath(std::move(hops));
+    cur = routes_[cur].parent;
+  }
+  assert(false && "parent chain contains a cycle");
+  return AsPath();
+}
+
+std::size_t PropagationResult::reachable_count() const {
+  std::size_t n = 0;
+  for (const auto& r : routes_) n += r.cls != RouteClass::kNone;
+  return n;
+}
+
+Simulator::Simulator(const topo::Topology& topo) : topo_(&topo) {
+  adj_.resize(topo.as_count());
+  for (const auto& l : topo.links()) {
+    if (!l.visible_in_bgp) continue;  // invisible links never carry routes
+    const auto fi = topo.index_of(l.from);
+    const auto ti = topo.index_of(l.to);
+    assert(fi && ti);
+    switch (l.type) {
+      case RelType::kCustomerToProvider:
+        adj_[*fi].push_back({static_cast<std::uint32_t>(*ti), l.type, /*up=*/true});
+        adj_[*ti].push_back({static_cast<std::uint32_t>(*fi), l.type, /*up=*/false});
+        break;
+      case RelType::kPeerToPeer:
+      case RelType::kSibling:
+        adj_[*fi].push_back({static_cast<std::uint32_t>(*ti), l.type, false});
+        adj_[*ti].push_back({static_cast<std::uint32_t>(*fi), l.type, false});
+        break;
+    }
+  }
+  // Deterministic tie-breaking: scan neighbors in ascending ASN order.
+  for (auto& edges : adj_) {
+    std::sort(edges.begin(), edges.end(), [&](const Edge& a, const Edge& b) {
+      return topo.asn_at(a.to) < topo.asn_at(b.to);
+    });
+  }
+}
+
+PropagationResult Simulator::propagate(Asn origin,
+                                       std::span<const Asn> allowed_first_hops) const {
+  const auto oi = topo_->index_of(origin);
+  if (!oi) throw std::invalid_argument("Simulator: unknown origin AS " + std::to_string(origin));
+  const std::uint32_t origin_idx = static_cast<std::uint32_t>(*oi);
+  const std::size_t n = topo_->as_count();
+
+  std::vector<Route> routes(n);
+  routes[origin_idx] = Route{RouteClass::kOrigin, 0, origin_idx};
+
+  const auto first_hop_allowed = [&](std::uint32_t from, std::uint32_t to) {
+    if (from != origin_idx || allowed_first_hops.empty()) return true;
+    const Asn asn = topo_->asn_at(to);
+    return std::find(allowed_first_hops.begin(), allowed_first_hops.end(), asn) !=
+           allowed_first_hops.end();
+  };
+
+  // Bucket queue by hop count (paths are at most n hops long).
+  std::vector<std::vector<std::uint32_t>> buckets(n + 2);
+
+  const auto relax = [&](std::uint32_t v, std::uint32_t t, RouteClass cls) {
+    if (!first_hop_allowed(v, t)) return;
+    const std::uint16_t nh = static_cast<std::uint16_t>(routes[v].hops + 1);
+    Route& r = routes[t];
+    if (r.cls == RouteClass::kNone) {
+      r = Route{cls, nh, v};
+      buckets[nh].push_back(t);
+    } else if (r.cls == cls && r.hops == nh &&
+               topo_->asn_at(v) < topo_->asn_at(r.parent)) {
+      r.parent = v;  // same cost: prefer the lower next-hop ASN
+    }
+  };
+
+  const auto run_buckets = [&](auto&& relax_from) {
+    for (std::size_t h = 0; h < buckets.size(); ++h) {
+      // Bucket h can grow while processing hop h-1; index loop is safe.
+      for (std::size_t i = 0; i < buckets[h].size(); ++i) {
+        relax_from(buckets[h][i]);
+      }
+    }
+    for (auto& b : buckets) b.clear();
+  };
+
+  // --- Phase 1: customer-class routes flow up c2p edges (and across
+  // siblings, which are transparent).
+  buckets[0].push_back(origin_idx);
+  run_buckets([&](std::uint32_t v) {
+    for (const Edge& e : adj_[v]) {
+      if ((e.rel == RelType::kCustomerToProvider && e.up) ||
+          e.rel == RelType::kSibling) {
+        relax(v, e.to, RouteClass::kCustomer);
+      }
+    }
+  });
+
+  // --- Phase 2: one peer hop from any customer-class route, then sibling
+  // extension (peer-learned routes are shared inside an organization but
+  // not re-exported to further peers or providers).
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (routes[v].cls == RouteClass::kOrigin || routes[v].cls == RouteClass::kCustomer) {
+      buckets[routes[v].hops].push_back(v);
+    }
+  }
+  {
+    std::vector<bool> is_source(n, false);
+    for (const auto& b : buckets) {
+      for (const std::uint32_t v : b) is_source[v] = true;
+    }
+    run_buckets([&](std::uint32_t v) {
+      if (is_source[v]) {
+        for (const Edge& e : adj_[v]) {
+          if (e.rel == RelType::kPeerToPeer) relax(v, e.to, RouteClass::kPeer);
+        }
+      }
+      for (const Edge& e : adj_[v]) {
+        if (e.rel == RelType::kSibling) relax(v, e.to, RouteClass::kPeer);
+      }
+    });
+  }
+
+  // --- Phase 3: provider-class routes flow down to customers (and across
+  // siblings) from every AS that has any route.
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (routes[v].cls != RouteClass::kNone) buckets[routes[v].hops].push_back(v);
+  }
+  run_buckets([&](std::uint32_t v) {
+    for (const Edge& e : adj_[v]) {
+      if (e.rel == RelType::kCustomerToProvider && !e.up) {
+        relax(v, e.to, RouteClass::kProvider);
+      } else if (e.rel == RelType::kSibling) {
+        relax(v, e.to, RouteClass::kProvider);
+      }
+    }
+  });
+
+  return PropagationResult(topo_, origin_idx, std::move(routes));
+}
+
+}  // namespace spoofscope::bgp

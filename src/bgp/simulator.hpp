@@ -1,0 +1,105 @@
+// Gao-Rexford route propagation over the ground-truth topology.
+//
+// For a given origin AS the simulator computes, at every other AS, the
+// best path under the standard policy model:
+//   - valley-free export: routes learned from a customer (or originated)
+//     are exported to everyone; routes learned from a peer or provider are
+//     exported only to customers; sibling links are transparent (routes of
+//     any class cross them and keep their class);
+//   - route selection: prefer customer-learned > peer-learned >
+//     provider-learned, then shortest AS path, then lowest next-hop ASN.
+//
+// Links flagged !visible_in_bgp are never used for propagation: they carry
+// traffic but leave no trace in routing data — the root cause of the
+// paper's Sec 4.4 false positives.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "topo/topology.hpp"
+
+namespace spoofscope::bgp {
+
+/// Route class in decreasing preference order.
+enum class RouteClass : std::uint8_t {
+  kOrigin = 0,    ///< the AS itself originates the prefix
+  kCustomer = 1,  ///< learned from a customer (or via siblings thereof)
+  kPeer = 2,      ///< learned from a settlement-free peer
+  kProvider = 3,  ///< learned from a provider
+  kNone = 4,      ///< unreachable
+};
+
+/// Best route of one AS towards the propagated origin.
+struct Route {
+  RouteClass cls = RouteClass::kNone;
+  std::uint16_t hops = 0;  ///< AS-path length minus one (origin = 0)
+  /// Dense index of the neighbor the route was learned from
+  /// (meaningless for kOrigin/kNone).
+  std::uint32_t parent = 0;
+};
+
+/// The outcome of propagating one origin: per dense AS index, the chosen
+/// route and the ability to reconstruct full AS paths.
+class PropagationResult {
+ public:
+  PropagationResult(const topo::Topology* topo, std::uint32_t origin_idx,
+                    std::vector<Route> routes)
+      : topo_(topo), origin_idx_(origin_idx), routes_(std::move(routes)) {}
+
+  /// Route class at dense index `idx`.
+  RouteClass route_class(std::size_t idx) const { return routes_[idx].cls; }
+
+  /// True if the AS at `idx` has any route to the origin.
+  bool reachable(std::size_t idx) const {
+    return routes_[idx].cls != RouteClass::kNone;
+  }
+
+  /// Full AS path from the AS at `idx` to the origin, starting with the
+  /// AS at `idx` itself. Empty when unreachable.
+  AsPath path_at(std::size_t idx) const;
+
+  /// Number of ASes with a route (including the origin).
+  std::size_t reachable_count() const;
+
+  const std::vector<Route>& routes() const { return routes_; }
+
+ private:
+  const topo::Topology* topo_;
+  std::uint32_t origin_idx_;
+  std::vector<Route> routes_;
+};
+
+/// The propagation engine. Construction preprocesses the topology into
+/// dense adjacency; propagate() is then cheap enough to run once per
+/// origin AS (all prefixes of an origin share paths unless a selective
+/// announcement restricts the first hop).
+class Simulator {
+ public:
+  explicit Simulator(const topo::Topology& topo);
+
+  /// Propagates routes for prefixes originated by `origin`.
+  ///
+  /// If `allowed_first_hops` is non-empty, the origin only exports to the
+  /// listed neighbor ASes (selective announcement); everything downstream
+  /// follows normal policy. Unknown origin throws std::invalid_argument.
+  PropagationResult propagate(Asn origin,
+                              std::span<const Asn> allowed_first_hops = {}) const;
+
+  const topo::Topology& topology() const { return *topo_; }
+
+ private:
+  struct Edge {
+    std::uint32_t to = 0;
+    topo::RelType rel = topo::RelType::kPeerToPeer;
+    /// True if `to` is the provider side of a c2p edge (route flows up).
+    bool up = false;
+  };
+
+  const topo::Topology* topo_;
+  std::vector<std::vector<Edge>> adj_;  // dense index -> edges
+};
+
+}  // namespace spoofscope::bgp

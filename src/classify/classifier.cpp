@@ -1,0 +1,69 @@
+#include "classify/classifier.hpp"
+
+#include <stdexcept>
+
+#include "net/bogon.hpp"
+
+namespace spoofscope::classify {
+
+std::string class_name(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kBogon: return "Bogon";
+    case TrafficClass::kUnrouted: return "Unrouted";
+    case TrafficClass::kInvalid: return "Invalid";
+    case TrafficClass::kValid: return "Valid";
+  }
+  return "?";
+}
+
+Classifier::Classifier(const bgp::RoutingTable& table,
+                       std::vector<inference::ValidSpace> spaces)
+    : table_(&table), spaces_(std::move(spaces)) {
+  if (spaces_.empty() || spaces_.size() > 8) {
+    throw std::invalid_argument("Classifier: need between 1 and 8 valid spaces");
+  }
+  for (const auto& p : net::bogon_prefixes()) bogons_.insert(p);
+}
+
+TrafficClass Classifier::classify(net::Ipv4Addr src, Asn member,
+                                  std::size_t space_idx) const {
+  if (bogons_.covers(src)) return TrafficClass::kBogon;
+  if (!table_->is_routed(src)) return TrafficClass::kUnrouted;
+  if (!spaces_[space_idx].valid(member, src)) return TrafficClass::kInvalid;
+  return TrafficClass::kValid;
+}
+
+Label Classifier::classify_all(net::Ipv4Addr src, Asn member) const {
+  TrafficClass shared;
+  if (bogons_.covers(src)) {
+    shared = TrafficClass::kBogon;
+  } else if (!table_->is_routed(src)) {
+    shared = TrafficClass::kUnrouted;
+  } else {
+    Label label = 0;
+    for (std::size_t i = 0; i < spaces_.size(); ++i) {
+      const TrafficClass c = spaces_[i].valid(member, src)
+                                 ? TrafficClass::kValid
+                                 : TrafficClass::kInvalid;
+      label |= static_cast<Label>(c) << (2 * i);
+    }
+    return label;
+  }
+  Label label = 0;
+  for (std::size_t i = 0; i < spaces_.size(); ++i) {
+    label |= static_cast<Label>(shared) << (2 * i);
+  }
+  return label;
+}
+
+std::vector<Label> classify_trace(const Classifier& classifier,
+                                  std::span<const net::FlowRecord> flows) {
+  std::vector<Label> labels;
+  labels.reserve(flows.size());
+  for (const auto& f : flows) {
+    labels.push_back(classifier.classify_all(f.src, f.member_in));
+  }
+  return labels;
+}
+
+}  // namespace spoofscope::classify

@@ -1,0 +1,77 @@
+// The paper's core contribution: sequential classification of each flow's
+// source address (Fig 3) into Bogon -> Unrouted -> Invalid -> valid,
+// mutually exclusive, evaluated under several valid-space inference
+// methods at once (the bogon and routed checks are method-independent).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/routing_table.hpp"
+#include "inference/valid_space.hpp"
+#include "net/flow.hpp"
+#include "trie/prefix_set.hpp"
+
+namespace spoofscope::classify {
+
+using net::Asn;
+
+/// The four traffic classes of Sec 4.2.
+enum class TrafficClass : std::uint8_t {
+  kBogon = 0,     ///< reserved source ranges
+  kUnrouted = 1,  ///< routable but not announced during the window
+  kInvalid = 2,   ///< routed, but not a valid source for the member
+  kValid = 3,     ///< everything else (not analyzed further)
+};
+
+inline constexpr int kNumClasses = 4;
+
+/// Display name matching the paper ("Bogon", "Unrouted", ...).
+std::string class_name(TrafficClass c);
+
+/// Compact per-flow label: 2 bits per configured valid space.
+using Label = std::uint16_t;
+
+/// Classifies sources against the bogon list, the routed table and a set
+/// of per-member valid spaces (one per inference method under study).
+class Classifier {
+ public:
+  /// At most 8 valid spaces fit a Label. Throws std::invalid_argument on
+  /// more.
+  Classifier(const bgp::RoutingTable& table,
+             std::vector<inference::ValidSpace> spaces);
+
+  /// Fig 3 for a single method (index into the configured spaces).
+  TrafficClass classify(net::Ipv4Addr src, Asn member, std::size_t space_idx) const;
+
+  /// All methods at once, packed. Use unpack() to extract per-method
+  /// classes.
+  Label classify_all(net::Ipv4Addr src, Asn member) const;
+
+  /// Extracts the class for one method from a packed label.
+  static TrafficClass unpack(Label label, std::size_t space_idx) {
+    return static_cast<TrafficClass>((label >> (2 * space_idx)) & 0x3);
+  }
+
+  std::size_t space_count() const { return spaces_.size(); }
+  const inference::ValidSpace& space(std::size_t i) const { return spaces_[i]; }
+
+  /// Mutable access for the Sec 4.4 false-positive workflow (extending a
+  /// member's valid space and re-classifying).
+  inference::ValidSpace& mutable_space(std::size_t i) { return spaces_[i]; }
+
+  const bgp::RoutingTable& table() const { return *table_; }
+
+ private:
+  trie::PrefixSet bogons_;
+  const bgp::RoutingTable* table_;
+  std::vector<inference::ValidSpace> spaces_;
+};
+
+/// Runs the classifier over a whole trace; labels[i] belongs to flows[i].
+std::vector<Label> classify_trace(const Classifier& classifier,
+                                  std::span<const net::FlowRecord> flows);
+
+}  // namespace spoofscope::classify

@@ -1,0 +1,78 @@
+#include "classify/fp_hunter.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace spoofscope::classify {
+
+FpHuntReport hunt_false_positives(Classifier& classifier, std::size_t space_idx,
+                                  std::span<const net::FlowRecord> flows,
+                                  std::vector<Label>& labels,
+                                  const data::WhoisRegistry& whois,
+                                  const topo::Topology& topo,
+                                  std::size_t top_k) {
+  FpHuntReport report;
+
+  // Per-member Invalid share of its own traffic (packets).
+  struct Share {
+    double invalid = 0, total = 0;
+  };
+  std::map<Asn, Share> shares;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    auto& s = shares[flows[i].member_in];
+    s.total += flows[i].packets;
+    if (Classifier::unpack(labels[i], space_idx) == TrafficClass::kInvalid) {
+      s.invalid += flows[i].packets;
+      report.invalid_packets_before += flows[i].packets;
+      report.invalid_bytes_before += static_cast<double>(flows[i].bytes);
+    }
+  }
+
+  // Members ranked by Invalid fraction, as in the Fig 4 CCDF tail.
+  std::vector<std::pair<double, Asn>> ranked;
+  for (const auto& [asn, s] : shares) {
+    if (s.invalid > 0) ranked.emplace_back(s.invalid / s.total, asn);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+
+  // Investigate: whitelist WHOIS-recoverable ranges.
+  std::unordered_set<Asn> touched;
+  auto& space = classifier.mutable_space(space_idx);
+  for (const auto& [frac, member] : ranked) {
+    ++report.members_investigated;
+    const auto ranges = whois.recoverable_ranges(topo, member);
+    if (ranges.empty()) continue;
+    ++report.members_with_recovered_ranges;
+    report.ranges_whitelisted += ranges.size();
+    trie::IntervalSet extra = trie::IntervalSet::from_prefixes(ranges);
+    space.extend(member, extra);
+    touched.insert(member);
+  }
+
+  // Re-classify the affected members' Invalid flows.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto& f = flows[i];
+    const TrafficClass old_cls = Classifier::unpack(labels[i], space_idx);
+    if (old_cls == TrafficClass::kInvalid && touched.count(f.member_in)) {
+      const TrafficClass new_cls =
+          classifier.classify(f.src, f.member_in, space_idx);
+      if (new_cls != old_cls) {
+        labels[i] = static_cast<Label>(
+            (labels[i] & ~(Label(0x3) << (2 * space_idx))) |
+            (static_cast<Label>(new_cls) << (2 * space_idx)));
+      }
+    }
+    if (Classifier::unpack(labels[i], space_idx) == TrafficClass::kInvalid) {
+      report.invalid_packets_after += f.packets;
+      report.invalid_bytes_after += static_cast<double>(f.bytes);
+    }
+  }
+  return report;
+}
+
+}  // namespace spoofscope::classify

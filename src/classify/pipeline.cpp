@@ -1,0 +1,39 @@
+#include "classify/pipeline.hpp"
+
+#include <map>
+
+namespace spoofscope::classify {
+
+Aggregate aggregate_classes(const Classifier& classifier,
+                            std::span<const net::FlowRecord> flows,
+                            std::span<const Label> labels,
+                            const std::unordered_set<Asn>& exclude_members) {
+  Aggregate agg;
+  agg.totals.resize(classifier.space_count());
+  std::vector<std::array<std::unordered_set<Asn>, kNumClasses>> members(
+      classifier.space_count());
+
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const auto& f = flows[i];
+    if (exclude_members.count(f.member_in)) continue;
+    agg.total_packets += f.packets;
+    agg.total_bytes += static_cast<double>(f.bytes);
+    agg.total_flows += 1;
+    for (std::size_t s = 0; s < classifier.space_count(); ++s) {
+      const auto c = static_cast<std::size_t>(Classifier::unpack(labels[i], s));
+      auto& cell = agg.totals[s][c];
+      cell.flows += 1;
+      cell.packets += f.packets;
+      cell.bytes += static_cast<double>(f.bytes);
+      members[s][c].insert(f.member_in);
+    }
+  }
+  for (std::size_t s = 0; s < classifier.space_count(); ++s) {
+    for (int c = 0; c < kNumClasses; ++c) {
+      agg.totals[s][c].members = members[s][c].size();
+    }
+  }
+  return agg;
+}
+
+}  // namespace spoofscope::classify

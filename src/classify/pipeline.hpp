@@ -1,0 +1,40 @@
+// End-to-end classification pipeline: wires together the routing-table
+// datasets, the inference factory and the classifier, and aggregates
+// class totals — the machinery behind Table 1.
+#pragma once
+
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "classify/classifier.hpp"
+#include "net/trace.hpp"
+
+namespace spoofscope::classify {
+
+/// Totals for one (method, class) cell: sampled values and the number of
+/// distinct contributing members.
+struct ClassTotals {
+  double flows = 0;
+  double packets = 0;
+  double bytes = 0;
+  std::size_t members = 0;
+};
+
+/// Aggregated classification outcome across a trace.
+struct Aggregate {
+  /// totals[space_idx][class]
+  std::vector<std::array<ClassTotals, kNumClasses>> totals;
+  double total_packets = 0;
+  double total_bytes = 0;
+  double total_flows = 0;
+};
+
+/// Aggregates labels over flows. `exclude_members` drops flows injected
+/// by those members (the Sec 5.2 router-stray exclusion).
+Aggregate aggregate_classes(const Classifier& classifier,
+                            std::span<const net::FlowRecord> flows,
+                            std::span<const Label> labels,
+                            const std::unordered_set<Asn>& exclude_members = {});
+
+}  // namespace spoofscope::classify

@@ -1,0 +1,66 @@
+#include "classify/router_tagger.hpp"
+
+#include <map>
+
+#include "net/protocols.hpp"
+
+namespace spoofscope::classify {
+
+std::vector<RouterStats> router_ip_stats(std::span<const net::FlowRecord> flows,
+                                         std::span<const Label> labels,
+                                         std::size_t space_idx,
+                                         const data::ArkDataset& ark) {
+  std::map<Asn, RouterStats> by_member;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (Classifier::unpack(labels[i], space_idx) != TrafficClass::kInvalid) {
+      continue;
+    }
+    const auto& f = flows[i];
+    auto& st = by_member[f.member_in];
+    st.member = f.member_in;
+    st.invalid_packets += f.packets;
+    if (ark.is_router_ip(f.src)) st.router_invalid_packets += f.packets;
+  }
+  std::vector<RouterStats> out;
+  out.reserve(by_member.size());
+  for (const auto& [asn, st] : by_member) out.push_back(st);
+  return out;
+}
+
+std::unordered_set<Asn> members_to_exclude(std::span<const RouterStats> stats,
+                                           double threshold) {
+  std::unordered_set<Asn> out;
+  for (const auto& st : stats) {
+    if (st.invalid_packets > 0 && st.router_fraction() >= threshold) {
+      out.insert(st.member);
+    }
+  }
+  return out;
+}
+
+RouterProtocolBreakdown router_protocol_breakdown(
+    std::span<const net::FlowRecord> flows, const data::ArkDataset& ark) {
+  double total = 0, icmp = 0, udp = 0, tcp = 0, udp_ntp = 0;
+  for (const auto& f : flows) {
+    if (!ark.is_router_ip(f.src)) continue;
+    total += f.packets;
+    switch (f.proto) {
+      case net::Proto::kIcmp: icmp += f.packets; break;
+      case net::Proto::kUdp:
+        udp += f.packets;
+        if (f.dport == net::ports::kNtp) udp_ntp += f.packets;
+        break;
+      case net::Proto::kTcp: tcp += f.packets; break;
+    }
+  }
+  RouterProtocolBreakdown out;
+  if (total > 0) {
+    out.icmp = icmp / total;
+    out.udp = udp / total;
+    out.tcp = tcp / total;
+    out.udp_to_ntp = udp > 0 ? udp_ntp / udp : 0.0;
+  }
+  return out;
+}
+
+}  // namespace spoofscope::classify

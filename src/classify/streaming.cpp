@@ -1,0 +1,71 @@
+#include "classify/streaming.hpp"
+
+#include <algorithm>
+
+namespace spoofscope::classify {
+
+StreamingDetector::StreamingDetector(const Classifier& classifier,
+                                     std::size_t space_idx,
+                                     StreamingParams params)
+    : classifier_(&classifier), space_idx_(space_idx), params_(params) {}
+
+void StreamingDetector::ingest(
+    const net::FlowRecord& flow,
+    const std::function<void(const SpoofingAlert&)>& on_alert) {
+  ++processed_;
+  const TrafficClass cls =
+      classifier_->classify(flow.src, flow.member_in, space_idx_);
+  auto& w = windows_[flow.member_in];
+
+  // Evict samples that left the window.
+  const std::uint32_t horizon =
+      flow.ts >= params_.window_seconds ? flow.ts - params_.window_seconds : 0;
+  while (!w.samples.empty() && w.samples.front().ts < horizon) {
+    const Sample& old = w.samples.front();
+    w.total -= old.packets;
+    w.per_class[static_cast<int>(old.cls)] -= old.packets;
+    if (old.cls != TrafficClass::kValid) w.spoofed -= old.packets;
+    w.samples.pop_front();
+  }
+
+  w.samples.push_back({flow.ts, flow.packets, cls});
+  w.total += flow.packets;
+  w.per_class[static_cast<int>(cls)] += flow.packets;
+  if (cls != TrafficClass::kValid) w.spoofed += flow.packets;
+
+  if (w.spoofed < params_.min_spoofed_packets || w.total <= 0) return;
+  const double share = w.spoofed / w.total;
+  if (share < params_.min_share) return;
+  if (w.alerted_once &&
+      flow.ts - w.last_alert_ts < params_.cooldown_seconds) {
+    return;
+  }
+
+  SpoofingAlert alert;
+  alert.member = flow.member_in;
+  alert.ts = flow.ts;
+  alert.spoofed_packets_in_window = w.spoofed;
+  alert.window_share = share;
+  // Dominant spoofed class in the window.
+  double best = -1;
+  for (const int c : {0, 1, 2}) {  // Bogon, Unrouted, Invalid
+    if (w.per_class[c] > best) {
+      best = w.per_class[c];
+      alert.dominant_class = static_cast<TrafficClass>(c);
+    }
+  }
+  w.last_alert_ts = flow.ts;
+  w.alerted_once = true;
+  on_alert(alert);
+}
+
+std::vector<SpoofingAlert> StreamingDetector::run(
+    std::span<const net::FlowRecord> flows) {
+  std::vector<SpoofingAlert> alerts;
+  for (const auto& f : flows) {
+    ingest(f, [&alerts](const SpoofingAlert& a) { alerts.push_back(a); });
+  }
+  return alerts;
+}
+
+}  // namespace spoofscope::classify

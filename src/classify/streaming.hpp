@@ -1,0 +1,81 @@
+// Online detection for operational deployment: the conclusion notes that
+// "every network on the inter-domain Internet can opt to apply [the
+// method] to filter its incoming traffic, or to detect spoofing". The
+// StreamingDetector consumes flows one at a time, maintains rolling
+// per-member class counters over a sliding window and raises alerts when
+// a member's spoofed-class rate spikes above its baseline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "classify/classifier.hpp"
+#include "net/flow.hpp"
+
+namespace spoofscope::classify {
+
+/// An alert raised by the streaming detector.
+struct SpoofingAlert {
+  Asn member = net::kNoAsn;
+  std::uint32_t ts = 0;            ///< when the threshold was crossed
+  TrafficClass dominant_class = TrafficClass::kInvalid;
+  double spoofed_packets_in_window = 0;
+  double window_share = 0;         ///< spoofed share of the member's window
+};
+
+/// Detection knobs.
+struct StreamingParams {
+  std::uint32_t window_seconds = 3600;  ///< sliding window length
+  /// Minimum sampled spoofed packets within the window to alert.
+  double min_spoofed_packets = 50;
+  /// Minimum spoofed share of the member's own window traffic to alert.
+  double min_share = 0.05;
+  /// Per-member cooldown between alerts.
+  std::uint32_t cooldown_seconds = 6 * 3600;
+};
+
+/// Stateful single-pass detector. Feed flows in timestamp order; alerts
+/// are delivered through the callback passed to ingest().
+class StreamingDetector {
+ public:
+  /// `classifier` must outlive the detector; `space_idx` selects the
+  /// inference method (typically FULL+org).
+  StreamingDetector(const Classifier& classifier, std::size_t space_idx,
+                    StreamingParams params = {});
+
+  /// Processes one flow; invokes `on_alert` zero or one time.
+  void ingest(const net::FlowRecord& flow,
+              const std::function<void(const SpoofingAlert&)>& on_alert);
+
+  /// Convenience: run over a whole trace, collecting all alerts.
+  std::vector<SpoofingAlert> run(std::span<const net::FlowRecord> flows);
+
+  /// Flows processed so far.
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Sample {
+    std::uint32_t ts;
+    std::uint32_t packets;
+    TrafficClass cls;
+  };
+  struct MemberWindow {
+    std::deque<Sample> samples;
+    double spoofed = 0;           ///< spoofed-class packets in window
+    double total = 0;             ///< all packets in window
+    double per_class[kNumClasses] = {0, 0, 0, 0};
+    std::uint32_t last_alert_ts = 0;
+    bool alerted_once = false;
+  };
+
+  const Classifier* classifier_;
+  std::size_t space_idx_;
+  StreamingParams params_;
+  std::unordered_map<Asn, MemberWindow> windows_;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace spoofscope::classify

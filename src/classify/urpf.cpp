@@ -1,0 +1,52 @@
+#include "classify/urpf.hpp"
+
+#include <algorithm>
+
+#include "net/bogon.hpp"
+
+namespace spoofscope::classify {
+
+std::string urpf_mode_name(UrpfMode mode) {
+  switch (mode) {
+    case UrpfMode::kLoose: return "uRPF loose";
+    case UrpfMode::kFeasible: return "uRPF feasible";
+    case UrpfMode::kStrict: return "uRPF strict";
+  }
+  return "?";
+}
+
+UrpfFilter::UrpfFilter(const bgp::RoutingTable& table, UrpfMode mode)
+    : table_(&table), mode_(mode) {
+  if (mode_ == UrpfMode::kStrict) {
+    first_hops_.resize(table.prefixes().size());
+    for (bgp::RoutingTable::PrefixId pid = 0; pid < table.prefixes().size();
+         ++pid) {
+      auto& hops = first_hops_[pid];
+      for (const auto path_id : table.paths_of(pid)) {
+        hops.push_back(table.paths()[path_id].first());
+      }
+      std::sort(hops.begin(), hops.end());
+      hops.erase(std::unique(hops.begin(), hops.end()), hops.end());
+    }
+  }
+}
+
+bool UrpfFilter::accepts(net::Ipv4Addr src, net::Asn peer) const {
+  if (net::is_bogon(src)) return false;
+  const auto pid = table_->covering_prefix(src);
+  if (!pid) return false;  // unrouted sources never pass uRPF
+  switch (mode_) {
+    case UrpfMode::kLoose:
+      return true;
+    case UrpfMode::kFeasible: {
+      const auto pids = table_->prefixes_on_paths_of(peer);
+      return std::binary_search(pids.begin(), pids.end(), *pid);
+    }
+    case UrpfMode::kStrict:
+      return std::binary_search(first_hops_[*pid].begin(),
+                                first_hops_[*pid].end(), peer);
+  }
+  return false;
+}
+
+}  // namespace spoofscope::classify

@@ -1,0 +1,56 @@
+// Unicast Reverse Path Forwarding baselines.
+//
+// The paper's operator survey names RPF as the commonly suggested
+// anti-spoofing mechanism, and its pitfalls (asymmetric routing,
+// multihoming) as the reason operators avoid strict mode. These filters
+// implement the three standard modes against the observed routing table,
+// so the paper's BGP-cone method can be compared against the deployed
+// state of the art on identical traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/routing_table.hpp"
+#include "net/flow.hpp"
+
+namespace spoofscope::classify {
+
+/// The standard uRPF flavors (RFC 3704).
+enum class UrpfMode : std::uint8_t {
+  /// Accept if a route to the source exists at all.
+  kLoose = 0,
+  /// Accept if the peer appears on *some* observed path of the FIB match
+  /// for the source (feasible-path uRPF).
+  kFeasible = 1,
+  /// Accept only if the peer itself exported a route for the FIB match
+  /// (the reverse best path points back at the interface).
+  kStrict = 2,
+};
+
+std::string urpf_mode_name(UrpfMode mode);
+
+/// A uRPF check at an inter-domain interface: "would a router with this
+/// routing view accept a packet with source `src` arriving from peer AS
+/// `peer`?" Bogon sources are always rejected (routers pair uRPF with
+/// static bogon ACLs).
+class UrpfFilter {
+ public:
+  /// `table` must outlive the filter (the filter keeps a reference).
+  UrpfFilter(const bgp::RoutingTable& table, UrpfMode mode);
+
+  bool accepts(net::Ipv4Addr src, net::Asn peer) const;
+
+  UrpfMode mode() const { return mode_; }
+
+ private:
+  const bgp::RoutingTable* table_;
+  UrpfMode mode_;
+  /// Strict mode: per prefix id, the sorted ASes that exported a route
+  /// for it (first hops of its observed paths).
+  std::vector<std::vector<net::Asn>> first_hops_;
+};
+
+}  // namespace spoofscope::classify

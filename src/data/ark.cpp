@@ -1,0 +1,74 @@
+#include "data/ark.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace spoofscope::data {
+
+ArkDataset::ArkDataset(std::vector<std::uint32_t> router_ips, std::size_t traces_run)
+    : ips_(std::move(router_ips)), traces_run_(traces_run) {
+  std::sort(ips_.begin(), ips_.end());
+  ips_.erase(std::unique(ips_.begin(), ips_.end()), ips_.end());
+}
+
+bool ArkDataset::is_router_ip(net::Ipv4Addr a) const {
+  return std::binary_search(ips_.begin(), ips_.end(), a.value());
+}
+
+net::Ipv4Addr link_interface_address(const net::Prefix& infra, int side) {
+  // .1 and .2 of the link's /24, the classic point-to-point numbering.
+  return net::Ipv4Addr(infra.first() + 1 + static_cast<std::uint32_t>(side & 1));
+}
+
+namespace {
+
+/// Walks from `asn` up the provider hierarchy until a transit-free AS is
+/// reached, collecting the c2p links crossed. Deterministic given rng.
+void walk_up(const topo::Topology& topo, net::Asn asn, util::Rng& rng,
+             std::vector<const topo::AsLink*>& crossed,
+             const std::unordered_map<std::uint64_t, const topo::AsLink*>& link_of) {
+  net::Asn cur = asn;
+  for (int depth = 0; depth < 16; ++depth) {
+    const auto provs = topo.providers_of(cur);
+    if (provs.empty()) return;
+    const net::Asn up = provs[rng.index(provs.size())];
+    const auto it = link_of.find((std::uint64_t(cur) << 32) | up);
+    if (it != link_of.end()) crossed.push_back(it->second);
+    cur = up;
+  }
+}
+
+}  // namespace
+
+ArkDataset run_ark_campaign(const topo::Topology& topo, const ArkParams& params,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+
+  // Index c2p links by (customer, provider).
+  std::unordered_map<std::uint64_t, const topo::AsLink*> link_of;
+  for (const auto& l : topo.links()) {
+    if (l.type != topo::RelType::kCustomerToProvider) continue;
+    link_of.emplace((std::uint64_t(l.from) << 32) | l.to, &l);
+  }
+
+  std::vector<std::uint32_t> ips;
+  const std::size_t n_ases = topo.as_count();
+  for (std::size_t t = 0; t < params.num_traces; ++t) {
+    const net::Asn src = topo.asn_at(rng.index(n_ases));
+    const net::Asn dst = topo.asn_at(rng.index(n_ases));
+    std::vector<const topo::AsLink*> crossed;
+    walk_up(topo, src, rng, crossed, link_of);
+    walk_up(topo, dst, rng, crossed, link_of);  // the downhill half, reversed
+    for (const auto* l : crossed) {
+      if (l->infra.length() == 0) continue;
+      for (int i = 0; i < params.interfaces_per_link; ++i) {
+        ips.push_back(link_interface_address(l->infra, i).value());
+      }
+    }
+  }
+  return ArkDataset(std::move(ips), params.num_traces);
+}
+
+}  // namespace spoofscope::data

@@ -1,0 +1,60 @@
+// Synthetic stand-in for the CAIDA Ark traceroute dataset (Sec 5.2).
+//
+// The paper extracts router interface IP addresses from ~500M traceroutes
+// and tags Invalid traffic sourced from such addresses as stray (router)
+// traffic. We run traceroute campaigns across the simulated topology:
+// each traceroute walks a valley-free AS route and records the interface
+// addresses of the routers on the inter-AS links it crosses (drawn from
+// the links' infra /24s).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "topo/topology.hpp"
+
+namespace spoofscope::data {
+
+struct ArkParams {
+  /// Number of (source AS, destination AS) traceroutes to run.
+  std::size_t num_traces = 50000;
+  /// Interface addresses per crossed link that respond (near + far end).
+  int interfaces_per_link = 2;
+};
+
+/// The extracted router interface address set.
+class ArkDataset {
+ public:
+  explicit ArkDataset(std::vector<std::uint32_t> router_ips,
+                      std::size_t traces_run);
+
+  /// True if `a` was observed as a router interface address.
+  bool is_router_ip(net::Ipv4Addr a) const;
+
+  /// Number of distinct router addresses discovered.
+  std::size_t router_ip_count() const { return ips_.size(); }
+
+  std::size_t traces_run() const { return traces_run_; }
+
+  const std::vector<std::uint32_t>& router_ips() const { return ips_; }
+
+ private:
+  std::vector<std::uint32_t> ips_;  // sorted, deduplicated
+  std::size_t traces_run_ = 0;
+};
+
+/// Deterministic interface address of router `side` (0 = customer end,
+/// 1 = provider end) on a link with infra prefix `infra`. Shared between
+/// the Ark campaign and the stray-traffic generator so they agree on what
+/// a router address is.
+net::Ipv4Addr link_interface_address(const net::Prefix& infra, int side);
+
+/// Runs a traceroute campaign over the topology. Routes follow the
+/// customer->provider hierarchy up from the source and down to the
+/// destination; every crossed c2p link contributes its interface
+/// addresses. Deterministic in (topology, params, seed).
+ArkDataset run_ark_campaign(const topo::Topology& topo, const ArkParams& params,
+                            std::uint64_t seed);
+
+}  // namespace spoofscope::data

@@ -1,0 +1,43 @@
+#include "data/as2org.hpp"
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace spoofscope::data {
+
+namespace {
+
+std::map<topo::OrgId, std::vector<net::Asn>> org_groups(const topo::Topology& topo) {
+  std::map<topo::OrgId, std::vector<net::Asn>> groups;
+  for (const auto& as : topo.ases()) groups[as.org].push_back(as.asn);
+  return groups;
+}
+
+}  // namespace
+
+asgraph::OrgMap build_as2org(const topo::Topology& topo,
+                             const As2OrgParams& params, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<net::Asn>> out;
+  for (const auto& [org, members] : org_groups(topo)) {
+    if (members.size() < 2) continue;
+    if (!rng.chance(params.org_coverage)) continue;
+    std::vector<net::Asn> listed;
+    for (const net::Asn a : members) {
+      if (rng.chance(params.member_coverage)) listed.push_back(a);
+    }
+    if (listed.size() >= 2) out.push_back(std::move(listed));
+  }
+  return asgraph::OrgMap(std::move(out));
+}
+
+asgraph::OrgMap ground_truth_orgs(const topo::Topology& topo) {
+  std::vector<std::vector<net::Asn>> out;
+  for (const auto& [org, members] : org_groups(topo)) {
+    if (members.size() >= 2) out.push_back(members);
+  }
+  return asgraph::OrgMap(std::move(out));
+}
+
+}  // namespace spoofscope::data

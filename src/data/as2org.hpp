@@ -1,0 +1,32 @@
+// Synthetic stand-in for CAIDA's AS-to-Organization dataset (Sec 3.2).
+// Derived from the topology's ground-truth organization ids, but — like
+// the WHOIS-based original — incomplete: a configurable fraction of
+// multi-AS organizations is missed entirely, and individual members can
+// be missing from an otherwise known group. These gaps are what the
+// Sec 4.4 false-positive hunt later recovers.
+#pragma once
+
+#include <cstdint>
+
+#include "asgraph/org_merge.hpp"
+#include "topo/topology.hpp"
+
+namespace spoofscope::data {
+
+struct As2OrgParams {
+  /// Probability that a multi-AS organization appears in the dataset.
+  double org_coverage = 0.85;
+  /// Probability that a member of a covered organization is listed.
+  double member_coverage = 0.95;
+};
+
+/// Builds the (imperfect) as2org grouping from ground truth.
+/// Deterministic in (topology, params, seed).
+asgraph::OrgMap build_as2org(const topo::Topology& topo,
+                             const As2OrgParams& params, std::uint64_t seed);
+
+/// The perfect grouping (every multi-AS org, every member) — used by
+/// tests and ablations.
+asgraph::OrgMap ground_truth_orgs(const topo::Topology& topo);
+
+}  // namespace spoofscope::data

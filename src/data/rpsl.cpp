@@ -1,0 +1,209 @@
+#include "data/rpsl.hpp"
+#include <map>
+
+#include <algorithm>
+#include <istream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace spoofscope::data {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view line, const std::string& why) {
+  throw std::runtime_error("RPSL parse error: " + why + " in line: " +
+                           std::string(line));
+}
+
+/// Parses "AS64500" (case-insensitive prefix).
+net::Asn parse_as_ref(std::string_view line, std::string_view tok) {
+  tok = util::trim(tok);
+  if (tok.size() < 3 || (tok[0] != 'A' && tok[0] != 'a') ||
+      (tok[1] != 'S' && tok[1] != 's')) {
+    fail(line, "expected ASxxxx reference");
+  }
+  std::uint32_t asn;
+  if (!util::parse_u32(tok.substr(2), asn) || asn == net::kNoAsn) {
+    fail(line, "bad ASN");
+  }
+  return asn;
+}
+
+/// Parses "from AS64501 accept ANY" / "to AS64501 announce ANY" — we only
+/// need the peer AS.
+net::Asn parse_policy_peer(std::string_view line, std::string_view value) {
+  const auto parts = util::split(util::trim(value), ' ');
+  if (parts.size() < 2) fail(line, "policy line too short");
+  return parse_as_ref(line, parts[1]);
+}
+
+std::string mnt_name(net::Asn asn) { return "AS" + std::to_string(asn) + "-MNT"; }
+
+/// Extracts the ASN from "AS64499-MNT"; kNoAsn for foreign maintainers.
+net::Asn maintainer_asn(std::string_view value) {
+  value = util::trim(value);
+  if (value.size() < 7) return net::kNoAsn;
+  if (value.substr(value.size() - 4) != "-MNT") return net::kNoAsn;
+  if (value[0] != 'A' || value[1] != 'S') return net::kNoAsn;
+  std::uint32_t asn;
+  if (!util::parse_u32(value.substr(2, value.size() - 6), asn)) return net::kNoAsn;
+  return asn;
+}
+
+}  // namespace
+
+std::string to_rpsl(const RouteObject& r) {
+  std::ostringstream os;
+  os << "route:      " << r.prefix.str() << "\n"
+     << "origin:     AS" << r.origin << "\n";
+  if (!r.descr.empty()) os << "descr:      " << r.descr << "\n";
+  if (r.maintainer != net::kNoAsn && r.maintainer != r.origin) {
+    os << "mnt-by:     " << mnt_name(r.maintainer) << "\n";
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string to_rpsl(const AutNumObject& a) {
+  std::ostringstream os;
+  os << "aut-num:    AS" << a.asn << "\n";
+  for (const net::Asn p : a.import_peers) {
+    os << "import:     from AS" << p << " accept ANY\n";
+  }
+  for (const net::Asn p : a.export_peers) {
+    os << "export:     to AS" << p << " announce ANY\n";
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string registry_to_rpsl(const WhoisRegistry& registry) {
+  std::ostringstream os;
+  os << "% spoofscope RPSL-lite export\n\n";
+  for (const auto& pa : registry.provider_assigned()) {
+    RouteObject r;
+    r.prefix = pa.range;
+    r.origin = pa.provider;
+    r.maintainer = pa.customer;
+    r.descr = "provider-assigned to AS" + std::to_string(pa.customer);
+    os << to_rpsl(r);
+  }
+  // Documented links, grouped into one aut-num object per AS.
+  std::set<std::pair<net::Asn, net::Asn>> links;
+  for (const auto& [a, b] : registry.documented_links()) {
+    links.emplace(std::min(a, b), std::max(a, b));
+  }
+  std::map<net::Asn, AutNumObject> auts;
+  for (const auto& [a, b] : links) {
+    auto& oa = auts[a];
+    oa.asn = a;
+    oa.import_peers.push_back(b);
+    oa.export_peers.push_back(b);
+    auto& ob = auts[b];
+    ob.asn = b;
+    ob.import_peers.push_back(a);
+    ob.export_peers.push_back(a);
+  }
+  for (const auto& [asn, a] : auts) os << to_rpsl(a);
+  return os.str();
+}
+
+RpslDatabase parse_rpsl(std::istream& in) {
+  RpslDatabase db;
+  RouteObject route;
+  AutNumObject aut;
+  enum class Kind { kNone, kRoute, kAutNum } kind = Kind::kNone;
+
+  const auto flush = [&] {
+    switch (kind) {
+      case Kind::kRoute:
+        if (route.origin == net::kNoAsn) {
+          throw std::runtime_error("RPSL parse error: route object without origin");
+        }
+        db.routes.push_back(route);
+        break;
+      case Kind::kAutNum:
+        db.aut_nums.push_back(aut);
+        break;
+      case Kind::kNone:
+        break;
+    }
+    route = RouteObject{};
+    aut = AutNumObject{};
+    kind = Kind::kNone;
+  };
+
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const auto line = util::trim(raw);
+    if (line.empty()) {
+      flush();
+      continue;
+    }
+    if (line.front() == '%' || line.front() == '#') continue;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) fail(line, "missing attribute colon");
+    const auto attr = util::to_lower(util::trim(line.substr(0, colon)));
+    const auto value = util::trim(line.substr(colon + 1));
+
+    if (attr == "route") {
+      flush();
+      kind = Kind::kRoute;
+      const auto p = net::Prefix::parse(value);
+      if (!p) fail(line, "bad prefix");
+      route.prefix = *p;
+    } else if (attr == "origin") {
+      if (kind != Kind::kRoute) fail(line, "origin outside route object");
+      route.origin = parse_as_ref(line, value);
+    } else if (attr == "descr") {
+      if (kind == Kind::kRoute) route.descr = std::string(value);
+    } else if (attr == "mnt-by") {
+      if (kind == Kind::kRoute) route.maintainer = maintainer_asn(value);
+    } else if (attr == "aut-num") {
+      flush();
+      kind = Kind::kAutNum;
+      aut.asn = parse_as_ref(line, value);
+    } else if (attr == "import") {
+      if (kind != Kind::kAutNum) fail(line, "import outside aut-num object");
+      aut.import_peers.push_back(parse_policy_peer(line, value));
+    } else if (attr == "export") {
+      if (kind != Kind::kAutNum) fail(line, "export outside aut-num object");
+      aut.export_peers.push_back(parse_policy_peer(line, value));
+    }
+    // Unknown attributes: ignored, as real IRR data is full of them.
+  }
+  flush();
+  return db;
+}
+
+WhoisRegistry registry_from_rpsl(const RpslDatabase& db) {
+  std::vector<ProviderAssignedRange> pa;
+  for (const auto& r : db.routes) {
+    if (r.maintainer == net::kNoAsn || r.maintainer == r.origin) continue;
+    pa.push_back({r.maintainer, r.origin, r.prefix});
+  }
+  // A documented link requires mutual policy: A imports from and exports
+  // to B, and B does the same towards A.
+  std::set<std::pair<net::Asn, net::Asn>> mutual;
+  const auto has = [](const std::vector<net::Asn>& v, net::Asn x) {
+    return std::find(v.begin(), v.end(), x) != v.end();
+  };
+  for (const auto& a : db.aut_nums) {
+    for (const net::Asn peer : a.import_peers) {
+      if (!has(a.export_peers, peer)) continue;
+      for (const auto& b : db.aut_nums) {
+        if (b.asn != peer) continue;
+        if (has(b.import_peers, a.asn) && has(b.export_peers, a.asn)) {
+          mutual.emplace(std::min(a.asn, peer), std::max(a.asn, peer));
+        }
+      }
+    }
+  }
+  std::vector<std::pair<net::Asn, net::Asn>> links(mutual.begin(), mutual.end());
+  return WhoisRegistry(std::move(pa), std::move(links));
+}
+
+}  // namespace spoofscope::data

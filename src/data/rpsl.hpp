@@ -1,0 +1,79 @@
+// RPSL-lite: a small subset of the Routing Policy Specification Language
+// (RFC 2622) used by the Internet Routing Registries. The paper mined
+// WHOIS route objects and import/export policies by hand and lists
+// "automated parsing and evaluation of the import and export ACLs" as
+// future work — this module implements that: it serializes a
+// WhoisRegistry to IRR-style text objects and parses such text back into
+// a registry usable by the Sec 4.4 false-positive hunt.
+//
+// Supported object classes:
+//
+//   route:      20.0.50.0/24        aut-num:    AS64500
+//   origin:     AS64500             import:     from AS64501 accept ANY
+//   descr:      provider-assigned   export:     to AS64501 announce ANY
+//   mnt-by:     AS64499-MNT
+//
+// A `route` object whose `mnt-by` names a different AS than its `origin`
+// documents provider-assigned space (customer = mnt-by, provider =
+// origin). An `aut-num` object documents links via its import/export
+// peers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/whois.hpp"
+
+namespace spoofscope::data {
+
+/// A parsed `route` object.
+struct RouteObject {
+  net::Prefix prefix;
+  net::Asn origin = net::kNoAsn;      ///< the AS announcing the prefix
+  net::Asn maintainer = net::kNoAsn;  ///< holder per mnt-by (0 = same as origin)
+  std::string descr;
+
+  friend bool operator==(const RouteObject&, const RouteObject&) = default;
+};
+
+/// A parsed `aut-num` object: the AS plus the peers named in its
+/// import/export policy lines.
+struct AutNumObject {
+  net::Asn asn = net::kNoAsn;
+  std::vector<net::Asn> import_peers;
+  std::vector<net::Asn> export_peers;
+
+  friend bool operator==(const AutNumObject&, const AutNumObject&) = default;
+};
+
+/// The parsed content of an RPSL-lite database.
+struct RpslDatabase {
+  std::vector<RouteObject> routes;
+  std::vector<AutNumObject> aut_nums;
+};
+
+/// Serializes one route object (multi-line, blank-line terminated).
+std::string to_rpsl(const RouteObject& r);
+
+/// Serializes one aut-num object.
+std::string to_rpsl(const AutNumObject& a);
+
+/// Renders the registry as an RPSL-lite database: one route object per
+/// provider-assigned range (mnt-by = the customer) and one aut-num object
+/// per AS with documented invisible links (listed as import+export peers).
+std::string registry_to_rpsl(const WhoisRegistry& registry);
+
+/// Parses an RPSL-lite stream. Objects are separated by blank lines;
+/// '%'/'#' comment lines are skipped. Unknown attributes are ignored
+/// (IRRs are full of them); malformed values of known attributes throw
+/// std::runtime_error with the offending line.
+RpslDatabase parse_rpsl(std::istream& in);
+
+/// Rebuilds a WhoisRegistry from parsed objects: route objects with a
+/// foreign mnt-by become provider-assigned ranges; mutual import+export
+/// peers in aut-num objects become documented links.
+WhoisRegistry registry_from_rpsl(const RpslDatabase& db);
+
+}  // namespace spoofscope::data

@@ -1,0 +1,26 @@
+#include "data/spoofer.hpp"
+
+#include "util/rng.hpp"
+
+namespace spoofscope::data {
+
+std::vector<SpooferRecord> run_spoofer_campaign(const topo::Topology& topo,
+                                                const SpooferParams& params,
+                                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<SpooferRecord> out;
+  for (const auto& as : topo.ases()) {
+    if (!rng.chance(params.probe_coverage)) continue;
+    if (rng.chance(params.behind_nat_prob)) continue;  // excluded (footnote 5)
+    SpooferRecord rec;
+    rec.asn = as.asn;
+    // The probe escapes iff the host AS does not validate egress sources;
+    // it still has to survive on-path filtering to be counted received.
+    rec.spoofable =
+        !as.filter.blocks_spoofed && !rng.chance(params.on_path_filter_prob);
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace spoofscope::data

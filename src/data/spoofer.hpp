@@ -1,0 +1,40 @@
+// Synthetic stand-in for the CAIDA Spoofer project's crowd-sourced active
+// measurements (Sec 4.5): probes inside a subset of ASes send packets
+// with forged sources to a measurement server; if any arrive, the AS is
+// "spoofable". Receipt depends on the host AS's egress filtering and on
+// any filtering applied along the path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace spoofscope::data {
+
+struct SpooferParams {
+  /// Fraction of ASes hosting at least one Spoofer probe (the paper found
+  /// overlapping data for only 8% of the IXP members).
+  double probe_coverage = 0.15;
+  /// Probability that on-path ingress filtering drops the probe even
+  /// though the host AS lets it out (active measurements are a lower
+  /// bound on spoofability, Sec 4.5).
+  double on_path_filter_prob = 0.2;
+  /// Probability the probe sits behind a NAT, which excludes the test
+  /// from the direct-measurement dataset (footnote 5).
+  double behind_nat_prob = 0.3;
+};
+
+/// One AS's aggregated Spoofer test outcome.
+struct SpooferRecord {
+  net::Asn asn = net::kNoAsn;
+  bool spoofable = false;  ///< some spoofed probe packet was received
+};
+
+/// Runs the campaign. Only ASes with probes (and not behind NAT) yield
+/// records. Deterministic in (topology, params, seed).
+std::vector<SpooferRecord> run_spoofer_campaign(const topo::Topology& topo,
+                                                const SpooferParams& params,
+                                                std::uint64_t seed);
+
+}  // namespace spoofscope::data

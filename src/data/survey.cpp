@@ -1,0 +1,32 @@
+#include "data/survey.hpp"
+
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace spoofscope::data {
+
+SurveyStats survey_results() { return SurveyStats{}; }
+
+std::string format_survey(const SurveyStats& s) {
+  std::ostringstream os;
+  const auto row = [&](const std::string& label, double v) {
+    os << "  " << util::pad_right(label, 46) << util::pad_left(util::percent(v), 8)
+       << "\n";
+  };
+  os << "Operator survey (Sec 2.2), " << s.respondents << " networks via "
+     << s.mailing_lists << " operator lists\n";
+  row("suffered spoofing-enabled attacks", s.suffered_spoofing_attacks);
+  row("complain to non-filtering peers", s.complained_to_peers);
+  row("no source validation at all", s.no_source_validation);
+  row("ingress: filter well-known ranges", s.ingress_wellknown_ranges);
+  row("ingress: customer-specific filters", s.ingress_customer_specific);
+  row("ingress: none", s.ingress_none);
+  row("egress: customer-AS-specific filters", s.egress_customer_specific);
+  row("egress: none", s.egress_none);
+  row("egress: non-routable space only", s.egress_nonroutable_only);
+  row("own traffic filtered before egress", s.own_traffic_filtered);
+  return os.str();
+}
+
+}  // namespace spoofscope::data

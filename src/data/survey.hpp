@@ -1,0 +1,37 @@
+// The Sec 2.2 operator survey aggregates (84 networks, early 2017) as a
+// data table, plus a formatter reproducing the section's numbers.
+#pragma once
+
+#include <string>
+
+namespace spoofscope::data {
+
+/// Aggregated answers from the paper's operator survey.
+struct SurveyStats {
+  int respondents = 84;
+  int mailing_lists = 12;
+
+  // --- spoofing impact ---
+  double suffered_spoofing_attacks = 0.70;  ///< >70% hit by preventable attacks
+  double complained_to_peers = 0.50;        ///< actively complain to non-filtering peers
+  double no_source_validation = 0.24;       ///< do not check source validity at all
+
+  // --- ingress filtering ---
+  double ingress_wellknown_ranges = 0.70;  ///< filter RFC1918 & reserved space
+  double ingress_customer_specific = 0.20; ///< per-customer ingress filters
+  double ingress_none = 0.07;              ///< no ingress filtering at all
+
+  // --- egress filtering ---
+  double egress_customer_specific = 0.50;  ///< customer-AS-specific egress filters
+  double egress_none = 0.24;               ///< no egress filters
+  double egress_nonroutable_only = 0.26;   ///< only non-routable space
+  double own_traffic_filtered = 0.65;      ///< own traffic filtered before egress
+};
+
+/// The published survey results.
+SurveyStats survey_results();
+
+/// Renders the survey as a small aligned text table (for bench output).
+std::string format_survey(const SurveyStats& s);
+
+}  // namespace spoofscope::data

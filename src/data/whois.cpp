@@ -1,0 +1,79 @@
+#include "data/whois.hpp"
+
+#include "util/rng.hpp"
+
+namespace spoofscope::data {
+
+WhoisRegistry::WhoisRegistry(
+    std::vector<ProviderAssignedRange> pa,
+    std::vector<std::pair<net::Asn, net::Asn>> documented_links)
+    : pa_(std::move(pa)), links_(std::move(documented_links)) {
+  for (std::size_t i = 0; i < pa_.size(); ++i) {
+    pa_index_[pa_[i].customer].push_back(i);
+  }
+  for (const auto& [a, b] : links_) {
+    partner_index_[a].push_back(b);
+    partner_index_[b].push_back(a);
+  }
+}
+
+std::vector<net::Prefix> WhoisRegistry::provider_assigned_of(net::Asn member) const {
+  std::vector<net::Prefix> out;
+  const auto it = pa_index_.find(member);
+  if (it == pa_index_.end()) return out;
+  for (const std::size_t i : it->second) out.push_back(pa_[i].range);
+  return out;
+}
+
+std::vector<net::Asn> WhoisRegistry::documented_partners(net::Asn member) const {
+  const auto it = partner_index_.find(member);
+  return it == partner_index_.end() ? std::vector<net::Asn>{} : it->second;
+}
+
+std::vector<net::Prefix> WhoisRegistry::recoverable_ranges(
+    const topo::Topology& topo, net::Asn member) const {
+  std::vector<net::Prefix> out = provider_assigned_of(member);
+  for (const net::Asn partner : documented_partners(member)) {
+    if (const auto* info = topo.find(partner)) {
+      out.insert(out.end(), info->prefixes.begin(), info->prefixes.end());
+    }
+  }
+  return out;
+}
+
+WhoisRegistry build_whois(const topo::Topology& topo, const WhoisParams& params,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+
+  std::vector<ProviderAssignedRange> pa;
+  for (const auto& as : topo.ases()) {
+    if (as.type == topo::BusinessType::kNsp) continue;
+    const auto providers = topo.providers_of(as.asn);
+    if (providers.size() < 2) continue;
+    if (!rng.chance(params.provider_assigned_prob)) continue;
+
+    const net::Asn provider = providers[rng.index(providers.size())];
+    const auto* pinfo = topo.find(provider);
+    const std::size_t announced = topo::announced_prefix_count(*pinfo);
+    if (announced == 0) continue;
+    const net::Prefix& base = pinfo->prefixes[rng.index(announced)];
+    net::Prefix range = base;
+    if (base.length() < 24) {
+      const std::uint32_t slots = std::uint32_t(1) << (24 - base.length());
+      range = net::Prefix(
+          net::Ipv4Addr(base.first() + (rng.uniform_u32(0, slots - 1) << 8)), 24);
+    }
+    pa.push_back({as.asn, provider, range});
+  }
+
+  std::vector<std::pair<net::Asn, net::Asn>> documented;
+  for (const auto& l : topo.links()) {
+    if (l.visible_in_bgp) continue;
+    if (rng.chance(params.reveal_invisible_link_prob)) {
+      documented.emplace_back(l.from, l.to);
+    }
+  }
+  return WhoisRegistry(std::move(pa), std::move(documented));
+}
+
+}  // namespace spoofscope::data

@@ -1,0 +1,79 @@
+// Synthetic WHOIS / Internet Routing Registry — the side channel used in
+// the Sec 4.4 false-positive hunt. It documents two things BGP data does
+// not show:
+//   1. provider-assigned address ranges: a multihomed customer holds a
+//      /24 inside provider A's space (registered under the customer's
+//      name) but routes its egress via provider B or the IXP — classified
+//      Invalid until whitelisted;
+//   2. relationships that exist but are invisible in BGP (hidden sibling
+//      or peering links) yet can be recovered from matching company
+//      records or looking-glass output.
+// The traffic generator consumes the same registry, so the uncommon
+// setups the paper describes actually appear in the traces.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "topo/topology.hpp"
+
+namespace spoofscope::data {
+
+struct WhoisParams {
+  /// P(a multihomed edge AS uses provider-assigned space via other paths).
+  double provider_assigned_prob = 0.12;
+  /// P(WHOIS/looking-glass investigation reveals an invisible link).
+  double reveal_invisible_link_prob = 0.8;
+};
+
+/// One provider-assigned range (the Sec 4.4 "uncommon setup").
+struct ProviderAssignedRange {
+  net::Asn customer = net::kNoAsn;  ///< uses the space
+  net::Asn provider = net::kNoAsn;  ///< announces the covering prefix
+  net::Prefix range;                ///< the /24 registered to the customer
+};
+
+/// Queryable registry.
+class WhoisRegistry {
+ public:
+  WhoisRegistry() = default;
+  WhoisRegistry(std::vector<ProviderAssignedRange> pa,
+                std::vector<std::pair<net::Asn, net::Asn>> documented_links);
+
+  /// Provider-assigned ranges registered under `member`'s name.
+  std::vector<net::Prefix> provider_assigned_of(net::Asn member) const;
+
+  /// ASes related to `member` through documented-but-BGP-invisible links.
+  std::vector<net::Asn> documented_partners(net::Asn member) const;
+
+  /// Everything a Sec 4.4 investigation can legitimately whitelist for
+  /// `member`: its provider-assigned ranges plus the full allocations of
+  /// its documented partners.
+  std::vector<net::Prefix> recoverable_ranges(const topo::Topology& topo,
+                                              net::Asn member) const;
+
+  const std::vector<ProviderAssignedRange>& provider_assigned() const {
+    return pa_;
+  }
+
+  /// All documented-but-invisible links (as stored).
+  const std::vector<std::pair<net::Asn, net::Asn>>& documented_links() const {
+    return links_;
+  }
+  std::size_t documented_link_count() const { return links_.size(); }
+
+ private:
+  std::vector<ProviderAssignedRange> pa_;
+  std::vector<std::pair<net::Asn, net::Asn>> links_;
+  std::unordered_map<net::Asn, std::vector<std::size_t>> pa_index_;
+  std::unordered_map<net::Asn, std::vector<net::Asn>> partner_index_;
+};
+
+/// Builds the registry from topology ground truth. Deterministic in
+/// (topology, params, seed).
+WhoisRegistry build_whois(const topo::Topology& topo, const WhoisParams& params,
+                          std::uint64_t seed);
+
+}  // namespace spoofscope::data

@@ -1,0 +1,104 @@
+#include "inference/builder.hpp"
+
+#include <algorithm>
+
+namespace spoofscope::inference {
+
+namespace {
+
+/// Mesh edges expressed as mutual customer relations: each org member is
+/// treated as a customer of each other member, which makes the customer
+/// cone graph contain the full bidirectional mesh.
+std::vector<asgraph::InferredLink> with_org_links(
+    std::vector<asgraph::InferredLink> links, const asgraph::OrgMap& orgs) {
+  for (const auto& [a, b] : orgs.mesh_edges()) {
+    links.push_back({a, b, asgraph::InferredRel::kC2P});
+  }
+  return links;
+}
+
+}  // namespace
+
+ValidSpaceFactory::ValidSpaceFactory(const bgp::RoutingTable& table,
+                                     asgraph::OrgMap orgs,
+                                     asgraph::RelationshipOptions rel_options)
+    : table_(&table), orgs_(std::move(orgs)) {
+  const auto graph = asgraph::AsGraph::from_routing_table(table);
+  full_ = std::make_unique<asgraph::FullCone>(graph);
+  full_org_ = std::make_unique<asgraph::FullCone>(
+      graph.with_extra_edges(orgs_.mesh_edges()));
+
+  links_ = asgraph::infer_relationships(table, rel_options);
+  cc_ = std::make_unique<asgraph::CustomerCone>(links_);
+  cc_org_ = std::make_unique<asgraph::CustomerCone>(
+      with_org_links(links_, orgs_));
+
+  for (bgp::RoutingTable::PrefixId pid = 0; pid < table.prefixes().size(); ++pid) {
+    const auto& p = table.prefixes()[pid];
+    for (const Asn origin : table.origins_of(pid)) {
+      origin_intervals_[origin].push_back({p.first(), p.last()});
+    }
+  }
+}
+
+std::vector<Asn> ValidSpaceFactory::cone_of(Method method, Asn member) const {
+  switch (method) {
+    case Method::kNaive: {
+      std::vector<Asn> origins;
+      for (const auto pid : table_->prefixes_on_paths_of(member)) {
+        for (const Asn o : table_->origins_of(pid)) origins.push_back(o);
+      }
+      std::sort(origins.begin(), origins.end());
+      origins.erase(std::unique(origins.begin(), origins.end()), origins.end());
+      return origins;
+    }
+    case Method::kCustomerCone: return cc_->cone_of(member);
+    case Method::kCustomerConeOrg: return cc_org_->cone_of(member);
+    case Method::kFullCone: return full_->cone_of(member);
+    case Method::kFullConeOrg: return full_org_->cone_of(member);
+  }
+  return {};
+}
+
+trie::IntervalSet ValidSpaceFactory::space_for(Method method, Asn member) const {
+  std::vector<trie::Interval> ivs;
+  if (method == Method::kNaive) {
+    for (const auto pid : table_->prefixes_on_paths_of(member)) {
+      const auto& p = table_->prefixes()[pid];
+      ivs.push_back({p.first(), p.last()});
+    }
+  } else {
+    for (const Asn origin : cone_of(method, member)) {
+      const auto it = origin_intervals_.find(origin);
+      if (it == origin_intervals_.end()) continue;
+      ivs.insert(ivs.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return trie::IntervalSet::from_intervals(std::move(ivs));
+}
+
+ValidSpace ValidSpaceFactory::build(Method method,
+                                    std::span<const Asn> members) const {
+  std::unordered_map<Asn, trie::IntervalSet> spaces;
+  spaces.reserve(members.size());
+  for (const Asn m : members) {
+    spaces.emplace(m, space_for(method, m));
+  }
+  return ValidSpace(method, std::move(spaces));
+}
+
+std::vector<std::pair<Asn, double>> ValidSpaceFactory::valid_sizes(
+    Method method) const {
+  std::vector<std::pair<Asn, double>> out;
+  out.reserve(table_->ases().size());
+  for (const Asn asn : table_->ases()) {
+    out.emplace_back(asn, space_for(method, asn).slash24_equivalents());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second < b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace spoofscope::inference

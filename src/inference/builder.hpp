@@ -1,0 +1,62 @@
+// Builds ValidSpace instances from observed routing data: constructs the
+// cone engines once (full cone, customer cone, each with and without the
+// multi-AS organization mesh) and derives per-AS valid address space by
+// uniting the announced space of every origin inside the AS's cone.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "asgraph/customer_cone.hpp"
+#include "asgraph/full_cone.hpp"
+#include "asgraph/org_merge.hpp"
+#include "asgraph/relationship.hpp"
+#include "bgp/routing_table.hpp"
+#include "inference/valid_space.hpp"
+
+namespace spoofscope::inference {
+
+/// One-stop factory for the five inference methods over a routing table.
+class ValidSpaceFactory {
+ public:
+  /// Builds all cone engines. `orgs` provides the multi-AS organization
+  /// grouping (from the as2org dataset); pass an empty OrgMap to disable
+  /// org adjustments (the org-variants then equal their plain versions).
+  ValidSpaceFactory(const bgp::RoutingTable& table, asgraph::OrgMap orgs,
+                    asgraph::RelationshipOptions rel_options = {});
+
+  /// Computes the valid space of each AS in `members` under `method`.
+  ValidSpace build(Method method, std::span<const Asn> members) const;
+
+  /// Valid space of every AS observed in the routing data — the Fig 2
+  /// dataset. Returns (asn, /24-equivalents) sorted by size ascending.
+  std::vector<std::pair<Asn, double>> valid_sizes(Method method) const;
+
+  /// The cone of `member` (set of origin ASes) under `method`; for
+  /// kNaive this is the set of origins of prefixes on the AS's paths.
+  std::vector<Asn> cone_of(Method method, Asn member) const;
+
+  const bgp::RoutingTable& table() const { return *table_; }
+  const asgraph::OrgMap& orgs() const { return orgs_; }
+  const asgraph::FullCone& full_cone() const { return *full_; }
+  const asgraph::FullCone& full_cone_org() const { return *full_org_; }
+  const asgraph::CustomerCone& customer_cone() const { return *cc_; }
+  const asgraph::CustomerCone& customer_cone_org() const { return *cc_org_; }
+  std::span<const asgraph::InferredLink> inferred_links() const { return links_; }
+
+ private:
+  trie::IntervalSet space_for(Method method, Asn member) const;
+
+  const bgp::RoutingTable* table_;
+  asgraph::OrgMap orgs_;
+  std::vector<asgraph::InferredLink> links_;
+  std::unique_ptr<asgraph::FullCone> full_;
+  std::unique_ptr<asgraph::FullCone> full_org_;
+  std::unique_ptr<asgraph::CustomerCone> cc_;
+  std::unique_ptr<asgraph::CustomerCone> cc_org_;
+  /// Announced intervals per origin AS (MOAS prefixes credited to every
+  /// origin).
+  std::unordered_map<Asn, std::vector<trie::Interval>> origin_intervals_;
+};
+
+}  // namespace spoofscope::inference

@@ -1,0 +1,46 @@
+#include "inference/valid_space.hpp"
+
+#include <algorithm>
+
+namespace spoofscope::inference {
+
+std::string method_name(Method m) {
+  switch (m) {
+    case Method::kNaive: return "NAIVE";
+    case Method::kCustomerCone: return "CC";
+    case Method::kCustomerConeOrg: return "CC+org";
+    case Method::kFullCone: return "FULL";
+    case Method::kFullConeOrg: return "FULL+org";
+  }
+  return "?";
+}
+
+bool ValidSpace::valid(Asn member, net::Ipv4Addr a) const {
+  const auto it = spaces_.find(member);
+  return it != spaces_.end() && it->second.contains(a);
+}
+
+const trie::IntervalSet* ValidSpace::space_of(Asn member) const {
+  const auto it = spaces_.find(member);
+  return it == spaces_.end() ? nullptr : &it->second;
+}
+
+double ValidSpace::slash24_of(Asn member) const {
+  const auto it = spaces_.find(member);
+  return it == spaces_.end() ? 0.0 : it->second.slash24_equivalents();
+}
+
+std::vector<Asn> ValidSpace::members() const {
+  std::vector<Asn> out;
+  out.reserve(spaces_.size());
+  for (const auto& [asn, s] : spaces_) out.push_back(asn);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ValidSpace::extend(Asn member, const trie::IntervalSet& extra) {
+  auto& space = spaces_[member];
+  space = space.unite(extra);
+}
+
+}  // namespace spoofscope::inference

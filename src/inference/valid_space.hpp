@@ -1,0 +1,68 @@
+// Per-AS valid source address space — the product of the paper's Sec 3.2
+// inference methods, consumed by the classification pipeline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "trie/interval_set.hpp"
+
+namespace spoofscope::inference {
+
+using net::Asn;
+
+/// The five inference variants evaluated in the paper (Fig 2 / Table 1).
+enum class Method : std::uint8_t {
+  kNaive = 0,            ///< AS on an observed path of the prefix
+  kCustomerCone = 1,     ///< CAIDA-style customer cone
+  kCustomerConeOrg = 2,  ///< customer cone + multi-AS org mesh
+  kFullCone = 3,         ///< transitive closure on the directed AS graph
+  kFullConeOrg = 4,      ///< full cone + multi-AS org mesh
+};
+
+inline constexpr int kNumMethods = 5;
+
+/// Display name matching the paper's terminology.
+std::string method_name(Method m);
+
+/// Maps a member AS to the address space it may legitimately source.
+///
+/// ASes that never appeared in the routing data have an empty valid space
+/// (only their traffic with routed sources would all be Invalid); in
+/// practice every IXP member peers with the route server and is observed.
+class ValidSpace {
+ public:
+  ValidSpace() = default;
+  ValidSpace(Method method, std::unordered_map<Asn, trie::IntervalSet> spaces)
+      : method_(method), spaces_(std::move(spaces)) {}
+
+  Method method() const { return method_; }
+
+  /// True if `member` may source packets with source address `a`.
+  bool valid(Asn member, net::Ipv4Addr a) const;
+
+  /// The member's valid space; nullptr when the AS is unknown.
+  const trie::IntervalSet* space_of(Asn member) const;
+
+  /// Valid space size in /24 equivalents (0 for unknown members).
+  double slash24_of(Asn member) const;
+
+  /// All ASes with a (possibly empty) computed space.
+  std::vector<Asn> members() const;
+
+  std::size_t size() const { return spaces_.size(); }
+
+  /// Adds `extra` to a member's valid space — the Sec 4.4 workflow of
+  /// whitelisting address ranges recovered from WHOIS / looking glasses.
+  void extend(Asn member, const trie::IntervalSet& extra);
+
+ private:
+  Method method_ = Method::kFullCone;
+  std::unordered_map<Asn, trie::IntervalSet> spaces_;
+};
+
+}  // namespace spoofscope::inference

@@ -1,0 +1,88 @@
+#include "ixp/ixp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace spoofscope::ixp {
+
+namespace {
+
+/// Median traffic weight by business type: content and big ISPs dominate
+/// IXP traffic; "other" members are small.
+double weight_scale(topo::BusinessType t) {
+  switch (t) {
+    case topo::BusinessType::kNsp: return 30.0;
+    case topo::BusinessType::kIsp: return 20.0;
+    case topo::BusinessType::kHosting: return 8.0;
+    case topo::BusinessType::kContent: return 60.0;
+    case topo::BusinessType::kOther: return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Ixp Ixp::build(const topo::Topology& topo, const IxpParams& params,
+               std::uint64_t seed) {
+  util::Rng rng(seed);
+
+  // Weighted sampling without replacement over all ASes.
+  std::vector<std::size_t> candidates(topo.as_count());
+  for (std::size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+  std::vector<double> weights(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    weights[i] = params.join_weight[static_cast<int>(topo.ases()[i].type)];
+  }
+
+  Ixp out;
+  out.sampling_rate_ = params.sampling_rate;
+  const std::size_t want = std::min(params.member_count, candidates.size());
+  while (out.members_.size() < want) {
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    if (total <= 0.0) break;
+    double pick = rng.uniform() * total;
+    std::size_t chosen = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      pick -= weights[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    const auto& info = topo.ases()[candidates[chosen]];
+    Member m;
+    m.asn = info.asn;
+    m.type = info.type;
+    m.traffic_weight = weight_scale(info.type) * rng.lognormal(0.0, 1.3);
+    m.uses_route_server = rng.chance(params.route_server_fraction);
+    out.index_.emplace(m.asn, out.members_.size());
+    out.members_.push_back(m);
+    weights[chosen] = 0.0;  // without replacement
+  }
+  return out;
+}
+
+const Member* Ixp::find(Asn asn) const {
+  const auto it = index_.find(asn);
+  return it == index_.end() ? nullptr : &members_[it->second];
+}
+
+std::vector<Asn> Ixp::member_asns() const {
+  std::vector<Asn> out;
+  out.reserve(members_.size());
+  for (const auto& m : members_) out.push_back(m.asn);
+  return out;
+}
+
+std::vector<Asn> Ixp::route_server_feeders() const {
+  std::vector<Asn> out;
+  for (const auto& m : members_) {
+    if (m.uses_route_server) out.push_back(m.asn);
+  }
+  return out;
+}
+
+}  // namespace spoofscope::ixp

@@ -1,0 +1,60 @@
+// The IXP vantage point: a layer-2 fabric with ~700 member ASes whose
+// mutual traffic is monitored with random 1-out-of-N packet sampling
+// (Sec 4.1). The Ixp object selects members from the topology, assigns
+// their traffic weights and route-server usage, and carries the sampling
+// configuration.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ixp/member.hpp"
+#include "topo/topology.hpp"
+
+namespace spoofscope::ixp {
+
+struct IxpParams {
+  /// Number of member ASes (capped by eligible ASes in the topology).
+  std::size_t member_count = 700;
+  /// Fraction of members peering via the route server.
+  double route_server_fraction = 0.85;
+  /// Packet sampling: 1 out of N (the paper's N = 10000).
+  std::uint32_t sampling_rate = 10000;
+  /// Relative propensity of each business type to join the IXP,
+  /// indexed by topo::BusinessType (NSP, ISP, Hosting, Content, Other).
+  double join_weight[topo::kNumBusinessTypes] = {0.7, 1.0, 1.0, 1.0, 0.5};
+};
+
+/// Immutable IXP description.
+class Ixp {
+ public:
+  /// Selects members and assigns weights. Deterministic in
+  /// (topology, params, seed).
+  static Ixp build(const topo::Topology& topo, const IxpParams& params,
+                   std::uint64_t seed);
+
+  const std::vector<Member>& members() const { return members_; }
+  std::size_t member_count() const { return members_.size(); }
+
+  bool is_member(Asn asn) const { return index_.count(asn) > 0; }
+
+  /// Member record; nullptr for non-members.
+  const Member* find(Asn asn) const;
+
+  /// All member ASNs (selection order).
+  std::vector<Asn> member_asns() const;
+
+  /// Members feeding the route server (the RS collector's feeder list).
+  std::vector<Asn> route_server_feeders() const;
+
+  std::uint32_t sampling_rate() const { return sampling_rate_; }
+
+ private:
+  std::vector<Member> members_;
+  std::unordered_map<Asn, std::size_t> index_;
+  std::uint32_t sampling_rate_ = 10000;
+};
+
+}  // namespace spoofscope::ixp

@@ -1,0 +1,2 @@
+// Member is a plain aggregate; behaviour lives in ixp.cpp.
+#include "ixp/member.hpp"

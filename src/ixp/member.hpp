@@ -1,0 +1,27 @@
+// One IXP member: an AS connected to the switching fabric.
+#pragma once
+
+#include "topo/as_info.hpp"
+
+namespace spoofscope::ixp {
+
+using net::Asn;
+
+/// Membership record. The traffic generator uses `traffic_weight` to
+/// apportion the member's share of the fabric's volume (heavy-tailed, as
+/// at real IXPs).
+struct Member {
+  Asn asn = net::kNoAsn;
+  topo::BusinessType type = topo::BusinessType::kOther;
+
+  /// Relative share of fabric traffic injected by this member.
+  double traffic_weight = 1.0;
+
+  /// True if the member peers via the IXP route server (multilateral
+  /// peering); its routes then appear in the route-server feed.
+  bool uses_route_server = true;
+
+  friend bool operator==(const Member&, const Member&) = default;
+};
+
+}  // namespace spoofscope::ixp

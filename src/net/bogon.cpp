@@ -1,0 +1,46 @@
+#include "net/bogon.hpp"
+
+#include <array>
+
+namespace spoofscope::net {
+
+namespace {
+
+// Team Cymru bogon reference (IPv4, aggregated): the ranges reserved by
+// RFC 1122, RFC 1918, RFC 3927, RFC 5737, RFC 6598, RFC 2544, RFC 5771 and
+// RFC 1112.
+const std::array<Prefix, 14> kBogons = {
+    Prefix(Ipv4Addr::from_octets(0, 0, 0, 0), 8),        // "this" network
+    Prefix(Ipv4Addr::from_octets(10, 0, 0, 0), 8),       // RFC1918
+    Prefix(Ipv4Addr::from_octets(100, 64, 0, 0), 10),    // CGN shared space
+    Prefix(Ipv4Addr::from_octets(127, 0, 0, 0), 8),      // loopback
+    Prefix(Ipv4Addr::from_octets(169, 254, 0, 0), 16),   // link local
+    Prefix(Ipv4Addr::from_octets(172, 16, 0, 0), 12),    // RFC1918
+    Prefix(Ipv4Addr::from_octets(192, 0, 0, 0), 24),     // IETF protocol
+    Prefix(Ipv4Addr::from_octets(192, 0, 2, 0), 24),     // TEST-NET-1
+    Prefix(Ipv4Addr::from_octets(192, 168, 0, 0), 16),   // RFC1918
+    Prefix(Ipv4Addr::from_octets(198, 18, 0, 0), 15),    // benchmarking
+    Prefix(Ipv4Addr::from_octets(198, 51, 100, 0), 24),  // TEST-NET-2
+    Prefix(Ipv4Addr::from_octets(203, 0, 113, 0), 24),   // TEST-NET-3
+    Prefix(Ipv4Addr::from_octets(224, 0, 0, 0), 4),      // multicast
+    Prefix(Ipv4Addr::from_octets(240, 0, 0, 0), 4),      // future use
+};
+
+}  // namespace
+
+std::span<const Prefix> bogon_prefixes() { return kBogons; }
+
+bool is_bogon(Ipv4Addr a) {
+  for (const auto& p : kBogons) {
+    if (p.contains(a)) return true;
+  }
+  return false;
+}
+
+double bogon_slash24() {
+  double total = 0.0;
+  for (const auto& p : kBogons) total += p.slash24_equivalents();
+  return total;
+}
+
+}  // namespace spoofscope::net

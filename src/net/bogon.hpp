@@ -1,0 +1,25 @@
+// The static bogon reference: address ranges that must never appear as
+// source addresses in the inter-domain Internet. Mirrors the Team Cymru
+// bogon list the paper uses (14 non-overlapping prefixes, ~2.3M /24
+// equivalents including multicast and future-use space).
+#pragma once
+
+#include <span>
+
+#include "net/prefix.hpp"
+
+namespace spoofscope::net {
+
+/// The 14 bogon prefixes (RFC1918, loopback, link-local, shared address
+/// space, documentation/test ranges, multicast, future use, ...).
+std::span<const Prefix> bogon_prefixes();
+
+/// True if `a` falls in any bogon range. Linear over the 14 entries; for
+/// bulk classification use a PrefixSet/PrefixTrie built from
+/// bogon_prefixes() instead.
+bool is_bogon(Ipv4Addr a);
+
+/// Total bogon space in /24 equivalents (~2.32M; 13.8% of IPv4, Fig 1a).
+double bogon_slash24();
+
+}  // namespace spoofscope::net

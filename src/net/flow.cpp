@@ -1,0 +1,17 @@
+#include "net/flow.hpp"
+
+#include <cstdio>
+
+namespace spoofscope::net {
+
+std::string FlowRecord::str() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "t=%u %s:%u -> %s:%u %s pkts=%u bytes=%llu in=AS%u out=AS%u",
+                ts, src.str().c_str(), sport, dst.str().c_str(), dport,
+                proto_name(proto).c_str(), packets,
+                static_cast<unsigned long long>(bytes), member_in, member_out);
+  return buf;
+}
+
+}  // namespace spoofscope::net

@@ -1,0 +1,53 @@
+// IPFIX-lite flow summaries — the unit of observation at the vantage point.
+//
+// The IXP's monitoring samples packets at random 1-out-of-N and aggregates
+// them into flow summaries carrying IP/transport headers plus packet and
+// byte counts. A FlowRecord stores the *sampled* counts; extrapolation by
+// the sampling factor happens in the analysis layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ipv4.hpp"
+#include "net/protocols.hpp"
+
+namespace spoofscope::net {
+
+/// AS numbers are 32-bit (we only simulate 16-bit-range values, but the
+/// type matches reality).
+using Asn = std::uint32_t;
+
+/// Sentinel for "no AS" (e.g. unknown origin).
+inline constexpr Asn kNoAsn = 0;
+
+/// One sampled flow summary as exported by the IXP monitoring.
+struct FlowRecord {
+  std::uint32_t ts = 0;       ///< seconds since measurement window start
+  Ipv4Addr src;               ///< source IP address (possibly spoofed)
+  Ipv4Addr dst;               ///< destination IP address
+  Proto proto = Proto::kTcp;  ///< transport protocol
+  std::uint16_t sport = 0;    ///< source port (0 for ICMP)
+  std::uint16_t dport = 0;    ///< destination port (0 for ICMP)
+  std::uint32_t packets = 0;  ///< sampled packet count
+  std::uint64_t bytes = 0;    ///< sampled byte count
+  Asn member_in = kNoAsn;     ///< member AS that injected the flow
+  Asn member_out = kNoAsn;    ///< member AS that received the flow
+
+  /// Mean packet size of the flow in bytes (0 if no packets).
+  double mean_packet_size() const {
+    return packets == 0 ? 0.0 : static_cast<double>(bytes) / packets;
+  }
+
+  /// Human-readable one-line form for debugging.
+  std::string str() const;
+
+  friend bool operator==(const FlowRecord&, const FlowRecord&) = default;
+};
+
+/// Duration constants for the measurement window (the paper uses 4 weeks).
+inline constexpr std::uint32_t kSecondsPerDay = 86400;
+inline constexpr std::uint32_t kSecondsPerWeek = 7 * kSecondsPerDay;
+inline constexpr std::uint32_t kFourWeeks = 4 * kSecondsPerWeek;
+
+}  // namespace spoofscope::net

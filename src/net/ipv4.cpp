@@ -1,0 +1,31 @@
+#include "net/ipv4.hpp"
+
+#include "util/strings.hpp"
+
+namespace spoofscope::net {
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view s) {
+  const auto parts = util::split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (const auto part : parts) {
+    std::uint32_t octet;
+    if (!util::parse_u32(part, octet) || octet > 255 || part.size() > 3) {
+      return std::nullopt;
+    }
+    v = (v << 8) | octet;
+  }
+  return Ipv4Addr(v);
+}
+
+std::string Ipv4Addr::str() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+}  // namespace spoofscope::net

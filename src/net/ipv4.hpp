@@ -1,0 +1,55 @@
+// IPv4 address value type. Addresses are stored host-order as uint32 so
+// that arithmetic (ranges, tries) is natural; parsing/formatting use the
+// usual dotted-quad representation.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace spoofscope::net {
+
+/// An IPv4 address. Trivially copyable value type; totally ordered by
+/// numeric value.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : v_(value) {}
+
+  /// Builds from the four dotted-quad octets (a.b.c.d).
+  static constexpr Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b,
+                                        std::uint8_t c, std::uint8_t d) {
+    return Ipv4Addr((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+                    (std::uint32_t(c) << 8) | std::uint32_t(d));
+  }
+
+  /// Parses "a.b.c.d". Rejects extra characters, out-of-range octets and
+  /// empty components. Leading zeros are accepted ("010.0.0.1" == 10.0.0.1).
+  static std::optional<Ipv4Addr> parse(std::string_view s);
+
+  constexpr std::uint32_t value() const { return v_; }
+
+  /// The i-th octet, 0 = most significant ("a" in a.b.c.d).
+  constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(v_ >> (24 - 8 * i));
+  }
+
+  /// The high-order /8 block, e.g. 192 for 192.0.2.1 (Fig 10 binning).
+  constexpr std::uint8_t slash8() const { return octet(0); }
+
+  /// Dotted-quad string.
+  std::string str() const;
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+/// The full IPv4 space holds 2^24 /24 blocks; shared constant for
+/// "/24-equivalents" accounting used throughout the paper.
+inline constexpr double kTotalSlash24 = 16777216.0;
+
+}  // namespace spoofscope::net

@@ -1,0 +1,46 @@
+#include "net/prefix.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace spoofscope::net {
+
+std::optional<Prefix> Prefix::parse(std::string_view s) {
+  const std::size_t slash = s.find('/');
+  if (slash == std::string_view::npos) {
+    const auto addr = Ipv4Addr::parse(s);
+    if (!addr) return std::nullopt;
+    return Prefix(*addr, 32);
+  }
+  const auto addr = Ipv4Addr::parse(s.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::uint32_t len;
+  if (!util::parse_u32(s.substr(slash + 1), len) || len > 32) return std::nullopt;
+  return Prefix(*addr, static_cast<std::uint8_t>(len));
+}
+
+Prefix Prefix::parent() const {
+  assert(len_ > 0 && "prefix /0 has no parent");
+  return Prefix(Ipv4Addr(addr_), static_cast<std::uint8_t>(len_ - 1));
+}
+
+Prefix Prefix::child(int bit) const {
+  assert(len_ < 32 && "prefix /32 has no children");
+  std::uint32_t a = addr_;
+  if (bit) a |= std::uint32_t(1) << (31 - len_);
+  return Prefix(Ipv4Addr(a), static_cast<std::uint8_t>(len_ + 1));
+}
+
+std::string Prefix::str() const {
+  return Ipv4Addr(addr_).str() + "/" + std::to_string(len_);
+}
+
+Prefix pfx(std::string_view s) {
+  const auto p = Prefix::parse(s);
+  if (!p) throw std::invalid_argument("bad prefix: " + std::string(s));
+  return *p;
+}
+
+}  // namespace spoofscope::net

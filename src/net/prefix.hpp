@@ -1,0 +1,98 @@
+// IPv4 prefix (CIDR block) value type, always kept in canonical form
+// (host bits zero). Ordering is (address, length), which groups covering
+// prefixes before their more-specifics — convenient for building tries and
+// disjoint interval sets.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.hpp"
+
+namespace spoofscope::net {
+
+/// A canonical CIDR prefix. Invariant: length <= 32 and all bits below the
+/// mask are zero in the network address.
+class Prefix {
+ public:
+  /// Default-constructed prefix is 0.0.0.0/0 (the whole space).
+  constexpr Prefix() = default;
+
+  /// Builds a prefix from an address and a length; host bits are masked
+  /// off so the result is always canonical.
+  constexpr Prefix(Ipv4Addr addr, std::uint8_t length)
+      : addr_(addr.value() & mask_for(length)), len_(length > 32 ? 32 : length) {}
+
+  /// Parses "a.b.c.d/len". A bare address parses as a /32.
+  /// Rejects length > 32 and non-canonical host bits are masked silently.
+  static std::optional<Prefix> parse(std::string_view s);
+
+  constexpr Ipv4Addr address() const { return Ipv4Addr(addr_); }
+  constexpr std::uint8_t length() const { return len_; }
+
+  /// First address covered (== address()).
+  constexpr std::uint32_t first() const { return addr_; }
+
+  /// Last address covered (broadcast for the block).
+  constexpr std::uint32_t last() const { return addr_ | ~mask_for(len_); }
+
+  /// Number of addresses covered; 2^32 for /0, so returned as uint64.
+  constexpr std::uint64_t num_addresses() const {
+    return std::uint64_t(1) << (32 - len_);
+  }
+
+  /// Equivalent number of /24 blocks (fractional for prefixes longer
+  /// than /24), the paper's standard accounting unit.
+  constexpr double slash24_equivalents() const {
+    return static_cast<double>(num_addresses()) / 256.0;
+  }
+
+  /// True if `a` falls inside this prefix.
+  constexpr bool contains(Ipv4Addr a) const {
+    return (a.value() & mask_for(len_)) == addr_;
+  }
+
+  /// True if `other` is fully covered by this prefix (including equal).
+  constexpr bool contains(const Prefix& other) const {
+    return len_ <= other.len_ && contains(Ipv4Addr(other.addr_));
+  }
+
+  /// True if the two prefixes share any address.
+  constexpr bool overlaps(const Prefix& other) const {
+    return contains(other) || other.contains(*this);
+  }
+
+  /// The immediate parent block (one bit shorter). Undefined for /0;
+  /// asserts in debug builds.
+  Prefix parent() const;
+
+  /// The two child blocks (one bit longer). Requires length() < 32.
+  Prefix child(int bit) const;
+
+  /// The i-th bit of the network address, 0 = most significant.
+  constexpr int bit(int i) const { return (addr_ >> (31 - i)) & 1; }
+
+  /// "a.b.c.d/len".
+  std::string str() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+  /// Netmask for a given prefix length (0 for /0 handled correctly).
+  static constexpr std::uint32_t mask_for(std::uint8_t length) {
+    return length == 0 ? 0u
+                       : ~std::uint32_t(0) << (32 - (length > 32 ? 32 : length));
+  }
+
+ private:
+  std::uint32_t addr_ = 0;
+  std::uint8_t len_ = 0;
+};
+
+/// Convenience literal-style constructor for tests:
+/// pfx("10.0.0.0/8"). Throws std::invalid_argument on parse failure.
+Prefix pfx(std::string_view s);
+
+}  // namespace spoofscope::net

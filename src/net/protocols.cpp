@@ -1,0 +1,40 @@
+#include "net/protocols.hpp"
+
+namespace spoofscope::net {
+
+std::string proto_name(Proto p) {
+  switch (p) {
+    case Proto::kIcmp: return "ICMP";
+    case Proto::kTcp: return "TCP";
+    case Proto::kUdp: return "UDP";
+  }
+  return "P" + std::to_string(static_cast<int>(p));
+}
+
+std::string port_service_name(std::uint16_t port) {
+  switch (port) {
+    case ports::kHttp: return "http";
+    case ports::kHttps: return "https";
+    case ports::kNtp: return "ntp";
+    case ports::kSteam: return "steam";
+    case ports::kItalkGame: return "game-10100";
+    case ports::kCod: return "game-28960";
+    default: return "other";
+  }
+}
+
+bool is_tracked_port(std::uint16_t port) {
+  switch (port) {
+    case ports::kHttp:
+    case ports::kHttps:
+    case ports::kNtp:
+    case ports::kSteam:
+    case ports::kItalkGame:
+    case ports::kCod:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace spoofscope::net

@@ -1,0 +1,38 @@
+// Transport protocol numbers and the well-known ports the paper's
+// application-mix analysis keys on (Fig 9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spoofscope::net {
+
+/// IANA protocol numbers for the protocols that appear at the vantage point.
+enum class Proto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// Short protocol name ("TCP"/"UDP"/"ICMP"/"P<number>").
+std::string proto_name(Proto p);
+
+/// Well-known ports called out in the paper's Fig 9 breakdown.
+namespace ports {
+inline constexpr std::uint16_t kHttp = 80;
+inline constexpr std::uint16_t kHttps = 443;
+inline constexpr std::uint16_t kNtp = 123;
+inline constexpr std::uint16_t kSteam = 27015;    // online gaming, Fig 9
+inline constexpr std::uint16_t kItalkGame = 10100; // appears in Fig 9 mix
+inline constexpr std::uint16_t kCod = 28960;       // Call of Duty, Fig 9 mix
+inline constexpr std::uint16_t kDns = 53;
+}  // namespace ports
+
+/// Service name for the Fig 9 port buckets; returns "other" for anything
+/// not individually tracked.
+std::string port_service_name(std::uint16_t port);
+
+/// True if the port is one of the six individually tracked Fig 9 ports.
+bool is_tracked_port(std::uint16_t port);
+
+}  // namespace spoofscope::net

@@ -1,0 +1,126 @@
+#include "net/trace.hpp"
+
+#include <array>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace spoofscope::net {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53504F46;  // "SPOF"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kRecordSize = 36;
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t(p[1]) << 8));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void encode_record(const FlowRecord& f, std::uint8_t* p) {
+  put_u32(p + 0, f.ts);
+  put_u32(p + 4, f.src.value());
+  put_u32(p + 8, f.dst.value());
+  p[12] = static_cast<std::uint8_t>(f.proto);
+  p[13] = 0;  // reserved
+  put_u16(p + 14, f.sport);
+  put_u16(p + 16, f.dport);
+  p[18] = 0;
+  p[19] = 0;  // padding for alignment in the on-disk layout
+  put_u32(p + 20, f.packets);
+  put_u64(p + 24, f.bytes);
+  // member ASNs fit in 16 bits in our simulations but are stored as-is
+  // truncated to 16 bits to keep the record compact; values above 65535
+  // are rejected at write time.
+  put_u16(p + 32, static_cast<std::uint16_t>(f.member_in));
+  put_u16(p + 34, static_cast<std::uint16_t>(f.member_out));
+}
+
+FlowRecord decode_record(const std::uint8_t* p) {
+  FlowRecord f;
+  f.ts = get_u32(p + 0);
+  f.src = Ipv4Addr(get_u32(p + 4));
+  f.dst = Ipv4Addr(get_u32(p + 8));
+  f.proto = static_cast<Proto>(p[12]);
+  f.sport = get_u16(p + 14);
+  f.dport = get_u16(p + 16);
+  f.packets = get_u32(p + 20);
+  f.bytes = get_u64(p + 24);
+  f.member_in = get_u16(p + 32);
+  f.member_out = get_u16(p + 34);
+  return f;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  std::array<std::uint8_t, 32> header{};
+  put_u32(header.data() + 0, kMagic);
+  put_u32(header.data() + 4, kVersion);
+  put_u32(header.data() + 8, trace.meta.sampling_rate);
+  put_u32(header.data() + 12, trace.meta.window_seconds);
+  put_u64(header.data() + 16, trace.meta.seed);
+  put_u64(header.data() + 24, trace.flows.size());
+  out.write(reinterpret_cast<const char*>(header.data()), header.size());
+
+  std::array<std::uint8_t, kRecordSize> rec;
+  for (const auto& f : trace.flows) {
+    if (f.member_in > 0xffff || f.member_out > 0xffff) {
+      throw std::runtime_error("write_trace: member ASN exceeds 16-bit record field");
+    }
+    encode_record(f, rec.data());
+    out.write(reinterpret_cast<const char*>(rec.data()), rec.size());
+  }
+  if (!out) throw std::runtime_error("write_trace: stream failure");
+}
+
+Trace read_trace(std::istream& in) {
+  std::array<std::uint8_t, 32> header;
+  in.read(reinterpret_cast<char*>(header.data()), header.size());
+  if (!in || in.gcount() != static_cast<std::streamsize>(header.size())) {
+    throw std::runtime_error("read_trace: truncated header");
+  }
+  if (get_u32(header.data()) != kMagic) throw std::runtime_error("read_trace: bad magic");
+  if (get_u32(header.data() + 4) != kVersion) {
+    throw std::runtime_error("read_trace: unsupported version");
+  }
+  Trace trace;
+  trace.meta.sampling_rate = get_u32(header.data() + 8);
+  trace.meta.window_seconds = get_u32(header.data() + 12);
+  trace.meta.seed = get_u64(header.data() + 16);
+  const std::uint64_t n = get_u64(header.data() + 24);
+
+  trace.flows.reserve(n);
+  std::array<std::uint8_t, kRecordSize> rec;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    in.read(reinterpret_cast<char*>(rec.data()), rec.size());
+    if (!in || in.gcount() != static_cast<std::streamsize>(rec.size())) {
+      throw std::runtime_error("read_trace: truncated record");
+    }
+    trace.flows.push_back(decode_record(rec.data()));
+  }
+  return trace;
+}
+
+}  // namespace spoofscope::net

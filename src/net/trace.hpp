@@ -1,0 +1,40 @@
+// Binary trace container and (de)serialization for flow records, so that
+// generated workloads can be persisted and re-analyzed without re-running
+// the generator. Format: fixed little-endian header + fixed-size records.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace spoofscope::net {
+
+/// Metadata describing how a trace was captured.
+struct TraceMeta {
+  std::uint32_t sampling_rate = 10000;       ///< 1-out-of-N packet sampling
+  std::uint32_t window_seconds = kFourWeeks; ///< measurement window length
+  std::uint64_t seed = 0;                    ///< generator seed (0 = real capture)
+
+  friend bool operator==(const TraceMeta&, const TraceMeta&) = default;
+};
+
+/// An in-memory flow trace: metadata plus the sampled flow records.
+struct Trace {
+  TraceMeta meta;
+  std::vector<FlowRecord> flows;
+
+  /// Extrapolation factor from sampled to estimated real counts.
+  double scale() const { return static_cast<double>(meta.sampling_rate); }
+};
+
+/// Writes a trace in spoofscope binary format. Throws std::runtime_error on
+/// stream failure.
+void write_trace(std::ostream& out, const Trace& trace);
+
+/// Reads a trace written by write_trace. Throws std::runtime_error on
+/// malformed input (bad magic, truncated records, unsupported version).
+Trace read_trace(std::istream& in);
+
+}  // namespace spoofscope::net

@@ -1,0 +1,35 @@
+#include "topo/as_info.hpp"
+
+namespace spoofscope::topo {
+
+std::string business_name(BusinessType t) {
+  switch (t) {
+    case BusinessType::kNsp: return "NSP";
+    case BusinessType::kIsp: return "ISP";
+    case BusinessType::kHosting: return "Hosting";
+    case BusinessType::kContent: return "Content";
+    case BusinessType::kOther: return "Other";
+  }
+  return "?";
+}
+
+std::size_t announced_prefix_count(const AsInfo& info) {
+  if (info.prefixes.empty()) return 0;
+  const double f = info.announce_fraction < 0.0   ? 0.0
+                   : info.announce_fraction > 1.0 ? 1.0
+                                                  : info.announce_fraction;
+  const auto n = static_cast<std::size_t>(
+      f * static_cast<double>(info.prefixes.size()) + 0.999999);
+  return n > info.prefixes.size() ? info.prefixes.size() : n;
+}
+
+std::string rel_name(RelType t) {
+  switch (t) {
+    case RelType::kCustomerToProvider: return "c2p";
+    case RelType::kPeerToPeer: return "p2p";
+    case RelType::kSibling: return "sibling";
+  }
+  return "?";
+}
+
+}  // namespace spoofscope::topo

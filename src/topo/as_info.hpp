@@ -1,0 +1,113 @@
+// Per-AS ground-truth metadata for the simulated Internet: business type
+// (the paper's Fig 6 categories, derived from PeeringDB in the original),
+// organization membership, allocated address space, and the egress
+// filtering policy that the traffic generator honours.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/prefix.hpp"
+
+namespace spoofscope::topo {
+
+using net::Asn;
+
+/// Identifier of an organization (multi-AS org handling, Sec 3.2).
+using OrgId = std::uint32_t;
+
+/// Business types as used in Fig 6 (PeeringDB-derived in the paper).
+enum class BusinessType : std::uint8_t {
+  kNsp = 0,      ///< network service provider (tier-1 / transit)
+  kIsp = 1,      ///< end-user ISP (eyeball network)
+  kHosting = 2,  ///< hosting / cloud provider
+  kContent = 3,  ///< content provider / CDN
+  kOther = 4,    ///< enterprise, research, misc
+};
+
+inline constexpr int kNumBusinessTypes = 5;
+
+/// Display name matching the paper's plot legends.
+std::string business_name(BusinessType t);
+
+/// Ground-truth egress filtering policy of an AS. The paper's Fig 5
+/// taxonomy (clean / bogon-leaking / unfiltered, ...) emerges from the mix
+/// of these policies and the presence of spoofing hosts.
+struct FilterPolicy {
+  /// Drops egress packets with bogon source addresses (static ACL; the
+  /// survey found ~70% of operators filter well-known unroutable ranges).
+  bool blocks_bogon = false;
+
+  /// Validates egress sources against own + customer address space
+  /// (BCP38/BCP84-style). Implies spoofed (unrouted/invalid) packets are
+  /// dropped at the border; bogon leaks are governed separately because
+  /// misconfigured NAT gear commonly sits behind otherwise valid space.
+  bool blocks_spoofed = false;
+
+  friend bool operator==(const FilterPolicy&, const FilterPolicy&) = default;
+};
+
+/// Everything the simulation knows about one AS.
+struct AsInfo {
+  Asn asn = net::kNoAsn;
+  BusinessType type = BusinessType::kOther;
+  OrgId org = 0;
+
+  /// Prefixes allocated to (and potentially announced by) this AS.
+  std::vector<net::Prefix> prefixes;
+
+  /// Fraction of allocated prefixes this AS actually announces into BGP
+  /// (the remainder is allocated-but-unrouted space).
+  double announce_fraction = 1.0;
+
+  /// Egress filtering ground truth.
+  FilterPolicy filter;
+
+  /// Propensity of hosts in this network to emit intentionally spoofed
+  /// traffic (attackers renting VMs at hosters, compromised CPE at ISPs).
+  double spoofer_density = 0.0;
+
+  /// Propensity for misconfigured NAT devices leaking RFC1918 sources.
+  double nat_leak_density = 0.0;
+};
+
+/// Number of prefixes of `info` that are announced into BGP: the first
+/// ceil(announce_fraction * n) entries of `prefixes` (allocation order is
+/// already randomized by the generator). The remainder is
+/// allocated-but-unrouted space.
+std::size_t announced_prefix_count(const AsInfo& info);
+
+/// Relationship types between ASes (Gao-Rexford model).
+enum class RelType : std::uint8_t {
+  kCustomerToProvider = 0,  ///< `from` pays `to` for transit
+  kPeerToPeer = 1,          ///< settlement-free peering
+  kSibling = 2,             ///< same organization, internal link
+};
+
+std::string rel_name(RelType t);
+
+/// A relationship edge. For kCustomerToProvider, `from` is the customer
+/// and `to` the provider. For kPeerToPeer and kSibling the direction is
+/// irrelevant (stored once, from < to by ASN).
+struct AsLink {
+  Asn from = net::kNoAsn;
+  Asn to = net::kNoAsn;
+  RelType type = RelType::kPeerToPeer;
+
+  /// Whether this link is visible in public BGP data. Sibling links of
+  /// multi-AS organizations are frequently invisible (Sec 3.2), and some
+  /// peerings are invisible too (Sec 4.4, missing links).
+  bool visible_in_bgp = true;
+
+  /// Address block used for the point-to-point router interfaces on this
+  /// link; routers emitting stray ICMP pick sources from here. Often not
+  /// announced in BGP (contributes to Invalid/Unrouted router traffic,
+  /// Sec 5.2). A zero-length prefix means "not modelled for this link".
+  net::Prefix infra;
+
+  friend bool operator==(const AsLink&, const AsLink&) = default;
+};
+
+}  // namespace spoofscope::topo

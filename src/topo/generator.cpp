@@ -1,0 +1,438 @@
+#include "topo/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <tuple>
+
+#include "net/bogon.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace spoofscope::topo {
+
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+using util::Rng;
+
+/// Carves aligned CIDR blocks out of the non-bogon IPv4 space.
+///
+/// /16 blocks are handed out from a shuffled free list; sub-/16 requests
+/// are served by a buddy allocator that subdivides one /16 at a time.
+class SpaceAllocator {
+ public:
+  explicit SpaceAllocator(Rng& rng) {
+    free16_.reserve(1 << 16);
+    for (std::uint32_t block = 0; block < (1u << 16); ++block) {
+      const Prefix p(Ipv4Addr(block << 16), 16);
+      bool bogon = false;
+      for (const auto& b : net::bogon_prefixes()) {
+        if (b.overlaps(p)) {
+          bogon = true;
+          break;
+        }
+      }
+      if (!bogon) free16_.push_back(p);
+    }
+    rng.shuffle(free16_);
+  }
+
+  /// Remaining whole /16 blocks.
+  std::size_t free16_count() const { return free16_.size(); }
+
+  /// Allocates one /16. Throws std::runtime_error when exhausted.
+  Prefix take16() {
+    if (free16_.empty()) throw std::runtime_error("SpaceAllocator: out of /16 blocks");
+    const Prefix p = free16_.back();
+    free16_.pop_back();
+    return p;
+  }
+
+  /// Allocates one block of the given length in (16, 24].
+  Prefix take_sub(std::uint8_t len) {
+    assert(len > 16 && len <= 24);
+    // Find the shortest free block with length <= len; split down.
+    for (std::uint8_t l = len; l > 16; --l) {
+      auto& pool = sub_free_[l];
+      if (!pool.empty()) {
+        Prefix block = pool.back();
+        pool.pop_back();
+        return split_down(block, len);
+      }
+    }
+    return split_down(take16(), len);
+  }
+
+ private:
+  Prefix split_down(Prefix block, std::uint8_t len) {
+    while (block.length() < len) {
+      sub_free_[static_cast<std::uint8_t>(block.length() + 1)].push_back(block.child(1));
+      block = block.child(0);
+    }
+    return block;
+  }
+
+  std::vector<Prefix> free16_;
+  std::map<std::uint8_t, std::vector<Prefix>> sub_free_;
+};
+
+/// Role during generation (finer than BusinessType: tier-1 vs transit).
+enum class Role { kTier1, kTransit, kIsp, kHosting, kContent, kOther };
+
+BusinessType role_type(Role r) {
+  switch (r) {
+    case Role::kTier1:
+    case Role::kTransit: return BusinessType::kNsp;
+    case Role::kIsp: return BusinessType::kIsp;
+    case Role::kHosting: return BusinessType::kHosting;
+    case Role::kContent: return BusinessType::kContent;
+    case Role::kOther: return BusinessType::kOther;
+  }
+  return BusinessType::kOther;
+}
+
+/// Median allocation size in /24 equivalents by role (before global
+/// scaling to the routed-space target).
+double median_size24(Role r) {
+  switch (r) {
+    case Role::kTier1: return 16384.0;
+    case Role::kTransit: return 2048.0;
+    case Role::kIsp: return 512.0;
+    case Role::kHosting: return 192.0;
+    case Role::kContent: return 96.0;
+    case Role::kOther: return 24.0;
+  }
+  return 24.0;
+}
+
+double size_sigma(Role r) {
+  switch (r) {
+    case Role::kTier1: return 0.5;
+    case Role::kTransit: return 0.8;
+    default: return 1.0;
+  }
+}
+
+struct Draft {
+  AsInfo info;
+  Role role = Role::kOther;
+  double desired24 = 0.0;
+};
+
+}  // namespace
+
+Topology generate_topology(const TopologyParams& params, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Draft> drafts;
+  drafts.reserve(params.total_ases());
+
+  Asn next_asn = 100;
+  const auto add_group = [&](std::size_t n, Role role) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Draft d;
+      d.role = role;
+      d.info.asn = next_asn++;
+      d.info.type = role_type(role);
+      drafts.push_back(std::move(d));
+    }
+  };
+  add_group(params.num_tier1, Role::kTier1);
+  add_group(params.num_transit, Role::kTransit);
+  add_group(params.num_isp, Role::kIsp);
+  add_group(params.num_hosting, Role::kHosting);
+  add_group(params.num_content, Role::kContent);
+  add_group(params.num_other, Role::kOther);
+  if (drafts.empty()) throw std::invalid_argument("generate_topology: no ASes requested");
+
+  // ---- organizations ----------------------------------------------------
+  // Walk the AS list; each unassigned AS founds an org, which with some
+  // probability absorbs a few of the following unassigned ASes.
+  OrgId next_org = 1;
+  std::vector<bool> org_assigned(drafts.size(), false);
+  std::vector<AsLink> links;
+  for (std::size_t i = 0; i < drafts.size(); ++i) {
+    if (org_assigned[i]) continue;
+    const OrgId org = next_org++;
+    drafts[i].info.org = org;
+    org_assigned[i] = true;
+    if (!rng.chance(params.multi_as_org_fraction)) continue;
+
+    const std::size_t extra =
+        rng.uniform_u32(1, static_cast<std::uint32_t>(
+                               std::max<std::size_t>(1, params.max_org_size - 1)));
+    std::vector<std::size_t> members{i};
+    std::size_t j = i + 1;
+    while (members.size() < extra + 1 && j < drafts.size()) {
+      if (!org_assigned[j]) {
+        drafts[j].info.org = org;
+        org_assigned[j] = true;
+        members.push_back(j);
+      }
+      ++j;
+    }
+    // Full sibling mesh, with partial BGP visibility (Sec 3.2: internal
+    // peerings of multi-AS orgs are often not exposed).
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        AsLink l;
+        l.from = drafts[members[a]].info.asn;
+        l.to = drafts[members[b]].info.asn;
+        l.type = RelType::kSibling;
+        l.visible_in_bgp = rng.chance(params.sibling_link_visible_prob);
+        links.push_back(l);
+      }
+    }
+  }
+
+  // ---- address allocation ------------------------------------------------
+  SpaceAllocator space(rng);
+
+  double raw_sum = 0.0;
+  for (auto& d : drafts) {
+    d.desired24 = rng.lognormal(std::log(median_size24(d.role)), size_sigma(d.role));
+    raw_sum += d.desired24;
+  }
+  const double target_alloc24 = std::min(
+      params.target_routed_fraction * net::kTotalSlash24 /
+          std::max(0.05, 1.0 - params.unannounced_fraction),
+      static_cast<double>(space.free16_count()) * 256.0 * 0.95);
+  // Water-fill: find the scale factor such that sum(min(raw*scale, cap))
+  // hits the target, so the per-AS cap does not starve small topologies.
+  const double per_as_cap =
+      std::max(900.0 * 256.0,
+               2.5 * target_alloc24 / static_cast<double>(drafts.size()));
+  const auto total_at = [&](double s) {
+    double sum = 0.0;
+    for (const auto& d : drafts) sum += std::min(d.desired24 * s, per_as_cap);
+    return sum;
+  };
+  double scale = target_alloc24 / raw_sum;
+  if (total_at(scale) < target_alloc24) {
+    double lo = scale, hi = scale;
+    while (total_at(hi) < target_alloc24 && hi < 1e12) hi *= 2.0;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      (total_at(mid) < target_alloc24 ? lo : hi) = mid;
+    }
+    scale = hi;
+  }
+
+  for (auto& d : drafts) {
+    double want = std::min(d.desired24 * scale, per_as_cap);
+    auto want_units = static_cast<std::uint64_t>(std::max(1.0, std::round(want)));
+
+    while (want_units >= 256 && space.free16_count() > 16) {
+      d.info.prefixes.push_back(space.take16());
+      want_units -= 256;
+    }
+    if (want_units > 0) {
+      // Round the remainder up to a power of two and allocate one block.
+      std::uint8_t len = 24;
+      std::uint64_t blocks = 1;
+      while (blocks < want_units && len > 17) {
+        blocks <<= 1;
+        --len;
+      }
+      d.info.prefixes.push_back(space.take_sub(len));
+    }
+    rng.shuffle(d.info.prefixes);
+    d.info.announce_fraction = std::clamp(
+        1.0 - params.unannounced_fraction * rng.uniform(0.3, 2.0), 0.5, 1.0);
+  }
+
+  // ---- connectivity -------------------------------------------------------
+  const auto asn_of = [&](std::size_t idx) { return drafts[idx].info.asn; };
+  std::vector<std::size_t> tier1s, transits, isps, hostings, contents, others;
+  for (std::size_t i = 0; i < drafts.size(); ++i) {
+    switch (drafts[i].role) {
+      case Role::kTier1: tier1s.push_back(i); break;
+      case Role::kTransit: transits.push_back(i); break;
+      case Role::kIsp: isps.push_back(i); break;
+      case Role::kHosting: hostings.push_back(i); break;
+      case Role::kContent: contents.push_back(i); break;
+      case Role::kOther: others.push_back(i); break;
+    }
+  }
+
+  // Tier-1 clique (settlement-free mesh).
+  for (std::size_t a = 0; a < tier1s.size(); ++a) {
+    for (std::size_t b = a + 1; b < tier1s.size(); ++b) {
+      links.push_back({asn_of(tier1s[a]), asn_of(tier1s[b]), RelType::kPeerToPeer,
+                       /*visible=*/true, Prefix()});
+    }
+  }
+
+  // Weight transits by allocation size for provider selection.
+  std::vector<double> transit_weight;
+  transit_weight.reserve(transits.size());
+  for (const std::size_t t : transits) transit_weight.push_back(drafts[t].desired24 + 1.0);
+
+  const auto pick_distinct = [&](const std::vector<std::size_t>& pool,
+                                 const std::vector<double>* weights, std::size_t k,
+                                 std::size_t self) {
+    std::vector<std::size_t> out;
+    if (pool.empty()) return out;
+    std::optional<util::DiscreteDistribution> dist;
+    if (weights && !weights->empty()) dist.emplace(*weights);
+    int attempts = 0;
+    while (out.size() < k && attempts < 200) {
+      ++attempts;
+      const std::size_t cand = dist ? pool[(*dist)(rng)] : pool[rng.index(pool.size())];
+      if (cand == self) continue;
+      if (std::find(out.begin(), out.end(), cand) != out.end()) continue;
+      out.push_back(cand);
+    }
+    return out;
+  };
+
+  // Transit providers: 1-3 links into tier-1s or larger transits.
+  for (std::size_t ti = 0; ti < transits.size(); ++ti) {
+    const std::size_t self = transits[ti];
+    const std::size_t nprov =
+        1 + rng.index(std::max<std::size_t>(1, params.max_providers));
+    std::vector<std::size_t> provs;
+    // Mostly tier-1s; sometimes an earlier (bigger-index == arbitrary) transit.
+    for (std::size_t k = 0; k < nprov; ++k) {
+      if (ti > 0 && rng.chance(0.3)) {
+        const std::size_t other = transits[rng.index(ti)];  // earlier transit only: keeps hierarchy acyclic
+        if (other != self &&
+            std::find(provs.begin(), provs.end(), other) == provs.end()) {
+          provs.push_back(other);
+          continue;
+        }
+      }
+      const std::size_t t1 = tier1s[rng.index(tier1s.size())];
+      if (std::find(provs.begin(), provs.end(), t1) == provs.end()) provs.push_back(t1);
+    }
+    for (const std::size_t p : provs) {
+      links.push_back({asn_of(self), asn_of(p), RelType::kCustomerToProvider,
+                       /*visible=*/true, Prefix()});
+    }
+    // Peering among transits (sparse mesh).
+    for (std::size_t tj = ti + 1; tj < transits.size(); ++tj) {
+      if (rng.chance(params.transit_peering_prob)) {
+        links.push_back({asn_of(self), asn_of(transits[tj]), RelType::kPeerToPeer,
+                         rng.chance(params.peer_link_visible_prob), Prefix()});
+      }
+    }
+  }
+
+  // Edge networks: 1-3 providers drawn from transits (weighted), rarely a
+  // tier-1 directly.
+  std::vector<std::size_t> edges;
+  edges.insert(edges.end(), isps.begin(), isps.end());
+  edges.insert(edges.end(), hostings.begin(), hostings.end());
+  edges.insert(edges.end(), contents.begin(), contents.end());
+  edges.insert(edges.end(), others.begin(), others.end());
+  for (const std::size_t self : edges) {
+    const std::size_t nprov =
+        1 + rng.index(std::max<std::size_t>(1, params.max_providers));
+    auto provs = pick_distinct(transits, &transit_weight, nprov, self);
+    if (provs.empty() && !tier1s.empty()) provs.push_back(tier1s[rng.index(tier1s.size())]);
+    if (rng.chance(0.08) && !tier1s.empty()) {
+      const std::size_t t1 = tier1s[rng.index(tier1s.size())];
+      if (std::find(provs.begin(), provs.end(), t1) == provs.end()) provs.push_back(t1);
+    }
+    for (const std::size_t p : provs) {
+      links.push_back({asn_of(self), asn_of(p), RelType::kCustomerToProvider,
+                       /*visible=*/true, Prefix()});
+    }
+  }
+
+  // Peering at the edge: content networks peer broadly with ISPs; ISPs
+  // peer moderately among themselves and with hosting.
+  const auto add_edge_peerings = [&](const std::vector<std::size_t>& who,
+                                     const std::vector<std::size_t>& pool,
+                                     double mean) {
+    if (pool.empty()) return;
+    for (const std::size_t self : who) {
+      const auto n = static_cast<std::size_t>(rng.exponential(1.0 / std::max(0.1, mean)));
+      auto ps = pick_distinct(pool, nullptr, std::min<std::size_t>(n, pool.size() / 2 + 1), self);
+      for (const std::size_t p : ps) {
+        // store once with from < to to avoid duplicate mesh entries
+        const Asn a = std::min(asn_of(self), asn_of(p));
+        const Asn b = std::max(asn_of(self), asn_of(p));
+        links.push_back({a, b, RelType::kPeerToPeer,
+                         rng.chance(params.peer_link_visible_prob), Prefix()});
+      }
+    }
+  };
+  add_edge_peerings(contents, isps, params.content_peering_mean);
+  {
+    std::vector<std::size_t> isp_pool;
+    isp_pool.insert(isp_pool.end(), isps.begin(), isps.end());
+    isp_pool.insert(isp_pool.end(), hostings.begin(), hostings.end());
+    add_edge_peerings(isps, isp_pool, params.isp_peering_mean);
+  }
+
+  // Deduplicate links (same unordered pair may have been generated twice).
+  {
+    std::sort(links.begin(), links.end(), [](const AsLink& x, const AsLink& y) {
+      const auto kx = std::tuple(std::min(x.from, x.to), std::max(x.from, x.to));
+      const auto ky = std::tuple(std::min(y.from, y.to), std::max(y.from, y.to));
+      if (kx != ky) return kx < ky;
+      return static_cast<int>(x.type) < static_cast<int>(y.type);
+    });
+    links.erase(std::unique(links.begin(), links.end(),
+                            [](const AsLink& x, const AsLink& y) {
+                              return std::min(x.from, x.to) == std::min(y.from, y.to) &&
+                                     std::max(x.from, x.to) == std::max(y.from, y.to);
+                            }),
+                links.end());
+  }
+
+  // ---- router infrastructure prefixes -------------------------------------
+  // Each c2p link gets a /24 for its point-to-point router interfaces:
+  // usually from the provider's space (stray router traffic then lands in
+  // Invalid), otherwise from never-announced space (lands in Unrouted).
+  std::map<Asn, std::size_t> index_by_asn;
+  for (std::size_t i = 0; i < drafts.size(); ++i) index_by_asn[drafts[i].info.asn] = i;
+  for (auto& l : links) {
+    if (l.type != RelType::kCustomerToProvider) continue;
+    const AsInfo& provider = drafts[index_by_asn[l.to]].info;
+    if (rng.chance(params.infra_from_provider_prob) && !provider.prefixes.empty()) {
+      const Prefix& base = provider.prefixes[rng.index(provider.prefixes.size())];
+      if (base.length() >= 24) {
+        l.infra = base;
+      } else {
+        const std::uint32_t slots = std::uint32_t(1) << (24 - base.length());
+        const std::uint32_t pick = rng.uniform_u32(0, slots - 1);
+        l.infra = Prefix(Ipv4Addr(base.first() + (pick << 8)), 24);
+      }
+    } else {
+      l.infra = space.take_sub(24);  // allocated to nobody -> never announced
+    }
+  }
+
+  // ---- filtering ground truth ---------------------------------------------
+  for (auto& d : drafts) {
+    const int t = static_cast<int>(d.info.type);
+    d.info.filter.blocks_bogon = rng.chance(params.bogon_filter_prob[t]);
+    d.info.filter.blocks_spoofed = rng.chance(params.spoof_filter_prob[t]);
+    d.info.spoofer_density =
+        std::max(0.0, params.spoofer_density[t] * rng.lognormal(0.0, 0.6));
+    d.info.nat_leak_density =
+        std::max(0.0, params.nat_leak_density[t] * rng.lognormal(0.0, 0.6));
+  }
+
+  std::vector<AsInfo> ases;
+  ases.reserve(drafts.size());
+  for (auto& d : drafts) ases.push_back(std::move(d.info));
+
+  Topology topo(std::move(ases), std::move(links));
+  if (const auto problems = topo.validate(); !problems.empty()) {
+    for (const auto& p : problems) util::log_error() << "generated topology: " << p;
+    throw std::runtime_error("generate_topology: inconsistent topology: " + problems.front());
+  }
+  util::log_info() << "generated topology: " << topo.as_count() << " ASes, "
+                   << topo.links().size() << " links, "
+                   << topo.allocated_slash24() << " /24s allocated";
+  return topo;
+}
+
+}  // namespace spoofscope::topo

@@ -1,0 +1,76 @@
+// Random Internet-like AS topology generation.
+//
+// Produces the ground truth over which the BGP simulator, the IXP and the
+// traffic generator operate: a tier-1 clique, a transit layer, edge
+// networks of the paper's business types, organization groupings with
+// (partially invisible) sibling links, heavy-tailed address allocations
+// carved from non-bogon space, per-link router infrastructure prefixes and
+// per-AS egress filtering ground truth.
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.hpp"
+
+namespace spoofscope::topo {
+
+/// Tuning knobs of the topology generator. Defaults produce a topology in
+/// the spirit of the paper's environment, scaled down from ~57K ASes to a
+/// size a laptop-scale simulation handles comfortably.
+struct TopologyParams {
+  // --- population ---
+  std::size_t num_tier1 = 8;     ///< clique of transit-free NSPs
+  std::size_t num_transit = 80;  ///< regional/national transit NSPs
+  std::size_t num_isp = 380;     ///< end-user ISPs
+  std::size_t num_hosting = 240; ///< hosting / cloud
+  std::size_t num_content = 110; ///< content providers / CDNs
+  std::size_t num_other = 380;   ///< enterprises, research, misc
+
+  // --- organizations (Sec 3.2 multi-AS orgs) ---
+  double multi_as_org_fraction = 0.07;  ///< orgs that own several ASes
+  std::size_t max_org_size = 5;         ///< max ASes per organization
+  double sibling_link_visible_prob = 0.45;  ///< sibling links seen in BGP
+  double peer_link_visible_prob = 0.97;     ///< peering links seen in BGP
+
+  // --- address space ---
+  /// Fraction of all IPv4 space that ends up announced (paper Fig 1a:
+  /// 68.1% routed).
+  double target_routed_fraction = 0.681;
+  /// Mean fraction of an AS's allocation left unannounced (creates
+  /// allocated-but-unrouted space).
+  double unannounced_fraction = 0.10;
+
+  // --- router infrastructure ---
+  /// Probability that a c2p link's router /24 is taken from the
+  /// provider's routed space (stray traffic then classifies as Invalid,
+  /// Sec 5.2) rather than from never-announced space (-> Unrouted).
+  double infra_from_provider_prob = 0.7;
+
+  // --- connectivity ---
+  std::size_t max_providers = 3;      ///< multihoming degree
+  double transit_peering_prob = 0.15; ///< p2p density among transits
+  double content_peering_mean = 18.0; ///< mean #peers of a content AS
+  double isp_peering_mean = 4.0;      ///< mean #peers of an ISP
+
+  // --- filtering ground truth (per business type probabilities) ---
+  /// P(blocks_bogon) indexed by BusinessType.
+  double bogon_filter_prob[kNumBusinessTypes] = {0.35, 0.22, 0.20, 0.70, 0.28};
+  /// P(blocks_spoofed) indexed by BusinessType.
+  double spoof_filter_prob[kNumBusinessTypes] = {0.55, 0.42, 0.30, 0.90, 0.50};
+  /// Mean spoofer density indexed by BusinessType.
+  double spoofer_density[kNumBusinessTypes] = {0.06, 0.25, 0.55, 0.02, 0.15};
+  /// Mean NAT-leak density indexed by BusinessType.
+  double nat_leak_density[kNumBusinessTypes] = {0.15, 0.60, 0.25, 0.02, 0.40};
+
+  /// Total number of ASes this configuration produces.
+  std::size_t total_ases() const {
+    return num_tier1 + num_transit + num_isp + num_hosting + num_content +
+           num_other;
+  }
+};
+
+/// Generates a topology. Deterministic in (params, seed). The result
+/// passes Topology::validate().
+Topology generate_topology(const TopologyParams& params, std::uint64_t seed);
+
+}  // namespace spoofscope::topo

@@ -1,0 +1,169 @@
+#include "topo/serialize.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace spoofscope::topo {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view line, const std::string& why) {
+  throw std::runtime_error("topology parse error: " + why + " in line: " +
+                           std::string(line));
+}
+
+BusinessType type_from(std::string_view line, std::string_view name) {
+  for (int t = 0; t < kNumBusinessTypes; ++t) {
+    if (business_name(static_cast<BusinessType>(t)) == name) {
+      return static_cast<BusinessType>(t);
+    }
+  }
+  fail(line, "unknown business type");
+}
+
+RelType rel_from(std::string_view line, std::string_view name) {
+  if (name == "c2p") return RelType::kCustomerToProvider;
+  if (name == "p2p") return RelType::kPeerToPeer;
+  if (name == "sibling") return RelType::kSibling;
+  fail(line, "unknown relationship type");
+}
+
+double parse_double(std::string_view line, std::string_view tok) {
+  try {
+    return std::stod(std::string(tok));
+  } catch (const std::exception&) {
+    fail(line, "bad number");
+  }
+}
+
+net::Asn parse_asn(std::string_view line, std::string_view tok) {
+  std::uint32_t asn;
+  if (!util::parse_u32(tok, asn) || asn == net::kNoAsn) fail(line, "bad ASN");
+  return asn;
+}
+
+}  // namespace
+
+void write_topology(std::ostream& out, const Topology& topo) {
+  // Round-trip exactness for the double-valued fields.
+  out << std::setprecision(17);
+  out << "topology v1\n";
+  for (const auto& as : topo.ases()) {
+    out << "as " << as.asn << " type " << business_name(as.type) << " org "
+        << as.org << " announce " << as.announce_fraction << " bogonfilter "
+        << (as.filter.blocks_bogon ? 1 : 0) << " spooffilter "
+        << (as.filter.blocks_spoofed ? 1 : 0) << " spoofer "
+        << as.spoofer_density << " natleak " << as.nat_leak_density << "\n";
+  }
+  for (const auto& as : topo.ases()) {
+    for (const auto& p : as.prefixes) {
+      out << "prefix " << as.asn << " " << p.str() << "\n";
+    }
+  }
+  for (const auto& l : topo.links()) {
+    out << "link " << rel_name(l.type) << " " << l.from << " " << l.to
+        << " visible " << (l.visible_in_bgp ? 1 : 0);
+    if (l.infra.length() != 0) out << " infra " << l.infra.str();
+    out << "\n";
+  }
+}
+
+Topology read_topology(std::istream& in) {
+  std::map<net::Asn, AsInfo> ases;
+  std::vector<net::Asn> order;
+  std::vector<AsLink> links;
+  bool header_seen = false;
+
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const auto line = util::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    std::vector<std::string_view> tok;
+    for (const auto t : util::split(line, ' ')) {
+      if (!t.empty()) tok.push_back(t);
+    }
+
+    if (!header_seen) {
+      if (tok.size() != 2 || tok[0] != "topology" || tok[1] != "v1") {
+        fail(line, "expected 'topology v1' header");
+      }
+      header_seen = true;
+      continue;
+    }
+
+    if (tok[0] == "as") {
+      if (tok.size() != 16) fail(line, "as line needs 16 tokens");
+      AsInfo info;
+      info.asn = parse_asn(line, tok[1]);
+      if (tok[2] != "type") fail(line, "expected 'type'");
+      info.type = type_from(line, tok[3]);
+      if (tok[4] != "org") fail(line, "expected 'org'");
+      std::uint32_t org;
+      if (!util::parse_u32(tok[5], org)) fail(line, "bad org id");
+      info.org = org;
+      if (tok[6] != "announce") fail(line, "expected 'announce'");
+      info.announce_fraction = parse_double(line, tok[7]);
+      if (tok[8] != "bogonfilter") fail(line, "expected 'bogonfilter'");
+      info.filter.blocks_bogon = tok[9] == "1";
+      if (tok[10] != "spooffilter") fail(line, "expected 'spooffilter'");
+      info.filter.blocks_spoofed = tok[11] == "1";
+      if (tok[12] != "spoofer") fail(line, "expected 'spoofer'");
+      info.spoofer_density = parse_double(line, tok[13]);
+      if (tok[14] != "natleak") fail(line, "expected 'natleak'");
+      info.nat_leak_density = parse_double(line, tok[15]);
+      if (ases.count(info.asn)) fail(line, "duplicate AS");
+      ases.emplace(info.asn, info);
+      order.push_back(info.asn);
+      continue;
+    }
+    if (tok[0] == "prefix") {
+      if (tok.size() != 3) fail(line, "prefix line needs 3 tokens");
+      const net::Asn asn = parse_asn(line, tok[1]);
+      const auto it = ases.find(asn);
+      if (it == ases.end()) fail(line, "prefix for undeclared AS");
+      const auto p = net::Prefix::parse(tok[2]);
+      if (!p) fail(line, "bad prefix");
+      it->second.prefixes.push_back(*p);
+      continue;
+    }
+    if (tok[0] == "link") {
+      if (tok.size() != 6 && tok.size() != 8) {
+        fail(line, "link line needs 6 or 8 tokens");
+      }
+      AsLink l;
+      l.type = rel_from(line, tok[1]);
+      l.from = parse_asn(line, tok[2]);
+      l.to = parse_asn(line, tok[3]);
+      if (!ases.count(l.from) || !ases.count(l.to)) {
+        fail(line, "link references undeclared AS");
+      }
+      if (tok[4] != "visible") fail(line, "expected 'visible'");
+      l.visible_in_bgp = tok[5] == "1";
+      if (tok.size() == 8) {
+        if (tok[6] != "infra") fail(line, "expected 'infra'");
+        const auto p = net::Prefix::parse(tok[7]);
+        if (!p) fail(line, "bad infra prefix");
+        l.infra = *p;
+      }
+      links.push_back(l);
+      continue;
+    }
+    fail(line, "unknown record type");
+  }
+  if (!header_seen) throw std::runtime_error("topology parse error: empty input");
+
+  std::vector<AsInfo> list;
+  list.reserve(order.size());
+  for (const net::Asn asn : order) list.push_back(std::move(ases.at(asn)));
+  return Topology(std::move(list), std::move(links));
+}
+
+}  // namespace spoofscope::topo

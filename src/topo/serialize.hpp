@@ -1,0 +1,32 @@
+// Text serialization of the ground-truth topology, so generated worlds
+// can be archived, diffed and reloaded (or hand-written for experiments).
+//
+// Line-oriented format, '#' comments:
+//
+//   topology v1
+//   as <asn> type <NSP|ISP|Hosting|Content|Other> org <id>
+//      announce <frac> bogonfilter <0|1> spooffilter <0|1>
+//      spoofer <density> natleak <density>
+//   prefix <asn> <cidr>
+//   link <c2p|p2p|sibling> <from> <to> visible <0|1> [infra <cidr>]
+//
+// `as` lines are single-line (the indentation above is only for this
+// comment). Every prefix/link must reference a previously declared AS.
+#pragma once
+
+#include <iosfwd>
+
+#include "topo/topology.hpp"
+
+namespace spoofscope::topo {
+
+/// Writes the topology; deterministic output (ASes in dense order, links
+/// in stored order).
+void write_topology(std::ostream& out, const Topology& topo);
+
+/// Parses a topology written by write_topology (or by hand). Throws
+/// std::runtime_error naming the offending line on malformed input; the
+/// result satisfies the Topology constructor invariants.
+Topology read_topology(std::istream& in);
+
+}  // namespace spoofscope::topo

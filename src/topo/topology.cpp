@@ -1,0 +1,181 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace spoofscope::topo {
+
+Topology::Topology(std::vector<AsInfo> ases, std::vector<AsLink> links)
+    : ases_(std::move(ases)), links_(std::move(links)) {
+  index_.reserve(ases_.size());
+  for (std::size_t i = 0; i < ases_.size(); ++i) {
+    const Asn asn = ases_[i].asn;
+    if (asn == net::kNoAsn) throw std::invalid_argument("Topology: ASN 0 is reserved");
+    if (!index_.emplace(asn, i).second) {
+      throw std::invalid_argument("Topology: duplicate ASN " + std::to_string(asn));
+    }
+    orgs_[ases_[i].org].push_back(asn);
+  }
+
+  neighbors_.resize(ases_.size());
+  for (const auto& l : links_) {
+    const auto fi = index_.find(l.from);
+    const auto ti = index_.find(l.to);
+    if (fi == index_.end() || ti == index_.end()) {
+      throw std::invalid_argument("Topology: link references unknown AS");
+    }
+    switch (l.type) {
+      case RelType::kCustomerToProvider:
+        neighbors_[fi->second].providers.push_back(l.to);
+        neighbors_[ti->second].customers.push_back(l.from);
+        break;
+      case RelType::kPeerToPeer:
+        neighbors_[fi->second].peers.push_back(l.to);
+        neighbors_[ti->second].peers.push_back(l.from);
+        break;
+      case RelType::kSibling:
+        neighbors_[fi->second].siblings.push_back(l.to);
+        neighbors_[ti->second].siblings.push_back(l.from);
+        break;
+    }
+  }
+
+  for (const auto& info : ases_) {
+    for (const auto& p : info.prefixes) alloc_.emplace_back(p, info.asn);
+  }
+  std::sort(alloc_.begin(), alloc_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+const AsInfo* Topology::find(Asn asn) const {
+  const auto it = index_.find(asn);
+  return it == index_.end() ? nullptr : &ases_[it->second];
+}
+
+std::optional<std::size_t> Topology::index_of(Asn asn) const {
+  const auto it = index_.find(asn);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+const std::vector<net::Asn> kEmpty;
+}
+
+std::span<const Asn> Topology::providers_of(Asn asn) const {
+  const auto it = index_.find(asn);
+  return it == index_.end() ? kEmpty : neighbors_[it->second].providers;
+}
+
+std::span<const Asn> Topology::customers_of(Asn asn) const {
+  const auto it = index_.find(asn);
+  return it == index_.end() ? kEmpty : neighbors_[it->second].customers;
+}
+
+std::span<const Asn> Topology::peers_of(Asn asn) const {
+  const auto it = index_.find(asn);
+  return it == index_.end() ? kEmpty : neighbors_[it->second].peers;
+}
+
+std::span<const Asn> Topology::siblings_of(Asn asn) const {
+  const auto it = index_.find(asn);
+  return it == index_.end() ? kEmpty : neighbors_[it->second].siblings;
+}
+
+std::span<const Asn> Topology::org_members(OrgId org) const {
+  const auto it = orgs_.find(org);
+  return it == orgs_.end() ? kEmpty : it->second;
+}
+
+Asn Topology::allocation_owner(const net::Prefix& p) const {
+  // Find the last allocation starting at or before p.
+  auto it = std::upper_bound(
+      alloc_.begin(), alloc_.end(), p,
+      [](const net::Prefix& x, const auto& entry) { return x < entry.first; });
+  while (it != alloc_.begin()) {
+    --it;
+    if (it->first.contains(p)) return it->second;
+    // Allocations are disjoint, so once we are before any possible cover
+    // (first address of candidate below p's first and not covering) we can
+    // stop unless an earlier shorter prefix might still cover; walk while
+    // candidate.first() block could contain p.
+    if (it->first.last() < p.first()) break;
+  }
+  return net::kNoAsn;
+}
+
+double Topology::allocated_slash24() const {
+  double total = 0.0;
+  for (const auto& [p, asn] : alloc_) total += p.slash24_equivalents();
+  return total;
+}
+
+std::vector<std::string> Topology::validate() const {
+  std::vector<std::string> problems;
+
+  // Allocations must be disjoint.
+  for (std::size_t i = 1; i < alloc_.size(); ++i) {
+    if (alloc_[i - 1].first.overlaps(alloc_[i].first)) {
+      problems.push_back("overlapping allocations: " + alloc_[i - 1].first.str() +
+                         " (AS" + std::to_string(alloc_[i - 1].second) + ") and " +
+                         alloc_[i].first.str() + " (AS" +
+                         std::to_string(alloc_[i].second) + ")");
+    }
+  }
+
+  // No duplicate links (same unordered pair with same type).
+  std::set<std::tuple<Asn, Asn, int>> seen;
+  for (const auto& l : links_) {
+    const Asn a = std::min(l.from, l.to);
+    const Asn b = std::max(l.from, l.to);
+    if (l.from == l.to) problems.push_back("self-link at AS" + std::to_string(l.from));
+    if (!seen.emplace(a, b, static_cast<int>(l.type)).second) {
+      problems.push_back("duplicate link AS" + std::to_string(a) + "-AS" +
+                         std::to_string(b));
+    }
+  }
+
+  // Siblings must share an organization.
+  for (const auto& l : links_) {
+    if (l.type != RelType::kSibling) continue;
+    const AsInfo* fa = find(l.from);
+    const AsInfo* ta = find(l.to);
+    if (fa && ta && fa->org != ta->org) {
+      problems.push_back("sibling link between different orgs: AS" +
+                         std::to_string(l.from) + " and AS" + std::to_string(l.to));
+    }
+  }
+
+  // Customer-provider graph must be acyclic (no provider loops).
+  // Kahn's algorithm over c2p edges.
+  std::vector<int> outdeg(ases_.size(), 0);  // number of providers
+  std::vector<std::vector<std::size_t>> customers_idx(ases_.size());
+  for (const auto& l : links_) {
+    if (l.type != RelType::kCustomerToProvider) continue;
+    const std::size_t c = index_.at(l.from);
+    const std::size_t p = index_.at(l.to);
+    ++outdeg[c];
+    customers_idx[p].push_back(c);
+  }
+  std::vector<std::size_t> queue;
+  for (std::size_t i = 0; i < ases_.size(); ++i) {
+    if (outdeg[i] == 0) queue.push_back(i);
+  }
+  std::size_t processed = 0;
+  while (!queue.empty()) {
+    const std::size_t p = queue.back();
+    queue.pop_back();
+    ++processed;
+    for (const std::size_t c : customers_idx[p]) {
+      if (--outdeg[c] == 0) queue.push_back(c);
+    }
+  }
+  if (processed != ases_.size()) {
+    problems.push_back("customer-provider hierarchy contains a cycle");
+  }
+
+  return problems;
+}
+
+}  // namespace spoofscope::topo

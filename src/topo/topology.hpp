@@ -1,0 +1,85 @@
+// The simulated inter-domain topology: the set of ASes, their relationship
+// edges and address allocations. This is *ground truth*; everything the
+// detection method is allowed to see is derived from BGP data produced by
+// bgp::Simulator over this topology.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/as_info.hpp"
+
+namespace spoofscope::topo {
+
+/// Immutable-after-build container for the AS-level topology.
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Builds from AS descriptions and relationship links. Throws
+  /// std::invalid_argument on duplicate ASNs or links referencing unknown
+  /// ASes.
+  Topology(std::vector<AsInfo> ases, std::vector<AsLink> links);
+
+  const std::vector<AsInfo>& ases() const { return ases_; }
+  const std::vector<AsLink>& links() const { return links_; }
+  std::size_t as_count() const { return ases_.size(); }
+
+  /// Lookup by ASN; nullptr when unknown.
+  const AsInfo* find(Asn asn) const;
+
+  /// Dense index of an ASN (stable across the topology's lifetime);
+  /// std::nullopt when unknown. Used by algorithms that want vectors
+  /// instead of hash maps.
+  std::optional<std::size_t> index_of(Asn asn) const;
+
+  /// ASN at a dense index (inverse of index_of).
+  Asn asn_at(std::size_t idx) const { return ases_[idx].asn; }
+
+  /// Providers of `asn` (ASes it has a c2p link *to*).
+  std::span<const Asn> providers_of(Asn asn) const;
+
+  /// Customers of `asn` (ASes with a c2p link to `asn`).
+  std::span<const Asn> customers_of(Asn asn) const;
+
+  /// Settlement-free peers of `asn`.
+  std::span<const Asn> peers_of(Asn asn) const;
+
+  /// Sibling ASes (same organization links).
+  std::span<const Asn> siblings_of(Asn asn) const;
+
+  /// All ASes of the organization `org` (>= 1 entry for valid orgs).
+  std::span<const Asn> org_members(OrgId org) const;
+
+  /// The origin AS whose allocation covers `p` exactly or by coverage;
+  /// kNoAsn if unallocated. (Allocations are disjoint across ASes.)
+  Asn allocation_owner(const net::Prefix& p) const;
+
+  /// Total allocated space in /24 equivalents.
+  double allocated_slash24() const;
+
+  /// Sanity checks of the topology invariants; returns a list of
+  /// human-readable problems (empty == consistent).
+  std::vector<std::string> validate() const;
+
+ private:
+  struct Neighbors {
+    std::vector<Asn> providers;
+    std::vector<Asn> customers;
+    std::vector<Asn> peers;
+    std::vector<Asn> siblings;
+  };
+
+  std::vector<AsInfo> ases_;
+  std::vector<AsLink> links_;
+  std::unordered_map<Asn, std::size_t> index_;
+  std::vector<Neighbors> neighbors_;                  // parallel to ases_
+  std::unordered_map<OrgId, std::vector<Asn>> orgs_;
+  // Allocation ownership map: sorted by prefix first address.
+  std::vector<std::pair<net::Prefix, Asn>> alloc_;
+};
+
+}  // namespace spoofscope::topo

@@ -1,0 +1,206 @@
+#include "traffic/attacks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/protocols.hpp"
+#include "traffic/regular.hpp"
+
+namespace spoofscope::traffic {
+
+namespace {
+
+using net::Proto;
+namespace ports = net::ports;
+
+/// Picks a member likely to host attackers: weighted by spoofer density,
+/// restricted to members whose ground truth lets spoofed packets out.
+const topo::AsInfo* pick_attacker(const TrafficContext& ctx, util::Rng& rng) {
+  for (int attempt = 0; attempt < 400; ++attempt) {
+    const auto& m = ctx.uniform_member(rng);
+    const auto* info = ctx.topo().find(m.asn);
+    if (info->filter.blocks_spoofed) continue;
+    if (rng.uniform() < info->spoofer_density) return info;
+  }
+  return nullptr;
+}
+
+/// A victim address: usually inside a hosting/content member's announced
+/// space (the popular targets), otherwise anywhere announced.
+net::Ipv4Addr pick_victim(const TrafficContext& ctx, util::Rng& rng) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const auto& m = ctx.uniform_member(rng);
+    const auto* info = ctx.topo().find(m.asn);
+    const bool preferred = info->type == topo::BusinessType::kHosting ||
+                           info->type == topo::BusinessType::kContent;
+    if (preferred || rng.chance(0.15)) return ctx.announced_addr(m.asn, rng);
+  }
+  return ctx.announced_addr(ctx.uniform_member(rng).asn, rng);
+}
+
+std::uint16_t ephemeral(util::Rng& rng) {
+  return static_cast<std::uint16_t>(rng.uniform_u32(1024, 65535));
+}
+
+}  // namespace
+
+void generate_random_spoof_floods(const TrafficContext& ctx, util::Rng& rng,
+                                  std::vector<net::FlowRecord>& out,
+                                  std::vector<Component>& components,
+                                  WorkloadSummary& summary) {
+  for (std::size_t e = 0; e < ctx.params().random_spoof_events; ++e) {
+    const auto* attacker = pick_attacker(ctx, rng);
+    if (!attacker) continue;
+    const net::Ipv4Addr victim = pick_victim(ctx, rng);
+    const Asn member_out = ctx.exit_member_for(victim, rng);
+
+    // Event timing: a burst of minutes to hours, anywhere in the window.
+    const std::uint32_t start = ctx.uniform_ts(rng);
+    const std::uint32_t duration = rng.uniform_u32(300, 6 * 3600);
+    const auto flows = static_cast<std::size_t>(std::min(
+        static_cast<double>(ctx.params().flood_flows_cap),
+        rng.pareto(static_cast<double>(ctx.params().flood_flows_mean) * 0.5, 1.3)));
+
+    const bool syn_flood = rng.chance(0.9);
+    const std::uint16_t dport = rng.chance(0.5) ? ports::kHttp : ports::kHttps;
+    for (std::size_t i = 0; i < flows; ++i) {
+      const net::Ipv4Addr src(rng.next_u32());  // uniform over all of IPv4
+      if (!ctx.egress_allows(*attacker, src)) continue;
+      const std::uint32_t ts = std::min(ctx.params().window_seconds - 1,
+                                        start + rng.uniform_u32(0, duration));
+      const std::uint32_t pkts = 1 + (rng.chance(0.15) ? 1 : 0);
+      const std::uint64_t bytes = std::uint64_t(pkts) * (40 + rng.uniform_u32(0, 20));
+      if (syn_flood) {
+        out.push_back(make_flow(ts, src, victim, Proto::kTcp, ephemeral(rng),
+                                dport, pkts, bytes, attacker->asn, member_out));
+      } else {
+        out.push_back(make_flow(ts, src, victim, Proto::kUdp, ephemeral(rng),
+                                ephemeral(rng), pkts, bytes, attacker->asn,
+                                member_out));
+      }
+      components.push_back(Component::kRandomSpoof);
+      ++summary.random_spoof;
+    }
+  }
+}
+
+void generate_ntp_amplification(const TrafficContext& ctx, util::Rng& rng,
+                                std::vector<net::FlowRecord>& out,
+                                std::vector<Component>& components,
+                                WorkloadSummary& summary) {
+  const auto& servers = ctx.ntp_servers();
+  if (servers.empty() || ctx.params().ntp_campaigns == 0) return;
+
+  // The dominant attacker member emits most trigger volume.
+  const auto* dominant = pick_attacker(ctx, rng);
+
+  for (std::size_t c = 0; c < ctx.params().ntp_campaigns; ++c) {
+    const topo::AsInfo* attacker =
+        (dominant && rng.chance(ctx.params().ntp_dominant_share))
+            ? dominant
+            : pick_attacker(ctx, rng);
+    if (!attacker) continue;
+
+    NtpCampaign campaign;
+    campaign.attacker_member = attacker->asn;
+    campaign.victim = pick_victim(ctx, rng);
+    campaign.distributed = rng.chance(0.4);
+
+    // Strategy: concentrated campaigns hammer a handful of amplifiers;
+    // distributed ones spray uniformly over thousands (Fig 11b).
+    const std::size_t namp =
+        campaign.distributed
+            ? rng.uniform_u32(800, static_cast<std::uint32_t>(
+                                       std::max<std::size_t>(801, servers.size())))
+            : rng.uniform_u32(5, 120);
+    std::vector<std::size_t> amp_idx;
+    amp_idx.reserve(namp);
+    for (std::size_t i = 0; i < namp; ++i) amp_idx.push_back(rng.index(servers.size()));
+    std::sort(amp_idx.begin(), amp_idx.end());
+    amp_idx.erase(std::unique(amp_idx.begin(), amp_idx.end()), amp_idx.end());
+    campaign.amplifiers_contacted = amp_idx.size();
+
+    const std::uint32_t start = ctx.uniform_ts(rng);
+    const std::uint32_t duration = rng.uniform_u32(1800, 12 * 3600);
+    const std::size_t total_flows = static_cast<std::size_t>(
+        std::min(static_cast<double>(ctx.params().ntp_flows_cap),
+                 rng.pareto(static_cast<double>(ctx.params().ntp_flows_mean) * 0.5,
+                            1.3)));
+
+    const util::ZipfDistribution amp_pick(amp_idx.size(),
+                                          campaign.distributed ? 0.05 : 1.3);
+    // Whether the amplifier->victim return path crosses the fabric is a
+    // property of routing, fixed per (victim, amplifier) pair.
+    std::vector<bool> response_visible(amp_idx.size());
+    for (std::size_t a = 0; a < amp_idx.size(); ++a) {
+      response_visible[a] = rng.chance(ctx.params().ntp_response_visibility);
+    }
+    for (std::size_t i = 0; i < total_flows; ++i) {
+      const std::size_t amp_slot = amp_pick(rng);
+      const auto& [amp_addr, amp_asn] = servers[amp_idx[amp_slot]];
+      if (!ctx.egress_allows(*attacker, campaign.victim)) break;
+      const std::uint32_t ts = std::min(ctx.params().window_seconds - 1,
+                                        start + rng.uniform_u32(0, duration));
+      const std::uint32_t pkts = 1 + (rng.chance(0.2) ? 1 : 0);
+      const std::uint64_t bytes = std::uint64_t(pkts) * (40 + rng.uniform_u32(0, 50));
+      const Asn amp_member = ctx.exit_member_for(amp_addr, rng);
+      out.push_back(make_flow(ts, campaign.victim, amp_addr, Proto::kUdp,
+                              ephemeral(rng), ports::kNtp, pkts, bytes,
+                              attacker->asn, amp_member));
+      components.push_back(Component::kNtpTrigger);
+      ++summary.ntp_trigger;
+      summary.ntp_amplifiers_contacted.push_back(amp_addr);
+
+      // Response path: amplifier -> victim, ~10x bytes, visible for a
+      // subset of pairs (both directions must cross the fabric).
+      if (response_visible[amp_slot]) {
+        const Asn victim_member = ctx.exit_member_for(campaign.victim, rng);
+        const std::uint64_t rbytes = bytes * (8 + rng.uniform_u32(0, 6));
+        out.push_back(make_flow(
+            std::min(ctx.params().window_seconds - 1, ts + rng.uniform_u32(0, 2)),
+            amp_addr, campaign.victim, Proto::kUdp, ports::kNtp, ephemeral(rng),
+            pkts, rbytes, amp_member, victim_member));
+        components.push_back(Component::kNtpResponse);
+        ++summary.ntp_response;
+      }
+    }
+    summary.ntp_campaigns.push_back(campaign);
+  }
+
+  std::sort(summary.ntp_amplifiers_contacted.begin(),
+            summary.ntp_amplifiers_contacted.end());
+  summary.ntp_amplifiers_contacted.erase(
+      std::unique(summary.ntp_amplifiers_contacted.begin(),
+                  summary.ntp_amplifiers_contacted.end()),
+      summary.ntp_amplifiers_contacted.end());
+}
+
+void generate_steam_floods(const TrafficContext& ctx, util::Rng& rng,
+                           std::vector<net::FlowRecord>& out,
+                           std::vector<Component>& components,
+                           WorkloadSummary& summary) {
+  for (std::size_t e = 0; e < ctx.params().steam_flood_events; ++e) {
+    const auto* attacker = pick_attacker(ctx, rng);
+    if (!attacker) continue;
+    const net::Ipv4Addr victim = pick_victim(ctx, rng);
+    const Asn member_out = ctx.exit_member_for(victim, rng);
+    const std::uint32_t start = ctx.uniform_ts(rng);
+    const std::uint32_t duration = rng.uniform_u32(600, 4 * 3600);
+    const auto flows = static_cast<std::size_t>(
+        std::min(static_cast<double>(ctx.params().steam_flows_cap),
+                 rng.pareto(250.0, 1.4)));
+    for (std::size_t i = 0; i < flows; ++i) {
+      const net::Ipv4Addr src(rng.next_u32());
+      if (!ctx.egress_allows(*attacker, src)) continue;
+      const std::uint32_t ts = std::min(ctx.params().window_seconds - 1,
+                                        start + rng.uniform_u32(0, duration));
+      out.push_back(make_flow(ts, src, victim, net::Proto::kUdp, ephemeral(rng),
+                              net::ports::kSteam, 1, 40 + rng.uniform_u32(0, 25),
+                              attacker->asn, member_out));
+      components.push_back(Component::kSteamFlood);
+      ++summary.steam_flood;
+    }
+  }
+}
+
+}  // namespace spoofscope::traffic

@@ -1,0 +1,34 @@
+// Attack traffic generators (Sec 7): random-spoof flooding, NTP
+// amplification with selective spoofing, and Steam floods.
+#pragma once
+
+#include <vector>
+
+#include "traffic/context.hpp"
+
+namespace spoofscope::traffic {
+
+/// Flooding attacks with uniformly random spoofed sources (TCP SYN to
+/// HTTP/HTTPS of single victims). Each event honours the attacking
+/// member's ground-truth egress filters.
+void generate_random_spoof_floods(const TrafficContext& ctx, util::Rng& rng,
+                                  std::vector<net::FlowRecord>& out,
+                                  std::vector<Component>& components,
+                                  WorkloadSummary& summary);
+
+/// NTP amplification: trigger flows carry the victim's address as source
+/// (UDP, DST port 123) towards amplifiers from the global pool; a subset
+/// of amplifier responses (~10x bytes, SRC port 123) is visible too. One
+/// member dominates the trigger volume, as in the paper (91.94%).
+void generate_ntp_amplification(const TrafficContext& ctx, util::Rng& rng,
+                                std::vector<net::FlowRecord>& out,
+                                std::vector<Component>& components,
+                                WorkloadSummary& summary);
+
+/// Floods against game servers (UDP 27015), sources uniformly random.
+void generate_steam_floods(const TrafficContext& ctx, util::Rng& rng,
+                           std::vector<net::FlowRecord>& out,
+                           std::vector<Component>& components,
+                           WorkloadSummary& summary);
+
+}  // namespace spoofscope::traffic

@@ -1,0 +1,107 @@
+// Shared sampling machinery for the workload component generators:
+// member/address/timestamp selection, ground-truth egress filtering and
+// the exit-member mapping (which member a destination is reached through).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ixp/ixp.hpp"
+#include "net/flow.hpp"
+#include "topo/topology.hpp"
+#include "traffic/workload.hpp"
+#include "trie/interval_set.hpp"
+#include "util/rng.hpp"
+
+namespace spoofscope::traffic {
+
+using net::Asn;
+
+/// Immutable per-workload context. Component generators draw members,
+/// addresses and timestamps through it so all components agree on ground
+/// truth.
+class TrafficContext {
+ public:
+  TrafficContext(const topo::Topology& topo, const ixp::Ixp& ixp,
+                 const WorkloadParams& params, std::uint64_t seed);
+
+  const topo::Topology& topo() const { return *topo_; }
+  const ixp::Ixp& ixp() const { return *ixp_; }
+  const WorkloadParams& params() const { return *params_; }
+
+  // --- member selection ---------------------------------------------------
+
+  /// Member weighted by traffic share (regular traffic origination).
+  const ixp::Member& weighted_member(util::Rng& rng) const;
+
+  /// Uniformly random member.
+  const ixp::Member& uniform_member(util::Rng& rng) const;
+
+  /// The member through which destination `dst` is reached: the owner AS
+  /// if it is a member, else the nearest member up its provider chain,
+  /// else a traffic-weighted fallback member.
+  Asn exit_member_for(net::Ipv4Addr dst, util::Rng& rng) const;
+
+  // --- address sampling ----------------------------------------------------
+
+  /// Uniform address inside a prefix.
+  static net::Ipv4Addr addr_in(const net::Prefix& p, util::Rng& rng);
+
+  /// Random address in the AS's *announced* space (weighted by prefix
+  /// size). Falls back to any allocated prefix if nothing is announced.
+  net::Ipv4Addr announced_addr(Asn asn, util::Rng& rng) const;
+
+  /// A legitimate egress source for a member: mostly its own announced
+  /// space, sometimes a (ground-truth) customer's or sibling's.
+  net::Ipv4Addr legitimate_src(Asn member, util::Rng& rng) const;
+
+  /// A plausible destination address behind `member`.
+  net::Ipv4Addr dst_behind(Asn member, util::Rng& rng) const;
+
+  /// The announced space of the member plus everything it transits for
+  /// (ground-truth customers, transitively, and siblings) — what a
+  /// BCP38-compliant egress ACL of that member would allow.
+  const trie::IntervalSet& ground_truth_space(Asn member) const;
+
+  /// True if the AS's ground-truth egress policy lets a packet with
+  /// source `src` leave the network.
+  bool egress_allows(const topo::AsInfo& as, net::Ipv4Addr src) const;
+
+  // --- time ----------------------------------------------------------------
+
+  /// Timestamp following the fabric's diurnal profile.
+  std::uint32_t diurnal_ts(util::Rng& rng) const;
+
+  /// Uniform timestamp in the window.
+  std::uint32_t uniform_ts(util::Rng& rng) const;
+
+  // --- attack infrastructure -----------------------------------------------
+
+  /// The global pool of NTP servers usable as amplifiers: (address,
+  /// owner AS).
+  const std::vector<std::pair<net::Ipv4Addr, Asn>>& ntp_servers() const {
+    return ntp_servers_;
+  }
+
+ private:
+  const topo::Topology* topo_;
+  const ixp::Ixp* ixp_;
+  const WorkloadParams* params_;
+
+  std::vector<double> member_cdf_;  // cumulative traffic weights
+  std::unordered_map<Asn, trie::IntervalSet> gt_space_;   // per member
+  std::unordered_map<Asn, Asn> exit_member_;              // per AS
+  std::vector<double> hour_cdf_;                          // 24-bin diurnal
+  std::vector<std::pair<net::Ipv4Addr, Asn>> ntp_servers_;
+  trie::IntervalSet empty_;
+};
+
+/// Builds a flow record with the common fields filled in.
+net::FlowRecord make_flow(std::uint32_t ts, net::Ipv4Addr src, net::Ipv4Addr dst,
+                          net::Proto proto, std::uint16_t sport,
+                          std::uint16_t dport, std::uint32_t packets,
+                          std::uint64_t bytes, Asn member_in, Asn member_out);
+
+}  // namespace spoofscope::traffic

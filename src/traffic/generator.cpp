@@ -1,0 +1,215 @@
+#include "traffic/context.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "net/bogon.hpp"
+
+namespace spoofscope::traffic {
+
+namespace {
+
+/// Transitive ground-truth downstream of a member: customers (via c2p)
+/// and siblings, breadth-first.
+std::vector<Asn> downstream_of(const topo::Topology& topo, Asn member) {
+  std::vector<Asn> out{member};
+  std::vector<bool> seen(topo.as_count(), false);
+  seen[*topo.index_of(member)] = true;
+  std::queue<Asn> q;
+  q.push(member);
+  while (!q.empty()) {
+    const Asn cur = q.front();
+    q.pop();
+    const auto push = [&](Asn next) {
+      const auto idx = topo.index_of(next);
+      if (!idx || seen[*idx]) return;
+      seen[*idx] = true;
+      out.push_back(next);
+      q.push(next);
+    };
+    for (const Asn c : topo.customers_of(cur)) push(c);
+    for (const Asn s : topo.siblings_of(cur)) push(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+TrafficContext::TrafficContext(const topo::Topology& topo, const ixp::Ixp& ixp,
+                               const WorkloadParams& params, std::uint64_t seed)
+    : topo_(&topo), ixp_(&ixp), params_(&params) {
+  // Member selection CDF.
+  double acc = 0.0;
+  member_cdf_.reserve(ixp.member_count());
+  for (const auto& m : ixp.members()) {
+    acc += m.traffic_weight;
+    member_cdf_.push_back(acc);
+  }
+
+  // Ground-truth egress space per member (announced own + downstream).
+  for (const auto& m : ixp.members()) {
+    std::vector<trie::Interval> ivs;
+    for (const Asn asn : downstream_of(topo, m.asn)) {
+      const auto* info = topo.find(asn);
+      const std::size_t n = topo::announced_prefix_count(*info);
+      for (std::size_t i = 0; i < n; ++i) {
+        ivs.push_back({info->prefixes[i].first(), info->prefixes[i].last()});
+      }
+    }
+    gt_space_.emplace(m.asn, trie::IntervalSet::from_intervals(std::move(ivs)));
+  }
+
+  // Exit member per AS: itself if a member, else nearest member up the
+  // provider chain (BFS from all members downwards).
+  std::queue<Asn> q;
+  for (const auto& m : ixp.members()) {
+    exit_member_.emplace(m.asn, m.asn);
+    q.push(m.asn);
+  }
+  while (!q.empty()) {
+    const Asn cur = q.front();
+    q.pop();
+    const Asn exit = exit_member_.at(cur);
+    for (const Asn c : topo.customers_of(cur)) {
+      if (exit_member_.emplace(c, exit).second) q.push(c);
+    }
+  }
+
+  // Diurnal profile: flat base + evening peak around 20:00.
+  hour_cdf_.resize(24);
+  double t = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    const double peak = std::exp(-0.5 * std::pow((h - 20.0) / 4.5, 2.0));
+    t += 0.25 + 1.2 * peak;
+    hour_cdf_[h] = t;
+  }
+  for (auto& c : hour_cdf_) c /= t;
+
+  // NTP server pool spread over announced space.
+  util::Rng rng(seed ^ 0x4e545021ULL);  // "NTP!"
+  ntp_servers_.reserve(params.ntp_server_pool);
+  for (std::size_t i = 0; i < params.ntp_server_pool && topo.as_count() > 0; ++i) {
+    const auto& as = topo.ases()[rng.index(topo.as_count())];
+    ntp_servers_.emplace_back(announced_addr(as.asn, rng), as.asn);
+  }
+}
+
+const ixp::Member& TrafficContext::weighted_member(util::Rng& rng) const {
+  const double u = rng.uniform() * member_cdf_.back();
+  const auto it = std::lower_bound(member_cdf_.begin(), member_cdf_.end(), u);
+  const std::size_t i =
+      std::min<std::size_t>(it - member_cdf_.begin(), member_cdf_.size() - 1);
+  return ixp_->members()[i];
+}
+
+const ixp::Member& TrafficContext::uniform_member(util::Rng& rng) const {
+  return ixp_->members()[rng.index(ixp_->member_count())];
+}
+
+Asn TrafficContext::exit_member_for(net::Ipv4Addr dst, util::Rng& rng) const {
+  const Asn owner = topo_->allocation_owner(net::Prefix(dst, 32));
+  if (owner != net::kNoAsn) {
+    const auto it = exit_member_.find(owner);
+    if (it != exit_member_.end()) return it->second;
+  }
+  return weighted_member(rng).asn;
+}
+
+net::Ipv4Addr TrafficContext::addr_in(const net::Prefix& p, util::Rng& rng) {
+  if (p.length() >= 32) return p.address();
+  return net::Ipv4Addr(p.first() + rng.uniform_u32(0, static_cast<std::uint32_t>(
+                                                          p.num_addresses() - 1)));
+}
+
+net::Ipv4Addr TrafficContext::announced_addr(Asn asn, util::Rng& rng) const {
+  const auto* info = topo_->find(asn);
+  if (!info || info->prefixes.empty()) return net::Ipv4Addr(rng.next_u32());
+  std::size_t n = topo::announced_prefix_count(*info);
+  if (n == 0) n = info->prefixes.size();  // fall back to allocated space
+  // Prefix lengths are close enough within one AS that uniform prefix
+  // choice is an acceptable size weighting.
+  return addr_in(info->prefixes[rng.index(n)], rng);
+}
+
+net::Ipv4Addr TrafficContext::legitimate_src(Asn member, util::Rng& rng) const {
+  const double u = rng.uniform();
+  if (u < 0.82) return announced_addr(member, rng);
+  if (u < 0.97) {
+    const auto customers = topo_->customers_of(member);
+    if (!customers.empty()) {
+      return announced_addr(customers[rng.index(customers.size())], rng);
+    }
+    return announced_addr(member, rng);
+  }
+  const auto siblings = topo_->siblings_of(member);
+  if (!siblings.empty()) {
+    return announced_addr(siblings[rng.index(siblings.size())], rng);
+  }
+  return announced_addr(member, rng);
+}
+
+net::Ipv4Addr TrafficContext::dst_behind(Asn member, util::Rng& rng) const {
+  const double u = rng.uniform();
+  if (u < 0.8) return announced_addr(member, rng);
+  const auto customers = topo_->customers_of(member);
+  if (!customers.empty()) {
+    return announced_addr(customers[rng.index(customers.size())], rng);
+  }
+  return announced_addr(member, rng);
+}
+
+const trie::IntervalSet& TrafficContext::ground_truth_space(Asn member) const {
+  const auto it = gt_space_.find(member);
+  return it == gt_space_.end() ? empty_ : it->second;
+}
+
+bool TrafficContext::egress_allows(const topo::AsInfo& as,
+                                   net::Ipv4Addr src) const {
+  if (as.filter.blocks_bogon && net::is_bogon(src)) return false;
+  if (as.filter.blocks_spoofed) {
+    const auto it = gt_space_.find(as.asn);
+    // Non-member filtering ASes: approximate with their own allocations.
+    if (it != gt_space_.end()) return it->second.contains(src);
+    for (const auto& p : as.prefixes) {
+      if (p.contains(src)) return true;
+    }
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t TrafficContext::diurnal_ts(util::Rng& rng) const {
+  const std::uint32_t days = std::max(1u, params_->window_seconds / 86400);
+  const std::uint32_t day = rng.uniform_u32(0, days - 1);
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(hour_cdf_.begin(), hour_cdf_.end(), u);
+  const std::uint32_t hour =
+      std::min<std::uint32_t>(it - hour_cdf_.begin(), 23);
+  return std::min(params_->window_seconds - 1,
+                  day * 86400 + hour * 3600 + rng.uniform_u32(0, 3599));
+}
+
+std::uint32_t TrafficContext::uniform_ts(util::Rng& rng) const {
+  return rng.uniform_u32(0, params_->window_seconds - 1);
+}
+
+net::FlowRecord make_flow(std::uint32_t ts, net::Ipv4Addr src, net::Ipv4Addr dst,
+                          net::Proto proto, std::uint16_t sport,
+                          std::uint16_t dport, std::uint32_t packets,
+                          std::uint64_t bytes, Asn member_in, Asn member_out) {
+  net::FlowRecord f;
+  f.ts = ts;
+  f.src = src;
+  f.dst = dst;
+  f.proto = proto;
+  f.sport = sport;
+  f.dport = dport;
+  f.packets = packets;
+  f.bytes = bytes;
+  f.member_in = member_in;
+  f.member_out = member_out;
+  return f;
+}
+
+}  // namespace spoofscope::traffic

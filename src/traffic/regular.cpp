@@ -1,0 +1,89 @@
+#include "traffic/regular.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/protocols.hpp"
+
+namespace spoofscope::traffic {
+
+std::uint32_t regular_packet_size(util::Rng& rng) {
+  // Bimodal: ~45% small control packets, ~55% near-MTU data packets.
+  if (rng.chance(0.45)) return 40 + rng.uniform_u32(0, 60);
+  return 1200 + rng.uniform_u32(0, 300);
+}
+
+namespace {
+
+std::uint16_t ephemeral_port(util::Rng& rng) {
+  return static_cast<std::uint16_t>(rng.uniform_u32(32768, 60999));
+}
+
+}  // namespace
+
+void generate_regular(const TrafficContext& ctx, util::Rng& rng,
+                      std::vector<net::FlowRecord>& out,
+                      std::vector<Component>& components,
+                      WorkloadSummary& summary) {
+  using net::Proto;
+  namespace ports = net::ports;
+
+  for (std::size_t i = 0; i < ctx.params().regular_flows; ++i) {
+    const auto& m_in = ctx.weighted_member(rng);
+    const auto& m_out = ctx.uniform_member(rng);
+    const net::Ipv4Addr src = ctx.legitimate_src(m_in.asn, rng);
+    const net::Ipv4Addr dst = ctx.dst_behind(m_out.asn, rng);
+
+    // Sampled packet counts are heavy-tailed (elephant flows dominate),
+    // capped so a single flow cannot dwarf an hourly bin of the fabric.
+    const auto pkts = static_cast<std::uint32_t>(
+        std::min(2000.0, rng.pareto(1.0, 1.15)));
+    std::uint64_t bytes = 0;
+
+    net::FlowRecord f;
+    const double app = rng.uniform();
+    if (app < 0.38) {
+      // Client->server web requests (small packets, DST 80/443).
+      const std::uint16_t port = rng.chance(0.45) ? ports::kHttp : ports::kHttps;
+      bytes = std::uint64_t(pkts) * (40 + rng.uniform_u32(0, 200));
+      f = make_flow(ctx.diurnal_ts(rng), src, dst, Proto::kTcp,
+                    ephemeral_port(rng), port, pkts, bytes, m_in.asn, m_out.asn);
+    } else if (app < 0.74) {
+      // Server->client web responses (data packets, SRC 80/443).
+      const std::uint16_t port = rng.chance(0.45) ? ports::kHttp : ports::kHttps;
+      bytes = 0;
+      for (std::uint32_t p = 0; p < std::min(pkts, 64u); ++p) {
+        bytes += regular_packet_size(rng);
+      }
+      if (pkts > 64) bytes = bytes * pkts / 64;
+      f = make_flow(ctx.diurnal_ts(rng), src, dst, Proto::kTcp, port,
+                    ephemeral_port(rng), pkts, bytes, m_in.asn, m_out.asn);
+    } else if (app < 0.94) {
+      // P2P / BitTorrent-style UDP with ephemeral ports on both sides.
+      bytes = std::uint64_t(pkts) * (200 + rng.uniform_u32(0, 1100));
+      f = make_flow(ctx.diurnal_ts(rng), src, dst, Proto::kUdp,
+                    ephemeral_port(rng), ephemeral_port(rng), pkts, bytes,
+                    m_in.asn, m_out.asn);
+    } else if (app < 0.97) {
+      // DNS and NTP background chatter.
+      const bool dns = rng.chance(0.7);
+      const std::uint16_t port = dns ? ports::kDns : ports::kNtp;
+      const std::uint32_t small = std::min(pkts, 20u);
+      bytes = std::uint64_t(small) * (70 + rng.uniform_u32(0, 120));
+      f = make_flow(ctx.diurnal_ts(rng), src, dst, Proto::kUdp,
+                    rng.chance(0.5) ? port : ephemeral_port(rng), port, small,
+                    bytes, m_in.asn, m_out.asn);
+    } else {
+      // ICMP echo etc.
+      const std::uint32_t small = std::min(pkts, 10u);
+      bytes = std::uint64_t(small) * (64 + rng.uniform_u32(0, 64));
+      f = make_flow(ctx.diurnal_ts(rng), src, dst, Proto::kIcmp, 0, 0, small,
+                    bytes, m_in.asn, m_out.asn);
+    }
+    out.push_back(f);
+    components.push_back(Component::kRegular);
+    ++summary.regular;
+  }
+}
+
+}  // namespace spoofscope::traffic

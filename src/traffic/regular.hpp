@@ -1,0 +1,23 @@
+// Regular (legitimate) inter-domain traffic: the bulk of the fabric's
+// volume, with realistic diurnal pattern, application mix and bimodal
+// packet sizes (Sec 6.1).
+#pragma once
+
+#include <vector>
+
+#include "traffic/context.hpp"
+
+namespace spoofscope::traffic {
+
+/// Appends params().regular_flows sampled flow records.
+void generate_regular(const TrafficContext& ctx, util::Rng& rng,
+                      std::vector<net::FlowRecord>& out,
+                      std::vector<Component>& components,
+                      WorkloadSummary& summary);
+
+/// Draws a data-plane packet size from the fabric's bimodal distribution
+/// (small ACK/control packets vs MTU-sized data packets). Exposed for
+/// reuse by the amplifier-response generator and tests.
+std::uint32_t regular_packet_size(util::Rng& rng);
+
+}  // namespace spoofscope::traffic

@@ -1,0 +1,227 @@
+#include "traffic/stray.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/ark.hpp"
+#include "net/bogon.hpp"
+#include "net/protocols.hpp"
+
+namespace spoofscope::traffic {
+
+namespace {
+
+using net::Proto;
+namespace ports = net::ports;
+
+std::uint16_t ephemeral(util::Rng& rng) {
+  return static_cast<std::uint16_t>(rng.uniform_u32(1024, 65535));
+}
+
+/// A NAT-leak source: RFC1918-heavy, as seen behind broken CPE.
+net::Ipv4Addr nat_leak_src(util::Rng& rng) {
+  const double u = rng.uniform();
+  if (u < 0.6) {
+    return net::Ipv4Addr(net::Ipv4Addr::from_octets(10, 0, 0, 0).value() +
+                         rng.uniform_u32(0, (1u << 24) - 1));
+  }
+  if (u < 0.9) {
+    return net::Ipv4Addr(net::Ipv4Addr::from_octets(192, 168, 0, 0).value() +
+                         rng.uniform_u32(0, (1u << 16) - 1));
+  }
+  return net::Ipv4Addr(net::Ipv4Addr::from_octets(172, 16, 0, 0).value() +
+                       rng.uniform_u32(0, (1u << 20) - 1));
+}
+
+}  // namespace
+
+void generate_nat_leaks(const TrafficContext& ctx, util::Rng& rng,
+                        std::vector<net::FlowRecord>& out,
+                        std::vector<Component>& components,
+                        WorkloadSummary& summary) {
+  // Distribute the budget over members proportionally to their NAT-leak
+  // density and traffic weight; every eligible member leaks a little.
+  std::vector<const ixp::Member*> eligible;
+  std::vector<double> weights;
+  for (const auto& m : ctx.ixp().members()) {
+    const auto* info = ctx.topo().find(m.asn);
+    if (info->filter.blocks_bogon) continue;
+    if (info->nat_leak_density <= 0.0) continue;
+    eligible.push_back(&m);
+    weights.push_back(info->nat_leak_density * std::sqrt(m.traffic_weight));
+  }
+  if (eligible.empty()) return;
+  double wsum = 0.0;
+  for (const double w : weights) wsum += w;
+
+  for (std::size_t i = 0; i < eligible.size(); ++i) {
+    const auto& m = *eligible[i];
+    const auto flows = static_cast<std::size_t>(
+        1 + ctx.params().nat_leak_flows * weights[i] / wsum);
+    for (std::size_t k = 0; k < flows; ++k) {
+      const net::Ipv4Addr src = nat_leak_src(rng);
+      const auto& m_out = ctx.uniform_member(rng);
+      const net::Ipv4Addr dst = ctx.dst_behind(m_out.asn, rng);
+      // Unsuccessful TCP connection attempts from user devices.
+      const std::uint16_t dport = rng.chance(0.7)
+                                      ? (rng.chance(0.5) ? ports::kHttp : ports::kHttps)
+                                      : ephemeral(rng);
+      out.push_back(make_flow(ctx.diurnal_ts(rng), src, dst, Proto::kTcp,
+                              ephemeral(rng), dport, 1,
+                              40 + rng.uniform_u32(0, 20), m.asn, m_out.asn));
+      components.push_back(Component::kNatLeak);
+      ++summary.nat_leak;
+    }
+  }
+}
+
+void generate_background_noise(const TrafficContext& ctx, util::Rng& rng,
+                               std::vector<net::FlowRecord>& out,
+                               std::vector<Component>& components,
+                               WorkloadSummary& summary) {
+  // Only some members host noise sources at all; the rest stay quiet.
+  std::vector<const ixp::Member*> active;
+  for (const auto& m : ctx.ixp().members()) {
+    if (rng.chance(ctx.params().background_noise_member_prob)) active.push_back(&m);
+  }
+  if (active.empty()) return;
+  for (std::size_t i = 0; i < ctx.params().background_noise_flows; ++i) {
+    const auto& m = *active[rng.index(active.size())];
+    const auto* info = ctx.topo().find(m.asn);
+    const net::Ipv4Addr src(rng.next_u32());
+    if (!ctx.egress_allows(*info, src)) continue;
+    const auto& m_out = ctx.uniform_member(rng);
+    const net::Ipv4Addr dst = ctx.dst_behind(m_out.asn, rng);
+    const bool tcp = rng.chance(0.75);
+    out.push_back(make_flow(ctx.uniform_ts(rng), src, dst,
+                            tcp ? Proto::kTcp : Proto::kUdp, ephemeral(rng),
+                            rng.chance(0.4)
+                                ? (rng.chance(0.5) ? ports::kHttp : ports::kHttps)
+                                : ephemeral(rng),
+                            1, 40 + rng.uniform_u32(0, 30), m.asn, m_out.asn));
+    components.push_back(Component::kBackgroundNoise);
+    ++summary.background_noise;
+  }
+}
+
+void generate_router_strays(const TrafficContext& ctx, util::Rng& rng,
+                            std::vector<net::FlowRecord>& out,
+                            std::vector<Component>& components,
+                            WorkloadSummary& summary) {
+  // Links adjacent to a member produce IXP-visible router traffic.
+  std::vector<std::pair<const topo::AsLink*, Asn>> member_links;
+  for (const auto& l : ctx.topo().links()) {
+    if (l.type != topo::RelType::kCustomerToProvider || l.infra.length() == 0) {
+      continue;
+    }
+    // Only some routers are misconfigured enough to emit strays.
+    if (ctx.ixp().is_member(l.from) &&
+        rng.chance(ctx.params().router_stray_link_prob)) {
+      member_links.emplace_back(&l, l.from);
+    }
+    if (ctx.ixp().is_member(l.to) &&
+        rng.chance(ctx.params().router_stray_link_prob)) {
+      member_links.emplace_back(&l, l.to);
+    }
+  }
+  if (member_links.empty()) return;
+
+  const std::size_t budget = ctx.params().router_stray_flows;
+  for (std::size_t i = 0; i < budget; ++i) {
+    const auto& [link, member] = member_links[rng.index(member_links.size())];
+    const net::Ipv4Addr router =
+        data::link_interface_address(link->infra, rng.chance(0.5) ? 0 : 1);
+    const auto& m_out = ctx.uniform_member(rng);
+    const net::Ipv4Addr dst = ctx.dst_behind(m_out.asn, rng);
+
+    const double u = rng.uniform();
+    if (u < 0.83) {
+      // TTL exceeded / ping replies.
+      out.push_back(make_flow(ctx.uniform_ts(rng), router, dst, Proto::kIcmp, 0,
+                              0, 1, 56 + rng.uniform_u32(0, 72), member,
+                              m_out.asn));
+      components.push_back(Component::kRouterStray);
+      ++summary.router_stray;
+    } else if (u < 0.853) {
+      // A little TCP (2.3% in the paper).
+      out.push_back(make_flow(ctx.uniform_ts(rng), router, dst, Proto::kTcp,
+                              ephemeral(rng), ephemeral(rng), 1,
+                              40 + rng.uniform_u32(0, 20), member, m_out.asn));
+      components.push_back(Component::kRouterStray);
+      ++summary.router_stray;
+    } else {
+      // UDP from router sources; 76.3% of it towards NTP servers —
+      // reflection triggers spoofing the router's address as victim.
+      const bool to_ntp = rng.chance(0.763);
+      if (to_ntp && !ctx.ntp_servers().empty()) {
+        const auto& [amp, amp_asn] =
+            ctx.ntp_servers()[rng.index(ctx.ntp_servers().size())];
+        out.push_back(make_flow(ctx.uniform_ts(rng), router, amp, Proto::kUdp,
+                                ephemeral(rng), ports::kNtp, 1,
+                                40 + rng.uniform_u32(0, 40), member,
+                                ctx.exit_member_for(amp, rng)));
+        components.push_back(Component::kReflectionOnRouter);
+        ++summary.reflection_on_router;
+      } else {
+        out.push_back(make_flow(ctx.uniform_ts(rng), router, dst, Proto::kUdp,
+                                ephemeral(rng), ephemeral(rng), 1,
+                                40 + rng.uniform_u32(0, 40), member, m_out.asn));
+        components.push_back(Component::kRouterStray);
+        ++summary.router_stray;
+      }
+    }
+  }
+}
+
+void generate_uncommon_setups(const TrafficContext& ctx,
+                              const data::WhoisRegistry& whois, util::Rng& rng,
+                              std::vector<net::FlowRecord>& out,
+                              std::vector<Component>& components,
+                              WorkloadSummary& summary) {
+  // Provider-assigned ranges used via other paths: regular-looking
+  // traffic whose source sits in another AS's announced space.
+  for (const auto& pa : whois.provider_assigned()) {
+    if (!ctx.ixp().is_member(pa.customer)) continue;
+    for (std::size_t i = 0; i < ctx.params().uncommon_setup_flows_per_member; ++i) {
+      const net::Ipv4Addr src = TrafficContext::addr_in(pa.range, rng);
+      const auto& m_out = ctx.uniform_member(rng);
+      const net::Ipv4Addr dst = ctx.dst_behind(m_out.asn, rng);
+      const std::uint16_t port = rng.chance(0.5) ? ports::kHttp : ports::kHttps;
+      const auto pkts =
+          static_cast<std::uint32_t>(std::min(2000.0, rng.pareto(1.0, 1.3)));
+      out.push_back(make_flow(ctx.diurnal_ts(rng), src, dst, Proto::kTcp,
+                              ephemeral(rng), port, pkts,
+                              std::uint64_t(pkts) * (60 + rng.uniform_u32(0, 700)),
+                              pa.customer, m_out.asn));
+      components.push_back(Component::kUncommonSetup);
+      ++summary.uncommon_setup;
+    }
+  }
+
+  // Traffic across BGP-invisible links: one side sources the other's
+  // space through the IXP (shared-infrastructure organizations, tunnels).
+  for (const auto& l : ctx.topo().links()) {
+    if (l.visible_in_bgp) continue;
+    for (const auto& [member, partner] :
+         {std::pair{l.from, l.to}, std::pair{l.to, l.from}}) {
+      if (!ctx.ixp().is_member(member)) continue;
+      const std::size_t flows = ctx.params().uncommon_setup_flows_per_member / 2;
+      for (std::size_t i = 0; i < flows; ++i) {
+        const net::Ipv4Addr src = ctx.announced_addr(partner, rng);
+        const auto& m_out = ctx.uniform_member(rng);
+        const net::Ipv4Addr dst = ctx.dst_behind(m_out.asn, rng);
+        const auto pkts =
+            static_cast<std::uint32_t>(std::min(2000.0, rng.pareto(1.0, 1.3)));
+        out.push_back(make_flow(
+            ctx.diurnal_ts(rng), src, dst, Proto::kTcp, ephemeral(rng),
+            rng.chance(0.5) ? ports::kHttp : ports::kHttps, pkts,
+            std::uint64_t(pkts) * (60 + rng.uniform_u32(0, 700)), member,
+            m_out.asn));
+        components.push_back(Component::kUncommonSetup);
+        ++summary.uncommon_setup;
+      }
+    }
+  }
+}
+
+}  // namespace spoofscope::traffic

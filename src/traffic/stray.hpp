@@ -1,0 +1,45 @@
+// Stray and misconfiguration traffic: NAT leaks (Bogon), router-sourced
+// ICMP/NTP (the Sec 5.2 analysis), background spoof noise, and the
+// BCP38-noncompliant "uncommon setups" of Sec 4.4.
+#pragma once
+
+#include <vector>
+
+#include "data/whois.hpp"
+#include "traffic/context.hpp"
+
+namespace spoofscope::traffic {
+
+/// RFC1918 sources leaking from misconfigured CPE/NAT devices behind
+/// eyeball networks — user-driven, hence diurnal.
+void generate_nat_leaks(const TrafficContext& ctx, util::Rng& rng,
+                        std::vector<net::FlowRecord>& out,
+                      std::vector<Component>& components,
+                      WorkloadSummary& summary);
+
+/// Low-rate spoofed junk from many members: uniform random sources at a
+/// trickle, giving broad per-member class coverage (Fig 5).
+void generate_background_noise(const TrafficContext& ctx, util::Rng& rng,
+                               std::vector<net::FlowRecord>& out,
+                               std::vector<Component>& components,
+                               WorkloadSummary& summary);
+
+/// Stray traffic from router interface addresses on inter-AS links
+/// (mostly ICMP), plus reflection triggers that use router addresses as
+/// victims (UDP towards NTP servers, Sec 5.2).
+void generate_router_strays(const TrafficContext& ctx, util::Rng& rng,
+                            std::vector<net::FlowRecord>& out,
+                            std::vector<Component>& components,
+                            WorkloadSummary& summary);
+
+/// Uncommon-but-legitimate setups from the WHOIS registry: members using
+/// provider-assigned space via other paths, and traffic across
+/// BGP-invisible (sibling) links. Classified Invalid until the Sec 4.4
+/// false-positive hunt whitelists them.
+void generate_uncommon_setups(const TrafficContext& ctx,
+                              const data::WhoisRegistry& whois, util::Rng& rng,
+                              std::vector<net::FlowRecord>& out,
+                              std::vector<Component>& components,
+                              WorkloadSummary& summary);
+
+}  // namespace spoofscope::traffic

@@ -1,0 +1,107 @@
+#include "traffic/workload.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "traffic/attacks.hpp"
+#include "traffic/context.hpp"
+#include "traffic/regular.hpp"
+#include "traffic/stray.hpp"
+#include "util/log.hpp"
+
+namespace spoofscope::traffic {
+
+bool is_intentionally_spoofed(Component c) {
+  switch (c) {
+    case Component::kRandomSpoof:
+    case Component::kNtpTrigger:
+    case Component::kSteamFlood:
+    case Component::kReflectionOnRouter:
+    case Component::kBackgroundNoise:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_stray(Component c) {
+  return c == Component::kNatLeak || c == Component::kRouterStray;
+}
+
+std::string component_name(Component c) {
+  switch (c) {
+    case Component::kRegular: return "regular";
+    case Component::kNatLeak: return "nat-leak";
+    case Component::kBackgroundNoise: return "background-noise";
+    case Component::kRandomSpoof: return "random-spoof";
+    case Component::kNtpTrigger: return "ntp-trigger";
+    case Component::kNtpResponse: return "ntp-response";
+    case Component::kSteamFlood: return "steam-flood";
+    case Component::kRouterStray: return "router-stray";
+    case Component::kReflectionOnRouter: return "reflection-on-router";
+    case Component::kUncommonSetup: return "uncommon-setup";
+  }
+  return "?";
+}
+
+Workload generate_workload(const topo::Topology& topo, const ixp::Ixp& ixp,
+                           const data::WhoisRegistry& whois,
+                           const WorkloadParams& params, std::uint64_t seed) {
+  TrafficContext ctx(topo, ixp, params, seed);
+  util::Rng rng(seed);
+
+  Workload w;
+  w.trace.meta.sampling_rate = ixp.sampling_rate();
+  w.trace.meta.window_seconds = params.window_seconds;
+  w.trace.meta.seed = seed;
+
+  auto& flows = w.trace.flows;
+  auto& comps = w.components;
+  flows.reserve(params.regular_flows + params.nat_leak_flows +
+                params.background_noise_flows + params.router_stray_flows +
+                params.random_spoof_events * params.flood_flows_mean);
+  comps.reserve(flows.capacity());
+
+  util::Rng r_regular = rng.fork(1);
+  generate_regular(ctx, r_regular, flows, comps, w.summary);
+  util::Rng r_nat = rng.fork(2);
+  generate_nat_leaks(ctx, r_nat, flows, comps, w.summary);
+  util::Rng r_noise = rng.fork(3);
+  generate_background_noise(ctx, r_noise, flows, comps, w.summary);
+  util::Rng r_flood = rng.fork(4);
+  generate_random_spoof_floods(ctx, r_flood, flows, comps, w.summary);
+  util::Rng r_ntp = rng.fork(5);
+  generate_ntp_amplification(ctx, r_ntp, flows, comps, w.summary);
+  util::Rng r_steam = rng.fork(6);
+  generate_steam_floods(ctx, r_steam, flows, comps, w.summary);
+  util::Rng r_router = rng.fork(7);
+  generate_router_strays(ctx, r_router, flows, comps, w.summary);
+  util::Rng r_uncommon = rng.fork(8);
+  generate_uncommon_setups(ctx, whois, r_uncommon, flows, comps, w.summary);
+
+  // Co-sort flows and their ground-truth components by timestamp.
+  std::vector<std::uint32_t> order(flows.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&flows](std::uint32_t a, std::uint32_t b) {
+                     return flows[a].ts < flows[b].ts;
+                   });
+  std::vector<net::FlowRecord> sorted_flows;
+  std::vector<Component> sorted_comps;
+  sorted_flows.reserve(flows.size());
+  sorted_comps.reserve(flows.size());
+  for (const std::uint32_t i : order) {
+    sorted_flows.push_back(flows[i]);
+    sorted_comps.push_back(comps[i]);
+  }
+  flows = std::move(sorted_flows);
+  comps = std::move(sorted_comps);
+
+  util::log_info() << "workload: " << flows.size() << " sampled flows ("
+                   << w.summary.regular << " regular, "
+                   << w.summary.ntp_trigger << " ntp triggers, "
+                   << w.summary.random_spoof << " flood)";
+  return w;
+}
+
+}  // namespace spoofscope::traffic

@@ -1,0 +1,137 @@
+// Workload generation: produces the four weeks of sampled IXP flow
+// summaries that stand in for the paper's proprietary traces.
+//
+// The mix mirrors the paper's findings so the classification pipeline and
+// every analysis downstream see the same phenomena:
+//   - diurnal regular traffic (bimodal packet sizes, HTTP/HTTPS + P2P mix),
+//   - RFC1918 NAT leaks (Bogon, user-driven, slight diurnal pattern),
+//   - random-spoof flooding attacks (uniform sources, TCP SYN to 80/443),
+//   - NTP amplification campaigns (selective spoofing, UDP/123, one
+//     dominant attacker member; amplifier responses ~10x in bytes),
+//   - Steam (27015) floods,
+//   - stray router traffic (ICMP from link-infrastructure addresses) and
+//     reflection triggers using router IPs as victims,
+//   - BCP38-noncompliant "uncommon setups": provider-assigned space and
+//     invisible sibling links (the Sec 4.4 false positives),
+//   - low-rate background spoof noise from many members.
+//
+// Every ground-truth egress filter (AsInfo::filter) is honoured, so which
+// members *contribute* to each class emerges from policy + activity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/whois.hpp"
+#include "ixp/ixp.hpp"
+#include "net/trace.hpp"
+#include "topo/topology.hpp"
+
+namespace spoofscope::traffic {
+
+/// Intensities are in *sampled flow records* over the whole window.
+struct WorkloadParams {
+  std::uint32_t window_seconds = net::kFourWeeks;
+
+  std::size_t regular_flows = 1'200'000;
+  std::size_t nat_leak_flows = 6'000;
+  std::size_t background_noise_flows = 8'000;
+  /// Fraction of members emitting background spoof noise at all.
+  double background_noise_member_prob = 0.55;
+
+  std::size_t random_spoof_events = 60;
+  std::size_t flood_flows_mean = 250;   ///< per event, heavy-tailed
+  std::size_t flood_flows_cap = 4'000;  ///< per-event ceiling
+
+  std::size_t ntp_campaigns = 24;
+  std::size_t ntp_flows_mean = 700;    ///< trigger flows per campaign
+  std::size_t ntp_flows_cap = 6'000;
+  std::size_t ntp_server_pool = 3000;
+  /// Share of all NTP trigger volume emitted by the single dominant
+  /// attacker member (the paper observed 91.94%).
+  double ntp_dominant_share = 0.92;
+  /// P(a trigger/response pair is visible in both directions at the IXP).
+  double ntp_response_visibility = 0.35;
+
+  std::size_t steam_flood_events = 6;
+  std::size_t steam_flows_cap = 2'500;
+  std::size_t router_stray_flows = 8'000;
+  /// Fraction of member-adjacent transit links whose routers actually
+  /// emit stray traffic.
+  double router_stray_link_prob = 0.35;
+  std::size_t uncommon_setup_flows_per_member = 900;
+};
+
+/// Ground-truth component that produced a flow. The real vantage point
+/// never sees these labels — they exist so the simulation can score the
+/// detection methods (precision/recall), which the paper could not.
+enum class Component : std::uint8_t {
+  kRegular = 0,
+  kNatLeak = 1,
+  kBackgroundNoise = 2,
+  kRandomSpoof = 3,
+  kNtpTrigger = 4,
+  kNtpResponse = 5,
+  kSteamFlood = 6,
+  kRouterStray = 7,
+  kReflectionOnRouter = 8,
+  kUncommonSetup = 9,
+};
+
+/// True if the component forges source addresses with intent (the
+/// paper's "spoofed" notion, as opposed to stray/legitimate).
+bool is_intentionally_spoofed(Component c);
+
+/// True for misconfiguration/stray components (NAT leaks, router strays).
+bool is_stray(Component c);
+
+std::string component_name(Component c);
+
+/// Metadata of one NTP amplification campaign (used by the Fig 11
+/// analyses and tests).
+struct NtpCampaign {
+  net::Ipv4Addr victim;
+  net::Asn attacker_member = net::kNoAsn;
+  std::size_t amplifiers_contacted = 0;
+  bool distributed = false;  ///< uniform spraying vs concentrated strategy
+};
+
+/// Ground-truth composition of the generated trace.
+struct WorkloadSummary {
+  std::size_t regular = 0;
+  std::size_t nat_leak = 0;
+  std::size_t background_noise = 0;
+  std::size_t random_spoof = 0;
+  std::size_t ntp_trigger = 0;
+  std::size_t ntp_response = 0;
+  std::size_t steam_flood = 0;
+  std::size_t router_stray = 0;
+  std::size_t reflection_on_router = 0;
+  std::size_t uncommon_setup = 0;
+
+  std::vector<NtpCampaign> ntp_campaigns;
+  /// All amplifier addresses contacted by any campaign.
+  std::vector<net::Ipv4Addr> ntp_amplifiers_contacted;
+
+  std::size_t total() const {
+    return regular + nat_leak + background_noise + random_spoof + ntp_trigger +
+           ntp_response + steam_flood + router_stray + reflection_on_router +
+           uncommon_setup;
+  }
+};
+
+/// A generated trace plus its ground truth.
+struct Workload {
+  net::Trace trace;
+  WorkloadSummary summary;
+  /// components[i] is the ground truth of trace.flows[i].
+  std::vector<Component> components;
+};
+
+/// Generates the full workload. Deterministic in all inputs and `seed`.
+/// Flows are sorted by timestamp.
+Workload generate_workload(const topo::Topology& topo, const ixp::Ixp& ixp,
+                           const data::WhoisRegistry& whois,
+                           const WorkloadParams& params, std::uint64_t seed);
+
+}  // namespace spoofscope::traffic

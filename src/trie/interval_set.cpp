@@ -1,0 +1,172 @@
+#include "trie/interval_set.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace spoofscope::trie {
+
+namespace {
+
+/// Merges a sorted-by-lo interval list in place (overlapping or adjacent
+/// ranges collapse).
+void normalize_sorted(std::vector<Interval>& ivs) {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    if (out == 0) {
+      ivs[out++] = ivs[i];
+      continue;
+    }
+    Interval& last = ivs[out - 1];
+    // adjacent (hi+1 == lo) also merges; watch for hi == UINT32_MAX
+    if (ivs[i].lo <= last.hi || (last.hi != ~0u && ivs[i].lo == last.hi + 1)) {
+      last.hi = std::max(last.hi, ivs[i].hi);
+    } else {
+      ivs[out++] = ivs[i];
+    }
+  }
+  ivs.resize(out);
+}
+
+}  // namespace
+
+IntervalSet IntervalSet::from_intervals(std::vector<Interval> ivs) {
+  for ([[maybe_unused]] const auto& iv : ivs) assert(iv.lo <= iv.hi);
+  std::sort(ivs.begin(), ivs.end(),
+            [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+  normalize_sorted(ivs);
+  IntervalSet s;
+  s.ivs_ = std::move(ivs);
+  return s;
+}
+
+IntervalSet IntervalSet::from_prefixes(std::span<const net::Prefix> ps) {
+  std::vector<Interval> ivs;
+  ivs.reserve(ps.size());
+  for (const auto& p : ps) ivs.push_back({p.first(), p.last()});
+  return from_intervals(std::move(ivs));
+}
+
+void IntervalSet::add(std::uint32_t lo, std::uint32_t hi) {
+  assert(lo <= hi);
+  // Find first interval whose hi >= lo-1 (candidate for merge).
+  auto it = std::lower_bound(
+      ivs_.begin(), ivs_.end(), lo,
+      [](const Interval& iv, std::uint32_t v) {
+        return iv.hi < (v == 0 ? v : v - 1);
+      });
+  Interval merged{lo, hi};
+  auto erase_begin = it;
+  while (it != ivs_.end() &&
+         (it->lo <= hi || (hi != ~0u && it->lo == hi + 1))) {
+    merged.lo = std::min(merged.lo, it->lo);
+    merged.hi = std::max(merged.hi, it->hi);
+    ++it;
+  }
+  it = ivs_.erase(erase_begin, it);
+  ivs_.insert(it, merged);
+}
+
+bool IntervalSet::contains(net::Ipv4Addr a) const {
+  const std::uint32_t v = a.value();
+  auto it = std::upper_bound(
+      ivs_.begin(), ivs_.end(), v,
+      [](std::uint32_t x, const Interval& iv) { return x < iv.lo; });
+  if (it == ivs_.begin()) return false;
+  --it;
+  return v >= it->lo && v <= it->hi;
+}
+
+bool IntervalSet::contains_range(std::uint32_t lo, std::uint32_t hi) const {
+  auto it = std::upper_bound(
+      ivs_.begin(), ivs_.end(), lo,
+      [](std::uint32_t x, const Interval& iv) { return x < iv.lo; });
+  if (it == ivs_.begin()) return false;
+  --it;
+  return lo >= it->lo && hi <= it->hi;
+}
+
+std::uint64_t IntervalSet::address_count() const {
+  std::uint64_t n = 0;
+  for (const auto& iv : ivs_) {
+    n += std::uint64_t(iv.hi) - iv.lo + 1;
+  }
+  return n;
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& other) const {
+  std::vector<Interval> all;
+  all.reserve(ivs_.size() + other.ivs_.size());
+  all.insert(all.end(), ivs_.begin(), ivs_.end());
+  all.insert(all.end(), other.ivs_.begin(), other.ivs_.end());
+  return from_intervals(std::move(all));
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  std::vector<Interval> out;
+  std::size_t i = 0, j = 0;
+  while (i < ivs_.size() && j < other.ivs_.size()) {
+    const Interval& a = ivs_[i];
+    const Interval& b = other.ivs_[j];
+    const std::uint32_t lo = std::max(a.lo, b.lo);
+    const std::uint32_t hi = std::min(a.hi, b.hi);
+    if (lo <= hi) out.push_back({lo, hi});
+    if (a.hi < b.hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  IntervalSet s;
+  s.ivs_ = std::move(out);  // already sorted/disjoint by construction
+  return s;
+}
+
+IntervalSet IntervalSet::subtract(const IntervalSet& other) const {
+  std::vector<Interval> out;
+  std::size_t j = 0;
+  for (const auto& a : ivs_) {
+    std::uint32_t cur = a.lo;
+    bool open = true;
+    while (j < other.ivs_.size() && other.ivs_[j].hi < cur) ++j;
+    std::size_t k = j;
+    while (open && k < other.ivs_.size() && other.ivs_[k].lo <= a.hi) {
+      const Interval& b = other.ivs_[k];
+      if (b.lo > cur) out.push_back({cur, b.lo - 1});
+      if (b.hi >= a.hi) {
+        open = false;
+      } else {
+        cur = b.hi + 1;
+      }
+      ++k;
+    }
+    if (open && cur <= a.hi) out.push_back({cur, a.hi});
+  }
+  IntervalSet s;
+  s.ivs_ = std::move(out);
+  return s;
+}
+
+std::vector<net::Prefix> IntervalSet::to_prefixes() const {
+  std::vector<net::Prefix> out;
+  for (const auto& iv : ivs_) {
+    std::uint64_t lo = iv.lo;
+    const std::uint64_t end = std::uint64_t(iv.hi) + 1;
+    while (lo < end) {
+      // Largest aligned block starting at lo that fits in [lo, end).
+      const int align = lo == 0 ? 32 : std::countr_zero(static_cast<std::uint32_t>(lo));
+      const std::uint64_t remaining = end - lo;
+      int size_bits = 0;
+      while (size_bits < 32 && (std::uint64_t(1) << (size_bits + 1)) <= remaining) {
+        ++size_bits;
+      }
+      const int block_bits = std::min(align, size_bits);
+      out.emplace_back(net::Ipv4Addr(static_cast<std::uint32_t>(lo)),
+                       static_cast<std::uint8_t>(32 - block_bits));
+      lo += std::uint64_t(1) << block_bits;
+    }
+  }
+  return out;
+}
+
+}  // namespace spoofscope::trie

@@ -1,0 +1,82 @@
+// Disjoint set of inclusive uint32 ranges.
+//
+// Per-AS valid address space can reach millions of /24s; representing it as
+// merged intervals gives O(log n) membership (binary search) and exact
+// address counting, with far less memory than a trie per AS. This is the
+// workhorse behind inference::ValidSpace.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+namespace spoofscope::trie {
+
+/// An inclusive address range [lo, hi].
+struct Interval {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// A normalized (sorted, disjoint, non-adjacent) set of address intervals.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Builds from arbitrary (possibly overlapping, unsorted) intervals in
+  /// one normalization pass — preferred for bulk construction.
+  static IntervalSet from_intervals(std::vector<Interval> ivs);
+
+  /// Builds from prefixes.
+  static IntervalSet from_prefixes(std::span<const net::Prefix> ps);
+
+  /// Inserts one range, merging as needed. O(n) worst case; use
+  /// from_intervals for bulk loads.
+  void add(std::uint32_t lo, std::uint32_t hi);
+
+  /// Inserts all addresses of a prefix.
+  void add(const net::Prefix& p) { add(p.first(), p.last()); }
+
+  /// True if `a` is in the set. O(log n).
+  bool contains(net::Ipv4Addr a) const;
+
+  /// True if the whole range [lo, hi] is covered.
+  bool contains_range(std::uint32_t lo, std::uint32_t hi) const;
+
+  /// Number of addresses covered (up to 2^32, hence uint64).
+  std::uint64_t address_count() const;
+
+  /// Covered space expressed in /24-equivalents (paper's unit).
+  double slash24_equivalents() const {
+    return static_cast<double>(address_count()) / 256.0;
+  }
+
+  /// Set union.
+  IntervalSet unite(const IntervalSet& other) const;
+
+  /// Set intersection.
+  IntervalSet intersect(const IntervalSet& other) const;
+
+  /// Set difference (*this minus other).
+  IntervalSet subtract(const IntervalSet& other) const;
+
+  /// Decomposes into the minimal list of CIDR prefixes covering exactly
+  /// this set.
+  std::vector<net::Prefix> to_prefixes() const;
+
+  const std::vector<Interval>& intervals() const { return ivs_; }
+  bool empty() const { return ivs_.empty(); }
+  std::size_t size() const { return ivs_.size(); }
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  std::vector<Interval> ivs_;  // invariant: sorted, disjoint, gaps >= 1
+};
+
+}  // namespace spoofscope::trie

@@ -1,0 +1,27 @@
+#include "trie/prefix_set.hpp"
+
+namespace spoofscope::trie {
+
+bool PrefixSet::insert(const net::Prefix& p) {
+  if (trie_.find_exact(p)) return false;
+  trie_.insert(p, 1);
+  return true;
+}
+
+std::vector<net::Prefix> PrefixSet::prefixes() const {
+  std::vector<net::Prefix> out;
+  out.reserve(trie_.size());
+  trie_.visit([&](const net::Prefix& p, char) { out.push_back(p); });
+  return out;
+}
+
+IntervalSet PrefixSet::to_interval_set() const {
+  std::vector<Interval> ivs;
+  ivs.reserve(trie_.size());
+  trie_.visit([&](const net::Prefix& p, char) {
+    ivs.push_back({p.first(), p.last()});
+  });
+  return IntervalSet::from_intervals(std::move(ivs));
+}
+
+}  // namespace spoofscope::trie

@@ -1,0 +1,71 @@
+// A set of IPv4 prefixes with coverage queries and normalization.
+//
+// Used for the bogon table and wherever a plain "is this address covered
+// by any of these prefixes" question is asked. Internally a PrefixTrie;
+// conversion to IntervalSet gives exact space accounting and minimal
+// re-aggregation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "trie/interval_set.hpp"
+#include "trie/prefix_trie.hpp"
+
+namespace spoofscope::trie {
+
+/// An insert-only prefix set. Duplicate inserts are idempotent.
+class PrefixSet {
+ public:
+  PrefixSet() = default;
+
+  /// Builds from a list of prefixes.
+  explicit PrefixSet(std::span<const net::Prefix> ps) {
+    for (const auto& p : ps) insert(p);
+  }
+
+  /// Adds `p` to the set. Returns true if it was newly inserted.
+  bool insert(const net::Prefix& p);
+
+  /// True if `p` is stored exactly (not merely covered).
+  bool contains_exact(const net::Prefix& p) const {
+    return trie_.find_exact(p) != nullptr;
+  }
+
+  /// True if some stored prefix covers address `a`.
+  bool covers(net::Ipv4Addr a) const { return trie_.covers(a); }
+
+  /// Most specific stored prefix covering `a`, if any.
+  std::optional<net::Prefix> match_longest(net::Ipv4Addr a) const {
+    const auto* m = trie_.match_longest(a);
+    if (!m) return std::nullopt;
+    return m->first;
+  }
+
+  /// Number of stored prefixes (exact entries, including nested ones).
+  std::size_t size() const { return trie_.size(); }
+
+  bool empty() const { return trie_.empty(); }
+
+  /// All stored prefixes in insertion order.
+  std::vector<net::Prefix> prefixes() const;
+
+  /// Converts to a normalized interval set (overlaps collapsed).
+  IntervalSet to_interval_set() const;
+
+  /// Covered address space in /24 equivalents (overlaps counted once).
+  double slash24_equivalents() const {
+    return to_interval_set().slash24_equivalents();
+  }
+
+  /// Minimal CIDR list covering the same address space.
+  std::vector<net::Prefix> aggregate() const {
+    return to_interval_set().to_prefixes();
+  }
+
+ private:
+  PrefixTrie<char> trie_;
+};
+
+}  // namespace spoofscope::trie

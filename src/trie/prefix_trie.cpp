@@ -1,0 +1,10 @@
+// PrefixTrie is a header-only template; this translation unit exists to
+// give the build target a source and to force a full instantiation so
+// template errors surface when building the library itself.
+#include "trie/prefix_trie.hpp"
+
+namespace spoofscope::trie {
+
+template class PrefixTrie<int>;
+
+}  // namespace spoofscope::trie

@@ -1,0 +1,119 @@
+// Binary (bitwise) prefix trie with a contiguous node pool.
+//
+// This is the lookup structure behind the bogon matcher, the routed-space
+// table and the per-AS valid-space queries: insert prefixes with attached
+// values, then answer longest-prefix-match queries for 32-bit addresses.
+// Nodes live in a single vector (no per-node allocation), children are
+// indices; depth is bounded by 32 so lookups are a handful of cache lines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+
+namespace spoofscope::trie {
+
+/// A map from IPv4 prefixes to values of type T supporting exact-match and
+/// longest-prefix-match lookups.
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.push_back(Node{}); }
+
+  /// Inserts (or replaces) the value for `p`; returns a reference to the
+  /// stored value. References are invalidated by subsequent inserts.
+  T& insert(const net::Prefix& p, T value) {
+    std::int32_t n = walk_to(p, /*create=*/true);
+    Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (node.value < 0) {
+      node.value = static_cast<std::int32_t>(entries_.size());
+      entries_.emplace_back(p, std::move(value));
+      ++size_;
+    } else {
+      entries_[static_cast<std::size_t>(node.value)].second = std::move(value);
+    }
+    return entries_[static_cast<std::size_t>(nodes_[static_cast<std::size_t>(n)].value)].second;
+  }
+
+  /// Value stored exactly at `p`, or nullptr.
+  const T* find_exact(const net::Prefix& p) const {
+    const std::int32_t n = const_cast<PrefixTrie*>(this)->walk_to(p, /*create=*/false);
+    if (n < 0) return nullptr;
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    return node.value < 0 ? nullptr : &entries_[static_cast<std::size_t>(node.value)].second;
+  }
+
+  T* find_exact(const net::Prefix& p) {
+    return const_cast<T*>(static_cast<const PrefixTrie*>(this)->find_exact(p));
+  }
+
+  /// Longest (most specific) stored prefix covering `a`, with its value;
+  /// nullptr if no stored prefix covers `a`.
+  const std::pair<net::Prefix, T>* match_longest(net::Ipv4Addr a) const {
+    const std::uint32_t v = a.value();
+    std::int32_t n = 0;
+    std::int32_t best = nodes_[0].value;
+    for (int depth = 0; depth < 32; ++depth) {
+      const int bit = (v >> (31 - depth)) & 1;
+      n = nodes_[static_cast<std::size_t>(n)].child[bit];
+      if (n < 0) break;
+      const std::int32_t val = nodes_[static_cast<std::size_t>(n)].value;
+      if (val >= 0) best = val;
+    }
+    return best < 0 ? nullptr : &entries_[static_cast<std::size_t>(best)];
+  }
+
+  /// True if any stored prefix covers `a`.
+  bool covers(net::Ipv4Addr a) const { return match_longest(a) != nullptr; }
+
+  /// Number of stored (prefix, value) pairs.
+  std::size_t size() const { return size_; }
+
+  bool empty() const { return size_ == 0; }
+
+  /// Calls fn(prefix, value) for every stored entry, in insertion order.
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    for (const auto& [p, v] : entries_) fn(p, v);
+  }
+
+  /// All stored entries (insertion order). Stable view for iteration.
+  const std::vector<std::pair<net::Prefix, T>>& entries() const { return entries_; }
+
+  /// Number of allocated trie nodes (for memory diagnostics / benches).
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::int32_t child[2] = {-1, -1};
+    std::int32_t value = -1;  ///< index into entries_, -1 if none
+  };
+
+  /// Walks to the node for `p`; creates intermediate nodes when `create`.
+  /// Returns -1 if not found and !create.
+  std::int32_t walk_to(const net::Prefix& p, bool create) {
+    std::int32_t n = 0;
+    for (int depth = 0; depth < p.length(); ++depth) {
+      const int bit = p.bit(depth);
+      std::int32_t next = nodes_[static_cast<std::size_t>(n)].child[bit];
+      if (next < 0) {
+        if (!create) return -1;
+        next = static_cast<std::int32_t>(nodes_.size());
+        nodes_[static_cast<std::size_t>(n)].child[bit] = next;
+        nodes_.push_back(Node{});
+      }
+      n = next;
+    }
+    return n;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<std::pair<net::Prefix, T>> entries_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace spoofscope::trie

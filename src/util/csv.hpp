@@ -1,0 +1,46 @@
+// Minimal CSV writing/reading for exporting analysis results. Writing
+// escapes per RFC 4180; reading handles quoted fields (enough for our own
+// output and for hand-written fixture files in tests).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spoofscope::util {
+
+/// Streams rows to an std::ostream as CSV.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row; fields are escaped as needed.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: builds a row from heterogeneous printable values.
+  template <typename... Ts>
+  void row_of(const Ts&... vals) {
+    std::vector<std::string> fields;
+    (fields.push_back(to_field(vals)), ...);
+    row(fields);
+  }
+
+ private:
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(const char* s) { return s; }
+  static std::string to_field(std::string_view s) { return std::string(s); }
+  template <typename T>
+  static std::string to_field(const T& v) { return std::to_string(v); }
+
+  std::ostream& out_;
+};
+
+/// Escapes a single CSV field (quotes it when it contains , " or newline).
+std::string csv_escape(std::string_view field);
+
+/// Parses one CSV line into fields (handles quoting). Returns false on a
+/// malformed line (unterminated quote).
+bool csv_parse_line(std::string_view line, std::vector<std::string>& out);
+
+}  // namespace spoofscope::util

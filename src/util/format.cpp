@@ -1,0 +1,65 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace spoofscope::util {
+
+namespace {
+
+std::string scaled(double v, const char* suffix_tail) {
+  static constexpr std::array<const char*, 7> kSuffix = {"", "K", "M", "G", "T", "P", "E"};
+  double a = std::fabs(v);
+  std::size_t i = 0;
+  while (a >= 1000.0 && i + 1 < kSuffix.size()) {
+    a /= 1000.0;
+    v /= 1000.0;
+    ++i;
+  }
+  char buf[64];
+  if (i == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f%s", v, suffix_tail);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%s%s", v, kSuffix[i], suffix_tail);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string human_count(double v) { return scaled(v, ""); }
+
+std::string human_bytes(double v) { return scaled(v, "B"); }
+
+std::string percent(double fraction) {
+  const double p = fraction * 100.0;
+  char buf[64];
+  if (p == 0.0) {
+    return "0.00%";
+  }
+  if (std::fabs(p) < 0.001) {
+    std::snprintf(buf, sizeof(buf), "%.1e%%", p);
+  } else if (std::fabs(p) < 0.1) {
+    std::snprintf(buf, sizeof(buf), "%.4f%%", p);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%%", p);
+  }
+  return buf;
+}
+
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string pad_left(const std::string& s, std::size_t w) {
+  return s.size() >= w ? s : std::string(w - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t w) {
+  return s.size() >= w ? s : s + std::string(w - s.size(), ' ');
+}
+
+}  // namespace spoofscope::util

@@ -1,0 +1,29 @@
+// Human-readable formatting used by the bench/report printers (e.g. the
+// "31.63T bytes (0.003%)" style values in Table 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spoofscope::util {
+
+/// Formats a count with SI-style suffixes: 1234 -> "1.23K", 2e12 -> "2.00T".
+/// Values below 1000 are printed as plain integers.
+std::string human_count(double v);
+
+/// Same scaling, but suffixed for bytes: "92.65TB".
+std::string human_bytes(double v);
+
+/// Percentage with adaptive precision: 1.29 -> "1.29%", 0.000031 -> "3.1e-05%".
+std::string percent(double fraction);
+
+/// Fixed-point with `digits` decimals.
+std::string fixed(double v, int digits);
+
+/// Left-pads `s` with spaces to width `w`.
+std::string pad_left(const std::string& s, std::size_t w);
+
+/// Right-pads `s` with spaces to width `w`.
+std::string pad_right(const std::string& s, std::size_t w);
+
+}  // namespace spoofscope::util

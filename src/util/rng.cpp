@@ -1,0 +1,133 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <numbers>
+#include <stdexcept>
+
+namespace spoofscope::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t range = hi - lo;
+  if (range == ~0ULL) return next_u64();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t n = range + 1;
+  const std::uint64_t limit = ~0ULL - ~0ULL % n;
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return lo + x % n;
+}
+
+double Rng::exponential(double rate) {
+  assert(rate > 0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+double Rng::pareto(double xm, double alpha) {
+  assert(xm > 0 && alpha > 0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+Rng Rng::fork(std::uint64_t label) {
+  // Mix the label with fresh output; SplitMix re-expansion in the child
+  // constructor decorrelates the streams.
+  return Rng(next_u64() ^ (label * 0x9e3779b97f4a7c15ULL + 0x1234abcd5678ef00ULL));
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be >= 1");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfDistribution::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t i) const {
+  if (i >= cdf_.size()) return 0.0;
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+DiscreteDistribution::DiscreteDistribution(std::span<const double> weights) {
+  cdf_.reserve(weights.size());
+  double acc = 0.0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("DiscreteDistribution: negative weight");
+    acc += w;
+    cdf_.push_back(acc);
+  }
+  if (acc <= 0) throw std::invalid_argument("DiscreteDistribution: all weights zero");
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteDistribution::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace spoofscope::util

@@ -1,0 +1,128 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// Everything in spoofscope that needs randomness takes an explicit Rng&;
+// there is no global generator and no wall-clock seeding, so a scenario is
+// fully determined by its seed.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace spoofscope::util {
+
+/// xoshiro256** 1.0 (Blackman/Vigna), seeded via SplitMix64.
+///
+/// Fast, high-quality, and — unlike std::mt19937 — with a representation
+/// that is identical across standard library implementations, which keeps
+/// regression expectations stable.
+class Rng {
+ public:
+  /// Seeds the four words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5eedULL) { reseed(seed); }
+
+  /// Re-initializes the state as if constructed with `seed`.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Next raw 32-bit output (upper half of next_u64).
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint32_t uniform_u32(std::uint32_t lo, std::uint32_t hi) {
+    return static_cast<std::uint32_t>(uniform_u64(lo, hi));
+  }
+
+  /// Uniform size_t in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) { return static_cast<std::size_t>(uniform_u64(0, n - 1)); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// True with probability p (clamped to [0, 1]).
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponentially distributed with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Standard normal via Box-Muller (one value per call; no caching).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Pareto-distributed sample with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> xs) { return xs[index(xs.size())]; }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& xs) { return xs[index(xs.size())]; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& xs) {
+    for (std::size_t i = xs.size(); i > 1; --i) {
+      std::swap(xs[i - 1], xs[index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator; children with distinct labels
+  /// are statistically independent of each other and of the parent.
+  Rng fork(std::uint64_t label);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Samples integers in [0, n) with probability proportional to 1/(i+1)^s.
+///
+/// Uses a precomputed inverse CDF (O(log n) per sample). Suitable for the
+/// heavy-tailed popularity distributions in the traffic generator (member
+/// traffic shares, destination popularity, application mix tails).
+class ZipfDistribution {
+ public:
+  /// Builds the distribution over n ranks with exponent s >= 0.
+  /// n must be >= 1. s == 0 degenerates to the uniform distribution.
+  ZipfDistribution(std::size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  std::size_t operator()(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of rank i.
+  double pmf(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i)
+};
+
+/// Weighted discrete sampling over arbitrary non-negative weights.
+class DiscreteDistribution {
+ public:
+  /// Builds from weights; at least one weight must be positive.
+  explicit DiscreteDistribution(std::span<const double> weights);
+
+  /// Draws an index in [0, weights.size()).
+  std::size_t operator()(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace spoofscope::util

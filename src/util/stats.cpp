@@ -1,0 +1,142 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace spoofscope::util {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    s.sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = s.sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  return s;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const std::size_t i = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  if (i + 1 >= v.size()) return v.back();
+  return v[i] * (1.0 - frac) + v[i + 1] * frac;
+}
+
+namespace {
+
+std::vector<DistPoint> edf(std::span<const double> xs, bool complementary) {
+  std::vector<DistPoint> out;
+  if (xs.empty()) return out;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double n = static_cast<double>(v.size());
+  std::size_t i = 0;
+  while (i < v.size()) {
+    std::size_t j = i;
+    while (j < v.size() && v[j] == v[i]) ++j;
+    const double cum = static_cast<double>(j) / n;
+    out.push_back({v[i], complementary ? 1.0 - cum : cum});
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<DistPoint> empirical_cdf(std::span<const double> xs) {
+  return edf(xs, /*complementary=*/false);
+}
+
+std::vector<DistPoint> empirical_ccdf(std::span<const double> xs) {
+  return edf(xs, /*complementary=*/true);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  if (bins == 0 || !(hi > lo)) throw std::invalid_argument("Histogram: bad range");
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void Histogram::add(double x, double weight) {
+  std::size_t i;
+  if (x < lo_) {
+    i = 0;
+  } else if (x >= hi_) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>((x - lo_) / width_);
+    i = std::min(i, counts_.size() - 1);
+  }
+  counts_[i] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
+
+double Histogram::fraction(std::size_t i) const {
+  return total_ > 0 ? counts_[i] / total_ : 0.0;
+}
+
+LogHistogram::LogHistogram(double base, std::size_t bins)
+    : base_(base), counts_(bins, 0.0) {
+  if (base <= 1.0 || bins == 0) throw std::invalid_argument("LogHistogram: bad parameters");
+}
+
+void LogHistogram::add(double x, double weight) {
+  std::size_t i = 0;
+  if (x >= 1.0) {
+    i = static_cast<std::size_t>(std::log(x) / std::log(base_)) + 1;
+    i = std::min(i, counts_.size() - 1);
+  }
+  counts_[i] += weight;
+  total_ += weight;
+}
+
+double LogHistogram::bin_lo(std::size_t i) const {
+  return i == 0 ? 0.0 : std::pow(base_, static_cast<double>(i - 1));
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const Summary sx = summarize(xs);
+  const Summary sy = summarize(ys);
+  if (sx.stddev == 0.0 || sy.stddev == 0.0) return 0.0;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cov += (xs[i] - sx.mean) * (ys[i] - sy.mean);
+  }
+  cov /= static_cast<double>(xs.size());
+  return cov / (sx.stddev * sy.stddev);
+}
+
+double gini(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  double sum = 0.0, weighted = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    sum += v[i];
+    weighted += static_cast<double>(i + 1) * v[i];
+  }
+  if (sum <= 0.0) return 0.0;
+  const double n = static_cast<double>(v.size());
+  return (2.0 * weighted) / (n * sum) - (n + 1.0) / n;
+}
+
+}  // namespace spoofscope::util

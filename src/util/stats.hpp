@@ -1,0 +1,94 @@
+// Small statistics toolkit used by the analysis modules: summary stats,
+// empirical CDF/CCDF construction, and linear/log-binned histograms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spoofscope::util {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double sum = 0.0;
+};
+
+/// Computes summary statistics; returns a zeroed Summary for empty input.
+Summary summarize(std::span<const double> xs);
+
+/// Returns the q-quantile (0 <= q <= 1) of `xs` using linear interpolation
+/// between order statistics. `xs` need not be sorted. Empty input -> 0.
+double quantile(std::span<const double> xs, double q);
+
+/// One point of an empirical distribution function.
+struct DistPoint {
+  double x = 0.0;  ///< sample value
+  double y = 0.0;  ///< cumulative fraction
+};
+
+/// Empirical CDF: for each distinct sorted value x, the fraction of samples
+/// <= x. Suitable for direct plotting (Fig 8a style).
+std::vector<DistPoint> empirical_cdf(std::span<const double> xs);
+
+/// Empirical CCDF: fraction of samples strictly greater than x
+/// (Fig 4 style).
+std::vector<DistPoint> empirical_ccdf(std::span<const double> xs);
+
+/// Fixed-width linear histogram over [lo, hi); values outside are clamped
+/// into the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+  /// Fraction of total mass in bin i (0 if the histogram is empty).
+  double fraction(std::size_t i) const;
+
+ private:
+  double lo_, hi_, width_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+/// Base-`base` logarithmic histogram for heavy-tailed quantities
+/// (per-member traffic volumes, packet counts).
+class LogHistogram {
+ public:
+  /// Bins: [0,1), [1,base), [base,base^2), ...
+  explicit LogHistogram(double base = 10.0, std::size_t bins = 12);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+ private:
+  double base_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+/// Pearson correlation of two equal-length samples; 0 for degenerate input.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Gini coefficient of non-negative values: 0 = perfectly even,
+/// -> 1 = fully concentrated. Used to characterize attack amplifier
+/// distribution strategies (Fig 11b).
+double gini(std::span<const double> xs);
+
+}  // namespace spoofscope::util

@@ -1,0 +1,32 @@
+// String helpers shared across parsers and formatters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spoofscope::util {
+
+/// Splits on a single character delimiter; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Joins pieces with `sep`.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Parses a non-negative decimal integer fitting in uint64.
+/// Returns false on empty input, non-digits, or overflow.
+bool parse_u64(std::string_view s, std::uint64_t& out);
+
+/// Parses a uint32 the same way.
+bool parse_u32(std::string_view s, std::uint32_t& out);
+
+/// True if `s` consists only of ASCII digits (and is non-empty).
+bool all_digits(std::string_view s);
+
+/// Lowercases ASCII characters.
+std::string to_lower(std::string_view s);
+
+}  // namespace spoofscope::util

@@ -1,0 +1,147 @@
+#include "analysis/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace spoofscope::analysis {
+namespace {
+
+/// Parses CSV text into rows of fields.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto line : util::split(text, '\n')) {
+    if (util::trim(line).empty()) continue;
+    std::vector<std::string> fields;
+    EXPECT_TRUE(util::csv_parse_line(line, fields));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+TEST(Export, Table1Csv) {
+  std::vector<Table1Column> cols(2);
+  cols[0].name = "Bogon";
+  cols[0].members = 5;
+  cols[0].member_fraction = 0.5;
+  cols[1].name = "Invalid FULL";
+  std::ostringstream os;
+  export_table1_csv(os, cols);
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], "column");
+  EXPECT_EQ(rows[1][0], "Bogon");
+  EXPECT_EQ(rows[1][1], "5");
+  EXPECT_EQ(rows[2][0], "Invalid FULL");
+}
+
+TEST(Export, DistributionCsv) {
+  const std::vector<util::DistPoint> points{{1.0, 0.5}, {2.0, 1.0}};
+  std::ostringstream os;
+  export_distribution_csv(os, points);
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(std::stod(rows[1][0]), 1.0);
+  EXPECT_EQ(std::stod(rows[2][1]), 1.0);
+}
+
+TEST(Export, ValidSizesCsv) {
+  const std::vector<std::pair<Asn, double>> sizes{{100, 256.0}, {200, 65536.0}};
+  std::ostringstream os;
+  export_valid_sizes_csv(os, sizes);
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1][0], "100");
+}
+
+TEST(Export, VennCsvRegionsSumToOne) {
+  VennCounts v;
+  v.clean = 0.25;
+  v.only_bogon = 0.75;
+  std::ostringstream os;
+  export_venn_csv(os, v);
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 9u);  // header + 8 regions
+  double sum = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) sum += std::stod(rows[i][1]);
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(Export, BusinessCsv) {
+  std::vector<BusinessPoint> points(1);
+  points[0].member = 42;
+  points[0].type = topo::BusinessType::kHosting;
+  points[0].total_packets = 100;
+  points[0].share_invalid = 0.1;
+  std::ostringstream os;
+  export_business_csv(os, points);
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "Hosting");
+}
+
+TEST(Export, TimeSeriesCsv) {
+  ClassTimeSeries ts;
+  ts.bin_seconds = 3600;
+  for (auto& s : ts.series) s = {1.0, 2.0};
+  std::ostringstream os;
+  export_time_series_csv(os, ts);
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2][0], "3600");
+}
+
+TEST(Export, PortMixCsvUsesOtherLabel) {
+  PortMix mix;
+  mix.shares[0][0][0].push_back({0, 0.4});
+  mix.shares[0][0][0].push_back({80, 0.6});
+  std::ostringstream os;
+  export_port_mix_csv(os, mix);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("bogon,tcp,dst,other,0.4"), std::string::npos);
+  EXPECT_NE(text.find("bogon,tcp,dst,80,0.6"), std::string::npos);
+}
+
+TEST(Export, AddressStructureCsvSkipsEmptyBins) {
+  AddressStructure a{};
+  a.src[0][10] = 7.0;
+  std::ostringstream os;
+  export_address_structure_csv(os, a);
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 2u);  // header + one non-empty bin
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"bogon", "src", "10", "7.000000"}));
+}
+
+TEST(Export, NtpVictimsCsvRanked) {
+  std::vector<NtpVictim> victims(1);
+  victims[0].victim = net::Ipv4Addr::from_octets(1, 2, 3, 4);
+  victims[0].packets_per_amplifier = {30, 20, 10};
+  std::ostringstream os;
+  export_ntp_victims_csv(os, victims);
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[1][0], "1.2.3.4");
+  EXPECT_EQ(rows[1][1], "1");
+  EXPECT_EQ(rows[3][2], "10");
+}
+
+TEST(Export, AmplificationCsv) {
+  AmplificationTimeseries ts;
+  ts.bin_seconds = 3600;
+  ts.packets_to_amplifier = {5};
+  ts.packets_from_amplifier = {5};
+  ts.bytes_to_amplifier = {100};
+  ts.bytes_from_amplifier = {1000};
+  std::ostringstream os;
+  export_amplification_csv(os, ts);
+  const auto rows = parse_csv(os.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(std::stod(rows[1][4]), 1000.0);
+}
+
+}  // namespace
+}  // namespace spoofscope::analysis

@@ -1,0 +1,93 @@
+#include "analysis/filtering_strategy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spoofscope::analysis {
+namespace {
+
+MemberClassCounts with(double bogon, double unrouted, double invalid,
+                       net::Asn member = 1) {
+  MemberClassCounts mc;
+  mc.member = member;
+  mc.packets[static_cast<int>(TrafficClass::kBogon)] = bogon;
+  mc.packets[static_cast<int>(TrafficClass::kUnrouted)] = unrouted;
+  mc.packets[static_cast<int>(TrafficClass::kInvalid)] = invalid;
+  mc.packets[static_cast<int>(TrafficClass::kValid)] = 100;
+  return mc;
+}
+
+TEST(FilteringStrategy, DeductionRules) {
+  EXPECT_EQ(deduce_strategy(with(0, 0, 0)), FilteringStrategy::kClean);
+  EXPECT_EQ(deduce_strategy(with(5, 0, 0)), FilteringStrategy::kBogonLeakOnly);
+  EXPECT_EQ(deduce_strategy(with(0, 0, 5)), FilteringStrategy::kSemiStaticOnly);
+  EXPECT_EQ(deduce_strategy(with(5, 5, 5)), FilteringStrategy::kNoFiltering);
+  EXPECT_EQ(deduce_strategy(with(5, 5, 0)), FilteringStrategy::kInconsistent);
+  EXPECT_EQ(deduce_strategy(with(0, 5, 0)), FilteringStrategy::kInconsistent);
+  EXPECT_EQ(deduce_strategy(with(0, 5, 5)), FilteringStrategy::kInconsistent);
+  EXPECT_EQ(deduce_strategy(with(5, 0, 5)), FilteringStrategy::kInconsistent);
+}
+
+TEST(FilteringStrategy, Names) {
+  EXPECT_EQ(strategy_name(FilteringStrategy::kClean), "clean");
+  EXPECT_EQ(strategy_name(FilteringStrategy::kNoFiltering), "no-filtering");
+  EXPECT_EQ(strategy_name(FilteringStrategy::kBogonLeakOnly), "bogon-leak-only");
+}
+
+TEST(FilteringStrategy, AccuracyAgainstGroundTruth) {
+  // Ground truth: AS1 filters everything, AS2 filters nothing, AS3
+  // validates sources but lacks the bogon ACL.
+  topo::AsInfo a1;
+  a1.asn = 1;
+  a1.org = 1;
+  a1.filter = {true, true};
+  topo::AsInfo a2;
+  a2.asn = 2;
+  a2.org = 2;
+  a2.filter = {false, false};
+  topo::AsInfo a3;
+  a3.asn = 3;
+  a3.org = 3;
+  a3.filter = {false, true};  // blocks_bogon=false, blocks_spoofed=true
+  const topo::Topology topo({a1, a2, a3}, {});
+
+  std::vector<MemberClassCounts> counts{
+      with(0, 0, 0, 1),  // clean, truly filtering
+      with(5, 5, 5, 2),  // none, truly unfiltered
+      with(5, 0, 0, 3),  // bogon-leak-only, matches ground truth
+  };
+  const auto acc = strategy_accuracy(counts, topo);
+  EXPECT_EQ(acc.members, 3u);
+  EXPECT_EQ(acc.clean_deduced, 1u);
+  EXPECT_DOUBLE_EQ(acc.clean_precision(), 1.0);
+  EXPECT_EQ(acc.none_deduced, 1u);
+  EXPECT_DOUBLE_EQ(acc.none_precision(), 1.0);
+  EXPECT_EQ(acc.bogonleak_deduced, 1u);
+  EXPECT_DOUBLE_EQ(acc.bogonleak_precision(), 1.0);
+}
+
+TEST(FilteringStrategy, DeductionCanBeWrong) {
+  // An unfiltered member that simply emitted nothing illegitimate during
+  // the window is deduced clean — the paper's "soft criterion".
+  topo::AsInfo a;
+  a.asn = 7;
+  a.org = 7;
+  a.filter = {false, false};
+  const topo::Topology topo({a}, {});
+  std::vector<MemberClassCounts> counts{with(0, 0, 0, 7)};
+  const auto acc = strategy_accuracy(counts, topo);
+  EXPECT_EQ(acc.clean_deduced, 1u);
+  EXPECT_DOUBLE_EQ(acc.clean_precision(), 0.0);
+}
+
+TEST(FilteringStrategy, FormatterMentionsCounts) {
+  StrategyAccuracy acc;
+  acc.members = 10;
+  acc.clean_deduced = 4;
+  acc.clean_truly_filtering = 3;
+  const auto text = format_strategy_accuracy(acc);
+  EXPECT_NE(text.find("10 members"), std::string::npos);
+  EXPECT_NE(text.find("75.00%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spoofscope::analysis

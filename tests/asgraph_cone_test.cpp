@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "asgraph/customer_cone.hpp"
+#include "asgraph/full_cone.hpp"
+#include "asgraph/org_merge.hpp"
+#include "net/prefix.hpp"
+
+namespace spoofscope::asgraph {
+namespace {
+
+using net::pfx;
+
+TEST(DescendantSets, LinearChain) {
+  AsGraph g({1, 2, 3}, {{1, 2}, {2, 3}});
+  DescendantSets d(g);
+  const auto i1 = *g.index_of(1);
+  const auto i2 = *g.index_of(2);
+  const auto i3 = *g.index_of(3);
+  EXPECT_TRUE(d.reaches(i1, i3));
+  EXPECT_TRUE(d.reaches(i1, i1));  // self
+  EXPECT_FALSE(d.reaches(i3, i1));
+  EXPECT_EQ(d.descendant_count(i1), 3u);
+  EXPECT_EQ(d.descendant_count(i2), 2u);
+  EXPECT_EQ(d.descendant_count(i3), 1u);
+}
+
+TEST(DescendantSets, CycleMembersReachEachOther) {
+  AsGraph g({1, 2, 3, 4}, {{1, 2}, {2, 1}, {2, 3}});
+  DescendantSets d(g);
+  const auto i1 = *g.index_of(1);
+  const auto i2 = *g.index_of(2);
+  const auto i4 = *g.index_of(4);
+  EXPECT_TRUE(d.reaches(i1, i2));
+  EXPECT_TRUE(d.reaches(i2, i1));
+  EXPECT_EQ(d.descendant_count(i1), 3u);
+  EXPECT_EQ(d.descendant_count(i4), 1u);  // isolated node
+}
+
+TEST(DescendantSets, DescendantsListMatchesCount) {
+  AsGraph g({1, 2, 3, 4, 5}, {{1, 2}, {1, 3}, {3, 4}, {2, 4}});
+  DescendantSets d(g);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    EXPECT_EQ(d.descendants(i).size(), d.descendant_count(i));
+  }
+}
+
+TEST(DescendantSets, WideGraphPast64Components) {
+  // More than 64 components exercises multi-word bitset rows.
+  std::vector<Asn> nodes;
+  std::vector<std::pair<Asn, Asn>> edges;
+  for (Asn i = 1; i <= 200; ++i) nodes.push_back(i);
+  for (Asn i = 2; i <= 200; ++i) edges.emplace_back(1, i);  // star
+  AsGraph g(std::move(nodes), std::move(edges));
+  DescendantSets d(g);
+  EXPECT_EQ(d.descendant_count(*g.index_of(1)), 200u);
+  EXPECT_EQ(d.descendant_count(*g.index_of(77)), 1u);
+  EXPECT_TRUE(d.reaches(*g.index_of(1), *g.index_of(199)));
+}
+
+TEST(FullCone, ConeSemantics) {
+  // Path-derived graph: 10 -> 20 -> 30 (10 upstream of 20 upstream of 30).
+  AsGraph g({10, 20, 30}, {{10, 20}, {20, 30}});
+  FullCone cone(g);
+  // 10 may source prefixes originated by 20 and 30.
+  EXPECT_TRUE(cone.in_cone(10, 30));
+  EXPECT_TRUE(cone.in_cone(10, 20));
+  EXPECT_TRUE(cone.in_cone(20, 30));
+  // but 30 may not source 10's space.
+  EXPECT_FALSE(cone.in_cone(30, 10));
+  EXPECT_EQ(cone.cone_size(10), 3u);
+  EXPECT_EQ(cone.cone_size(30), 1u);
+}
+
+TEST(FullCone, SelfAlwaysInCone) {
+  AsGraph g({10}, {});
+  FullCone cone(g);
+  EXPECT_TRUE(cone.in_cone(10, 10));
+  EXPECT_TRUE(cone.in_cone(999, 999));  // even for unknown ASes
+  EXPECT_FALSE(cone.in_cone(999, 10));
+  EXPECT_EQ(cone.cone_size(999), 0u);
+  EXPECT_TRUE(cone.cone_of(999).empty());
+}
+
+TEST(FullCone, ConeOfReturnsAsns) {
+  AsGraph g({10, 20, 30}, {{10, 20}, {20, 30}});
+  FullCone cone(g);
+  auto c = cone.cone_of(10);
+  std::sort(c.begin(), c.end());
+  EXPECT_EQ(c, (std::vector<Asn>{10, 20, 30}));
+}
+
+TEST(FullCone, Fig1cPeeringScenario) {
+  // Fig 1c of the paper: A and B peer; C is customer of A, D customer of
+  // B. Observed paths create edges A->C, B->D, and across the peering
+  // A->B->D and B->A->C (traffic exchanged via peering shows both
+  // directions at some collector).
+  AsGraph g({1, 2, 3, 4}, {{1, 3}, {2, 4}, {1, 2}, {2, 1}});
+  FullCone cone(g);
+  // The full cone accepts D's prefixes at A (through the peering),
+  EXPECT_TRUE(cone.in_cone(1, 4));
+  // while a pure customer cone would not (checked in CustomerCone tests).
+  EXPECT_TRUE(cone.in_cone(2, 3));
+}
+
+TEST(CustomerCone, OnlyC2PLinksCount) {
+  const std::vector<InferredLink> links{
+      {3, 1, InferredRel::kC2P},  // 3 customer of 1
+      {4, 2, InferredRel::kC2P},  // 4 customer of 2
+      {1, 2, InferredRel::kP2P},  // 1 peers 2
+  };
+  CustomerCone cone(links);
+  EXPECT_TRUE(cone.in_cone(1, 3));
+  EXPECT_TRUE(cone.in_cone(2, 4));
+  // The peering is intentionally ignored: D (4) is not in A's (1) cone.
+  EXPECT_FALSE(cone.in_cone(1, 4));
+  EXPECT_FALSE(cone.in_cone(2, 3));
+  EXPECT_EQ(cone.cone_size(1), 2u);
+}
+
+TEST(CustomerCone, TransitiveCustomers) {
+  const std::vector<InferredLink> links{
+      {2, 1, InferredRel::kC2P},
+      {3, 2, InferredRel::kC2P},
+  };
+  CustomerCone cone(links);
+  EXPECT_TRUE(cone.in_cone(1, 3));
+  EXPECT_FALSE(cone.in_cone(3, 1));
+  EXPECT_EQ(cone.cone_size(1), 3u);
+  EXPECT_EQ(cone.cone_size(3), 1u);
+}
+
+TEST(CustomerCone, StubConeIsItself) {
+  const std::vector<InferredLink> links{{2, 1, InferredRel::kC2P}};
+  CustomerCone cone(links);
+  EXPECT_EQ(cone.cone_size(2), 1u);
+  EXPECT_TRUE(cone.in_cone(2, 2));
+}
+
+TEST(OrgMap, GroupsAndLookup) {
+  OrgMap orgs({{10, 20, 30}, {40}, {50, 60}});
+  EXPECT_EQ(orgs.group_count(), 2u);  // singleton dropped
+  EXPECT_EQ(orgs.group_of(20).size(), 3u);
+  EXPECT_TRUE(orgs.group_of(40).empty());
+  EXPECT_TRUE(orgs.group_of(999).empty());
+}
+
+TEST(OrgMap, MeshEdgesBothDirections) {
+  OrgMap orgs({{1, 2, 3}});
+  const auto mesh = orgs.mesh_edges();
+  EXPECT_EQ(mesh.size(), 6u);
+  EXPECT_NE(std::find(mesh.begin(), mesh.end(), std::pair<Asn, Asn>{1, 3}),
+            mesh.end());
+  EXPECT_NE(std::find(mesh.begin(), mesh.end(), std::pair<Asn, Asn>{3, 1}),
+            mesh.end());
+}
+
+TEST(OrgMap, RejectsOverlappingGroups) {
+  EXPECT_THROW(OrgMap({{1, 2}, {2, 3}}), std::invalid_argument);
+}
+
+TEST(OrgMap, DeduplicatesWithinGroup) {
+  OrgMap orgs({{1, 2, 2, 1}});
+  EXPECT_EQ(orgs.group_of(1).size(), 2u);
+}
+
+TEST(OrgMergedFullCone, MeshSharesCones) {
+  // 10 -> 20 and 11 -> 21; 10 and 11 are the same organization.
+  AsGraph g({10, 11, 20, 21}, {{10, 20}, {11, 21}});
+  OrgMap orgs({{10, 11}});
+  const AsGraph merged = g.with_extra_edges(orgs.mesh_edges());
+  FullCone cone(merged);
+  EXPECT_TRUE(cone.in_cone(10, 21));  // via the org mesh
+  EXPECT_TRUE(cone.in_cone(11, 20));
+  EXPECT_TRUE(cone.in_cone(10, 11));
+  // Plain graph does not allow this.
+  FullCone plain(g);
+  EXPECT_FALSE(plain.in_cone(10, 21));
+}
+
+}  // namespace
+}  // namespace spoofscope::asgraph

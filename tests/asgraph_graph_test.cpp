@@ -1,0 +1,124 @@
+#include "asgraph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "asgraph/scc.hpp"
+#include "net/prefix.hpp"
+
+namespace spoofscope::asgraph {
+namespace {
+
+using net::pfx;
+
+TEST(AsGraph, BasicConstruction) {
+  AsGraph g({1, 2, 3}, {{1, 2}, {2, 3}});
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  const auto i1 = g.index_of(1);
+  ASSERT_TRUE(i1);
+  EXPECT_EQ(g.asn_at(*i1), 1u);
+  EXPECT_FALSE(g.index_of(42));
+}
+
+TEST(AsGraph, EdgeEndpointsBecomeNodes) {
+  AsGraph g({}, {{7, 8}});
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_TRUE(g.index_of(7));
+  EXPECT_TRUE(g.index_of(8));
+}
+
+TEST(AsGraph, DropsDuplicatesAndSelfLoops) {
+  AsGraph g({1, 2}, {{1, 2}, {1, 2}, {1, 1}});
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(AsGraph, SuccessorsAndPredecessors) {
+  AsGraph g({1, 2, 3}, {{1, 2}, {1, 3}, {2, 3}});
+  const auto i1 = *g.index_of(1);
+  const auto i3 = *g.index_of(3);
+  EXPECT_EQ(g.successors(i1).size(), 2u);
+  EXPECT_TRUE(g.successors(i3).empty());
+  EXPECT_EQ(g.predecessors(i3).size(), 2u);
+}
+
+TEST(AsGraph, EdgesRoundTrip) {
+  const std::vector<std::pair<Asn, Asn>> edges{{1, 2}, {2, 3}};
+  AsGraph g({1, 2, 3}, edges);
+  auto got = g.edges();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, edges);
+}
+
+TEST(AsGraph, WithExtraEdges) {
+  AsGraph g({1, 2, 3}, {{1, 2}});
+  const std::vector<std::pair<Asn, Asn>> extra{{2, 3}, {3, 2}};
+  const AsGraph g2 = g.with_extra_edges(extra);
+  EXPECT_EQ(g.edge_count(), 1u);   // original untouched
+  EXPECT_EQ(g2.edge_count(), 3u);
+}
+
+TEST(AsGraph, FromRoutingTable) {
+  bgp::RoutingTableBuilder b;
+  b.ingest_route(pfx("10.0.0.0/16"), bgp::AsPath{1, 2, 3});
+  b.ingest_route(pfx("20.0.0.0/16"), bgp::AsPath{4, 2});
+  const auto table = b.build();
+  const auto g = AsGraph::from_routing_table(table);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);  // 1->2, 2->3, 4->2
+}
+
+TEST(Scc, SingletonComponents) {
+  AsGraph g({1, 2, 3}, {{1, 2}, {2, 3}});
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, 3u);
+  // Reverse topological numbering: successors get smaller ids.
+  const auto c1 = scc.component_of[*g.index_of(1)];
+  const auto c2 = scc.component_of[*g.index_of(2)];
+  const auto c3 = scc.component_of[*g.index_of(3)];
+  EXPECT_GT(c1, c2);
+  EXPECT_GT(c2, c3);
+}
+
+TEST(Scc, DetectsCycle) {
+  AsGraph g({1, 2, 3, 4}, {{1, 2}, {2, 3}, {3, 1}, {3, 4}});
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, 2u);
+  const auto c1 = scc.component_of[*g.index_of(1)];
+  EXPECT_EQ(scc.component_of[*g.index_of(2)], c1);
+  EXPECT_EQ(scc.component_of[*g.index_of(3)], c1);
+  EXPECT_NE(scc.component_of[*g.index_of(4)], c1);
+  EXPECT_EQ(scc.members[c1].size(), 3u);
+}
+
+TEST(Scc, CondensedDagEdges) {
+  AsGraph g({1, 2, 3, 4}, {{1, 2}, {2, 1}, {2, 3}, {3, 4}, {4, 3}});
+  const auto scc = strongly_connected_components(g);
+  ASSERT_EQ(scc.component_count, 2u);
+  const auto c12 = scc.component_of[*g.index_of(1)];
+  const auto c34 = scc.component_of[*g.index_of(3)];
+  ASSERT_EQ(scc.dag_successors[c12].size(), 1u);
+  EXPECT_EQ(scc.dag_successors[c12][0], c34);
+  EXPECT_TRUE(scc.dag_successors[c34].empty());
+}
+
+TEST(Scc, HandlesDisconnectedGraph) {
+  AsGraph g({1, 2, 3, 4}, {{1, 2}});
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, 4u);
+}
+
+TEST(Scc, DeepChainNoStackOverflow) {
+  // 50K-node chain would blow a recursive Tarjan; the iterative version
+  // must handle it.
+  std::vector<Asn> nodes;
+  std::vector<std::pair<Asn, Asn>> edges;
+  const std::size_t n = 50000;
+  for (Asn i = 1; i <= n; ++i) nodes.push_back(i);
+  for (Asn i = 1; i < n; ++i) edges.emplace_back(i, i + 1);
+  AsGraph g(std::move(nodes), std::move(edges));
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.component_count, n);
+}
+
+}  // namespace
+}  // namespace spoofscope::asgraph

@@ -1,0 +1,148 @@
+#include "asgraph/relationship.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgp/collector.hpp"
+#include "bgp/simulator.hpp"
+#include "net/prefix.hpp"
+#include "topo/generator.hpp"
+
+namespace spoofscope::asgraph {
+namespace {
+
+using net::pfx;
+
+/// Finds the inferred classification of an (unordered) link.
+const InferredLink* find_link(const std::vector<InferredLink>& links, Asn x, Asn y) {
+  for (const auto& l : links) {
+    if ((l.a == x && l.b == y) || (l.a == y && l.b == x)) return &l;
+  }
+  return nullptr;
+}
+
+bgp::RoutingTable hierarchy_table() {
+  // Hierarchy: 1 and 2 are the big transit core (peers); 10,11 customers
+  // of 1; 20 customer of 2; 100 customer of 10.
+  bgp::RoutingTableBuilder b;
+  // Routes originated at 100, seen at several vantage points:
+  b.ingest_route(pfx("50.0.0.0/16"), bgp::AsPath{11, 1, 10, 100});
+  b.ingest_route(pfx("50.0.0.0/16"), bgp::AsPath{20, 2, 1, 10, 100});
+  // Routes originated at 20:
+  b.ingest_route(pfx("60.0.0.0/16"), bgp::AsPath{100, 10, 1, 2, 20});
+  b.ingest_route(pfx("60.0.0.0/16"), bgp::AsPath{11, 1, 2, 20});
+  // Routes originated at 11:
+  b.ingest_route(pfx("70.0.0.0/16"), bgp::AsPath{100, 10, 1, 11});
+  b.ingest_route(pfx("70.0.0.0/16"), bgp::AsPath{20, 2, 1, 11});
+  // Routes originated at 10:
+  b.ingest_route(pfx("80.0.0.0/16"), bgp::AsPath{20, 2, 1, 10});
+  return b.build();
+}
+
+TEST(Relationship, CliqueIsHighDegreeCore) {
+  const auto table = hierarchy_table();
+  const auto clique = infer_clique(table, 2);
+  EXPECT_EQ(clique, (std::vector<Asn>{1, 2}));
+}
+
+TEST(Relationship, CorePeeringInferred) {
+  const auto table = hierarchy_table();
+  const auto links = infer_relationships(table);
+  const auto* l = find_link(links, 1, 2);
+  ASSERT_NE(l, nullptr);
+  EXPECT_EQ(l->rel, InferredRel::kP2P);
+}
+
+TEST(Relationship, CustomerEdgesPointUp) {
+  const auto table = hierarchy_table();
+  const auto links = infer_relationships(table);
+
+  const auto* c100 = find_link(links, 100, 10);
+  ASSERT_NE(c100, nullptr);
+  EXPECT_EQ(c100->rel, InferredRel::kC2P);
+  EXPECT_EQ(c100->a, 100u);  // 100 is the customer
+  EXPECT_EQ(c100->b, 10u);
+
+  const auto* c10 = find_link(links, 10, 1);
+  ASSERT_NE(c10, nullptr);
+  EXPECT_EQ(c10->rel, InferredRel::kC2P);
+  EXPECT_EQ(c10->a, 10u);
+
+  const auto* c20 = find_link(links, 20, 2);
+  ASSERT_NE(c20, nullptr);
+  EXPECT_EQ(c20->rel, InferredRel::kC2P);
+  EXPECT_EQ(c20->a, 20u);
+}
+
+TEST(Relationship, EveryObservedLinkClassifiedOnce) {
+  const auto table = hierarchy_table();
+  const auto links = infer_relationships(table);
+  std::set<std::pair<Asn, Asn>> seen;
+  for (const auto& l : links) {
+    const auto key = std::make_pair(std::min(l.a, l.b), std::max(l.a, l.b));
+    EXPECT_TRUE(seen.insert(key).second) << "link classified twice";
+  }
+  // Distinct links observed: 1-11, 1-10, 10-100, 2-20, 1-2.
+  EXPECT_EQ(links.size(), 5u);
+}
+
+TEST(Relationship, Deterministic) {
+  const auto table = hierarchy_table();
+  const auto a = infer_relationships(table);
+  const auto b = infer_relationships(table);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Relationship, InferenceOnGeneratedTopologyIsMostlyCorrect) {
+  // End-to-end: generate a topology, run BGP, infer relationships from
+  // the observed table, and check accuracy against ground truth for the
+  // links that were observed.
+  topo::TopologyParams params;
+  params.num_tier1 = 3;
+  params.num_transit = 10;
+  params.num_isp = 30;
+  params.num_hosting = 15;
+  params.num_content = 8;
+  params.num_other = 14;
+  const auto topo = generate_topology(params, 21);
+  const bgp::Simulator sim(topo);
+  bgp::PlanParams pp;
+  pp.selective_prob = 0.0;
+  pp.transient_prob = 0.0;
+  const auto plan = make_announcement_plan(topo, pp, 22);
+  const bgp::RouteFabric fabric(sim, plan);
+
+  // A handful of full-feed collectors at diverse ASes.
+  bgp::RoutingTableBuilder builder;
+  bgp::CollectorSpec spec;
+  spec.feeders = {topo.asn_at(0), topo.asn_at(5), topo.asn_at(20), topo.asn_at(50)};
+  builder.ingest(collect_records(fabric, spec));
+  const auto table = builder.build();
+
+  const auto links = infer_relationships(table);
+  ASSERT_FALSE(links.empty());
+
+  std::size_t checked = 0, correct = 0;
+  for (const auto& l : links) {
+    // Find ground truth for this pair.
+    for (const auto& gt : topo.links()) {
+      const bool same_pair = (gt.from == l.a && gt.to == l.b) ||
+                             (gt.from == l.b && gt.to == l.a);
+      if (!same_pair) continue;
+      ++checked;
+      if (gt.type == topo::RelType::kCustomerToProvider) {
+        correct += l.rel == InferredRel::kC2P && l.a == gt.from;
+      } else {
+        correct += l.rel == InferredRel::kP2P;
+      }
+      break;
+    }
+  }
+  ASSERT_GT(checked, 20u);
+  // The heuristic is intentionally imperfect, but should get the bulk of
+  // c2p directions right.
+  EXPECT_GT(static_cast<double>(correct) / checked, 0.7)
+      << correct << "/" << checked;
+}
+
+}  // namespace
+}  // namespace spoofscope::asgraph

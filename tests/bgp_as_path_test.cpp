@@ -1,0 +1,72 @@
+#include "bgp/as_path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spoofscope::bgp {
+namespace {
+
+TEST(AsPath, EmptyPath) {
+  const AsPath p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.length(), 0u);
+}
+
+TEST(AsPath, BasicAccessors) {
+  const AsPath p{100, 200, 300};
+  EXPECT_EQ(p.length(), 3u);
+  EXPECT_EQ(p.first(), 100u);
+  EXPECT_EQ(p.origin(), 300u);
+  EXPECT_EQ(p.at(1), 200u);
+}
+
+TEST(AsPath, ParseValid) {
+  const auto p = AsPath::parse("3320 1299 64500");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(*p, (AsPath{3320, 1299, 64500}));
+}
+
+TEST(AsPath, ParseToleratesWhitespace) {
+  const auto p = AsPath::parse("  100  200 ");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 2u);
+}
+
+TEST(AsPath, ParseEmptyIsEmptyPath) {
+  const auto p = AsPath::parse("");
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(p->empty());
+}
+
+TEST(AsPath, ParseRejectsGarbage) {
+  EXPECT_FALSE(AsPath::parse("100 abc"));
+  EXPECT_FALSE(AsPath::parse("100 0 200"));  // ASN 0 reserved
+  EXPECT_FALSE(AsPath::parse("-5"));
+}
+
+TEST(AsPath, Contains) {
+  const AsPath p{1, 2, 3};
+  EXPECT_TRUE(p.contains(2));
+  EXPECT_FALSE(p.contains(4));
+}
+
+TEST(AsPath, Duplicates) {
+  EXPECT_FALSE((AsPath{1, 2, 3}).has_duplicates());
+  EXPECT_TRUE((AsPath{1, 2, 1}).has_duplicates());
+  EXPECT_TRUE((AsPath{5, 5}).has_duplicates());  // prepending
+}
+
+TEST(AsPath, Prepend) {
+  const AsPath p{2, 3};
+  const AsPath q = p.prepend(1);
+  EXPECT_EQ(q, (AsPath{1, 2, 3}));
+  EXPECT_EQ(p, (AsPath{2, 3}));  // original unchanged
+}
+
+TEST(AsPath, RoundTripString) {
+  const AsPath p{64500, 3356, 15169};
+  EXPECT_EQ(p.str(), "64500 3356 15169");
+  EXPECT_EQ(*AsPath::parse(p.str()), p);
+}
+
+}  // namespace
+}  // namespace spoofscope::bgp

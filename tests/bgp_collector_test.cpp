@@ -1,0 +1,225 @@
+#include "bgp/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/prefix.hpp"
+#include "topo/generator.hpp"
+
+namespace spoofscope::bgp {
+namespace {
+
+using net::pfx;
+using topo::AsInfo;
+using topo::AsLink;
+using topo::RelType;
+using topo::Topology;
+
+AsInfo mk(Asn asn, std::vector<net::Prefix> prefixes) {
+  AsInfo a;
+  a.asn = asn;
+  a.org = asn;
+  a.prefixes = std::move(prefixes);
+  a.announce_fraction = 1.0;
+  return a;
+}
+
+/// 1 (provider) above 2 and 3; 2 peers 3.
+Topology tiny_topology() {
+  std::vector<AsInfo> ases{
+      mk(1, {pfx("20.0.0.0/16")}),
+      mk(2, {pfx("30.0.0.0/16"), pfx("30.1.0.0/16")}),
+      mk(3, {pfx("40.0.0.0/16")}),
+  };
+  std::vector<AsLink> links{
+      {2, 1, RelType::kCustomerToProvider, true, {}},
+      {3, 1, RelType::kCustomerToProvider, true, {}},
+      {2, 3, RelType::kPeerToPeer, true, {}},
+  };
+  return Topology(std::move(ases), std::move(links));
+}
+
+PlanParams stable_only() {
+  PlanParams p;
+  p.selective_prob = 0.0;
+  p.transient_prob = 0.0;
+  p.deaggregate_prob = 0.0;
+  return p;
+}
+
+TEST(AnnouncementPlan, CoversAllAnnouncedPrefixes) {
+  const auto t = tiny_topology();
+  const auto plan = make_announcement_plan(t, stable_only(), 1);
+  EXPECT_EQ(plan.prefix_count(), 4u);
+  EXPECT_EQ(plan.groups.size(), 3u);  // one stable group per AS
+}
+
+TEST(AnnouncementPlan, RespectsAnnounceFraction) {
+  auto t = tiny_topology();
+  std::vector<AsInfo> ases(t.ases().begin(), t.ases().end());
+  ases[1].announce_fraction = 0.5;  // AS2 announces 1 of 2 prefixes
+  Topology t2(std::move(ases), std::vector<AsLink>(t.links().begin(), t.links().end()));
+  const auto plan = make_announcement_plan(t2, stable_only(), 1);
+  EXPECT_EQ(plan.prefix_count(), 3u);
+}
+
+TEST(AnnouncementPlan, SelectiveGroupsHaveFirstHops) {
+  topo::TopologyParams params;
+  params.num_tier1 = 2;
+  params.num_transit = 6;
+  params.num_isp = 20;
+  params.num_hosting = 10;
+  params.num_content = 5;
+  params.num_other = 7;
+  const auto t = generate_topology(params, 3);
+  PlanParams pp;
+  pp.selective_prob = 0.3;
+  pp.transient_prob = 0.0;
+  pp.deaggregate_prob = 0.0;
+  const auto plan = make_announcement_plan(t, pp, 4);
+  std::size_t selective = 0;
+  for (const auto& g : plan.groups) {
+    if (!g.first_hops.empty()) {
+      ++selective;
+      // first hops must be a strict subset of the origin's providers
+      const auto provs = t.providers_of(g.origin);
+      EXPECT_LT(g.first_hops.size(), provs.size());
+      for (const Asn h : g.first_hops) {
+        EXPECT_NE(std::find(provs.begin(), provs.end(), h), provs.end());
+      }
+    }
+  }
+  EXPECT_GT(selective, 0u);
+}
+
+TEST(AnnouncementPlan, TransientGroupsHaveTimestamps) {
+  const auto t = tiny_topology();
+  PlanParams pp;
+  pp.selective_prob = 0.0;
+  pp.transient_prob = 1.0;  // everything transient
+  pp.deaggregate_prob = 0.0;
+  const auto plan = make_announcement_plan(t, pp, 5);
+  ASSERT_FALSE(plan.groups.empty());
+  for (const auto& g : plan.groups) {
+    EXPECT_TRUE(g.transient);
+    EXPECT_GT(g.announce_ts, 0u);
+    if (g.withdraw_ts != 0) {
+      EXPECT_GT(g.withdraw_ts, g.announce_ts);
+    }
+  }
+}
+
+TEST(Collector, FullFeedSeesWholeTable) {
+  const auto t = tiny_topology();
+  const Simulator sim(t);
+  const auto plan = make_announcement_plan(t, stable_only(), 1);
+  const RouteFabric fabric(sim, plan);
+
+  CollectorSpec spec;
+  spec.name = "rrc-test";
+  spec.feeders = {2};
+  spec.full_feed = true;
+  const auto records = collect_records(fabric, spec);
+  // AS2 has a route to every one of the 4 prefixes.
+  EXPECT_EQ(records.size(), 4u);
+  for (const auto& r : records) {
+    const auto& e = std::get<RibEntry>(r);
+    EXPECT_EQ(e.peer, 2u);
+    EXPECT_EQ(e.path.first(), 2u);
+  }
+}
+
+TEST(Collector, RouteServerFeedOnlyCustomerRoutes) {
+  const auto t = tiny_topology();
+  const Simulator sim(t);
+  const auto plan = make_announcement_plan(t, stable_only(), 1);
+  const RouteFabric fabric(sim, plan);
+
+  CollectorSpec spec;
+  spec.name = "ixp-rs";
+  spec.feeders = {2};
+  spec.full_feed = false;
+  const auto records = collect_records(fabric, spec);
+  // AS2 exports only its own prefixes to a peer (it has no customers);
+  // the routes to 40.0.0.0/16 (peer) and 20.0.0.0/16 (provider) stay.
+  EXPECT_EQ(records.size(), 2u);
+  for (const auto& r : records) {
+    const auto& e = std::get<RibEntry>(r);
+    EXPECT_EQ(e.path.origin(), 2u);
+  }
+}
+
+TEST(Collector, TransientPrefixesAppearAsUpdates) {
+  const auto t = tiny_topology();
+  const Simulator sim(t);
+  PlanParams pp;
+  pp.selective_prob = 0.0;
+  pp.transient_prob = 1.0;
+  pp.deaggregate_prob = 0.0;
+  const auto plan = make_announcement_plan(t, pp, 7);
+  const RouteFabric fabric(sim, plan);
+
+  CollectorSpec spec;
+  spec.name = "rrc";
+  spec.feeders = {1};
+  const auto records = collect_records(fabric, spec);
+  ASSERT_FALSE(records.empty());
+  std::size_t announces = 0, withdraws = 0;
+  for (const auto& r : records) {
+    const auto* u = std::get_if<UpdateMessage>(&r);
+    ASSERT_NE(u, nullptr) << "transient plans must not produce dumps";
+    (u->kind == UpdateMessage::Kind::kAnnounce ? announces : withdraws) += 1;
+  }
+  EXPECT_EQ(announces, 4u);
+  EXPECT_LE(withdraws, announces);
+}
+
+TEST(Collector, UnknownFeederThrows) {
+  const auto t = tiny_topology();
+  const Simulator sim(t);
+  const auto plan = make_announcement_plan(t, stable_only(), 1);
+  const RouteFabric fabric(sim, plan);
+  CollectorSpec spec;
+  spec.feeders = {999};
+  EXPECT_THROW(collect_records(fabric, spec), std::invalid_argument);
+}
+
+TEST(AnnouncementPlan, DeaggregationSplitsPrefixes) {
+  const auto t = tiny_topology();
+  PlanParams pp;
+  pp.selective_prob = 0.0;
+  pp.transient_prob = 0.0;
+  pp.deaggregate_prob = 1.0;  // every eligible prefix deaggregates
+  const auto plan = make_announcement_plan(t, pp, 9);
+  // 4 allocated /16s, each split into 2-4 more-specifics (aggregate
+  // sometimes kept): strictly more announced prefixes than allocations.
+  EXPECT_GT(plan.prefix_count(), 4u);
+  for (const auto& g : plan.groups) {
+    for (const auto& p : g.prefixes) {
+      EXPECT_GE(p.length(), 16);
+      EXPECT_LE(p.length(), 18);
+      // every piece is covered by an allocation of its origin
+      const auto* info = t.find(g.origin);
+      bool covered = false;
+      for (const auto& alloc : info->prefixes) covered |= alloc.contains(p);
+      EXPECT_TRUE(covered) << p.str();
+    }
+  }
+}
+
+TEST(Collector, DeterministicPlan) {
+  const auto t = tiny_topology();
+  PlanParams pp;
+  pp.selective_prob = 0.5;
+  pp.transient_prob = 0.3;
+  const auto a = make_announcement_plan(t, pp, 42);
+  const auto b = make_announcement_plan(t, pp, 42);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_EQ(a.groups[i].prefixes, b.groups[i].prefixes);
+    EXPECT_EQ(a.groups[i].first_hops, b.groups[i].first_hops);
+    EXPECT_EQ(a.groups[i].transient, b.groups[i].transient);
+  }
+}
+
+}  // namespace
+}  // namespace spoofscope::bgp

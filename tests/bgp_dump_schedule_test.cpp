@@ -1,0 +1,132 @@
+// Periodic table-dump cadence (RIS: 8h, RouteViews: 2h) — the Sec 3.3
+// "all table dumps and update messages within our time period" behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bgp/collector.hpp"
+#include "bgp/routing_table.hpp"
+#include "net/prefix.hpp"
+
+namespace spoofscope::bgp {
+namespace {
+
+using net::pfx;
+using topo::AsInfo;
+using topo::AsLink;
+using topo::RelType;
+using topo::Topology;
+
+Topology tiny() {
+  AsInfo a1;
+  a1.asn = 1;
+  a1.org = 1;
+  a1.prefixes = {pfx("20.0.0.0/16")};
+  AsInfo a2;
+  a2.asn = 2;
+  a2.org = 2;
+  a2.prefixes = {pfx("30.0.0.0/16")};
+  std::vector<AsLink> links{{2, 1, RelType::kCustomerToProvider, true, {}}};
+  return Topology({a1, a2}, std::move(links));
+}
+
+TEST(DumpSchedule, SingleDumpByDefault) {
+  const auto topo = tiny();
+  const Simulator sim(topo);
+  PlanParams pp;
+  pp.selective_prob = 0;
+  pp.transient_prob = 0;
+  const auto plan = make_announcement_plan(topo, pp, 1);
+  const RouteFabric fabric(sim, plan);
+
+  CollectorSpec spec;
+  spec.feeders = {1};
+  const auto records = collect_records(fabric, spec);
+  EXPECT_EQ(records.size(), 2u);  // one RIB entry per prefix
+  for (const auto& r : records) {
+    EXPECT_EQ(std::get<RibEntry>(r).timestamp, 0u);
+  }
+}
+
+TEST(DumpSchedule, PeriodicDumpsMultiplyEntries) {
+  const auto topo = tiny();
+  const Simulator sim(topo);
+  PlanParams pp;
+  pp.selective_prob = 0;
+  pp.transient_prob = 0;
+  const auto plan = make_announcement_plan(topo, pp, 1);
+  const RouteFabric fabric(sim, plan);
+
+  CollectorSpec spec;
+  spec.feeders = {1};
+  spec.dump_interval_seconds = 8 * 3600;
+  spec.window_seconds = 24 * 3600;  // dumps at 0, 8h, 16h
+  const auto records = collect_records(fabric, spec);
+  EXPECT_EQ(records.size(), 6u);  // 2 prefixes x 3 dumps
+  std::set<std::uint32_t> times;
+  for (const auto& r : records) times.insert(std::get<RibEntry>(r).timestamp);
+  EXPECT_EQ(times, (std::set<std::uint32_t>{0, 8 * 3600, 16 * 3600}));
+}
+
+TEST(DumpSchedule, TransientRoutesAppearInCoveringDumpsOnly) {
+  const auto topo = tiny();
+  const Simulator sim(topo);
+  // Hand-build a plan with one transient group announced in [10h, 20h).
+  AnnouncementPlan plan;
+  AnnouncementGroup g;
+  g.origin = 2;
+  g.prefixes = {pfx("30.0.0.0/16")};
+  g.transient = true;
+  g.announce_ts = 10 * 3600;
+  g.withdraw_ts = 20 * 3600;
+  plan.groups.push_back(g);
+  const RouteFabric fabric(sim, plan);
+
+  CollectorSpec spec;
+  spec.feeders = {1};
+  spec.dump_interval_seconds = 8 * 3600;
+  spec.window_seconds = 24 * 3600;
+  const auto records = collect_records(fabric, spec);
+
+  std::size_t announces = 0, withdraws = 0;
+  std::set<std::uint32_t> dump_times;
+  for (const auto& r : records) {
+    if (const auto* u = std::get_if<UpdateMessage>(&r)) {
+      (u->kind == UpdateMessage::Kind::kAnnounce ? announces : withdraws) += 1;
+    } else {
+      dump_times.insert(std::get<RibEntry>(r).timestamp);
+    }
+  }
+  EXPECT_EQ(announces, 1u);
+  EXPECT_EQ(withdraws, 1u);
+  // Only the 16h dump falls inside the announcement window.
+  EXPECT_EQ(dump_times, (std::set<std::uint32_t>{16 * 3600}));
+}
+
+TEST(DumpSchedule, AggregatedTableIdenticalToSingleDump) {
+  const auto topo = tiny();
+  const Simulator sim(topo);
+  PlanParams pp;
+  pp.selective_prob = 0;
+  pp.transient_prob = 0;
+  const auto plan = make_announcement_plan(topo, pp, 1);
+  const RouteFabric fabric(sim, plan);
+
+  CollectorSpec once;
+  once.feeders = {1, 2};
+  CollectorSpec periodic = once;
+  periodic.dump_interval_seconds = 2 * 3600;
+  periodic.window_seconds = 48 * 3600;
+
+  RoutingTableBuilder b1, b2;
+  b1.ingest(collect_records(fabric, once));
+  b2.ingest(collect_records(fabric, periodic));
+  const auto t1 = b1.build();
+  const auto t2 = b2.build();
+  EXPECT_EQ(t1.prefixes(), t2.prefixes());
+  EXPECT_EQ(t1.edges(), t2.edges());
+  EXPECT_EQ(t1.paths().size(), t2.paths().size());
+}
+
+}  // namespace
+}  // namespace spoofscope::bgp

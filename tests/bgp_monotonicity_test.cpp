@@ -1,0 +1,108 @@
+// Monotonicity properties of the propagation model: removing visibility
+// (hiding links, restricting first hops) must never create reachability,
+// and route-class preference must never degrade when information is
+// added. These guard the simulator against subtle policy bugs.
+#include <gtest/gtest.h>
+
+#include "bgp/simulator.hpp"
+#include "topo/generator.hpp"
+
+namespace spoofscope::bgp {
+namespace {
+
+topo::TopologyParams small_params() {
+  topo::TopologyParams p;
+  p.num_tier1 = 3;
+  p.num_transit = 8;
+  p.num_isp = 18;
+  p.num_hosting = 10;
+  p.num_content = 6;
+  p.num_other = 10;
+  return p;
+}
+
+class MonotonicityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonotonicityTest, SelectiveAnnouncementOnlyShrinksReachability) {
+  const auto topo = generate_topology(small_params(), GetParam());
+  const Simulator sim(topo);
+  for (std::size_t i = 0; i < topo.as_count(); i += 5) {
+    const net::Asn origin = topo.asn_at(i);
+    const auto full = sim.propagate(origin);
+    const auto providers = topo.providers_of(origin);
+    if (providers.empty()) continue;
+    const std::vector<net::Asn> only_first{providers[0]};
+    const auto restricted = sim.propagate(origin, only_first);
+    for (std::size_t j = 0; j < topo.as_count(); ++j) {
+      // Anything reachable under selective announcement must have been
+      // reachable under full announcement.
+      if (restricted.reachable(j)) {
+        EXPECT_TRUE(full.reachable(j))
+            << "origin AS" << origin << " target " << topo.asn_at(j);
+      }
+    }
+    EXPECT_LE(restricted.reachable_count(), full.reachable_count());
+  }
+}
+
+TEST_P(MonotonicityTest, HidingLinksOnlyShrinksReachability) {
+  const auto topo = generate_topology(small_params(), GetParam() ^ 0x99);
+  // Build a copy with every peering link invisible.
+  std::vector<topo::AsInfo> ases(topo.ases().begin(), topo.ases().end());
+  std::vector<topo::AsLink> links(topo.links().begin(), topo.links().end());
+  for (auto& l : links) {
+    if (l.type == topo::RelType::kPeerToPeer) l.visible_in_bgp = false;
+  }
+  const topo::Topology hidden(std::move(ases), std::move(links));
+
+  const Simulator full_sim(topo);
+  const Simulator hidden_sim(hidden);
+  for (std::size_t i = 0; i < topo.as_count(); i += 7) {
+    const net::Asn origin = topo.asn_at(i);
+    const auto full = full_sim.propagate(origin);
+    const auto part = hidden_sim.propagate(origin);
+    for (std::size_t j = 0; j < topo.as_count(); ++j) {
+      if (part.reachable(j)) {
+        EXPECT_TRUE(full.reachable(j));
+      }
+    }
+  }
+}
+
+TEST_P(MonotonicityTest, PathsNeverWorseThanProviderDetour) {
+  // Route-class preference: if an AS has a customer route, no propagation
+  // result may report a peer or provider route for it.
+  const auto topo = generate_topology(small_params(), GetParam() ^ 0x7);
+  const Simulator sim(topo);
+  for (std::size_t i = 0; i < topo.as_count(); i += 9) {
+    const auto res = sim.propagate(topo.asn_at(i));
+    for (std::size_t j = 0; j < topo.as_count(); ++j) {
+      if (!res.reachable(j)) continue;
+      const auto cls = res.route_class(j);
+      if (cls != RouteClass::kCustomer) continue;
+      // A customer route implies the origin sits below j in the c2p
+      // hierarchy (reachable via customer/sibling chains).
+      const AsPath path = res.path_at(j);
+      EXPECT_GE(path.length(), 1u);
+    }
+  }
+}
+
+TEST_P(MonotonicityTest, ReachabilityIsSymmetricInConnectedComponents) {
+  // In this model every visible link is bidirectional for reachability:
+  // if A reaches B then B reaches A (possibly via a different path class).
+  const auto topo = generate_topology(small_params(), GetParam() ^ 0x31);
+  const Simulator sim(topo);
+  const net::Asn a = topo.asn_at(0);
+  const net::Asn b = topo.asn_at(topo.as_count() - 1);
+  const auto from_a = sim.propagate(a);
+  const auto from_b = sim.propagate(b);
+  EXPECT_EQ(from_a.reachable(*topo.index_of(b)),
+            from_b.reachable(*topo.index_of(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityTest,
+                         ::testing::Values(3, 14, 159, 2653));
+
+}  // namespace
+}  // namespace spoofscope::bgp

@@ -1,0 +1,118 @@
+#include "bgp/mrt_lite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/prefix.hpp"
+
+namespace spoofscope::bgp {
+namespace {
+
+using net::pfx;
+
+RibEntry sample_rib() {
+  RibEntry e;
+  e.timestamp = 12345;
+  e.peer = 3356;
+  e.prefix = pfx("10.0.0.0/16");
+  e.path = AsPath{3356, 1299, 64500};
+  return e;
+}
+
+TEST(MrtLite, SerializeRibEntry) {
+  EXPECT_EQ(to_mrt_line(sample_rib()),
+            "TABLE_DUMP|12345|3356|10.0.0.0/16|3356 1299 64500");
+}
+
+TEST(MrtLite, SerializeAnnounce) {
+  UpdateMessage u;
+  u.kind = UpdateMessage::Kind::kAnnounce;
+  u.timestamp = 99;
+  u.peer = 100;
+  u.prefix = pfx("192.0.2.0/24");
+  u.path = AsPath{100, 200};
+  EXPECT_EQ(to_mrt_line(u), "UPDATE|A|99|100|192.0.2.0/24|100 200");
+}
+
+TEST(MrtLite, SerializeWithdraw) {
+  UpdateMessage u;
+  u.kind = UpdateMessage::Kind::kWithdraw;
+  u.timestamp = 50;
+  u.peer = 7;
+  u.prefix = pfx("198.51.0.0/16");
+  EXPECT_EQ(to_mrt_line(u), "UPDATE|W|50|7|198.51.0.0/16");
+}
+
+TEST(MrtLite, ParseRibEntry) {
+  const auto r = parse_mrt_line("TABLE_DUMP|12345|3356|10.0.0.0/16|3356 1299 64500");
+  const auto* e = std::get_if<RibEntry>(&r);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(*e, sample_rib());
+}
+
+TEST(MrtLite, ParseAnnounceAndWithdraw) {
+  const auto a = parse_mrt_line("UPDATE|A|99|100|192.0.2.0/24|100 200");
+  const auto* ua = std::get_if<UpdateMessage>(&a);
+  ASSERT_NE(ua, nullptr);
+  EXPECT_EQ(ua->kind, UpdateMessage::Kind::kAnnounce);
+  EXPECT_EQ(ua->path, (AsPath{100, 200}));
+
+  const auto w = parse_mrt_line("UPDATE|W|50|7|198.51.0.0/16");
+  const auto* uw = std::get_if<UpdateMessage>(&w);
+  ASSERT_NE(uw, nullptr);
+  EXPECT_EQ(uw->kind, UpdateMessage::Kind::kWithdraw);
+}
+
+TEST(MrtLite, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_mrt_line(""), std::runtime_error);
+  EXPECT_THROW(parse_mrt_line("GARBAGE|1|2|3"), std::runtime_error);
+  EXPECT_THROW(parse_mrt_line("TABLE_DUMP|1|2|3"), std::runtime_error);
+  EXPECT_THROW(parse_mrt_line("TABLE_DUMP|x|3356|10.0.0.0/16|1 2"), std::runtime_error);
+  EXPECT_THROW(parse_mrt_line("TABLE_DUMP|1|0|10.0.0.0/16|1 2"), std::runtime_error);
+  EXPECT_THROW(parse_mrt_line("TABLE_DUMP|1|2|10.0.0.0/99|1 2"), std::runtime_error);
+  EXPECT_THROW(parse_mrt_line("TABLE_DUMP|1|2|10.0.0.0/16|"), std::runtime_error);
+  EXPECT_THROW(parse_mrt_line("UPDATE|X|1|2|10.0.0.0/16"), std::runtime_error);
+  EXPECT_THROW(parse_mrt_line("UPDATE|A|1|2|10.0.0.0/16"), std::runtime_error);
+  EXPECT_THROW(parse_mrt_line("UPDATE|W|1|2|10.0.0.0/16|1 2"), std::runtime_error);
+}
+
+TEST(MrtLite, StreamRoundTrip) {
+  std::vector<MrtRecord> records;
+  records.emplace_back(sample_rib());
+  UpdateMessage u;
+  u.kind = UpdateMessage::Kind::kAnnounce;
+  u.timestamp = 5;
+  u.peer = 11;
+  u.prefix = pfx("20.0.0.0/8");
+  u.path = AsPath{11, 22};
+  records.emplace_back(u);
+
+  std::stringstream ss;
+  write_mrt(ss, records);
+  const auto parsed = read_mrt(ss);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(std::get<RibEntry>(parsed[0]), sample_rib());
+  EXPECT_EQ(std::get<UpdateMessage>(parsed[1]), u);
+}
+
+TEST(MrtLite, ReadSkipsCommentsAndBlankLines) {
+  std::stringstream ss;
+  ss << "# comment\n\nTABLE_DUMP|1|2|10.0.0.0/16|2 3\n   \n";
+  const auto parsed = read_mrt(ss);
+  EXPECT_EQ(parsed.size(), 1u);
+}
+
+TEST(MrtLite, ReadReportsLineNumber) {
+  std::stringstream ss;
+  ss << "TABLE_DUMP|1|2|10.0.0.0/16|2 3\nBROKEN\n";
+  try {
+    read_mrt(ss);
+    FAIL() << "expected parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace spoofscope::bgp

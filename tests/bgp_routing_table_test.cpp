@@ -1,0 +1,165 @@
+#include "bgp/routing_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/prefix.hpp"
+
+namespace spoofscope::bgp {
+namespace {
+
+using net::Ipv4Addr;
+using net::pfx;
+
+TEST(RoutingTable, EmptyTable) {
+  RoutingTableBuilder b;
+  const auto t = b.build();
+  EXPECT_TRUE(t.prefixes().empty());
+  EXPECT_FALSE(t.is_routed(Ipv4Addr::from_octets(8, 8, 8, 8)));
+  EXPECT_FALSE(t.origin_of(Ipv4Addr::from_octets(8, 8, 8, 8)));
+  EXPECT_DOUBLE_EQ(t.routed_slash24(), 0.0);
+}
+
+TEST(RoutingTable, BasicIngestion) {
+  RoutingTableBuilder b;
+  b.ingest_route(pfx("10.0.0.0/16"), AsPath{1, 2, 3});
+  b.ingest_route(pfx("20.0.0.0/16"), AsPath{1, 4});
+  const auto t = b.build();
+
+  EXPECT_EQ(t.prefixes().size(), 2u);
+  EXPECT_TRUE(t.is_routed(Ipv4Addr::from_octets(10, 0, 1, 1)));
+  EXPECT_FALSE(t.is_routed(Ipv4Addr::from_octets(30, 0, 0, 1)));
+  EXPECT_EQ(*t.origin_of(Ipv4Addr::from_octets(10, 0, 1, 1)), 3u);
+  EXPECT_EQ(*t.origin_of(Ipv4Addr::from_octets(20, 0, 1, 1)), 4u);
+}
+
+TEST(RoutingTable, MostSpecificOriginWins) {
+  RoutingTableBuilder b;
+  b.ingest_route(pfx("10.0.0.0/8"), AsPath{1, 2});
+  b.ingest_route(pfx("10.5.0.0/16"), AsPath{1, 3});
+  const auto t = b.build();
+  EXPECT_EQ(*t.origin_of(Ipv4Addr::from_octets(10, 5, 0, 1)), 3u);
+  EXPECT_EQ(*t.origin_of(Ipv4Addr::from_octets(10, 6, 0, 1)), 2u);
+}
+
+TEST(RoutingTable, LengthFilterMatchesPaper) {
+  RoutingTableBuilder b;
+  b.ingest_route(pfx("10.0.0.0/7"), AsPath{1, 2});    // too short
+  b.ingest_route(pfx("10.0.0.0/25"), AsPath{1, 2});   // too specific
+  b.ingest_route(pfx("10.0.0.0/8"), AsPath{1, 2});    // boundary ok
+  b.ingest_route(pfx("11.0.0.0/24"), AsPath{1, 2});   // boundary ok
+  const auto t = b.build();
+  EXPECT_EQ(t.prefixes().size(), 2u);
+  EXPECT_EQ(t.dropped_by_length(), 2u);
+  EXPECT_EQ(t.ingested_records(), 4u);
+}
+
+TEST(RoutingTable, DeduplicatesPathsAndPrefixes) {
+  RoutingTableBuilder b;
+  for (int i = 0; i < 5; ++i) {
+    b.ingest_route(pfx("10.0.0.0/16"), AsPath{1, 2, 3});
+  }
+  b.ingest_route(pfx("10.0.0.0/16"), AsPath{4, 2, 3});
+  const auto t = b.build();
+  EXPECT_EQ(t.prefixes().size(), 1u);
+  EXPECT_EQ(t.paths().size(), 2u);
+  const auto pid = t.prefix_id(pfx("10.0.0.0/16"));
+  ASSERT_TRUE(pid);
+  EXPECT_EQ(t.paths_of(*pid).size(), 2u);
+}
+
+TEST(RoutingTable, MoasPrefixKeepsAllOrigins) {
+  RoutingTableBuilder b;
+  b.ingest_route(pfx("10.0.0.0/16"), AsPath{1, 2, 3});
+  b.ingest_route(pfx("10.0.0.0/16"), AsPath{1, 2, 4});
+  const auto t = b.build();
+  const auto pid = t.prefix_id(pfx("10.0.0.0/16"));
+  ASSERT_TRUE(pid);
+  EXPECT_EQ(t.origins_of(*pid).size(), 2u);
+}
+
+TEST(RoutingTable, DirectedEdgesFromPaths) {
+  RoutingTableBuilder b;
+  b.ingest_route(pfx("10.0.0.0/16"), AsPath{1, 2, 3});
+  const auto t = b.build();
+  const auto& edges = t.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (std::pair<Asn, Asn>{1, 2}));
+  EXPECT_EQ(edges[1], (std::pair<Asn, Asn>{2, 3}));
+}
+
+TEST(RoutingTable, PrependingDoesNotCreateSelfEdges) {
+  RoutingTableBuilder b;
+  b.ingest_route(pfx("10.0.0.0/16"), AsPath{1, 2, 2, 2, 3});
+  const auto t = b.build();
+  for (const auto& [l, r] : t.edges()) EXPECT_NE(l, r);
+  EXPECT_EQ(t.edges().size(), 2u);
+}
+
+TEST(RoutingTable, AsesCollectsEveryObservedAs) {
+  RoutingTableBuilder b;
+  b.ingest_route(pfx("10.0.0.0/16"), AsPath{1, 2, 3});
+  b.ingest_route(pfx("20.0.0.0/16"), AsPath{4, 3});
+  const auto t = b.build();
+  EXPECT_EQ(t.ases(), (std::vector<Asn>{1, 2, 3, 4}));
+}
+
+TEST(RoutingTable, NaivePrefixSetsPerAs) {
+  RoutingTableBuilder b;
+  b.ingest_route(pfx("10.0.0.0/16"), AsPath{1, 2, 3});
+  b.ingest_route(pfx("20.0.0.0/16"), AsPath{2, 4});
+  const auto t = b.build();
+  // AS2 appears on the paths of both prefixes.
+  EXPECT_EQ(t.prefixes_on_paths_of(2).size(), 2u);
+  // AS3 only on its own.
+  EXPECT_EQ(t.prefixes_on_paths_of(3).size(), 1u);
+  // Unknown AS: empty.
+  EXPECT_TRUE(t.prefixes_on_paths_of(999).empty());
+}
+
+TEST(RoutingTable, WithdrawDoesNotUnroute) {
+  RoutingTableBuilder b;
+  UpdateMessage a;
+  a.kind = UpdateMessage::Kind::kAnnounce;
+  a.peer = 1;
+  a.prefix = pfx("10.0.0.0/16");
+  a.path = AsPath{1, 2};
+  b.ingest(MrtRecord{a});
+  UpdateMessage w;
+  w.kind = UpdateMessage::Kind::kWithdraw;
+  w.peer = 1;
+  w.prefix = pfx("10.0.0.0/16");
+  b.ingest(MrtRecord{w});
+  const auto t = b.build();
+  EXPECT_TRUE(t.is_routed(Ipv4Addr::from_octets(10, 0, 0, 1)));
+}
+
+TEST(RoutingTable, RoutedSpaceMergesOverlaps) {
+  RoutingTableBuilder b;
+  b.ingest_route(pfx("10.0.0.0/8"), AsPath{1, 2});
+  b.ingest_route(pfx("10.1.0.0/16"), AsPath{1, 3});  // nested
+  const auto t = b.build();
+  EXPECT_DOUBLE_EQ(t.routed_slash24(), 65536.0);
+}
+
+TEST(RoutingTable, RibEntryIngestion) {
+  RoutingTableBuilder b;
+  RibEntry e;
+  e.peer = 5;
+  e.prefix = pfx("10.0.0.0/16");
+  e.path = AsPath{5, 6};
+  b.ingest(MrtRecord{e});
+  const auto t = b.build();
+  EXPECT_EQ(t.prefixes().size(), 1u);
+  EXPECT_EQ(*t.origin_of(Ipv4Addr::from_octets(10, 0, 0, 1)), 6u);
+}
+
+TEST(RoutingTable, BuilderResetsAfterBuild) {
+  RoutingTableBuilder b;
+  b.ingest_route(pfx("10.0.0.0/16"), AsPath{1, 2});
+  (void)b.build();
+  const auto t2 = b.build();
+  EXPECT_TRUE(t2.prefixes().empty());
+}
+
+}  // namespace
+}  // namespace spoofscope::bgp

@@ -1,0 +1,268 @@
+#include "bgp/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/generator.hpp"
+
+namespace spoofscope::bgp {
+namespace {
+
+using topo::AsInfo;
+using topo::AsLink;
+using topo::BusinessType;
+using topo::RelType;
+using topo::Topology;
+
+AsInfo mk(Asn asn, topo::OrgId org = 0) {
+  AsInfo a;
+  a.asn = asn;
+  a.org = org == 0 ? asn : org;
+  return a;
+}
+
+/// Reference topology:
+///
+///   10 ----- 11          tier-1 peering
+///   A        A    (provider fan-out)
+///  20 21----+  22        20 cust of 10; 21 cust of 10 and 11; 22 cust of 11
+///  |    \      /
+///  30    +-31-+           30 cust of 20; 31 cust of 21 and 22
+///   \______/              30 peers 31
+///          40             40 sibling of 31 (same org 500)
+Topology reference_topology() {
+  std::vector<AsInfo> ases{mk(10), mk(11), mk(20), mk(21), mk(22),
+                           mk(30), mk(31, 500), mk(40, 500)};
+  // give 31's org to both siblings
+  ases[6].org = 500;
+  ases[7].org = 500;
+  std::vector<AsLink> links{
+      {10, 11, RelType::kPeerToPeer, true, {}},
+      {20, 10, RelType::kCustomerToProvider, true, {}},
+      {21, 10, RelType::kCustomerToProvider, true, {}},
+      {21, 11, RelType::kCustomerToProvider, true, {}},
+      {22, 11, RelType::kCustomerToProvider, true, {}},
+      {30, 20, RelType::kCustomerToProvider, true, {}},
+      {31, 21, RelType::kCustomerToProvider, true, {}},
+      {31, 22, RelType::kCustomerToProvider, true, {}},
+      {30, 31, RelType::kPeerToPeer, true, {}},
+      {31, 40, RelType::kSibling, true, {}},
+  };
+  return Topology(std::move(ases), std::move(links));
+}
+
+AsPath path_of(const Topology& t, const PropagationResult& r, Asn at) {
+  return r.path_at(*t.index_of(at));
+}
+
+TEST(Simulator, OriginHasTrivialPath) {
+  const auto t = reference_topology();
+  const Simulator sim(t);
+  const auto r = sim.propagate(30);
+  EXPECT_EQ(path_of(t, r, 30), (AsPath{30}));
+  EXPECT_EQ(r.route_class(*t.index_of(30)), RouteClass::kOrigin);
+}
+
+TEST(Simulator, CustomerRoutesFlowUp) {
+  const auto t = reference_topology();
+  const Simulator sim(t);
+  const auto r = sim.propagate(30);
+  EXPECT_EQ(path_of(t, r, 20), (AsPath{20, 30}));
+  EXPECT_EQ(path_of(t, r, 10), (AsPath{10, 20, 30}));
+  EXPECT_EQ(r.route_class(*t.index_of(10)), RouteClass::kCustomer);
+}
+
+TEST(Simulator, PeerRoutesOneHopAcrossClique) {
+  const auto t = reference_topology();
+  const Simulator sim(t);
+  const auto r = sim.propagate(30);
+  // 11 learns 30's route from its peer 10.
+  EXPECT_EQ(path_of(t, r, 11), (AsPath{11, 10, 20, 30}));
+  EXPECT_EQ(r.route_class(*t.index_of(11)), RouteClass::kPeer);
+}
+
+TEST(Simulator, ProviderRoutesFlowDown) {
+  const auto t = reference_topology();
+  const Simulator sim(t);
+  const auto r = sim.propagate(30);
+  // 22 gets the route from its provider 11, which holds a peer route.
+  EXPECT_EQ(path_of(t, r, 22), (AsPath{22, 11, 10, 20, 30}));
+  EXPECT_EQ(r.route_class(*t.index_of(22)), RouteClass::kProvider);
+}
+
+TEST(Simulator, PeerRoutePreferredOverProviderRoute) {
+  const auto t = reference_topology();
+  const Simulator sim(t);
+  const auto r = sim.propagate(30);
+  // 31 could reach 30 via providers (21 or 22) but prefers the direct
+  // peering with 30.
+  EXPECT_EQ(path_of(t, r, 31), (AsPath{31, 30}));
+  EXPECT_EQ(r.route_class(*t.index_of(31)), RouteClass::kPeer);
+}
+
+TEST(Simulator, CustomerRoutePreferredOverEverything) {
+  const auto t = reference_topology();
+  const Simulator sim(t);
+  const auto r = sim.propagate(31);
+  // 21 hears 31 directly as its customer; also via 10/11 — customer wins.
+  EXPECT_EQ(path_of(t, r, 21), (AsPath{21, 31}));
+  EXPECT_EQ(r.route_class(*t.index_of(21)), RouteClass::kCustomer);
+  // 30 prefers the peer route to 31 over the provider path.
+  EXPECT_EQ(path_of(t, r, 30), (AsPath{30, 31}));
+}
+
+TEST(Simulator, SiblingTransparency) {
+  const auto t = reference_topology();
+  const Simulator sim(t);
+  // 40 only connects via its sibling 31.
+  const auto r = sim.propagate(40);
+  EXPECT_EQ(path_of(t, r, 31), (AsPath{31, 40}));
+  // 21 sees the route through the sibling link as a customer route.
+  EXPECT_EQ(path_of(t, r, 21), (AsPath{21, 31, 40}));
+  EXPECT_EQ(r.route_class(*t.index_of(21)), RouteClass::kCustomer);
+  // And 40 reaches everything in reverse.
+  const auto r2 = sim.propagate(30);
+  EXPECT_EQ(path_of(t, r2, 40), (AsPath{40, 31, 30}));
+}
+
+TEST(Simulator, ShortestPathTieBrokenByLowerAsn) {
+  const auto t = reference_topology();
+  const Simulator sim(t);
+  const auto r = sim.propagate(31);
+  // 10 has two customer routes of equal length: via 21 ("10 21 31").
+  // There is no equal-length alternative via 11 for a customer route at
+  // 10, but 11 has two: "11 21 31" and "11 22 31" -> prefer next hop 21.
+  EXPECT_EQ(path_of(t, r, 11), (AsPath{11, 21, 31}));
+}
+
+TEST(Simulator, EveryAsReachableInConnectedTopology) {
+  const auto t = reference_topology();
+  const Simulator sim(t);
+  for (const auto& as : t.ases()) {
+    const auto r = sim.propagate(as.asn);
+    EXPECT_EQ(r.reachable_count(), t.as_count()) << "origin AS" << as.asn;
+  }
+}
+
+TEST(Simulator, SelectiveAnnouncementRestrictsFirstHop) {
+  const auto t = reference_topology();
+  const Simulator sim(t);
+  const std::vector<Asn> only21{21};
+  const auto r = sim.propagate(31, only21);
+  // 22 no longer hears its customer directly; it falls back to the
+  // provider path through 11.
+  EXPECT_EQ(path_of(t, r, 22), (AsPath{22, 11, 21, 31}));
+  EXPECT_EQ(r.route_class(*t.index_of(22)), RouteClass::kProvider);
+  // The peer 30 lost its direct route too.
+  EXPECT_EQ(path_of(t, r, 30), (AsPath{30, 20, 10, 21, 31}));
+  // The sibling 40 as well: it now routes via 31's provider? No — sibling
+  // export was also suppressed, so 40 reaches 31's prefix via nothing
+  // else; 40 is only connected through 31.
+  EXPECT_FALSE(r.reachable(*t.index_of(40)));
+}
+
+TEST(Simulator, InvisibleLinksCarryNoRoutes) {
+  auto ases = std::vector<AsInfo>{mk(1), mk(2), mk(3)};
+  // 2 is customer of 1 (visible); 2 peers 3 invisibly; 3 is customer of 1.
+  std::vector<AsLink> links{
+      {2, 1, RelType::kCustomerToProvider, true, {}},
+      {3, 1, RelType::kCustomerToProvider, true, {}},
+      {2, 3, RelType::kPeerToPeer, /*visible=*/false, {}},
+  };
+  const Topology t(std::move(ases), std::move(links));
+  const Simulator sim(t);
+  const auto r = sim.propagate(3);
+  // 2 must route via 1, not via the invisible peering.
+  EXPECT_EQ(path_of(t, r, 2), (AsPath{2, 1, 3}));
+}
+
+TEST(Simulator, DisconnectedAsUnreachable) {
+  auto ases = std::vector<AsInfo>{mk(1), mk(2), mk(3)};
+  std::vector<AsLink> links{{2, 1, RelType::kCustomerToProvider, true, {}}};
+  const Topology t(std::move(ases), std::move(links));
+  const Simulator sim(t);
+  const auto r = sim.propagate(1);
+  EXPECT_TRUE(r.reachable(*t.index_of(2)));
+  EXPECT_FALSE(r.reachable(*t.index_of(3)));
+  EXPECT_TRUE(r.path_at(*t.index_of(3)).empty());
+}
+
+TEST(Simulator, UnknownOriginThrows) {
+  const auto t = reference_topology();
+  const Simulator sim(t);
+  EXPECT_THROW(sim.propagate(9999), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep over generated topologies: all produced paths must be
+// valley-free w.r.t. the ground-truth relationships, loop-free, and have
+// length consistent with the hop counter.
+// ---------------------------------------------------------------------------
+
+class SimulatorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Checks the Gao-Rexford pattern along the announcement direction:
+/// (up|sibling)* (peer)? (down|sibling)*.
+bool valley_free(const Topology& t, const AsPath& path) {
+  // Walk from the origin towards the observer.
+  int phase = 0;  // 0 = ascending, 1 = after the peer step / descending
+  for (std::size_t i = path.length(); i-- > 1;) {
+    const Asn from = path.at(i);      // exporter
+    const Asn to = path.at(i - 1);    // receiver
+    RelType rel{};
+    bool from_is_customer = false;
+    bool found = false;
+    for (const auto& l : t.links()) {
+      if ((l.from == from && l.to == to) || (l.from == to && l.to == from)) {
+        rel = l.type;
+        from_is_customer = (l.from == from && l.type == RelType::kCustomerToProvider);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;  // path uses a non-existent link
+    if (rel == RelType::kSibling) continue;
+    if (rel == RelType::kPeerToPeer) {
+      if (phase == 1) return false;  // at most one peer step, then down only
+      phase = 1;
+      continue;
+    }
+    // c2p link: the step is "up" iff the exporter is the customer side.
+    if (from_is_customer) {
+      if (phase == 1) return false;  // cannot go up after the peer/descent
+    } else {
+      phase = 1;  // started descending
+    }
+  }
+  return true;
+}
+
+TEST_P(SimulatorPropertyTest, GeneratedTopologyPathsAreValleyFree) {
+  topo::TopologyParams params;
+  params.num_tier1 = 3;
+  params.num_transit = 8;
+  params.num_isp = 15;
+  params.num_hosting = 10;
+  params.num_content = 5;
+  params.num_other = 9;
+  const auto t = generate_topology(params, GetParam());
+  const Simulator sim(t);
+
+  for (std::size_t i = 0; i < t.as_count(); i += 3) {
+    const auto r = sim.propagate(t.asn_at(i));
+    for (std::size_t j = 0; j < t.as_count(); ++j) {
+      if (!r.reachable(j)) continue;
+      const AsPath p = r.path_at(j);
+      EXPECT_FALSE(p.has_duplicates()) << p.str();
+      EXPECT_EQ(p.length(), r.routes()[j].hops + 1u) << p.str();
+      EXPECT_EQ(p.first(), t.asn_at(j));
+      EXPECT_EQ(p.origin(), t.asn_at(i));
+      EXPECT_TRUE(valley_free(t, p)) << "valley in path " << p.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace spoofscope::bgp

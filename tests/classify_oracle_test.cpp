@@ -1,0 +1,83 @@
+// Oracle check: the production classifier (tries + packed labels) must
+// agree with a from-first-principles reimplementation (linear bogon scan,
+// interval-set routed check, direct valid-space lookup) on real scenario
+// traffic and on adversarial corner addresses.
+#include <gtest/gtest.h>
+
+#include "net/bogon.hpp"
+#include "util/rng.hpp"
+#include "scenario/scenario.hpp"
+
+namespace spoofscope::classify {
+namespace {
+
+/// Slow but obviously-correct Fig 3 implementation.
+TrafficClass oracle_classify(const scenario::Scenario& w, net::Ipv4Addr src,
+                             net::Asn member, std::size_t space_idx) {
+  if (net::is_bogon(src)) return TrafficClass::kBogon;
+  if (!w.table().routed_space().contains(src)) return TrafficClass::kUnrouted;
+  const auto* space = w.classifier().space(space_idx).space_of(member);
+  if (!space || !space->contains(src)) return TrafficClass::kInvalid;
+  return TrafficClass::kValid;
+}
+
+class OracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleTest, ClassifierMatchesOracleOnScenarioTraffic) {
+  auto params = scenario::ScenarioParams::small();
+  params.seed = GetParam();
+  const auto w = scenario::build_scenario(params);
+  const auto& flows = w->trace().flows;
+  const auto& labels = w->labels();
+
+  for (std::size_t i = 0; i < flows.size(); i += 17) {  // sampled sweep
+    for (std::size_t s = 0; s < w->classifier().space_count(); ++s) {
+      EXPECT_EQ(Classifier::unpack(labels[i], s),
+                oracle_classify(*w, flows[i].src, flows[i].member_in, s))
+          << flows[i].str() << " space " << s;
+    }
+  }
+}
+
+TEST_P(OracleTest, ClassifierMatchesOracleOnAdversarialAddresses) {
+  auto params = scenario::ScenarioParams::small();
+  params.seed = GetParam() ^ 0xabc;
+  const auto w = scenario::build_scenario(params);
+  const auto member = w->ixp().members().front().asn;
+
+  util::Rng rng(GetParam());
+  std::vector<net::Ipv4Addr> probes;
+  // Random addresses.
+  for (int i = 0; i < 2000; ++i) probes.emplace_back(rng.next_u32());
+  // Bogon boundaries (first/last address of every bogon range, +/- 1).
+  for (const auto& b : net::bogon_prefixes()) {
+    probes.emplace_back(b.first());
+    probes.emplace_back(b.last());
+    if (b.first() > 0) probes.emplace_back(b.first() - 1);
+    if (b.last() < ~0u) probes.emplace_back(b.last() + 1);
+  }
+  // Routed prefix boundaries (a sample).
+  const auto& prefixes = w->table().prefixes();
+  for (std::size_t i = 0; i < prefixes.size(); i += 97) {
+    probes.emplace_back(prefixes[i].first());
+    probes.emplace_back(prefixes[i].last());
+    if (prefixes[i].first() > 0) probes.emplace_back(prefixes[i].first() - 1);
+    if (prefixes[i].last() < ~0u) probes.emplace_back(prefixes[i].last() + 1);
+  }
+  // Absolute extremes.
+  probes.emplace_back(0u);
+  probes.emplace_back(~0u);
+
+  for (const auto src : probes) {
+    const Label label = w->classifier().classify_all(src, member);
+    for (std::size_t s = 0; s < w->classifier().space_count(); ++s) {
+      EXPECT_EQ(Classifier::unpack(label, s), oracle_classify(*w, src, member, s))
+          << src.str() << " space " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleTest, ::testing::Values(1, 7, 2026));
+
+}  // namespace
+}  // namespace spoofscope::classify

@@ -1,0 +1,139 @@
+#include "classify/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/prefix.hpp"
+#include "scenario/scenario.hpp"
+
+namespace spoofscope::classify {
+namespace {
+
+using net::Ipv4Addr;
+using net::pfx;
+
+/// Routing view with 50.0/16 valid for member 1.
+struct Fixture {
+  Fixture() {
+    bgp::RoutingTableBuilder b;
+    b.ingest_route(pfx("50.0.0.0/16"), bgp::AsPath{1});
+    b.ingest_route(pfx("60.0.0.0/16"), bgp::AsPath{2});
+    table = b.build();
+    trie::IntervalSet s;
+    s.add(pfx("50.0.0.0/16"));
+    std::unordered_map<Asn, trie::IntervalSet> spaces;
+    spaces.emplace(1, std::move(s));
+    classifier = std::make_unique<Classifier>(
+        table, std::vector<inference::ValidSpace>{
+                   inference::ValidSpace(inference::Method::kFullCone,
+                                         std::move(spaces))});
+  }
+  bgp::RoutingTable table;
+  std::unique_ptr<Classifier> classifier;
+};
+
+net::FlowRecord flow(Ipv4Addr src, std::uint32_t ts, std::uint32_t pkts = 1) {
+  net::FlowRecord f;
+  f.src = src;
+  f.dst = Ipv4Addr::from_octets(60, 0, 0, 1);
+  f.ts = ts;
+  f.packets = pkts;
+  f.bytes = 40ull * pkts;
+  f.member_in = 1;
+  return f;
+}
+
+TEST(Streaming, NoAlertOnCleanTraffic) {
+  Fixture fx;
+  StreamingDetector detector(*fx.classifier, 0);
+  std::vector<SpoofingAlert> alerts;
+  for (int i = 0; i < 1000; ++i) {
+    detector.ingest(flow(Ipv4Addr::from_octets(50, 0, 1, 1), i * 10, 10),
+                    [&](const SpoofingAlert& a) { alerts.push_back(a); });
+  }
+  EXPECT_TRUE(alerts.empty());
+  EXPECT_EQ(detector.processed(), 1000u);
+}
+
+TEST(Streaming, AlertsOnSpoofedBurst) {
+  Fixture fx;
+  StreamingParams params;
+  params.min_spoofed_packets = 20;
+  params.min_share = 0.1;
+  StreamingDetector detector(*fx.classifier, 0, params);
+
+  std::vector<net::FlowRecord> flows;
+  // Background valid traffic...
+  for (int i = 0; i < 100; ++i) {
+    flows.push_back(flow(Ipv4Addr::from_octets(50, 0, 1, 1), i * 30, 1));
+  }
+  // ...then an unrouted-source burst within one hour.
+  for (int i = 0; i < 50; ++i) {
+    flows.push_back(flow(Ipv4Addr::from_octets(99, 0, 0, 1), 3000 + i, 1));
+  }
+  std::sort(flows.begin(), flows.end(),
+            [](const auto& a, const auto& b) { return a.ts < b.ts; });
+  const auto alerts = detector.run(flows);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].member, 1u);
+  EXPECT_EQ(alerts[0].dominant_class, TrafficClass::kUnrouted);
+  EXPECT_GE(alerts[0].spoofed_packets_in_window, 20.0);
+  EXPECT_GE(alerts[0].window_share, 0.1);
+}
+
+TEST(Streaming, CooldownSuppressesRepeatAlerts) {
+  Fixture fx;
+  StreamingParams params;
+  params.min_spoofed_packets = 5;
+  params.min_share = 0.01;
+  params.cooldown_seconds = 100000;
+  StreamingDetector detector(*fx.classifier, 0, params);
+  std::vector<net::FlowRecord> flows;
+  for (int i = 0; i < 500; ++i) {
+    flows.push_back(flow(Ipv4Addr::from_octets(99, 0, 0, 1), i * 10, 1));
+  }
+  const auto alerts = detector.run(flows);
+  EXPECT_EQ(alerts.size(), 1u);
+}
+
+TEST(Streaming, WindowEvictionForgetsOldSpoofing) {
+  Fixture fx;
+  StreamingParams params;
+  params.window_seconds = 100;
+  params.min_spoofed_packets = 30;
+  params.min_share = 0.5;
+  StreamingDetector detector(*fx.classifier, 0, params);
+  std::vector<net::FlowRecord> flows;
+  // 20 spoofed packets early, 20 late — never 30 within one window.
+  for (int i = 0; i < 20; ++i) {
+    flows.push_back(flow(Ipv4Addr::from_octets(99, 0, 0, 1), i, 1));
+  }
+  for (int i = 0; i < 20; ++i) {
+    flows.push_back(flow(Ipv4Addr::from_octets(99, 0, 0, 1), 10000 + i, 1));
+  }
+  EXPECT_TRUE(detector.run(flows).empty());
+}
+
+TEST(Streaming, DetectsAttacksInScenario) {
+  auto params = scenario::ScenarioParams::small();
+  params.seed = 4711;
+  const auto world = scenario::build_scenario(params);
+  StreamingParams sp;
+  sp.min_spoofed_packets = 30;
+  sp.min_share = 0.02;
+  StreamingDetector detector(
+      world->classifier(),
+      scenario::Scenario::space_index(inference::Method::kFullConeOrg), sp);
+  const auto alerts = detector.run(world->trace().flows);
+  // The workload contains flood/amplification bursts; some members must
+  // trip the detector, but not the majority (it is not a false-alarm
+  // machine).
+  EXPECT_GT(alerts.size(), 0u);
+  EXPECT_LT(alerts.size(), world->ixp().member_count());
+  for (const auto& a : alerts) {
+    EXPECT_TRUE(world->ixp().is_member(a.member));
+    EXPECT_GE(a.window_share, sp.min_share);
+  }
+}
+
+}  // namespace
+}  // namespace spoofscope::classify

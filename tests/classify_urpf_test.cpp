@@ -1,0 +1,159 @@
+#include "classify/urpf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/method_eval.hpp"
+#include "net/prefix.hpp"
+
+namespace spoofscope::classify {
+namespace {
+
+using net::Ipv4Addr;
+using net::pfx;
+
+/// Routing view:
+///   50.0/16 exported by AS1 (path "1") and AS2 (path "2 1");
+///   60.0/16 exported only via AS3 (path "3"); AS1 also carries it
+///   upstream ("9 1 3" — AS1 appears mid-path, so feasible but not
+///   strict for AS1).
+bgp::RoutingTable view() {
+  bgp::RoutingTableBuilder b;
+  b.ingest_route(pfx("50.0.0.0/16"), bgp::AsPath{1});
+  b.ingest_route(pfx("50.0.0.0/16"), bgp::AsPath{2, 1});
+  b.ingest_route(pfx("60.0.0.0/16"), bgp::AsPath{3});
+  b.ingest_route(pfx("60.0.0.0/16"), bgp::AsPath{9, 1, 3});
+  return b.build();
+}
+
+TEST(Urpf, ModeNames) {
+  EXPECT_EQ(urpf_mode_name(UrpfMode::kLoose), "uRPF loose");
+  EXPECT_EQ(urpf_mode_name(UrpfMode::kFeasible), "uRPF feasible");
+  EXPECT_EQ(urpf_mode_name(UrpfMode::kStrict), "uRPF strict");
+}
+
+TEST(Urpf, AllModesRejectBogonAndUnrouted) {
+  const auto table = view();
+  for (const auto mode :
+       {UrpfMode::kLoose, UrpfMode::kFeasible, UrpfMode::kStrict}) {
+    const UrpfFilter f(table, mode);
+    EXPECT_FALSE(f.accepts(Ipv4Addr::from_octets(192, 168, 1, 1), 1));
+    EXPECT_FALSE(f.accepts(Ipv4Addr::from_octets(99, 0, 0, 1), 1));
+  }
+}
+
+TEST(Urpf, LooseAcceptsAnyRoutedFromAnyPeer) {
+  const auto table = view();
+  const UrpfFilter f(table, UrpfMode::kLoose);
+  EXPECT_TRUE(f.accepts(Ipv4Addr::from_octets(50, 0, 0, 1), 1));
+  EXPECT_TRUE(f.accepts(Ipv4Addr::from_octets(50, 0, 0, 1), 777));
+  EXPECT_TRUE(f.accepts(Ipv4Addr::from_octets(60, 0, 0, 1), 777));
+}
+
+TEST(Urpf, FeasibleRequiresPeerOnSomePath) {
+  const auto table = view();
+  const UrpfFilter f(table, UrpfMode::kFeasible);
+  // AS1 is on paths for both prefixes.
+  EXPECT_TRUE(f.accepts(Ipv4Addr::from_octets(50, 0, 0, 1), 1));
+  EXPECT_TRUE(f.accepts(Ipv4Addr::from_octets(60, 0, 0, 1), 1));
+  // AS2 only appears on 50.0/16 paths.
+  EXPECT_TRUE(f.accepts(Ipv4Addr::from_octets(50, 0, 0, 1), 2));
+  EXPECT_FALSE(f.accepts(Ipv4Addr::from_octets(60, 0, 0, 1), 2));
+  // AS777 is on no path.
+  EXPECT_FALSE(f.accepts(Ipv4Addr::from_octets(50, 0, 0, 1), 777));
+}
+
+TEST(Urpf, StrictRequiresPeerExport) {
+  const auto table = view();
+  const UrpfFilter f(table, UrpfMode::kStrict);
+  // AS1 and AS2 exported routes for 50.0/16 (first hops).
+  EXPECT_TRUE(f.accepts(Ipv4Addr::from_octets(50, 0, 0, 1), 1));
+  EXPECT_TRUE(f.accepts(Ipv4Addr::from_octets(50, 0, 0, 1), 2));
+  // AS1 is mid-path for 60.0/16 but never the exporter: feasible yes,
+  // strict no — exactly the asymmetric-routing pitfall the survey cites.
+  EXPECT_FALSE(f.accepts(Ipv4Addr::from_octets(60, 0, 0, 1), 1));
+  EXPECT_TRUE(f.accepts(Ipv4Addr::from_octets(60, 0, 0, 1), 3));
+  EXPECT_TRUE(f.accepts(Ipv4Addr::from_octets(60, 0, 0, 1), 9));
+}
+
+TEST(Urpf, StrictSubsetOfFeasibleSubsetOfLoose) {
+  const auto table = view();
+  const UrpfFilter loose(table, UrpfMode::kLoose);
+  const UrpfFilter feasible(table, UrpfMode::kFeasible);
+  const UrpfFilter strict(table, UrpfMode::kStrict);
+  for (std::uint32_t a = 0; a < 256; ++a) {
+    for (const net::Asn peer : {1u, 2u, 3u, 9u, 777u}) {
+      const Ipv4Addr src(
+          (a << 24) | 0x010203u);  // sweep /8s with a fixed host part
+      if (strict.accepts(src, peer)) {
+        EXPECT_TRUE(feasible.accepts(src, peer));
+      }
+      if (feasible.accepts(src, peer)) {
+        EXPECT_TRUE(loose.accepts(src, peer));
+      }
+    }
+  }
+}
+
+TEST(MethodEval, ScoreBucketsGroundTruth) {
+  std::vector<net::FlowRecord> flows(3);
+  for (auto& f : flows) f.packets = 10;
+  flows[0].src = Ipv4Addr::from_octets(99, 0, 0, 1);   // unrouted
+  flows[0].member_in = 1;
+  flows[1].src = Ipv4Addr::from_octets(50, 0, 0, 1);   // routed
+  flows[1].member_in = 1;
+  flows[2].src = Ipv4Addr::from_octets(192, 168, 0, 1); // bogon
+  flows[2].member_in = 1;
+  const std::vector<traffic::Component> comps{
+      traffic::Component::kRandomSpoof, traffic::Component::kRegular,
+      traffic::Component::kNatLeak};
+
+  const auto table = view();
+  const UrpfFilter loose(table, UrpfMode::kLoose);
+  const auto s = analysis::score_urpf(flows, comps, loose, "loose");
+  EXPECT_DOUBLE_EQ(s.spoofed_packets, 10.0);
+  EXPECT_DOUBLE_EQ(s.spoofed_flagged, 10.0);  // unrouted -> dropped
+  EXPECT_DOUBLE_EQ(s.legit_packets, 10.0);
+  EXPECT_DOUBLE_EQ(s.legit_flagged, 0.0);
+  EXPECT_DOUBLE_EQ(s.stray_packets, 10.0);
+  EXPECT_DOUBLE_EQ(s.stray_flagged, 10.0);  // bogon ACL inside uRPF
+  EXPECT_DOUBLE_EQ(s.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(s.false_positive_rate(), 0.0);
+}
+
+TEST(MethodEval, BogonAclOnlyCatchesBogons) {
+  std::vector<net::FlowRecord> flows(2);
+  for (auto& f : flows) f.packets = 5;
+  flows[0].src = Ipv4Addr::from_octets(10, 0, 0, 1);  // bogon
+  flows[1].src = Ipv4Addr::from_octets(99, 0, 0, 1);  // unrouted
+  const std::vector<traffic::Component> comps{traffic::Component::kNatLeak,
+                                              traffic::Component::kRandomSpoof};
+  const auto s = analysis::score_bogon_acl(flows, comps);
+  EXPECT_DOUBLE_EQ(s.stray_flagged, 5.0);
+  EXPECT_DOUBLE_EQ(s.spoofed_flagged, 0.0);
+}
+
+TEST(MethodEval, ComponentTaxonomy) {
+  using traffic::Component;
+  EXPECT_TRUE(traffic::is_intentionally_spoofed(Component::kRandomSpoof));
+  EXPECT_TRUE(traffic::is_intentionally_spoofed(Component::kNtpTrigger));
+  EXPECT_TRUE(traffic::is_intentionally_spoofed(Component::kReflectionOnRouter));
+  EXPECT_FALSE(traffic::is_intentionally_spoofed(Component::kRegular));
+  EXPECT_FALSE(traffic::is_intentionally_spoofed(Component::kNatLeak));
+  EXPECT_TRUE(traffic::is_stray(Component::kNatLeak));
+  EXPECT_TRUE(traffic::is_stray(Component::kRouterStray));
+  EXPECT_FALSE(traffic::is_stray(Component::kUncommonSetup));
+  EXPECT_EQ(traffic::component_name(Component::kNtpTrigger), "ntp-trigger");
+}
+
+TEST(MethodEval, FormatScoresAligned) {
+  std::vector<analysis::DetectionScore> scores(1);
+  scores[0].name = "FULL";
+  scores[0].spoofed_packets = 10;
+  scores[0].spoofed_flagged = 9;
+  const auto text = analysis::format_scores(scores);
+  EXPECT_NE(text.find("FULL"), std::string::npos);
+  EXPECT_NE(text.find("90.00%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spoofscope::classify

@@ -1,0 +1,150 @@
+#include "data/rpsl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/prefix.hpp"
+#include "topo/generator.hpp"
+
+namespace spoofscope::data {
+namespace {
+
+using net::pfx;
+
+TEST(Rpsl, SerializeRouteObject) {
+  RouteObject r;
+  r.prefix = pfx("20.0.50.0/24");
+  r.origin = 64500;
+  r.maintainer = 64499;
+  r.descr = "provider-assigned";
+  const std::string text = to_rpsl(r);
+  EXPECT_NE(text.find("route:      20.0.50.0/24"), std::string::npos);
+  EXPECT_NE(text.find("origin:     AS64500"), std::string::npos);
+  EXPECT_NE(text.find("mnt-by:     AS64499-MNT"), std::string::npos);
+}
+
+TEST(Rpsl, SerializeOwnMaintainerOmitsMntBy) {
+  RouteObject r;
+  r.prefix = pfx("20.0.0.0/16");
+  r.origin = 64500;
+  r.maintainer = 64500;
+  EXPECT_EQ(to_rpsl(r).find("mnt-by"), std::string::npos);
+}
+
+TEST(Rpsl, SerializeAutNum) {
+  AutNumObject a;
+  a.asn = 64501;
+  a.import_peers = {64502};
+  a.export_peers = {64502};
+  const std::string text = to_rpsl(a);
+  EXPECT_NE(text.find("aut-num:    AS64501"), std::string::npos);
+  EXPECT_NE(text.find("import:     from AS64502 accept ANY"), std::string::npos);
+  EXPECT_NE(text.find("export:     to AS64502 announce ANY"), std::string::npos);
+}
+
+TEST(Rpsl, ParseRouteObjects) {
+  std::stringstream ss;
+  ss << "% comment\n"
+     << "route: 20.0.50.0/24\n"
+     << "origin: AS64500\n"
+     << "descr: pa space\n"
+     << "mnt-by: AS64499-MNT\n"
+     << "\n"
+     << "route:20.1.0.0/16\n"
+     << "origin:as64501\n"
+     << "source: TEST   # unknown attribute, ignored\n";
+  const auto db = parse_rpsl(ss);
+  ASSERT_EQ(db.routes.size(), 2u);
+  EXPECT_EQ(db.routes[0].prefix, pfx("20.0.50.0/24"));
+  EXPECT_EQ(db.routes[0].origin, 64500u);
+  EXPECT_EQ(db.routes[0].maintainer, 64499u);
+  EXPECT_EQ(db.routes[0].descr, "pa space");
+  EXPECT_EQ(db.routes[1].origin, 64501u);
+  EXPECT_EQ(db.routes[1].maintainer, net::kNoAsn);
+}
+
+TEST(Rpsl, ParseAutNums) {
+  std::stringstream ss;
+  ss << "aut-num: AS1\n"
+     << "import: from AS2 accept ANY\n"
+     << "export: to AS2 announce ANY\n"
+     << "\n"
+     << "aut-num: AS2\n"
+     << "import: from AS1 accept ANY\n"
+     << "export: to AS1 announce ANY\n";
+  const auto db = parse_rpsl(ss);
+  ASSERT_EQ(db.aut_nums.size(), 2u);
+  EXPECT_EQ(db.aut_nums[0].asn, 1u);
+  EXPECT_EQ(db.aut_nums[0].import_peers, std::vector<net::Asn>{2});
+}
+
+TEST(Rpsl, ParseRejectsMalformed) {
+  const auto parse_str = [](const std::string& s) {
+    std::stringstream ss(s);
+    return parse_rpsl(ss);
+  };
+  EXPECT_THROW(parse_str("route: not-a-prefix\norigin: AS1\n"), std::runtime_error);
+  EXPECT_THROW(parse_str("route: 20.0.0.0/16\norigin: 64500\n"), std::runtime_error);
+  EXPECT_THROW(parse_str("route: 20.0.0.0/16\n"), std::runtime_error);  // no origin
+  EXPECT_THROW(parse_str("origin: AS5\n"), std::runtime_error);  // outside object
+  EXPECT_THROW(parse_str("import: from AS2 accept ANY\n"), std::runtime_error);
+  EXPECT_THROW(parse_str("garbage line without colon\n"), std::runtime_error);
+}
+
+TEST(Rpsl, RegistryRoundTrip) {
+  // Build a registry from a generated topology, export, re-import, and
+  // compare the recoverable information.
+  topo::TopologyParams tp;
+  tp.num_tier1 = 3;
+  tp.num_transit = 8;
+  tp.num_isp = 25;
+  tp.num_hosting = 15;
+  tp.num_content = 8;
+  tp.num_other = 16;
+  const auto topo = topo::generate_topology(tp, 31);
+  WhoisParams wp;
+  wp.provider_assigned_prob = 0.6;
+  wp.reveal_invisible_link_prob = 1.0;
+  const auto original = build_whois(topo, wp, 32);
+  ASSERT_FALSE(original.provider_assigned().empty());
+
+  std::stringstream ss(registry_to_rpsl(original));
+  const auto db = parse_rpsl(ss);
+  const auto rebuilt = registry_from_rpsl(db);
+
+  ASSERT_EQ(rebuilt.provider_assigned().size(),
+            original.provider_assigned().size());
+  for (std::size_t i = 0; i < original.provider_assigned().size(); ++i) {
+    EXPECT_EQ(rebuilt.provider_assigned()[i].customer,
+              original.provider_assigned()[i].customer);
+    EXPECT_EQ(rebuilt.provider_assigned()[i].provider,
+              original.provider_assigned()[i].provider);
+    EXPECT_EQ(rebuilt.provider_assigned()[i].range,
+              original.provider_assigned()[i].range);
+  }
+  EXPECT_EQ(rebuilt.documented_link_count(), original.documented_link_count());
+  // Recoverable ranges must agree (as sets) for every AS involved.
+  for (const auto& pa : original.provider_assigned()) {
+    auto a = rebuilt.recoverable_ranges(topo, pa.customer);
+    auto b = original.recoverable_ranges(topo, pa.customer);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Rpsl, OneSidedPolicyIsNotALink) {
+  std::stringstream ss;
+  ss << "aut-num: AS1\n"
+     << "import: from AS2 accept ANY\n"
+     << "export: to AS2 announce ANY\n"
+     << "\n"
+     << "aut-num: AS2\n"
+     << "import: from AS1 accept ANY\n";  // AS2 never exports to AS1
+  const auto rebuilt = registry_from_rpsl(parse_rpsl(ss));
+  EXPECT_EQ(rebuilt.documented_link_count(), 0u);
+}
+
+}  // namespace
+}  // namespace spoofscope::data

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/ark.hpp"
+#include "data/as2org.hpp"
+#include "data/spoofer.hpp"
+#include "data/survey.hpp"
+#include "data/whois.hpp"
+#include "topo/generator.hpp"
+
+namespace spoofscope::data {
+namespace {
+
+topo::Topology test_topology(std::uint64_t seed = 77) {
+  topo::TopologyParams p;
+  p.num_tier1 = 3;
+  p.num_transit = 10;
+  p.num_isp = 40;
+  p.num_hosting = 25;
+  p.num_content = 10;
+  p.num_other = 32;
+  p.multi_as_org_fraction = 0.15;
+  return topo::generate_topology(p, seed);
+}
+
+TEST(As2Org, GroundTruthCoversAllMultiOrgs) {
+  const auto topo = test_topology();
+  const auto orgs = ground_truth_orgs(topo);
+  std::map<topo::OrgId, int> sizes;
+  for (const auto& as : topo.ases()) sizes[as.org]++;
+  std::size_t multi = 0;
+  for (const auto& [org, n] : sizes) multi += n >= 2;
+  EXPECT_EQ(orgs.group_count(), multi);
+}
+
+TEST(As2Org, PartialCoverageMissesSomeOrgs) {
+  const auto topo = test_topology();
+  As2OrgParams params;
+  params.org_coverage = 0.5;
+  const auto partial = build_as2org(topo, params, 1);
+  const auto full = ground_truth_orgs(topo);
+  EXPECT_LT(partial.group_count(), full.group_count());
+  EXPECT_GT(partial.group_count(), 0u);
+}
+
+TEST(As2Org, FullCoverageEqualsGroundTruthGroupCount) {
+  const auto topo = test_topology();
+  As2OrgParams params;
+  params.org_coverage = 1.0;
+  params.member_coverage = 1.0;
+  const auto built = build_as2org(topo, params, 1);
+  EXPECT_EQ(built.group_count(), ground_truth_orgs(topo).group_count());
+}
+
+TEST(As2Org, Deterministic) {
+  const auto topo = test_topology();
+  const auto a = build_as2org(topo, {}, 9);
+  const auto b = build_as2org(topo, {}, 9);
+  EXPECT_EQ(a.groups(), b.groups());
+}
+
+TEST(Ark, DiscoversRouterIps) {
+  const auto topo = test_topology();
+  ArkParams params;
+  params.num_traces = 5000;
+  const auto ark = run_ark_campaign(topo, params, 3);
+  EXPECT_GT(ark.router_ip_count(), 0u);
+  EXPECT_EQ(ark.traces_run(), 5000u);
+  // Every discovered IP is inside some link's infra /24.
+  for (const std::uint32_t ip : ark.router_ips()) {
+    bool found = false;
+    for (const auto& l : topo.links()) {
+      if (l.infra.length() == 24 && l.infra.contains(net::Ipv4Addr(ip))) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << net::Ipv4Addr(ip).str();
+  }
+}
+
+TEST(Ark, MembershipQueries) {
+  const auto topo = test_topology();
+  ArkParams params;
+  params.num_traces = 3000;
+  const auto ark = run_ark_campaign(topo, params, 3);
+  ASSERT_GT(ark.router_ip_count(), 0u);
+  EXPECT_TRUE(ark.is_router_ip(net::Ipv4Addr(ark.router_ips().front())));
+  EXPECT_FALSE(ark.is_router_ip(net::Ipv4Addr::from_octets(203, 9, 9, 9)));
+}
+
+TEST(Ark, InterfaceAddressing) {
+  const auto infra = net::pfx("100.100.100.0/24");
+  EXPECT_EQ(link_interface_address(infra, 0),
+            net::Ipv4Addr::from_octets(100, 100, 100, 1));
+  EXPECT_EQ(link_interface_address(infra, 1),
+            net::Ipv4Addr::from_octets(100, 100, 100, 2));
+}
+
+TEST(Ark, MoreTracesDiscoverMore) {
+  const auto topo = test_topology();
+  ArkParams small;
+  small.num_traces = 200;
+  ArkParams big;
+  big.num_traces = 20000;
+  EXPECT_LE(run_ark_campaign(topo, small, 5).router_ip_count(),
+            run_ark_campaign(topo, big, 5).router_ip_count());
+}
+
+TEST(Spoofer, CoverageFraction) {
+  const auto topo = test_topology();
+  SpooferParams params;
+  params.probe_coverage = 0.5;
+  params.behind_nat_prob = 0.0;
+  const auto recs = run_spoofer_campaign(topo, params, 7);
+  const double frac = static_cast<double>(recs.size()) / topo.as_count();
+  EXPECT_NEAR(frac, 0.5, 0.15);
+}
+
+TEST(Spoofer, FilteringAsesNeverSpoofable) {
+  const auto topo = test_topology();
+  SpooferParams params;
+  params.probe_coverage = 1.0;
+  params.behind_nat_prob = 0.0;
+  params.on_path_filter_prob = 0.0;
+  const auto recs = run_spoofer_campaign(topo, params, 7);
+  for (const auto& r : recs) {
+    const auto* as = topo.find(r.asn);
+    ASSERT_NE(as, nullptr);
+    if (as->filter.blocks_spoofed) {
+      EXPECT_FALSE(r.spoofable);
+    } else {
+      EXPECT_TRUE(r.spoofable);
+    }
+  }
+}
+
+TEST(Spoofer, OnPathFilteringLowersBound) {
+  const auto topo = test_topology();
+  SpooferParams open;
+  open.probe_coverage = 1.0;
+  open.behind_nat_prob = 0.0;
+  open.on_path_filter_prob = 0.0;
+  SpooferParams filtered = open;
+  filtered.on_path_filter_prob = 0.6;
+  const auto count = [](const std::vector<SpooferRecord>& rs) {
+    std::size_t n = 0;
+    for (const auto& r : rs) n += r.spoofable;
+    return n;
+  };
+  EXPECT_GT(count(run_spoofer_campaign(topo, open, 7)),
+            count(run_spoofer_campaign(topo, filtered, 7)));
+}
+
+TEST(Whois, ProviderAssignedRangesInsideProviderSpace) {
+  const auto topo = test_topology();
+  WhoisParams params;
+  params.provider_assigned_prob = 0.5;
+  const auto whois = build_whois(topo, params, 11);
+  ASSERT_FALSE(whois.provider_assigned().empty());
+  for (const auto& pa : whois.provider_assigned()) {
+    EXPECT_EQ(pa.range.length(), 24);
+    const auto* provider = topo.find(pa.provider);
+    ASSERT_NE(provider, nullptr);
+    bool inside = false;
+    for (const auto& p : provider->prefixes) inside |= p.contains(pa.range);
+    EXPECT_TRUE(inside) << pa.range.str();
+    // The provider must actually be one of the customer's providers.
+    const auto provs = topo.providers_of(pa.customer);
+    EXPECT_NE(std::find(provs.begin(), provs.end(), pa.provider), provs.end());
+  }
+}
+
+TEST(Whois, DocumentedPartnersComeFromInvisibleLinks) {
+  const auto topo = test_topology();
+  WhoisParams params;
+  params.reveal_invisible_link_prob = 1.0;
+  const auto whois = build_whois(topo, params, 13);
+  std::size_t invisible = 0;
+  for (const auto& l : topo.links()) invisible += !l.visible_in_bgp;
+  EXPECT_EQ(whois.documented_link_count(), invisible);
+  for (const auto& l : topo.links()) {
+    if (l.visible_in_bgp) continue;
+    const auto partners = whois.documented_partners(l.from);
+    EXPECT_NE(std::find(partners.begin(), partners.end(), l.to), partners.end());
+  }
+}
+
+TEST(Whois, RecoverableRangesIncludePaAndPartnerSpace) {
+  const auto topo = test_topology();
+  WhoisParams params;
+  params.provider_assigned_prob = 1.0;
+  params.reveal_invisible_link_prob = 1.0;
+  const auto whois = build_whois(topo, params, 17);
+  ASSERT_FALSE(whois.provider_assigned().empty());
+  const auto& pa = whois.provider_assigned().front();
+  const auto ranges = whois.recoverable_ranges(topo, pa.customer);
+  EXPECT_NE(std::find(ranges.begin(), ranges.end(), pa.range), ranges.end());
+}
+
+TEST(Whois, UnknownMemberHasNothing) {
+  const auto topo = test_topology();
+  const auto whois = build_whois(topo, {}, 19);
+  EXPECT_TRUE(whois.provider_assigned_of(64999).empty());
+  EXPECT_TRUE(whois.documented_partners(64999).empty());
+  EXPECT_TRUE(whois.recoverable_ranges(topo, 64999).empty());
+}
+
+TEST(Survey, PublishedNumbers) {
+  const auto s = survey_results();
+  EXPECT_EQ(s.respondents, 84);
+  EXPECT_DOUBLE_EQ(s.suffered_spoofing_attacks, 0.70);
+  EXPECT_DOUBLE_EQ(s.no_source_validation, 0.24);
+  EXPECT_DOUBLE_EQ(s.egress_customer_specific, 0.50);
+}
+
+TEST(Survey, FormatterMentionsKeyFigures) {
+  const auto text = format_survey(survey_results());
+  EXPECT_NE(text.find("84"), std::string::npos);
+  EXPECT_NE(text.find("70.00%"), std::string::npos);
+  EXPECT_NE(text.find("egress"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spoofscope::data

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "bgp/routing_table.hpp"
+#include "inference/builder.hpp"
+#include "inference/valid_space.hpp"
+#include "net/prefix.hpp"
+
+namespace spoofscope::inference {
+namespace {
+
+using net::Ipv4Addr;
+using net::pfx;
+
+TEST(Method, Names) {
+  EXPECT_EQ(method_name(Method::kNaive), "NAIVE");
+  EXPECT_EQ(method_name(Method::kCustomerCone), "CC");
+  EXPECT_EQ(method_name(Method::kCustomerConeOrg), "CC+org");
+  EXPECT_EQ(method_name(Method::kFullCone), "FULL");
+  EXPECT_EQ(method_name(Method::kFullConeOrg), "FULL+org");
+}
+
+TEST(ValidSpace, BasicMembership) {
+  trie::IntervalSet s;
+  s.add(pfx("10.0.0.0/8"));
+  std::unordered_map<Asn, trie::IntervalSet> spaces;
+  spaces.emplace(100, std::move(s));
+  ValidSpace vs(Method::kFullCone, std::move(spaces));
+
+  EXPECT_TRUE(vs.valid(100, Ipv4Addr::from_octets(10, 1, 2, 3)));
+  EXPECT_FALSE(vs.valid(100, Ipv4Addr::from_octets(11, 0, 0, 1)));
+  EXPECT_FALSE(vs.valid(999, Ipv4Addr::from_octets(10, 1, 2, 3)));
+  EXPECT_DOUBLE_EQ(vs.slash24_of(100), 65536.0);
+  EXPECT_DOUBLE_EQ(vs.slash24_of(999), 0.0);
+  EXPECT_EQ(vs.members(), std::vector<Asn>{100});
+}
+
+TEST(ValidSpace, ExtendAddsSpace) {
+  ValidSpace vs(Method::kFullCone, {});
+  EXPECT_FALSE(vs.valid(5, Ipv4Addr::from_octets(20, 0, 0, 1)));
+  trie::IntervalSet extra;
+  extra.add(pfx("20.0.0.0/16"));
+  vs.extend(5, extra);
+  EXPECT_TRUE(vs.valid(5, Ipv4Addr::from_octets(20, 0, 0, 1)));
+  EXPECT_DOUBLE_EQ(vs.slash24_of(5), 256.0);
+}
+
+/// Hand-built routing view:
+///   paths: [1 2 3] for 30.0/16 (origin 3), [1 2] for 20.0/16 (origin 2),
+///          [1] for 10.0/16 (origin 1), [2 4] for 40.0/16 (origin 4).
+bgp::RoutingTable small_table() {
+  bgp::RoutingTableBuilder b;
+  b.ingest_route(pfx("30.0.0.0/16"), bgp::AsPath{1, 2, 3});
+  b.ingest_route(pfx("20.0.0.0/16"), bgp::AsPath{1, 2});
+  b.ingest_route(pfx("10.0.0.0/16"), bgp::AsPath{1});
+  b.ingest_route(pfx("40.0.0.0/16"), bgp::AsPath{2, 4});
+  return b.build();
+}
+
+TEST(Factory, NaiveSpaces) {
+  const auto table = small_table();
+  ValidSpaceFactory factory(table, asgraph::OrgMap{});
+  const std::vector<Asn> members{1, 2, 3, 4};
+  const auto vs = factory.build(Method::kNaive, members);
+
+  // AS1 is on the paths of 30.0/16, 20.0/16 and 10.0/16 but not 40.0/16.
+  EXPECT_TRUE(vs.valid(1, Ipv4Addr::from_octets(30, 0, 0, 1)));
+  EXPECT_TRUE(vs.valid(1, Ipv4Addr::from_octets(10, 0, 0, 1)));
+  EXPECT_FALSE(vs.valid(1, Ipv4Addr::from_octets(40, 0, 0, 1)));
+  // AS3 only appears on its own prefix's path.
+  EXPECT_TRUE(vs.valid(3, Ipv4Addr::from_octets(30, 0, 0, 1)));
+  EXPECT_FALSE(vs.valid(3, Ipv4Addr::from_octets(20, 0, 0, 1)));
+}
+
+TEST(Factory, FullConeSpaces) {
+  const auto table = small_table();
+  ValidSpaceFactory factory(table, asgraph::OrgMap{});
+  const std::vector<Asn> members{1, 2, 3, 4};
+  const auto vs = factory.build(Method::kFullCone, members);
+
+  // Edges: 1->2, 2->3, 2->4. AS1's cone: {1,2,3,4}.
+  EXPECT_TRUE(vs.valid(1, Ipv4Addr::from_octets(40, 0, 0, 1)));
+  EXPECT_TRUE(vs.valid(2, Ipv4Addr::from_octets(30, 0, 0, 1)));
+  EXPECT_TRUE(vs.valid(2, Ipv4Addr::from_octets(40, 0, 0, 1)));
+  // but not upward: AS3 cannot source AS1's space.
+  EXPECT_FALSE(vs.valid(3, Ipv4Addr::from_octets(10, 0, 0, 1)));
+  EXPECT_FALSE(vs.valid(4, Ipv4Addr::from_octets(20, 0, 0, 1)));
+}
+
+TEST(Factory, NaiveContainedInFullCone) {
+  const auto table = small_table();
+  ValidSpaceFactory factory(table, asgraph::OrgMap{});
+  for (const Asn asn : table.ases()) {
+    const auto naive = factory.build(Method::kNaive, std::vector<Asn>{asn});
+    const auto full = factory.build(Method::kFullCone, std::vector<Asn>{asn});
+    const auto* ns = naive.space_of(asn);
+    const auto* fs = full.space_of(asn);
+    ASSERT_NE(ns, nullptr);
+    ASSERT_NE(fs, nullptr);
+    // Every naive-valid interval must be covered by the full cone space.
+    EXPECT_TRUE(ns->subtract(*fs).empty())
+        << "AS" << asn << " naive space exceeds full cone";
+  }
+}
+
+TEST(Factory, OrgVariantsAreSupersets) {
+  const auto table = small_table();
+  // Pretend AS3 and AS4 are one organization.
+  asgraph::OrgMap orgs({{3, 4}});
+  ValidSpaceFactory factory(table, orgs);
+  const std::vector<Asn> members{3, 4};
+
+  const auto plain = factory.build(Method::kFullCone, members);
+  const auto adjusted = factory.build(Method::kFullConeOrg, members);
+  // With the mesh, AS3 may source AS4's space and vice versa.
+  EXPECT_FALSE(plain.valid(3, Ipv4Addr::from_octets(40, 0, 0, 1)));
+  EXPECT_TRUE(adjusted.valid(3, Ipv4Addr::from_octets(40, 0, 0, 1)));
+  EXPECT_TRUE(adjusted.valid(4, Ipv4Addr::from_octets(30, 0, 0, 1)));
+  for (const Asn m : members) {
+    EXPECT_TRUE(plain.space_of(m)->subtract(*adjusted.space_of(m)).empty());
+  }
+}
+
+TEST(Factory, ValidSizesSortedAscending) {
+  const auto table = small_table();
+  ValidSpaceFactory factory(table, asgraph::OrgMap{});
+  const auto sizes = factory.valid_sizes(Method::kFullCone);
+  ASSERT_EQ(sizes.size(), table.ases().size());
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_LE(sizes[i - 1].second, sizes[i].second);
+  }
+  // The top AS (1) is a valid source for all four /16s.
+  EXPECT_DOUBLE_EQ(sizes.back().second, 4 * 256.0);
+}
+
+TEST(Factory, ConeOfNaiveListsOrigins) {
+  const auto table = small_table();
+  ValidSpaceFactory factory(table, asgraph::OrgMap{});
+  const auto cone = factory.cone_of(Method::kNaive, 2);
+  // AS2 is on paths originated by 2, 3, 4 (20.0, 30.0, 40.0).
+  EXPECT_EQ(cone, (std::vector<Asn>{2, 3, 4}));
+}
+
+TEST(Factory, UnknownMemberHasEmptySpace) {
+  const auto table = small_table();
+  ValidSpaceFactory factory(table, asgraph::OrgMap{});
+  const std::vector<Asn> members{777};
+  const auto vs = factory.build(Method::kFullCone, members);
+  ASSERT_NE(vs.space_of(777), nullptr);
+  EXPECT_TRUE(vs.space_of(777)->empty());
+}
+
+}  // namespace
+}  // namespace spoofscope::inference

@@ -1,0 +1,109 @@
+#include "ixp/ixp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/generator.hpp"
+
+namespace spoofscope::ixp {
+namespace {
+
+topo::Topology test_topology() {
+  topo::TopologyParams p;
+  p.num_tier1 = 3;
+  p.num_transit = 10;
+  p.num_isp = 40;
+  p.num_hosting = 25;
+  p.num_content = 12;
+  p.num_other = 30;
+  return topo::generate_topology(p, 5);
+}
+
+TEST(Ixp, SelectsRequestedMemberCount) {
+  const auto topo = test_topology();
+  IxpParams params;
+  params.member_count = 50;
+  const auto ixp = Ixp::build(topo, params, 1);
+  EXPECT_EQ(ixp.member_count(), 50u);
+}
+
+TEST(Ixp, MemberCountCappedByTopology) {
+  const auto topo = test_topology();
+  IxpParams params;
+  params.member_count = 10000;
+  const auto ixp = Ixp::build(topo, params, 1);
+  EXPECT_EQ(ixp.member_count(), topo.as_count());
+}
+
+TEST(Ixp, MembersAreDistinctTopologyAses) {
+  const auto topo = test_topology();
+  IxpParams params;
+  params.member_count = 60;
+  const auto ixp = Ixp::build(topo, params, 2);
+  std::set<Asn> seen;
+  for (const auto& m : ixp.members()) {
+    EXPECT_TRUE(seen.insert(m.asn).second) << "duplicate member";
+    const auto* info = topo.find(m.asn);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->type, m.type);
+    EXPECT_GT(m.traffic_weight, 0.0);
+  }
+}
+
+TEST(Ixp, FindAndMembership) {
+  const auto topo = test_topology();
+  IxpParams params;
+  params.member_count = 30;
+  const auto ixp = Ixp::build(topo, params, 3);
+  const Asn member = ixp.members().front().asn;
+  EXPECT_TRUE(ixp.is_member(member));
+  ASSERT_NE(ixp.find(member), nullptr);
+  EXPECT_EQ(ixp.find(member)->asn, member);
+  EXPECT_FALSE(ixp.is_member(64999));
+  EXPECT_EQ(ixp.find(64999), nullptr);
+}
+
+TEST(Ixp, RouteServerFeedersAreSubset) {
+  const auto topo = test_topology();
+  IxpParams params;
+  params.member_count = 60;
+  params.route_server_fraction = 0.5;
+  const auto ixp = Ixp::build(topo, params, 4);
+  const auto feeders = ixp.route_server_feeders();
+  EXPECT_GT(feeders.size(), 10u);
+  EXPECT_LT(feeders.size(), 50u);
+  for (const Asn f : feeders) EXPECT_TRUE(ixp.is_member(f));
+}
+
+TEST(Ixp, Deterministic) {
+  const auto topo = test_topology();
+  IxpParams params;
+  params.member_count = 40;
+  const auto a = Ixp::build(topo, params, 9);
+  const auto b = Ixp::build(topo, params, 9);
+  EXPECT_EQ(a.members(), b.members());
+}
+
+TEST(Ixp, SamplingRatePropagates) {
+  const auto topo = test_topology();
+  IxpParams params;
+  params.sampling_rate = 1234;
+  const auto ixp = Ixp::build(topo, params, 5);
+  EXPECT_EQ(ixp.sampling_rate(), 1234u);
+}
+
+TEST(Ixp, JoinWeightsBiasTypes) {
+  const auto topo = test_topology();
+  IxpParams only_isp;
+  only_isp.member_count = 30;
+  for (double& w : only_isp.join_weight) w = 0.0;
+  only_isp.join_weight[static_cast<int>(topo::BusinessType::kIsp)] = 1.0;
+  const auto ixp = Ixp::build(topo, only_isp, 6);
+  for (const auto& m : ixp.members()) {
+    EXPECT_EQ(m.type, topo::BusinessType::kIsp);
+  }
+}
+
+}  // namespace
+}  // namespace spoofscope::ixp

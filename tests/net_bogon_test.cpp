@@ -1,0 +1,49 @@
+#include "net/bogon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spoofscope::net {
+namespace {
+
+TEST(Bogon, FourteenPrefixes) {
+  EXPECT_EQ(bogon_prefixes().size(), 14u);
+}
+
+TEST(Bogon, PrefixesAreDisjoint) {
+  const auto bs = bogon_prefixes();
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    for (std::size_t j = i + 1; j < bs.size(); ++j) {
+      EXPECT_FALSE(bs[i].overlaps(bs[j]))
+          << bs[i].str() << " vs " << bs[j].str();
+    }
+  }
+}
+
+TEST(Bogon, ClassifiesKnownRanges) {
+  EXPECT_TRUE(is_bogon(Ipv4Addr::from_octets(10, 1, 2, 3)));
+  EXPECT_TRUE(is_bogon(Ipv4Addr::from_octets(192, 168, 1, 1)));
+  EXPECT_TRUE(is_bogon(Ipv4Addr::from_octets(172, 20, 0, 1)));
+  EXPECT_TRUE(is_bogon(Ipv4Addr::from_octets(127, 0, 0, 1)));
+  EXPECT_TRUE(is_bogon(Ipv4Addr::from_octets(224, 0, 0, 5)));   // multicast
+  EXPECT_TRUE(is_bogon(Ipv4Addr::from_octets(255, 1, 2, 3)));   // future use
+  EXPECT_TRUE(is_bogon(Ipv4Addr::from_octets(100, 77, 0, 1)));  // CGN
+  EXPECT_TRUE(is_bogon(Ipv4Addr::from_octets(169, 254, 9, 9)));
+}
+
+TEST(Bogon, DoesNotFlagPublicSpace) {
+  EXPECT_FALSE(is_bogon(Ipv4Addr::from_octets(8, 8, 8, 8)));
+  EXPECT_FALSE(is_bogon(Ipv4Addr::from_octets(1, 1, 1, 1)));
+  EXPECT_FALSE(is_bogon(Ipv4Addr::from_octets(172, 32, 0, 1)));   // just past RFC1918
+  EXPECT_FALSE(is_bogon(Ipv4Addr::from_octets(100, 128, 0, 1)));  // past CGN
+  EXPECT_FALSE(is_bogon(Ipv4Addr::from_octets(11, 0, 0, 1)));
+  EXPECT_FALSE(is_bogon(Ipv4Addr::from_octets(223, 255, 255, 255)));
+}
+
+TEST(Bogon, TotalSpaceMatchesPaperFraction) {
+  // Fig 1a: bogon is 13.8% of the IPv4 space.
+  const double frac = bogon_slash24() / kTotalSlash24;
+  EXPECT_NEAR(frac, 0.138, 0.005);
+}
+
+}  // namespace
+}  // namespace spoofscope::net

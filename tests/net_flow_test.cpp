@@ -1,0 +1,62 @@
+#include "net/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/protocols.hpp"
+
+namespace spoofscope::net {
+namespace {
+
+TEST(FlowRecord, MeanPacketSize) {
+  FlowRecord f;
+  f.packets = 4;
+  f.bytes = 240;
+  EXPECT_DOUBLE_EQ(f.mean_packet_size(), 60.0);
+}
+
+TEST(FlowRecord, MeanPacketSizeZeroPackets) {
+  FlowRecord f;
+  EXPECT_DOUBLE_EQ(f.mean_packet_size(), 0.0);
+}
+
+TEST(FlowRecord, StrContainsEndpoints) {
+  FlowRecord f;
+  f.src = Ipv4Addr::from_octets(1, 2, 3, 4);
+  f.dst = Ipv4Addr::from_octets(5, 6, 7, 8);
+  f.proto = Proto::kUdp;
+  f.member_in = 65001;
+  const std::string s = f.str();
+  EXPECT_NE(s.find("1.2.3.4"), std::string::npos);
+  EXPECT_NE(s.find("5.6.7.8"), std::string::npos);
+  EXPECT_NE(s.find("UDP"), std::string::npos);
+  EXPECT_NE(s.find("AS65001"), std::string::npos);
+}
+
+TEST(Protocols, Names) {
+  EXPECT_EQ(proto_name(Proto::kTcp), "TCP");
+  EXPECT_EQ(proto_name(Proto::kUdp), "UDP");
+  EXPECT_EQ(proto_name(Proto::kIcmp), "ICMP");
+}
+
+TEST(Protocols, PortServiceNames) {
+  EXPECT_EQ(port_service_name(80), "http");
+  EXPECT_EQ(port_service_name(443), "https");
+  EXPECT_EQ(port_service_name(123), "ntp");
+  EXPECT_EQ(port_service_name(27015), "steam");
+  EXPECT_EQ(port_service_name(12345), "other");
+}
+
+TEST(Protocols, TrackedPorts) {
+  EXPECT_TRUE(is_tracked_port(80));
+  EXPECT_TRUE(is_tracked_port(123));
+  EXPECT_TRUE(is_tracked_port(28960));
+  EXPECT_FALSE(is_tracked_port(22));
+}
+
+TEST(Constants, WindowLengths) {
+  EXPECT_EQ(kSecondsPerWeek, 604800u);
+  EXPECT_EQ(kFourWeeks, 2419200u);
+}
+
+}  // namespace
+}  // namespace spoofscope::net

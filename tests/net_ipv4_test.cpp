@@ -1,0 +1,56 @@
+#include "net/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spoofscope::net {
+namespace {
+
+TEST(Ipv4Addr, FromOctets) {
+  const auto a = Ipv4Addr::from_octets(192, 0, 2, 1);
+  EXPECT_EQ(a.value(), 0xC0000201u);
+}
+
+TEST(Ipv4Addr, ParseValid) {
+  const auto a = Ipv4Addr::parse("10.1.2.3");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, Ipv4Addr::from_octets(10, 1, 2, 3));
+}
+
+TEST(Ipv4Addr, ParseExtremes) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255")->value(), ~0u);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4Addr::parse("0010.0.0.1"));  // > 3 chars per octet
+}
+
+TEST(Ipv4Addr, RoundTripString) {
+  const auto a = Ipv4Addr::from_octets(172, 16, 254, 9);
+  EXPECT_EQ(a.str(), "172.16.254.9");
+  EXPECT_EQ(*Ipv4Addr::parse(a.str()), a);
+}
+
+TEST(Ipv4Addr, OctetExtraction) {
+  const auto a = Ipv4Addr::from_octets(1, 2, 3, 4);
+  EXPECT_EQ(a.octet(0), 1);
+  EXPECT_EQ(a.octet(1), 2);
+  EXPECT_EQ(a.octet(2), 3);
+  EXPECT_EQ(a.octet(3), 4);
+  EXPECT_EQ(a.slash8(), 1);
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr::from_octets(9, 255, 255, 255),
+            Ipv4Addr::from_octets(10, 0, 0, 0));
+}
+
+}  // namespace
+}  // namespace spoofscope::net

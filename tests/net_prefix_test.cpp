@@ -1,0 +1,105 @@
+#include "net/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spoofscope::net {
+namespace {
+
+TEST(Prefix, DefaultIsWholeSpace) {
+  const Prefix p;
+  EXPECT_EQ(p.length(), 0);
+  EXPECT_EQ(p.first(), 0u);
+  EXPECT_EQ(p.last(), ~0u);
+  EXPECT_EQ(p.num_addresses(), std::uint64_t(1) << 32);
+}
+
+TEST(Prefix, CanonicalizesHostBits) {
+  const Prefix p(Ipv4Addr::from_octets(10, 1, 2, 3), 8);
+  EXPECT_EQ(p.address(), Ipv4Addr::from_octets(10, 0, 0, 0));
+}
+
+TEST(Prefix, ParseBasics) {
+  const auto p = Prefix::parse("192.168.0.0/16");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 16);
+  EXPECT_EQ(p->str(), "192.168.0.0/16");
+}
+
+TEST(Prefix, ParseBareAddressIsSlash32) {
+  const auto p = Prefix::parse("10.0.0.1");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 32);
+  EXPECT_EQ(p->num_addresses(), 1u);
+}
+
+TEST(Prefix, ParseRejectsBadLength) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/-1"));
+  EXPECT_FALSE(Prefix::parse("bad/8"));
+}
+
+TEST(Prefix, FirstAndLast) {
+  const auto p = pfx("10.0.0.0/8");
+  EXPECT_EQ(p.first(), Ipv4Addr::from_octets(10, 0, 0, 0).value());
+  EXPECT_EQ(p.last(), Ipv4Addr::from_octets(10, 255, 255, 255).value());
+}
+
+TEST(Prefix, Slash24Equivalents) {
+  EXPECT_DOUBLE_EQ(pfx("10.0.0.0/8").slash24_equivalents(), 65536.0);
+  EXPECT_DOUBLE_EQ(pfx("10.0.0.0/24").slash24_equivalents(), 1.0);
+  EXPECT_DOUBLE_EQ(pfx("10.0.0.0/25").slash24_equivalents(), 0.5);
+  EXPECT_DOUBLE_EQ(pfx("0.0.0.0/0").slash24_equivalents(), kTotalSlash24);
+}
+
+TEST(Prefix, ContainsAddress) {
+  const auto p = pfx("172.16.0.0/12");
+  EXPECT_TRUE(p.contains(Ipv4Addr::from_octets(172, 16, 0, 0)));
+  EXPECT_TRUE(p.contains(Ipv4Addr::from_octets(172, 31, 255, 255)));
+  EXPECT_FALSE(p.contains(Ipv4Addr::from_octets(172, 32, 0, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Addr::from_octets(171, 16, 0, 0)));
+}
+
+TEST(Prefix, ContainsPrefix) {
+  EXPECT_TRUE(pfx("10.0.0.0/8").contains(pfx("10.5.0.0/16")));
+  EXPECT_TRUE(pfx("10.0.0.0/8").contains(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(pfx("10.5.0.0/16").contains(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(pfx("10.0.0.0/8").contains(pfx("11.0.0.0/16")));
+}
+
+TEST(Prefix, Overlaps) {
+  EXPECT_TRUE(pfx("10.0.0.0/8").overlaps(pfx("10.1.0.0/16")));
+  EXPECT_TRUE(pfx("10.1.0.0/16").overlaps(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(pfx("10.0.0.0/16").overlaps(pfx("10.1.0.0/16")));
+}
+
+TEST(Prefix, ParentAndChildren) {
+  const auto p = pfx("10.0.0.0/9");
+  EXPECT_EQ(p.parent(), pfx("10.0.0.0/8"));
+  EXPECT_EQ(pfx("10.0.0.0/8").child(0), pfx("10.0.0.0/9"));
+  EXPECT_EQ(pfx("10.0.0.0/8").child(1), pfx("10.128.0.0/9"));
+}
+
+TEST(Prefix, BitAccess) {
+  const auto p = pfx("128.0.0.0/1");
+  EXPECT_EQ(p.bit(0), 1);
+  EXPECT_EQ(pfx("0.0.0.0/1").bit(0), 0);
+}
+
+TEST(Prefix, OrderingGroupsCoversFirst) {
+  EXPECT_LT(pfx("10.0.0.0/8"), pfx("10.0.0.0/16"));
+  EXPECT_LT(pfx("10.0.0.0/16"), pfx("10.1.0.0/16"));
+}
+
+TEST(Prefix, PfxThrowsOnGarbage) {
+  EXPECT_THROW(pfx("not-a-prefix"), std::invalid_argument);
+}
+
+TEST(Prefix, MaskFor) {
+  EXPECT_EQ(Prefix::mask_for(0), 0u);
+  EXPECT_EQ(Prefix::mask_for(8), 0xFF000000u);
+  EXPECT_EQ(Prefix::mask_for(32), 0xFFFFFFFFu);
+}
+
+}  // namespace
+}  // namespace spoofscope::net

@@ -1,0 +1,233 @@
+#include "topo/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/bogon.hpp"
+
+namespace spoofscope::topo {
+namespace {
+
+TopologyParams small_params() {
+  TopologyParams p;
+  p.num_tier1 = 3;
+  p.num_transit = 10;
+  p.num_isp = 30;
+  p.num_hosting = 20;
+  p.num_content = 10;
+  p.num_other = 27;
+  return p;
+}
+
+TEST(Generator, ProducesRequestedPopulation) {
+  const auto t = generate_topology(small_params(), 1);
+  EXPECT_EQ(t.as_count(), small_params().total_ases());
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const auto a = generate_topology(small_params(), 7);
+  const auto b = generate_topology(small_params(), 7);
+  ASSERT_EQ(a.as_count(), b.as_count());
+  ASSERT_EQ(a.links().size(), b.links().size());
+  for (std::size_t i = 0; i < a.as_count(); ++i) {
+    EXPECT_EQ(a.ases()[i].asn, b.ases()[i].asn);
+    EXPECT_EQ(a.ases()[i].prefixes, b.ases()[i].prefixes);
+    EXPECT_EQ(a.ases()[i].filter, b.ases()[i].filter);
+  }
+  EXPECT_EQ(a.links(), b.links());
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto a = generate_topology(small_params(), 1);
+  const auto b = generate_topology(small_params(), 2);
+  bool any_diff = a.links().size() != b.links().size();
+  for (std::size_t i = 0; !any_diff && i < a.as_count(); ++i) {
+    any_diff = a.ases()[i].prefixes != b.ases()[i].prefixes;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, TopologyValidates) {
+  const auto t = generate_topology(small_params(), 3);
+  EXPECT_TRUE(t.validate().empty());
+}
+
+TEST(Generator, EveryAsHasAddressSpace) {
+  const auto t = generate_topology(small_params(), 4);
+  for (const auto& as : t.ases()) {
+    EXPECT_FALSE(as.prefixes.empty()) << "AS" << as.asn;
+    for (const auto& p : as.prefixes) {
+      EXPECT_GE(p.length(), 16);
+      EXPECT_LE(p.length(), 24);
+    }
+  }
+}
+
+TEST(Generator, AllocationsAvoidBogonSpace) {
+  const auto t = generate_topology(small_params(), 5);
+  for (const auto& as : t.ases()) {
+    for (const auto& p : as.prefixes) {
+      for (const auto& b : net::bogon_prefixes()) {
+        EXPECT_FALSE(p.overlaps(b))
+            << p.str() << " overlaps bogon " << b.str();
+      }
+    }
+  }
+}
+
+TEST(Generator, NonTier1AsesHaveProviders) {
+  const auto t = generate_topology(small_params(), 6);
+  std::size_t no_provider = 0;
+  for (const auto& as : t.ases()) {
+    if (t.providers_of(as.asn).empty()) ++no_provider;
+  }
+  // Only the tier-1 clique is transit-free.
+  EXPECT_EQ(no_provider, small_params().num_tier1);
+}
+
+TEST(Generator, Tier1sFormPeeringClique) {
+  const auto params = small_params();
+  const auto t = generate_topology(params, 8);
+  // Tier-1s are the first ASes created (lowest ASNs).
+  std::vector<Asn> tier1s;
+  for (const auto& as : t.ases()) {
+    if (t.providers_of(as.asn).empty()) tier1s.push_back(as.asn);
+  }
+  ASSERT_EQ(tier1s.size(), params.num_tier1);
+  for (const Asn a : tier1s) {
+    const auto peers = t.peers_of(a);
+    for (const Asn b : tier1s) {
+      if (a == b) continue;
+      EXPECT_NE(std::find(peers.begin(), peers.end(), b), peers.end())
+          << "AS" << a << " missing tier-1 peer AS" << b;
+    }
+  }
+}
+
+TEST(Generator, RoutedFractionNearTarget) {
+  auto params = small_params();
+  const auto t = generate_topology(params, 9);
+  double announced24 = 0.0;
+  for (const auto& as : t.ases()) {
+    const std::size_t n = announced_prefix_count(as);
+    for (std::size_t i = 0; i < n; ++i) announced24 += as.prefixes[i].slash24_equivalents();
+  }
+  const double frac = announced24 / net::kTotalSlash24;
+  EXPECT_GT(frac, params.target_routed_fraction * 0.6);
+  EXPECT_LT(frac, params.target_routed_fraction * 1.3);
+}
+
+TEST(Generator, SomeAllocatedSpaceStaysUnannounced) {
+  const auto t = generate_topology(small_params(), 10);
+  double allocated = 0.0, announced = 0.0;
+  for (const auto& as : t.ases()) {
+    const std::size_t n = announced_prefix_count(as);
+    for (std::size_t i = 0; i < as.prefixes.size(); ++i) {
+      allocated += as.prefixes[i].slash24_equivalents();
+      if (i < n) announced += as.prefixes[i].slash24_equivalents();
+    }
+  }
+  EXPECT_LT(announced, allocated);
+}
+
+TEST(Generator, MultiAsOrgsExistWithSiblingLinks) {
+  const auto t = generate_topology(small_params(), 11);
+  std::set<OrgId> orgs;
+  std::set<OrgId> multi;
+  for (const auto& as : t.ases()) {
+    if (!orgs.insert(as.org).second) multi.insert(as.org);
+  }
+  EXPECT_FALSE(multi.empty());
+  std::size_t sibling_links = 0;
+  for (const auto& l : t.links()) {
+    if (l.type == RelType::kSibling) ++sibling_links;
+  }
+  EXPECT_GT(sibling_links, 0u);
+}
+
+TEST(Generator, SomeSiblingLinksInvisible) {
+  const auto t = generate_topology(small_params(), 12);
+  std::size_t visible = 0, invisible = 0;
+  for (const auto& l : t.links()) {
+    if (l.type != RelType::kSibling) continue;
+    (l.visible_in_bgp ? visible : invisible) += 1;
+  }
+  EXPECT_GT(visible + invisible, 0u);
+  EXPECT_GT(invisible, 0u);  // with prob 0.45 over many links
+}
+
+TEST(Generator, TransitLinksCarryInfraPrefixes) {
+  const auto t = generate_topology(small_params(), 13);
+  std::size_t with_infra = 0, from_provider = 0, from_dark = 0;
+  for (const auto& l : t.links()) {
+    if (l.type != RelType::kCustomerToProvider) continue;
+    ASSERT_EQ(l.infra.length(), 24) << "c2p link missing /24 infra";
+    ++with_infra;
+    const Asn owner = t.allocation_owner(l.infra);
+    if (owner == l.to) {
+      ++from_provider;
+    } else if (owner == net::kNoAsn) {
+      ++from_dark;
+    }
+  }
+  EXPECT_GT(with_infra, 0u);
+  EXPECT_GT(from_provider, 0u);
+  EXPECT_GT(from_dark, 0u);
+}
+
+TEST(Generator, FilterPoliciesVaryByType) {
+  // Content providers must filter far more often than hosting providers.
+  TopologyParams p = small_params();
+  p.num_content = 150;
+  p.num_hosting = 150;
+  const auto t = generate_topology(p, 14);
+  int content_filtering = 0, content_total = 0;
+  int hosting_filtering = 0, hosting_total = 0;
+  for (const auto& as : t.ases()) {
+    if (as.type == BusinessType::kContent) {
+      ++content_total;
+      content_filtering += as.filter.blocks_spoofed;
+    } else if (as.type == BusinessType::kHosting) {
+      ++hosting_total;
+      hosting_filtering += as.filter.blocks_spoofed;
+    }
+  }
+  EXPECT_GT(static_cast<double>(content_filtering) / content_total,
+            static_cast<double>(hosting_filtering) / hosting_total);
+}
+
+TEST(Generator, SpooferDensityHighestAtHosters) {
+  TopologyParams p = small_params();
+  p.num_content = 120;
+  p.num_hosting = 120;
+  const auto t = generate_topology(p, 15);
+  double hosting_sum = 0, content_sum = 0;
+  int nh = 0, nc = 0;
+  for (const auto& as : t.ases()) {
+    if (as.type == BusinessType::kHosting) {
+      hosting_sum += as.spoofer_density;
+      ++nh;
+    }
+    if (as.type == BusinessType::kContent) {
+      content_sum += as.spoofer_density;
+      ++nc;
+    }
+  }
+  EXPECT_GT(hosting_sum / nh, content_sum / nc);
+}
+
+TEST(Generator, RejectsEmptyPopulation) {
+  TopologyParams p;
+  p.num_tier1 = p.num_transit = p.num_isp = p.num_hosting = p.num_content =
+      p.num_other = 0;
+  EXPECT_THROW(generate_topology(p, 1), std::invalid_argument);
+}
+
+TEST(Generator, AsnsFitTraceFormat) {
+  const auto t = generate_topology(small_params(), 16);
+  for (const auto& as : t.ases()) EXPECT_LE(as.asn, 0xffffu);
+}
+
+}  // namespace
+}  // namespace spoofscope::topo

@@ -1,0 +1,106 @@
+#include "topo/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topo/generator.hpp"
+
+namespace spoofscope::topo {
+namespace {
+
+TEST(TopoSerialize, RoundTripGeneratedTopology) {
+  TopologyParams params;
+  params.num_tier1 = 3;
+  params.num_transit = 8;
+  params.num_isp = 20;
+  params.num_hosting = 12;
+  params.num_content = 6;
+  params.num_other = 11;
+  const auto original = generate_topology(params, 55);
+
+  std::stringstream ss;
+  write_topology(ss, original);
+  const auto reloaded = read_topology(ss);
+
+  ASSERT_EQ(reloaded.as_count(), original.as_count());
+  for (std::size_t i = 0; i < original.as_count(); ++i) {
+    const auto& a = original.ases()[i];
+    const auto& b = reloaded.ases()[i];
+    EXPECT_EQ(a.asn, b.asn);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.org, b.org);
+    EXPECT_EQ(a.prefixes, b.prefixes);
+    EXPECT_DOUBLE_EQ(a.announce_fraction, b.announce_fraction);
+    EXPECT_EQ(a.filter, b.filter);
+    EXPECT_DOUBLE_EQ(a.spoofer_density, b.spoofer_density);
+    EXPECT_DOUBLE_EQ(a.nat_leak_density, b.nat_leak_density);
+  }
+  EXPECT_EQ(reloaded.links(), original.links());
+  EXPECT_TRUE(reloaded.validate().empty());
+}
+
+TEST(TopoSerialize, HandWrittenFile) {
+  std::stringstream ss;
+  ss << "# tiny hand-written world\n"
+     << "topology v1\n"
+     << "as 1 type NSP org 1 announce 1.0 bogonfilter 1 spooffilter 1 "
+        "spoofer 0 natleak 0\n"
+     << "as 2 type ISP org 2 announce 0.5 bogonfilter 0 spooffilter 0 "
+        "spoofer 0.3 natleak 0.6\n"
+     << "prefix 1 20.0.0.0/16\n"
+     << "prefix 2 30.0.0.0/16\n"
+     << "prefix 2 30.1.0.0/16\n"
+     << "link c2p 2 1 visible 1 infra 20.0.99.0/24\n";
+  const auto topo = read_topology(ss);
+  EXPECT_EQ(topo.as_count(), 2u);
+  EXPECT_EQ(topo.find(1)->type, BusinessType::kNsp);
+  EXPECT_TRUE(topo.find(1)->filter.blocks_spoofed);
+  EXPECT_EQ(topo.find(2)->prefixes.size(), 2u);
+  EXPECT_DOUBLE_EQ(topo.find(2)->nat_leak_density, 0.6);
+  ASSERT_EQ(topo.links().size(), 1u);
+  EXPECT_EQ(topo.links()[0].infra, net::pfx("20.0.99.0/24"));
+  EXPECT_EQ(topo.providers_of(2).size(), 1u);
+}
+
+TEST(TopoSerialize, RejectsMalformed) {
+  const auto parse = [](const std::string& text) {
+    std::stringstream ss(text);
+    return read_topology(ss);
+  };
+  EXPECT_THROW(parse(""), std::runtime_error);
+  EXPECT_THROW(parse("not a header\n"), std::runtime_error);
+  EXPECT_THROW(parse("topology v1\nas 1 type Bad org 1 announce 1 bogonfilter "
+                     "0 spooffilter 0 spoofer 0 natleak 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("topology v1\nas 1 type NSP org 1\n"), std::runtime_error);
+  EXPECT_THROW(parse("topology v1\nprefix 9 10.0.0.0/8\n"), std::runtime_error);
+  EXPECT_THROW(parse("topology v1\nas 1 type NSP org 1 announce 1 bogonfilter "
+                     "0 spooffilter 0 spoofer 0 natleak 0\nlink c2p 1 9 "
+                     "visible 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parse("topology v1\nas 1 type NSP org 1 announce 1 bogonfilter 0 "
+            "spooffilter 0 spoofer 0 natleak 0\nas 1 type ISP org 2 announce "
+            "1 bogonfilter 0 spooffilter 0 spoofer 0 natleak 0\n"),
+      std::runtime_error);
+  EXPECT_THROW(parse("topology v1\nbanana 1 2 3\n"), std::runtime_error);
+}
+
+TEST(TopoSerialize, DeterministicOutput) {
+  TopologyParams params;
+  params.num_tier1 = 2;
+  params.num_transit = 5;
+  params.num_isp = 8;
+  params.num_hosting = 5;
+  params.num_content = 3;
+  params.num_other = 5;
+  const auto topo = generate_topology(params, 77);
+  std::stringstream a, b;
+  write_topology(a, topo);
+  write_topology(b, topo);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace spoofscope::topo

@@ -1,0 +1,192 @@
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/prefix.hpp"
+
+namespace spoofscope::topo {
+namespace {
+
+using net::pfx;
+
+AsInfo make_as(Asn asn, BusinessType type, OrgId org,
+               std::vector<net::Prefix> prefixes = {}) {
+  AsInfo a;
+  a.asn = asn;
+  a.type = type;
+  a.org = org;
+  a.prefixes = std::move(prefixes);
+  return a;
+}
+
+/// Small reference topology:
+///   AS1 (NSP, org1) provider of AS2 and AS3; AS2 peers AS3;
+///   AS3 and AS4 are siblings (org2).
+Topology make_small() {
+  std::vector<AsInfo> ases;
+  ases.push_back(make_as(1, BusinessType::kNsp, 1, {pfx("20.0.0.0/8")}));
+  ases.push_back(make_as(2, BusinessType::kIsp, 10, {pfx("30.0.0.0/16")}));
+  ases.push_back(make_as(3, BusinessType::kHosting, 2, {pfx("40.0.0.0/16")}));
+  ases.push_back(make_as(4, BusinessType::kContent, 2, {pfx("50.0.0.0/24")}));
+  std::vector<AsLink> links{
+      {2, 1, RelType::kCustomerToProvider, true, {}},
+      {3, 1, RelType::kCustomerToProvider, true, {}},
+      {2, 3, RelType::kPeerToPeer, true, {}},
+      {3, 4, RelType::kSibling, false, {}},
+  };
+  return Topology(std::move(ases), std::move(links));
+}
+
+TEST(Topology, BasicAccessors) {
+  const auto t = make_small();
+  EXPECT_EQ(t.as_count(), 4u);
+  ASSERT_NE(t.find(1), nullptr);
+  EXPECT_EQ(t.find(1)->type, BusinessType::kNsp);
+  EXPECT_EQ(t.find(99), nullptr);
+}
+
+TEST(Topology, IndexRoundTrip) {
+  const auto t = make_small();
+  for (Asn asn : {1u, 2u, 3u, 4u}) {
+    const auto idx = t.index_of(asn);
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(t.asn_at(*idx), asn);
+  }
+  EXPECT_FALSE(t.index_of(1234).has_value());
+}
+
+TEST(Topology, NeighborSets) {
+  const auto t = make_small();
+  const auto p2 = t.providers_of(2);
+  ASSERT_EQ(p2.size(), 1u);
+  EXPECT_EQ(p2[0], 1u);
+
+  const auto c1 = t.customers_of(1);
+  EXPECT_EQ(c1.size(), 2u);
+
+  const auto peers2 = t.peers_of(2);
+  ASSERT_EQ(peers2.size(), 1u);
+  EXPECT_EQ(peers2[0], 3u);
+
+  const auto sib3 = t.siblings_of(3);
+  ASSERT_EQ(sib3.size(), 1u);
+  EXPECT_EQ(sib3[0], 4u);
+
+  EXPECT_TRUE(t.providers_of(1).empty());
+  EXPECT_TRUE(t.providers_of(999).empty());
+}
+
+TEST(Topology, OrgMembers) {
+  const auto t = make_small();
+  const auto org2 = t.org_members(2);
+  EXPECT_EQ(org2.size(), 2u);
+  EXPECT_EQ(t.org_members(1).size(), 1u);
+  EXPECT_TRUE(t.org_members(777).empty());
+}
+
+TEST(Topology, AllocationOwner) {
+  const auto t = make_small();
+  EXPECT_EQ(t.allocation_owner(pfx("20.1.2.0/24")), 1u);
+  EXPECT_EQ(t.allocation_owner(pfx("30.0.5.0/24")), 2u);
+  EXPECT_EQ(t.allocation_owner(pfx("50.0.0.0/24")), 4u);
+  EXPECT_EQ(t.allocation_owner(pfx("60.0.0.0/24")), net::kNoAsn);
+  // A query bigger than the allocation is not owned.
+  EXPECT_EQ(t.allocation_owner(pfx("30.0.0.0/8")), net::kNoAsn);
+}
+
+TEST(Topology, AllocatedSlash24) {
+  const auto t = make_small();
+  EXPECT_DOUBLE_EQ(t.allocated_slash24(), 65536.0 + 256.0 + 256.0 + 1.0);
+}
+
+TEST(Topology, ValidateCleanTopology) {
+  EXPECT_TRUE(make_small().validate().empty());
+}
+
+TEST(Topology, RejectsDuplicateAsn) {
+  std::vector<AsInfo> ases{make_as(1, BusinessType::kNsp, 1),
+                           make_as(1, BusinessType::kIsp, 2)};
+  EXPECT_THROW(Topology(std::move(ases), {}), std::invalid_argument);
+}
+
+TEST(Topology, RejectsAsnZero) {
+  std::vector<AsInfo> ases{make_as(0, BusinessType::kNsp, 1)};
+  EXPECT_THROW(Topology(std::move(ases), {}), std::invalid_argument);
+}
+
+TEST(Topology, RejectsLinkToUnknownAs) {
+  std::vector<AsInfo> ases{make_as(1, BusinessType::kNsp, 1)};
+  std::vector<AsLink> links{{1, 42, RelType::kPeerToPeer, true, {}}};
+  EXPECT_THROW(Topology(std::move(ases), std::move(links)), std::invalid_argument);
+}
+
+TEST(Topology, ValidateDetectsOverlappingAllocations) {
+  std::vector<AsInfo> ases{
+      make_as(1, BusinessType::kNsp, 1, {pfx("10.0.0.0/8")}),
+      make_as(2, BusinessType::kIsp, 2, {pfx("10.1.0.0/16")}),
+  };
+  const Topology t(std::move(ases), {});
+  const auto problems = t.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("overlapping"), std::string::npos);
+}
+
+TEST(Topology, ValidateDetectsProviderCycle) {
+  std::vector<AsInfo> ases{make_as(1, BusinessType::kNsp, 1),
+                           make_as(2, BusinessType::kNsp, 2),
+                           make_as(3, BusinessType::kNsp, 3)};
+  std::vector<AsLink> links{
+      {1, 2, RelType::kCustomerToProvider, true, {}},
+      {2, 3, RelType::kCustomerToProvider, true, {}},
+      {3, 1, RelType::kCustomerToProvider, true, {}},
+  };
+  const Topology t(std::move(ases), std::move(links));
+  const auto problems = t.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("cycle"), std::string::npos);
+}
+
+TEST(Topology, ValidateDetectsCrossOrgSibling) {
+  std::vector<AsInfo> ases{make_as(1, BusinessType::kNsp, 1),
+                           make_as(2, BusinessType::kNsp, 2)};
+  std::vector<AsLink> links{{1, 2, RelType::kSibling, true, {}}};
+  const Topology t(std::move(ases), std::move(links));
+  const auto problems = t.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("sibling"), std::string::npos);
+}
+
+TEST(Topology, ValidateDetectsSelfLink) {
+  std::vector<AsInfo> ases{make_as(1, BusinessType::kNsp, 1)};
+  std::vector<AsLink> links{{1, 1, RelType::kPeerToPeer, true, {}}};
+  const Topology t(std::move(ases), std::move(links));
+  EXPECT_FALSE(t.validate().empty());
+}
+
+TEST(AsInfo, AnnouncedPrefixCount) {
+  AsInfo a;
+  a.prefixes = {pfx("10.0.0.0/16"), pfx("11.0.0.0/16"), pfx("12.0.0.0/16"),
+                pfx("13.0.0.0/16")};
+  a.announce_fraction = 1.0;
+  EXPECT_EQ(announced_prefix_count(a), 4u);
+  a.announce_fraction = 0.5;
+  EXPECT_EQ(announced_prefix_count(a), 2u);
+  a.announce_fraction = 0.51;
+  EXPECT_EQ(announced_prefix_count(a), 3u);
+  a.announce_fraction = 0.0;
+  EXPECT_EQ(announced_prefix_count(a), 0u);
+  a.prefixes.clear();
+  EXPECT_EQ(announced_prefix_count(a), 0u);
+}
+
+TEST(BusinessType, Names) {
+  EXPECT_EQ(business_name(BusinessType::kNsp), "NSP");
+  EXPECT_EQ(business_name(BusinessType::kIsp), "ISP");
+  EXPECT_EQ(business_name(BusinessType::kHosting), "Hosting");
+  EXPECT_EQ(business_name(BusinessType::kContent), "Content");
+  EXPECT_EQ(business_name(BusinessType::kOther), "Other");
+  EXPECT_EQ(rel_name(RelType::kCustomerToProvider), "c2p");
+}
+
+}  // namespace
+}  // namespace spoofscope::topo

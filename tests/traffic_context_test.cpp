@@ -1,0 +1,176 @@
+#include "traffic/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/whois.hpp"
+#include "net/bogon.hpp"
+#include "topo/generator.hpp"
+
+namespace spoofscope::traffic {
+namespace {
+
+struct World {
+  topo::Topology topo;
+  ixp::Ixp ixp;
+  WorkloadParams params;
+};
+
+World make_world() {
+  topo::TopologyParams tp;
+  tp.num_tier1 = 3;
+  tp.num_transit = 10;
+  tp.num_isp = 30;
+  tp.num_hosting = 18;
+  tp.num_content = 9;
+  tp.num_other = 20;
+  auto topo = topo::generate_topology(tp, 12);
+  ixp::IxpParams ip;
+  ip.member_count = 45;
+  auto ixp = ixp::Ixp::build(topo, ip, 13);
+  return World{std::move(topo), std::move(ixp), WorkloadParams{}};
+}
+
+TEST(TrafficContext, AddrInStaysInsidePrefix) {
+  util::Rng rng(1);
+  const auto p = net::pfx("20.5.0.0/16");
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(p.contains(TrafficContext::addr_in(p, rng)));
+  }
+  const auto host = net::pfx("20.5.0.7/32");
+  EXPECT_EQ(TrafficContext::addr_in(host, rng), host.address());
+}
+
+TEST(TrafficContext, AnnouncedAddrInsideOwnAllocation) {
+  const auto w = make_world();
+  TrafficContext ctx(w.topo, w.ixp, w.params, 2);
+  util::Rng rng(3);
+  for (const auto& m : w.ixp.members()) {
+    for (int i = 0; i < 20; ++i) {
+      const auto a = ctx.announced_addr(m.asn, rng);
+      bool inside = false;
+      for (const auto& p : w.topo.find(m.asn)->prefixes) inside |= p.contains(a);
+      EXPECT_TRUE(inside) << "AS" << m.asn << " " << a.str();
+    }
+  }
+}
+
+TEST(TrafficContext, LegitimateSrcInsideGroundTruthSpace) {
+  const auto w = make_world();
+  TrafficContext ctx(w.topo, w.ixp, w.params, 4);
+  util::Rng rng(5);
+  for (const auto& m : w.ixp.members()) {
+    const auto& space = ctx.ground_truth_space(m.asn);
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_TRUE(space.contains(ctx.legitimate_src(m.asn, rng)))
+          << "AS" << m.asn;
+    }
+  }
+}
+
+TEST(TrafficContext, EgressFilterSemantics) {
+  const auto w = make_world();
+  TrafficContext ctx(w.topo, w.ixp, w.params, 6);
+  util::Rng rng(7);
+  // A bogon-filtering member never lets RFC1918 out; a spoof-filtering
+  // member never lets a random routed-but-foreign source out.
+  for (const auto& m : w.ixp.members()) {
+    const auto* info = w.topo.find(m.asn);
+    const auto bogon_src = net::Ipv4Addr::from_octets(10, 1, 2, 3);
+    if (info->filter.blocks_bogon) {
+      EXPECT_FALSE(ctx.egress_allows(*info, bogon_src));
+    }
+    if (info->filter.blocks_spoofed) {
+      // Find an address clearly outside the member's ground truth space.
+      for (int i = 0; i < 50; ++i) {
+        const net::Ipv4Addr probe(rng.next_u32());
+        if (!ctx.ground_truth_space(m.asn).contains(probe) &&
+            !net::is_bogon(probe)) {
+          EXPECT_FALSE(ctx.egress_allows(*info, probe));
+          break;
+        }
+      }
+      // Its own space always passes.
+      EXPECT_TRUE(ctx.egress_allows(*info, ctx.announced_addr(m.asn, rng)));
+    }
+  }
+}
+
+TEST(TrafficContext, ExitMemberIsMemberAndStable) {
+  const auto w = make_world();
+  TrafficContext ctx(w.topo, w.ixp, w.params, 8);
+  util::Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const net::Ipv4Addr dst = ctx.announced_addr(
+        w.topo.asn_at(rng.index(w.topo.as_count())), rng);
+    const auto member = ctx.exit_member_for(dst, rng);
+    EXPECT_TRUE(w.ixp.is_member(member));
+  }
+  // Destination owned by a member maps to that member deterministically.
+  const auto& m0 = w.ixp.members().front();
+  const auto own = ctx.announced_addr(m0.asn, rng);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ctx.exit_member_for(own, rng), m0.asn);
+  }
+}
+
+TEST(TrafficContext, DiurnalProfilePeaksInTheEvening) {
+  const auto w = make_world();
+  TrafficContext ctx(w.topo, w.ixp, w.params, 10);
+  util::Rng rng(11);
+  std::vector<double> by_hour(24, 0);
+  for (int i = 0; i < 60000; ++i) {
+    by_hour[(ctx.diurnal_ts(rng) % 86400) / 3600] += 1;
+  }
+  // The 19-21h window must clearly dominate the 3-5h trough.
+  const double peak = by_hour[19] + by_hour[20] + by_hour[21];
+  const double trough = by_hour[3] + by_hour[4] + by_hour[5];
+  EXPECT_GT(peak, 2.5 * trough);
+}
+
+TEST(TrafficContext, TimestampsWithinWindow) {
+  const auto w = make_world();
+  WorkloadParams params;
+  params.window_seconds = 1000;
+  TrafficContext ctx(w.topo, w.ixp, params, 12);
+  util::Rng rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(ctx.uniform_ts(rng), 1000u);
+    EXPECT_LT(ctx.diurnal_ts(rng), 1000u);
+  }
+}
+
+TEST(TrafficContext, WeightedMemberFavoursHeavyMembers) {
+  const auto w = make_world();
+  TrafficContext ctx(w.topo, w.ixp, w.params, 14);
+  util::Rng rng(15);
+  std::unordered_map<net::Asn, int> draws;
+  for (int i = 0; i < 50000; ++i) ++draws[ctx.weighted_member(rng).asn];
+  // The heaviest member must be drawn far more often than the lightest.
+  const ixp::Member* heavy = &w.ixp.members().front();
+  const ixp::Member* light = heavy;
+  for (const auto& m : w.ixp.members()) {
+    if (m.traffic_weight > heavy->traffic_weight) heavy = &m;
+    if (m.traffic_weight < light->traffic_weight) light = &m;
+  }
+  EXPECT_GT(draws[heavy->asn], draws[light->asn]);
+}
+
+TEST(TrafficContext, NtpServerPoolInsideAnnouncedSpace) {
+  const auto w = make_world();
+  WorkloadParams params;
+  params.ntp_server_pool = 200;
+  TrafficContext ctx(w.topo, w.ixp, params, 16);
+  EXPECT_EQ(ctx.ntp_servers().size(), 200u);
+  for (const auto& [addr, asn] : ctx.ntp_servers()) {
+    const auto* info = w.topo.find(asn);
+    ASSERT_NE(info, nullptr);
+    bool inside = false;
+    for (const auto& p : info->prefixes) inside |= p.contains(addr);
+    EXPECT_TRUE(inside);
+  }
+}
+
+}  // namespace
+}  // namespace spoofscope::traffic

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/whois.hpp"
+#include "ixp/ixp.hpp"
+#include "net/bogon.hpp"
+#include "net/protocols.hpp"
+#include "topo/generator.hpp"
+#include "traffic/regular.hpp"
+#include "traffic/workload.hpp"
+#include "util/rng.hpp"
+
+namespace spoofscope::traffic {
+namespace {
+
+struct World {
+  topo::Topology topo;
+  ixp::Ixp ixp;
+  data::WhoisRegistry whois;
+};
+
+World make_world(std::uint64_t seed = 3) {
+  topo::TopologyParams tp;
+  tp.num_tier1 = 3;
+  tp.num_transit = 10;
+  tp.num_isp = 40;
+  tp.num_hosting = 25;
+  tp.num_content = 12;
+  tp.num_other = 30;
+  auto topo = topo::generate_topology(tp, seed);
+  ixp::IxpParams ip;
+  ip.member_count = 60;
+  auto ixp = ixp::Ixp::build(topo, ip, seed + 1);
+  auto whois = data::build_whois(topo, {}, seed + 2);
+  return World{std::move(topo), std::move(ixp), std::move(whois)};
+}
+
+WorkloadParams small_params() {
+  WorkloadParams p;
+  p.regular_flows = 8000;
+  p.nat_leak_flows = 300;
+  p.background_noise_flows = 250;
+  p.random_spoof_events = 6;
+  p.flood_flows_mean = 50;
+  p.flood_flows_cap = 300;
+  p.ntp_campaigns = 4;
+  p.ntp_flows_mean = 100;
+  p.ntp_flows_cap = 500;
+  p.ntp_server_pool = 120;
+  p.steam_flood_events = 2;
+  p.steam_flows_cap = 200;
+  p.router_stray_flows = 400;
+  p.uncommon_setup_flows_per_member = 60;
+  return p;
+}
+
+TEST(Workload, Deterministic) {
+  const auto w = make_world();
+  const auto a = generate_workload(w.topo, w.ixp, w.whois, small_params(), 42);
+  const auto b = generate_workload(w.topo, w.ixp, w.whois, small_params(), 42);
+  EXPECT_EQ(a.trace.flows, b.trace.flows);
+}
+
+TEST(Workload, SortedByTimestampWithinWindow) {
+  const auto w = make_world();
+  const auto wl = generate_workload(w.topo, w.ixp, w.whois, small_params(), 1);
+  ASSERT_FALSE(wl.trace.flows.empty());
+  for (std::size_t i = 1; i < wl.trace.flows.size(); ++i) {
+    EXPECT_LE(wl.trace.flows[i - 1].ts, wl.trace.flows[i].ts);
+  }
+  for (const auto& f : wl.trace.flows) {
+    EXPECT_LT(f.ts, small_params().window_seconds);
+  }
+}
+
+TEST(Workload, SummaryMatchesFlowCount) {
+  const auto w = make_world();
+  const auto wl = generate_workload(w.topo, w.ixp, w.whois, small_params(), 2);
+  EXPECT_EQ(wl.summary.total(), wl.trace.flows.size());
+  EXPECT_EQ(wl.summary.regular, small_params().regular_flows);
+}
+
+TEST(Workload, AllFlowsInjectedByMembers) {
+  const auto w = make_world();
+  const auto wl = generate_workload(w.topo, w.ixp, w.whois, small_params(), 3);
+  for (const auto& f : wl.trace.flows) {
+    EXPECT_TRUE(w.ixp.is_member(f.member_in)) << f.str();
+    EXPECT_TRUE(w.ixp.is_member(f.member_out)) << f.str();
+    EXPECT_GT(f.packets, 0u);
+    EXPECT_GT(f.bytes, 0u);
+  }
+}
+
+TEST(Workload, BogonFiltersHonoured) {
+  const auto w = make_world();
+  const auto wl = generate_workload(w.topo, w.ixp, w.whois, small_params(), 4);
+  for (const auto& f : wl.trace.flows) {
+    if (!net::is_bogon(f.src)) continue;
+    const auto* as = w.topo.find(f.member_in);
+    ASSERT_NE(as, nullptr);
+    EXPECT_FALSE(as->filter.blocks_bogon)
+        << "AS" << f.member_in << " leaked bogon despite filtering";
+  }
+}
+
+TEST(Workload, SpoofFiltersHonoured) {
+  const auto w = make_world();
+  const auto wl = generate_workload(w.topo, w.ixp, w.whois, small_params(), 5);
+  // Members that validate egress sources must never emit sources outside
+  // their ground-truth space — unless the source is a router interface
+  // (stray traffic originates on the router itself, not behind the ACL).
+  for (const auto& f : wl.trace.flows) {
+    const auto* as = w.topo.find(f.member_in);
+    if (!as->filter.blocks_spoofed) continue;
+    bool router_src = false;
+    for (const auto& l : w.topo.links()) {
+      if (l.infra.length() == 24 && l.infra.contains(f.src)) {
+        router_src = true;
+        break;
+      }
+    }
+    if (router_src) continue;
+    bool legitimate = false;
+    for (const auto& p : as->prefixes) legitimate |= p.contains(f.src);
+    if (!legitimate) {
+      // could still be (transitive) customer/sibling space — the
+      // ground-truth cone a BCP38 ACL would allow.
+      std::vector<net::Asn> frontier{f.member_in};
+      std::set<net::Asn> seen{f.member_in};
+      while (!frontier.empty() && !legitimate) {
+        const net::Asn cur = frontier.back();
+        frontier.pop_back();
+        const auto expand = [&](net::Asn next) {
+          if (!seen.insert(next).second) return;
+          frontier.push_back(next);
+          for (const auto& p : w.topo.find(next)->prefixes) {
+            legitimate |= p.contains(f.src);
+          }
+        };
+        for (const net::Asn c : w.topo.customers_of(cur)) expand(c);
+        for (const net::Asn s : w.topo.siblings_of(cur)) expand(s);
+      }
+    }
+    if (!legitimate) {
+      // ...or a ground-truth-legitimate uncommon setup: provider-assigned
+      // space and space of partners across BGP-invisible links.
+      for (const auto& p : w.whois.recoverable_ranges(w.topo, f.member_in)) {
+        legitimate |= p.contains(f.src);
+      }
+      for (const auto& l : w.topo.links()) {
+        if (l.visible_in_bgp) continue;
+        const net::Asn partner =
+            l.from == f.member_in ? l.to : (l.to == f.member_in ? l.from : 0);
+        if (partner == 0) continue;
+        for (const auto& p : w.topo.find(partner)->prefixes) {
+          legitimate |= p.contains(f.src);
+        }
+      }
+    }
+    // NAT leaks escape BCP38 ACLs in the model (the broken CPE sits
+    // behind otherwise valid space), so bogon sources are exempt here.
+    if (net::is_bogon(f.src)) continue;
+    EXPECT_TRUE(legitimate) << f.str();
+  }
+}
+
+TEST(Workload, NtpTriggersTargetPort123) {
+  const auto w = make_world();
+  auto params = small_params();
+  const auto wl = generate_workload(w.topo, w.ixp, w.whois, params, 6);
+  EXPECT_GT(wl.summary.ntp_trigger, 0u);
+  std::size_t port123 = 0;
+  for (const auto& f : wl.trace.flows) {
+    if (f.proto == net::Proto::kUdp && f.dport == net::ports::kNtp) ++port123;
+  }
+  EXPECT_GE(port123, wl.summary.ntp_trigger);
+}
+
+TEST(Workload, NtpCampaignMetadataConsistent) {
+  const auto w = make_world();
+  const auto wl = generate_workload(w.topo, w.ixp, w.whois, small_params(), 7);
+  EXPECT_FALSE(wl.summary.ntp_campaigns.empty());
+  for (const auto& c : wl.summary.ntp_campaigns) {
+    EXPECT_TRUE(w.ixp.is_member(c.attacker_member));
+    EXPECT_GT(c.amplifiers_contacted, 0u);
+  }
+  EXPECT_FALSE(wl.summary.ntp_amplifiers_contacted.empty());
+}
+
+TEST(Workload, NatLeaksAreRfc1918TcpAndDiurnal) {
+  const auto w = make_world();
+  auto params = small_params();
+  params.regular_flows = 0;
+  params.background_noise_flows = 0;
+  params.random_spoof_events = 0;
+  params.ntp_campaigns = 0;
+  params.steam_flood_events = 0;
+  params.router_stray_flows = 0;
+  params.uncommon_setup_flows_per_member = 0;
+  const auto wl = generate_workload(w.topo, w.ixp, w.whois, params, 8);
+  ASSERT_GT(wl.summary.nat_leak, 0u);
+  for (const auto& f : wl.trace.flows) {
+    EXPECT_TRUE(net::is_bogon(f.src)) << f.str();
+    EXPECT_EQ(f.proto, net::Proto::kTcp);
+    EXPECT_EQ(f.packets, 1u);
+  }
+}
+
+TEST(Workload, RouterStraysIcmpDominated) {
+  const auto w = make_world();
+  auto params = small_params();
+  params.regular_flows = 0;
+  params.nat_leak_flows = 0;
+  params.background_noise_flows = 0;
+  params.random_spoof_events = 0;
+  params.ntp_campaigns = 0;
+  params.steam_flood_events = 0;
+  params.uncommon_setup_flows_per_member = 0;
+  params.router_stray_flows = 2000;
+  params.router_stray_link_prob = 1.0;
+  const auto wl = generate_workload(w.topo, w.ixp, w.whois, params, 9);
+  ASSERT_GT(wl.trace.flows.size(), 500u);
+  double icmp = 0;
+  for (const auto& f : wl.trace.flows) icmp += f.proto == net::Proto::kIcmp;
+  EXPECT_NEAR(icmp / wl.trace.flows.size(), 0.83, 0.06);
+}
+
+TEST(Workload, SpoofedTrafficIsSmallPackets) {
+  const auto w = make_world();
+  const auto wl = generate_workload(w.topo, w.ixp, w.whois, small_params(), 10);
+  double spoofed_small = 0, spoofed_total = 0;
+  for (const auto& f : wl.trace.flows) {
+    // attack-ish flows: tiny flows to HTTP/NTP/Steam or bogon sources
+    const bool attackish = net::is_bogon(f.src) ||
+                           (f.proto == net::Proto::kUdp &&
+                            f.dport == net::ports::kNtp && f.packets <= 2);
+    if (!attackish) continue;
+    spoofed_total += f.packets;
+    if (f.mean_packet_size() < 100.0) spoofed_small += f.packets;
+  }
+  ASSERT_GT(spoofed_total, 0.0);
+  EXPECT_GT(spoofed_small / spoofed_total, 0.8);
+}
+
+TEST(Workload, RegularPacketSizesBimodal) {
+  util::Rng rng(1);
+  int small = 0, large = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = regular_packet_size(rng);
+    EXPECT_GE(s, 40u);
+    EXPECT_LE(s, 1500u);
+    small += s <= 100;
+    large += s >= 1200;
+  }
+  EXPECT_GT(small, 3000);
+  EXPECT_GT(large, 4000);
+  EXPECT_EQ(small + large, 10000);  // nothing in the middle
+}
+
+TEST(Workload, UncommonSetupsUsePaRanges) {
+  const auto w = make_world();
+  data::WhoisParams wp;
+  wp.provider_assigned_prob = 1.0;
+  const auto whois = data::build_whois(w.topo, wp, 20);
+  auto params = small_params();
+  params.regular_flows = 0;
+  params.nat_leak_flows = 0;
+  params.background_noise_flows = 0;
+  params.random_spoof_events = 0;
+  params.ntp_campaigns = 0;
+  params.steam_flood_events = 0;
+  params.router_stray_flows = 0;
+  const auto wl = generate_workload(w.topo, w.ixp, whois, params, 11);
+  ASSERT_GT(wl.summary.uncommon_setup, 0u);
+  // Some flows must source provider-assigned ranges via their customer.
+  bool pa_seen = false;
+  for (const auto& f : wl.trace.flows) {
+    for (const auto& pa : whois.provider_assigned()) {
+      if (pa.customer == f.member_in && pa.range.contains(f.src)) {
+        pa_seen = true;
+        break;
+      }
+    }
+    if (pa_seen) break;
+  }
+  EXPECT_TRUE(pa_seen);
+}
+
+}  // namespace
+}  // namespace spoofscope::traffic

@@ -1,0 +1,207 @@
+#include "trie/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/prefix.hpp"
+
+namespace spoofscope::trie {
+namespace {
+
+using net::Ipv4Addr;
+using net::pfx;
+
+TEST(IntervalSet, EmptySet) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.address_count(), 0u);
+  EXPECT_FALSE(s.contains(Ipv4Addr(0)));
+}
+
+TEST(IntervalSet, SingleRange) {
+  IntervalSet s;
+  s.add(10, 20);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.address_count(), 11u);
+  EXPECT_TRUE(s.contains(Ipv4Addr(10)));
+  EXPECT_TRUE(s.contains(Ipv4Addr(20)));
+  EXPECT_FALSE(s.contains(Ipv4Addr(9)));
+  EXPECT_FALSE(s.contains(Ipv4Addr(21)));
+}
+
+TEST(IntervalSet, MergesOverlapping) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(15, 30);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{10, 30}));
+}
+
+TEST(IntervalSet, MergesAdjacent) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(21, 30);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.address_count(), 21u);
+}
+
+TEST(IntervalSet, KeepsGapsSeparate) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(22, 30);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_FALSE(s.contains(Ipv4Addr(21)));
+}
+
+TEST(IntervalSet, AddSpanningMultipleExisting) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(30, 40);
+  s.add(50, 60);
+  s.add(15, 55);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{10, 60}));
+}
+
+TEST(IntervalSet, AddBeforeAll) {
+  IntervalSet s;
+  s.add(100, 200);
+  s.add(1, 2);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.intervals()[0], (Interval{1, 2}));
+}
+
+TEST(IntervalSet, FullSpaceCount) {
+  IntervalSet s;
+  s.add(0, ~0u);
+  EXPECT_EQ(s.address_count(), std::uint64_t(1) << 32);
+  EXPECT_DOUBLE_EQ(s.slash24_equivalents(), 16777216.0);
+}
+
+TEST(IntervalSet, BoundaryAtMaxAddress) {
+  IntervalSet s;
+  s.add(~0u - 1, ~0u);
+  s.add(0, 0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(Ipv4Addr(~0u)));
+  EXPECT_TRUE(s.contains(Ipv4Addr(0)));
+}
+
+TEST(IntervalSet, FromIntervalsNormalizes) {
+  const auto s = IntervalSet::from_intervals({{30, 40}, {10, 20}, {18, 32}});
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{10, 40}));
+}
+
+TEST(IntervalSet, FromPrefixes) {
+  const std::vector<net::Prefix> ps{pfx("10.0.0.0/24"), pfx("10.0.1.0/24")};
+  const auto s = IntervalSet::from_prefixes(ps);
+  EXPECT_EQ(s.size(), 1u);  // adjacent /24s merge
+  EXPECT_EQ(s.address_count(), 512u);
+}
+
+TEST(IntervalSet, ContainsRange) {
+  IntervalSet s;
+  s.add(10, 100);
+  EXPECT_TRUE(s.contains_range(10, 100));
+  EXPECT_TRUE(s.contains_range(50, 60));
+  EXPECT_FALSE(s.contains_range(5, 15));
+  EXPECT_FALSE(s.contains_range(90, 110));
+  EXPECT_FALSE(s.contains_range(200, 300));
+}
+
+TEST(IntervalSet, Unite) {
+  IntervalSet a, b;
+  a.add(10, 20);
+  b.add(15, 30);
+  b.add(50, 60);
+  const auto u = a.unite(b);
+  EXPECT_EQ(u.size(), 2u);
+  EXPECT_EQ(u.address_count(), 21u + 11u);
+}
+
+TEST(IntervalSet, Intersect) {
+  IntervalSet a, b;
+  a.add(10, 30);
+  a.add(50, 70);
+  b.add(20, 60);
+  const auto i = a.intersect(b);
+  ASSERT_EQ(i.size(), 2u);
+  EXPECT_EQ(i.intervals()[0], (Interval{20, 30}));
+  EXPECT_EQ(i.intervals()[1], (Interval{50, 60}));
+}
+
+TEST(IntervalSet, IntersectDisjointIsEmpty) {
+  IntervalSet a, b;
+  a.add(10, 20);
+  b.add(30, 40);
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(IntervalSet, Subtract) {
+  IntervalSet a, b;
+  a.add(10, 30);
+  b.add(15, 20);
+  const auto d = a.subtract(b);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.intervals()[0], (Interval{10, 14}));
+  EXPECT_EQ(d.intervals()[1], (Interval{21, 30}));
+}
+
+TEST(IntervalSet, SubtractEverything) {
+  IntervalSet a, b;
+  a.add(10, 30);
+  b.add(0, 100);
+  EXPECT_TRUE(a.subtract(b).empty());
+}
+
+TEST(IntervalSet, SubtractNothing) {
+  IntervalSet a, b;
+  a.add(10, 30);
+  b.add(50, 60);
+  EXPECT_EQ(a.subtract(b), a);
+}
+
+TEST(IntervalSet, SubtractAcrossMultiple) {
+  IntervalSet a, b;
+  a.add(0, 9);
+  a.add(20, 29);
+  a.add(40, 49);
+  b.add(5, 44);
+  const auto d = a.subtract(b);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.intervals()[0], (Interval{0, 4}));
+  EXPECT_EQ(d.intervals()[1], (Interval{45, 49}));
+}
+
+TEST(IntervalSet, ToPrefixesExactCover) {
+  IntervalSet s;
+  s.add(pfx("10.0.0.0/24"));
+  const auto ps = s.to_prefixes();
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0], pfx("10.0.0.0/24"));
+}
+
+TEST(IntervalSet, ToPrefixesDecomposesUnaligned) {
+  IntervalSet s;
+  s.add(1, 6);  // {1/32, 2/31, 4/31, 6/32}
+  const auto ps = s.to_prefixes();
+  std::uint64_t total = 0;
+  for (const auto& p : ps) {
+    total += p.num_addresses();
+    for (std::uint64_t a = p.first(); a <= p.last(); ++a) {
+      EXPECT_TRUE(s.contains(Ipv4Addr(static_cast<std::uint32_t>(a))));
+    }
+  }
+  EXPECT_EQ(total, s.address_count());
+}
+
+TEST(IntervalSet, ToPrefixesFullSpaceIsDefaultRoute) {
+  IntervalSet s;
+  s.add(0, ~0u);
+  const auto ps = s.to_prefixes();
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(ps[0], pfx("0.0.0.0/0"));
+}
+
+}  // namespace
+}  // namespace spoofscope::trie

@@ -1,0 +1,92 @@
+#include "trie/prefix_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/prefix.hpp"
+
+namespace spoofscope::trie {
+namespace {
+
+using net::Ipv4Addr;
+using net::pfx;
+
+TEST(PrefixSet, EmptyCoversNothing) {
+  PrefixSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.covers(Ipv4Addr::from_octets(10, 0, 0, 1)));
+}
+
+TEST(PrefixSet, InsertIdempotent) {
+  PrefixSet s;
+  EXPECT_TRUE(s.insert(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(s.insert(pfx("10.0.0.0/8")));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(PrefixSet, CoversInsideOnly) {
+  PrefixSet s;
+  s.insert(pfx("192.168.0.0/16"));
+  EXPECT_TRUE(s.covers(Ipv4Addr::from_octets(192, 168, 44, 5)));
+  EXPECT_FALSE(s.covers(Ipv4Addr::from_octets(192, 169, 0, 0)));
+}
+
+TEST(PrefixSet, ContainsExactVsCovered) {
+  PrefixSet s;
+  s.insert(pfx("10.0.0.0/8"));
+  EXPECT_TRUE(s.contains_exact(pfx("10.0.0.0/8")));
+  EXPECT_FALSE(s.contains_exact(pfx("10.0.0.0/16")));  // covered, not stored
+}
+
+TEST(PrefixSet, MatchLongest) {
+  PrefixSet s;
+  s.insert(pfx("10.0.0.0/8"));
+  s.insert(pfx("10.1.0.0/16"));
+  const auto m = s.match_longest(Ipv4Addr::from_octets(10, 1, 2, 3));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(*m, pfx("10.1.0.0/16"));
+  EXPECT_FALSE(s.match_longest(Ipv4Addr::from_octets(11, 0, 0, 0)));
+}
+
+TEST(PrefixSet, ConstructFromSpan) {
+  const std::vector<net::Prefix> ps{pfx("10.0.0.0/8"), pfx("172.16.0.0/12")};
+  PrefixSet s{std::span<const net::Prefix>(ps)};
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.covers(Ipv4Addr::from_octets(172, 20, 0, 0)));
+}
+
+TEST(PrefixSet, Slash24CountsOverlapOnce) {
+  PrefixSet s;
+  s.insert(pfx("10.0.0.0/8"));
+  s.insert(pfx("10.1.0.0/16"));  // nested, must not double count
+  EXPECT_DOUBLE_EQ(s.slash24_equivalents(), 65536.0);
+}
+
+TEST(PrefixSet, AggregateMergesSiblings) {
+  PrefixSet s;
+  s.insert(pfx("10.0.0.0/9"));
+  s.insert(pfx("10.128.0.0/9"));
+  const auto agg = s.aggregate();
+  ASSERT_EQ(agg.size(), 1u);
+  EXPECT_EQ(agg[0], pfx("10.0.0.0/8"));
+}
+
+TEST(PrefixSet, PrefixesReturnsInsertionOrder) {
+  PrefixSet s;
+  s.insert(pfx("20.0.0.0/8"));
+  s.insert(pfx("10.0.0.0/8"));
+  const auto ps = s.prefixes();
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0], pfx("20.0.0.0/8"));
+  EXPECT_EQ(ps[1], pfx("10.0.0.0/8"));
+}
+
+TEST(PrefixSet, ToIntervalSetMatchesCoverage) {
+  PrefixSet s;
+  s.insert(pfx("10.0.0.0/24"));
+  s.insert(pfx("10.0.1.0/24"));
+  const auto is = s.to_interval_set();
+  EXPECT_EQ(is.address_count(), 512u);
+}
+
+}  // namespace
+}  // namespace spoofscope::trie

@@ -1,0 +1,121 @@
+#include "trie/prefix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/prefix.hpp"
+
+namespace spoofscope::trie {
+namespace {
+
+using net::Ipv4Addr;
+using net::pfx;
+
+TEST(PrefixTrie, EmptyTrieMatchesNothing) {
+  PrefixTrie<int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.match_longest(Ipv4Addr::from_octets(1, 2, 3, 4)), nullptr);
+  EXPECT_FALSE(t.covers(Ipv4Addr::from_octets(1, 2, 3, 4)));
+}
+
+TEST(PrefixTrie, InsertAndExactFind) {
+  PrefixTrie<std::string> t;
+  t.insert(pfx("10.0.0.0/8"), "ten");
+  ASSERT_NE(t.find_exact(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(*t.find_exact(pfx("10.0.0.0/8")), "ten");
+  EXPECT_EQ(t.find_exact(pfx("10.0.0.0/9")), nullptr);
+  EXPECT_EQ(t.find_exact(pfx("11.0.0.0/8")), nullptr);
+}
+
+TEST(PrefixTrie, InsertReplacesExisting) {
+  PrefixTrie<int> t;
+  t.insert(pfx("10.0.0.0/8"), 1);
+  t.insert(pfx("10.0.0.0/8"), 2);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.find_exact(pfx("10.0.0.0/8")), 2);
+}
+
+TEST(PrefixTrie, LongestPrefixMatchPicksMostSpecific) {
+  PrefixTrie<int> t;
+  t.insert(pfx("10.0.0.0/8"), 8);
+  t.insert(pfx("10.1.0.0/16"), 16);
+  t.insert(pfx("10.1.2.0/24"), 24);
+
+  const auto* m = t.match_longest(Ipv4Addr::from_octets(10, 1, 2, 3));
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->second, 24);
+
+  const auto* m2 = t.match_longest(Ipv4Addr::from_octets(10, 1, 9, 9));
+  ASSERT_NE(m2, nullptr);
+  EXPECT_EQ(m2->second, 16);
+
+  const auto* m3 = t.match_longest(Ipv4Addr::from_octets(10, 9, 9, 9));
+  ASSERT_NE(m3, nullptr);
+  EXPECT_EQ(m3->second, 8);
+
+  EXPECT_EQ(t.match_longest(Ipv4Addr::from_octets(11, 0, 0, 1)), nullptr);
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> t;
+  t.insert(pfx("0.0.0.0/0"), 0);
+  const auto* m = t.match_longest(Ipv4Addr::from_octets(200, 1, 2, 3));
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->first, pfx("0.0.0.0/0"));
+}
+
+TEST(PrefixTrie, HostRouteMatch) {
+  PrefixTrie<int> t;
+  t.insert(pfx("192.0.2.1/32"), 1);
+  EXPECT_TRUE(t.covers(Ipv4Addr::from_octets(192, 0, 2, 1)));
+  EXPECT_FALSE(t.covers(Ipv4Addr::from_octets(192, 0, 2, 2)));
+}
+
+TEST(PrefixTrie, SiblingPrefixesDontInterfere) {
+  PrefixTrie<int> t;
+  t.insert(pfx("10.0.0.0/9"), 0);
+  t.insert(pfx("10.128.0.0/9"), 1);
+  EXPECT_EQ(t.match_longest(Ipv4Addr::from_octets(10, 0, 0, 1))->second, 0);
+  EXPECT_EQ(t.match_longest(Ipv4Addr::from_octets(10, 200, 0, 1))->second, 1);
+}
+
+TEST(PrefixTrie, VisitSeesAllEntries) {
+  PrefixTrie<int> t;
+  t.insert(pfx("10.0.0.0/8"), 1);
+  t.insert(pfx("192.168.0.0/16"), 2);
+  int sum = 0;
+  std::size_t n = 0;
+  t.visit([&](const net::Prefix&, int v) {
+    sum += v;
+    ++n;
+  });
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(sum, 3);
+}
+
+TEST(PrefixTrie, SizeTracksDistinctPrefixes) {
+  PrefixTrie<int> t;
+  t.insert(pfx("10.0.0.0/8"), 1);
+  t.insert(pfx("10.0.0.0/16"), 2);
+  t.insert(pfx("10.0.0.0/8"), 3);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(PrefixTrie, MatchAtBoundaries) {
+  PrefixTrie<int> t;
+  t.insert(pfx("128.0.0.0/1"), 1);
+  EXPECT_TRUE(t.covers(Ipv4Addr(0x80000000u)));
+  EXPECT_TRUE(t.covers(Ipv4Addr(~0u)));
+  EXPECT_FALSE(t.covers(Ipv4Addr(0x7FFFFFFFu)));
+}
+
+TEST(PrefixTrie, NodeCountGrowsReasonably) {
+  PrefixTrie<int> t;
+  EXPECT_EQ(t.node_count(), 1u);  // root
+  t.insert(pfx("10.0.0.0/8"), 1);
+  EXPECT_EQ(t.node_count(), 9u);  // root + 8 levels
+}
+
+}  // namespace
+}  // namespace spoofscope::trie

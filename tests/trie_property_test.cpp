@@ -1,0 +1,141 @@
+// Property tests: the trie, the interval set and brute-force linear scans
+// must agree on coverage and accounting for randomly generated prefix
+// collections. Parameterized over seeds to sweep many random universes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "trie/interval_set.hpp"
+#include "trie/prefix_set.hpp"
+#include "trie/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace spoofscope::trie {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+std::vector<Prefix> random_prefixes(util::Rng& rng, std::size_t n) {
+  std::vector<Prefix> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_u32(4, 28));
+    out.emplace_back(Ipv4Addr(rng.next_u32()), len);
+  }
+  return out;
+}
+
+class TriePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriePropertyTest, TrieAgreesWithLinearScanOnCoverage) {
+  util::Rng rng(GetParam());
+  const auto prefixes = random_prefixes(rng, 200);
+  PrefixSet set;
+  for (const auto& p : prefixes) set.insert(p);
+
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4Addr a(rng.next_u32());
+    bool linear = false;
+    for (const auto& p : prefixes) {
+      if (p.contains(a)) {
+        linear = true;
+        break;
+      }
+    }
+    EXPECT_EQ(set.covers(a), linear) << a.str();
+  }
+}
+
+TEST_P(TriePropertyTest, IntervalSetAgreesWithTrieOnCoverage) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  const auto prefixes = random_prefixes(rng, 150);
+  PrefixSet set;
+  for (const auto& p : prefixes) set.insert(p);
+  const IntervalSet ivs = set.to_interval_set();
+
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4Addr a(rng.next_u32());
+    EXPECT_EQ(ivs.contains(a), set.covers(a)) << a.str();
+  }
+  // Also probe prefix boundaries, the most error-prone points.
+  for (const auto& p : prefixes) {
+    EXPECT_TRUE(ivs.contains(Ipv4Addr(p.first())));
+    EXPECT_TRUE(ivs.contains(Ipv4Addr(p.last())));
+  }
+}
+
+TEST_P(TriePropertyTest, LongestMatchIsMostSpecificCover) {
+  util::Rng rng(GetParam() ^ 0x777);
+  const auto prefixes = random_prefixes(rng, 100);
+  PrefixTrie<int> trie;
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    trie.insert(prefixes[i], static_cast<int>(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const Ipv4Addr a(rng.next_u32());
+    const auto* m = trie.match_longest(a);
+    int best_len = -1;
+    for (const auto& p : prefixes) {
+      if (p.contains(a)) best_len = std::max(best_len, int(p.length()));
+    }
+    if (best_len < 0) {
+      EXPECT_EQ(m, nullptr);
+    } else {
+      ASSERT_NE(m, nullptr);
+      EXPECT_EQ(int(m->first.length()), best_len);
+      EXPECT_TRUE(m->first.contains(a));
+    }
+  }
+}
+
+TEST_P(TriePropertyTest, ToPrefixesRoundTripsExactly) {
+  util::Rng rng(GetParam() ^ 0x5151);
+  const auto prefixes = random_prefixes(rng, 120);
+  const auto ivs = IntervalSet::from_prefixes(prefixes);
+  const auto decomposed = ivs.to_prefixes();
+  const auto round = IntervalSet::from_prefixes(decomposed);
+  EXPECT_EQ(round, ivs);
+  // Decomposition must be disjoint.
+  std::uint64_t total = 0;
+  for (const auto& p : decomposed) total += p.num_addresses();
+  EXPECT_EQ(total, ivs.address_count());
+}
+
+TEST_P(TriePropertyTest, SetAlgebraIdentities) {
+  util::Rng rng(GetParam() ^ 0x9e9e);
+  const auto a = IntervalSet::from_prefixes(random_prefixes(rng, 60));
+  const auto b = IntervalSet::from_prefixes(random_prefixes(rng, 60));
+
+  // |A| + |B| = |A∪B| + |A∩B|
+  EXPECT_EQ(a.address_count() + b.address_count(),
+            a.unite(b).address_count() + a.intersect(b).address_count());
+  // A \ B = A ∩ complement(B)  (check via counting: |A\B| = |A| - |A∩B|)
+  EXPECT_EQ(a.subtract(b).address_count(),
+            a.address_count() - a.intersect(b).address_count());
+  // (A \ B) ∩ B = ∅
+  EXPECT_TRUE(a.subtract(b).intersect(b).empty());
+  // (A \ B) ∪ (A ∩ B) = A
+  EXPECT_EQ(a.subtract(b).unite(a.intersect(b)), a);
+}
+
+TEST_P(TriePropertyTest, IncrementalAddEqualsBulkBuild) {
+  util::Rng rng(GetParam() ^ 0x1331);
+  std::vector<Interval> ivs;
+  IntervalSet incremental;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t lo = rng.next_u32();
+    const std::uint32_t span = rng.uniform_u32(0, 1 << 20);
+    const std::uint32_t hi = (lo > ~0u - span) ? ~0u : lo + span;
+    ivs.push_back({lo, hi});
+    incremental.add(lo, hi);
+  }
+  EXPECT_EQ(incremental, IntervalSet::from_intervals(ivs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace spoofscope::trie

@@ -1,0 +1,71 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spoofscope::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, CommaQuoted) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuoteDoubled) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"a", "b,c"});
+  w.row_of("x", 42, 2.5);
+  const std::string expected_prefix = "a,\"b,c\"\nx,42,";
+  EXPECT_EQ(os.str().substr(0, expected_prefix.size()), expected_prefix);
+}
+
+TEST(CsvParse, SimpleLine) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(csv_parse_line("a,b,c", fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvParse, EmptyFields) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(csv_parse_line("a,,c,", fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "", "c", ""}));
+}
+
+TEST(CsvParse, QuotedCommaAndEscapedQuote) {
+  std::vector<std::string> fields;
+  ASSERT_TRUE(csv_parse_line("\"a,b\",\"x\"\"y\"", fields));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a,b", "x\"y"}));
+}
+
+TEST(CsvParse, UnterminatedQuoteFails) {
+  std::vector<std::string> fields;
+  EXPECT_FALSE(csv_parse_line("\"abc", fields));
+}
+
+TEST(CsvParse, RoundTripThroughEscape) {
+  const std::vector<std::string> original{"plain", "with,comma", "with\"quote", ""};
+  std::string line;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (i) line += ',';
+    line += csv_escape(original[i]);
+  }
+  std::vector<std::string> parsed;
+  ASSERT_TRUE(csv_parse_line(line, parsed));
+  EXPECT_EQ(parsed, original);
+}
+
+}  // namespace
+}  // namespace spoofscope::util

@@ -1,0 +1,47 @@
+#include "util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spoofscope::util {
+namespace {
+
+TEST(HumanCount, SmallValuesPlain) {
+  EXPECT_EQ(human_count(0), "0");
+  EXPECT_EQ(human_count(999), "999");
+}
+
+TEST(HumanCount, ScalesWithSuffix) {
+  EXPECT_EQ(human_count(1234), "1.23K");
+  EXPECT_EQ(human_count(2.0e12), "2.00T");
+  EXPECT_EQ(human_count(3.05e15), "3.05P");
+}
+
+TEST(HumanBytes, SuffixB) {
+  EXPECT_EQ(human_bytes(500), "500B");
+  EXPECT_EQ(human_bytes(92.65e12), "92.65TB");
+}
+
+TEST(Percent, AdaptivePrecision) {
+  EXPECT_EQ(percent(0.0129), "1.29%");
+  EXPECT_EQ(percent(0.0), "0.00%");
+  EXPECT_EQ(percent(0.0000310), "0.0031%");
+}
+
+TEST(Percent, TinyValuesScientific) {
+  const std::string s = percent(3.1e-7);
+  EXPECT_NE(s.find("e-05"), std::string::npos);
+}
+
+TEST(Fixed, Digits) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+}
+
+}  // namespace
+}  // namespace spoofscope::util

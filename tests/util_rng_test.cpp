@@ -1,0 +1,197 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace spoofscope::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto x0 = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), x0);
+}
+
+TEST(Rng, UniformU64RespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformU64SingletonRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_u64(5, 5), 5u);
+}
+
+TEST(Rng, UniformU64FullRangeDoesNotHang) {
+  Rng rng(3);
+  (void)rng.uniform_u64(0, ~0ULL);
+}
+
+TEST(Rng, UniformU64CoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(Rng, ParetoLowerBound) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(3.0, 1.5), 3.0);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(5);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.next_u64() == c2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, IndexWithinBounds) {
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(13), 13u);
+}
+
+TEST(Zipf, SingleElementAlwaysZero) {
+  Rng rng(41);
+  ZipfDistribution z(1, 1.0);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(z(rng), 0u);
+}
+
+TEST(Zipf, RankOrderingOfFrequencies) {
+  Rng rng(43);
+  ZipfDistribution z(10, 1.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z(rng)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  Rng rng(47);
+  ZipfDistribution z(5, 0.0);
+  std::vector<int> counts(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z(rng)];
+  for (int c : counts) EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfDistribution z(100, 1.2);
+  double sum = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) sum += z.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, RejectsEmpty) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+}
+
+TEST(Discrete, MatchesWeights) {
+  Rng rng(53);
+  const std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+  DiscreteDistribution d(w);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[d(rng)];
+  EXPECT_NEAR(counts[0] / double(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / double(n), 0.3, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / double(n), 0.6, 0.01);
+}
+
+TEST(Discrete, RejectsAllZero) {
+  const std::vector<double> w{0.0, 0.0};
+  EXPECT_THROW(DiscreteDistribution{w}, std::invalid_argument);
+}
+
+TEST(Discrete, RejectsNegative) {
+  const std::vector<double> w{1.0, -0.5};
+  EXPECT_THROW(DiscreteDistribution{w}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spoofscope::util

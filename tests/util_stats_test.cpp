@@ -1,0 +1,162 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spoofscope::util {
+namespace {
+
+TEST(Summary, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.sum, 10.0);
+  EXPECT_NEAR(s.stddev, 1.118, 1e-3);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  const std::vector<double> xs{5, 1, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> xs{7, 2, 9};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 9.0);
+}
+
+TEST(Quantile, ClampsOutOfRangeQ) {
+  const std::vector<double> xs{1, 2};
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 2.0);
+}
+
+TEST(Cdf, StepsAtDistinctValues) {
+  const std::vector<double> xs{1, 1, 2, 3};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].y, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[1].y, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].y, 1.0);
+}
+
+TEST(Ccdf, ComplementOfCdf) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const auto ccdf = empirical_ccdf(xs);
+  ASSERT_EQ(ccdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(ccdf[0].y, 0.75);
+  EXPECT_DOUBLE_EQ(ccdf[3].y, 0.0);
+}
+
+TEST(Cdf, EmptyInput) {
+  EXPECT_TRUE(empirical_cdf({}).empty());
+  EXPECT_TRUE(empirical_ccdf({}).empty());
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(9.9);
+  h.add(-5.0);   // clamps into first bin
+  h.add(100.0);  // clamps into last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1, 3.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 3.0);
+}
+
+TEST(Histogram, FractionOfEmptyIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogram, PowersLandInExpectedBins) {
+  LogHistogram h(10.0, 6);
+  h.add(0.0);    // bin 0: [0,1)
+  h.add(5.0);    // bin 1: [1,10)
+  h.add(50.0);   // bin 2: [10,100)
+  h.add(1e9);    // clamps into last bin
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(5), 1.0);
+}
+
+TEST(LogHistogram, BinLowerEdges) {
+  LogHistogram h(10.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 100.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{3, 2, 1};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputsReturnZero) {
+  const std::vector<double> xs{1, 1, 1};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+  EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+}
+
+TEST(Gini, UniformIsZero) {
+  const std::vector<double> xs{5, 5, 5, 5};
+  EXPECT_NEAR(gini(xs), 0.0, 1e-12);
+}
+
+TEST(Gini, FullConcentrationApproachesOne) {
+  std::vector<double> xs(100, 0.0);
+  xs[0] = 1000.0;
+  EXPECT_GT(gini(xs), 0.98);
+}
+
+TEST(Gini, EmptyAndZeroInputs) {
+  EXPECT_DOUBLE_EQ(gini({}), 0.0);
+  const std::vector<double> zeros{0, 0};
+  EXPECT_DOUBLE_EQ(gini(zeros), 0.0);
+}
+
+}  // namespace
+}  // namespace spoofscope::util

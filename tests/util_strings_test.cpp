@@ -1,0 +1,82 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace spoofscope::util {
+namespace {
+
+TEST(Split, BasicSplit) {
+  const auto parts = split("a.b.c", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a..b.", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoDelimiterYieldsWhole) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, EmptyInput) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hi\t\n"), "hi");
+  EXPECT_EQ(trim("hi"), "hi");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Join, JoinsWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(ParseU64, ValidNumbers) {
+  std::uint64_t v;
+  ASSERT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, ~0ULL);
+}
+
+TEST(ParseU64, RejectsGarbage) {
+  std::uint64_t v;
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("12a", v));
+  EXPECT_FALSE(parse_u64("-1", v));
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // overflow
+}
+
+TEST(ParseU32, RangeChecked) {
+  std::uint32_t v;
+  ASSERT_TRUE(parse_u32("4294967295", v));
+  EXPECT_EQ(v, ~0u);
+  EXPECT_FALSE(parse_u32("4294967296", v));
+}
+
+TEST(AllDigits, Classification) {
+  EXPECT_TRUE(all_digits("0123"));
+  EXPECT_FALSE(all_digits(""));
+  EXPECT_FALSE(all_digits("12 "));
+  EXPECT_FALSE(all_digits("1.2"));
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC-123"), "abc-123");
+}
+
+}  // namespace
+}  // namespace spoofscope::util

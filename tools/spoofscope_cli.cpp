@@ -1,0 +1,275 @@
+// spoofscope — command-line front end.
+//
+// Operates purely on files, so it works on real captured data just as on
+// simulated artifacts:
+//
+//   spoofscope generate --out DIR [--seed N] [--paper]
+//       Simulate a world and write its artifacts: topology.txt,
+//       ixp.trace (binary flows), route-server.mrt and collector MRT
+//       feeds, registry.rpsl.
+//
+//   spoofscope classify --mrt FILE[,FILE...] --trace FILE
+//              [--rpsl FILE] [--method METHOD] [--labels OUT.csv]
+//       Build the routing view from MRT-lite feeds, infer per-member
+//       valid space, classify every flow (Fig 3) and print Table-1-style
+//       totals. METHOD is one of: naive, cc, cc+org, full, full+org
+//       (default full+org). --rpsl whitelists provider-assigned ranges
+//       and documented links before classification (Sec 4.4).
+//
+//   spoofscope report --mrt FILE[,FILE...] --trace FILE [--rpsl FILE]
+//       Full study output: Table 1 column (chosen method), Venn, member
+//       share quantiles and the NTP attack summary.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/attack_patterns.hpp"
+#include "analysis/filtering_strategy.hpp"
+#include "analysis/member_stats.hpp"
+#include "analysis/table1.hpp"
+#include "analysis/venn.hpp"
+#include "bgp/mrt_lite.hpp"
+#include "bgp/simulator.hpp"
+#include "classify/pipeline.hpp"
+#include "data/rpsl.hpp"
+#include "inference/builder.hpp"
+#include "net/trace.hpp"
+#include "scenario/scenario.hpp"
+#include "topo/serialize.hpp"
+#include "util/format.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace spoofscope;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  spoofscope generate --out DIR [--seed N] [--paper]\n"
+      "  spoofscope classify --mrt FILES --trace FILE [--rpsl FILE]\n"
+      "                      [--method naive|cc|cc+org|full|full+org]\n"
+      "                      [--labels OUT.csv]\n"
+      "  spoofscope report   --mrt FILES --trace FILE [--rpsl FILE]\n";
+  std::exit(error.empty() ? 0 : 2);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) {
+  std::map<std::string, std::string> flags;
+  for (int i = from; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage("unexpected argument: " + key);
+    key = key.substr(2);
+    if (key == "paper") {
+      flags[key] = "1";
+    } else if (i + 1 < argc) {
+      flags[key] = argv[++i];
+    } else {
+      usage("missing value for --" + key);
+    }
+  }
+  return flags;
+}
+
+inference::Method method_from(const std::string& name) {
+  if (name == "naive") return inference::Method::kNaive;
+  if (name == "cc") return inference::Method::kCustomerCone;
+  if (name == "cc+org") return inference::Method::kCustomerConeOrg;
+  if (name == "full") return inference::Method::kFullCone;
+  if (name == "full+org") return inference::Method::kFullConeOrg;
+  usage("unknown method: " + name);
+}
+
+/// Shared loading for classify/report.
+struct LoadedWorld {
+  bgp::RoutingTable table;
+  net::Trace trace;
+  std::optional<data::WhoisRegistry> whois;
+};
+
+LoadedWorld load(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("mrt")) usage("--mrt is required");
+  if (!flags.count("trace")) usage("--trace is required");
+
+  LoadedWorld world;
+  bgp::RoutingTableBuilder builder;
+  for (const auto part : util::split(flags.at("mrt"), ',')) {
+    std::ifstream in{std::string(part)};
+    if (!in) usage("cannot open MRT file: " + std::string(part));
+    builder.ingest(bgp::read_mrt(in));
+  }
+  world.table = builder.build();
+
+  std::ifstream tin(flags.at("trace"), std::ios::binary);
+  if (!tin) usage("cannot open trace file: " + flags.at("trace"));
+  world.trace = net::read_trace(tin);
+
+  if (flags.count("rpsl")) {
+    std::ifstream rin(flags.at("rpsl"));
+    if (!rin) usage("cannot open RPSL file: " + flags.at("rpsl"));
+    world.whois = data::registry_from_rpsl(data::parse_rpsl(rin));
+  }
+  return world;
+}
+
+std::vector<net::Asn> members_of(const net::Trace& trace) {
+  std::vector<net::Asn> members;
+  for (const auto& f : trace.flows) members.push_back(f.member_in);
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  return members;
+}
+
+int cmd_generate(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("out")) usage("--out is required");
+  const std::string dir = flags.at("out");
+  std::filesystem::create_directories(dir);
+
+  scenario::ScenarioParams params = flags.count("paper")
+                                        ? scenario::ScenarioParams::paper()
+                                        : scenario::ScenarioParams::small();
+  if (flags.count("seed")) {
+    params.seed = std::strtoull(flags.at("seed").c_str(), nullptr, 10);
+  }
+  const auto world = scenario::build_scenario(params);
+
+  {
+    std::ofstream out(dir + "/topology.txt");
+    topo::write_topology(out, world->topology());
+  }
+  {
+    std::ofstream out(dir + "/ixp.trace", std::ios::binary);
+    net::write_trace(out, world->trace());
+  }
+  {
+    const bgp::Simulator sim(world->topology());
+    const auto plan =
+        bgp::make_announcement_plan(world->topology(), params.plan,
+                                    params.seed ^ 0xb1a);
+    const bgp::RouteFabric fabric(sim, plan);
+    bgp::CollectorSpec rs;
+    rs.name = "ixp-route-server";
+    rs.feeders = world->ixp().route_server_feeders();
+    rs.full_feed = false;
+    std::ofstream out(dir + "/route-server.mrt");
+    bgp::collect_records(fabric, rs, [&out](const bgp::MrtRecord& r) {
+      std::visit([&out](const auto& rec) { out << bgp::to_mrt_line(rec) << '\n'; },
+                 r);
+    });
+  }
+  {
+    std::ofstream out(dir + "/registry.rpsl");
+    out << data::registry_to_rpsl(world->whois());
+  }
+  std::cout << "wrote topology.txt, ixp.trace, route-server.mrt, registry.rpsl"
+            << " to " << dir << "\n"
+            << "  " << world->topology().as_count() << " ASes, "
+            << world->ixp().member_count() << " members, "
+            << world->trace().flows.size() << " sampled flows\n";
+  return 0;
+}
+
+int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
+  auto world = load(flags);
+  const auto method = method_from(
+      flags.count("method") ? flags.at("method") : std::string("full+org"));
+
+  const auto members = members_of(world.trace);
+  inference::ValidSpaceFactory factory(world.table, asgraph::OrgMap{});
+  std::vector<inference::ValidSpace> spaces;
+  spaces.push_back(factory.build(method, members));
+  classify::Classifier classifier(world.table, std::move(spaces));
+
+  // RPSL whitelist (Sec 4.4) applied up front.
+  if (world.whois) {
+    auto& space = classifier.mutable_space(0);
+    for (const net::Asn m : members) {
+      std::vector<net::Prefix> extra = world.whois->provider_assigned_of(m);
+      if (!extra.empty()) {
+        space.extend(m, trie::IntervalSet::from_prefixes(extra));
+      }
+    }
+  }
+
+  const auto labels = classify::classify_trace(classifier, world.trace.flows);
+
+  // Totals.
+  const auto agg =
+      classify::aggregate_classes(classifier, world.trace.flows, labels);
+  std::cout << "classified " << world.trace.flows.size() << " flows from "
+            << members.size() << " members under "
+            << inference::method_name(method) << " (routing view: "
+            << world.table.prefixes().size() << " prefixes)\n\n";
+  static const char* kClassNames[] = {"Bogon", "Unrouted", "Invalid", "Valid"};
+  for (int c = 0; c < classify::kNumClasses; ++c) {
+    const auto& cell = agg.totals[0][c];
+    std::cout << "  " << util::pad_right(kClassNames[c], 9)
+              << util::pad_left(std::to_string(cell.members) + " members", 14)
+              << util::pad_left(util::human_count(cell.packets) + " pkts", 15)
+              << util::pad_left(util::percent(cell.packets / agg.total_packets),
+                                10)
+              << util::pad_left(util::human_bytes(cell.bytes), 12) << "\n";
+  }
+
+  if (flags.count("labels")) {
+    std::ofstream out(flags.at("labels"));
+    out << "ts,src,dst,member,class\n";
+    for (std::size_t i = 0; i < world.trace.flows.size(); ++i) {
+      const auto& f = world.trace.flows[i];
+      out << f.ts << ',' << f.src.str() << ',' << f.dst.str() << ','
+          << f.member_in << ','
+          << classify::class_name(classify::Classifier::unpack(labels[i], 0))
+          << '\n';
+    }
+    std::cout << "\nper-flow labels written to " << flags.at("labels") << "\n";
+  }
+
+  if (report) {
+    // Member-level analyses (no IXP metadata available from files: types
+    // default to Other).
+    const ixp::Ixp no_ixp;  // empty: member types unknown from files
+    const auto counts =
+        analysis::per_member_counts(world.trace.flows, labels, 0, no_ixp);
+    std::cout << "\n" << analysis::format_venn(analysis::venn_membership(counts));
+    std::map<analysis::FilteringStrategy, std::size_t> strategies;
+    for (const auto& mc : counts) {
+      ++strategies[analysis::deduce_strategy(mc)];
+    }
+    std::cout << "\nDeduced filtering strategies:\n";
+    for (const auto& [s, n] : strategies) {
+      std::cout << "  " << util::pad_right(analysis::strategy_name(s), 18) << n
+                << "\n";
+    }
+    const auto ntp = analysis::analyze_ntp(world.trace.flows, labels, 0);
+    std::cout << "\nNTP amplification: " << ntp.trigger_packets
+              << " trigger pkts from " << ntp.distinct_victims
+              << " victim IPs towards " << ntp.amplifiers_contacted
+              << " amplifiers; top member share "
+              << util::percent(ntp.top_member_share) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  try {
+    if (cmd == "generate") return cmd_generate(flags);
+    if (cmd == "classify") return cmd_classify(flags, /*report=*/false);
+    if (cmd == "report") return cmd_classify(flags, /*report=*/true);
+    if (cmd == "help" || cmd == "--help") usage();
+    usage("unknown command: " + cmd);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
