@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_addr_structure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_valid_space.dir/bench_fig2_valid_space.cpp.o"
+  "CMakeFiles/bench_fig2_valid_space.dir/bench_fig2_valid_space.cpp.o.d"
+  "bench_fig2_valid_space"
+  "bench_fig2_valid_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_valid_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

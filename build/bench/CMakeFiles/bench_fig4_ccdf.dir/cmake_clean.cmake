@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ccdf.dir/bench_fig4_ccdf.cpp.o"
+  "CMakeFiles/bench_fig4_ccdf.dir/bench_fig4_ccdf.cpp.o.d"
+  "bench_fig4_ccdf"
+  "bench_fig4_ccdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ccdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

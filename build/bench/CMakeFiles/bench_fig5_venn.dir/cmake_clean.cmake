@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_venn.dir/bench_fig5_venn.cpp.o"
+  "CMakeFiles/bench_fig5_venn.dir/bench_fig5_venn.cpp.o.d"
+  "bench_fig5_venn"
+  "bench_fig5_venn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_venn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

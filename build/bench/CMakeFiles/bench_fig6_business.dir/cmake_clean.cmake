@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_business.dir/bench_fig6_business.cpp.o"
+  "CMakeFiles/bench_fig6_business.dir/bench_fig6_business.cpp.o.d"
+  "bench_fig6_business"
+  "bench_fig6_business.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_business.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

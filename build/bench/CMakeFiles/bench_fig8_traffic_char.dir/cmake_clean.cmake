@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_traffic_char.dir/bench_fig8_traffic_char.cpp.o"
+  "CMakeFiles/bench_fig8_traffic_char.dir/bench_fig8_traffic_char.cpp.o.d"
+  "bench_fig8_traffic_char"
+  "bench_fig8_traffic_char.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_traffic_char.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

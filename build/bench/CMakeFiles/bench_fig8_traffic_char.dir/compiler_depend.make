@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8_traffic_char.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_portmix.dir/bench_fig9_portmix.cpp.o"
+  "CMakeFiles/bench_fig9_portmix.dir/bench_fig9_portmix.cpp.o.d"
+  "bench_fig9_portmix"
+  "bench_fig9_portmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_portmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_method_eval.dir/bench_method_eval.cpp.o"
+  "CMakeFiles/bench_method_eval.dir/bench_method_eval.cpp.o.d"
+  "bench_method_eval"
+  "bench_method_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_method_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec45_spoofer.dir/bench_sec45_spoofer.cpp.o"
+  "CMakeFiles/bench_sec45_spoofer.dir/bench_sec45_spoofer.cpp.o.d"
+  "bench_sec45_spoofer"
+  "bench_sec45_spoofer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec45_spoofer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ixp_study.dir/ixp_study.cpp.o"
+  "CMakeFiles/ixp_study.dir/ixp_study.cpp.o.d"
+  "ixp_study"
+  "ixp_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ixp_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

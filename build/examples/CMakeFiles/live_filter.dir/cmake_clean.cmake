@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_filter.dir/live_filter.cpp.o"
+  "CMakeFiles/live_filter.dir/live_filter.cpp.o.d"
+  "live_filter"
+  "live_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/addr_structure.cpp" "src/CMakeFiles/spoofscope_analysis.dir/analysis/addr_structure.cpp.o" "gcc" "src/CMakeFiles/spoofscope_analysis.dir/analysis/addr_structure.cpp.o.d"
+  "/root/repo/src/analysis/attack_patterns.cpp" "src/CMakeFiles/spoofscope_analysis.dir/analysis/attack_patterns.cpp.o" "gcc" "src/CMakeFiles/spoofscope_analysis.dir/analysis/attack_patterns.cpp.o.d"
+  "/root/repo/src/analysis/business.cpp" "src/CMakeFiles/spoofscope_analysis.dir/analysis/business.cpp.o" "gcc" "src/CMakeFiles/spoofscope_analysis.dir/analysis/business.cpp.o.d"
+  "/root/repo/src/analysis/export.cpp" "src/CMakeFiles/spoofscope_analysis.dir/analysis/export.cpp.o" "gcc" "src/CMakeFiles/spoofscope_analysis.dir/analysis/export.cpp.o.d"
+  "/root/repo/src/analysis/filtering_strategy.cpp" "src/CMakeFiles/spoofscope_analysis.dir/analysis/filtering_strategy.cpp.o" "gcc" "src/CMakeFiles/spoofscope_analysis.dir/analysis/filtering_strategy.cpp.o.d"
+  "/root/repo/src/analysis/incidents.cpp" "src/CMakeFiles/spoofscope_analysis.dir/analysis/incidents.cpp.o" "gcc" "src/CMakeFiles/spoofscope_analysis.dir/analysis/incidents.cpp.o.d"
+  "/root/repo/src/analysis/member_stats.cpp" "src/CMakeFiles/spoofscope_analysis.dir/analysis/member_stats.cpp.o" "gcc" "src/CMakeFiles/spoofscope_analysis.dir/analysis/member_stats.cpp.o.d"
+  "/root/repo/src/analysis/method_eval.cpp" "src/CMakeFiles/spoofscope_analysis.dir/analysis/method_eval.cpp.o" "gcc" "src/CMakeFiles/spoofscope_analysis.dir/analysis/method_eval.cpp.o.d"
+  "/root/repo/src/analysis/portmix.cpp" "src/CMakeFiles/spoofscope_analysis.dir/analysis/portmix.cpp.o" "gcc" "src/CMakeFiles/spoofscope_analysis.dir/analysis/portmix.cpp.o.d"
+  "/root/repo/src/analysis/spoofer_crosscheck.cpp" "src/CMakeFiles/spoofscope_analysis.dir/analysis/spoofer_crosscheck.cpp.o" "gcc" "src/CMakeFiles/spoofscope_analysis.dir/analysis/spoofer_crosscheck.cpp.o.d"
+  "/root/repo/src/analysis/table1.cpp" "src/CMakeFiles/spoofscope_analysis.dir/analysis/table1.cpp.o" "gcc" "src/CMakeFiles/spoofscope_analysis.dir/analysis/table1.cpp.o.d"
+  "/root/repo/src/analysis/traffic_char.cpp" "src/CMakeFiles/spoofscope_analysis.dir/analysis/traffic_char.cpp.o" "gcc" "src/CMakeFiles/spoofscope_analysis.dir/analysis/traffic_char.cpp.o.d"
+  "/root/repo/src/analysis/venn.cpp" "src/CMakeFiles/spoofscope_analysis.dir/analysis/venn.cpp.o" "gcc" "src/CMakeFiles/spoofscope_analysis.dir/analysis/venn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spoofscope_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_asgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofscope_analysis.dir/analysis/addr_structure.cpp.o"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/addr_structure.cpp.o.d"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/attack_patterns.cpp.o"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/attack_patterns.cpp.o.d"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/business.cpp.o"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/business.cpp.o.d"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/export.cpp.o"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/export.cpp.o.d"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/filtering_strategy.cpp.o"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/filtering_strategy.cpp.o.d"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/incidents.cpp.o"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/incidents.cpp.o.d"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/member_stats.cpp.o"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/member_stats.cpp.o.d"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/method_eval.cpp.o"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/method_eval.cpp.o.d"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/portmix.cpp.o"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/portmix.cpp.o.d"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/spoofer_crosscheck.cpp.o"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/spoofer_crosscheck.cpp.o.d"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/table1.cpp.o"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/table1.cpp.o.d"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/traffic_char.cpp.o"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/traffic_char.cpp.o.d"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/venn.cpp.o"
+  "CMakeFiles/spoofscope_analysis.dir/analysis/venn.cpp.o.d"
+  "libspoofscope_analysis.a"
+  "libspoofscope_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofscope_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asgraph/customer_cone.cpp" "src/CMakeFiles/spoofscope_asgraph.dir/asgraph/customer_cone.cpp.o" "gcc" "src/CMakeFiles/spoofscope_asgraph.dir/asgraph/customer_cone.cpp.o.d"
+  "/root/repo/src/asgraph/full_cone.cpp" "src/CMakeFiles/spoofscope_asgraph.dir/asgraph/full_cone.cpp.o" "gcc" "src/CMakeFiles/spoofscope_asgraph.dir/asgraph/full_cone.cpp.o.d"
+  "/root/repo/src/asgraph/graph.cpp" "src/CMakeFiles/spoofscope_asgraph.dir/asgraph/graph.cpp.o" "gcc" "src/CMakeFiles/spoofscope_asgraph.dir/asgraph/graph.cpp.o.d"
+  "/root/repo/src/asgraph/org_merge.cpp" "src/CMakeFiles/spoofscope_asgraph.dir/asgraph/org_merge.cpp.o" "gcc" "src/CMakeFiles/spoofscope_asgraph.dir/asgraph/org_merge.cpp.o.d"
+  "/root/repo/src/asgraph/relationship.cpp" "src/CMakeFiles/spoofscope_asgraph.dir/asgraph/relationship.cpp.o" "gcc" "src/CMakeFiles/spoofscope_asgraph.dir/asgraph/relationship.cpp.o.d"
+  "/root/repo/src/asgraph/scc.cpp" "src/CMakeFiles/spoofscope_asgraph.dir/asgraph/scc.cpp.o" "gcc" "src/CMakeFiles/spoofscope_asgraph.dir/asgraph/scc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spoofscope_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofscope_asgraph.dir/asgraph/customer_cone.cpp.o"
+  "CMakeFiles/spoofscope_asgraph.dir/asgraph/customer_cone.cpp.o.d"
+  "CMakeFiles/spoofscope_asgraph.dir/asgraph/full_cone.cpp.o"
+  "CMakeFiles/spoofscope_asgraph.dir/asgraph/full_cone.cpp.o.d"
+  "CMakeFiles/spoofscope_asgraph.dir/asgraph/graph.cpp.o"
+  "CMakeFiles/spoofscope_asgraph.dir/asgraph/graph.cpp.o.d"
+  "CMakeFiles/spoofscope_asgraph.dir/asgraph/org_merge.cpp.o"
+  "CMakeFiles/spoofscope_asgraph.dir/asgraph/org_merge.cpp.o.d"
+  "CMakeFiles/spoofscope_asgraph.dir/asgraph/relationship.cpp.o"
+  "CMakeFiles/spoofscope_asgraph.dir/asgraph/relationship.cpp.o.d"
+  "CMakeFiles/spoofscope_asgraph.dir/asgraph/scc.cpp.o"
+  "CMakeFiles/spoofscope_asgraph.dir/asgraph/scc.cpp.o.d"
+  "libspoofscope_asgraph.a"
+  "libspoofscope_asgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofscope_asgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/as_path.cpp" "src/CMakeFiles/spoofscope_bgp.dir/bgp/as_path.cpp.o" "gcc" "src/CMakeFiles/spoofscope_bgp.dir/bgp/as_path.cpp.o.d"
+  "/root/repo/src/bgp/collector.cpp" "src/CMakeFiles/spoofscope_bgp.dir/bgp/collector.cpp.o" "gcc" "src/CMakeFiles/spoofscope_bgp.dir/bgp/collector.cpp.o.d"
+  "/root/repo/src/bgp/message.cpp" "src/CMakeFiles/spoofscope_bgp.dir/bgp/message.cpp.o" "gcc" "src/CMakeFiles/spoofscope_bgp.dir/bgp/message.cpp.o.d"
+  "/root/repo/src/bgp/mrt_lite.cpp" "src/CMakeFiles/spoofscope_bgp.dir/bgp/mrt_lite.cpp.o" "gcc" "src/CMakeFiles/spoofscope_bgp.dir/bgp/mrt_lite.cpp.o.d"
+  "/root/repo/src/bgp/routing_table.cpp" "src/CMakeFiles/spoofscope_bgp.dir/bgp/routing_table.cpp.o" "gcc" "src/CMakeFiles/spoofscope_bgp.dir/bgp/routing_table.cpp.o.d"
+  "/root/repo/src/bgp/simulator.cpp" "src/CMakeFiles/spoofscope_bgp.dir/bgp/simulator.cpp.o" "gcc" "src/CMakeFiles/spoofscope_bgp.dir/bgp/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spoofscope_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofscope_bgp.dir/bgp/as_path.cpp.o"
+  "CMakeFiles/spoofscope_bgp.dir/bgp/as_path.cpp.o.d"
+  "CMakeFiles/spoofscope_bgp.dir/bgp/collector.cpp.o"
+  "CMakeFiles/spoofscope_bgp.dir/bgp/collector.cpp.o.d"
+  "CMakeFiles/spoofscope_bgp.dir/bgp/message.cpp.o"
+  "CMakeFiles/spoofscope_bgp.dir/bgp/message.cpp.o.d"
+  "CMakeFiles/spoofscope_bgp.dir/bgp/mrt_lite.cpp.o"
+  "CMakeFiles/spoofscope_bgp.dir/bgp/mrt_lite.cpp.o.d"
+  "CMakeFiles/spoofscope_bgp.dir/bgp/routing_table.cpp.o"
+  "CMakeFiles/spoofscope_bgp.dir/bgp/routing_table.cpp.o.d"
+  "CMakeFiles/spoofscope_bgp.dir/bgp/simulator.cpp.o"
+  "CMakeFiles/spoofscope_bgp.dir/bgp/simulator.cpp.o.d"
+  "libspoofscope_bgp.a"
+  "libspoofscope_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofscope_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/classifier.cpp" "src/CMakeFiles/spoofscope_classify.dir/classify/classifier.cpp.o" "gcc" "src/CMakeFiles/spoofscope_classify.dir/classify/classifier.cpp.o.d"
+  "/root/repo/src/classify/fp_hunter.cpp" "src/CMakeFiles/spoofscope_classify.dir/classify/fp_hunter.cpp.o" "gcc" "src/CMakeFiles/spoofscope_classify.dir/classify/fp_hunter.cpp.o.d"
+  "/root/repo/src/classify/pipeline.cpp" "src/CMakeFiles/spoofscope_classify.dir/classify/pipeline.cpp.o" "gcc" "src/CMakeFiles/spoofscope_classify.dir/classify/pipeline.cpp.o.d"
+  "/root/repo/src/classify/router_tagger.cpp" "src/CMakeFiles/spoofscope_classify.dir/classify/router_tagger.cpp.o" "gcc" "src/CMakeFiles/spoofscope_classify.dir/classify/router_tagger.cpp.o.d"
+  "/root/repo/src/classify/streaming.cpp" "src/CMakeFiles/spoofscope_classify.dir/classify/streaming.cpp.o" "gcc" "src/CMakeFiles/spoofscope_classify.dir/classify/streaming.cpp.o.d"
+  "/root/repo/src/classify/urpf.cpp" "src/CMakeFiles/spoofscope_classify.dir/classify/urpf.cpp.o" "gcc" "src/CMakeFiles/spoofscope_classify.dir/classify/urpf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spoofscope_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_asgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofscope_classify.dir/classify/classifier.cpp.o"
+  "CMakeFiles/spoofscope_classify.dir/classify/classifier.cpp.o.d"
+  "CMakeFiles/spoofscope_classify.dir/classify/fp_hunter.cpp.o"
+  "CMakeFiles/spoofscope_classify.dir/classify/fp_hunter.cpp.o.d"
+  "CMakeFiles/spoofscope_classify.dir/classify/pipeline.cpp.o"
+  "CMakeFiles/spoofscope_classify.dir/classify/pipeline.cpp.o.d"
+  "CMakeFiles/spoofscope_classify.dir/classify/router_tagger.cpp.o"
+  "CMakeFiles/spoofscope_classify.dir/classify/router_tagger.cpp.o.d"
+  "CMakeFiles/spoofscope_classify.dir/classify/streaming.cpp.o"
+  "CMakeFiles/spoofscope_classify.dir/classify/streaming.cpp.o.d"
+  "CMakeFiles/spoofscope_classify.dir/classify/urpf.cpp.o"
+  "CMakeFiles/spoofscope_classify.dir/classify/urpf.cpp.o.d"
+  "libspoofscope_classify.a"
+  "libspoofscope_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofscope_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for spoofscope_classify.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/ark.cpp" "src/CMakeFiles/spoofscope_data.dir/data/ark.cpp.o" "gcc" "src/CMakeFiles/spoofscope_data.dir/data/ark.cpp.o.d"
+  "/root/repo/src/data/as2org.cpp" "src/CMakeFiles/spoofscope_data.dir/data/as2org.cpp.o" "gcc" "src/CMakeFiles/spoofscope_data.dir/data/as2org.cpp.o.d"
+  "/root/repo/src/data/rpsl.cpp" "src/CMakeFiles/spoofscope_data.dir/data/rpsl.cpp.o" "gcc" "src/CMakeFiles/spoofscope_data.dir/data/rpsl.cpp.o.d"
+  "/root/repo/src/data/spoofer.cpp" "src/CMakeFiles/spoofscope_data.dir/data/spoofer.cpp.o" "gcc" "src/CMakeFiles/spoofscope_data.dir/data/spoofer.cpp.o.d"
+  "/root/repo/src/data/survey.cpp" "src/CMakeFiles/spoofscope_data.dir/data/survey.cpp.o" "gcc" "src/CMakeFiles/spoofscope_data.dir/data/survey.cpp.o.d"
+  "/root/repo/src/data/whois.cpp" "src/CMakeFiles/spoofscope_data.dir/data/whois.cpp.o" "gcc" "src/CMakeFiles/spoofscope_data.dir/data/whois.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spoofscope_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_asgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofscope_data.dir/data/ark.cpp.o"
+  "CMakeFiles/spoofscope_data.dir/data/ark.cpp.o.d"
+  "CMakeFiles/spoofscope_data.dir/data/as2org.cpp.o"
+  "CMakeFiles/spoofscope_data.dir/data/as2org.cpp.o.d"
+  "CMakeFiles/spoofscope_data.dir/data/rpsl.cpp.o"
+  "CMakeFiles/spoofscope_data.dir/data/rpsl.cpp.o.d"
+  "CMakeFiles/spoofscope_data.dir/data/spoofer.cpp.o"
+  "CMakeFiles/spoofscope_data.dir/data/spoofer.cpp.o.d"
+  "CMakeFiles/spoofscope_data.dir/data/survey.cpp.o"
+  "CMakeFiles/spoofscope_data.dir/data/survey.cpp.o.d"
+  "CMakeFiles/spoofscope_data.dir/data/whois.cpp.o"
+  "CMakeFiles/spoofscope_data.dir/data/whois.cpp.o.d"
+  "libspoofscope_data.a"
+  "libspoofscope_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofscope_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inference/builder.cpp" "src/CMakeFiles/spoofscope_inference.dir/inference/builder.cpp.o" "gcc" "src/CMakeFiles/spoofscope_inference.dir/inference/builder.cpp.o.d"
+  "/root/repo/src/inference/valid_space.cpp" "src/CMakeFiles/spoofscope_inference.dir/inference/valid_space.cpp.o" "gcc" "src/CMakeFiles/spoofscope_inference.dir/inference/valid_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spoofscope_asgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

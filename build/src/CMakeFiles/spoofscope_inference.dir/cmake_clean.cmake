@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofscope_inference.dir/inference/builder.cpp.o"
+  "CMakeFiles/spoofscope_inference.dir/inference/builder.cpp.o.d"
+  "CMakeFiles/spoofscope_inference.dir/inference/valid_space.cpp.o"
+  "CMakeFiles/spoofscope_inference.dir/inference/valid_space.cpp.o.d"
+  "libspoofscope_inference.a"
+  "libspoofscope_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofscope_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ixp/ixp.cpp" "src/CMakeFiles/spoofscope_ixp.dir/ixp/ixp.cpp.o" "gcc" "src/CMakeFiles/spoofscope_ixp.dir/ixp/ixp.cpp.o.d"
+  "/root/repo/src/ixp/member.cpp" "src/CMakeFiles/spoofscope_ixp.dir/ixp/member.cpp.o" "gcc" "src/CMakeFiles/spoofscope_ixp.dir/ixp/member.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spoofscope_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_asgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofscope_ixp.dir/ixp/ixp.cpp.o"
+  "CMakeFiles/spoofscope_ixp.dir/ixp/ixp.cpp.o.d"
+  "CMakeFiles/spoofscope_ixp.dir/ixp/member.cpp.o"
+  "CMakeFiles/spoofscope_ixp.dir/ixp/member.cpp.o.d"
+  "libspoofscope_ixp.a"
+  "libspoofscope_ixp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofscope_ixp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

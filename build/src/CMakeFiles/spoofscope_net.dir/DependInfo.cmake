@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bogon.cpp" "src/CMakeFiles/spoofscope_net.dir/net/bogon.cpp.o" "gcc" "src/CMakeFiles/spoofscope_net.dir/net/bogon.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/CMakeFiles/spoofscope_net.dir/net/flow.cpp.o" "gcc" "src/CMakeFiles/spoofscope_net.dir/net/flow.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/CMakeFiles/spoofscope_net.dir/net/ipv4.cpp.o" "gcc" "src/CMakeFiles/spoofscope_net.dir/net/ipv4.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/CMakeFiles/spoofscope_net.dir/net/prefix.cpp.o" "gcc" "src/CMakeFiles/spoofscope_net.dir/net/prefix.cpp.o.d"
+  "/root/repo/src/net/protocols.cpp" "src/CMakeFiles/spoofscope_net.dir/net/protocols.cpp.o" "gcc" "src/CMakeFiles/spoofscope_net.dir/net/protocols.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/CMakeFiles/spoofscope_net.dir/net/trace.cpp.o" "gcc" "src/CMakeFiles/spoofscope_net.dir/net/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spoofscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

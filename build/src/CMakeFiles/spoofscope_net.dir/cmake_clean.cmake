@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofscope_net.dir/net/bogon.cpp.o"
+  "CMakeFiles/spoofscope_net.dir/net/bogon.cpp.o.d"
+  "CMakeFiles/spoofscope_net.dir/net/flow.cpp.o"
+  "CMakeFiles/spoofscope_net.dir/net/flow.cpp.o.d"
+  "CMakeFiles/spoofscope_net.dir/net/ipv4.cpp.o"
+  "CMakeFiles/spoofscope_net.dir/net/ipv4.cpp.o.d"
+  "CMakeFiles/spoofscope_net.dir/net/prefix.cpp.o"
+  "CMakeFiles/spoofscope_net.dir/net/prefix.cpp.o.d"
+  "CMakeFiles/spoofscope_net.dir/net/protocols.cpp.o"
+  "CMakeFiles/spoofscope_net.dir/net/protocols.cpp.o.d"
+  "CMakeFiles/spoofscope_net.dir/net/trace.cpp.o"
+  "CMakeFiles/spoofscope_net.dir/net/trace.cpp.o.d"
+  "libspoofscope_net.a"
+  "libspoofscope_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofscope_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

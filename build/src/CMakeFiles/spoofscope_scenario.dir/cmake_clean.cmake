@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofscope_scenario.dir/scenario/scenario.cpp.o"
+  "CMakeFiles/spoofscope_scenario.dir/scenario/scenario.cpp.o.d"
+  "libspoofscope_scenario.a"
+  "libspoofscope_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofscope_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/as_info.cpp" "src/CMakeFiles/spoofscope_topo.dir/topo/as_info.cpp.o" "gcc" "src/CMakeFiles/spoofscope_topo.dir/topo/as_info.cpp.o.d"
+  "/root/repo/src/topo/generator.cpp" "src/CMakeFiles/spoofscope_topo.dir/topo/generator.cpp.o" "gcc" "src/CMakeFiles/spoofscope_topo.dir/topo/generator.cpp.o.d"
+  "/root/repo/src/topo/serialize.cpp" "src/CMakeFiles/spoofscope_topo.dir/topo/serialize.cpp.o" "gcc" "src/CMakeFiles/spoofscope_topo.dir/topo/serialize.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/spoofscope_topo.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/spoofscope_topo.dir/topo/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spoofscope_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofscope_topo.dir/topo/as_info.cpp.o"
+  "CMakeFiles/spoofscope_topo.dir/topo/as_info.cpp.o.d"
+  "CMakeFiles/spoofscope_topo.dir/topo/generator.cpp.o"
+  "CMakeFiles/spoofscope_topo.dir/topo/generator.cpp.o.d"
+  "CMakeFiles/spoofscope_topo.dir/topo/serialize.cpp.o"
+  "CMakeFiles/spoofscope_topo.dir/topo/serialize.cpp.o.d"
+  "CMakeFiles/spoofscope_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/spoofscope_topo.dir/topo/topology.cpp.o.d"
+  "libspoofscope_topo.a"
+  "libspoofscope_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofscope_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

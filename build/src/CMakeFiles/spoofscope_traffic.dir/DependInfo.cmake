@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/attacks.cpp" "src/CMakeFiles/spoofscope_traffic.dir/traffic/attacks.cpp.o" "gcc" "src/CMakeFiles/spoofscope_traffic.dir/traffic/attacks.cpp.o.d"
+  "/root/repo/src/traffic/generator.cpp" "src/CMakeFiles/spoofscope_traffic.dir/traffic/generator.cpp.o" "gcc" "src/CMakeFiles/spoofscope_traffic.dir/traffic/generator.cpp.o.d"
+  "/root/repo/src/traffic/regular.cpp" "src/CMakeFiles/spoofscope_traffic.dir/traffic/regular.cpp.o" "gcc" "src/CMakeFiles/spoofscope_traffic.dir/traffic/regular.cpp.o.d"
+  "/root/repo/src/traffic/stray.cpp" "src/CMakeFiles/spoofscope_traffic.dir/traffic/stray.cpp.o" "gcc" "src/CMakeFiles/spoofscope_traffic.dir/traffic/stray.cpp.o.d"
+  "/root/repo/src/traffic/workload.cpp" "src/CMakeFiles/spoofscope_traffic.dir/traffic/workload.cpp.o" "gcc" "src/CMakeFiles/spoofscope_traffic.dir/traffic/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spoofscope_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_asgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofscope_traffic.dir/traffic/attacks.cpp.o"
+  "CMakeFiles/spoofscope_traffic.dir/traffic/attacks.cpp.o.d"
+  "CMakeFiles/spoofscope_traffic.dir/traffic/generator.cpp.o"
+  "CMakeFiles/spoofscope_traffic.dir/traffic/generator.cpp.o.d"
+  "CMakeFiles/spoofscope_traffic.dir/traffic/regular.cpp.o"
+  "CMakeFiles/spoofscope_traffic.dir/traffic/regular.cpp.o.d"
+  "CMakeFiles/spoofscope_traffic.dir/traffic/stray.cpp.o"
+  "CMakeFiles/spoofscope_traffic.dir/traffic/stray.cpp.o.d"
+  "CMakeFiles/spoofscope_traffic.dir/traffic/workload.cpp.o"
+  "CMakeFiles/spoofscope_traffic.dir/traffic/workload.cpp.o.d"
+  "libspoofscope_traffic.a"
+  "libspoofscope_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofscope_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspoofscope_traffic.a"
+)

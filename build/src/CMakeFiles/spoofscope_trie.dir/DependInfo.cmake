@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trie/interval_set.cpp" "src/CMakeFiles/spoofscope_trie.dir/trie/interval_set.cpp.o" "gcc" "src/CMakeFiles/spoofscope_trie.dir/trie/interval_set.cpp.o.d"
+  "/root/repo/src/trie/prefix_set.cpp" "src/CMakeFiles/spoofscope_trie.dir/trie/prefix_set.cpp.o" "gcc" "src/CMakeFiles/spoofscope_trie.dir/trie/prefix_set.cpp.o.d"
+  "/root/repo/src/trie/prefix_trie.cpp" "src/CMakeFiles/spoofscope_trie.dir/trie/prefix_trie.cpp.o" "gcc" "src/CMakeFiles/spoofscope_trie.dir/trie/prefix_trie.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spoofscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spoofscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

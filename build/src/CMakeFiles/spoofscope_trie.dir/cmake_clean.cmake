@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofscope_trie.dir/trie/interval_set.cpp.o"
+  "CMakeFiles/spoofscope_trie.dir/trie/interval_set.cpp.o.d"
+  "CMakeFiles/spoofscope_trie.dir/trie/prefix_set.cpp.o"
+  "CMakeFiles/spoofscope_trie.dir/trie/prefix_set.cpp.o.d"
+  "CMakeFiles/spoofscope_trie.dir/trie/prefix_trie.cpp.o"
+  "CMakeFiles/spoofscope_trie.dir/trie/prefix_trie.cpp.o.d"
+  "libspoofscope_trie.a"
+  "libspoofscope_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofscope_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofscope_util.dir/util/csv.cpp.o"
+  "CMakeFiles/spoofscope_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/spoofscope_util.dir/util/format.cpp.o"
+  "CMakeFiles/spoofscope_util.dir/util/format.cpp.o.d"
+  "CMakeFiles/spoofscope_util.dir/util/log.cpp.o"
+  "CMakeFiles/spoofscope_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/spoofscope_util.dir/util/rng.cpp.o"
+  "CMakeFiles/spoofscope_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/spoofscope_util.dir/util/stats.cpp.o"
+  "CMakeFiles/spoofscope_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/spoofscope_util.dir/util/strings.cpp.o"
+  "CMakeFiles/spoofscope_util.dir/util/strings.cpp.o.d"
+  "libspoofscope_util.a"
+  "libspoofscope_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofscope_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

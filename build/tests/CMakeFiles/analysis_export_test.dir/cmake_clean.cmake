@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_export_test.dir/analysis_export_test.cpp.o"
+  "CMakeFiles/analysis_export_test.dir/analysis_export_test.cpp.o.d"
+  "analysis_export_test"
+  "analysis_export_test.pdb"
+  "analysis_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_incidents_test.dir/analysis_incidents_test.cpp.o"
+  "CMakeFiles/analysis_incidents_test.dir/analysis_incidents_test.cpp.o.d"
+  "analysis_incidents_test"
+  "analysis_incidents_test.pdb"
+  "analysis_incidents_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_incidents_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

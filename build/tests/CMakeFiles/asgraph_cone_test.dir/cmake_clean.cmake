@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asgraph_cone_test.dir/asgraph_cone_test.cpp.o"
+  "CMakeFiles/asgraph_cone_test.dir/asgraph_cone_test.cpp.o.d"
+  "asgraph_cone_test"
+  "asgraph_cone_test.pdb"
+  "asgraph_cone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asgraph_cone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

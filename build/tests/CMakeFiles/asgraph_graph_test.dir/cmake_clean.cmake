@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asgraph_graph_test.dir/asgraph_graph_test.cpp.o"
+  "CMakeFiles/asgraph_graph_test.dir/asgraph_graph_test.cpp.o.d"
+  "asgraph_graph_test"
+  "asgraph_graph_test.pdb"
+  "asgraph_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asgraph_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asgraph_relationship_test.dir/asgraph_relationship_test.cpp.o"
+  "CMakeFiles/asgraph_relationship_test.dir/asgraph_relationship_test.cpp.o.d"
+  "asgraph_relationship_test"
+  "asgraph_relationship_test.pdb"
+  "asgraph_relationship_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asgraph_relationship_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_as_path_test.dir/bgp_as_path_test.cpp.o"
+  "CMakeFiles/bgp_as_path_test.dir/bgp_as_path_test.cpp.o.d"
+  "bgp_as_path_test"
+  "bgp_as_path_test.pdb"
+  "bgp_as_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_as_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

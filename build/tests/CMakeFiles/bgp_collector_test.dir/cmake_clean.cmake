@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_collector_test.dir/bgp_collector_test.cpp.o"
+  "CMakeFiles/bgp_collector_test.dir/bgp_collector_test.cpp.o.d"
+  "bgp_collector_test"
+  "bgp_collector_test.pdb"
+  "bgp_collector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_dump_schedule_test.dir/bgp_dump_schedule_test.cpp.o"
+  "CMakeFiles/bgp_dump_schedule_test.dir/bgp_dump_schedule_test.cpp.o.d"
+  "bgp_dump_schedule_test"
+  "bgp_dump_schedule_test.pdb"
+  "bgp_dump_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_dump_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_monotonicity_test.dir/bgp_monotonicity_test.cpp.o"
+  "CMakeFiles/bgp_monotonicity_test.dir/bgp_monotonicity_test.cpp.o.d"
+  "bgp_monotonicity_test"
+  "bgp_monotonicity_test.pdb"
+  "bgp_monotonicity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_monotonicity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_mrt_lite_test.dir/bgp_mrt_lite_test.cpp.o"
+  "CMakeFiles/bgp_mrt_lite_test.dir/bgp_mrt_lite_test.cpp.o.d"
+  "bgp_mrt_lite_test"
+  "bgp_mrt_lite_test.pdb"
+  "bgp_mrt_lite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_mrt_lite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

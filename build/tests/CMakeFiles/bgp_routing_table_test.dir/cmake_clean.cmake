@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_routing_table_test.dir/bgp_routing_table_test.cpp.o"
+  "CMakeFiles/bgp_routing_table_test.dir/bgp_routing_table_test.cpp.o.d"
+  "bgp_routing_table_test"
+  "bgp_routing_table_test.pdb"
+  "bgp_routing_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_routing_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

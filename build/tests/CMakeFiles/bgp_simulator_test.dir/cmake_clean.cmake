@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_simulator_test.dir/bgp_simulator_test.cpp.o"
+  "CMakeFiles/bgp_simulator_test.dir/bgp_simulator_test.cpp.o.d"
+  "bgp_simulator_test"
+  "bgp_simulator_test.pdb"
+  "bgp_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

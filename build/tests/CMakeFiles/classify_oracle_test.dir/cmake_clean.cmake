@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_oracle_test.dir/classify_oracle_test.cpp.o"
+  "CMakeFiles/classify_oracle_test.dir/classify_oracle_test.cpp.o.d"
+  "classify_oracle_test"
+  "classify_oracle_test.pdb"
+  "classify_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_urpf_test.dir/classify_urpf_test.cpp.o"
+  "CMakeFiles/classify_urpf_test.dir/classify_urpf_test.cpp.o.d"
+  "classify_urpf_test"
+  "classify_urpf_test.pdb"
+  "classify_urpf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_urpf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

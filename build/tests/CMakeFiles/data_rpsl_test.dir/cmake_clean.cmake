@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_rpsl_test.dir/data_rpsl_test.cpp.o"
+  "CMakeFiles/data_rpsl_test.dir/data_rpsl_test.cpp.o.d"
+  "data_rpsl_test"
+  "data_rpsl_test.pdb"
+  "data_rpsl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_rpsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_integration_test.dir/scenario_integration_test.cpp.o"
+  "CMakeFiles/scenario_integration_test.dir/scenario_integration_test.cpp.o.d"
+  "scenario_integration_test"
+  "scenario_integration_test.pdb"
+  "scenario_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

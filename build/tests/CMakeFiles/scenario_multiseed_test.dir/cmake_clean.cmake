@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_multiseed_test.dir/scenario_multiseed_test.cpp.o"
+  "CMakeFiles/scenario_multiseed_test.dir/scenario_multiseed_test.cpp.o.d"
+  "scenario_multiseed_test"
+  "scenario_multiseed_test.pdb"
+  "scenario_multiseed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_multiseed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

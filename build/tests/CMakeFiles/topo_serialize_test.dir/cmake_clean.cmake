@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_serialize_test.dir/topo_serialize_test.cpp.o"
+  "CMakeFiles/topo_serialize_test.dir/topo_serialize_test.cpp.o.d"
+  "topo_serialize_test"
+  "topo_serialize_test.pdb"
+  "topo_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trie_interval_set_test.dir/trie_interval_set_test.cpp.o"
+  "CMakeFiles/trie_interval_set_test.dir/trie_interval_set_test.cpp.o.d"
+  "trie_interval_set_test"
+  "trie_interval_set_test.pdb"
+  "trie_interval_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trie_interval_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

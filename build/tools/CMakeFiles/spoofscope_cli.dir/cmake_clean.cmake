@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofscope_cli.dir/spoofscope_cli.cpp.o"
+  "CMakeFiles/spoofscope_cli.dir/spoofscope_cli.cpp.o.d"
+  "spoofscope"
+  "spoofscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofscope_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
