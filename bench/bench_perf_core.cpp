@@ -12,6 +12,7 @@
 #include "net/bogon.hpp"
 #include "trie/prefix_set.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -192,6 +193,66 @@ void BM_EndToEndTraceClassification(benchmark::State& state) {
                           static_cast<std::int64_t>(w.trace().flows.size()));
 }
 BENCHMARK(BM_EndToEndTraceClassification)->Unit(benchmark::kMillisecond);
+
+// --- parallel engine scaling -------------------------------------------------
+
+void BM_ClassifyTraceParallel(benchmark::State& state) {
+  const auto& w = world();
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto labels =
+        classify::classify_trace(w.classifier(), w.trace().flows, pool);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.trace().flows.size()));
+}
+BENCHMARK(BM_ClassifyTraceParallel)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AggregateClassesParallel(benchmark::State& state) {
+  const auto& w = world();
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto agg = classify::aggregate_classes(w.classifier(), w.trace().flows,
+                                           w.labels(), {}, pool);
+    benchmark::DoNotOptimize(agg);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.trace().flows.size()));
+}
+BENCHMARK(BM_AggregateClassesParallel)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildValidSpacesParallel(benchmark::State& state) {
+  const auto& w = world();
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  const auto members = w.ixp().member_asns();
+  for (auto _ : state) {
+    auto space = w.factory().build(inference::Method::kFullConeOrg, members,
+                                   pool);
+    benchmark::DoNotOptimize(space);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(members.size()));
+}
+BENCHMARK(BM_BuildValidSpacesParallel)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void print_reproduction() {
   bench::print_header(

@@ -6,6 +6,20 @@
 
 namespace spoofscope::classify {
 
+namespace {
+
+/// Packs one 2-bit class per configured space into a Label.
+template <typename ClassOf>
+Label pack_label(std::size_t num_spaces, ClassOf&& class_of) {
+  Label label = 0;
+  for (std::size_t i = 0; i < num_spaces; ++i) {
+    label |= static_cast<Label>(class_of(i)) << (2 * i);
+  }
+  return label;
+}
+
+}  // namespace
+
 std::string class_name(TrafficClass c) {
   switch (c) {
     case TrafficClass::kBogon: return "Bogon";
@@ -34,26 +48,19 @@ TrafficClass Classifier::classify(net::Ipv4Addr src, Asn member,
 }
 
 Label Classifier::classify_all(net::Ipv4Addr src, Asn member) const {
-  TrafficClass shared;
+  // The bogon and routed checks are method-independent: one shared class.
   if (bogons_.covers(src)) {
-    shared = TrafficClass::kBogon;
-  } else if (!table_->is_routed(src)) {
-    shared = TrafficClass::kUnrouted;
-  } else {
-    Label label = 0;
-    for (std::size_t i = 0; i < spaces_.size(); ++i) {
-      const TrafficClass c = spaces_[i].valid(member, src)
-                                 ? TrafficClass::kValid
-                                 : TrafficClass::kInvalid;
-      label |= static_cast<Label>(c) << (2 * i);
-    }
-    return label;
+    return pack_label(spaces_.size(),
+                      [](std::size_t) { return TrafficClass::kBogon; });
   }
-  Label label = 0;
-  for (std::size_t i = 0; i < spaces_.size(); ++i) {
-    label |= static_cast<Label>(shared) << (2 * i);
+  if (!table_->is_routed(src)) {
+    return pack_label(spaces_.size(),
+                      [](std::size_t) { return TrafficClass::kUnrouted; });
   }
-  return label;
+  return pack_label(spaces_.size(), [&](std::size_t i) {
+    return spaces_[i].valid(member, src) ? TrafficClass::kValid
+                                         : TrafficClass::kInvalid;
+  });
 }
 
 std::vector<Label> classify_trace(const Classifier& classifier,
@@ -63,6 +70,18 @@ std::vector<Label> classify_trace(const Classifier& classifier,
   for (const auto& f : flows) {
     labels.push_back(classifier.classify_all(f.src, f.member_in));
   }
+  return labels;
+}
+
+std::vector<Label> classify_trace(const Classifier& classifier,
+                                  std::span<const net::FlowRecord> flows,
+                                  util::ThreadPool& pool) {
+  std::vector<Label> labels(flows.size());
+  pool.parallel_for(0, flows.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      labels[i] = classifier.classify_all(flows[i].src, flows[i].member_in);
+    }
+  });
   return labels;
 }
 

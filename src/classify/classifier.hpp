@@ -13,6 +13,7 @@
 #include "inference/valid_space.hpp"
 #include "net/flow.hpp"
 #include "trie/prefix_set.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spoofscope::classify {
 
@@ -73,5 +74,14 @@ class Classifier {
 /// Runs the classifier over a whole trace; labels[i] belongs to flows[i].
 std::vector<Label> classify_trace(const Classifier& classifier,
                                   std::span<const net::FlowRecord> flows);
+
+/// Parallel variant: contiguous chunks of the flow span are classified
+/// across `pool` into a pre-sized label vector, so labels[i] always
+/// belongs to flows[i] and the result is element-wise identical to the
+/// sequential version regardless of thread count. Safe because the
+/// Classifier is read-only after construction (no atomics needed).
+std::vector<Label> classify_trace(const Classifier& classifier,
+                                  std::span<const net::FlowRecord> flows,
+                                  util::ThreadPool& pool);
 
 }  // namespace spoofscope::classify

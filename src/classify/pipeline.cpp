@@ -1,39 +1,103 @@
 #include "classify/pipeline.hpp"
 
-#include <map>
-
 namespace spoofscope::classify {
+
+namespace {
+
+/// Aggregate plus the distinct-member sets it was accumulated from;
+/// member counts are materialized only after all merging is done.
+struct PartialAggregate {
+  Aggregate agg;
+  std::vector<std::array<std::unordered_set<Asn>, kNumClasses>> members;
+};
+
+/// Accumulates flows[begin, end) into a fresh partial.
+PartialAggregate accumulate_range(const Classifier& classifier,
+                                  std::span<const net::FlowRecord> flows,
+                                  std::span<const Label> labels,
+                                  const std::unordered_set<Asn>& exclude_members,
+                                  std::size_t begin, std::size_t end) {
+  PartialAggregate p;
+  p.agg.totals.resize(classifier.space_count());
+  p.members.resize(classifier.space_count());
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& f = flows[i];
+    if (exclude_members.count(f.member_in)) continue;
+    p.agg.total_packets += f.packets;
+    p.agg.total_bytes += static_cast<double>(f.bytes);
+    p.agg.total_flows += 1;
+    for (std::size_t s = 0; s < classifier.space_count(); ++s) {
+      const auto c = static_cast<std::size_t>(Classifier::unpack(labels[i], s));
+      auto& cell = p.agg.totals[s][c];
+      cell.flows += 1;
+      cell.packets += f.packets;
+      cell.bytes += static_cast<double>(f.bytes);
+      p.members[s][c].insert(f.member_in);
+    }
+  }
+  return p;
+}
+
+/// Fills in the distinct-member counts and returns the final Aggregate.
+Aggregate finalize(PartialAggregate p) {
+  for (std::size_t s = 0; s < p.agg.totals.size(); ++s) {
+    for (int c = 0; c < kNumClasses; ++c) {
+      p.agg.totals[s][c].members = p.members[s][c].size();
+    }
+  }
+  return std::move(p.agg);
+}
+
+}  // namespace
 
 Aggregate aggregate_classes(const Classifier& classifier,
                             std::span<const net::FlowRecord> flows,
                             std::span<const Label> labels,
                             const std::unordered_set<Asn>& exclude_members) {
-  Aggregate agg;
-  agg.totals.resize(classifier.space_count());
-  std::vector<std::array<std::unordered_set<Asn>, kNumClasses>> members(
-      classifier.space_count());
+  return finalize(accumulate_range(classifier, flows, labels, exclude_members,
+                                   0, flows.size()));
+}
 
-  for (std::size_t i = 0; i < flows.size(); ++i) {
-    const auto& f = flows[i];
-    if (exclude_members.count(f.member_in)) continue;
-    agg.total_packets += f.packets;
-    agg.total_bytes += static_cast<double>(f.bytes);
-    agg.total_flows += 1;
-    for (std::size_t s = 0; s < classifier.space_count(); ++s) {
-      const auto c = static_cast<std::size_t>(Classifier::unpack(labels[i], s));
-      auto& cell = agg.totals[s][c];
-      cell.flows += 1;
-      cell.packets += f.packets;
-      cell.bytes += static_cast<double>(f.bytes);
-      members[s][c].insert(f.member_in);
+Aggregate aggregate_classes(const Classifier& classifier,
+                            std::span<const net::FlowRecord> flows,
+                            std::span<const Label> labels,
+                            const std::unordered_set<Asn>& exclude_members,
+                            util::ThreadPool& pool) {
+  const auto chunks =
+      util::ThreadPool::partition(0, flows.size(), pool.thread_count());
+  if (chunks.size() <= 1) {
+    return aggregate_classes(classifier, flows, labels, exclude_members);
+  }
+
+  std::vector<PartialAggregate> partials(chunks.size());
+  // partition() caps the chunk count at pool.thread_count(), so this
+  // outer parallel_for runs exactly one partial per execution lane.
+  pool.parallel_for(0, chunks.size(), [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t c = cb; c < ce; ++c) {
+      partials[c] = accumulate_range(classifier, flows, labels,
+                                     exclude_members, chunks[c].begin,
+                                     chunks[c].end);
+    }
+  });
+
+  // Deterministic reduction: fold partials in chunk index order.
+  PartialAggregate merged = std::move(partials[0]);
+  for (std::size_t c = 1; c < partials.size(); ++c) {
+    const PartialAggregate& p = partials[c];
+    merged.agg.total_packets += p.agg.total_packets;
+    merged.agg.total_bytes += p.agg.total_bytes;
+    merged.agg.total_flows += p.agg.total_flows;
+    for (std::size_t s = 0; s < merged.agg.totals.size(); ++s) {
+      for (int cl = 0; cl < kNumClasses; ++cl) {
+        merged.agg.totals[s][cl].flows += p.agg.totals[s][cl].flows;
+        merged.agg.totals[s][cl].packets += p.agg.totals[s][cl].packets;
+        merged.agg.totals[s][cl].bytes += p.agg.totals[s][cl].bytes;
+        merged.members[s][cl].insert(p.members[s][cl].begin(),
+                                     p.members[s][cl].end());
+      }
     }
   }
-  for (std::size_t s = 0; s < classifier.space_count(); ++s) {
-    for (int c = 0; c < kNumClasses; ++c) {
-      agg.totals[s][c].members = members[s][c].size();
-    }
-  }
-  return agg;
+  return finalize(std::move(merged));
 }
 
 }  // namespace spoofscope::classify

@@ -37,4 +37,15 @@ Aggregate aggregate_classes(const Classifier& classifier,
                             std::span<const Label> labels,
                             const std::unordered_set<Asn>& exclude_members = {});
 
+/// Parallel variant: per-chunk partial Aggregates are accumulated across
+/// `pool` and merged in fixed chunk order (member sets unioned at merge
+/// time). Totals match the sequential version exactly: every summed
+/// quantity is an integral-valued double far below 2^53, so the
+/// reassociated partial sums are exact.
+Aggregate aggregate_classes(const Classifier& classifier,
+                            std::span<const net::FlowRecord> flows,
+                            std::span<const Label> labels,
+                            const std::unordered_set<Asn>& exclude_members,
+                            util::ThreadPool& pool);
+
 }  // namespace spoofscope::classify

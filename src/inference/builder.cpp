@@ -87,6 +87,25 @@ ValidSpace ValidSpaceFactory::build(Method method,
   return ValidSpace(method, std::move(spaces));
 }
 
+ValidSpace ValidSpaceFactory::build(Method method, std::span<const Asn> members,
+                                    util::ThreadPool& pool) const {
+  // Fan the independent per-member constructions out by index, then
+  // assemble the map sequentially in input order so duplicate ASNs
+  // resolve exactly as in the sequential build (first occurrence wins).
+  std::vector<trie::IntervalSet> built(members.size());
+  pool.parallel_for(0, members.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      built[i] = space_for(method, members[i]);
+    }
+  });
+  std::unordered_map<Asn, trie::IntervalSet> spaces;
+  spaces.reserve(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    spaces.emplace(members[i], std::move(built[i]));
+  }
+  return ValidSpace(method, std::move(spaces));
+}
+
 std::vector<std::pair<Asn, double>> ValidSpaceFactory::valid_sizes(
     Method method) const {
   std::vector<std::pair<Asn, double>> out;
@@ -94,6 +113,24 @@ std::vector<std::pair<Asn, double>> ValidSpaceFactory::valid_sizes(
   for (const Asn asn : table_->ases()) {
     out.emplace_back(asn, space_for(method, asn).slash24_equivalents());
   }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second < b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::vector<std::pair<Asn, double>> ValidSpaceFactory::valid_sizes(
+    Method method, util::ThreadPool& pool) const {
+  const auto& ases = table_->ases();
+  std::vector<std::pair<Asn, double>> out(ases.size());
+  pool.parallel_for(0, ases.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = {ases[i], space_for(method, ases[i]).slash24_equivalents()};
+    }
+  });
+  // The (size, asn) ordering is a total order over distinct ASNs, so the
+  // sort lands in the same permutation as the sequential build.
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     if (a.second != b.second) return a.second < b.second;
     return a.first < b.first;

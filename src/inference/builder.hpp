@@ -13,6 +13,7 @@
 #include "asgraph/relationship.hpp"
 #include "bgp/routing_table.hpp"
 #include "inference/valid_space.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spoofscope::inference {
 
@@ -28,9 +29,19 @@ class ValidSpaceFactory {
   /// Computes the valid space of each AS in `members` under `method`.
   ValidSpace build(Method method, std::span<const Asn> members) const;
 
+  /// Parallel variant: each member's space is independent, so the
+  /// construction fans out across `pool` into a pre-sized per-index
+  /// vector. The result is identical to the sequential build.
+  ValidSpace build(Method method, std::span<const Asn> members,
+                   util::ThreadPool& pool) const;
+
   /// Valid space of every AS observed in the routing data — the Fig 2
   /// dataset. Returns (asn, /24-equivalents) sorted by size ascending.
   std::vector<std::pair<Asn, double>> valid_sizes(Method method) const;
+
+  /// Parallel variant of valid_sizes; identical result.
+  std::vector<std::pair<Asn, double>> valid_sizes(Method method,
+                                                  util::ThreadPool& pool) const;
 
   /// The cone of `member` (set of origin ASes) under `method`; for
   /// kNaive this is the set of origins of prefixes on the AS's paths.

@@ -63,13 +63,14 @@ bgp::RoutingTable build_table(const topo::Topology& topology,
 }
 
 std::vector<inference::ValidSpace> build_spaces(
-    const inference::ValidSpaceFactory& factory, const ixp::Ixp& ixp) {
+    const inference::ValidSpaceFactory& factory, const ixp::Ixp& ixp,
+    util::ThreadPool& pool) {
   const auto members = ixp.member_asns();
   std::vector<inference::ValidSpace> spaces;
   spaces.reserve(inference::kNumMethods);
   for (int m = 0; m < inference::kNumMethods; ++m) {
     spaces.push_back(
-        factory.build(static_cast<inference::Method>(m), members));
+        factory.build(static_cast<inference::Method>(m), members, pool));
   }
   return spaces;
 }
@@ -122,6 +123,7 @@ ScenarioParams ScenarioParams::paper() {
 
 Scenario::Scenario(const ScenarioParams& params)
     : params_(params),
+      pool_(params.threads),
       topology_(topo::generate_topology(params.topology, params.seed)),
       ixp_(ixp::Ixp::build(topology_, params.ixp, params.seed ^ 0x1c9)),
       table_(build_table(topology_, ixp_, params)),
@@ -131,11 +133,12 @@ Scenario::Scenario(const ScenarioParams& params)
       spoofer_(data::run_spoofer_campaign(topology_, params.spoofer,
                                           params.seed ^ 0x5b0)),
       factory_(table_, orgs_),
-      classifier_(table_, build_spaces(factory_, ixp_)),
+      classifier_(table_, build_spaces(factory_, ixp_, pool_)),
       workload_(traffic::generate_workload(topology_, ixp_, whois_,
                                            params.workload,
                                            params.seed ^ 0x7aff1c)),
-      labels_(classify::classify_trace(classifier_, workload_.trace.flows)) {
+      labels_(classify::classify_trace(classifier_, workload_.trace.flows,
+                                       pool_)) {
   util::log_info() << "scenario ready: " << topology_.as_count() << " ASes, "
                    << ixp_.member_count() << " members, "
                    << table_.prefixes().size() << " routed prefixes, "

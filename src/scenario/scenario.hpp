@@ -20,6 +20,7 @@
 #include "ixp/ixp.hpp"
 #include "topo/generator.hpp"
 #include "traffic/workload.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spoofscope::scenario {
 
@@ -37,6 +38,11 @@ struct ScenarioParams {
   std::size_t num_collectors = 6;        ///< RIS/RouteViews-style full feeds
   std::size_t feeders_per_collector = 8;
   std::uint64_t seed = 42;
+
+  /// Worker threads for valid-space construction and trace
+  /// classification: 0 = hardware concurrency, 1 = exact sequential
+  /// execution (the default; results are identical either way).
+  std::size_t threads = 1;
 
   /// Laptop-quick configuration for tests and examples.
   static ScenarioParams small();
@@ -65,6 +71,10 @@ class Scenario {
   const traffic::Workload& workload() const { return workload_; }
   const net::Trace& trace() const { return workload_.trace; }
 
+  /// The pool the scenario was built with (params.threads lanes);
+  /// available for follow-on parallel analyses over the same world.
+  util::ThreadPool& pool() { return pool_; }
+
   classify::Classifier& classifier() { return classifier_; }
   const classify::Classifier& classifier() const { return classifier_; }
   const std::vector<classify::Label>& labels() const { return labels_; }
@@ -81,6 +91,7 @@ class Scenario {
 
  private:
   ScenarioParams params_;
+  util::ThreadPool pool_;
   topo::Topology topology_;
   ixp::Ixp ixp_;
   bgp::RoutingTable table_;

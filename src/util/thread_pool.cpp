@@ -1,0 +1,118 @@
+#include "util/thread_pool.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace spoofscope::util {
+
+std::size_t ThreadPool::resolve(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::vector<IndexRange> ThreadPool::partition(std::size_t begin,
+                                              std::size_t end,
+                                              std::size_t parts) {
+  std::vector<IndexRange> ranges;
+  if (begin >= end || parts == 0) return ranges;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = parts < n ? parts : n;
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  ranges.reserve(chunks);
+  std::size_t at = begin;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < rem ? 1 : 0);
+    ranges.push_back({at, at + len});
+    at += len;
+  }
+  return ranges;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = resolve(threads);
+  if (n <= 1) return;  // inline mode: no workers, no queue traffic
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain queued work even when stopping: destruction waits for
+      // everything already enqueued.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  if (workers_.empty() || end - begin == 1) {
+    body(begin, end);  // exceptions propagate directly
+    return;
+  }
+
+  const auto ranges = partition(begin, end, thread_count());
+
+  struct Join {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::vector<std::exception_ptr> errors;
+  } join;
+  join.remaining = ranges.size();
+  join.errors.resize(ranges.size());
+
+  for (std::size_t c = 0; c < ranges.size(); ++c) {
+    enqueue([&join, &body, r = ranges[c], c] {
+      try {
+        body(r.begin, r.end);
+      } catch (...) {
+        join.errors[c] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(join.mutex);
+      if (--join.remaining == 0) join.done.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(join.mutex);
+  join.done.wait(lock, [&join] { return join.remaining == 0; });
+  for (const auto& e : join.errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace spoofscope::util

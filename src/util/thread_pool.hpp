@@ -1,0 +1,82 @@
+// Fixed-size thread pool with a chunk-based parallel_for — the execution
+// layer behind parallel classification and valid-space construction.
+// Deliberately work-stealing-free: ranges are split into contiguous
+// chunks whose boundaries depend only on (range, thread count), so every
+// parallel caller can stay deterministic by writing results to
+// pre-assigned indices and merging partials in chunk order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spoofscope::util {
+
+/// A contiguous index subrange [begin, end).
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  friend bool operator==(const IndexRange&, const IndexRange&) = default;
+};
+
+/// Fixed-size pool of worker threads.
+///
+/// `threads == 0` resolves to the hardware concurrency; `threads == 1`
+/// spawns no workers at all — every task runs inline on the calling
+/// thread, giving an exact sequential fallback path (same stack, same
+/// order, no synchronization).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Finishes all queued work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution lanes (>= 1; 1 means inline execution).
+  std::size_t thread_count() const {
+    return workers_.empty() ? 1 : workers_.size();
+  }
+
+  /// Queues a fire-and-forget task (runs inline when the pool has no
+  /// workers). Exceptions escaping a queued task terminate; prefer
+  /// parallel_for, which propagates them.
+  void enqueue(std::function<void()> task);
+
+  /// Splits [begin, end) into at most thread_count() contiguous chunks
+  /// and invokes `body(chunk_begin, chunk_end)` for each across the
+  /// pool. Blocks until every chunk finished. If any chunk throws, the
+  /// first exception (in chunk order) is rethrown on the caller after
+  /// all chunks completed — never a deadlock, never a partial wait.
+  /// Not reentrant: a chunk body must not call parallel_for on the same
+  /// pool (all workers could end up blocked waiting on queued chunks).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// 0 -> hardware concurrency (at least 1), anything else unchanged.
+  static std::size_t resolve(std::size_t requested);
+
+  /// Deterministic chunking: splits [begin, end) into min(parts, size)
+  /// contiguous ranges whose lengths differ by at most one (earlier
+  /// chunks take the remainder). Empty range -> no chunks.
+  static std::vector<IndexRange> partition(std::size_t begin, std::size_t end,
+                                           std::size_t parts);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace spoofscope::util

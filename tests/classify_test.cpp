@@ -5,6 +5,7 @@
 #include "classify/pipeline.hpp"
 #include "classify/router_tagger.hpp"
 #include "net/prefix.hpp"
+#include "util/rng.hpp"
 
 namespace spoofscope::classify {
 namespace {
@@ -89,6 +90,31 @@ TEST(Classifier, PackedLabelsAgreeWithSingle) {
     const Label label = c.classify_all(addr, 1);
     for (std::size_t s = 0; s < c.space_count(); ++s) {
       EXPECT_EQ(Classifier::unpack(label, s), c.classify(addr, 1, s));
+    }
+  }
+}
+
+TEST(Classifier, PackedLabelsAgreeWithSingleOnRandomAddresses) {
+  // classify_all shares the bogon/routed checks across spaces while
+  // classify re-evaluates them per call; a random sweep over the full
+  // address space pins the two code paths together (the parallel
+  // differential harness relies on classify_all alone).
+  const auto table = small_table();
+  std::vector<inference::ValidSpace> spaces;
+  spaces.push_back(space_for(1, pfx("50.0.0.0/16")));
+  spaces.push_back(space_for(1, pfx("20.0.0.0/16"), inference::Method::kNaive));
+  spaces.push_back(space_for(2, pfx("50.0.0.0/16"),
+                             inference::Method::kCustomerCone));
+  const Classifier c(table, std::move(spaces));
+
+  util::Rng rng(20170205);
+  for (int i = 0; i < 20'000; ++i) {
+    const Ipv4Addr addr(rng.next_u32());
+    const Asn member = 1 + static_cast<Asn>(rng.next_u32() % 3);  // 1,2,3
+    const Label label = c.classify_all(addr, member);
+    for (std::size_t s = 0; s < c.space_count(); ++s) {
+      ASSERT_EQ(Classifier::unpack(label, s), c.classify(addr, member, s))
+          << addr.str() << " member " << member << " space " << s;
     }
   }
 }

@@ -1,0 +1,132 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace spoofscope::util {
+namespace {
+
+TEST(ThreadPool, ResolveZeroMeansHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolve(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve(1), 1u);
+  EXPECT_EQ(ThreadPool::resolve(6), 6u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), ThreadPool::resolve(0));
+}
+
+TEST(ThreadPool, PartitionIsDeterministicAndCoversRange) {
+  // Empty range -> no chunks.
+  EXPECT_TRUE(ThreadPool::partition(5, 5, 4).empty());
+  EXPECT_TRUE(ThreadPool::partition(7, 3, 4).empty());
+  // Range smaller than parts -> one chunk per index.
+  const auto small = ThreadPool::partition(0, 3, 8);
+  ASSERT_EQ(small.size(), 3u);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i], (IndexRange{i, i + 1}));
+  }
+  // General case: contiguous cover, sizes differ by at most one.
+  const auto ranges = ThreadPool::partition(10, 110, 7);
+  ASSERT_EQ(ranges.size(), 7u);
+  std::size_t at = 10;
+  for (const auto& r : ranges) {
+    EXPECT_EQ(r.begin, at);
+    EXPECT_GT(r.end, r.begin);
+    const std::size_t len = r.end - r.begin;
+    EXPECT_TRUE(len == 100 / 7 || len == 100 / 7 + 1);
+    at = r.end;
+  }
+  EXPECT_EQ(at, 110u);
+  // Same inputs -> same chunks (the determinism the mergers rely on).
+  EXPECT_EQ(ranges, ThreadPool::partition(10, 110, 7));
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(3, 3, [&](std::size_t, std::size_t) { ++calls; });
+  pool.parallel_for(9, 2, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForRangeSmallerThanThreadCount) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(0, 3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(5);
+  constexpr std::size_t kN = 10'000;
+  std::vector<int> hits(kN, 0);  // disjoint chunks: no two writers per slot
+  pool.parallel_for(0, kN, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(kN));
+  EXPECT_EQ(*std::max_element(hits.begin(), hits.end()), 1);
+}
+
+TEST(ThreadPool, ExceptionInsideTaskPropagatesWithoutDeadlock) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t b, std::size_t) {
+                          if (b == 0) throw std::runtime_error("chunk 0 died");
+                        }),
+      std::runtime_error);
+  // The pool survives a throwing batch and keeps executing work.
+  std::atomic<int> after{0};
+  pool.parallel_for(0, 100, [&](std::size_t b, std::size_t e) {
+    after += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(after.load(), 100);
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.enqueue([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++done;
+      });
+    }
+    // Destructor must wait for everything already enqueued.
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::set<std::thread::id> seen;
+  std::mutex m;
+  pool.parallel_for(0, 1000, [&](std::size_t, std::size_t) {
+    std::lock_guard<std::mutex> lock(m);
+    seen.insert(std::this_thread::get_id());
+  });
+  pool.enqueue([&] {
+    std::lock_guard<std::mutex> lock(m);
+    seen.insert(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), caller);
+}
+
+}  // namespace
+}  // namespace spoofscope::util

@@ -43,6 +43,7 @@
 #include "topo/serialize.hpp"
 #include "util/format.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -52,11 +53,16 @@ using namespace spoofscope;
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
       "usage:\n"
-      "  spoofscope generate --out DIR [--seed N] [--paper]\n"
+      "  spoofscope generate --out DIR [--seed N] [--paper] [--threads N]\n"
       "  spoofscope classify --mrt FILES --trace FILE [--rpsl FILE]\n"
       "                      [--method naive|cc|cc+org|full|full+org]\n"
-      "                      [--labels OUT.csv]\n"
-      "  spoofscope report   --mrt FILES --trace FILE [--rpsl FILE]\n";
+      "                      [--labels OUT.csv] [--threads N]\n"
+      "  spoofscope report   --mrt FILES --trace FILE [--rpsl FILE]\n"
+      "                      [--threads N]\n"
+      "\n"
+      "--threads N runs valid-space construction and classification on N\n"
+      "worker threads (0 = hardware concurrency, default 1 = sequential);\n"
+      "results are identical for every N.\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -75,6 +81,12 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) 
     }
   }
   return flags;
+}
+
+std::size_t threads_from(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("threads")) return 1;
+  return static_cast<std::size_t>(
+      std::strtoull(flags.at("threads").c_str(), nullptr, 10));
 }
 
 inference::Method method_from(const std::string& name) {
@@ -137,6 +149,7 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
   if (flags.count("seed")) {
     params.seed = std::strtoull(flags.at("seed").c_str(), nullptr, 10);
   }
+  params.threads = threads_from(flags);
   const auto world = scenario::build_scenario(params);
 
   {
@@ -180,10 +193,11 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
   const auto method = method_from(
       flags.count("method") ? flags.at("method") : std::string("full+org"));
 
+  util::ThreadPool pool(threads_from(flags));
   const auto members = members_of(world.trace);
   inference::ValidSpaceFactory factory(world.table, asgraph::OrgMap{});
   std::vector<inference::ValidSpace> spaces;
-  spaces.push_back(factory.build(method, members));
+  spaces.push_back(factory.build(method, members, pool));
   classify::Classifier classifier(world.table, std::move(spaces));
 
   // RPSL whitelist (Sec 4.4) applied up front.
@@ -197,11 +211,12 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
     }
   }
 
-  const auto labels = classify::classify_trace(classifier, world.trace.flows);
+  const auto labels =
+      classify::classify_trace(classifier, world.trace.flows, pool);
 
   // Totals.
-  const auto agg =
-      classify::aggregate_classes(classifier, world.trace.flows, labels);
+  const auto agg = classify::aggregate_classes(classifier, world.trace.flows,
+                                               labels, {}, pool);
   std::cout << "classified " << world.trace.flows.size() << " flows from "
             << members.size() << " members under "
             << inference::method_name(method) << " (routing view: "
