@@ -7,6 +7,7 @@
 
 #include "asgraph/full_cone.hpp"
 #include "bgp/simulator.hpp"
+#include "classify/flat_classifier.hpp"
 #include "topo/generator.hpp"
 #include "traffic/workload.hpp"
 #include "net/bogon.hpp"
@@ -18,6 +19,13 @@ namespace {
 
 using namespace spoofscope;
 using bench::world;
+
+/// The flat plane compiled once from the shared bench scenario.
+const classify::FlatClassifier& flat_world() {
+  static const classify::FlatClassifier flat =
+      classify::FlatClassifier::compile(world().classifier());
+  return flat;
+}
 
 // --- classification hot path -----------------------------------------------
 
@@ -44,6 +52,101 @@ void BM_ClassifyAllMethods(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ClassifyAllMethods);
+
+// --- flat engine: same queries on the compiled DIR-24-8 plane ---------------
+
+void BM_FlatClassifySingle(benchmark::State& state) {
+  const auto& flat = flat_world();
+  const auto member = world().ixp().members().front().asn;
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flat.classify(net::Ipv4Addr(rng.next_u32()), member, 3));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatClassifySingle);
+
+void BM_FlatClassifyAllMethods(benchmark::State& state) {
+  const auto& flat = flat_world();
+  const auto member = world().ixp().members().front().asn;
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flat.classify_all(net::Ipv4Addr(rng.next_u32()), member));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatClassifyAllMethods);
+
+void BM_FlatClassifyAllMethodsMemberView(benchmark::State& state) {
+  // The per-member lookup hoisted entirely out of the loop: the cost an
+  // ingest pipeline pays per flow once it holds a MemberView.
+  const auto& flat = flat_world();
+  const auto view = flat.member_view(world().ixp().members().front().asn);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flat.classify_all(net::Ipv4Addr(rng.next_u32()), view));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatClassifyAllMethodsMemberView);
+
+void BM_FlatClassifyTrace(benchmark::State& state) {
+  const auto& w = world();
+  const auto& flat = flat_world();
+  for (auto _ : state) {
+    auto labels = classify::classify_trace(flat, w.trace().flows);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.trace().flows.size()));
+}
+BENCHMARK(BM_FlatClassifyTrace)->Unit(benchmark::kMillisecond);
+
+void BM_FlatClassifyTraceParallel(benchmark::State& state) {
+  const auto& w = world();
+  const auto& flat = flat_world();
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto labels = classify::classify_trace(flat, w.trace().flows, pool);
+    benchmark::DoNotOptimize(labels);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.trace().flows.size()));
+}
+BENCHMARK(BM_FlatClassifyTraceParallel)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FlatCompile(benchmark::State& state) {
+  // The one-off cost the flat engine trades for O(1) lookups.
+  const auto& w = world();
+  for (auto _ : state) {
+    auto flat = classify::FlatClassifier::compile(w.classifier());
+    benchmark::DoNotOptimize(flat);
+  }
+}
+BENCHMARK(BM_FlatCompile)->Unit(benchmark::kMillisecond);
+
+void BM_FlatCompileParallel(benchmark::State& state) {
+  const auto& w = world();
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto flat = classify::FlatClassifier::compile(w.classifier(), pool);
+    benchmark::DoNotOptimize(flat);
+  }
+}
+BENCHMARK(BM_FlatCompileParallel)
+    ->ArgName("threads")
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 // --- ablation: trie LPM vs linear scan for the bogon check ------------------
 
@@ -261,6 +364,20 @@ void print_reproduction() {
       "flow stream; numbers above are this implementation's budget");
   std::cout << "See the benchmark timings above: classification must stay\n"
             << "well under a microsecond per flow for IXP-scale deployments.\n";
+
+  const auto stats = flat_world().stats();
+  const double mib = 1024.0 * 1024.0;
+  std::cout << "\nflat engine compile report (DIR-24-8 plane):\n"
+            << "  base-class table : " << stats.table_bytes / mib
+            << " MiB (2^24 x u32)\n"
+            << "  member bitsets   : " << stats.bitset_bytes / mib << " MiB ("
+            << stats.members << " members x 8 spaces over " << stats.prefixes
+            << " prefixes)\n"
+            << "  overflow lane    : " << stats.overflow_prefixes
+            << " prefixes longer than /24 in " << stats.overflow_slots
+            << " /24 slots\n"
+            << "  partial rows     : " << stats.partial_rows
+            << " (member,space) rows needing the IntervalSet fallback\n";
 }
 
 }  // namespace

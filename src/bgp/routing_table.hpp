@@ -43,6 +43,20 @@ class RoutingTable {
   /// All distinct routed prefixes.
   const std::vector<net::Prefix>& prefixes() const { return prefixes_; }
 
+  /// Number of distinct routed prefixes; PrefixIds are dense in
+  /// [0, prefix_count()).
+  std::size_t prefix_count() const { return prefixes_.size(); }
+
+  /// Calls fn(pid, prefix) for every routed prefix in PrefixId order —
+  /// the iteration the flat classification plane compiles its base table
+  /// and per-member prefix-id bitsets from.
+  template <typename Fn>
+  void visit_prefixes(Fn&& fn) const {
+    for (PrefixId pid = 0; pid < prefixes_.size(); ++pid) {
+      fn(pid, prefixes_[pid]);
+    }
+  }
+
   /// Id of a routed prefix; nullopt if not in the table.
   std::optional<PrefixId> prefix_id(const net::Prefix& p) const;
 

@@ -6,7 +6,10 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bgp/routing_table.hpp"
@@ -32,17 +35,58 @@ inline constexpr int kNumClasses = 4;
 /// Display name matching the paper ("Bogon", "Unrouted", ...).
 std::string class_name(TrafficClass c);
 
+/// The two interchangeable classification engines: the pointer-chasing
+/// trie/interval engine and the compiled flat plane (FlatClassifier).
+/// Both produce bit-identical labels; the flat engine trades a one-off
+/// compile step and ~64 MiB of tables for O(1) per-flow lookups.
+enum class Engine : std::uint8_t {
+  kTrie = 0,  ///< bogon trie + routed trie + per-member interval sets
+  kFlat = 1,  ///< DIR-24-8 base-class table + prefix-id bitsets
+};
+
+/// "trie" / "flat".
+std::string engine_name(Engine e);
+
+/// Inverse of engine_name; nullopt on anything else.
+std::optional<Engine> parse_engine(std::string_view name);
+
 /// Compact per-flow label: 2 bits per configured valid space.
 using Label = std::uint16_t;
 
 /// Classifies sources against the bogon list, the routed table and a set
 /// of per-member valid spaces (one per inference method under study).
+///
+/// The valid spaces are held by shared_ptr<const>: constructing a
+/// Classifier from already-shared spaces is O(1) per space (no deep copy
+/// of the per-member interval maps), and a compiled FlatClassifier keeps
+/// the same shared spaces alive for its fallback lane.
 class Classifier {
  public:
   /// At most 8 valid spaces fit a Label. Throws std::invalid_argument on
-  /// more.
+  /// fewer than 1 or more than 8. Each space is moved into shared
+  /// ownership (no copy).
   Classifier(const bgp::RoutingTable& table,
              std::vector<inference::ValidSpace> spaces);
+
+  /// Shares already-wrapped spaces: O(1) per space.
+  Classifier(const bgp::RoutingTable& table,
+             std::vector<std::shared_ptr<const inference::ValidSpace>> spaces);
+
+  /// Pre-resolved per-member handle: one hash lookup per configured
+  /// space, done once instead of per flow. Invalidated by
+  /// mutable_space() on the corresponding space.
+  class MemberView {
+   public:
+    Asn member() const { return member_; }
+
+   private:
+    friend class Classifier;
+    Asn member_ = net::kNoAsn;
+    std::array<const trie::IntervalSet*, 8> spaces_{};  // null = unknown member
+  };
+
+  /// Resolves the per-space hash lookups for `member` once.
+  MemberView member_view(Asn member) const;
 
   /// Fig 3 for a single method (index into the configured spaces).
   TrafficClass classify(net::Ipv4Addr src, Asn member, std::size_t space_idx) const;
@@ -51,24 +95,37 @@ class Classifier {
   /// classes.
   Label classify_all(net::Ipv4Addr src, Asn member) const;
 
+  /// classify_all with the member hash lookups hoisted out (hot loops).
+  Label classify_all(net::Ipv4Addr src, const MemberView& view) const;
+
   /// Extracts the class for one method from a packed label.
   static TrafficClass unpack(Label label, std::size_t space_idx) {
     return static_cast<TrafficClass>((label >> (2 * space_idx)) & 0x3);
   }
 
   std::size_t space_count() const { return spaces_.size(); }
-  const inference::ValidSpace& space(std::size_t i) const { return spaces_[i]; }
+  const inference::ValidSpace& space(std::size_t i) const { return *spaces_[i]; }
+
+  /// The shared handle for space `i` — what FlatClassifier::compile
+  /// retains so its fallback lane never dangles.
+  const std::shared_ptr<const inference::ValidSpace>& shared_space(
+      std::size_t i) const {
+    return spaces_[i];
+  }
 
   /// Mutable access for the Sec 4.4 false-positive workflow (extending a
-  /// member's valid space and re-classifying).
-  inference::ValidSpace& mutable_space(std::size_t i) { return spaces_[i]; }
+  /// member's valid space and re-classifying). Copy-on-write: if the
+  /// space is shared with another Classifier or a FlatClassifier, it is
+  /// cloned first, so other holders keep the unmodified version.
+  /// Invalidates MemberViews.
+  inference::ValidSpace& mutable_space(std::size_t i);
 
   const bgp::RoutingTable& table() const { return *table_; }
 
  private:
   trie::PrefixSet bogons_;
   const bgp::RoutingTable* table_;
-  std::vector<inference::ValidSpace> spaces_;
+  std::vector<std::shared_ptr<const inference::ValidSpace>> spaces_;
 };
 
 /// Runs the classifier over a whole trace; labels[i] belongs to flows[i].

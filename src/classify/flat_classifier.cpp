@@ -1,0 +1,285 @@
+#include "classify/flat_classifier.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "net/bogon.hpp"
+
+namespace spoofscope::classify {
+
+namespace {
+
+/// Packs the same class for every configured space.
+Label uniform_label(std::size_t num_spaces, TrafficClass c) {
+  Label label = 0;
+  for (std::size_t i = 0; i < num_spaces; ++i) {
+    label |= static_cast<Label>(c) << (2 * i);
+  }
+  return label;
+}
+
+}  // namespace
+
+FlatClassifier FlatClassifier::compile(const Classifier& source) {
+  return compile_impl(source, nullptr);
+}
+
+FlatClassifier FlatClassifier::compile(const Classifier& source,
+                                       util::ThreadPool& pool) {
+  return compile_impl(source, &pool);
+}
+
+FlatClassifier FlatClassifier::compile_impl(const Classifier& source,
+                                            util::ThreadPool* pool) {
+  FlatClassifier flat;
+  flat.table_ = &source.table();
+  flat.spaces_.reserve(source.space_count());
+  for (std::size_t i = 0; i < source.space_count(); ++i) {
+    flat.spaces_.push_back(source.shared_space(i));
+  }
+  flat.all_bogon_ = uniform_label(flat.spaces_.size(), TrafficClass::kBogon);
+  flat.all_unrouted_ = uniform_label(flat.spaces_.size(), TrafficClass::kUnrouted);
+  flat.all_invalid_ = uniform_label(flat.spaces_.size(), TrafficClass::kInvalid);
+
+  const bgp::RoutingTable& table = *flat.table_;
+
+  // --- base-class table ------------------------------------------------
+  // Zero-init == kKindUnrouted everywhere; then paint routed prefixes in
+  // ascending length order so more-specifics overwrite their covering
+  // blocks (the DIR-24-8 full expansion of the FIB), then the bogon
+  // ranges (the classification cascade checks bogons first, and every
+  // /8–/24 bogon covers whole /24 blocks). Prefixes longer than /24
+  // break per-/24 homogeneity: their blocks become overflow entries that
+  // re-run the exact trie lookups per address.
+  flat.base_.assign(std::size_t{1} << 24, 0u);
+  std::vector<std::pair<net::Prefix, std::uint32_t>> routed;
+  routed.reserve(table.prefix_count());
+  table.visit_prefixes([&](bgp::RoutingTable::PrefixId pid,
+                           const net::Prefix& p) { routed.emplace_back(p, pid); });
+  std::sort(routed.begin(), routed.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.length() < b.first.length();
+            });
+
+  const auto paint = [&](const net::Prefix& p, std::uint32_t entry) {
+    const std::size_t first = p.first() >> 8;
+    const std::size_t last = p.last() >> 8;
+    std::fill(flat.base_.begin() + first, flat.base_.begin() + last + 1, entry);
+  };
+  for (const auto& [p, pid] : routed) {
+    if (p.length() <= 24) {
+      paint(p, (kKindRouted << kKindShift) | pid);
+    } else {
+      ++flat.stats_.overflow_prefixes;
+      flat.base_[p.first() >> 8] = kKindOverflow << kKindShift;
+    }
+  }
+  for (const auto& p : net::bogon_prefixes()) {
+    flat.bogons_.insert(p);
+    if (p.length() <= 24) {
+      paint(p, kKindBogon << kKindShift);
+    } else {
+      ++flat.stats_.overflow_prefixes;
+      flat.base_[p.first() >> 8] = kKindOverflow << kKindShift;
+    }
+  }
+  for (const std::uint32_t e : flat.base_) {
+    if ((e >> kKindShift) == kKindOverflow) ++flat.stats_.overflow_slots;
+  }
+
+  // --- per (member, prefix) membership records --------------------------
+  // Slot order is the sorted union of every space's members, so the
+  // compiled plane is independent of hash-map iteration order.
+  for (const auto& space : flat.spaces_) {
+    const auto asns = space->members();
+    flat.members_.insert(flat.members_.end(), asns.begin(), asns.end());
+  }
+  std::sort(flat.members_.begin(), flat.members_.end());
+  flat.members_.erase(std::unique(flat.members_.begin(), flat.members_.end()),
+                      flat.members_.end());
+
+  std::size_t probe_cap = 16;
+  while (probe_cap < flat.members_.size() * 2) probe_cap <<= 1;
+  flat.probe_mask_ = static_cast<std::uint32_t>(probe_cap - 1);
+  flat.probe_keys_.assign(probe_cap, 0);
+  flat.probe_slots_.assign(probe_cap, MemberView::kNoSlot);
+  for (std::size_t slot = 0; slot < flat.members_.size(); ++slot) {
+    std::uint32_t h =
+        (static_cast<std::uint32_t>(flat.members_[slot]) * 2654435761u) &
+        flat.probe_mask_;
+    while (flat.probe_slots_[h] != MemberView::kNoSlot) {
+      h = (h + 1) & flat.probe_mask_;
+    }
+    flat.probe_keys_[h] = flat.members_[slot];
+    flat.probe_slots_[h] = static_cast<std::uint32_t>(slot);
+  }
+
+  const std::size_t num_spaces = flat.spaces_.size();
+  flat.num_prefixes_ = table.prefix_count();
+  flat.records_.assign(flat.members_.size() * flat.num_prefixes_, 0);
+  flat.fallback_.assign(flat.members_.size() * num_spaces, nullptr);
+
+  // Each member's record row (all methods interleaved) is written by
+  // exactly one lane, so the fan-out is race-free and deterministic.
+  const auto build_rows = [&](std::size_t slot_begin, std::size_t slot_end) {
+    for (std::size_t slot = slot_begin; slot < slot_end; ++slot) {
+      const Asn member = flat.members_[slot];
+      std::uint16_t* row = flat.records_.data() + slot * flat.num_prefixes_;
+      for (std::size_t s = 0; s < num_spaces; ++s) {
+        const trie::IntervalSet* space = flat.spaces_[s]->space_of(member);
+        if (!space || space->empty()) continue;
+        table.visit_prefixes([&](bgp::RoutingTable::PrefixId pid,
+                                 const net::Prefix& p) {
+          if (space->contains_range(p.first(), p.last())) {
+            row[pid] |= static_cast<std::uint16_t>(1u << s);
+          } else if (space->intersects_range(p.first(), p.last())) {
+            row[pid] |= static_cast<std::uint16_t>(1u << (8 + s));
+            flat.fallback_[slot * num_spaces + s] = space;
+          }
+        });
+      }
+    }
+  };
+  if (pool) {
+    pool->parallel_for(0, flat.members_.size(), build_rows);
+  } else {
+    build_rows(0, flat.members_.size());
+  }
+
+  for (const auto* fb : flat.fallback_) {
+    if (fb) ++flat.stats_.partial_rows;
+  }
+  flat.stats_.table_bytes = flat.base_.size() * sizeof(std::uint32_t);
+  flat.stats_.bitset_bytes = flat.records_.size() * sizeof(std::uint16_t);
+  flat.stats_.prefixes = flat.num_prefixes_;
+  flat.stats_.members = flat.members_.size();
+  return flat;
+}
+
+FlatClassifier::MemberView FlatClassifier::member_view(Asn member) const {
+  MemberView view;
+  view.member_ = member;
+  std::uint32_t h =
+      (static_cast<std::uint32_t>(member) * 2654435761u) & probe_mask_;
+  while (probe_slots_[h] != MemberView::kNoSlot) {
+    if (probe_keys_[h] == member) {
+      view.slot_ = probe_slots_[h];
+      break;
+    }
+    h = (h + 1) & probe_mask_;
+  }
+  return view;
+}
+
+TrafficClass FlatClassifier::class_in_space(net::Ipv4Addr src,
+                                            std::uint32_t pid,
+                                            std::uint32_t slot,
+                                            std::size_t space_idx) const {
+  const std::uint16_t rec = records_[slot * num_prefixes_ + pid];
+  if (rec & (1u << space_idx)) return TrafficClass::kValid;
+  if ((rec & (1u << (8 + space_idx))) &&
+      fallback_[slot * spaces_.size() + space_idx]->contains(src)) {
+    return TrafficClass::kValid;
+  }
+  return TrafficClass::kInvalid;
+}
+
+Label FlatClassifier::classify_routed(net::Ipv4Addr src, std::uint32_t pid,
+                                      const MemberView& view) const {
+  if (!view.known()) return all_invalid_;
+  const std::uint16_t rec = records_[view.slot_ * num_prefixes_ + pid];
+  std::uint32_t valid = rec & 0xFFu;
+  if (std::uint32_t partial = rec >> 8; partial != 0) [[unlikely]] {
+    const trie::IntervalSet* const* fb =
+        fallback_.data() + view.slot_ * spaces_.size();
+    do {
+      const int s = std::countr_zero(partial);
+      if (fb[s]->contains(src)) valid |= 1u << s;
+      partial &= partial - 1;
+    } while (partial != 0);
+  }
+  // Spread the valid mask's bit m to bit 2m; ORed over the all-Invalid
+  // pattern this flips Invalid (0b10) to Valid (0b11) per method.
+  std::uint32_t x = valid;
+  x = (x | (x << 4)) & 0x0F0Fu;
+  x = (x | (x << 2)) & 0x3333u;
+  x = (x | (x << 1)) & 0x5555u;
+  return static_cast<Label>(all_invalid_ | x);
+}
+
+Label FlatClassifier::classify_overflow(net::Ipv4Addr src,
+                                        const MemberView& view) const {
+  // Exact lane for /24 blocks broken by a longer-than-/24 prefix: re-run
+  // the cascade's trie lookups per address.
+  if (bogons_.covers(src)) return all_bogon_;
+  const auto pid = table_->covering_prefix(src);
+  if (!pid) return all_unrouted_;
+  return classify_routed(src, *pid, view);
+}
+
+Label FlatClassifier::classify_all(net::Ipv4Addr src,
+                                   const MemberView& view) const {
+  const std::uint32_t entry = base_[src.value() >> 8];
+  switch (entry >> kKindShift) {
+    case kKindUnrouted: return all_unrouted_;
+    case kKindBogon: return all_bogon_;
+    case kKindRouted: return classify_routed(src, entry & kPayloadMask, view);
+    default: return classify_overflow(src, view);
+  }
+}
+
+TrafficClass FlatClassifier::classify(net::Ipv4Addr src, const MemberView& view,
+                                      std::size_t space_idx) const {
+  const std::uint32_t entry = base_[src.value() >> 8];
+  switch (entry >> kKindShift) {
+    case kKindUnrouted: return TrafficClass::kUnrouted;
+    case kKindBogon: return TrafficClass::kBogon;
+    case kKindRouted:
+      return view.known() ? class_in_space(src, entry & kPayloadMask,
+                                           view.slot_, space_idx)
+                          : TrafficClass::kInvalid;
+    default:
+      return Classifier::unpack(classify_overflow(src, view), space_idx);
+  }
+}
+
+namespace {
+
+template <typename Out>
+void flat_classify_range(const FlatClassifier& classifier,
+                         std::span<const net::FlowRecord> flows,
+                         std::size_t begin, std::size_t end, Out&& out) {
+  std::unordered_map<Asn, FlatClassifier::MemberView> views;
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& f = flows[i];
+    auto it = views.find(f.member_in);
+    if (it == views.end()) {
+      it = views.emplace(f.member_in, classifier.member_view(f.member_in)).first;
+    }
+    out(i, classifier.classify_all(f.src, it->second));
+  }
+}
+
+}  // namespace
+
+std::vector<Label> classify_trace(const FlatClassifier& classifier,
+                                  std::span<const net::FlowRecord> flows) {
+  std::vector<Label> labels(flows.size());
+  flat_classify_range(classifier, flows, 0, flows.size(),
+                      [&](std::size_t i, Label l) { labels[i] = l; });
+  return labels;
+}
+
+std::vector<Label> classify_trace(const FlatClassifier& classifier,
+                                  std::span<const net::FlowRecord> flows,
+                                  util::ThreadPool& pool) {
+  std::vector<Label> labels(flows.size());
+  pool.parallel_for(0, flows.size(), [&](std::size_t b, std::size_t e) {
+    flat_classify_range(classifier, flows, b, e,
+                        [&](std::size_t i, Label l) { labels[i] = l; });
+  });
+  return labels;
+}
+
+}  // namespace spoofscope::classify

@@ -1,0 +1,161 @@
+// Compiled flat classification plane — the DIR-24-8 answer to the trie
+// engine's pointer chasing.
+//
+// Because the routing table only admits /8–/24 announcements (Sec 3.3)
+// and every bogon prefix is /4–/24, each /24 block of the address space
+// is homogeneous: all of its addresses share one base class and, when
+// routed, one covering PrefixId. Compiling an existing Classifier
+// therefore yields
+//
+//   1. a 2^24-entry base-class table  (/24 -> {bogon, unrouted,
+//      routed+PrefixId, overflow}),
+//   2. per (member, PrefixId) 16-bit membership records interleaving the
+//      per-method bits: bit m set means method m's valid space covers the
+//      whole prefix (-> Valid on hit), bit 8+m means it covers part of it
+//      (-> consult the member's interval set, the extend() fallback lane),
+//   3. a MemberView handle that hoists the per-member hash lookup out of
+//      the per-flow loop,
+//
+// and classify_all becomes one table read plus one record read: the
+// interleaved layout answers all eight methods from a single cache line
+// (a bit-spread turns the 8-bit valid mask into the packed Label).
+// Prefixes longer than /24 (possible only if the ingest invariant is
+// relaxed) demote their /24 block to an overflow entry that falls back to
+// the exact trie lookups, so the plane stays correct, merely slower, for
+// those blocks; compile() counts them in Stats.
+//
+// A FlatClassifier is an immutable snapshot: it shares the source
+// Classifier's valid spaces (shared_ptr<const>), and Classifier's
+// copy-on-write mutable_space() guarantees later extend() calls never
+// mutate a compiled plane — recompile to pick them up.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "classify/classifier.hpp"
+
+namespace spoofscope::classify {
+
+/// The flat engine. Construct via compile(); answers the same queries as
+/// Classifier with identical results.
+class FlatClassifier {
+ public:
+  /// Pre-resolved member handle: the single hash lookup, done once.
+  class MemberView {
+   public:
+    Asn member() const { return member_; }
+    /// False when the member appears in no configured valid space (all
+    /// its routed traffic is Invalid).
+    bool known() const { return slot_ != kNoSlot; }
+
+   private:
+    friend class FlatClassifier;
+    static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+    Asn member_ = net::kNoAsn;
+    std::uint32_t slot_ = kNoSlot;
+  };
+
+  /// Compile-cost / memory-footprint report.
+  struct Stats {
+    std::size_t table_bytes = 0;        ///< base-class table footprint
+    std::size_t bitset_bytes = 0;       ///< all membership records
+    std::size_t prefixes = 0;           ///< routed prefixes (bitset width)
+    std::size_t members = 0;            ///< distinct members across spaces
+    std::size_t overflow_prefixes = 0;  ///< prefixes longer than /24
+    std::size_t overflow_slots = 0;     ///< /24 entries on the slow lane
+    std::size_t partial_rows = 0;       ///< (space, member) pairs needing
+                                        ///< the interval-set fallback lane
+  };
+
+  /// Compiles `source` into the flat plane. O(2^24) table fill plus
+  /// O(members * prefixes * log) bitset construction.
+  static FlatClassifier compile(const Classifier& source);
+
+  /// Parallel compile: the per-member bitset rows are independent, so
+  /// they fan out across `pool`; the result is identical to the
+  /// sequential compile.
+  static FlatClassifier compile(const Classifier& source,
+                                util::ThreadPool& pool);
+
+  /// Resolves the member hash lookup once.
+  MemberView member_view(Asn member) const;
+
+  /// Fig 3 for a single method. Identical to Classifier::classify.
+  TrafficClass classify(net::Ipv4Addr src, Asn member,
+                        std::size_t space_idx) const {
+    return classify(src, member_view(member), space_idx);
+  }
+
+  TrafficClass classify(net::Ipv4Addr src, const MemberView& view,
+                        std::size_t space_idx) const;
+
+  /// All methods at once. Identical to Classifier::classify_all.
+  Label classify_all(net::Ipv4Addr src, Asn member) const {
+    return classify_all(src, member_view(member));
+  }
+
+  Label classify_all(net::Ipv4Addr src, const MemberView& view) const;
+
+  std::size_t space_count() const { return spaces_.size(); }
+  const inference::ValidSpace& space(std::size_t i) const { return *spaces_[i]; }
+  const bgp::RoutingTable& table() const { return *table_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  FlatClassifier() = default;
+
+  // Base-table entry: kind in the top 2 bits, PrefixId in the low 30.
+  static constexpr std::uint32_t kKindShift = 30;
+  static constexpr std::uint32_t kPayloadMask = (1u << kKindShift) - 1;
+  static constexpr std::uint32_t kKindUnrouted = 0;  // must be 0: zero-init
+  static constexpr std::uint32_t kKindBogon = 1;
+  static constexpr std::uint32_t kKindRouted = 2;
+  static constexpr std::uint32_t kKindOverflow = 3;
+
+  Label classify_routed(net::Ipv4Addr src, std::uint32_t pid,
+                        const MemberView& view) const;
+  Label classify_overflow(net::Ipv4Addr src, const MemberView& view) const;
+  TrafficClass class_in_space(net::Ipv4Addr src, std::uint32_t pid,
+                              std::uint32_t slot, std::size_t space_idx) const;
+
+  static FlatClassifier compile_impl(const Classifier& source,
+                                     util::ThreadPool* pool);
+
+  std::vector<std::uint32_t> base_;  // 1 << 24 entries
+  trie::PrefixSet bogons_;           // overflow-lane bogon check
+  const bgp::RoutingTable* table_ = nullptr;
+  std::vector<std::shared_ptr<const inference::ValidSpace>> spaces_;
+  std::vector<Asn> members_;  // sorted; a member's slot is its index
+  /// Open-addressed Asn -> slot probe table (linear probing, power-of-two
+  /// capacity) so member_view is O(1) instead of a binary search.
+  std::vector<Asn> probe_keys_;
+  std::vector<std::uint32_t> probe_slots_;
+  std::uint32_t probe_mask_ = 0;
+  /// Slot-major membership records: records_[slot * prefixes + pid] holds
+  /// the full bits (low byte, bit m = method m) and partial bits (high
+  /// byte) for one (member, prefix) pair — all methods in one load.
+  std::vector<std::uint16_t> records_;
+  /// Per (slot, method): the member's interval set when any partial bit
+  /// is set in that lane (the extend() fallback), nullptr otherwise.
+  /// Indexed slot * space_count() + method.
+  std::vector<const trie::IntervalSet*> fallback_;
+  std::size_t num_prefixes_ = 0;
+  Label all_bogon_ = 0;
+  Label all_unrouted_ = 0;
+  Label all_invalid_ = 0;
+  Stats stats_;
+};
+
+/// Trace classification on the flat engine; element-wise identical to the
+/// trie-engine classify_trace.
+std::vector<Label> classify_trace(const FlatClassifier& classifier,
+                                  std::span<const net::FlowRecord> flows);
+
+/// Parallel variant (same chunking contract as the trie overload).
+std::vector<Label> classify_trace(const FlatClassifier& classifier,
+                                  std::span<const net::FlowRecord> flows,
+                                  util::ThreadPool& pool);
+
+}  // namespace spoofscope::classify

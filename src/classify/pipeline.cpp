@@ -12,21 +12,21 @@ struct PartialAggregate {
 };
 
 /// Accumulates flows[begin, end) into a fresh partial.
-PartialAggregate accumulate_range(const Classifier& classifier,
+PartialAggregate accumulate_range(std::size_t space_count,
                                   std::span<const net::FlowRecord> flows,
                                   std::span<const Label> labels,
                                   const std::unordered_set<Asn>& exclude_members,
                                   std::size_t begin, std::size_t end) {
   PartialAggregate p;
-  p.agg.totals.resize(classifier.space_count());
-  p.members.resize(classifier.space_count());
+  p.agg.totals.resize(space_count);
+  p.members.resize(space_count);
   for (std::size_t i = begin; i < end; ++i) {
     const auto& f = flows[i];
     if (exclude_members.count(f.member_in)) continue;
     p.agg.total_packets += f.packets;
     p.agg.total_bytes += static_cast<double>(f.bytes);
     p.agg.total_flows += 1;
-    for (std::size_t s = 0; s < classifier.space_count(); ++s) {
+    for (std::size_t s = 0; s < space_count; ++s) {
       const auto c = static_cast<std::size_t>(Classifier::unpack(labels[i], s));
       auto& cell = p.agg.totals[s][c];
       cell.flows += 1;
@@ -50,15 +50,15 @@ Aggregate finalize(PartialAggregate p) {
 
 }  // namespace
 
-Aggregate aggregate_classes(const Classifier& classifier,
+Aggregate aggregate_classes(std::size_t space_count,
                             std::span<const net::FlowRecord> flows,
                             std::span<const Label> labels,
                             const std::unordered_set<Asn>& exclude_members) {
-  return finalize(accumulate_range(classifier, flows, labels, exclude_members,
+  return finalize(accumulate_range(space_count, flows, labels, exclude_members,
                                    0, flows.size()));
 }
 
-Aggregate aggregate_classes(const Classifier& classifier,
+Aggregate aggregate_classes(std::size_t space_count,
                             std::span<const net::FlowRecord> flows,
                             std::span<const Label> labels,
                             const std::unordered_set<Asn>& exclude_members,
@@ -66,7 +66,7 @@ Aggregate aggregate_classes(const Classifier& classifier,
   const auto chunks =
       util::ThreadPool::partition(0, flows.size(), pool.thread_count());
   if (chunks.size() <= 1) {
-    return aggregate_classes(classifier, flows, labels, exclude_members);
+    return aggregate_classes(space_count, flows, labels, exclude_members);
   }
 
   std::vector<PartialAggregate> partials(chunks.size());
@@ -74,7 +74,7 @@ Aggregate aggregate_classes(const Classifier& classifier,
   // outer parallel_for runs exactly one partial per execution lane.
   pool.parallel_for(0, chunks.size(), [&](std::size_t cb, std::size_t ce) {
     for (std::size_t c = cb; c < ce; ++c) {
-      partials[c] = accumulate_range(classifier, flows, labels,
+      partials[c] = accumulate_range(space_count, flows, labels,
                                      exclude_members, chunks[c].begin,
                                      chunks[c].end);
     }

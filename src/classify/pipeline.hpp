@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "classify/classifier.hpp"
+#include "classify/flat_classifier.hpp"
 #include "net/trace.hpp"
 
 namespace spoofscope::classify {
@@ -30,9 +31,11 @@ struct Aggregate {
   double total_flows = 0;
 };
 
-/// Aggregates labels over flows. `exclude_members` drops flows injected
-/// by those members (the Sec 5.2 router-stray exclusion).
-Aggregate aggregate_classes(const Classifier& classifier,
+/// Aggregates labels over flows. Engine-agnostic: labels already carry
+/// the per-space classes, so only the space count is needed.
+/// `exclude_members` drops flows injected by those members (the Sec 5.2
+/// router-stray exclusion).
+Aggregate aggregate_classes(std::size_t space_count,
                             std::span<const net::FlowRecord> flows,
                             std::span<const Label> labels,
                             const std::unordered_set<Asn>& exclude_members = {});
@@ -42,10 +45,45 @@ Aggregate aggregate_classes(const Classifier& classifier,
 /// time). Totals match the sequential version exactly: every summed
 /// quantity is an integral-valued double far below 2^53, so the
 /// reassociated partial sums are exact.
-Aggregate aggregate_classes(const Classifier& classifier,
+Aggregate aggregate_classes(std::size_t space_count,
                             std::span<const net::FlowRecord> flows,
                             std::span<const Label> labels,
                             const std::unordered_set<Asn>& exclude_members,
                             util::ThreadPool& pool);
+
+/// Convenience overloads taking either engine for the space count.
+inline Aggregate aggregate_classes(
+    const Classifier& classifier, std::span<const net::FlowRecord> flows,
+    std::span<const Label> labels,
+    const std::unordered_set<Asn>& exclude_members = {}) {
+  return aggregate_classes(classifier.space_count(), flows, labels,
+                           exclude_members);
+}
+
+inline Aggregate aggregate_classes(const Classifier& classifier,
+                                   std::span<const net::FlowRecord> flows,
+                                   std::span<const Label> labels,
+                                   const std::unordered_set<Asn>& exclude_members,
+                                   util::ThreadPool& pool) {
+  return aggregate_classes(classifier.space_count(), flows, labels,
+                           exclude_members, pool);
+}
+
+inline Aggregate aggregate_classes(
+    const FlatClassifier& classifier, std::span<const net::FlowRecord> flows,
+    std::span<const Label> labels,
+    const std::unordered_set<Asn>& exclude_members = {}) {
+  return aggregate_classes(classifier.space_count(), flows, labels,
+                           exclude_members);
+}
+
+inline Aggregate aggregate_classes(const FlatClassifier& classifier,
+                                   std::span<const net::FlowRecord> flows,
+                                   std::span<const Label> labels,
+                                   const std::unordered_set<Asn>& exclude_members,
+                                   util::ThreadPool& pool) {
+  return aggregate_classes(classifier.space_count(), flows, labels,
+                           exclude_members, pool);
+}
 
 }  // namespace spoofscope::classify

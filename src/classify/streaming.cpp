@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "classify/flat_classifier.hpp"
+
 namespace spoofscope::classify {
 
 StreamingDetector::StreamingDetector(const Classifier& classifier,
@@ -9,12 +11,18 @@ StreamingDetector::StreamingDetector(const Classifier& classifier,
                                      StreamingParams params)
     : classifier_(&classifier), space_idx_(space_idx), params_(params) {}
 
+StreamingDetector::StreamingDetector(const FlatClassifier& classifier,
+                                     std::size_t space_idx,
+                                     StreamingParams params)
+    : flat_(&classifier), space_idx_(space_idx), params_(params) {}
+
 void StreamingDetector::ingest(
     const net::FlowRecord& flow,
     const std::function<void(const SpoofingAlert&)>& on_alert) {
   ++processed_;
   const TrafficClass cls =
-      classifier_->classify(flow.src, flow.member_in, space_idx_);
+      flat_ ? flat_->classify(flow.src, flow.member_in, space_idx_)
+            : classifier_->classify(flow.src, flow.member_in, space_idx_);
   auto& w = windows_[flow.member_in];
 
   // Evict samples that left the window.

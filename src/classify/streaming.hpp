@@ -17,6 +17,8 @@
 
 namespace spoofscope::classify {
 
+class FlatClassifier;
+
 /// An alert raised by the streaming detector.
 struct SpoofingAlert {
   Asn member = net::kNoAsn;
@@ -24,6 +26,8 @@ struct SpoofingAlert {
   TrafficClass dominant_class = TrafficClass::kInvalid;
   double spoofed_packets_in_window = 0;
   double window_share = 0;         ///< spoofed share of the member's window
+
+  friend bool operator==(const SpoofingAlert&, const SpoofingAlert&) = default;
 };
 
 /// Detection knobs.
@@ -44,6 +48,11 @@ class StreamingDetector {
   /// `classifier` must outlive the detector; `space_idx` selects the
   /// inference method (typically FULL+org).
   StreamingDetector(const Classifier& classifier, std::size_t space_idx,
+                    StreamingParams params = {});
+
+  /// Flat-engine variant: identical alerts (the engines are proven
+  /// bit-identical), O(1) per-flow classification cost.
+  StreamingDetector(const FlatClassifier& classifier, std::size_t space_idx,
                     StreamingParams params = {});
 
   /// Processes one flow; invokes `on_alert` zero or one time.
@@ -71,7 +80,8 @@ class StreamingDetector {
     bool alerted_once = false;
   };
 
-  const Classifier* classifier_;
+  const Classifier* classifier_ = nullptr;   // exactly one engine is set
+  const FlatClassifier* flat_ = nullptr;
   std::size_t space_idx_;
   StreamingParams params_;
   std::unordered_map<Asn, MemberWindow> windows_;

@@ -136,13 +136,20 @@ Scenario::Scenario(const ScenarioParams& params)
       classifier_(table_, build_spaces(factory_, ixp_, pool_)),
       workload_(traffic::generate_workload(topology_, ixp_, whois_,
                                            params.workload,
-                                           params.seed ^ 0x7aff1c)),
-      labels_(classify::classify_trace(classifier_, workload_.trace.flows,
-                                       pool_)) {
+                                           params.seed ^ 0x7aff1c)) {
+  if (params_.engine == classify::Engine::kFlat) {
+    flat_ = std::make_unique<classify::FlatClassifier>(
+        classify::FlatClassifier::compile(classifier_, pool_));
+    labels_ = classify::classify_trace(*flat_, workload_.trace.flows, pool_);
+  } else {
+    labels_ = classify::classify_trace(classifier_, workload_.trace.flows,
+                                       pool_);
+  }
   util::log_info() << "scenario ready: " << topology_.as_count() << " ASes, "
                    << ixp_.member_count() << " members, "
                    << table_.prefixes().size() << " routed prefixes, "
-                   << workload_.trace.flows.size() << " sampled flows";
+                   << workload_.trace.flows.size() << " sampled flows ("
+                   << classify::engine_name(params_.engine) << " engine)";
 }
 
 std::vector<analysis::MemberClassCounts> Scenario::member_counts(

@@ -11,6 +11,7 @@
 #include "analysis/member_stats.hpp"
 #include "bgp/collector.hpp"
 #include "classify/classifier.hpp"
+#include "classify/flat_classifier.hpp"
 #include "classify/pipeline.hpp"
 #include "data/ark.hpp"
 #include "data/as2org.hpp"
@@ -43,6 +44,11 @@ struct ScenarioParams {
   /// classification: 0 = hardware concurrency, 1 = exact sequential
   /// execution (the default; results are identical either way).
   std::size_t threads = 1;
+
+  /// Classification engine for the scenario's trace labels: the trie
+  /// engine (default) or the compiled flat plane. Labels are identical
+  /// for both; flat trades a one-off compile for O(1) per-flow lookups.
+  classify::Engine engine = classify::Engine::kTrie;
 
   /// Laptop-quick configuration for tests and examples.
   static ScenarioParams small();
@@ -77,6 +83,10 @@ class Scenario {
 
   classify::Classifier& classifier() { return classifier_; }
   const classify::Classifier& classifier() const { return classifier_; }
+
+  /// The compiled flat plane when params.engine == kFlat (it produced
+  /// labels()); nullptr under the trie engine.
+  const classify::FlatClassifier* flat_classifier() const { return flat_.get(); }
   const std::vector<classify::Label>& labels() const { return labels_; }
   std::vector<classify::Label>& mutable_labels() { return labels_; }
 
@@ -101,6 +111,7 @@ class Scenario {
   std::vector<data::SpooferRecord> spoofer_;
   inference::ValidSpaceFactory factory_;
   classify::Classifier classifier_;
+  std::unique_ptr<classify::FlatClassifier> flat_;
   traffic::Workload workload_;
   std::vector<classify::Label> labels_;
 };

@@ -86,6 +86,15 @@ bool IntervalSet::contains_range(std::uint32_t lo, std::uint32_t hi) const {
   return lo >= it->lo && hi <= it->hi;
 }
 
+bool IntervalSet::intersects_range(std::uint32_t lo, std::uint32_t hi) const {
+  // First interval that ends at or after lo; it intersects iff it starts
+  // at or before hi.
+  auto it = std::lower_bound(
+      ivs_.begin(), ivs_.end(), lo,
+      [](const Interval& iv, std::uint32_t v) { return iv.hi < v; });
+  return it != ivs_.end() && it->lo <= hi;
+}
+
 std::uint64_t IntervalSet::address_count() const {
   std::uint64_t n = 0;
   for (const auto& iv : ivs_) {

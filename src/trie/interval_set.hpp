@@ -48,6 +48,9 @@ class IntervalSet {
   /// True if the whole range [lo, hi] is covered.
   bool contains_range(std::uint32_t lo, std::uint32_t hi) const;
 
+  /// True if any address in [lo, hi] is in the set. O(log n).
+  bool intersects_range(std::uint32_t lo, std::uint32_t hi) const;
+
   /// Number of addresses covered (up to 2^32, hence uint64).
   std::uint64_t address_count() const;
 

@@ -121,7 +121,8 @@ TEST(Classifier, PackedLabelsAgreeWithSingleOnRandomAddresses) {
 
 TEST(Classifier, RejectsEmptyOrTooManySpaces) {
   const auto table = small_table();
-  EXPECT_THROW(Classifier(table, {}), std::invalid_argument);
+  EXPECT_THROW(Classifier(table, std::vector<inference::ValidSpace>{}),
+               std::invalid_argument);
   std::vector<inference::ValidSpace> nine(9);
   EXPECT_THROW(Classifier(table, std::move(nine)), std::invalid_argument);
 }

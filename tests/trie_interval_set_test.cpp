@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/prefix.hpp"
+#include "util/rng.hpp"
 
 namespace spoofscope::trie {
 namespace {
@@ -201,6 +202,109 @@ TEST(IntervalSet, ToPrefixesFullSpaceIsDefaultRoute) {
   const auto ps = s.to_prefixes();
   ASSERT_EQ(ps.size(), 1u);
   EXPECT_EQ(ps[0], pfx("0.0.0.0/0"));
+}
+
+// The flat classification plane's fallback lane leans on to_prefixes /
+// from_prefixes being exact inverses: fuzz the round trip with random
+// (overlapping, adjacent, extreme) intervals.
+TEST(IntervalSet, ToPrefixesRoundTripUnderRandomIntervalFuzz) {
+  util::Rng rng(0xf1a7);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<Interval> ivs;
+    const int n = 1 + static_cast<int>(rng.next_u32() % 20);
+    for (int i = 0; i < n; ++i) {
+      std::uint32_t a = rng.next_u32();
+      std::uint32_t b = rng.next_u32();
+      // Mix full-range chaos with clustered small intervals so merges,
+      // adjacency and containment all occur.
+      if (i % 3 == 0) {
+        a &= 0xFFFF;
+        b = a + (b & 0x3FF);
+      }
+      if (a > b) std::swap(a, b);
+      ivs.push_back({a, b});
+    }
+    // Occasionally pin the extremes.
+    if (iter % 5 == 0) ivs.push_back({0, rng.next_u32() & 0xFF});
+    if (iter % 7 == 0) ivs.push_back({~0u - (rng.next_u32() & 0xFF), ~0u});
+
+    const IntervalSet s = IntervalSet::from_intervals(std::move(ivs));
+    const auto ps = s.to_prefixes();
+    const IntervalSet back = IntervalSet::from_prefixes(ps);
+    ASSERT_EQ(back, s) << "round trip diverged at iteration " << iter;
+    // The decomposition must also be minimal-ish sane: exact address count.
+    std::uint64_t total = 0;
+    for (const auto& p : ps) total += p.num_addresses();
+    ASSERT_EQ(total, s.address_count()) << "iteration " << iter;
+  }
+}
+
+TEST(IntervalSet, AddAdjacencyMergesAtZero) {
+  IntervalSet s;
+  s.add(0, 0);
+  s.add(1, 5);  // adjacent to [0,0]
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{0, 5}));
+
+  IntervalSet t;
+  t.add(1, 5);
+  t.add(0, 0);  // adjacency probed from the other side; lo == 0 edge
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.intervals()[0], (Interval{0, 5}));
+  EXPECT_TRUE(t.contains(Ipv4Addr(0)));
+}
+
+TEST(IntervalSet, AddAdjacencyMergesAtMax) {
+  IntervalSet s;
+  s.add(~0u, ~0u);
+  s.add(~0u - 5, ~0u - 1);  // adjacent below the top address
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{~0u - 5, ~0u}));
+
+  IntervalSet t;
+  t.add(~0u - 5, ~0u - 1);
+  t.add(~0u, ~0u);  // hi == UINT32_MAX: the hi+1 probe must not wrap
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.intervals()[0], (Interval{~0u - 5, ~0u}));
+  EXPECT_TRUE(t.contains(Ipv4Addr(~0u)));
+  EXPECT_EQ(t.address_count(), 6u);
+}
+
+TEST(IntervalSet, AddNonAdjacentExtremesStaySeparate) {
+  IntervalSet s;
+  s.add(0, 0);
+  s.add(~0u, ~0u);  // no wrap-around merge between 0xFFFFFFFF and 0
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.address_count(), 2u);
+  s.add(2, ~0u - 2);  // gap of exactly 1 on both sides: no merge
+  ASSERT_EQ(s.size(), 3u);
+  s.add(1, 1);  // bridges [0,0] and [2, ...]
+  s.add(~0u - 1, ~0u - 1);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{0, ~0u}));
+}
+
+TEST(IntervalSet, IntersectsRangeAgreesWithIntersect) {
+  util::Rng rng(0x1e45);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<Interval> ivs;
+    for (int i = 0; i < 8; ++i) {
+      const std::uint32_t a = rng.next_u32() & 0xFFFFF;
+      ivs.push_back({a, a + (rng.next_u32() & 0xFFF)});
+    }
+    const IntervalSet s = IntervalSet::from_intervals(std::move(ivs));
+    for (int i = 0; i < 50; ++i) {
+      std::uint32_t lo = rng.next_u32() & 0x1FFFFF;
+      std::uint32_t hi = lo + (rng.next_u32() & 0x1FFF);
+      IntervalSet probe;
+      probe.add(lo, hi);
+      ASSERT_EQ(s.intersects_range(lo, hi), !s.intersect(probe).empty())
+          << "[" << lo << ", " << hi << "] iteration " << iter;
+      ASSERT_EQ(s.contains_range(lo, hi),
+                s.intersect(probe).address_count() == probe.address_count())
+          << "[" << lo << ", " << hi << "] iteration " << iter;
+    }
+  }
 }
 
 }  // namespace

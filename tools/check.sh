@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Full verification sweep:
+#   1. tier-1: default build + complete ctest suite
+#   2. ThreadSanitizer build, running the concurrency-sensitive suites
+#      (the parallel engine oracles including the flat/trie differential
+#      tests, the thread pool, and the streaming detector)
+#   3. AddressSanitizer build, same suites plus the trie/interval code
+#
+# Usage: tools/check.sh
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc)"
+
+run_suite() {
+  local dir="$1"
+  shift
+  for bin in "$@"; do
+    echo "--- ${dir}/tests/${bin}"
+    "${REPO_ROOT}/${dir}/tests/${bin}"
+  done
+}
+
+echo "=== tier-1: default build + full ctest ==="
+cmake -S "${REPO_ROOT}" -B "${REPO_ROOT}/build" >/dev/null
+cmake --build "${REPO_ROOT}/build" -j "${JOBS}"
+ctest --test-dir "${REPO_ROOT}/build" --output-on-failure -j "${JOBS}"
+
+TSAN_SUITES=(
+  classify_parallel_oracle_test
+  classify_flat_oracle_test
+  classify_streaming_test
+  util_thread_pool_test
+  scenario_multiseed_test
+)
+
+echo "=== ThreadSanitizer: parallel + flat/trie differential suites ==="
+cmake -S "${REPO_ROOT}" -B "${REPO_ROOT}/build-tsan" \
+  -DSPOOFSCOPE_SANITIZE=thread >/dev/null
+cmake --build "${REPO_ROOT}/build-tsan" -j "${JOBS}" --target "${TSAN_SUITES[@]}"
+run_suite build-tsan "${TSAN_SUITES[@]}"
+
+ASAN_SUITES=(
+  classify_parallel_oracle_test
+  classify_flat_oracle_test
+  trie_interval_set_test
+  trie_property_test
+  classify_test
+)
+
+echo "=== AddressSanitizer: classification + trie suites ==="
+cmake -S "${REPO_ROOT}" -B "${REPO_ROOT}/build-asan" \
+  -DSPOOFSCOPE_SANITIZE=address >/dev/null
+cmake --build "${REPO_ROOT}/build-asan" -j "${JOBS}" --target "${ASAN_SUITES[@]}"
+run_suite build-asan "${ASAN_SUITES[@]}"
+
+echo "=== all checks passed ==="

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build and run the core performance benchmarks, recording machine-readable
+# results at the repo root as BENCH_perf_core.json.
+#
+# Usage: tools/run_benches.sh [extra google-benchmark flags...]
+#   e.g. tools/run_benches.sh --benchmark_filter='Flat'
+#
+# JSON goes through --benchmark_out (not stdout) so the reproduction report
+# the binary prints after the runs cannot corrupt it.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+OUT_JSON="${REPO_ROOT}/BENCH_perf_core.json"
+
+cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" >/dev/null
+cmake --build "${BUILD_DIR}" --target bench_perf_core -j "$(nproc)"
+
+"${BUILD_DIR}/bench/bench_perf_core" \
+  --benchmark_out="${OUT_JSON}" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote ${OUT_JSON}"

@@ -54,15 +54,20 @@ using namespace spoofscope;
   std::cerr <<
       "usage:\n"
       "  spoofscope generate --out DIR [--seed N] [--paper] [--threads N]\n"
+      "                      [--engine trie|flat]\n"
       "  spoofscope classify --mrt FILES --trace FILE [--rpsl FILE]\n"
       "                      [--method naive|cc|cc+org|full|full+org]\n"
       "                      [--labels OUT.csv] [--threads N]\n"
+      "                      [--engine trie|flat]\n"
       "  spoofscope report   --mrt FILES --trace FILE [--rpsl FILE]\n"
-      "                      [--threads N]\n"
+      "                      [--threads N] [--engine trie|flat]\n"
       "\n"
       "--threads N runs valid-space construction and classification on N\n"
       "worker threads (0 = hardware concurrency, default 1 = sequential);\n"
-      "results are identical for every N.\n";
+      "results are identical for every N.\n"
+      "--engine flat compiles the classifier into the DIR-24-8 flat plane\n"
+      "(O(1) per-flow lookups) before classifying; labels are identical\n"
+      "to the default trie engine.\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -87,6 +92,13 @@ std::size_t threads_from(const std::map<std::string, std::string>& flags) {
   if (!flags.count("threads")) return 1;
   return static_cast<std::size_t>(
       std::strtoull(flags.at("threads").c_str(), nullptr, 10));
+}
+
+classify::Engine engine_from(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("engine")) return classify::Engine::kTrie;
+  const auto engine = classify::parse_engine(flags.at("engine"));
+  if (!engine) usage("unknown engine: " + flags.at("engine"));
+  return *engine;
 }
 
 inference::Method method_from(const std::string& name) {
@@ -150,6 +162,7 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
     params.seed = std::strtoull(flags.at("seed").c_str(), nullptr, 10);
   }
   params.threads = threads_from(flags);
+  params.engine = engine_from(flags);
   const auto world = scenario::build_scenario(params);
 
   {
@@ -211,8 +224,16 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
     }
   }
 
-  const auto labels =
-      classify::classify_trace(classifier, world.trace.flows, pool);
+  // Classify on the selected engine. The flat plane is compiled after
+  // the RPSL whitelist so the extend()ed spaces are baked in.
+  const auto engine = engine_from(flags);
+  std::vector<classify::Label> labels;
+  if (engine == classify::Engine::kFlat) {
+    const auto flat = classify::FlatClassifier::compile(classifier, pool);
+    labels = classify::classify_trace(flat, world.trace.flows, pool);
+  } else {
+    labels = classify::classify_trace(classifier, world.trace.flows, pool);
+  }
 
   // Totals.
   const auto agg = classify::aggregate_classes(classifier, world.trace.flows,
@@ -220,7 +241,8 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
   std::cout << "classified " << world.trace.flows.size() << " flows from "
             << members.size() << " members under "
             << inference::method_name(method) << " (routing view: "
-            << world.table.prefixes().size() << " prefixes)\n\n";
+            << world.table.prefixes().size() << " prefixes, "
+            << classify::engine_name(engine) << " engine)\n\n";
   static const char* kClassNames[] = {"Bogon", "Unrouted", "Invalid", "Valid"};
   for (int c = 0; c < classify::kNumClasses; ++c) {
     const auto& cell = agg.totals[0][c];
