@@ -101,6 +101,13 @@ void write_mrt(std::ostream& out, const std::vector<MrtRecord>& records) {
 }
 
 std::vector<MrtRecord> read_mrt(std::istream& in) {
+  return read_mrt(in, util::ErrorPolicy::kStrict, nullptr);
+}
+
+std::vector<MrtRecord> read_mrt(std::istream& in, util::ErrorPolicy policy,
+                                util::IngestStats* stats) {
+  util::IngestStats local;
+  if (!stats) stats = &local;
   std::vector<MrtRecord> out;
   std::string line;
   std::size_t lineno = 0;
@@ -110,9 +117,13 @@ std::vector<MrtRecord> read_mrt(std::istream& in) {
     if (trimmed.empty() || trimmed.front() == '#') continue;
     try {
       out.push_back(parse_mrt_line(trimmed));
+      stats->ok();
     } catch (const std::runtime_error& e) {
-      throw std::runtime_error(std::string(e.what()) + " (line " +
-                               std::to_string(lineno) + ")");
+      if (policy == util::ErrorPolicy::kStrict) {
+        throw std::runtime_error(std::string(e.what()) + " (line " +
+                                 std::to_string(lineno) + ")");
+      }
+      stats->skip(util::ErrorKind::kParse, trimmed.size());
     }
   }
   return out;

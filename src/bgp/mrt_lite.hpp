@@ -5,8 +5,12 @@
 //   UPDATE|A|<ts>|<peer_asn>|<prefix>|<as path>
 //   UPDATE|W|<ts>|<peer_asn>|<prefix>
 //
-// Parsing is strict: malformed lines are reported with their line number
-// so broken dumps fail loudly instead of silently shrinking the dataset.
+// Parsing is strict by default: malformed lines are reported with their
+// line number so broken dumps fail loudly instead of silently shrinking
+// the dataset. Live feeds can instead pass util::ErrorPolicy::kSkip to
+// quarantine malformed lines (accounted in an IngestStats) and keep the
+// surviving records — the record granularity is the line, so one corrupt
+// line never poisons its neighbours.
 #pragma once
 
 #include <iosfwd>
@@ -16,6 +20,7 @@
 #include <vector>
 
 #include "bgp/message.hpp"
+#include "util/error_policy.hpp"
 
 namespace spoofscope::bgp {
 
@@ -39,5 +44,12 @@ void write_mrt(std::ostream& out, const std::vector<MrtRecord>& records);
 /// Reads a whole MRT-lite stream; skips blank lines and '#' comments.
 /// Throws std::runtime_error naming the offending line on parse failure.
 std::vector<MrtRecord> read_mrt(std::istream& in);
+
+/// Policy-aware variant. kStrict behaves exactly like read_mrt(in);
+/// kSkip drops malformed lines, accounts them in `stats` (optional) and
+/// never throws. Which records survive is a pure per-line function of
+/// the input text.
+std::vector<MrtRecord> read_mrt(std::istream& in, util::ErrorPolicy policy,
+                                util::IngestStats* stats = nullptr);
 
 }  // namespace spoofscope::bgp

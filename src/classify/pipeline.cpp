@@ -2,60 +2,64 @@
 
 namespace spoofscope::classify {
 
-namespace {
+AggregateBuilder::AggregateBuilder(std::size_t space_count) {
+  agg_.totals.resize(space_count);
+  members_.resize(space_count);
+}
 
-/// Aggregate plus the distinct-member sets it was accumulated from;
-/// member counts are materialized only after all merging is done.
-struct PartialAggregate {
-  Aggregate agg;
-  std::vector<std::array<std::unordered_set<Asn>, kNumClasses>> members;
-};
-
-/// Accumulates flows[begin, end) into a fresh partial.
-PartialAggregate accumulate_range(std::size_t space_count,
-                                  std::span<const net::FlowRecord> flows,
-                                  std::span<const Label> labels,
-                                  const std::unordered_set<Asn>& exclude_members,
-                                  std::size_t begin, std::size_t end) {
-  PartialAggregate p;
-  p.agg.totals.resize(space_count);
-  p.members.resize(space_count);
-  for (std::size_t i = begin; i < end; ++i) {
+void AggregateBuilder::add(std::span<const net::FlowRecord> flows,
+                           std::span<const Label> labels,
+                           const std::unordered_set<Asn>& exclude_members) {
+  const std::size_t space_count = agg_.totals.size();
+  for (std::size_t i = 0; i < flows.size(); ++i) {
     const auto& f = flows[i];
     if (exclude_members.count(f.member_in)) continue;
-    p.agg.total_packets += f.packets;
-    p.agg.total_bytes += static_cast<double>(f.bytes);
-    p.agg.total_flows += 1;
+    agg_.total_packets += f.packets;
+    agg_.total_bytes += static_cast<double>(f.bytes);
+    agg_.total_flows += 1;
     for (std::size_t s = 0; s < space_count; ++s) {
       const auto c = static_cast<std::size_t>(Classifier::unpack(labels[i], s));
-      auto& cell = p.agg.totals[s][c];
+      auto& cell = agg_.totals[s][c];
       cell.flows += 1;
       cell.packets += f.packets;
       cell.bytes += static_cast<double>(f.bytes);
-      p.members[s][c].insert(f.member_in);
+      members_[s][c].insert(f.member_in);
     }
   }
-  return p;
 }
 
-/// Fills in the distinct-member counts and returns the final Aggregate.
-Aggregate finalize(PartialAggregate p) {
-  for (std::size_t s = 0; s < p.agg.totals.size(); ++s) {
+void AggregateBuilder::merge(const AggregateBuilder& other) {
+  agg_.total_packets += other.agg_.total_packets;
+  agg_.total_bytes += other.agg_.total_bytes;
+  agg_.total_flows += other.agg_.total_flows;
+  for (std::size_t s = 0; s < agg_.totals.size(); ++s) {
     for (int c = 0; c < kNumClasses; ++c) {
-      p.agg.totals[s][c].members = p.members[s][c].size();
+      agg_.totals[s][c].flows += other.agg_.totals[s][c].flows;
+      agg_.totals[s][c].packets += other.agg_.totals[s][c].packets;
+      agg_.totals[s][c].bytes += other.agg_.totals[s][c].bytes;
+      members_[s][c].insert(other.members_[s][c].begin(),
+                            other.members_[s][c].end());
     }
   }
-  return std::move(p.agg);
 }
 
-}  // namespace
+Aggregate AggregateBuilder::build() const {
+  Aggregate out = agg_;
+  for (std::size_t s = 0; s < out.totals.size(); ++s) {
+    for (int c = 0; c < kNumClasses; ++c) {
+      out.totals[s][c].members = members_[s][c].size();
+    }
+  }
+  return out;
+}
 
 Aggregate aggregate_classes(std::size_t space_count,
                             std::span<const net::FlowRecord> flows,
                             std::span<const Label> labels,
                             const std::unordered_set<Asn>& exclude_members) {
-  return finalize(accumulate_range(space_count, flows, labels, exclude_members,
-                                   0, flows.size()));
+  AggregateBuilder builder(space_count);
+  builder.add(flows, labels, exclude_members);
+  return builder.build();
 }
 
 Aggregate aggregate_classes(std::size_t space_count,
@@ -69,35 +73,24 @@ Aggregate aggregate_classes(std::size_t space_count,
     return aggregate_classes(space_count, flows, labels, exclude_members);
   }
 
-  std::vector<PartialAggregate> partials(chunks.size());
+  std::vector<AggregateBuilder> partials(chunks.size(),
+                                         AggregateBuilder(space_count));
   // partition() caps the chunk count at pool.thread_count(), so this
   // outer parallel_for runs exactly one partial per execution lane.
   pool.parallel_for(0, chunks.size(), [&](std::size_t cb, std::size_t ce) {
     for (std::size_t c = cb; c < ce; ++c) {
-      partials[c] = accumulate_range(space_count, flows, labels,
-                                     exclude_members, chunks[c].begin,
-                                     chunks[c].end);
+      partials[c].add(flows.subspan(chunks[c].begin,
+                                    chunks[c].end - chunks[c].begin),
+                      labels.subspan(chunks[c].begin,
+                                     chunks[c].end - chunks[c].begin),
+                      exclude_members);
     }
   });
 
   // Deterministic reduction: fold partials in chunk index order.
-  PartialAggregate merged = std::move(partials[0]);
-  for (std::size_t c = 1; c < partials.size(); ++c) {
-    const PartialAggregate& p = partials[c];
-    merged.agg.total_packets += p.agg.total_packets;
-    merged.agg.total_bytes += p.agg.total_bytes;
-    merged.agg.total_flows += p.agg.total_flows;
-    for (std::size_t s = 0; s < merged.agg.totals.size(); ++s) {
-      for (int cl = 0; cl < kNumClasses; ++cl) {
-        merged.agg.totals[s][cl].flows += p.agg.totals[s][cl].flows;
-        merged.agg.totals[s][cl].packets += p.agg.totals[s][cl].packets;
-        merged.agg.totals[s][cl].bytes += p.agg.totals[s][cl].bytes;
-        merged.members[s][cl].insert(p.members[s][cl].begin(),
-                                     p.members[s][cl].end());
-      }
-    }
-  }
-  return finalize(std::move(merged));
+  AggregateBuilder merged = std::move(partials[0]);
+  for (std::size_t c = 1; c < partials.size(); ++c) merged.merge(partials[c]);
+  return merged.build();
 }
 
 }  // namespace spoofscope::classify

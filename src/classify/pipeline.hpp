@@ -31,6 +31,32 @@ struct Aggregate {
   double total_flows = 0;
 };
 
+/// Incremental aggregation: accumulates (flow, label) chunks and
+/// materializes the distinct-member counts on demand. This is what lets
+/// the CLI stream a trace chunk-at-a-time with bounded memory instead of
+/// materializing every flow; aggregate_classes is implemented on top.
+class AggregateBuilder {
+ public:
+  explicit AggregateBuilder(std::size_t space_count);
+
+  /// Accumulates one chunk; labels[i] must belong to flows[i].
+  /// `exclude_members` drops flows injected by those members (the
+  /// Sec 5.2 router-stray exclusion).
+  void add(std::span<const net::FlowRecord> flows, std::span<const Label> labels,
+           const std::unordered_set<Asn>& exclude_members = {});
+
+  /// Folds another builder's accumulation into this one (used for the
+  /// deterministic chunk-order reduction of the parallel path).
+  void merge(const AggregateBuilder& other);
+
+  /// Snapshot of the aggregate so far; the builder stays usable.
+  Aggregate build() const;
+
+ private:
+  Aggregate agg_;
+  std::vector<std::array<std::unordered_set<Asn>, kNumClasses>> members_;
+};
+
 /// Aggregates labels over flows. Engine-agnostic: labels already carry
 /// the per-space classes, so only the space count is needed.
 /// `exclude_members` drops flows injected by those members (the Sec 5.2

@@ -16,14 +16,94 @@ StreamingDetector::StreamingDetector(const FlatClassifier& classifier,
                                      StreamingParams params)
     : flat_(&classifier), space_idx_(space_idx), params_(params) {}
 
-void StreamingDetector::ingest(
-    const net::FlowRecord& flow,
-    const std::function<void(const SpoofingAlert&)>& on_alert) {
+void StreamingDetector::ingest(const net::FlowRecord& flow,
+                               const AlertFn& on_alert) {
   ++processed_;
+  const std::uint32_t skew = params_.reorder_skew_seconds;
+  if (skew == 0) {
+    account(flow, on_alert);
+    return;
+  }
+  // Watermark reordering: a flow is deliverable once the maximum
+  // timestamp seen is `skew` past it; anything arriving later than that
+  // is dropped here rather than delivered out of order.
+  if (saw_any_ && watermark_ >= skew && flow.ts < watermark_ - skew) {
+    ++health_.late_drops;
+    return;
+  }
+  pending_.push({flow, seq_++});
+  watermark_ = saw_any_ ? std::max(watermark_, flow.ts) : flow.ts;
+  saw_any_ = true;
+  health_.max_reorder_depth =
+      std::max(health_.max_reorder_depth, pending_.size());
+  if (watermark_ >= skew) {
+    const std::uint32_t deliverable = watermark_ - skew;
+    while (!pending_.empty() && pending_.top().flow.ts <= deliverable) {
+      release_one(on_alert);
+    }
+  }
+  while (params_.max_reorder_records != 0 &&
+         pending_.size() > params_.max_reorder_records) {
+    ++health_.forced_releases;
+    release_one(on_alert);
+  }
+}
+
+void StreamingDetector::flush(const AlertFn& on_alert) {
+  while (!pending_.empty()) release_one(on_alert);
+}
+
+void StreamingDetector::release_one(const AlertFn& on_alert) {
+  const net::FlowRecord flow = pending_.top().flow;
+  pending_.pop();
+  account(flow, on_alert);
+}
+
+void StreamingDetector::touch_member(Asn member, MemberWindow& w,
+                                     std::uint32_t ts) {
+  if (params_.max_members != 0 && w.last_seen_ts != ts) {
+    idle_index_.erase({w.last_seen_ts, member});
+    idle_index_.insert({ts, member});
+  }
+  w.last_seen_ts = ts;
+}
+
+void StreamingDetector::evict_idle_member() {
+  const auto victim = *idle_index_.begin();  // (oldest last_seen, min ASN)
+  idle_index_.erase(idle_index_.begin());
+  windows_.erase(victim.second);
+  ++health_.member_evictions;
+}
+
+void StreamingDetector::account(const net::FlowRecord& flow,
+                                const AlertFn& on_alert) {
+  // The window math below assumes nondecreasing timestamps; a regression
+  // that survived the reorder buffer (or arrived with the buffer
+  // disabled) is dropped and counted, not folded into the wrong window.
+  if (released_any_ && flow.ts < last_released_ts_) {
+    ++health_.regressions;
+    return;
+  }
+  last_released_ts_ = flow.ts;
+  released_any_ = true;
+
   const TrafficClass cls =
       flat_ ? flat_->classify(flow.src, flow.member_in, space_idx_)
             : classifier_->classify(flow.src, flow.member_in, space_idx_);
-  auto& w = windows_[flow.member_in];
+  auto it = windows_.find(flow.member_in);
+  if (it == windows_.end()) {
+    if (params_.max_members != 0 && windows_.size() >= params_.max_members) {
+      evict_idle_member();
+    }
+    it = windows_.emplace(flow.member_in, MemberWindow{}).first;
+    if (params_.max_members != 0) {
+      idle_index_.insert({flow.ts, flow.member_in});
+      it->second.last_seen_ts = flow.ts;
+    }
+  } else {
+    touch_member(flow.member_in, it->second, flow.ts);
+  }
+  auto& w = it->second;
 
   // Evict samples that left the window.
   const std::uint32_t horizon =
@@ -40,6 +120,22 @@ void StreamingDetector::ingest(
   w.total += flow.packets;
   w.per_class[static_cast<int>(cls)] += flow.packets;
   if (cls != TrafficClass::kValid) w.spoofed += flow.packets;
+
+  // Degraded mode: a member exceeding its sample budget loses its oldest
+  // samples early (the window shrinks, accuracy degrades measurably).
+  while (params_.max_window_samples != 0 &&
+         w.samples.size() > params_.max_window_samples) {
+    const Sample& old = w.samples.front();
+    w.total -= old.packets;
+    w.per_class[static_cast<int>(old.cls)] -= old.packets;
+    if (old.cls != TrafficClass::kValid) w.spoofed -= old.packets;
+    w.samples.pop_front();
+    ++health_.sample_evictions;
+  }
+  // Sampled after cap enforcement so the reported depth never exceeds
+  // the configured budget.
+  health_.max_window_depth =
+      std::max(health_.max_window_depth, w.samples.size());
 
   if (w.spoofed < params_.min_spoofed_packets || w.total <= 0) return;
   const double share = w.spoofed / w.total;
@@ -70,10 +166,17 @@ void StreamingDetector::ingest(
 std::vector<SpoofingAlert> StreamingDetector::run(
     std::span<const net::FlowRecord> flows) {
   std::vector<SpoofingAlert> alerts;
-  for (const auto& f : flows) {
-    ingest(f, [&alerts](const SpoofingAlert& a) { alerts.push_back(a); });
-  }
+  const auto sink = [&alerts](const SpoofingAlert& a) { alerts.push_back(a); };
+  for (const auto& f : flows) ingest(f, sink);
+  flush(sink);
   return alerts;
+}
+
+DetectorHealth StreamingDetector::health() const {
+  DetectorHealth h = health_;
+  h.reorder_depth = pending_.size();
+  h.tracked_members = windows_.size();
+  return h;
 }
 
 }  // namespace spoofscope::classify

@@ -4,11 +4,35 @@
 // StreamingDetector consumes flows one at a time, maintains rolling
 // per-member class counters over a sliding window and raises alerts when
 // a member's spoofed-class rate spikes above its baseline.
+//
+// Degraded-mode contract (for live feeds, which are reordered and
+// adversarial rather than neat):
+//
+//  - Timestamps may arrive out of order up to `reorder_skew_seconds`; a
+//    bounded buffer re-sorts them before they reach the windows. Flows
+//    later than the skew are dropped and counted, never silently folded
+//    into the wrong window.
+//  - Window accounting expects nondecreasing timestamps. Any regression
+//    that still reaches the accounting (skew 0 = buffer disabled) is
+//    dropped and counted in health().regressions instead of corrupting
+//    the window (the historical behaviour left unsortable samples
+//    stranded in the deque forever).
+//  - Memory is bounded by `max_members` (deterministic idle-member
+//    eviction: least-recently-active, ties to the smallest ASN) and
+//    `max_window_samples` per member (oldest samples retire early), so
+//    a member flood or a million-member scan degrades accuracy
+//    measurably — visible in health() — instead of OOMing.
+//
+// Everything is a pure function of the ingested flow sequence: no wall
+// clock, no hash-order dependence, so two runs over the same (possibly
+// corrupted) feed produce bit-identical alerts and health counters.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <queue>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -39,12 +63,50 @@ struct StreamingParams {
   double min_share = 0.05;
   /// Per-member cooldown between alerts.
   std::uint32_t cooldown_seconds = 6 * 3600;
+
+  // Degraded-mode knobs. The defaults preserve the historical behaviour
+  // (no reorder buffer, unbounded state).
+  /// Tolerated timestamp disorder. 0 disables the reorder buffer: flows
+  /// go straight to the windows and any ts regression is dropped and
+  /// counted. >0 buffers flows until the high-water timestamp has moved
+  /// `reorder_skew_seconds` past them, releasing in (ts, arrival) order.
+  std::uint32_t reorder_skew_seconds = 0;
+  /// Hard cap on buffered flows (0 = unbounded). Overflow force-releases
+  /// the earliest buffered flow, counted in health().forced_releases.
+  std::size_t max_reorder_records = 4096;
+  /// Hard cap on tracked members (0 = unbounded). Admitting a new member
+  /// at the cap evicts the least-recently-active one (ties: smallest
+  /// ASN), counted in health().member_evictions.
+  std::size_t max_members = 0;
+  /// Hard cap on window samples per member (0 = unbounded). Overflow
+  /// retires the member's oldest sample early, counted in
+  /// health().sample_evictions.
+  std::size_t max_window_samples = 0;
 };
 
-/// Stateful single-pass detector. Feed flows in timestamp order; alerts
-/// are delivered through the callback passed to ingest().
+/// Degradation counters: how far the detector had to deviate from the
+/// ideal unbounded, perfectly-ordered computation.
+struct DetectorHealth {
+  std::uint64_t regressions = 0;       ///< dropped at the windows: ts went backwards
+  std::uint64_t late_drops = 0;        ///< dropped at the buffer: later than skew
+  std::uint64_t forced_releases = 0;   ///< reorder buffer overflowed its cap
+  std::uint64_t member_evictions = 0;  ///< members evicted at max_members
+  std::uint64_t sample_evictions = 0;  ///< samples retired at max_window_samples
+  std::size_t reorder_depth = 0;       ///< currently buffered flows
+  std::size_t max_reorder_depth = 0;   ///< high-water buffered flows
+  std::size_t tracked_members = 0;     ///< currently tracked members
+  std::size_t max_window_depth = 0;    ///< high-water samples in any one window
+
+  friend bool operator==(const DetectorHealth&, const DetectorHealth&) = default;
+};
+
+/// Stateful single-pass detector. Feed flows via ingest(); alerts are
+/// delivered through the callback. Call flush() (or use run()) after the
+/// last flow to drain the reorder buffer.
 class StreamingDetector {
  public:
+  using AlertFn = std::function<void(const SpoofingAlert&)>;
+
   /// `classifier` must outlive the detector; `space_idx` selects the
   /// inference method (typically FULL+org).
   StreamingDetector(const Classifier& classifier, std::size_t space_idx,
@@ -55,15 +117,23 @@ class StreamingDetector {
   StreamingDetector(const FlatClassifier& classifier, std::size_t space_idx,
                     StreamingParams params = {});
 
-  /// Processes one flow; invokes `on_alert` zero or one time.
-  void ingest(const net::FlowRecord& flow,
-              const std::function<void(const SpoofingAlert&)>& on_alert);
+  /// Processes one flow; invokes `on_alert` zero or more times (buffered
+  /// flows may be released and alert on this call).
+  void ingest(const net::FlowRecord& flow, const AlertFn& on_alert);
 
-  /// Convenience: run over a whole trace, collecting all alerts.
+  /// Drains the reorder buffer at end of stream; a no-op when the buffer
+  /// is disabled or empty.
+  void flush(const AlertFn& on_alert);
+
+  /// Convenience: run over a whole trace (including flush), collecting
+  /// all alerts.
   std::vector<SpoofingAlert> run(std::span<const net::FlowRecord> flows);
 
   /// Flows processed so far.
   std::uint64_t processed() const { return processed_; }
+
+  /// Degradation snapshot (cheap; counters plus current depths).
+  DetectorHealth health() const;
 
  private:
   struct Sample {
@@ -77,15 +147,45 @@ class StreamingDetector {
     double total = 0;             ///< all packets in window
     double per_class[kNumClasses] = {0, 0, 0, 0};
     std::uint32_t last_alert_ts = 0;
+    std::uint32_t last_seen_ts = 0;  ///< drives idle eviction
     bool alerted_once = false;
   };
+  struct Pending {
+    net::FlowRecord flow;
+    std::uint64_t seq;  ///< arrival order; stabilizes equal timestamps
+  };
+  struct PendingLater {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.flow.ts != b.flow.ts) return a.flow.ts > b.flow.ts;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Window accounting + alerting for one in-order flow.
+  void account(const net::FlowRecord& flow, const AlertFn& on_alert);
+  /// Pops the earliest buffered flow into account().
+  void release_one(const AlertFn& on_alert);
+  /// Evicts the least-recently-active member (ties: smallest ASN).
+  void evict_idle_member();
+  /// Keeps the idle-eviction index in sync with a member's activity.
+  void touch_member(Asn member, MemberWindow& w, std::uint32_t ts);
 
   const Classifier* classifier_ = nullptr;   // exactly one engine is set
   const FlatClassifier* flat_ = nullptr;
   std::size_t space_idx_;
   StreamingParams params_;
   std::unordered_map<Asn, MemberWindow> windows_;
+  /// (last_seen_ts, member) ordered index over windows_ for O(log n)
+  /// deterministic idle eviction.
+  std::set<std::pair<std::uint32_t, Asn>> idle_index_;
+  std::priority_queue<Pending, std::vector<Pending>, PendingLater> pending_;
+  std::uint32_t watermark_ = 0;       ///< max ts seen by the buffer
+  std::uint32_t last_released_ts_ = 0;
+  std::uint64_t seq_ = 0;
+  bool saw_any_ = false;              ///< watermark_ is meaningful
+  bool released_any_ = false;         ///< last_released_ts_ is meaningful
   std::uint64_t processed_ = 0;
+  DetectorHealth health_;
 };
 
 }  // namespace spoofscope::classify

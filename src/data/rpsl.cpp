@@ -112,38 +112,61 @@ std::string registry_to_rpsl(const WhoisRegistry& registry) {
 }
 
 RpslDatabase parse_rpsl(std::istream& in) {
+  return parse_rpsl(in, util::ErrorPolicy::kStrict, nullptr);
+}
+
+RpslDatabase parse_rpsl(std::istream& in, util::ErrorPolicy policy,
+                        util::IngestStats* stats) {
+  util::IngestStats local;
+  if (!stats) stats = &local;
   RpslDatabase db;
   RouteObject route;
   AutNumObject aut;
   enum class Kind { kNone, kRoute, kAutNum } kind = Kind::kNone;
+  // Skip mode quarantines at object granularity: one bad attribute
+  // poisons the object it belongs to, and parsing resumes at the next
+  // blank-line boundary.
+  bool poisoned = false;
+  std::uint64_t poisoned_bytes = 0;
 
-  const auto flush = [&] {
-    switch (kind) {
-      case Kind::kRoute:
-        if (route.origin == net::kNoAsn) {
-          throw std::runtime_error("RPSL parse error: route object without origin");
-        }
-        db.routes.push_back(route);
-        break;
-      case Kind::kAutNum:
-        db.aut_nums.push_back(aut);
-        break;
-      case Kind::kNone:
-        break;
-    }
+  const auto reset = [&] {
     route = RouteObject{};
     aut = AutNumObject{};
     kind = Kind::kNone;
   };
 
-  std::string raw;
-  while (std::getline(in, raw)) {
-    const auto line = util::trim(raw);
-    if (line.empty()) {
-      flush();
-      continue;
+  const auto flush = [&] {
+    if (poisoned) {
+      stats->skip(util::ErrorKind::kParse, poisoned_bytes);
+      poisoned = false;
+      poisoned_bytes = 0;
+      reset();
+      return;
     }
-    if (line.front() == '%' || line.front() == '#') continue;
+    switch (kind) {
+      case Kind::kRoute:
+        if (route.origin == net::kNoAsn) {
+          if (policy == util::ErrorPolicy::kStrict) {
+            throw std::runtime_error(
+                "RPSL parse error: route object without origin");
+          }
+          stats->skip(util::ErrorKind::kParse, 0);
+          break;
+        }
+        db.routes.push_back(route);
+        stats->ok();
+        break;
+      case Kind::kAutNum:
+        db.aut_nums.push_back(aut);
+        stats->ok();
+        break;
+      case Kind::kNone:
+        break;
+    }
+    reset();
+  };
+
+  const auto handle_line = [&](std::string_view line) {
     const auto colon = line.find(':');
     if (colon == std::string_view::npos) fail(line, "missing attribute colon");
     const auto attr = util::to_lower(util::trim(line.substr(0, colon)));
@@ -174,6 +197,34 @@ RpslDatabase parse_rpsl(std::istream& in) {
       aut.export_peers.push_back(parse_policy_peer(line, value));
     }
     // Unknown attributes: ignored, as real IRR data is full of them.
+  };
+
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const auto line = util::trim(raw);
+    if (line.empty()) {
+      flush();
+      continue;
+    }
+    if (line.front() == '%' || line.front() == '#') continue;
+    if (poisoned) {
+      // Rest of a quarantined object: swallowed until the blank line.
+      poisoned_bytes += line.size();
+      continue;
+    }
+    if (policy == util::ErrorPolicy::kStrict) {
+      handle_line(line);
+      continue;
+    }
+    try {
+      handle_line(line);
+    } catch (const std::runtime_error&) {
+      // A `route:`/`aut-num:` line flushes the previous object before it
+      // can fail, so the poisoned state always covers only the object
+      // the bad line belongs to.
+      poisoned = true;
+      poisoned_bytes += line.size();
+    }
   }
   flush();
   return db;

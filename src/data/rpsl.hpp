@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "data/whois.hpp"
+#include "util/error_policy.hpp"
 
 namespace spoofscope::data {
 
@@ -70,6 +71,13 @@ std::string registry_to_rpsl(const WhoisRegistry& registry);
 /// (IRRs are full of them); malformed values of known attributes throw
 /// std::runtime_error with the offending line.
 RpslDatabase parse_rpsl(std::istream& in);
+
+/// Policy-aware variant. kStrict behaves exactly like parse_rpsl(in);
+/// kSkip quarantines whole objects — one malformed attribute line drops
+/// the object it belongs to (never its neighbours), accounted in `stats`
+/// (optional), and parsing continues at the next blank-line boundary.
+RpslDatabase parse_rpsl(std::istream& in, util::ErrorPolicy policy,
+                        util::IngestStats* stats = nullptr);
 
 /// Rebuilds a WhoisRegistry from parsed objects: route objects with a
 /// foreign mnt-by become provider-assigned ranges; mutual import+export

@@ -11,8 +11,13 @@ namespace spoofscope::net {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x53504F46;  // "SPOF"
-constexpr std::uint32_t kVersion = 1;
-constexpr std::size_t kRecordSize = 36;
+constexpr std::uint32_t kVersionV1 = 1;       // no checksums
+constexpr std::uint32_t kVersionV2 = 2;       // header + per-record FNV-1a
+constexpr std::size_t kHeaderBody = 32;       // shared v1/v2 header layout
+constexpr std::size_t kHeaderSizeV2 = kHeaderBody + 4;  // + checksum
+constexpr std::size_t kPayloadSize = 36;      // record body (both versions)
+constexpr std::size_t kRecordSizeV1 = kPayloadSize;
+constexpr std::size_t kRecordSizeV2 = kPayloadSize + 4;  // + checksum
 
 void put_u16(std::uint8_t* p, std::uint16_t v) {
   p[0] = static_cast<std::uint8_t>(v);
@@ -36,6 +41,17 @@ std::uint64_t get_u64(const std::uint8_t* p) {
   std::uint64_t v = 0;
   for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
   return v;
+}
+
+/// 32-bit FNV-1a over raw bytes; cheap, deterministic, and sensitive to
+/// single-bit damage anywhere in the record.
+std::uint32_t fnv1a32(const std::uint8_t* p, std::size_t n) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 16777619u;
+  }
+  return h;
 }
 
 void encode_record(const FlowRecord& f, std::uint8_t* p) {
@@ -72,55 +88,177 @@ FlowRecord decode_record(const std::uint8_t* p) {
   return f;
 }
 
+const std::uint8_t* bytes(const std::string& s) {
+  return reinterpret_cast<const std::uint8_t*>(s.data());
+}
+
+/// Appends up to `want` more bytes from `in` to `buf`; stops at EOF.
+void fill(std::istream& in, std::string& buf, std::size_t want) {
+  while (buf.size() < want && in) {
+    char chunk[4096];
+    const std::size_t need = want - buf.size();
+    in.read(chunk, static_cast<std::streamsize>(
+                       need < sizeof(chunk) ? need : sizeof(chunk)));
+    buf.append(chunk, static_cast<std::size_t>(in.gcount()));
+    if (in.gcount() == 0) break;
+  }
+}
+
 }  // namespace
 
 void write_trace(std::ostream& out, const Trace& trace) {
-  std::array<std::uint8_t, 32> header{};
+  std::array<std::uint8_t, kHeaderSizeV2> header{};
   put_u32(header.data() + 0, kMagic);
-  put_u32(header.data() + 4, kVersion);
+  put_u32(header.data() + 4, kVersionV2);
   put_u32(header.data() + 8, trace.meta.sampling_rate);
   put_u32(header.data() + 12, trace.meta.window_seconds);
   put_u64(header.data() + 16, trace.meta.seed);
   put_u64(header.data() + 24, trace.flows.size());
+  put_u32(header.data() + kHeaderBody, fnv1a32(header.data(), kHeaderBody));
   out.write(reinterpret_cast<const char*>(header.data()), header.size());
 
-  std::array<std::uint8_t, kRecordSize> rec;
+  std::array<std::uint8_t, kRecordSizeV2> rec;
   for (const auto& f : trace.flows) {
     if (f.member_in > 0xffff || f.member_out > 0xffff) {
       throw std::runtime_error("write_trace: member ASN exceeds 16-bit record field");
     }
     encode_record(f, rec.data());
+    put_u32(rec.data() + kPayloadSize, fnv1a32(rec.data(), kPayloadSize));
     out.write(reinterpret_cast<const char*>(rec.data()), rec.size());
   }
   if (!out) throw std::runtime_error("write_trace: stream failure");
 }
 
-Trace read_trace(std::istream& in) {
-  std::array<std::uint8_t, 32> header;
-  in.read(reinterpret_cast<char*>(header.data()), header.size());
-  if (!in || in.gcount() != static_cast<std::streamsize>(header.size())) {
-    throw std::runtime_error("read_trace: truncated header");
-  }
-  if (get_u32(header.data()) != kMagic) throw std::runtime_error("read_trace: bad magic");
-  if (get_u32(header.data() + 4) != kVersion) {
-    throw std::runtime_error("read_trace: unsupported version");
-  }
-  Trace trace;
-  trace.meta.sampling_rate = get_u32(header.data() + 8);
-  trace.meta.window_seconds = get_u32(header.data() + 12);
-  trace.meta.seed = get_u64(header.data() + 16);
-  const std::uint64_t n = get_u64(header.data() + 24);
-
-  trace.flows.reserve(n);
-  std::array<std::uint8_t, kRecordSize> rec;
-  for (std::uint64_t i = 0; i < n; ++i) {
-    in.read(reinterpret_cast<char*>(rec.data()), rec.size());
-    if (!in || in.gcount() != static_cast<std::streamsize>(rec.size())) {
-      throw std::runtime_error("read_trace: truncated record");
+TraceReader::TraceReader(std::istream& in, util::ErrorPolicy policy,
+                         util::IngestStats* stats)
+    : in_(&in), policy_(policy), stats_(stats ? stats : &own_stats_) {
+  // Shared 32-byte header body first; v2 carries 4 more checksum bytes.
+  fill(*in_, buf_, kHeaderBody);
+  if (buf_.size() < kHeaderBody) {
+    done_ = true;
+    if (policy_ == util::ErrorPolicy::kStrict) {
+      fail_strict("truncated header");
     }
-    trace.flows.push_back(decode_record(rec.data()));
+    stats_->skip(util::ErrorKind::kTruncated, buf_.size());
+    buf_.clear();
+    return;
   }
+  if (get_u32(bytes(buf_)) != kMagic) {
+    done_ = true;
+    if (policy_ == util::ErrorPolicy::kStrict) fail_strict("bad magic");
+    stats_->skip(util::ErrorKind::kBadMagic, buf_.size());
+    buf_.clear();
+    return;
+  }
+  version_ = get_u32(bytes(buf_) + 4);
+  if (version_ != kVersionV1 && version_ != kVersionV2) {
+    done_ = true;
+    if (policy_ == util::ErrorPolicy::kStrict) fail_strict("unsupported version");
+    stats_->skip(util::ErrorKind::kBadVersion, buf_.size());
+    buf_.clear();
+    return;
+  }
+  if (version_ == kVersionV2) {
+    fill(*in_, buf_, kHeaderSizeV2);
+    if (buf_.size() < kHeaderSizeV2) {
+      done_ = true;
+      if (policy_ == util::ErrorPolicy::kStrict) fail_strict("truncated header");
+      stats_->skip(util::ErrorKind::kTruncated, buf_.size());
+      buf_.clear();
+      return;
+    }
+    if (get_u32(bytes(buf_) + kHeaderBody) != fnv1a32(bytes(buf_), kHeaderBody)) {
+      if (policy_ == util::ErrorPolicy::kStrict) {
+        fail_strict("header checksum mismatch");
+      }
+      // Best effort in skip mode: the metadata may be damaged, but the
+      // records carry their own checksums, so recovery can proceed.
+      stats_->note(util::ErrorKind::kChecksum);
+    }
+  }
+  meta_.sampling_rate = get_u32(bytes(buf_) + 8);
+  meta_.window_seconds = get_u32(bytes(buf_) + 12);
+  meta_.seed = get_u64(bytes(buf_) + 16);
+  declared_ = get_u64(bytes(buf_) + 24);
+  header_ok_ = true;
+  buf_.clear();
+}
+
+void TraceReader::fail_strict(const std::string& why) const {
+  throw std::runtime_error("read_trace: " + why);
+}
+
+std::optional<FlowRecord> TraceReader::next() {
+  if (done_) return std::nullopt;
+  const bool strict = policy_ == util::ErrorPolicy::kStrict;
+  // Strict mode replicates the historical reader: exactly the declared
+  // number of records, trailing bytes ignored.
+  if (strict && delivered_ >= declared_) {
+    done_ = true;
+    return std::nullopt;
+  }
+  const std::size_t rec_size =
+      version_ == kVersionV2 ? kRecordSizeV2 : kRecordSizeV1;
+  bool resyncing = false;
+  for (;;) {
+    fill(*in_, buf_, rec_size);
+    if (buf_.size() < rec_size) {
+      done_ = true;
+      if (buf_.empty() && !resyncing) {
+        // Record-aligned end of stream. Strict mode only gets here with
+        // records still owed by the header (the declared-count check at
+        // the top ends clean streams), so it is a truncation.
+        if (strict) fail_strict("truncated record");
+        // Skip mode: flag a count mismatch if records were lost (or
+        // hallucinated) relative to the header.
+        if (delivered_ != declared_) {
+          stats_->note(util::ErrorKind::kCountMismatch);
+        }
+        return std::nullopt;
+      }
+      if (strict) fail_strict("truncated record");
+      stats_->skip(util::ErrorKind::kTruncated, buf_.size());
+      if (delivered_ != declared_) stats_->note(util::ErrorKind::kCountMismatch);
+      return std::nullopt;
+    }
+    const bool valid =
+        version_ == kVersionV1 ||
+        get_u32(bytes(buf_) + kPayloadSize) == fnv1a32(bytes(buf_), kPayloadSize);
+    if (valid) {
+      const FlowRecord f = decode_record(bytes(buf_));
+      buf_.clear();
+      ++delivered_;
+      stats_->ok();
+      return f;
+    }
+    if (strict) fail_strict("record checksum mismatch");
+    // Resync: count one quarantined record per damaged region, then
+    // slide the window byte-by-byte until a record validates again.
+    if (!resyncing) {
+      resyncing = true;
+      stats_->skip(util::ErrorKind::kChecksum, 0);
+    }
+    buf_.erase(0, 1);
+    ++stats_->bytes_dropped;
+  }
+}
+
+Trace read_trace(std::istream& in, util::ErrorPolicy policy,
+                 util::IngestStats* stats) {
+  TraceReader reader(in, policy, stats);
+  Trace trace;
+  trace.meta = reader.meta();
+  if (reader.header_ok()) {
+    trace.flows.reserve(static_cast<std::size_t>(
+        reader.declared_count() < (1u << 20) ? reader.declared_count()
+                                             : (1u << 20)));
+  }
+  while (auto f = reader.next()) trace.flows.push_back(*f);
   return trace;
+}
+
+Trace read_trace(std::istream& in) {
+  return read_trace(in, util::ErrorPolicy::kStrict, nullptr);
 }
 
 }  // namespace spoofscope::net

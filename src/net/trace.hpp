@@ -1,13 +1,29 @@
 // Binary trace container and (de)serialization for flow records, so that
 // generated workloads can be persisted and re-analyzed without re-running
-// the generator. Format: fixed little-endian header + fixed-size records.
+// the generator.
+//
+// Format v2 (current): fixed little-endian header guarded by an FNV-1a
+// checksum, then fixed-size records each carrying their own checksum, so
+// bit damage anywhere in the stream is detectable. v1 streams (no
+// checksums) are still readable; bit flips in them are undetectable by
+// construction, only truncation is.
+//
+// Two reading modes (util::ErrorPolicy):
+//   kStrict  first malformed byte throws (historical behaviour);
+//   kSkip    corrupted records are quarantined and counted in an
+//            IngestStats; after a checksum failure the reader resyncs by
+//            sliding one byte at a time until a record validates again,
+//            so a localized splice/flip costs only the records it hit.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "net/flow.hpp"
+#include "util/error_policy.hpp"
 
 namespace spoofscope::net {
 
@@ -29,12 +45,68 @@ struct Trace {
   double scale() const { return static_cast<double>(meta.sampling_rate); }
 };
 
-/// Writes a trace in spoofscope binary format. Throws std::runtime_error on
-/// stream failure.
+/// Writes a trace in spoofscope binary format v2. Throws
+/// std::runtime_error on stream failure.
 void write_trace(std::ostream& out, const Trace& trace);
 
-/// Reads a trace written by write_trace. Throws std::runtime_error on
-/// malformed input (bad magic, truncated records, unsupported version).
+/// Incremental, bounded-memory trace reader: parses the header up front
+/// and yields one record per next() call, so arbitrarily large traces
+/// can be processed without materializing a flow vector.
+///
+/// Strict policy: any malformed input throws std::runtime_error, exactly
+/// like read_trace. Skip policy: malformed input is accounted in `stats`
+/// (never thrown); a broken header yields an empty record stream, and a
+/// broken record starts a byte-wise resync to the next valid record.
+class TraceReader {
+ public:
+  /// Reads and validates the header. `in` and `stats` (optional) must
+  /// outlive the reader.
+  explicit TraceReader(std::istream& in,
+                       util::ErrorPolicy policy = util::ErrorPolicy::kStrict,
+                       util::IngestStats* stats = nullptr);
+
+  /// Header metadata (default-constructed if the header was rejected in
+  /// skip mode).
+  const TraceMeta& meta() const { return meta_; }
+
+  /// Record count the header declared (0 if the header was rejected).
+  std::uint64_t declared_count() const { return declared_; }
+
+  /// True if the header parsed and validated.
+  bool header_ok() const { return header_ok_; }
+
+  /// Next record, or std::nullopt at end of stream. Strict mode throws
+  /// on malformed input; skip mode never throws.
+  std::optional<FlowRecord> next();
+
+  /// Ingest accounting so far (always valid; internal stats are used when
+  /// none were supplied).
+  const util::IngestStats& stats() const { return *stats_; }
+
+ private:
+  [[noreturn]] void fail_strict(const std::string& why) const;
+
+  std::istream* in_;
+  util::ErrorPolicy policy_;
+  util::IngestStats own_stats_;
+  util::IngestStats* stats_;
+  TraceMeta meta_;
+  std::uint64_t declared_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint32_t version_ = 0;
+  bool header_ok_ = false;
+  bool done_ = false;
+  std::string buf_;  ///< sliding window over the record stream (resync)
+};
+
+/// Reads a whole trace written by write_trace (v1 or v2). Strict policy
+/// throws std::runtime_error on malformed input (bad magic, checksum
+/// mismatch, truncated records, unsupported version); skip policy
+/// returns the surviving records and accounts losses in `stats`.
+Trace read_trace(std::istream& in, util::ErrorPolicy policy,
+                 util::IngestStats* stats = nullptr);
+
+/// Strict-mode convenience (historical signature).
 Trace read_trace(std::istream& in);
 
 }  // namespace spoofscope::net

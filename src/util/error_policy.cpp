@@ -1,0 +1,49 @@
+#include "util/error_policy.hpp"
+
+#include <sstream>
+
+namespace spoofscope::util {
+
+const char* error_kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kTruncated: return "truncated";
+    case ErrorKind::kBadMagic: return "bad-magic";
+    case ErrorKind::kBadVersion: return "bad-version";
+    case ErrorKind::kChecksum: return "checksum";
+    case ErrorKind::kParse: return "parse";
+    case ErrorKind::kCountMismatch: return "count-mismatch";
+  }
+  return "unknown";
+}
+
+bool IngestStats::clean() const {
+  if (records_skipped != 0 || bytes_dropped != 0) return false;
+  for (const auto e : errors) {
+    if (e != 0) return false;
+  }
+  return true;
+}
+
+void IngestStats::merge(const IngestStats& other) {
+  records_ok += other.records_ok;
+  records_skipped += other.records_skipped;
+  bytes_dropped += other.bytes_dropped;
+  for (std::size_t i = 0; i < kNumErrorKinds; ++i) errors[i] += other.errors[i];
+}
+
+std::string IngestStats::summary() const {
+  std::ostringstream os;
+  os << records_ok << " records ok, " << records_skipped << " skipped";
+  bool any = false;
+  for (std::size_t i = 0; i < kNumErrorKinds; ++i) {
+    if (errors[i] == 0) continue;
+    os << (any ? ", " : " (") << errors[i] << ' '
+       << error_kind_name(static_cast<ErrorKind>(i));
+    any = true;
+  }
+  if (any) os << ')';
+  os << ", " << bytes_dropped << " bytes dropped";
+  return os.str();
+}
+
+}  // namespace spoofscope::util

@@ -1,0 +1,175 @@
+// End-to-end CLI smoke test: drives the real `spoofscope` binary through
+// generate -> classify -> report on a temp directory, on both engines,
+// and checks the robustness surface (flag validation, strict vs skip on
+// a corrupted trace, output-stream failure).
+//
+// SPOOFSCOPE_CLI_BIN is injected by CMake as the built binary's path.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr interleaved
+};
+
+/// Runs the CLI with `args`, capturing combined output.
+RunResult run_cli(const std::string& args, const fs::path& capture) {
+  const std::string cmd = std::string(SPOOFSCOPE_CLI_BIN) + " " + args + " > " +
+                          capture.string() + " 2>&1";
+  const int raw = std::system(cmd.c_str());
+  RunResult r;
+  r.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  std::ifstream in(capture);
+  std::ostringstream os;
+  os << in.rdbuf();
+  r.output = os.str();
+  return r;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// One generated world shared by every test case (generation dominates
+/// the suite's runtime).
+struct CliWorld {
+  fs::path root;   ///< scratch directory for this run
+  fs::path world;  ///< generated artifacts
+  fs::path log;    ///< output capture file
+  bool generated = false;
+
+  CliWorld() {
+    root = fs::temp_directory_path() /
+           ("spoofscope-smoke-" + std::to_string(::getpid()));
+    fs::remove_all(root);
+    fs::create_directories(root);
+    world = root / "world";
+    log = root / "out.log";
+    const auto r =
+        run_cli("generate --out " + world.string() + " --seed 7", log);
+    generated = r.exit_code == 0;
+  }
+  ~CliWorld() { fs::remove_all(root); }
+
+  std::string mrt() const { return (world / "route-server.mrt").string(); }
+  std::string trace() const { return (world / "ixp.trace").string(); }
+  std::string rpsl() const { return (world / "registry.rpsl").string(); }
+};
+
+CliWorld& cli_world() {
+  static CliWorld w;  // destructor removes the scratch directory at exit
+  return w;
+}
+
+TEST(CliSmoke, GenerateWritesAllArtifacts) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  EXPECT_TRUE(fs::exists(w.world / "topology.txt"));
+  EXPECT_TRUE(fs::exists(w.world / "ixp.trace"));
+  EXPECT_TRUE(fs::exists(w.world / "route-server.mrt"));
+  EXPECT_TRUE(fs::exists(w.world / "registry.rpsl"));
+  EXPECT_GT(fs::file_size(w.world / "ixp.trace"), 1000u);
+}
+
+TEST(CliSmoke, ClassifyProducesIdenticalLabelsOnBothEngines) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const fs::path trie_csv = w.root / "labels-trie.csv";
+  const fs::path flat_csv = w.root / "labels-flat.csv";
+
+  const auto trie = run_cli("classify --mrt " + w.mrt() + " --trace " +
+                                w.trace() + " --labels " + trie_csv.string(),
+                            w.log);
+  ASSERT_EQ(trie.exit_code, 0) << trie.output;
+  EXPECT_NE(trie.output.find("classified"), std::string::npos);
+
+  const auto flat = run_cli("classify --mrt " + w.mrt() + " --trace " +
+                                w.trace() + " --labels " + flat_csv.string() +
+                                " --engine flat --threads 0",
+                            w.log);
+  ASSERT_EQ(flat.exit_code, 0) << flat.output;
+
+  const std::string a = slurp(trie_csv);
+  const std::string b = slurp(flat_csv);
+  ASSERT_GT(a.size(), 100u);
+  EXPECT_EQ(a.substr(0, 24), "ts,src,dst,member,class\n");
+  EXPECT_EQ(a, b);
+}
+
+TEST(CliSmoke, ReportRunsEndToEndOnBothEngines) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  for (const std::string engine : {"trie", "flat"}) {
+    const auto r = run_cli("report --mrt " + w.mrt() + " --trace " +
+                               w.trace() + " --rpsl " + w.rpsl() +
+                               " --engine " + engine,
+                           w.log);
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("NTP amplification"), std::string::npos) << engine;
+  }
+}
+
+TEST(CliSmoke, GarbageThreadsFlagIsRejected) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const auto r = run_cli("classify --mrt " + w.mrt() + " --trace " +
+                             w.trace() + " --threads bogus",
+                         w.log);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--threads"), std::string::npos);
+}
+
+TEST(CliSmoke, CorruptedTraceStrictFailsSkipRecovers) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  // Flip one bit inside the record region of a copy of the trace.
+  const fs::path bad = w.root / "corrupt.trace";
+  std::string bytes = slurp(w.trace());
+  ASSERT_GT(bytes.size(), 5000u);
+  bytes[5000] = static_cast<char>(bytes[5000] ^ 0x10);
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out << bytes;
+  }
+
+  const auto strict = run_cli(
+      "classify --mrt " + w.mrt() + " --trace " + bad.string(), w.log);
+  EXPECT_EQ(strict.exit_code, 1);
+  EXPECT_NE(strict.output.find("error:"), std::string::npos);
+
+  const auto skip =
+      run_cli("classify --mrt " + w.mrt() + " --trace " + bad.string() +
+                  " --on-error skip",
+              w.log);
+  ASSERT_EQ(skip.exit_code, 0) << skip.output;
+  EXPECT_NE(skip.output.find("ingest:"), std::string::npos);
+  EXPECT_NE(skip.output.find("1 skipped"), std::string::npos);
+  EXPECT_NE(skip.output.find("classified"), std::string::npos);
+}
+
+TEST(CliSmoke, UnwritableLabelsPathFails) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const auto r = run_cli(
+      "classify --mrt " + w.mrt() + " --trace " + w.trace() +
+          " --labels /nonexistent-spoofscope-dir/labels.csv",
+      w.log);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Deterministic corruption injectors for the robustness suites: every
+// corruptor is a pure function of (input bytes, Rng state), so a given
+// seed always damages the same artifact the same way and failures
+// reproduce exactly.
+//
+// Byte-level corruptors serve the binary trace format; line-level ones
+// serve the text formats (MRT-lite, RPSL), where the record boundary is
+// the line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace spoofscope::testing {
+
+// ---------------------------------------------------------------- bytes
+
+/// Cuts the tail at a position in [min_keep, size-1]: always removes at
+/// least one byte so strict readers must notice.
+inline std::string truncate_bytes(const std::string& data, util::Rng& rng,
+                                  std::size_t min_keep = 0) {
+  if (data.size() <= min_keep) return data;
+  const std::size_t keep = min_keep + rng.index(data.size() - min_keep);
+  return data.substr(0, keep);
+}
+
+/// Flips `flips` random bits at offsets >= lo (use lo to confine damage
+/// to the record region).
+inline std::string flip_bits(const std::string& data, util::Rng& rng,
+                             int flips, std::size_t lo = 0) {
+  std::string out = data;
+  if (out.size() <= lo) return out;
+  for (int i = 0; i < flips; ++i) {
+    const std::size_t pos = lo + rng.index(out.size() - lo);
+    out[pos] = static_cast<char>(out[pos] ^ (1u << rng.index(8)));
+  }
+  return out;
+}
+
+/// Removes one whole record from a fixed-size-record stream.
+inline std::string drop_fixed_record(const std::string& data, util::Rng& rng,
+                                     std::size_t header_size,
+                                     std::size_t record_size) {
+  if (data.size() < header_size + record_size) return data;
+  const std::size_t n = (data.size() - header_size) / record_size;
+  const std::size_t i = rng.index(n);
+  std::string out = data;
+  out.erase(header_size + i * record_size, record_size);
+  return out;
+}
+
+/// Duplicates one whole record in place.
+inline std::string duplicate_fixed_record(const std::string& data,
+                                          util::Rng& rng,
+                                          std::size_t header_size,
+                                          std::size_t record_size) {
+  if (data.size() < header_size + record_size) return data;
+  const std::size_t n = (data.size() - header_size) / record_size;
+  const std::size_t i = rng.index(n);
+  const std::size_t at = header_size + i * record_size;
+  std::string out = data;
+  out.insert(at, data.substr(at, record_size));
+  return out;
+}
+
+/// Inserts 1..max_len random bytes at an offset in [lo, size-1] — i.e.
+/// strictly inside the stream, so readers must cope with the misalignment
+/// (a splice appended after the last record would be invisible).
+inline std::string splice_garbage(const std::string& data, util::Rng& rng,
+                                  std::size_t lo, std::size_t max_len = 64) {
+  if (data.size() <= lo) return data;
+  const std::size_t pos = lo + rng.index(data.size() - lo);
+  const std::size_t len = 1 + rng.index(max_len);
+  std::string garbage;
+  garbage.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    garbage.push_back(static_cast<char>(rng.uniform_u32(0, 255)));
+  }
+  std::string out = data;
+  out.insert(pos, garbage);
+  return out;
+}
+
+// ---------------------------------------------------------------- lines
+
+inline std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const auto nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      if (start < text.size()) lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+inline std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Deletes one random line.
+inline std::string drop_line(const std::string& text, util::Rng& rng) {
+  auto lines = split_lines(text);
+  if (lines.empty()) return text;
+  lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(rng.index(lines.size())));
+  return join_lines(lines);
+}
+
+/// Duplicates one random line in place.
+inline std::string duplicate_line(const std::string& text, util::Rng& rng) {
+  auto lines = split_lines(text);
+  if (lines.empty()) return text;
+  const std::size_t i = rng.index(lines.size());
+  lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i), lines[i]);
+  return join_lines(lines);
+}
+
+/// Applies `edits` random printable-character overwrites/inserts/erases
+/// inside one random line (newlines are never touched, so the line
+/// structure is preserved and damage stays within one record).
+inline std::string mutate_line(const std::string& text, util::Rng& rng,
+                               int edits = 3) {
+  auto lines = split_lines(text);
+  if (lines.empty()) return text;
+  std::string& line = lines[rng.index(lines.size())];
+  for (int e = 0; e < edits; ++e) {
+    if (line.empty()) {
+      line.push_back(static_cast<char>(rng.uniform_u32(33, 126)));
+      continue;
+    }
+    const std::size_t pos = rng.index(line.size());
+    switch (rng.index(3)) {
+      case 0:
+        line[pos] = static_cast<char>(rng.uniform_u32(32, 126));
+        break;
+      case 1:
+        line.erase(pos, 1);
+        break;
+      default:
+        line.insert(pos, 1, static_cast<char>(rng.uniform_u32(32, 126)));
+    }
+  }
+  return join_lines(lines);
+}
+
+/// Cuts the text at a random byte (possibly mid-line).
+inline std::string truncate_text(const std::string& text, util::Rng& rng) {
+  return truncate_bytes(text, rng, 0);
+}
+
+/// Splices a line of random printable garbage between two records.
+inline std::string splice_garbage_line(const std::string& text,
+                                       util::Rng& rng,
+                                       std::size_t max_len = 40) {
+  auto lines = split_lines(text);
+  std::string garbage;
+  const std::size_t len = 1 + rng.index(max_len);
+  for (std::size_t i = 0; i < len; ++i) {
+    garbage.push_back(static_cast<char>(rng.uniform_u32(33, 126)));
+  }
+  const std::size_t at = lines.empty() ? 0 : rng.index(lines.size() + 1);
+  lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at), garbage);
+  return join_lines(lines);
+}
+
+}  // namespace spoofscope::testing

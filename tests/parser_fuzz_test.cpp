@@ -3,6 +3,7 @@
 // crash, hang or silently corrupt. Parameterized over seeds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "bgp/mrt_lite.hpp"
@@ -140,6 +141,109 @@ TEST_P(ParserFuzzTest, TraceTruncationAlwaysThrows) {
     std::stringstream truncated(full.substr(0, cut));
     EXPECT_THROW((void)net::read_trace(truncated), std::runtime_error)
         << "cut at " << cut;
+  }
+}
+
+TEST_P(ParserFuzzTest, MrtSkipModeNeverThrowsAndCountsConsistently) {
+  util::Rng rng(GetParam() ^ 0x99);
+  for (int i = 0; i < 300; ++i) {
+    std::stringstream ss(random_texty(rng, 400));
+    util::IngestStats stats;
+    const auto out = bgp::read_mrt(ss, util::ErrorPolicy::kSkip, &stats);
+    // Skip mode must never throw, and must never claim more surviving
+    // records than it returned.
+    EXPECT_EQ(stats.records_ok, out.size());
+  }
+}
+
+TEST_P(ParserFuzzTest, RpslSkipModeNeverThrowsAndCountsConsistently) {
+  util::Rng rng(GetParam() ^ 0xaa);
+  for (int i = 0; i < 300; ++i) {
+    std::stringstream ss(random_texty(rng, 400));
+    util::IngestStats stats;
+    const auto db = data::parse_rpsl(ss, util::ErrorPolicy::kSkip, &stats);
+    EXPECT_EQ(stats.records_ok, db.routes.size() + db.aut_nums.size());
+  }
+}
+
+TEST_P(ParserFuzzTest, TraceSkipModeNeverThrowsOnGarbage) {
+  util::Rng rng(GetParam() ^ 0xbb);
+  for (int i = 0; i < 300; ++i) {
+    std::stringstream ss(random_bytes(rng, 300));
+    util::IngestStats stats;
+    const auto t = net::read_trace(ss, util::ErrorPolicy::kSkip, &stats);
+    EXPECT_EQ(stats.records_ok, t.flows.size());
+  }
+}
+
+TEST_P(ParserFuzzTest, TraceSkipModeSurvivorsAreGenuineUnderMutation) {
+  // Arbitrary byte mutations of a valid trace: skip mode must terminate,
+  // never throw, and every surviving record must be one of the original
+  // records (checksums make inventing a record as hard as forging one).
+  util::Rng rng(GetParam() ^ 0xcc);
+  net::Trace t;
+  t.meta.seed = GetParam();
+  for (int i = 0; i < 50; ++i) {
+    net::FlowRecord f;
+    f.ts = static_cast<std::uint32_t>(i);
+    f.src = net::Ipv4Addr(rng.next_u32());
+    f.packets = 1 + rng.uniform_u32(0, 9);
+    f.bytes = 40ull * f.packets;
+    f.member_in = 1 + static_cast<net::Asn>(rng.index(5));
+    f.member_out = 2;
+    t.flows.push_back(f);
+  }
+  std::stringstream ss;
+  net::write_trace(ss, t);
+  const std::string full = ss.str();
+
+  for (int i = 0; i < 200; ++i) {
+    std::string bad = full;
+    const std::size_t edits = 1 + rng.index(8);
+    for (std::size_t e = 0; e < edits; ++e) {
+      bad[rng.index(bad.size())] =
+          static_cast<char>(rng.uniform_u32(0, 255));
+    }
+    std::stringstream in(bad);
+    util::IngestStats stats;
+    const auto got = net::read_trace(in, util::ErrorPolicy::kSkip, &stats);
+    EXPECT_EQ(stats.records_ok, got.flows.size());
+    EXPECT_LE(got.flows.size(), t.flows.size());
+    for (const auto& f : got.flows) {
+      EXPECT_NE(std::find(t.flows.begin(), t.flows.end(), f), t.flows.end());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, TraceSkipModeTruncationNeverThrows) {
+  // The skip-mode counterpart of TraceTruncationAlwaysThrows: the same
+  // cuts must yield a (possibly empty) prefix of the written records.
+  util::Rng rng(GetParam() ^ 0x66);  // same sequence as the strict test
+  net::Trace t;
+  for (int i = 0; i < 5; ++i) {
+    net::FlowRecord f;
+    f.src = net::Ipv4Addr(rng.next_u32());
+    f.packets = 1;
+    f.bytes = 40;
+    f.member_in = 1;
+    f.member_out = 2;
+    t.flows.push_back(f);
+  }
+  std::stringstream ss;
+  net::write_trace(ss, t);
+  const std::string full = ss.str();
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t cut = rng.index(full.size());
+    std::stringstream truncated(full.substr(0, cut));
+    util::IngestStats stats;
+    const auto got =
+        net::read_trace(truncated, util::ErrorPolicy::kSkip, &stats);
+    EXPECT_EQ(stats.records_ok, got.flows.size());
+    EXPECT_FALSE(stats.clean()) << "cut at " << cut;
+    ASSERT_LE(got.flows.size(), t.flows.size());
+    for (std::size_t k = 0; k < got.flows.size(); ++k) {
+      EXPECT_EQ(got.flows[k], t.flows[k]);
+    }
   }
 }
 

@@ -3,8 +3,12 @@
 #   1. tier-1: default build + complete ctest suite
 #   2. ThreadSanitizer build, running the concurrency-sensitive suites
 #      (the parallel engine oracles including the flat/trie differential
-#      tests, the thread pool, and the streaming detector)
+#      tests, the thread pool, the streaming detector and the corruption
+#      differential suite, which classifies on a shared pool)
 #   3. AddressSanitizer build, same suites plus the trie/interval code
+#      and the byte-level corruption/resync paths
+#   4. UndefinedBehaviorSanitizer build over the parser fuzz and
+#      robustness suites (the code that chews on hostile bytes)
 #
 # Usage: tools/check.sh
 set -euo pipefail
@@ -30,6 +34,8 @@ TSAN_SUITES=(
   classify_parallel_oracle_test
   classify_flat_oracle_test
   classify_streaming_test
+  classify_streaming_degraded_test
+  robustness_differential_test
   util_thread_pool_test
   scenario_multiseed_test
 )
@@ -46,12 +52,30 @@ ASAN_SUITES=(
   trie_interval_set_test
   trie_property_test
   classify_test
+  parser_fuzz_test
+  robustness_differential_test
+  classify_streaming_degraded_test
 )
 
-echo "=== AddressSanitizer: classification + trie suites ==="
+echo "=== AddressSanitizer: classification + trie + corruption suites ==="
 cmake -S "${REPO_ROOT}" -B "${REPO_ROOT}/build-asan" \
   -DSPOOFSCOPE_SANITIZE=address >/dev/null
 cmake --build "${REPO_ROOT}/build-asan" -j "${JOBS}" --target "${ASAN_SUITES[@]}"
 run_suite build-asan "${ASAN_SUITES[@]}"
+
+UBSAN_SUITES=(
+  parser_fuzz_test
+  robustness_differential_test
+  classify_streaming_degraded_test
+  net_trace_test
+  bgp_mrt_lite_test
+  data_rpsl_test
+)
+
+echo "=== UndefinedBehaviorSanitizer: parser + robustness suites ==="
+cmake -S "${REPO_ROOT}" -B "${REPO_ROOT}/build-ubsan" \
+  -DSPOOFSCOPE_SANITIZE=undefined >/dev/null
+cmake --build "${REPO_ROOT}/build-ubsan" -j "${JOBS}" --target "${UBSAN_SUITES[@]}"
+run_suite build-ubsan "${UBSAN_SUITES[@]}"
 
 echo "=== all checks passed ==="

@@ -19,11 +19,18 @@
 //   spoofscope report --mrt FILE[,FILE...] --trace FILE [--rpsl FILE]
 //       Full study output: Table 1 column (chosen method), Venn, member
 //       share quantiles and the NTP attack summary.
+//
+// All readers honour --on-error strict|skip: strict (default) fails on
+// the first malformed record; skip quarantines bad records, prints an
+// ingest report, and analyses the surviving records. The trace is
+// consumed incrementally (net::TraceReader) in bounded-size chunks, so
+// classify never materializes the whole trace in memory.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -41,6 +48,7 @@
 #include "net/trace.hpp"
 #include "scenario/scenario.hpp"
 #include "topo/serialize.hpp"
+#include "util/error_policy.hpp"
 #include "util/format.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
@@ -48,6 +56,11 @@
 namespace {
 
 using namespace spoofscope;
+
+/// Flows classified per streaming chunk: large enough to amortize the
+/// thread-pool fan-out, small enough to keep classify at a few MiB of
+/// flow/label memory regardless of trace size.
+constexpr std::size_t kChunkFlows = 1u << 17;
 
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
@@ -58,16 +71,20 @@ using namespace spoofscope;
       "  spoofscope classify --mrt FILES --trace FILE [--rpsl FILE]\n"
       "                      [--method naive|cc|cc+org|full|full+org]\n"
       "                      [--labels OUT.csv] [--threads N]\n"
-      "                      [--engine trie|flat]\n"
+      "                      [--engine trie|flat] [--on-error strict|skip]\n"
       "  spoofscope report   --mrt FILES --trace FILE [--rpsl FILE]\n"
       "                      [--threads N] [--engine trie|flat]\n"
+      "                      [--on-error strict|skip]\n"
       "\n"
       "--threads N runs valid-space construction and classification on N\n"
       "worker threads (0 = hardware concurrency, default 1 = sequential);\n"
       "results are identical for every N.\n"
       "--engine flat compiles the classifier into the DIR-24-8 flat plane\n"
       "(O(1) per-flow lookups) before classifying; labels are identical\n"
-      "to the default trie engine.\n";
+      "to the default trie engine.\n"
+      "--on-error skip quarantines malformed MRT lines, RPSL objects and\n"
+      "corrupt trace records instead of aborting, prints an ingest report\n"
+      "and analyses the surviving records (default: strict).\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -88,10 +105,21 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) 
   return flags;
 }
 
+/// Strictly parsed non-negative integer flag; anything else (garbage,
+/// negative, trailing junk) is a usage error rather than a silent 0.
+std::uint64_t u64_flag(const std::map<std::string, std::string>& flags,
+                       const std::string& key, std::uint64_t fallback) {
+  if (!flags.count(key)) return fallback;
+  std::uint64_t value = 0;
+  if (!util::parse_u64(flags.at(key), value)) {
+    usage("--" + key + " expects a non-negative integer, got: '" +
+          flags.at(key) + "'");
+  }
+  return value;
+}
+
 std::size_t threads_from(const std::map<std::string, std::string>& flags) {
-  if (!flags.count("threads")) return 1;
-  return static_cast<std::size_t>(
-      std::strtoull(flags.at("threads").c_str(), nullptr, 10));
+  return static_cast<std::size_t>(u64_flag(flags, "threads", 1));
 }
 
 classify::Engine engine_from(const std::map<std::string, std::string>& flags) {
@@ -99,6 +127,14 @@ classify::Engine engine_from(const std::map<std::string, std::string>& flags) {
   const auto engine = classify::parse_engine(flags.at("engine"));
   if (!engine) usage("unknown engine: " + flags.at("engine"));
   return *engine;
+}
+
+util::ErrorPolicy policy_from(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("on-error")) return util::ErrorPolicy::kStrict;
+  const auto& name = flags.at("on-error");
+  if (name == "strict") return util::ErrorPolicy::kStrict;
+  if (name == "skip") return util::ErrorPolicy::kSkip;
+  usage("--on-error expects 'strict' or 'skip', got: '" + name + "'");
 }
 
 inference::Method method_from(const std::string& name) {
@@ -110,44 +146,57 @@ inference::Method method_from(const std::string& name) {
   usage("unknown method: " + name);
 }
 
-/// Shared loading for classify/report.
-struct LoadedWorld {
+/// One line per ingested source, printed in skip mode (or whenever
+/// records were actually dropped).
+void print_ingest(const std::string& source, const util::IngestStats& stats) {
+  std::cout << "ingest: " << source << ": " << stats.summary() << "\n";
+}
+
+/// Opens an output file, failing loudly instead of silently writing to a
+/// bad stream.
+std::ofstream open_output(const std::string& path,
+                          std::ios::openmode mode = std::ios::out) {
+  std::ofstream out(path, mode);
+  if (!out) throw std::runtime_error("cannot open output file: " + path);
+  return out;
+}
+
+/// Flush-and-verify before declaring an artifact written.
+void finish_output(std::ofstream& out, const std::string& path) {
+  out.flush();
+  if (!out) throw std::runtime_error("write failure on output file: " + path);
+}
+
+/// The routing-side inputs for classify/report.
+struct RoutingInputs {
   bgp::RoutingTable table;
-  net::Trace trace;
   std::optional<data::WhoisRegistry> whois;
 };
 
-LoadedWorld load(const std::map<std::string, std::string>& flags) {
+RoutingInputs load_routing(const std::map<std::string, std::string>& flags,
+                           util::ErrorPolicy policy) {
   if (!flags.count("mrt")) usage("--mrt is required");
-  if (!flags.count("trace")) usage("--trace is required");
 
-  LoadedWorld world;
+  RoutingInputs inputs;
   bgp::RoutingTableBuilder builder;
   for (const auto part : util::split(flags.at("mrt"), ',')) {
     std::ifstream in{std::string(part)};
     if (!in) usage("cannot open MRT file: " + std::string(part));
-    builder.ingest(bgp::read_mrt(in));
+    util::IngestStats stats;
+    builder.ingest(bgp::read_mrt(in, policy, &stats));
+    if (!stats.clean()) print_ingest(std::string(part), stats);
   }
-  world.table = builder.build();
-
-  std::ifstream tin(flags.at("trace"), std::ios::binary);
-  if (!tin) usage("cannot open trace file: " + flags.at("trace"));
-  world.trace = net::read_trace(tin);
+  inputs.table = builder.build();
 
   if (flags.count("rpsl")) {
     std::ifstream rin(flags.at("rpsl"));
     if (!rin) usage("cannot open RPSL file: " + flags.at("rpsl"));
-    world.whois = data::registry_from_rpsl(data::parse_rpsl(rin));
+    util::IngestStats stats;
+    inputs.whois =
+        data::registry_from_rpsl(data::parse_rpsl(rin, policy, &stats));
+    if (!stats.clean()) print_ingest(flags.at("rpsl"), stats);
   }
-  return world;
-}
-
-std::vector<net::Asn> members_of(const net::Trace& trace) {
-  std::vector<net::Asn> members;
-  for (const auto& f : trace.flows) members.push_back(f.member_in);
-  std::sort(members.begin(), members.end());
-  members.erase(std::unique(members.begin(), members.end()), members.end());
-  return members;
+  return inputs;
 }
 
 int cmd_generate(const std::map<std::string, std::string>& flags) {
@@ -158,20 +207,20 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
   scenario::ScenarioParams params = flags.count("paper")
                                         ? scenario::ScenarioParams::paper()
                                         : scenario::ScenarioParams::small();
-  if (flags.count("seed")) {
-    params.seed = std::strtoull(flags.at("seed").c_str(), nullptr, 10);
-  }
+  params.seed = u64_flag(flags, "seed", params.seed);
   params.threads = threads_from(flags);
   params.engine = engine_from(flags);
   const auto world = scenario::build_scenario(params);
 
   {
-    std::ofstream out(dir + "/topology.txt");
+    auto out = open_output(dir + "/topology.txt");
     topo::write_topology(out, world->topology());
+    finish_output(out, dir + "/topology.txt");
   }
   {
-    std::ofstream out(dir + "/ixp.trace", std::ios::binary);
+    auto out = open_output(dir + "/ixp.trace", std::ios::out | std::ios::binary);
     net::write_trace(out, world->trace());
+    finish_output(out, dir + "/ixp.trace");
   }
   {
     const bgp::Simulator sim(world->topology());
@@ -183,15 +232,17 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
     rs.name = "ixp-route-server";
     rs.feeders = world->ixp().route_server_feeders();
     rs.full_feed = false;
-    std::ofstream out(dir + "/route-server.mrt");
+    auto out = open_output(dir + "/route-server.mrt");
     bgp::collect_records(fabric, rs, [&out](const bgp::MrtRecord& r) {
       std::visit([&out](const auto& rec) { out << bgp::to_mrt_line(rec) << '\n'; },
                  r);
     });
+    finish_output(out, dir + "/route-server.mrt");
   }
   {
-    std::ofstream out(dir + "/registry.rpsl");
+    auto out = open_output(dir + "/registry.rpsl");
     out << data::registry_to_rpsl(world->whois());
+    finish_output(out, dir + "/registry.rpsl");
   }
   std::cout << "wrote topology.txt, ixp.trace, route-server.mrt, registry.rpsl"
             << " to " << dir << "\n"
@@ -201,47 +252,110 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// First streaming pass over the trace: the distinct injecting members
+/// (needed to build valid spaces) without materializing the flows.
+std::vector<net::Asn> scan_members(const std::string& path,
+                                   util::ErrorPolicy policy) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) usage("cannot open trace file: " + path);
+  net::TraceReader reader(in, policy);
+  std::set<net::Asn> members;
+  while (const auto f = reader.next()) members.insert(f->member_in);
+  return {members.begin(), members.end()};
+}
+
 int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
-  auto world = load(flags);
+  if (!flags.count("trace")) usage("--trace is required");
+  const auto policy = policy_from(flags);
+  const std::string trace_path = flags.at("trace");
+  auto routing = load_routing(flags, policy);
   const auto method = method_from(
       flags.count("method") ? flags.at("method") : std::string("full+org"));
 
   util::ThreadPool pool(threads_from(flags));
-  const auto members = members_of(world.trace);
-  inference::ValidSpaceFactory factory(world.table, asgraph::OrgMap{});
+  const auto members = scan_members(trace_path, policy);
+  inference::ValidSpaceFactory factory(routing.table, asgraph::OrgMap{});
   std::vector<inference::ValidSpace> spaces;
   spaces.push_back(factory.build(method, members, pool));
-  classify::Classifier classifier(world.table, std::move(spaces));
+  classify::Classifier classifier(routing.table, std::move(spaces));
 
   // RPSL whitelist (Sec 4.4) applied up front.
-  if (world.whois) {
+  if (routing.whois) {
     auto& space = classifier.mutable_space(0);
     for (const net::Asn m : members) {
-      std::vector<net::Prefix> extra = world.whois->provider_assigned_of(m);
+      std::vector<net::Prefix> extra = routing.whois->provider_assigned_of(m);
       if (!extra.empty()) {
         space.extend(m, trie::IntervalSet::from_prefixes(extra));
       }
     }
   }
 
-  // Classify on the selected engine. The flat plane is compiled after
-  // the RPSL whitelist so the extend()ed spaces are baked in.
+  // The flat plane is compiled after the RPSL whitelist so the
+  // extend()ed spaces are baked in.
   const auto engine = engine_from(flags);
-  std::vector<classify::Label> labels;
+  std::optional<classify::FlatClassifier> flat;
   if (engine == classify::Engine::kFlat) {
-    const auto flat = classify::FlatClassifier::compile(classifier, pool);
-    labels = classify::classify_trace(flat, world.trace.flows, pool);
-  } else {
-    labels = classify::classify_trace(classifier, world.trace.flows, pool);
+    flat.emplace(classify::FlatClassifier::compile(classifier, pool));
   }
 
+  std::optional<std::ofstream> labels_out;
+  if (flags.count("labels")) {
+    labels_out.emplace(open_output(flags.at("labels")));
+    *labels_out << "ts,src,dst,member,class\n";
+  }
+
+  // Second streaming pass: classify and aggregate chunk-at-a-time. Only
+  // `report` (whose member/attack analyses need the whole trace) keeps
+  // the flows around.
+  std::ifstream tin(trace_path, std::ios::binary);
+  if (!tin) usage("cannot open trace file: " + trace_path);
+  util::IngestStats trace_stats;
+  net::TraceReader reader(tin, policy, &trace_stats);
+  classify::AggregateBuilder builder(classifier.space_count());
+  std::vector<net::FlowRecord> chunk;
+  std::vector<net::FlowRecord> all_flows;
+  std::vector<classify::Label> all_labels;
+  std::uint64_t flow_count = 0;
+  chunk.reserve(kChunkFlows);
+  for (bool more = true; more;) {
+    chunk.clear();
+    while (chunk.size() < kChunkFlows) {
+      auto f = reader.next();
+      if (!f) {
+        more = false;
+        break;
+      }
+      chunk.push_back(*f);
+    }
+    if (chunk.empty()) break;
+    const auto labels =
+        flat ? classify::classify_trace(*flat, chunk, pool)
+             : classify::classify_trace(classifier, chunk, pool);
+    builder.add(chunk, labels);
+    flow_count += chunk.size();
+    if (labels_out) {
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        const auto& f = chunk[i];
+        *labels_out << f.ts << ',' << f.src.str() << ',' << f.dst.str() << ','
+                    << f.member_in << ','
+                    << classify::class_name(
+                           classify::Classifier::unpack(labels[i], 0))
+                    << '\n';
+      }
+    }
+    if (report) {
+      all_flows.insert(all_flows.end(), chunk.begin(), chunk.end());
+      all_labels.insert(all_labels.end(), labels.begin(), labels.end());
+    }
+  }
+  if (!trace_stats.clean()) print_ingest(trace_path, trace_stats);
+
   // Totals.
-  const auto agg = classify::aggregate_classes(classifier, world.trace.flows,
-                                               labels, {}, pool);
-  std::cout << "classified " << world.trace.flows.size() << " flows from "
+  const auto agg = builder.build();
+  std::cout << "classified " << flow_count << " flows from "
             << members.size() << " members under "
             << inference::method_name(method) << " (routing view: "
-            << world.table.prefixes().size() << " prefixes, "
+            << routing.table.prefixes().size() << " prefixes, "
             << classify::engine_name(engine) << " engine)\n\n";
   static const char* kClassNames[] = {"Bogon", "Unrouted", "Invalid", "Valid"};
   for (int c = 0; c < classify::kNumClasses; ++c) {
@@ -254,16 +368,8 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
               << util::pad_left(util::human_bytes(cell.bytes), 12) << "\n";
   }
 
-  if (flags.count("labels")) {
-    std::ofstream out(flags.at("labels"));
-    out << "ts,src,dst,member,class\n";
-    for (std::size_t i = 0; i < world.trace.flows.size(); ++i) {
-      const auto& f = world.trace.flows[i];
-      out << f.ts << ',' << f.src.str() << ',' << f.dst.str() << ','
-          << f.member_in << ','
-          << classify::class_name(classify::Classifier::unpack(labels[i], 0))
-          << '\n';
-    }
+  if (labels_out) {
+    finish_output(*labels_out, flags.at("labels"));
     std::cout << "\nper-flow labels written to " << flags.at("labels") << "\n";
   }
 
@@ -272,7 +378,7 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
     // default to Other).
     const ixp::Ixp no_ixp;  // empty: member types unknown from files
     const auto counts =
-        analysis::per_member_counts(world.trace.flows, labels, 0, no_ixp);
+        analysis::per_member_counts(all_flows, all_labels, 0, no_ixp);
     std::cout << "\n" << analysis::format_venn(analysis::venn_membership(counts));
     std::map<analysis::FilteringStrategy, std::size_t> strategies;
     for (const auto& mc : counts) {
@@ -283,7 +389,7 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
       std::cout << "  " << util::pad_right(analysis::strategy_name(s), 18) << n
                 << "\n";
     }
-    const auto ntp = analysis::analyze_ntp(world.trace.flows, labels, 0);
+    const auto ntp = analysis::analyze_ntp(all_flows, all_labels, 0);
     std::cout << "\nNTP amplification: " << ntp.trigger_packets
               << " trigger pkts from " << ntp.distinct_victims
               << " victim IPs towards " << ntp.amplifiers_contacted
