@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "net/bogon.hpp"
+#include "net/flow_batch.hpp"
 
 namespace spoofscope::classify {
 
@@ -148,7 +149,50 @@ void classify_range(const Classifier& classifier,
   }
 }
 
+/// Lane-level twin of classify_range for SoA batches.
+void classify_lanes(const Classifier& classifier,
+                    std::span<const std::uint32_t> src,
+                    std::span<const Asn> member_in, std::size_t begin,
+                    std::size_t end, Label* out) {
+  std::unordered_map<Asn, Classifier::MemberView> views;
+  for (std::size_t i = begin; i < end; ++i) {
+    const Asn member = member_in[i];
+    auto it = views.find(member);
+    if (it == views.end()) {
+      it = views.emplace(member, classifier.member_view(member)).first;
+    }
+    out[i] = classifier.classify_all(net::Ipv4Addr(src[i]), it->second);
+  }
+}
+
 }  // namespace
+
+void Classifier::classify_batch(const net::FlowBatch& batch,
+                                std::span<Label> out) const {
+  if (out.size() != batch.size()) {
+    throw std::invalid_argument("classify_batch: label span size mismatch");
+  }
+  classify_lanes(*this, batch.src(), batch.member_in(), 0, batch.size(),
+                 out.data());
+}
+
+void Classifier::classify_batch(const net::FlowBatch& batch,
+                                std::span<Label> out,
+                                util::ThreadPool& pool) const {
+  if (out.size() != batch.size()) {
+    throw std::invalid_argument("classify_batch: label span size mismatch");
+  }
+  Label* labels = out.data();
+  pool.parallel_for(0, batch.size(), [&](std::size_t b, std::size_t e) {
+    classify_lanes(*this, batch.src(), batch.member_in(), b, e, labels);
+  });
+}
+
+std::vector<Label> Classifier::classify_batch(const net::FlowBatch& batch) const {
+  std::vector<Label> labels(batch.size());
+  classify_batch(batch, labels);
+  return labels;
+}
 
 std::vector<Label> classify_trace(const Classifier& classifier,
                                   std::span<const net::FlowRecord> flows) {

@@ -18,6 +18,10 @@
 #include "trie/prefix_set.hpp"
 #include "util/thread_pool.hpp"
 
+namespace spoofscope::net {
+class FlowBatch;
+}
+
 namespace spoofscope::classify {
 
 using net::Asn;
@@ -97,6 +101,17 @@ class Classifier {
 
   /// classify_all with the member hash lookups hoisted out (hot loops).
   Label classify_all(net::Ipv4Addr src, const MemberView& view) const;
+
+  /// Batch classification over a FlowBatch's SoA lanes, memoizing member
+  /// views per distinct ASN. out.size() must equal batch.size(); labels
+  /// are element-wise identical to calling classify_all per record.
+  void classify_batch(const net::FlowBatch& batch, std::span<Label> out) const;
+
+  /// Parallel batch variant (contiguous deterministic chunks).
+  void classify_batch(const net::FlowBatch& batch, std::span<Label> out,
+                      util::ThreadPool& pool) const;
+
+  std::vector<Label> classify_batch(const net::FlowBatch& batch) const;
 
   /// Extracts the class for one method from a packed label.
   static TrafficClass unpack(Label label, std::size_t space_idx) {

@@ -1,10 +1,14 @@
 #include "classify/flat_classifier.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
+#include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "net/bogon.hpp"
+#include "net/flow_batch.hpp"
 
 namespace spoofscope::classify {
 
@@ -17,6 +21,41 @@ Label uniform_label(std::size_t num_spaces, TrafficClass c) {
     label |= static_cast<Label>(c) << (2 * i);
   }
   return label;
+}
+
+/// Blocks (/24 indices) per paint stripe: each stripe is one /8.
+constexpr std::size_t kStripeBlocks = std::size_t{1} << 16;
+constexpr std::size_t kNumStripes = std::size_t{1} << 8;
+
+/// One base-table paint: /24 blocks [begin, end] (inclusive, both inside
+/// a single stripe) take `entry`. Stored per stripe in global paint
+/// order, so applying a stripe's ops sequentially reproduces exactly what
+/// the historical single-pass paint produced there.
+struct PaintOp {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::uint32_t entry = 0;
+};
+
+/// Read-only prefetch hint; no-op on toolchains without the builtin.
+#if defined(__GNUC__) || defined(__clang__)
+inline void prefetch_ro(const void* p) { __builtin_prefetch(p, 0, 1); }
+#else
+inline void prefetch_ro(const void*) {}
+#endif
+
+/// How many records ahead the batch kernels request the base-table line.
+/// Far enough that the miss resolves before use, near enough to stay
+/// inside any realistic batch.
+constexpr std::size_t kPrefetchDistance = 16;
+
+std::uint64_t fnv64(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 }  // namespace
@@ -45,14 +84,20 @@ FlatClassifier FlatClassifier::compile_impl(const Classifier& source,
   const bgp::RoutingTable& table = *flat.table_;
 
   // --- base-class table ------------------------------------------------
-  // Zero-init == kKindUnrouted everywhere; then paint routed prefixes in
-  // ascending length order so more-specifics overwrite their covering
-  // blocks (the DIR-24-8 full expansion of the FIB), then the bogon
-  // ranges (the classification cascade checks bogons first, and every
-  // /8–/24 bogon covers whole /24 blocks). Prefixes longer than /24
-  // break per-/24 homogeneity: their blocks become overflow entries that
-  // re-run the exact trie lookups per address.
-  flat.base_.assign(std::size_t{1} << 24, 0u);
+  // Paint routed prefixes in ascending length order so more-specifics
+  // overwrite their covering blocks (the DIR-24-8 full expansion of the
+  // FIB), then the bogon ranges (the classification cascade checks bogons
+  // first, and every /8–/24 bogon covers whole /24 blocks). Prefixes
+  // longer than /24 break per-/24 homogeneity: their blocks become
+  // overflow entries that re-run the exact trie lookups per address.
+  //
+  // The paint is organized as per-/8-stripe op lists: stripes are
+  // disjoint, so they fan out across the pool, and because every op lands
+  // in exactly one stripe in global paint order, the painted bytes are
+  // bit-identical to the historical sequential single-pass fill. The
+  // table memory starts uninitialized; each stripe zero-fills only the
+  // lanes no op paints (zero == kKindUnrouted), so no entry is ever
+  // written twice just to satisfy initialization.
   std::vector<std::pair<net::Prefix, std::uint32_t>> routed;
   routed.reserve(table.prefix_count());
   table.visit_prefixes([&](bgp::RoutingTable::PrefixId pid,
@@ -62,31 +107,79 @@ FlatClassifier FlatClassifier::compile_impl(const Classifier& source,
               return a.first.length() < b.first.length();
             });
 
-  const auto paint = [&](const net::Prefix& p, std::uint32_t entry) {
-    const std::size_t first = p.first() >> 8;
-    const std::size_t last = p.last() >> 8;
-    std::fill(flat.base_.begin() + first, flat.base_.begin() + last + 1, entry);
+  std::vector<std::vector<PaintOp>> stripe_ops(kNumStripes);
+  const auto add_op = [&](std::size_t first_block, std::size_t last_block,
+                          std::uint32_t entry) {
+    for (std::size_t s = first_block / kStripeBlocks;
+         s <= last_block / kStripeBlocks; ++s) {
+      const std::size_t lo = std::max(first_block, s * kStripeBlocks);
+      const std::size_t hi = std::min(last_block, (s + 1) * kStripeBlocks - 1);
+      stripe_ops[s].push_back({static_cast<std::uint32_t>(lo),
+                               static_cast<std::uint32_t>(hi), entry});
+    }
   };
   for (const auto& [p, pid] : routed) {
     if (p.length() <= 24) {
-      paint(p, (kKindRouted << kKindShift) | pid);
+      add_op(p.first() >> 8, p.last() >> 8, (kKindRouted << kKindShift) | pid);
     } else {
       ++flat.stats_.overflow_prefixes;
-      flat.base_[p.first() >> 8] = kKindOverflow << kKindShift;
+      add_op(p.first() >> 8, p.first() >> 8, kKindOverflow << kKindShift);
     }
   }
   for (const auto& p : net::bogon_prefixes()) {
     flat.bogons_.insert(p);
     if (p.length() <= 24) {
-      paint(p, kKindBogon << kKindShift);
+      add_op(p.first() >> 8, p.last() >> 8, kKindBogon << kKindShift);
     } else {
       ++flat.stats_.overflow_prefixes;
-      flat.base_[p.first() >> 8] = kKindOverflow << kKindShift;
+      add_op(p.first() >> 8, p.first() >> 8, kKindOverflow << kKindShift);
     }
   }
-  for (const std::uint32_t e : flat.base_) {
-    if ((e >> kKindShift) == kKindOverflow) ++flat.stats_.overflow_slots;
+
+  flat.base_.reset(new std::uint32_t[kNumStripes * kStripeBlocks]);
+  std::array<std::size_t, kNumStripes> overflow_per_stripe{};
+  const auto paint_stripes = [&](std::size_t stripe_begin,
+                                 std::size_t stripe_end) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> covered;
+    for (std::size_t s = stripe_begin; s < stripe_end; ++s) {
+      std::uint32_t* stripe = flat.base_.get() + s * kStripeBlocks;
+      const auto& ops = stripe_ops[s];
+      if (ops.empty()) {
+        std::fill(stripe, stripe + kStripeBlocks, 0u);
+        continue;
+      }
+      // Zero exactly the gaps between painted ranges, then apply the ops
+      // in paint order (later ops overwrite earlier ones, as before).
+      covered.clear();
+      covered.reserve(ops.size());
+      const std::uint32_t stripe_base = static_cast<std::uint32_t>(s * kStripeBlocks);
+      for (const auto& op : ops) {
+        covered.emplace_back(op.begin - stripe_base, op.end - stripe_base);
+      }
+      std::sort(covered.begin(), covered.end());
+      std::size_t next = 0;
+      for (const auto& [lo, hi] : covered) {
+        if (lo > next) std::fill(stripe + next, stripe + lo, 0u);
+        if (std::size_t{hi} + 1 > next) next = std::size_t{hi} + 1;
+      }
+      if (next < kStripeBlocks) std::fill(stripe + next, stripe + kStripeBlocks, 0u);
+      for (const auto& op : ops) {
+        std::fill(stripe + (op.begin - stripe_base),
+                  stripe + (op.end - stripe_base) + 1, op.entry);
+      }
+      std::size_t overflow = 0;
+      for (std::size_t i = 0; i < kStripeBlocks; ++i) {
+        if ((stripe[i] >> kKindShift) == kKindOverflow) ++overflow;
+      }
+      overflow_per_stripe[s] = overflow;
+    }
+  };
+  if (pool) {
+    pool->parallel_for(0, kNumStripes, paint_stripes);
+  } else {
+    paint_stripes(0, kNumStripes);
   }
+  for (const std::size_t c : overflow_per_stripe) flat.stats_.overflow_slots += c;
 
   // --- per (member, prefix) membership records --------------------------
   // Slot order is the sorted union of every space's members, so the
@@ -120,6 +213,25 @@ FlatClassifier FlatClassifier::compile_impl(const Classifier& source,
   flat.records_.assign(flat.members_.size() * flat.num_prefixes_, 0);
   flat.fallback_.assign(flat.members_.size() * num_spaces, nullptr);
 
+  // Address-ordered prefix ranges: each (member, space) row is built by a
+  // single merge scan of this list against the member's sorted disjoint
+  // interval set — O(prefixes + intervals) per row instead of two
+  // binary searches per (row, prefix) pair.
+  struct PrefixRange {
+    std::uint32_t first;
+    std::uint32_t last;
+    std::uint32_t pid;
+  };
+  std::vector<PrefixRange> ordered;
+  ordered.reserve(flat.num_prefixes_);
+  table.visit_prefixes([&](bgp::RoutingTable::PrefixId pid, const net::Prefix& p) {
+    ordered.push_back({p.first(), p.last(), pid});
+  });
+  std::sort(ordered.begin(), ordered.end(),
+            [](const PrefixRange& a, const PrefixRange& b) {
+              return a.first != b.first ? a.first < b.first : a.last < b.last;
+            });
+
   // Each member's record row (all methods interleaved) is written by
   // exactly one lane, so the fan-out is race-free and deterministic.
   const auto build_rows = [&](std::size_t slot_begin, std::size_t slot_end) {
@@ -129,15 +241,26 @@ FlatClassifier FlatClassifier::compile_impl(const Classifier& source,
       for (std::size_t s = 0; s < num_spaces; ++s) {
         const trie::IntervalSet* space = flat.spaces_[s]->space_of(member);
         if (!space || space->empty()) continue;
-        table.visit_prefixes([&](bgp::RoutingTable::PrefixId pid,
-                                 const net::Prefix& p) {
-          if (space->contains_range(p.first(), p.last())) {
-            row[pid] |= static_cast<std::uint16_t>(1u << s);
-          } else if (space->intersects_range(p.first(), p.last())) {
-            row[pid] |= static_cast<std::uint16_t>(1u << (8 + s));
+        const auto& ivs = space->intervals();
+        const std::uint16_t full_bit = static_cast<std::uint16_t>(1u << s);
+        const std::uint16_t part_bit = static_cast<std::uint16_t>(1u << (8 + s));
+        std::size_t j = 0;
+        for (const auto& pr : ordered) {
+          // Intervals ending before this prefix can never cover a later
+          // one either (prefixes are visited in ascending first()).
+          while (j < ivs.size() && ivs[j].hi < pr.first) ++j;
+          if (j == ivs.size()) break;
+          if (ivs[j].lo > pr.last) continue;  // gap: no overlap
+          // ivs[j] is the only interval that can contain pr.first, so
+          // full coverage is decidable from it alone; any other overlap
+          // is partial.
+          if (ivs[j].lo <= pr.first && ivs[j].hi >= pr.last) {
+            row[pr.pid] |= full_bit;
+          } else {
+            row[pr.pid] |= part_bit;
             flat.fallback_[slot * num_spaces + s] = space;
           }
-        });
+        }
       }
     }
   };
@@ -150,7 +273,7 @@ FlatClassifier FlatClassifier::compile_impl(const Classifier& source,
   for (const auto* fb : flat.fallback_) {
     if (fb) ++flat.stats_.partial_rows;
   }
-  flat.stats_.table_bytes = flat.base_.size() * sizeof(std::uint32_t);
+  flat.stats_.table_bytes = kNumStripes * kStripeBlocks * sizeof(std::uint32_t);
   flat.stats_.bitset_bytes = flat.records_.size() * sizeof(std::uint16_t);
   flat.stats_.prefixes = flat.num_prefixes_;
   flat.stats_.members = flat.members_.size();
@@ -244,30 +367,99 @@ TrafficClass FlatClassifier::classify(net::Ipv4Addr src, const MemberView& view,
   }
 }
 
-namespace {
-
-template <typename Out>
-void flat_classify_range(const FlatClassifier& classifier,
-                         std::span<const net::FlowRecord> flows,
-                         std::size_t begin, std::size_t end, Out&& out) {
-  std::unordered_map<Asn, FlatClassifier::MemberView> views;
+template <typename GetSrc, typename GetMember>
+void FlatClassifier::classify_kernel(std::size_t begin, std::size_t end,
+                                     GetSrc&& src_at, GetMember&& member_at,
+                                     Label* out) const {
+  // Member views are memoized per distinct ASN (unordered_map values are
+  // pointer-stable), with a last-member fast path for runs; base-table
+  // reads are prefetched a fixed distance ahead so consecutive random
+  // /24 lookups overlap instead of serializing on memory latency.
+  std::unordered_map<Asn, MemberView> views;
+  const std::uint32_t* base = base_.get();
+  Asn last_member = net::kNoAsn;
+  const MemberView* last_view = nullptr;
   for (std::size_t i = begin; i < end; ++i) {
-    const auto& f = flows[i];
-    auto it = views.find(f.member_in);
-    if (it == views.end()) {
-      it = views.emplace(f.member_in, classifier.member_view(f.member_in)).first;
+    if (i + kPrefetchDistance < end) {
+      prefetch_ro(base + (src_at(i + kPrefetchDistance) >> 8));
     }
-    out(i, classifier.classify_all(f.src, it->second));
+    const Asn member = member_at(i);
+    if (member != last_member || last_view == nullptr) {
+      auto it = views.find(member);
+      if (it == views.end()) it = views.emplace(member, member_view(member)).first;
+      last_member = member;
+      last_view = &it->second;
+    }
+    out[i] = classify_all(net::Ipv4Addr(src_at(i)), *last_view);
   }
 }
 
-}  // namespace
+void FlatClassifier::classify_batch(const net::FlowBatch& batch,
+                                    std::span<Label> out) const {
+  if (out.size() != batch.size()) {
+    throw std::invalid_argument("classify_batch: label span size mismatch");
+  }
+  const auto src = batch.src();
+  const auto member = batch.member_in();
+  classify_kernel(
+      0, batch.size(), [src](std::size_t i) { return src[i]; },
+      [member](std::size_t i) { return member[i]; }, out.data());
+}
+
+void FlatClassifier::classify_batch(const net::FlowBatch& batch,
+                                    std::span<Label> out,
+                                    util::ThreadPool& pool) const {
+  if (out.size() != batch.size()) {
+    throw std::invalid_argument("classify_batch: label span size mismatch");
+  }
+  const auto src = batch.src();
+  const auto member = batch.member_in();
+  Label* labels = out.data();
+  pool.parallel_for(0, batch.size(), [&](std::size_t b, std::size_t e) {
+    classify_kernel(
+        b, e, [src](std::size_t i) { return src[i]; },
+        [member](std::size_t i) { return member[i]; }, labels);
+  });
+}
+
+std::vector<Label> FlatClassifier::classify_batch(
+    const net::FlowBatch& batch) const {
+  std::vector<Label> labels(batch.size());
+  classify_batch(batch, labels);
+  return labels;
+}
+
+void FlatClassifier::classify_records(std::span<const net::FlowRecord> flows,
+                                      std::span<Label> out) const {
+  if (out.size() != flows.size()) {
+    throw std::invalid_argument("classify_records: label span size mismatch");
+  }
+  classify_kernel(
+      0, flows.size(), [flows](std::size_t i) { return flows[i].src.value(); },
+      [flows](std::size_t i) { return flows[i].member_in; }, out.data());
+}
+
+std::uint64_t FlatClassifier::plane_digest() const {
+  std::uint64_t h = 14695981039346656037ull;
+  h = fnv64(h, base_.get(), kNumStripes * kStripeBlocks * sizeof(std::uint32_t));
+  h = fnv64(h, records_.data(), records_.size() * sizeof(std::uint16_t));
+  h = fnv64(h, members_.data(), members_.size() * sizeof(Asn));
+  const std::uint64_t np = num_prefixes_;
+  h = fnv64(h, &np, sizeof np);
+  for (const auto* fb : fallback_) {
+    // Pointer values vary run to run; only presence shapes behaviour.
+    const std::uint8_t present = fb != nullptr ? 1 : 0;
+    h = fnv64(h, &present, 1);
+  }
+  const std::uint64_t ov = stats_.overflow_slots;
+  h = fnv64(h, &ov, sizeof ov);
+  return h;
+}
 
 std::vector<Label> classify_trace(const FlatClassifier& classifier,
                                   std::span<const net::FlowRecord> flows) {
   std::vector<Label> labels(flows.size());
-  flat_classify_range(classifier, flows, 0, flows.size(),
-                      [&](std::size_t i, Label l) { labels[i] = l; });
+  classifier.classify_records(flows, labels);
   return labels;
 }
 
@@ -275,9 +467,10 @@ std::vector<Label> classify_trace(const FlatClassifier& classifier,
                                   std::span<const net::FlowRecord> flows,
                                   util::ThreadPool& pool) {
   std::vector<Label> labels(flows.size());
+  Label* out = labels.data();
   pool.parallel_for(0, flows.size(), [&](std::size_t b, std::size_t e) {
-    flat_classify_range(classifier, flows, b, e,
-                        [&](std::size_t i, Label l) { labels[i] = l; });
+    classifier.classify_records(flows.subspan(b, e - b),
+                                std::span<Label>(out + b, e - b));
   });
   return labels;
 }

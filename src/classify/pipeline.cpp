@@ -28,6 +28,30 @@ void AggregateBuilder::add(std::span<const net::FlowRecord> flows,
   }
 }
 
+void AggregateBuilder::add(const net::FlowBatch& batch,
+                           std::span<const Label> labels,
+                           const std::unordered_set<Asn>& exclude_members) {
+  const std::size_t space_count = agg_.totals.size();
+  const auto member_in = batch.member_in();
+  const auto packets = batch.packets();
+  const auto bytes = batch.bytes();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Asn member = member_in[i];
+    if (exclude_members.count(member)) continue;
+    agg_.total_packets += packets[i];
+    agg_.total_bytes += static_cast<double>(bytes[i]);
+    agg_.total_flows += 1;
+    for (std::size_t s = 0; s < space_count; ++s) {
+      const auto c = static_cast<std::size_t>(Classifier::unpack(labels[i], s));
+      auto& cell = agg_.totals[s][c];
+      cell.flows += 1;
+      cell.packets += packets[i];
+      cell.bytes += static_cast<double>(bytes[i]);
+      members_[s][c].insert(member);
+    }
+  }
+}
+
 void AggregateBuilder::merge(const AggregateBuilder& other) {
   agg_.total_packets += other.agg_.total_packets;
   agg_.total_bytes += other.agg_.total_bytes;

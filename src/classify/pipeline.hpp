@@ -9,6 +9,7 @@
 
 #include "classify/classifier.hpp"
 #include "classify/flat_classifier.hpp"
+#include "net/flow_batch.hpp"
 #include "net/trace.hpp"
 
 namespace spoofscope::classify {
@@ -43,6 +44,11 @@ class AggregateBuilder {
   /// `exclude_members` drops flows injected by those members (the
   /// Sec 5.2 router-stray exclusion).
   void add(std::span<const net::FlowRecord> flows, std::span<const Label> labels,
+           const std::unordered_set<Asn>& exclude_members = {});
+
+  /// SoA twin: accumulates a FlowBatch straight from its lanes, with
+  /// totals identical to add() over the gathered records.
+  void add(const net::FlowBatch& batch, std::span<const Label> labels,
            const std::unordered_set<Asn>& exclude_members = {});
 
   /// Folds another builder's accumulation into this one (used for the

@@ -1,8 +1,10 @@
 #include "classify/streaming.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "classify/flat_classifier.hpp"
+#include "net/flow_batch.hpp"
 
 namespace spoofscope::classify {
 
@@ -46,6 +48,13 @@ void StreamingDetector::ingest(const net::FlowRecord& flow,
          pending_.size() > params_.max_reorder_records) {
     ++health_.forced_releases;
     release_one(on_alert);
+  }
+}
+
+void StreamingDetector::ingest_batch(const net::FlowBatch& batch,
+                                     const AlertFn& on_alert) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ingest(batch.record(i), on_alert);
   }
 }
 
@@ -177,6 +186,20 @@ DetectorHealth StreamingDetector::health() const {
   h.reorder_depth = pending_.size();
   h.tracked_members = windows_.size();
   return h;
+}
+
+std::string to_json(const DetectorHealth& health) {
+  std::ostringstream os;
+  os << "{\"regressions\":" << health.regressions
+     << ",\"late_drops\":" << health.late_drops
+     << ",\"forced_releases\":" << health.forced_releases
+     << ",\"member_evictions\":" << health.member_evictions
+     << ",\"sample_evictions\":" << health.sample_evictions
+     << ",\"reorder_depth\":" << health.reorder_depth
+     << ",\"max_reorder_depth\":" << health.max_reorder_depth
+     << ",\"tracked_members\":" << health.tracked_members
+     << ",\"max_window_depth\":" << health.max_window_depth << "}";
+  return os.str();
 }
 
 }  // namespace spoofscope::classify

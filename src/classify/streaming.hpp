@@ -39,6 +39,10 @@
 #include "classify/classifier.hpp"
 #include "net/flow.hpp"
 
+namespace spoofscope::net {
+class FlowBatch;
+}
+
 namespace spoofscope::classify {
 
 class FlatClassifier;
@@ -100,6 +104,10 @@ struct DetectorHealth {
   friend bool operator==(const DetectorHealth&, const DetectorHealth&) = default;
 };
 
+/// Machine-readable form for monitoring pipelines (flat object keyed by
+/// the field names above).
+std::string to_json(const DetectorHealth& health);
+
 /// Stateful single-pass detector. Feed flows via ingest(); alerts are
 /// delivered through the callback. Call flush() (or use run()) after the
 /// last flow to drain the reorder buffer.
@@ -120,6 +128,11 @@ class StreamingDetector {
   /// Processes one flow; invokes `on_alert` zero or more times (buffered
   /// flows may be released and alert on this call).
   void ingest(const net::FlowRecord& flow, const AlertFn& on_alert);
+
+  /// Batch variant: ingests a FlowBatch's flows in lane order, so alerts
+  /// and health counters are identical to per-record ingest of the same
+  /// records.
+  void ingest_batch(const net::FlowBatch& batch, const AlertFn& on_alert);
 
   /// Drains the reorder buffer at end of stream; a no-op when the buffer
   /// is disabled or empty.

@@ -1,0 +1,70 @@
+// Structure-of-arrays flow chunk — the unit of work of the batched data
+// plane. A FlowBatch holds the same fields as a run of FlowRecords, but
+// each field lives in its own contiguous lane so downstream kernels
+// (classification, aggregation) stream exactly the lanes they touch:
+// classify reads src+member_in, aggregation reads member_in+packets+bytes,
+// and the untouched lanes never enter the cache.
+//
+// Batches are refillable: clear() resets the size but keeps every lane's
+// capacity, so a reader looping `next_batch(batch, n)` performs no
+// allocation after the first chunk reaches the high-water mark.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace spoofscope::net {
+
+class FlowBatch {
+ public:
+  /// Number of flows currently in the batch.
+  std::size_t size() const { return ts_.size(); }
+  bool empty() const { return ts_.empty(); }
+
+  /// Drops the contents but keeps lane capacity (no deallocation).
+  void clear();
+
+  /// Pre-sizes every lane for `n` flows.
+  void reserve(std::size_t n);
+
+  /// Appends one flow, scattering its fields into the lanes.
+  void push_back(const FlowRecord& f);
+
+  /// Gathers flow `i` back into an AoS record (bit-identical to the
+  /// record that was pushed).
+  FlowRecord record(std::size_t i) const;
+
+  /// Appends all flows, gathered back to AoS form, to `out`.
+  void append_to(std::vector<FlowRecord>& out) const;
+
+  // Lanes. Raw address values (Ipv4Addr::value()) are stored for src/dst
+  // so classification kernels can shift/mask without unwrapping.
+  std::span<const std::uint32_t> ts() const { return ts_; }
+  std::span<const std::uint32_t> src() const { return src_; }
+  std::span<const std::uint32_t> dst() const { return dst_; }
+  std::span<const std::uint8_t> proto() const { return proto_; }
+  std::span<const std::uint16_t> sport() const { return sport_; }
+  std::span<const std::uint16_t> dport() const { return dport_; }
+  std::span<const std::uint32_t> packets() const { return packets_; }
+  std::span<const std::uint64_t> bytes() const { return bytes_; }
+  std::span<const Asn> member_in() const { return member_in_; }
+  std::span<const Asn> member_out() const { return member_out_; }
+
+ private:
+  std::vector<std::uint32_t> ts_;
+  std::vector<std::uint32_t> src_;
+  std::vector<std::uint32_t> dst_;
+  std::vector<std::uint8_t> proto_;
+  std::vector<std::uint16_t> sport_;
+  std::vector<std::uint16_t> dport_;
+  std::vector<std::uint32_t> packets_;
+  std::vector<std::uint64_t> bytes_;
+  std::vector<Asn> member_in_;
+  std::vector<Asn> member_out_;
+};
+
+}  // namespace spoofscope::net

@@ -1,0 +1,180 @@
+#include "net/mapped_trace.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "net/flow_batch.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SPOOFSCOPE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace spoofscope::net {
+
+namespace {
+
+/// read()-style fallback: slurps the whole file through an ifstream.
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("MappedTrace: cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  char chunk[1 << 16];
+  for (;;) {
+    in.read(chunk, sizeof(chunk));
+    const std::size_t got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  if (in.bad()) {
+    throw std::runtime_error("MappedTrace: read failure on " + path);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+MappedTrace::MappedTrace(const std::string& path) {
+#ifdef SPOOFSCOPE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      const std::size_t size = static_cast<std::size_t>(st.st_size);
+      if (size == 0) {
+        // mmap rejects zero-length mappings; an empty file is simply an
+        // empty (fallback) buffer.
+        ::close(fd);
+        return;
+      }
+      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+#ifdef MADV_SEQUENTIAL
+        ::madvise(map, size, MADV_SEQUENTIAL);
+#endif
+        map_ = map;
+        data_ = static_cast<const std::uint8_t*>(map);
+        size_ = size;
+        return;
+      }
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  fallback_ = slurp(path);
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+}
+
+MappedTrace MappedTrace::from_buffer(std::vector<std::uint8_t> bytes) {
+  MappedTrace t;
+  t.fallback_ = std::move(bytes);
+  t.data_ = t.fallback_.data();
+  t.size_ = t.fallback_.size();
+  return t;
+}
+
+void MappedTrace::release() {
+#ifdef SPOOFSCOPE_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+  map_ = nullptr;
+  data_ = nullptr;
+  size_ = 0;
+  fallback_.clear();
+}
+
+MappedTrace::~MappedTrace() { release(); }
+
+MappedTrace::MappedTrace(MappedTrace&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      map_(other.map_),
+      fallback_(std::move(other.fallback_)) {
+  if (!fallback_.empty()) data_ = fallback_.data();
+  other.map_ = nullptr;
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedTrace& MappedTrace::operator=(MappedTrace&& other) noexcept {
+  if (this != &other) {
+    release();
+    data_ = other.data_;
+    size_ = other.size_;
+    map_ = other.map_;
+    fallback_ = std::move(other.fallback_);
+    if (!fallback_.empty()) data_ = fallback_.data();
+    other.map_ = nullptr;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+MappedTraceReader::MappedTraceReader(const MappedTrace& trace,
+                                     util::ErrorPolicy policy,
+                                     util::IngestStats* stats)
+    : policy_(policy), stats_(stats ? stats : &own_stats_) {
+  const std::span<const std::uint8_t> all = trace.bytes();
+  const format::Header h = format::parse_header(all, policy_, *stats_);
+  if (!h.ok) {
+    done_ = true;
+    return;
+  }
+  meta_.sampling_rate = h.sampling_rate;
+  meta_.window_seconds = h.window_seconds;
+  meta_.seed = h.seed;
+  declared_ = h.declared;
+  header_ok_ = true;
+  scanner_ = format::RecordScanner(h, policy_, stats_);
+  rest_ = all.subspan(h.size);
+}
+
+void MappedTraceReader::finish_if_exhausted(std::size_t got, std::size_t want) {
+  if (got >= want || scanner_.done()) {
+    done_ = scanner_.done();
+    return;
+  }
+  // The scanner stopped short of the request with bytes exhausted — the
+  // mapping is the whole file, so this is end of input.
+  const std::size_t tail = rest_.size();
+  rest_ = {};
+  scanner_.finish(tail);  // throws in strict mode if records are owed
+  done_ = true;
+}
+
+std::optional<FlowRecord> MappedTraceReader::next() {
+  if (done_) return std::nullopt;
+  std::optional<FlowRecord> result;
+  const auto sink = [&result](const std::uint8_t* p) {
+    result = format::decode_record(p);
+  };
+  rest_ = rest_.subspan(scanner_.scan(rest_, 1, sink));
+  finish_if_exhausted(result ? 1 : 0, 1);
+  return result;
+}
+
+std::size_t MappedTraceReader::next_batch(FlowBatch& out,
+                                          std::size_t max_records) {
+  out.clear();
+  if (done_ || max_records == 0) return 0;
+  const auto sink = [&out](const std::uint8_t* p) {
+    out.push_back(format::decode_record(p));
+  };
+  rest_ = rest_.subspan(scanner_.scan(rest_, max_records, sink));
+  finish_if_exhausted(out.size(), max_records);
+  return out.size();
+}
+
+}  // namespace spoofscope::net

@@ -1,0 +1,105 @@
+// mmap-backed trace source: maps a trace file read-only and exposes its
+// bytes as one contiguous span, so the batch decoder scans records in
+// place — the only per-record copies left are the decoded lane values
+// landing in a FlowBatch. Falls back to a read()-filled heap buffer when
+// mmap is unavailable (non-POSIX build, unmappable file, pipe), with
+// identical observable behaviour.
+//
+// Ownership rules: MappedTrace owns the mapping (or fallback buffer) and
+// must outlive every span handed out, including any MappedTraceReader
+// over it. Readers never copy record bytes; batches own their decoded
+// lanes and outlive nothing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/trace.hpp"
+#include "net/trace_format.hpp"
+#include "util/error_policy.hpp"
+
+namespace spoofscope::net {
+
+class FlowBatch;
+
+class MappedTrace {
+ public:
+  /// Maps `path` read-only (falling back to reading it into memory).
+  /// Throws std::runtime_error if the file cannot be opened or read.
+  explicit MappedTrace(const std::string& path);
+
+  /// Wraps an in-memory byte buffer in the same interface — the
+  /// read()-fallback representation, constructible directly for tests
+  /// and non-file sources.
+  static MappedTrace from_buffer(std::vector<std::uint8_t> bytes);
+
+  ~MappedTrace();
+
+  MappedTrace(MappedTrace&& other) noexcept;
+  MappedTrace& operator=(MappedTrace&& other) noexcept;
+  MappedTrace(const MappedTrace&) = delete;
+  MappedTrace& operator=(const MappedTrace&) = delete;
+
+  /// The complete file contents (header + records), zero-copy when
+  /// mapped() is true.
+  std::span<const std::uint8_t> bytes() const { return {data_, size_}; }
+
+  /// True when the bytes come from an actual mmap (false: heap buffer).
+  bool mapped() const { return map_ != nullptr; }
+
+ private:
+  MappedTrace() = default;
+  void release();
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_ = nullptr;  ///< mmap base when mapped, else nullptr
+  std::vector<std::uint8_t> fallback_;
+};
+
+/// Batch reader over a MappedTrace: same header validation, record
+/// scanning, resync and stats accounting as TraceReader (both drive
+/// format::RecordScanner), but the scan window is the whole mapping, so
+/// there is no refill loop and no byte shuffling.
+class MappedTraceReader {
+ public:
+  /// Validates the header once. `trace` and `stats` (optional) must
+  /// outlive the reader.
+  explicit MappedTraceReader(const MappedTrace& trace,
+                             util::ErrorPolicy policy = util::ErrorPolicy::kStrict,
+                             util::IngestStats* stats = nullptr);
+
+  const TraceMeta& meta() const { return meta_; }
+  std::uint64_t declared_count() const { return declared_; }
+  bool header_ok() const { return header_ok_; }
+
+  /// Next record, or std::nullopt at end of stream (per-record
+  /// convenience; differential tests pit it against TraceReader::next).
+  std::optional<FlowRecord> next();
+
+  /// Clears `out` and refills it with up to `max_records` records
+  /// decoded straight from the mapping. Returns records delivered; 0
+  /// means end of stream.
+  std::size_t next_batch(FlowBatch& out, std::size_t max_records);
+
+  const util::IngestStats& stats() const { return *stats_; }
+
+ private:
+  void finish_if_exhausted(std::size_t got, std::size_t want);
+
+  util::ErrorPolicy policy_;
+  util::IngestStats own_stats_;
+  util::IngestStats* stats_;
+  TraceMeta meta_;
+  std::uint64_t declared_ = 0;
+  bool header_ok_ = false;
+  bool done_ = false;
+  format::RecordScanner scanner_;
+  std::span<const std::uint8_t> rest_;  ///< unconsumed record bytes (view)
+};
+
+}  // namespace spoofscope::net

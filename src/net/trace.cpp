@@ -4,126 +4,42 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <stdexcept>
+
+#include "net/flow_batch.hpp"
+#include "net/trace_format.hpp"
 
 namespace spoofscope::net {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x53504F46;  // "SPOF"
-constexpr std::uint32_t kVersionV1 = 1;       // no checksums
-constexpr std::uint32_t kVersionV2 = 2;       // header + per-record FNV-1a
-constexpr std::size_t kHeaderBody = 32;       // shared v1/v2 header layout
-constexpr std::size_t kHeaderSizeV2 = kHeaderBody + 4;  // + checksum
-constexpr std::size_t kPayloadSize = 36;      // record body (both versions)
-constexpr std::size_t kRecordSizeV1 = kPayloadSize;
-constexpr std::size_t kRecordSizeV2 = kPayloadSize + 4;  // + checksum
-
-void put_u16(std::uint8_t* p, std::uint16_t v) {
-  p[0] = static_cast<std::uint8_t>(v);
-  p[1] = static_cast<std::uint8_t>(v >> 8);
-}
-void put_u32(std::uint8_t* p, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-void put_u64(std::uint8_t* p, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-std::uint16_t get_u16(const std::uint8_t* p) {
-  return static_cast<std::uint16_t>(p[0] | (std::uint16_t(p[1]) << 8));
-}
-std::uint32_t get_u32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
-  return v;
-}
-std::uint64_t get_u64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
-  return v;
-}
-
-/// 32-bit FNV-1a over raw bytes; cheap, deterministic, and sensitive to
-/// single-bit damage anywhere in the record.
-std::uint32_t fnv1a32(const std::uint8_t* p, std::size_t n) {
-  std::uint32_t h = 2166136261u;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 16777619u;
-  }
-  return h;
-}
-
-void encode_record(const FlowRecord& f, std::uint8_t* p) {
-  put_u32(p + 0, f.ts);
-  put_u32(p + 4, f.src.value());
-  put_u32(p + 8, f.dst.value());
-  p[12] = static_cast<std::uint8_t>(f.proto);
-  p[13] = 0;  // reserved
-  put_u16(p + 14, f.sport);
-  put_u16(p + 16, f.dport);
-  p[18] = 0;
-  p[19] = 0;  // padding for alignment in the on-disk layout
-  put_u32(p + 20, f.packets);
-  put_u64(p + 24, f.bytes);
-  // member ASNs fit in 16 bits in our simulations but are stored as-is
-  // truncated to 16 bits to keep the record compact; values above 65535
-  // are rejected at write time.
-  put_u16(p + 32, static_cast<std::uint16_t>(f.member_in));
-  put_u16(p + 34, static_cast<std::uint16_t>(f.member_out));
-}
-
-FlowRecord decode_record(const std::uint8_t* p) {
-  FlowRecord f;
-  f.ts = get_u32(p + 0);
-  f.src = Ipv4Addr(get_u32(p + 4));
-  f.dst = Ipv4Addr(get_u32(p + 8));
-  f.proto = static_cast<Proto>(p[12]);
-  f.sport = get_u16(p + 14);
-  f.dport = get_u16(p + 16);
-  f.packets = get_u32(p + 20);
-  f.bytes = get_u64(p + 24);
-  f.member_in = get_u16(p + 32);
-  f.member_out = get_u16(p + 34);
-  return f;
-}
-
-const std::uint8_t* bytes(const std::string& s) {
-  return reinterpret_cast<const std::uint8_t*>(s.data());
-}
-
-/// Appends up to `want` more bytes from `in` to `buf`; stops at EOF.
-void fill(std::istream& in, std::string& buf, std::size_t want) {
-  while (buf.size() < want && in) {
-    char chunk[4096];
-    const std::size_t need = want - buf.size();
-    in.read(chunk, static_cast<std::streamsize>(
-                       need < sizeof(chunk) ? need : sizeof(chunk)));
-    buf.append(chunk, static_cast<std::size_t>(in.gcount()));
-    if (in.gcount() == 0) break;
-  }
-}
+/// Stream refill granularity: large enough that syscall and copy costs
+/// amortize over thousands of records per refill.
+constexpr std::size_t kReadBlock = 1 << 18;
 
 }  // namespace
 
 void write_trace(std::ostream& out, const Trace& trace) {
-  std::array<std::uint8_t, kHeaderSizeV2> header{};
-  put_u32(header.data() + 0, kMagic);
-  put_u32(header.data() + 4, kVersionV2);
-  put_u32(header.data() + 8, trace.meta.sampling_rate);
-  put_u32(header.data() + 12, trace.meta.window_seconds);
-  put_u64(header.data() + 16, trace.meta.seed);
-  put_u64(header.data() + 24, trace.flows.size());
-  put_u32(header.data() + kHeaderBody, fnv1a32(header.data(), kHeaderBody));
+  std::array<std::uint8_t, format::kHeaderSizeV2> header{};
+  format::put_u32(header.data() + 0, format::kMagic);
+  format::put_u32(header.data() + 4, format::kVersionV2);
+  format::put_u32(header.data() + 8, trace.meta.sampling_rate);
+  format::put_u32(header.data() + 12, trace.meta.window_seconds);
+  format::put_u64(header.data() + 16, trace.meta.seed);
+  format::put_u64(header.data() + 24, trace.flows.size());
+  format::put_u32(header.data() + format::kHeaderBody,
+                  format::fnv1a32(header.data(), format::kHeaderBody));
   out.write(reinterpret_cast<const char*>(header.data()), header.size());
 
-  std::array<std::uint8_t, kRecordSizeV2> rec;
+  std::array<std::uint8_t, format::kRecordSizeV2> rec;
   for (const auto& f : trace.flows) {
     if (f.member_in > 0xffff || f.member_out > 0xffff) {
       throw std::runtime_error("write_trace: member ASN exceeds 16-bit record field");
     }
-    encode_record(f, rec.data());
-    put_u32(rec.data() + kPayloadSize, fnv1a32(rec.data(), kPayloadSize));
+    format::encode_record(f, rec.data());
+    format::put_u32(rec.data() + format::kPayloadSize,
+                    format::fnv1a32(rec.data(), format::kPayloadSize));
     out.write(reinterpret_cast<const char*>(rec.data()), rec.size());
   }
   if (!out) throw std::runtime_error("write_trace: stream failure");
@@ -132,115 +48,96 @@ void write_trace(std::ostream& out, const Trace& trace) {
 TraceReader::TraceReader(std::istream& in, util::ErrorPolicy policy,
                          util::IngestStats* stats)
     : in_(&in), policy_(policy), stats_(stats ? stats : &own_stats_) {
-  // Shared 32-byte header body first; v2 carries 4 more checksum bytes.
-  fill(*in_, buf_, kHeaderBody);
-  if (buf_.size() < kHeaderBody) {
+  // Pull in at most the largest header; a v1 stream's 4 surplus bytes
+  // simply stay in the buffer as the first record bytes.
+  while (buf_.size() < format::kHeaderSizeV2 && *in_) {
+    char chunk[format::kHeaderSizeV2];
+    in_->read(chunk, static_cast<std::streamsize>(format::kHeaderSizeV2 -
+                                                  buf_.size()));
+    const std::size_t got = static_cast<std::size_t>(in_->gcount());
+    buf_.insert(buf_.end(), chunk, chunk + got);
+    if (got == 0) break;
+  }
+  const format::Header h =
+      format::parse_header(std::span<const std::uint8_t>(buf_), policy_, *stats_);
+  if (!h.ok) {
     done_ = true;
-    if (policy_ == util::ErrorPolicy::kStrict) {
-      fail_strict("truncated header");
-    }
-    stats_->skip(util::ErrorKind::kTruncated, buf_.size());
     buf_.clear();
     return;
   }
-  if (get_u32(bytes(buf_)) != kMagic) {
-    done_ = true;
-    if (policy_ == util::ErrorPolicy::kStrict) fail_strict("bad magic");
-    stats_->skip(util::ErrorKind::kBadMagic, buf_.size());
-    buf_.clear();
-    return;
-  }
-  version_ = get_u32(bytes(buf_) + 4);
-  if (version_ != kVersionV1 && version_ != kVersionV2) {
-    done_ = true;
-    if (policy_ == util::ErrorPolicy::kStrict) fail_strict("unsupported version");
-    stats_->skip(util::ErrorKind::kBadVersion, buf_.size());
-    buf_.clear();
-    return;
-  }
-  if (version_ == kVersionV2) {
-    fill(*in_, buf_, kHeaderSizeV2);
-    if (buf_.size() < kHeaderSizeV2) {
-      done_ = true;
-      if (policy_ == util::ErrorPolicy::kStrict) fail_strict("truncated header");
-      stats_->skip(util::ErrorKind::kTruncated, buf_.size());
-      buf_.clear();
-      return;
-    }
-    if (get_u32(bytes(buf_) + kHeaderBody) != fnv1a32(bytes(buf_), kHeaderBody)) {
-      if (policy_ == util::ErrorPolicy::kStrict) {
-        fail_strict("header checksum mismatch");
-      }
-      // Best effort in skip mode: the metadata may be damaged, but the
-      // records carry their own checksums, so recovery can proceed.
-      stats_->note(util::ErrorKind::kChecksum);
-    }
-  }
-  meta_.sampling_rate = get_u32(bytes(buf_) + 8);
-  meta_.window_seconds = get_u32(bytes(buf_) + 12);
-  meta_.seed = get_u64(bytes(buf_) + 16);
-  declared_ = get_u64(bytes(buf_) + 24);
+  meta_.sampling_rate = h.sampling_rate;
+  meta_.window_seconds = h.window_seconds;
+  meta_.seed = h.seed;
+  declared_ = h.declared;
   header_ok_ = true;
-  buf_.clear();
+  pos_ = h.size;
+  scanner_ = format::RecordScanner(h, policy_, stats_);
 }
 
-void TraceReader::fail_strict(const std::string& why) const {
-  throw std::runtime_error("read_trace: " + why);
+void TraceReader::refill() {
+  // Compact the consumed prefix (at most one partial record when called),
+  // then top the window back up to the block size.
+  if (pos_ > 0) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  while (buf_.size() < kReadBlock && !eof_) {
+    char chunk[1 << 16];
+    const std::size_t want = kReadBlock - buf_.size();
+    in_->read(chunk, static_cast<std::streamsize>(
+                         want < sizeof(chunk) ? want : sizeof(chunk)));
+    const std::size_t got = static_cast<std::size_t>(in_->gcount());
+    buf_.insert(buf_.end(), chunk, chunk + got);
+    if (got == 0) eof_ = true;
+  }
 }
 
 std::optional<FlowRecord> TraceReader::next() {
   if (done_) return std::nullopt;
-  const bool strict = policy_ == util::ErrorPolicy::kStrict;
-  // Strict mode replicates the historical reader: exactly the declared
-  // number of records, trailing bytes ignored.
-  if (strict && delivered_ >= declared_) {
-    done_ = true;
-    return std::nullopt;
-  }
-  const std::size_t rec_size =
-      version_ == kVersionV2 ? kRecordSizeV2 : kRecordSizeV1;
-  bool resyncing = false;
+  std::optional<FlowRecord> result;
+  const auto sink = [&result](const std::uint8_t* p) {
+    result = format::decode_record(p);
+  };
   for (;;) {
-    fill(*in_, buf_, rec_size);
-    if (buf_.size() < rec_size) {
-      done_ = true;
-      if (buf_.empty() && !resyncing) {
-        // Record-aligned end of stream. Strict mode only gets here with
-        // records still owed by the header (the declared-count check at
-        // the top ends clean streams), so it is a truncation.
-        if (strict) fail_strict("truncated record");
-        // Skip mode: flag a count mismatch if records were lost (or
-        // hallucinated) relative to the header.
-        if (delivered_ != declared_) {
-          stats_->note(util::ErrorKind::kCountMismatch);
-        }
-        return std::nullopt;
-      }
-      if (strict) fail_strict("truncated record");
-      stats_->skip(util::ErrorKind::kTruncated, buf_.size());
-      if (delivered_ != declared_) stats_->note(util::ErrorKind::kCountMismatch);
-      return std::nullopt;
+    const std::span<const std::uint8_t> window(buf_.data() + pos_,
+                                               buf_.size() - pos_);
+    pos_ += scanner_.scan(window, 1, sink);
+    if (result || scanner_.done()) break;
+    if (eof_) {
+      // No further bytes will arrive: account the unconsumed tail.
+      const std::size_t tail = buf_.size() - pos_;
+      pos_ = buf_.size();
+      scanner_.finish(tail);
+      break;
     }
-    const bool valid =
-        version_ == kVersionV1 ||
-        get_u32(bytes(buf_) + kPayloadSize) == fnv1a32(bytes(buf_), kPayloadSize);
-    if (valid) {
-      const FlowRecord f = decode_record(bytes(buf_));
-      buf_.clear();
-      ++delivered_;
-      stats_->ok();
-      return f;
-    }
-    if (strict) fail_strict("record checksum mismatch");
-    // Resync: count one quarantined record per damaged region, then
-    // slide the window byte-by-byte until a record validates again.
-    if (!resyncing) {
-      resyncing = true;
-      stats_->skip(util::ErrorKind::kChecksum, 0);
-    }
-    buf_.erase(0, 1);
-    ++stats_->bytes_dropped;
+    refill();
   }
+  if (scanner_.done()) done_ = true;
+  return result;
+}
+
+std::size_t TraceReader::next_batch(FlowBatch& out, std::size_t max_records) {
+  out.clear();
+  if (done_ || max_records == 0) return 0;
+  const auto sink = [&out](const std::uint8_t* p) {
+    out.push_back(format::decode_record(p));
+  };
+  for (;;) {
+    const std::span<const std::uint8_t> window(buf_.data() + pos_,
+                                               buf_.size() - pos_);
+    pos_ += scanner_.scan(window, max_records - out.size(), sink);
+    if (out.size() == max_records || scanner_.done()) break;
+    if (eof_) {
+      const std::size_t tail = buf_.size() - pos_;
+      pos_ = buf_.size();
+      scanner_.finish(tail);
+      break;
+    }
+    refill();
+  }
+  if (scanner_.done()) done_ = true;
+  return out.size();
 }
 
 Trace read_trace(std::istream& in, util::ErrorPolicy policy,

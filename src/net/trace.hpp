@@ -6,7 +6,8 @@
 // checksum, then fixed-size records each carrying their own checksum, so
 // bit damage anywhere in the stream is detectable. v1 streams (no
 // checksums) are still readable; bit flips in them are undetectable by
-// construction, only truncation is.
+// construction, but skip mode applies a structural plausibility check per
+// record so even a damaged v1 stream resyncs to the surviving tail.
 //
 // Two reading modes (util::ErrorPolicy):
 //   kStrict  first malformed byte throws (historical behaviour);
@@ -14,6 +15,10 @@
 //            IngestStats; after a checksum failure the reader resyncs by
 //            sliding one byte at a time until a record validates again,
 //            so a localized splice/flip costs only the records it hit.
+//
+// The decode state machine itself lives in net/trace_format.hpp and is
+// shared with the mmap-backed reader (net/mapped_trace.hpp), so both
+// sources deliver bit-identical records and stats for the same bytes.
 #pragma once
 
 #include <cstdint>
@@ -23,9 +28,12 @@
 #include <vector>
 
 #include "net/flow.hpp"
+#include "net/trace_format.hpp"
 #include "util/error_policy.hpp"
 
 namespace spoofscope::net {
+
+class FlowBatch;
 
 /// Metadata describing how a trace was captured.
 struct TraceMeta {
@@ -50,8 +58,8 @@ struct Trace {
 void write_trace(std::ostream& out, const Trace& trace);
 
 /// Incremental, bounded-memory trace reader: parses the header up front
-/// and yields one record per next() call, so arbitrarily large traces
-/// can be processed without materializing a flow vector.
+/// and yields records via next() or next_batch(), so arbitrarily large
+/// traces can be processed without materializing a flow vector.
 ///
 /// Strict policy: any malformed input throws std::runtime_error, exactly
 /// like read_trace. Skip policy: malformed input is accounted in `stats`
@@ -79,12 +87,19 @@ class TraceReader {
   /// on malformed input; skip mode never throws.
   std::optional<FlowRecord> next();
 
+  /// Clears `out` and refills it with up to `max_records` records,
+  /// reusing its lane buffers. Returns the number of records delivered;
+  /// 0 means end of stream. Interleaving next() and next_batch() calls
+  /// is allowed — together they deliver exactly the record sequence a
+  /// pure next() loop would.
+  std::size_t next_batch(FlowBatch& out, std::size_t max_records);
+
   /// Ingest accounting so far (always valid; internal stats are used when
   /// none were supplied).
   const util::IngestStats& stats() const { return *stats_; }
 
  private:
-  [[noreturn]] void fail_strict(const std::string& why) const;
+  void refill();
 
   std::istream* in_;
   util::ErrorPolicy policy_;
@@ -92,11 +107,12 @@ class TraceReader {
   util::IngestStats* stats_;
   TraceMeta meta_;
   std::uint64_t declared_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint32_t version_ = 0;
   bool header_ok_ = false;
   bool done_ = false;
-  std::string buf_;  ///< sliding window over the record stream (resync)
+  bool eof_ = false;
+  format::RecordScanner scanner_;
+  std::vector<std::uint8_t> buf_;  ///< refilled window over the record stream
+  std::size_t pos_ = 0;            ///< consumed prefix of buf_
 };
 
 /// Reads a whole trace written by write_trace (v1 or v2). Strict policy

@@ -1,0 +1,304 @@
+// Internal binary trace format core shared by the istream reader
+// (net::TraceReader) and the mmap-backed reader (net::MappedTraceReader):
+// the on-disk constants, field (de)serializers, header parser and the
+// incremental RecordScanner state machine.
+//
+// Keeping exactly one copy of the scanner is what makes the two readers
+// provably equivalent: both consume contiguous byte windows through the
+// same state transitions, so records delivered, resync behaviour and
+// IngestStats accounting are bit-identical whether the window is a
+// refilled stream buffer or one mapped view of the whole file.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "net/flow.hpp"
+#include "net/protocols.hpp"
+#include "util/error_policy.hpp"
+
+namespace spoofscope::net::format {
+
+inline constexpr std::uint32_t kMagic = 0x53504F46;  // "SPOF"
+inline constexpr std::uint32_t kVersionV1 = 1;       // no checksums
+inline constexpr std::uint32_t kVersionV2 = 2;       // header + per-record FNV-1a
+inline constexpr std::size_t kHeaderBody = 32;       // shared v1/v2 header layout
+inline constexpr std::size_t kHeaderSizeV1 = kHeaderBody;
+inline constexpr std::size_t kHeaderSizeV2 = kHeaderBody + 4;  // + checksum
+inline constexpr std::size_t kPayloadSize = 36;      // record body (both versions)
+inline constexpr std::size_t kRecordSizeV1 = kPayloadSize;
+inline constexpr std::size_t kRecordSizeV2 = kPayloadSize + 4;  // + checksum
+
+inline void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+inline void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t(p[1]) << 8));
+}
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// 32-bit FNV-1a over raw bytes; cheap, deterministic, and sensitive to
+/// single-bit damage anywhere in the record.
+inline std::uint32_t fnv1a32(const std::uint8_t* p, std::size_t n) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+inline void encode_record(const FlowRecord& f, std::uint8_t* p) {
+  put_u32(p + 0, f.ts);
+  put_u32(p + 4, f.src.value());
+  put_u32(p + 8, f.dst.value());
+  p[12] = static_cast<std::uint8_t>(f.proto);
+  p[13] = 0;  // reserved
+  put_u16(p + 14, f.sport);
+  put_u16(p + 16, f.dport);
+  p[18] = 0;
+  p[19] = 0;  // padding for alignment in the on-disk layout
+  put_u32(p + 20, f.packets);
+  put_u64(p + 24, f.bytes);
+  // member ASNs fit in 16 bits in our simulations but are stored as-is
+  // truncated to 16 bits to keep the record compact; values above 65535
+  // are rejected at write time.
+  put_u16(p + 32, static_cast<std::uint16_t>(f.member_in));
+  put_u16(p + 34, static_cast<std::uint16_t>(f.member_out));
+}
+
+inline FlowRecord decode_record(const std::uint8_t* p) {
+  FlowRecord f;
+  f.ts = get_u32(p + 0);
+  f.src = Ipv4Addr(get_u32(p + 4));
+  f.dst = Ipv4Addr(get_u32(p + 8));
+  f.proto = static_cast<Proto>(p[12]);
+  f.sport = get_u16(p + 14);
+  f.dport = get_u16(p + 16);
+  f.packets = get_u32(p + 20);
+  f.bytes = get_u64(p + 24);
+  f.member_in = get_u16(p + 32);
+  f.member_out = get_u16(p + 34);
+  return f;
+}
+
+/// Heuristic record validator for v1 streams (which carry no checksums):
+/// a candidate 36-byte window is plausible iff its structural invariants
+/// hold — reserved/padding bytes zero, a protocol the vantage point
+/// exports, non-zero packet and byte counts, and a timestamp inside the
+/// header-declared window (skipped when the header declares none). The
+/// writer can never produce an implausible record, so a clean v1 stream
+/// is unaffected; random garbage passes with probability ~2^-26, so the
+/// skip-mode byte slide re-locks onto the true record boundary after
+/// damage instead of swallowing the rest of the stream as one record run.
+inline bool plausible_v1_record(const std::uint8_t* p,
+                                std::uint32_t window_seconds) {
+  if (p[13] != 0 || p[18] != 0 || p[19] != 0) return false;
+  const std::uint8_t proto = p[12];
+  if (proto != static_cast<std::uint8_t>(Proto::kIcmp) &&
+      proto != static_cast<std::uint8_t>(Proto::kTcp) &&
+      proto != static_cast<std::uint8_t>(Proto::kUdp)) {
+    return false;
+  }
+  if (get_u32(p + 20) == 0) return false;  // packets
+  if (get_u64(p + 24) == 0) return false;  // bytes
+  if (window_seconds != 0 && get_u32(p + 0) > window_seconds) return false;
+  return true;
+}
+
+/// Parsed trace header, or the reason it was rejected (raw fields; the
+/// public readers package them into a TraceMeta).
+struct Header {
+  std::uint32_t sampling_rate = 0;
+  std::uint32_t window_seconds = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t declared = 0;
+  std::uint32_t version = 0;
+  std::size_t size = 0;  ///< header bytes consumed when ok
+  bool ok = false;
+};
+
+/// Parses and validates the v1/v2 header from the first bytes of `data`
+/// (which need not extend past the header). Strict policy throws
+/// std::runtime_error exactly like the historical reader; skip policy
+/// accounts the failure in `stats` and returns ok=false (or, for a v2
+/// header-checksum mismatch, notes the damage and proceeds best-effort).
+inline Header parse_header(std::span<const std::uint8_t> data,
+                           util::ErrorPolicy policy, util::IngestStats& stats) {
+  const bool strict = policy == util::ErrorPolicy::kStrict;
+  const auto fail = [](const char* why) -> Header {
+    throw std::runtime_error(std::string("read_trace: ") + why);
+  };
+  Header h;
+  if (data.size() < kHeaderBody) {
+    if (strict) return fail("truncated header");
+    stats.skip(util::ErrorKind::kTruncated, data.size());
+    return h;
+  }
+  if (get_u32(data.data()) != kMagic) {
+    if (strict) return fail("bad magic");
+    stats.skip(util::ErrorKind::kBadMagic, kHeaderBody);
+    return h;
+  }
+  h.version = get_u32(data.data() + 4);
+  if (h.version != kVersionV1 && h.version != kVersionV2) {
+    if (strict) return fail("unsupported version");
+    stats.skip(util::ErrorKind::kBadVersion, kHeaderBody);
+    return h;
+  }
+  h.size = h.version == kVersionV2 ? kHeaderSizeV2 : kHeaderSizeV1;
+  if (data.size() < h.size) {
+    if (strict) return fail("truncated header");
+    stats.skip(util::ErrorKind::kTruncated, data.size());
+    h.size = 0;
+    return h;
+  }
+  if (h.version == kVersionV2 &&
+      get_u32(data.data() + kHeaderBody) != fnv1a32(data.data(), kHeaderBody)) {
+    if (strict) return fail("header checksum mismatch");
+    // Best effort in skip mode: the metadata may be damaged, but the
+    // records carry their own checksums, so recovery can proceed.
+    stats.note(util::ErrorKind::kChecksum);
+  }
+  h.sampling_rate = get_u32(data.data() + 8);
+  h.window_seconds = get_u32(data.data() + 12);
+  h.seed = get_u64(data.data() + 16);
+  h.declared = get_u64(data.data() + 24);
+  h.ok = true;
+  return h;
+}
+
+/// Incremental record decoder over contiguous byte windows. The caller
+/// owns windowing: a streaming reader refills a buffer and passes its
+/// unconsumed suffix back in; a mapped reader passes one window spanning
+/// the whole file. finish() applies the end-of-input accounting.
+///
+/// Semantics replicate the historical per-record reader exactly:
+///   - strict: declared-count records, first malformed byte throws,
+///     trailing bytes ignored;
+///   - skip: records are validated (v2: checksum; v1: plausibility
+///     heuristic) and damage starts a byte-wise resync, one quarantined
+///     record counted per damaged region.
+class RecordScanner {
+ public:
+  RecordScanner() = default;
+  RecordScanner(const Header& header, util::ErrorPolicy policy,
+                util::IngestStats* stats)
+      : window_seconds_(header.window_seconds),
+        declared_(header.declared),
+        version_(header.version),
+        policy_(policy),
+        stats_(stats) {}
+
+  std::size_t record_size() const {
+    return version_ == kVersionV2 ? kRecordSizeV2 : kRecordSizeV1;
+  }
+
+  /// True once the scanner will deliver no further records (strict
+  /// declared count reached, or finish() was called).
+  bool done() const { return done_; }
+
+  std::uint64_t delivered() const { return delivered_; }
+
+  /// Decodes records from `window`, invoking sink(payload) for each valid
+  /// one, until `max_records` are delivered, fewer than record_size()
+  /// bytes remain, or the scanner is done. Returns the bytes consumed
+  /// (valid records plus resync slides); the caller must carry the
+  /// unconsumed suffix into the next call.
+  template <typename Sink>
+  std::size_t scan(std::span<const std::uint8_t> window,
+                   std::size_t max_records, Sink&& sink) {
+    const bool strict = policy_ == util::ErrorPolicy::kStrict;
+    const std::size_t rec = record_size();
+    std::size_t off = 0;
+    std::size_t n = 0;
+    while (n < max_records && !done_) {
+      if (strict && delivered_ >= declared_) {
+        // Strict mode replicates the historical reader: exactly the
+        // declared number of records, trailing bytes ignored.
+        done_ = true;
+        break;
+      }
+      if (window.size() - off < rec) break;  // caller must refill or finish
+      const std::uint8_t* p = window.data() + off;
+      const bool valid =
+          version_ == kVersionV2
+              ? get_u32(p + kPayloadSize) == fnv1a32(p, kPayloadSize)
+              : (strict || plausible_v1_record(p, window_seconds_));
+      if (valid) {
+        sink(p);
+        off += rec;
+        ++delivered_;
+        ++n;
+        stats_->ok();
+        resyncing_ = false;
+        continue;
+      }
+      if (strict) throw std::runtime_error("read_trace: record checksum mismatch");
+      // Resync: count one quarantined record per damaged region, then
+      // slide the window byte-by-byte until a record validates again.
+      if (!resyncing_) {
+        resyncing_ = true;
+        stats_->skip(version_ == kVersionV2 ? util::ErrorKind::kChecksum
+                                            : util::ErrorKind::kParse,
+                     0);
+      }
+      ++off;
+      ++stats_->bytes_dropped;
+    }
+    return off;
+  }
+
+  /// End of input with `tail` unconsumed bytes: applies truncation and
+  /// count-mismatch accounting (strict mode throws if records are owed).
+  void finish(std::size_t tail) {
+    if (done_) return;
+    done_ = true;
+    const bool strict = policy_ == util::ErrorPolicy::kStrict;
+    if (tail == 0 && !resyncing_) {
+      // Record-aligned end of stream. Strict mode only gets here with
+      // records still owed by the header (the declared-count check in
+      // scan() ends clean streams), so it is a truncation.
+      if (strict) throw std::runtime_error("read_trace: truncated record");
+      // Skip mode: flag a count mismatch if records were lost (or
+      // hallucinated) relative to the header.
+      if (delivered_ != declared_) {
+        stats_->note(util::ErrorKind::kCountMismatch);
+      }
+      return;
+    }
+    if (strict) throw std::runtime_error("read_trace: truncated record");
+    stats_->skip(util::ErrorKind::kTruncated, tail);
+    if (delivered_ != declared_) stats_->note(util::ErrorKind::kCountMismatch);
+  }
+
+ private:
+  std::uint32_t window_seconds_ = 0;
+  std::uint64_t declared_ = 0;
+  std::uint32_t version_ = 0;
+  util::ErrorPolicy policy_ = util::ErrorPolicy::kStrict;
+  util::IngestStats* stats_ = nullptr;
+  std::uint64_t delivered_ = 0;
+  bool resyncing_ = false;
+  bool done_ = false;
+};
+
+}  // namespace spoofscope::net::format

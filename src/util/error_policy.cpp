@@ -46,4 +46,18 @@ std::string IngestStats::summary() const {
   return os.str();
 }
 
+std::string to_json(const IngestStats& stats) {
+  std::ostringstream os;
+  os << "{\"records_ok\":" << stats.records_ok
+     << ",\"records_skipped\":" << stats.records_skipped
+     << ",\"bytes_dropped\":" << stats.bytes_dropped << ",\"errors\":{";
+  for (std::size_t i = 0; i < kNumErrorKinds; ++i) {
+    if (i != 0) os << ',';
+    os << '"' << error_kind_name(static_cast<ErrorKind>(i)) << "\":"
+       << stats.errors[i];
+  }
+  os << "}}";
+  return os.str();
+}
+
 }  // namespace spoofscope::util

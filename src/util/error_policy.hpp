@@ -79,4 +79,9 @@ struct IngestStats {
   friend bool operator==(const IngestStats&, const IngestStats&) = default;
 };
 
+/// Machine-readable form for monitoring pipelines, e.g.
+/// {"records_ok":1204,"records_skipped":3,"bytes_dropped":121,
+///  "errors":{"truncated":1,...,"count-mismatch":0}}.
+std::string to_json(const IngestStats& stats);
+
 }  // namespace spoofscope::util

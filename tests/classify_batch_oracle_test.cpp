@@ -1,0 +1,272 @@
+// Differential harness for the batched classification plane: for the
+// differential seeds, the SoA batch kernels must reproduce the
+// per-record path bit-identically — labels on both engines across
+// thread counts, aggregates built lane-wise, streaming alerts through
+// ingest_batch, and the whole file-to-aggregate pipeline through
+// MappedTrace (clean and corrupted). Also pins the striped parallel
+// flat-plane compile to the sequential compile via plane_digest().
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "classify/flat_classifier.hpp"
+#include "classify/pipeline.hpp"
+#include "classify/streaming.hpp"
+#include "corruption.hpp"
+#include "net/flow_batch.hpp"
+#include "net/mapped_trace.hpp"
+#include "net/trace.hpp"
+#include "net/trace_format.hpp"
+#include "scenario/scenario.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spoofscope::classify {
+namespace {
+
+/// Thread counts under test; 0 resolves to the hardware concurrency.
+constexpr std::size_t kThreadCounts[] = {1, 2, 0};
+
+net::FlowBatch to_batch(std::span<const net::FlowRecord> flows) {
+  net::FlowBatch batch;
+  batch.reserve(flows.size());
+  for (const auto& f : flows) batch.push_back(f);
+  return batch;
+}
+
+void expect_same_aggregate(const Aggregate& a, const Aggregate& b,
+                           const char* what) {
+  EXPECT_EQ(a.total_flows, b.total_flows) << what;
+  EXPECT_EQ(a.total_packets, b.total_packets) << what;
+  EXPECT_EQ(a.total_bytes, b.total_bytes) << what;
+  ASSERT_EQ(a.totals.size(), b.totals.size()) << what;
+  for (std::size_t s = 0; s < a.totals.size(); ++s) {
+    for (int c = 0; c < kNumClasses; ++c) {
+      EXPECT_EQ(a.totals[s][c].flows, b.totals[s][c].flows)
+          << what << " space=" << s << " class=" << c;
+      EXPECT_EQ(a.totals[s][c].packets, b.totals[s][c].packets)
+          << what << " space=" << s << " class=" << c;
+      EXPECT_EQ(a.totals[s][c].bytes, b.totals[s][c].bytes)
+          << what << " space=" << s << " class=" << c;
+      EXPECT_EQ(a.totals[s][c].members, b.totals[s][c].members)
+          << what << " space=" << s << " class=" << c;
+    }
+  }
+}
+
+class BatchOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchOracleTest, BatchLabelsIdenticalToPerRecordOnBothEngines) {
+  auto params = scenario::ScenarioParams::small();
+  params.seed = GetParam();
+  const auto w = scenario::build_scenario(params);
+  const auto& flows = w->trace().flows;
+  const auto batch = to_batch(flows);
+
+  const auto oracle = classify_trace(w->classifier(), flows);
+  const auto flat = FlatClassifier::compile(w->classifier());
+
+  EXPECT_EQ(w->classifier().classify_batch(batch), oracle);
+  EXPECT_EQ(flat.classify_batch(batch), oracle);
+
+  for (const std::size_t threads : kThreadCounts) {
+    util::ThreadPool pool(threads);
+    std::vector<Label> out(batch.size());
+    w->classifier().classify_batch(batch, out, pool);
+    ASSERT_EQ(out, oracle) << "trie threads=" << threads;
+    std::fill(out.begin(), out.end(), Label{0});
+    flat.classify_batch(batch, out, pool);
+    ASSERT_EQ(out, oracle) << "flat threads=" << threads;
+  }
+}
+
+TEST_P(BatchOracleTest, MemberMemoizationHandlesUnknownAndRepeatedAsns) {
+  auto params = scenario::ScenarioParams::small();
+  params.seed = GetParam() ^ 0xba7c4u;
+  const auto w = scenario::build_scenario(params);
+  const auto flat = FlatClassifier::compile(w->classifier());
+  const auto members = w->ixp().member_asns();
+
+  // Synthetic batch with adversarial member patterns: long runs of one
+  // ASN (exercises the last-member fast path), interleavings, and
+  // non-member ASNs (null member view).
+  util::Rng rng(GetParam());
+  std::vector<net::FlowRecord> flows;
+  for (int i = 0; i < 5000; ++i) {
+    net::FlowRecord f;
+    f.src = net::Ipv4Addr(rng.next_u32());
+    f.member_in = (i % 11 == 0) ? net::Asn{0xdeadbeef}
+                  : (i % 3 == 0) ? members[0]
+                                 : members[rng.index(members.size())];
+    f.packets = 1;
+    f.bytes = 40;
+    flows.push_back(f);
+  }
+  const auto batch = to_batch(flows);
+
+  std::vector<Label> expected;
+  expected.reserve(flows.size());
+  for (const auto& f : flows) {
+    expected.push_back(w->classifier().classify_all(f.src, f.member_in));
+  }
+  EXPECT_EQ(w->classifier().classify_batch(batch), expected);
+  EXPECT_EQ(flat.classify_batch(batch), expected);
+}
+
+TEST_P(BatchOracleTest, AggregateFromBatchIdenticalToAoS) {
+  auto params = scenario::ScenarioParams::small();
+  params.seed = GetParam();
+  const auto w = scenario::build_scenario(params);
+  const auto& flows = w->trace().flows;
+  const auto batch = to_batch(flows);
+  const auto labels = classify_trace(w->classifier(), flows);
+
+  {
+    AggregateBuilder aos(w->classifier().space_count());
+    AggregateBuilder soa(w->classifier().space_count());
+    aos.add(flows, labels);
+    soa.add(batch, labels);
+    expect_same_aggregate(soa.build(), aos.build(), "no exclusions");
+  }
+  {
+    // Exclusions must drop the same flows from both layouts.
+    const std::unordered_set<Asn> exclude = {flows[0].member_in,
+                                             flows[flows.size() / 2].member_in};
+    AggregateBuilder aos(w->classifier().space_count());
+    AggregateBuilder soa(w->classifier().space_count());
+    aos.add(flows, labels, exclude);
+    soa.add(batch, labels, exclude);
+    expect_same_aggregate(soa.build(), aos.build(), "with exclusions");
+  }
+}
+
+TEST_P(BatchOracleTest, IngestBatchAlertsAndHealthIdenticalToRun) {
+  auto params = scenario::ScenarioParams::small();
+  params.seed = GetParam();
+  const auto w = scenario::build_scenario(params);
+  const auto& flows = w->trace().flows;
+  const auto flat = FlatClassifier::compile(w->classifier());
+
+  StreamingParams sp;
+  sp.window_seconds = 1800;
+  sp.min_spoofed_packets = 20;
+  sp.min_share = 0.01;
+  sp.reorder_skew_seconds = 60;
+
+  struct Engine {
+    const char* name;
+    StreamingDetector per_record;
+    StreamingDetector batched;
+  };
+  Engine engines[] = {
+      {"trie", StreamingDetector(w->classifier(), 0, sp),
+       StreamingDetector(w->classifier(), 0, sp)},
+      {"flat", StreamingDetector(flat, 0, sp), StreamingDetector(flat, 0, sp)},
+  };
+  for (auto& e : engines) {
+    const auto expected = e.per_record.run(flows);
+    EXPECT_FALSE(expected.empty()) << e.name;  // thresholds actually fire
+
+    std::vector<SpoofingAlert> got;
+    const auto sink = [&got](const SpoofingAlert& a) { got.push_back(a); };
+    // Uneven batch sizes so alert boundaries land mid-batch.
+    net::FlowBatch batch;
+    std::size_t i = 0;
+    util::Rng rng(GetParam() ^ 0xa1e7);
+    while (i < flows.size()) {
+      const std::size_t n =
+          std::min(flows.size() - i, std::size_t{1} + rng.index(997));
+      batch.clear();
+      for (std::size_t k = 0; k < n; ++k) batch.push_back(flows[i + k]);
+      e.batched.ingest_batch(batch, sink);
+      i += n;
+    }
+    e.batched.flush(sink);
+
+    EXPECT_EQ(got, expected) << e.name;
+    EXPECT_EQ(e.batched.processed(), e.per_record.processed()) << e.name;
+    EXPECT_EQ(e.batched.health(), e.per_record.health()) << e.name;
+  }
+}
+
+TEST_P(BatchOracleTest, FileToAggregatePipelineMatchesPerRecordPath) {
+  auto params = scenario::ScenarioParams::small();
+  params.seed = GetParam();
+  const auto w = scenario::build_scenario(params);
+  const auto flat = FlatClassifier::compile(w->classifier());
+
+  std::stringstream ss;
+  net::write_trace(ss, w->trace());
+  std::string clean = ss.str();
+  util::Rng rng(GetParam() ^ 0xc0ff);
+  const std::string corrupted =
+      testing::flip_bits(clean, rng, 3, net::format::kHeaderSizeV2);
+
+  struct Case {
+    const char* name;
+    const std::string* bytes;
+    util::ErrorPolicy policy;
+  };
+  const Case cases[] = {
+      {"clean/strict", &clean, util::ErrorPolicy::kStrict},
+      {"clean/skip", &clean, util::ErrorPolicy::kSkip},
+      {"corrupted/skip", &corrupted, util::ErrorPolicy::kSkip},
+  };
+  for (const auto& c : cases) {
+    // Reference: per-record istream decode, per-record classify, AoS add.
+    std::istringstream in(*c.bytes, std::ios::binary);
+    util::IngestStats ref_stats;
+    net::TraceReader reader(in, c.policy, &ref_stats);
+    std::vector<net::FlowRecord> ref_flows;
+    while (const auto f = reader.next()) ref_flows.push_back(*f);
+    const auto ref_labels = classify_trace(flat, ref_flows);
+    AggregateBuilder ref_builder(w->classifier().space_count());
+    ref_builder.add(ref_flows, ref_labels);
+
+    // Batch path: mmap-style source, batched decode, batched classify on
+    // a pool, lane-wise aggregation.
+    const net::MappedTrace trace = net::MappedTrace::from_buffer(
+        std::vector<std::uint8_t>(c.bytes->begin(), c.bytes->end()));
+    util::IngestStats batch_stats;
+    net::MappedTraceReader mapped(trace, c.policy, &batch_stats);
+    util::ThreadPool pool(2);
+    AggregateBuilder builder(w->classifier().space_count());
+    net::FlowBatch batch;
+    std::vector<Label> labels;
+    std::size_t total = 0;
+    while (mapped.next_batch(batch, 4096) > 0) {
+      labels.resize(batch.size());
+      flat.classify_batch(batch, labels, pool);
+      builder.add(batch, labels);
+      total += batch.size();
+    }
+
+    EXPECT_EQ(total, ref_flows.size()) << c.name;
+    EXPECT_EQ(batch_stats, ref_stats) << c.name;
+    expect_same_aggregate(builder.build(), ref_builder.build(), c.name);
+  }
+}
+
+TEST_P(BatchOracleTest, StripedParallelCompileIsBitIdenticalToSequential) {
+  auto params = scenario::ScenarioParams::small();
+  params.seed = GetParam();
+  const auto w = scenario::build_scenario(params);
+
+  const auto sequential = FlatClassifier::compile(w->classifier());
+  for (const std::size_t threads : kThreadCounts) {
+    util::ThreadPool pool(threads);
+    const auto parallel = FlatClassifier::compile(w->classifier(), pool);
+    EXPECT_EQ(parallel.plane_digest(), sequential.plane_digest())
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.stats().overflow_slots, sequential.stats().overflow_slots)
+        << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchOracleTest,
+                         ::testing::Values(1, 7, 20170205));
+
+}  // namespace
+}  // namespace spoofscope::classify

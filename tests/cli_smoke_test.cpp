@@ -161,6 +161,99 @@ TEST(CliSmoke, CorruptedTraceStrictFailsSkipRecovers) {
   EXPECT_NE(skip.output.find("classified"), std::string::npos);
 }
 
+TEST(CliSmoke, StatsJsonSchemaOnClassify) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  // Corrupt one record so the skipped/error counters are exercised too.
+  const fs::path bad = w.root / "stats-corrupt.trace";
+  std::string bytes = slurp(w.trace());
+  ASSERT_GT(bytes.size(), 5000u);
+  bytes[5000] = static_cast<char>(bytes[5000] ^ 0x10);
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out << bytes;
+  }
+  const fs::path json_path = w.root / "stats.json";
+  const auto r = run_cli("classify --mrt " + w.mrt() + " --trace " +
+                             bad.string() + " --rpsl " + w.rpsl() +
+                             " --on-error skip --stats-json " +
+                             json_path.string(),
+                         w.log);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  const std::string json = slurp(json_path);
+  ASSERT_GT(json.size(), 2u);
+  // Shape: one document, a "sources" array with one entry per ingested
+  // file (MRT, RPSL, trace) carrying the IngestStats schema.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"sources\":["), std::string::npos);
+  for (const std::string path : {w.mrt(), w.rpsl(), bad.string()}) {
+    EXPECT_NE(json.find("\"path\":\"" + path + "\""), std::string::npos)
+        << json;
+  }
+  for (const std::string key :
+       {"\"records_ok\":", "\"records_skipped\":", "\"bytes_dropped\":",
+        "\"errors\":{", "\"truncated\":", "\"bad-magic\":", "\"bad-version\":",
+        "\"checksum\":", "\"parse\":", "\"count-mismatch\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // The flipped bit shows up as exactly one skipped checksum record.
+  EXPECT_NE(json.find("\"records_skipped\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"checksum\":1"), std::string::npos) << json;
+  // classify mode carries no detector section.
+  EXPECT_EQ(json.find("\"detector\":"), std::string::npos);
+}
+
+TEST(CliSmoke, DetectEmitsHealthInStatsJson) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const fs::path json_path = w.root / "detect-stats.json";
+  for (const std::string engine : {"trie", "flat"}) {
+    const auto r = run_cli("detect --mrt " + w.mrt() + " --trace " +
+                               w.trace() + " --engine " + engine +
+                               " --window 1800 --skew 60 --stats-json " +
+                               json_path.string(),
+                           w.log);
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("detect:"), std::string::npos) << engine;
+    EXPECT_NE(r.output.find("health:"), std::string::npos) << engine;
+
+    const std::string json = slurp(json_path);
+    EXPECT_NE(json.find("\"sources\":["), std::string::npos) << engine;
+    EXPECT_NE(json.find("\"detector\":{"), std::string::npos) << engine;
+    for (const std::string key :
+         {"\"regressions\":", "\"late_drops\":", "\"forced_releases\":",
+          "\"member_evictions\":", "\"sample_evictions\":",
+          "\"reorder_depth\":", "\"max_reorder_depth\":",
+          "\"tracked_members\":", "\"max_window_depth\":"}) {
+      EXPECT_NE(json.find(key), std::string::npos) << engine << " " << key;
+    }
+  }
+}
+
+TEST(CliSmoke, DetectAlertsIdenticalOnBothEngines) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  std::string alerts[2];
+  int i = 0;
+  for (const std::string engine : {"trie", "flat"}) {
+    const auto r = run_cli("detect --mrt " + w.mrt() + " --trace " +
+                               w.trace() + " --engine " + engine +
+                               " --window 1800",
+                           w.log);
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+    // Keep only the alert lines: engine name differs in the summary.
+    std::istringstream lines(r.output);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.rfind("alert:", 0) == 0) alerts[i] += line + "\n";
+    }
+    ++i;
+  }
+  EXPECT_FALSE(alerts[0].empty());
+  EXPECT_EQ(alerts[0], alerts[1]);
+}
+
 TEST(CliSmoke, UnwritableLabelsPathFails) {
   auto& w = cli_world();
   ASSERT_TRUE(w.generated);

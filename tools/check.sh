@@ -2,13 +2,14 @@
 # Full verification sweep:
 #   1. tier-1: default build + complete ctest suite
 #   2. ThreadSanitizer build, running the concurrency-sensitive suites
-#      (the parallel engine oracles including the flat/trie differential
-#      tests, the thread pool, the streaming detector and the corruption
-#      differential suite, which classifies on a shared pool)
+#      (the parallel engine oracles including the flat/trie and batch
+#      differentials, the thread pool, the streaming detector and the
+#      corruption differential suite, which classifies on a shared pool)
 #   3. AddressSanitizer build, same suites plus the trie/interval code
-#      and the byte-level corruption/resync paths
+#      and the byte-level corruption/resync and batch-decode paths
 #   4. UndefinedBehaviorSanitizer build over the parser fuzz and
-#      robustness suites (the code that chews on hostile bytes)
+#      robustness suites (the code that chews on hostile bytes),
+#      including the mmap/batch reader differential
 #
 # Usage: tools/check.sh
 set -euo pipefail
@@ -33,6 +34,7 @@ ctest --test-dir "${REPO_ROOT}/build" --output-on-failure -j "${JOBS}"
 TSAN_SUITES=(
   classify_parallel_oracle_test
   classify_flat_oracle_test
+  classify_batch_oracle_test
   classify_streaming_test
   classify_streaming_degraded_test
   robustness_differential_test
@@ -49,12 +51,14 @@ run_suite build-tsan "${TSAN_SUITES[@]}"
 ASAN_SUITES=(
   classify_parallel_oracle_test
   classify_flat_oracle_test
+  classify_batch_oracle_test
   trie_interval_set_test
   trie_property_test
   classify_test
   parser_fuzz_test
   robustness_differential_test
   classify_streaming_degraded_test
+  net_trace_batch_test
 )
 
 echo "=== AddressSanitizer: classification + trie + corruption suites ==="
@@ -68,6 +72,7 @@ UBSAN_SUITES=(
   robustness_differential_test
   classify_streaming_degraded_test
   net_trace_test
+  net_trace_batch_test
   bgp_mrt_lite_test
   data_rpsl_test
 )

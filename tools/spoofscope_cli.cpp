@@ -20,15 +20,26 @@
 //       Full study output: Table 1 column (chosen method), Venn, member
 //       share quantiles and the NTP attack summary.
 //
+//   spoofscope detect --mrt FILE[,FILE...] --trace FILE [--rpsl FILE]
+//              [--window SECONDS] [--skew SECONDS]
+//       Streaming detection: feed the trace through the online
+//       StreamingDetector batch-at-a-time and print every alert plus the
+//       detector health counters.
+//
 // All readers honour --on-error strict|skip: strict (default) fails on
 // the first malformed record; skip quarantines bad records, prints an
 // ingest report, and analyses the surviving records. The trace is
-// consumed incrementally (net::TraceReader) in bounded-size chunks, so
-// classify never materializes the whole trace in memory.
+// mmapped (net::MappedTrace) and decoded into reused SoA batches
+// (net::FlowBatch), so classify never materializes the whole trace in
+// memory and never copies record bytes. --stats-json PATH writes the
+// per-source IngestStats (and, for detect, the DetectorHealth) as JSON
+// for monitoring pipelines.
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -43,8 +54,11 @@
 #include "bgp/mrt_lite.hpp"
 #include "bgp/simulator.hpp"
 #include "classify/pipeline.hpp"
+#include "classify/streaming.hpp"
 #include "data/rpsl.hpp"
 #include "inference/builder.hpp"
+#include "net/flow_batch.hpp"
+#include "net/mapped_trace.hpp"
 #include "net/trace.hpp"
 #include "scenario/scenario.hpp"
 #include "topo/serialize.hpp"
@@ -72,9 +86,15 @@ constexpr std::size_t kChunkFlows = 1u << 17;
       "                      [--method naive|cc|cc+org|full|full+org]\n"
       "                      [--labels OUT.csv] [--threads N]\n"
       "                      [--engine trie|flat] [--on-error strict|skip]\n"
+      "                      [--stats-json PATH]\n"
       "  spoofscope report   --mrt FILES --trace FILE [--rpsl FILE]\n"
       "                      [--threads N] [--engine trie|flat]\n"
-      "                      [--on-error strict|skip]\n"
+      "                      [--on-error strict|skip] [--stats-json PATH]\n"
+      "  spoofscope detect   --mrt FILES --trace FILE [--rpsl FILE]\n"
+      "                      [--method naive|cc|cc+org|full|full+org]\n"
+      "                      [--window SECONDS] [--skew SECONDS]\n"
+      "                      [--threads N] [--engine trie|flat]\n"
+      "                      [--on-error strict|skip] [--stats-json PATH]\n"
       "\n"
       "--threads N runs valid-space construction and classification on N\n"
       "worker threads (0 = hardware concurrency, default 1 = sequential);\n"
@@ -84,7 +104,9 @@ constexpr std::size_t kChunkFlows = 1u << 17;
       "to the default trie engine.\n"
       "--on-error skip quarantines malformed MRT lines, RPSL objects and\n"
       "corrupt trace records instead of aborting, prints an ingest report\n"
-      "and analyses the surviving records (default: strict).\n";
+      "and analyses the surviving records (default: strict).\n"
+      "--stats-json PATH writes per-source ingest statistics (and, for\n"
+      "detect, the detector health counters) as JSON.\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -152,6 +174,26 @@ void print_ingest(const std::string& source, const util::IngestStats& stats) {
   std::cout << "ingest: " << source << ": " << stats.summary() << "\n";
 }
 
+/// Ingest accounting for every source touched by a command, in ingest
+/// order, for the --stats-json report.
+using SourceStats = std::vector<std::pair<std::string, util::IngestStats>>;
+
+/// Escapes a path for embedding in a JSON string literal.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
 /// Opens an output file, failing loudly instead of silently writing to a
 /// bad stream.
 std::ofstream open_output(const std::string& path,
@@ -167,6 +209,23 @@ void finish_output(std::ofstream& out, const std::string& path) {
   if (!out) throw std::runtime_error("write failure on output file: " + path);
 }
 
+/// Writes the --stats-json document: every ingested source's stats plus
+/// (streaming mode) the detector health.
+void write_stats_json(const std::string& path, const SourceStats& sources,
+                      const classify::DetectorHealth* health) {
+  auto out = open_output(path);
+  out << "{\"sources\":[";
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (i != 0) out << ',';
+    out << "{\"path\":\"" << json_escape(sources[i].first)
+        << "\",\"stats\":" << util::to_json(sources[i].second) << '}';
+  }
+  out << ']';
+  if (health != nullptr) out << ",\"detector\":" << classify::to_json(*health);
+  out << "}\n";
+  finish_output(out, path);
+}
+
 /// The routing-side inputs for classify/report.
 struct RoutingInputs {
   bgp::RoutingTable table;
@@ -174,7 +233,7 @@ struct RoutingInputs {
 };
 
 RoutingInputs load_routing(const std::map<std::string, std::string>& flags,
-                           util::ErrorPolicy policy) {
+                           util::ErrorPolicy policy, SourceStats& sources) {
   if (!flags.count("mrt")) usage("--mrt is required");
 
   RoutingInputs inputs;
@@ -185,6 +244,7 @@ RoutingInputs load_routing(const std::map<std::string, std::string>& flags,
     util::IngestStats stats;
     builder.ingest(bgp::read_mrt(in, policy, &stats));
     if (!stats.clean()) print_ingest(std::string(part), stats);
+    sources.emplace_back(std::string(part), stats);
   }
   inputs.table = builder.build();
 
@@ -195,6 +255,7 @@ RoutingInputs load_routing(const std::map<std::string, std::string>& flags,
     inputs.whois =
         data::registry_from_rpsl(data::parse_rpsl(rin, policy, &stats));
     if (!stats.clean()) print_ingest(flags.at("rpsl"), stats);
+    sources.emplace_back(flags.at("rpsl"), stats);
   }
   return inputs;
 }
@@ -252,38 +313,54 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-/// First streaming pass over the trace: the distinct injecting members
+/// First pass over the mapped trace: the distinct injecting members
 /// (needed to build valid spaces) without materializing the flows.
-std::vector<net::Asn> scan_members(const std::string& path,
+std::vector<net::Asn> scan_members(const net::MappedTrace& trace,
                                    util::ErrorPolicy policy) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) usage("cannot open trace file: " + path);
-  net::TraceReader reader(in, policy);
+  net::MappedTraceReader reader(trace, policy);
+  net::FlowBatch batch;
   std::set<net::Asn> members;
-  while (const auto f = reader.next()) members.insert(f->member_in);
+  while (reader.next_batch(batch, kChunkFlows) > 0) {
+    for (const net::Asn m : batch.member_in()) members.insert(m);
+  }
   return {members.begin(), members.end()};
 }
 
-int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
-  if (!flags.count("trace")) usage("--trace is required");
-  const auto policy = policy_from(flags);
-  const std::string trace_path = flags.at("trace");
-  auto routing = load_routing(flags, policy);
-  const auto method = method_from(
-      flags.count("method") ? flags.at("method") : std::string("full+org"));
+/// Everything classify/report/detect share: the routing view (which the
+/// classifier points into — keep them together), the injecting members,
+/// the classifier with the RPSL whitelist applied and, under --engine
+/// flat, the compiled plane.
+struct ClassifyContext {
+  RoutingInputs routing;
+  std::vector<net::Asn> members;
+  inference::Method method = inference::Method::kFullConeOrg;
+  classify::Engine engine = classify::Engine::kTrie;
+  std::unique_ptr<classify::Classifier> classifier;
+  std::optional<classify::FlatClassifier> flat;
+};
 
-  util::ThreadPool pool(threads_from(flags));
-  const auto members = scan_members(trace_path, policy);
-  inference::ValidSpaceFactory factory(routing.table, asgraph::OrgMap{});
+void build_context(const std::map<std::string, std::string>& flags,
+                   util::ErrorPolicy policy, const net::MappedTrace& trace,
+                   util::ThreadPool& pool, SourceStats& sources,
+                   ClassifyContext& ctx) {
+  ctx.routing = load_routing(flags, policy, sources);
+  ctx.method = method_from(
+      flags.count("method") ? flags.at("method") : std::string("full+org"));
+  ctx.engine = engine_from(flags);
+  ctx.members = scan_members(trace, policy);
+
+  inference::ValidSpaceFactory factory(ctx.routing.table, asgraph::OrgMap{});
   std::vector<inference::ValidSpace> spaces;
-  spaces.push_back(factory.build(method, members, pool));
-  classify::Classifier classifier(routing.table, std::move(spaces));
+  spaces.push_back(factory.build(ctx.method, ctx.members, pool));
+  ctx.classifier = std::make_unique<classify::Classifier>(ctx.routing.table,
+                                                          std::move(spaces));
 
   // RPSL whitelist (Sec 4.4) applied up front.
-  if (routing.whois) {
-    auto& space = classifier.mutable_space(0);
-    for (const net::Asn m : members) {
-      std::vector<net::Prefix> extra = routing.whois->provider_assigned_of(m);
+  if (ctx.routing.whois) {
+    auto& space = ctx.classifier->mutable_space(0);
+    for (const net::Asn m : ctx.members) {
+      std::vector<net::Prefix> extra =
+          ctx.routing.whois->provider_assigned_of(m);
       if (!extra.empty()) {
         space.extend(m, trie::IntervalSet::from_prefixes(extra));
       }
@@ -292,11 +369,21 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
 
   // The flat plane is compiled after the RPSL whitelist so the
   // extend()ed spaces are baked in.
-  const auto engine = engine_from(flags);
-  std::optional<classify::FlatClassifier> flat;
-  if (engine == classify::Engine::kFlat) {
-    flat.emplace(classify::FlatClassifier::compile(classifier, pool));
+  if (ctx.engine == classify::Engine::kFlat) {
+    ctx.flat.emplace(classify::FlatClassifier::compile(*ctx.classifier, pool));
   }
+}
+
+int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
+  if (!flags.count("trace")) usage("--trace is required");
+  const auto policy = policy_from(flags);
+  const std::string trace_path = flags.at("trace");
+  const net::MappedTrace trace(trace_path);
+
+  util::ThreadPool pool(threads_from(flags));
+  SourceStats sources;
+  ClassifyContext ctx;
+  build_context(flags, policy, trace, pool, sources, ctx);
 
   std::optional<std::ofstream> labels_out;
   if (flags.count("labels")) {
@@ -304,38 +391,30 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
     *labels_out << "ts,src,dst,member,class\n";
   }
 
-  // Second streaming pass: classify and aggregate chunk-at-a-time. Only
+  // Second pass over the mapping: classify and aggregate batch-at-a-time
+  // (SoA lanes and the label buffer are reused across batches). Only
   // `report` (whose member/attack analyses need the whole trace) keeps
   // the flows around.
-  std::ifstream tin(trace_path, std::ios::binary);
-  if (!tin) usage("cannot open trace file: " + trace_path);
   util::IngestStats trace_stats;
-  net::TraceReader reader(tin, policy, &trace_stats);
-  classify::AggregateBuilder builder(classifier.space_count());
-  std::vector<net::FlowRecord> chunk;
+  net::MappedTraceReader reader(trace, policy, &trace_stats);
+  classify::AggregateBuilder builder(ctx.classifier->space_count());
+  net::FlowBatch batch;
+  std::vector<classify::Label> labels;
   std::vector<net::FlowRecord> all_flows;
   std::vector<classify::Label> all_labels;
   std::uint64_t flow_count = 0;
-  chunk.reserve(kChunkFlows);
-  for (bool more = true; more;) {
-    chunk.clear();
-    while (chunk.size() < kChunkFlows) {
-      auto f = reader.next();
-      if (!f) {
-        more = false;
-        break;
-      }
-      chunk.push_back(*f);
+  while (reader.next_batch(batch, kChunkFlows) > 0) {
+    labels.resize(batch.size());
+    if (ctx.flat) {
+      ctx.flat->classify_batch(batch, labels, pool);
+    } else {
+      ctx.classifier->classify_batch(batch, labels, pool);
     }
-    if (chunk.empty()) break;
-    const auto labels =
-        flat ? classify::classify_trace(*flat, chunk, pool)
-             : classify::classify_trace(classifier, chunk, pool);
-    builder.add(chunk, labels);
-    flow_count += chunk.size();
+    builder.add(batch, labels);
+    flow_count += batch.size();
     if (labels_out) {
-      for (std::size_t i = 0; i < chunk.size(); ++i) {
-        const auto& f = chunk[i];
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const auto f = batch.record(i);
         *labels_out << f.ts << ',' << f.src.str() << ',' << f.dst.str() << ','
                     << f.member_in << ','
                     << classify::class_name(
@@ -344,19 +423,20 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
       }
     }
     if (report) {
-      all_flows.insert(all_flows.end(), chunk.begin(), chunk.end());
+      batch.append_to(all_flows);
       all_labels.insert(all_labels.end(), labels.begin(), labels.end());
     }
   }
   if (!trace_stats.clean()) print_ingest(trace_path, trace_stats);
+  sources.emplace_back(trace_path, trace_stats);
 
   // Totals.
   const auto agg = builder.build();
   std::cout << "classified " << flow_count << " flows from "
-            << members.size() << " members under "
-            << inference::method_name(method) << " (routing view: "
-            << routing.table.prefixes().size() << " prefixes, "
-            << classify::engine_name(engine) << " engine)\n\n";
+            << ctx.members.size() << " members under "
+            << inference::method_name(ctx.method) << " (routing view: "
+            << ctx.routing.table.prefixes().size() << " prefixes, "
+            << classify::engine_name(ctx.engine) << " engine)\n\n";
   static const char* kClassNames[] = {"Bogon", "Unrouted", "Invalid", "Valid"};
   for (int c = 0; c < classify::kNumClasses; ++c) {
     const auto& cell = agg.totals[0][c];
@@ -396,6 +476,71 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
               << " amplifiers; top member share "
               << util::percent(ntp.top_member_share) << "\n";
   }
+
+  if (flags.count("stats-json")) {
+    write_stats_json(flags.at("stats-json"), sources, nullptr);
+    std::cout << "\ningest stats written to " << flags.at("stats-json") << "\n";
+  }
+  return 0;
+}
+
+int cmd_detect(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("trace")) usage("--trace is required");
+  const auto policy = policy_from(flags);
+  const std::string trace_path = flags.at("trace");
+  const net::MappedTrace trace(trace_path);
+
+  util::ThreadPool pool(threads_from(flags));
+  SourceStats sources;
+  ClassifyContext ctx;
+  build_context(flags, policy, trace, pool, sources, ctx);
+
+  classify::StreamingParams params;
+  params.window_seconds =
+      static_cast<std::uint32_t>(u64_flag(flags, "window", params.window_seconds));
+  params.reorder_skew_seconds =
+      static_cast<std::uint32_t>(u64_flag(flags, "skew", 0));
+  classify::StreamingDetector detector =
+      ctx.flat ? classify::StreamingDetector(*ctx.flat, 0, params)
+               : classify::StreamingDetector(*ctx.classifier, 0, params);
+
+  std::uint64_t alert_count = 0;
+  const auto on_alert = [&alert_count](const classify::SpoofingAlert& a) {
+    ++alert_count;
+    std::cout << "alert: member AS" << a.member << " ts=" << a.ts
+              << " dominant=" << classify::class_name(a.dominant_class)
+              << " spoofed-pkts=" << a.spoofed_packets_in_window
+              << " share=" << util::percent(a.window_share) << "\n";
+  };
+
+  util::IngestStats trace_stats;
+  net::MappedTraceReader reader(trace, policy, &trace_stats);
+  net::FlowBatch batch;
+  while (reader.next_batch(batch, kChunkFlows) > 0) {
+    detector.ingest_batch(batch, on_alert);
+  }
+  detector.flush(on_alert);
+  if (!trace_stats.clean()) print_ingest(trace_path, trace_stats);
+  sources.emplace_back(trace_path, trace_stats);
+
+  const auto health = detector.health();
+  std::cout << "detect: " << detector.processed() << " flows from "
+            << ctx.members.size() << " members, " << alert_count
+            << " alerts (" << classify::engine_name(ctx.engine)
+            << " engine, window " << params.window_seconds << "s, skew "
+            << params.reorder_skew_seconds << "s)\n"
+            << "health: regressions=" << health.regressions
+            << " late_drops=" << health.late_drops
+            << " forced_releases=" << health.forced_releases
+            << " member_evictions=" << health.member_evictions
+            << " sample_evictions=" << health.sample_evictions
+            << " max_reorder_depth=" << health.max_reorder_depth
+            << " max_window_depth=" << health.max_window_depth << "\n";
+
+  if (flags.count("stats-json")) {
+    write_stats_json(flags.at("stats-json"), sources, &health);
+    std::cout << "stats written to " << flags.at("stats-json") << "\n";
+  }
   return 0;
 }
 
@@ -409,6 +554,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(flags);
     if (cmd == "classify") return cmd_classify(flags, /*report=*/false);
     if (cmd == "report") return cmd_classify(flags, /*report=*/true);
+    if (cmd == "detect") return cmd_detect(flags);
     if (cmd == "help" || cmd == "--help") usage();
     usage("unknown command: " + cmd);
   } catch (const std::exception& e) {
