@@ -12,6 +12,8 @@
 #include "bgp/simulator.hpp"
 #include "classify/flat_classifier.hpp"
 #include "classify/pipeline.hpp"
+#include "classify/streaming.hpp"
+#include "state/plane_cache.hpp"
 #include "net/flow_batch.hpp"
 #include "net/mapped_trace.hpp"
 #include "net/trace.hpp"
@@ -391,6 +393,64 @@ void BM_EndToEndTraceClassificationPerRecordTrie(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndTraceClassificationPerRecordTrie)
     ->Unit(benchmark::kMillisecond);
+
+// --- durable state plane -----------------------------------------------------
+
+/// Scratch path for state-plane benches; removed after each bench loop.
+std::filesystem::path state_scratch(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+/// A detector that has ingested the whole bench trace — the state size a
+/// long-running deployment checkpoints.
+classify::StreamingDetector populated_detector() {
+  classify::StreamingParams sp;
+  sp.reorder_skew_seconds = 60;
+  classify::StreamingDetector d(flat_world(), 0, sp);
+  d.run(world().trace().flows);
+  return d;
+}
+
+void BM_DetectorSave(benchmark::State& state) {
+  // Crash-safe checkpoint cost: serialize + fsync + rename per save.
+  const auto det = populated_detector();
+  const auto path = state_scratch("spoofscope-bench-det.ckpt");
+  for (auto _ : state) {
+    det.save(path.string());
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_DetectorSave)->Unit(benchmark::kMillisecond);
+
+void BM_DetectorRestore(benchmark::State& state) {
+  const auto path = state_scratch("spoofscope-bench-det.ckpt");
+  populated_detector().save(path.string());
+  classify::StreamingParams sp;
+  sp.reorder_skew_seconds = 60;
+  for (auto _ : state) {
+    classify::StreamingDetector d(flat_world(), 0, sp);
+    const bool ok = d.restore(path.string());
+    benchmark::DoNotOptimize(ok);
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_DetectorRestore)->Unit(benchmark::kMillisecond);
+
+void BM_FlatPlaneCacheLoad(benchmark::State& state) {
+  // The cache-hit cold start (mmap + checksum/digest validation) — the
+  // number to hold against BM_FlatCompile, which is what a cold start
+  // costs without the cache.
+  const auto dir = state_scratch("spoofscope-bench-plane-cache");
+  std::filesystem::remove_all(dir);
+  state::PlaneCache cache(dir.string());
+  cache.load_or_compile(world().classifier(), nullptr);  // populate
+  for (auto _ : state) {
+    auto loaded = cache.load_or_compile(world().classifier(), nullptr);
+    benchmark::DoNotOptimize(loaded.plane);
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_FlatPlaneCacheLoad)->Unit(benchmark::kMillisecond);
 
 // --- parallel engine scaling -------------------------------------------------
 

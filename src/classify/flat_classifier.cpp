@@ -14,15 +14,6 @@ namespace spoofscope::classify {
 
 namespace {
 
-/// Packs the same class for every configured space.
-Label uniform_label(std::size_t num_spaces, TrafficClass c) {
-  Label label = 0;
-  for (std::size_t i = 0; i < num_spaces; ++i) {
-    label |= static_cast<Label>(c) << (2 * i);
-  }
-  return label;
-}
-
 /// Blocks (/24 indices) per paint stripe: each stripe is one /8.
 constexpr std::size_t kStripeBlocks = std::size_t{1} << 16;
 constexpr std::size_t kNumStripes = std::size_t{1} << 8;
@@ -49,16 +40,70 @@ inline void prefetch_ro(const void*) {}
 /// inside any realistic batch.
 constexpr std::size_t kPrefetchDistance = 16;
 
+/// Little-endian 8-byte lane load; folds to a plain load on LE hosts
+/// while keeping the digest host-independent.
+std::uint64_t load_lane64(const std::uint8_t* p) {
+  std::uint64_t w = 0;
+  for (int b = 7; b >= 0; --b) w = w << 8 | p[b];
+  return w;
+}
+
 std::uint64_t fnv64(std::uint64_t h, const void* data, std::size_t n) {
+  // FNV-1a-64 over four interleaved stripes of little-endian 8-byte
+  // lanes, chained back into `h` at the end so calls still compose.
+  // Per stripe step, xor + odd multiply stay bijective and every input
+  // byte lands in exactly one stripe, so sensitivity to any single
+  // damaged byte is unchanged; the stripes break the serial multiply
+  // dependency chain. plane_digest() walks the ~90 MiB plane on every
+  // cache-validated load, so this is load-bearing for cold-start time.
+  constexpr std::uint64_t kPrime = 1099511628211ull;
   const auto* p = static_cast<const std::uint8_t*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
+  std::uint64_t s0 = h;
+  std::uint64_t s1 = s0 * kPrime;
+  std::uint64_t s2 = s1 * kPrime;
+  std::uint64_t s3 = s2 * kPrime;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    s0 = (s0 ^ load_lane64(p + i)) * kPrime;
+    s1 = (s1 ^ load_lane64(p + i + 8)) * kPrime;
+    s2 = (s2 ^ load_lane64(p + i + 16)) * kPrime;
+    s3 = (s3 ^ load_lane64(p + i + 24)) * kPrime;
   }
-  return h;
+  for (; i + 8 <= n; i += 8) s0 = (s0 ^ load_lane64(p + i)) * kPrime;
+  for (; i < n; ++i) s0 = (s0 ^ p[i]) * kPrime;
+  std::uint64_t out = (s0 ^ s1) * kPrime;
+  out = (out ^ s2) * kPrime;
+  out = (out ^ s3) * kPrime;
+  return (out ^ n) * kPrime;
 }
 
 }  // namespace
+
+Label FlatClassifier::uniform_label(std::size_t num_spaces, TrafficClass c) {
+  Label label = 0;
+  for (std::size_t i = 0; i < num_spaces; ++i) {
+    label |= static_cast<Label>(c) << (2 * i);
+  }
+  return label;
+}
+
+void FlatClassifier::rebuild_probe() {
+  std::size_t probe_cap = 16;
+  while (probe_cap < members_.size() * 2) probe_cap <<= 1;
+  probe_mask_ = static_cast<std::uint32_t>(probe_cap - 1);
+  probe_keys_.assign(probe_cap, 0);
+  probe_slots_.assign(probe_cap, MemberView::kNoSlot);
+  for (std::size_t slot = 0; slot < members_.size(); ++slot) {
+    std::uint32_t h =
+        (static_cast<std::uint32_t>(members_[slot]) * 2654435761u) &
+        probe_mask_;
+    while (probe_slots_[h] != MemberView::kNoSlot) {
+      h = (h + 1) & probe_mask_;
+    }
+    probe_keys_[h] = members_[slot];
+    probe_slots_[h] = static_cast<std::uint32_t>(slot);
+  }
+}
 
 FlatClassifier FlatClassifier::compile(const Classifier& source) {
   return compile_impl(source, nullptr);
@@ -136,7 +181,9 @@ FlatClassifier FlatClassifier::compile_impl(const Classifier& source,
     }
   }
 
-  flat.base_.reset(new std::uint32_t[kNumStripes * kStripeBlocks]);
+  static_assert(kBaseEntries == kNumStripes * kStripeBlocks);
+  flat.base_.reset(new std::uint32_t[kBaseEntries]);
+  flat.base_view_ = flat.base_.get();
   std::array<std::size_t, kNumStripes> overflow_per_stripe{};
   const auto paint_stripes = [&](std::size_t stripe_begin,
                                  std::size_t stripe_end) {
@@ -192,25 +239,12 @@ FlatClassifier FlatClassifier::compile_impl(const Classifier& source,
   flat.members_.erase(std::unique(flat.members_.begin(), flat.members_.end()),
                       flat.members_.end());
 
-  std::size_t probe_cap = 16;
-  while (probe_cap < flat.members_.size() * 2) probe_cap <<= 1;
-  flat.probe_mask_ = static_cast<std::uint32_t>(probe_cap - 1);
-  flat.probe_keys_.assign(probe_cap, 0);
-  flat.probe_slots_.assign(probe_cap, MemberView::kNoSlot);
-  for (std::size_t slot = 0; slot < flat.members_.size(); ++slot) {
-    std::uint32_t h =
-        (static_cast<std::uint32_t>(flat.members_[slot]) * 2654435761u) &
-        flat.probe_mask_;
-    while (flat.probe_slots_[h] != MemberView::kNoSlot) {
-      h = (h + 1) & flat.probe_mask_;
-    }
-    flat.probe_keys_[h] = flat.members_[slot];
-    flat.probe_slots_[h] = static_cast<std::uint32_t>(slot);
-  }
+  flat.rebuild_probe();
 
   const std::size_t num_spaces = flat.spaces_.size();
   flat.num_prefixes_ = table.prefix_count();
   flat.records_.assign(flat.members_.size() * flat.num_prefixes_, 0);
+  flat.records_view_ = flat.records_.data();
   flat.fallback_.assign(flat.members_.size() * num_spaces, nullptr);
 
   // Address-ordered prefix ranges: each (member, space) row is built by a
@@ -273,7 +307,7 @@ FlatClassifier FlatClassifier::compile_impl(const Classifier& source,
   for (const auto* fb : flat.fallback_) {
     if (fb) ++flat.stats_.partial_rows;
   }
-  flat.stats_.table_bytes = kNumStripes * kStripeBlocks * sizeof(std::uint32_t);
+  flat.stats_.table_bytes = kBaseEntries * sizeof(std::uint32_t);
   flat.stats_.bitset_bytes = flat.records_.size() * sizeof(std::uint16_t);
   flat.stats_.prefixes = flat.num_prefixes_;
   flat.stats_.members = flat.members_.size();
@@ -299,7 +333,7 @@ TrafficClass FlatClassifier::class_in_space(net::Ipv4Addr src,
                                             std::uint32_t pid,
                                             std::uint32_t slot,
                                             std::size_t space_idx) const {
-  const std::uint16_t rec = records_[slot * num_prefixes_ + pid];
+  const std::uint16_t rec = records_view_[slot * num_prefixes_ + pid];
   if (rec & (1u << space_idx)) return TrafficClass::kValid;
   if ((rec & (1u << (8 + space_idx))) &&
       fallback_[slot * spaces_.size() + space_idx]->contains(src)) {
@@ -311,7 +345,7 @@ TrafficClass FlatClassifier::class_in_space(net::Ipv4Addr src,
 Label FlatClassifier::classify_routed(net::Ipv4Addr src, std::uint32_t pid,
                                       const MemberView& view) const {
   if (!view.known()) return all_invalid_;
-  const std::uint16_t rec = records_[view.slot_ * num_prefixes_ + pid];
+  const std::uint16_t rec = records_view_[view.slot_ * num_prefixes_ + pid];
   std::uint32_t valid = rec & 0xFFu;
   if (std::uint32_t partial = rec >> 8; partial != 0) [[unlikely]] {
     const trie::IntervalSet* const* fb =
@@ -343,7 +377,7 @@ Label FlatClassifier::classify_overflow(net::Ipv4Addr src,
 
 Label FlatClassifier::classify_all(net::Ipv4Addr src,
                                    const MemberView& view) const {
-  const std::uint32_t entry = base_[src.value() >> 8];
+  const std::uint32_t entry = base_view_[src.value() >> 8];
   switch (entry >> kKindShift) {
     case kKindUnrouted: return all_unrouted_;
     case kKindBogon: return all_bogon_;
@@ -354,7 +388,7 @@ Label FlatClassifier::classify_all(net::Ipv4Addr src,
 
 TrafficClass FlatClassifier::classify(net::Ipv4Addr src, const MemberView& view,
                                       std::size_t space_idx) const {
-  const std::uint32_t entry = base_[src.value() >> 8];
+  const std::uint32_t entry = base_view_[src.value() >> 8];
   switch (entry >> kKindShift) {
     case kKindUnrouted: return TrafficClass::kUnrouted;
     case kKindBogon: return TrafficClass::kBogon;
@@ -376,7 +410,7 @@ void FlatClassifier::classify_kernel(std::size_t begin, std::size_t end,
   // reads are prefetched a fixed distance ahead so consecutive random
   // /24 lookups overlap instead of serializing on memory latency.
   std::unordered_map<Asn, MemberView> views;
-  const std::uint32_t* base = base_.get();
+  const std::uint32_t* base = base_view_;
   Asn last_member = net::kNoAsn;
   const MemberView* last_view = nullptr;
   for (std::size_t i = begin; i < end; ++i) {
@@ -441,8 +475,9 @@ void FlatClassifier::classify_records(std::span<const net::FlowRecord> flows,
 
 std::uint64_t FlatClassifier::plane_digest() const {
   std::uint64_t h = 14695981039346656037ull;
-  h = fnv64(h, base_.get(), kNumStripes * kStripeBlocks * sizeof(std::uint32_t));
-  h = fnv64(h, records_.data(), records_.size() * sizeof(std::uint16_t));
+  h = fnv64(h, base_view_, kBaseEntries * sizeof(std::uint32_t));
+  h = fnv64(h, records_view_,
+            members_.size() * num_prefixes_ * sizeof(std::uint16_t));
   h = fnv64(h, members_.data(), members_.size() * sizeof(Asn));
   const std::uint64_t np = num_prefixes_;
   h = fnv64(h, &np, sizeof np);

@@ -38,6 +38,11 @@
 
 namespace spoofscope::net {
 class FlowBatch;
+class MappedTrace;
+}
+
+namespace spoofscope::state {
+class PlaneCache;
 }
 
 namespace spoofscope::classify {
@@ -132,7 +137,15 @@ class FlatClassifier {
   const Stats& stats() const { return stats_; }
 
  private:
+  /// The plane cache (state::PlaneCache) rebuilds a FlatClassifier from
+  /// a digest-validated snapshot, pointing the hot-path views into the
+  /// mapped file instead of owned storage.
+  friend class spoofscope::state::PlaneCache;
+
   FlatClassifier() = default;
+
+  /// Entries in the base-class table (one per /24 block).
+  static constexpr std::size_t kBaseEntries = std::size_t{1} << 24;
 
   // Base-table entry: kind in the top 2 bits, PrefixId in the low 30.
   static constexpr std::uint32_t kKindShift = 30;
@@ -151,13 +164,20 @@ class FlatClassifier {
   static FlatClassifier compile_impl(const Classifier& source,
                                      util::ThreadPool* pool);
 
+  /// Packs the same class for every configured space.
+  static Label uniform_label(std::size_t num_spaces, TrafficClass c);
+
+  /// Rebuilds the open-addressed probe table from members_.
+  void rebuild_probe();
+
   template <typename GetSrc, typename GetMember>
   void classify_kernel(std::size_t begin, std::size_t end, GetSrc&& src_at,
                        GetMember&& member_at, Label* out) const;
 
-  /// Base-class table, 1 << 24 entries. Heap array instead of a vector so
-  /// the compile can skip the 64 MiB zero-fill: stripes only zero the
-  /// lanes no prefix paints.
+  /// Base-class table, kBaseEntries entries. Heap array instead of a
+  /// vector so the compile can skip the 64 MiB zero-fill: stripes only
+  /// zero the lanes no prefix paints. Empty on a cache-loaded plane
+  /// (the table lives in the mapped snapshot instead).
   std::unique_ptr<std::uint32_t[]> base_;
   trie::PrefixSet bogons_;           // overflow-lane bogon check
   const bgp::RoutingTable* table_ = nullptr;
@@ -168,10 +188,18 @@ class FlatClassifier {
   std::vector<Asn> probe_keys_;
   std::vector<std::uint32_t> probe_slots_;
   std::uint32_t probe_mask_ = 0;
-  /// Slot-major membership records: records_[slot * prefixes + pid] holds
+  /// Slot-major membership records: record (slot * prefixes + pid) holds
   /// the full bits (low byte, bit m = method m) and partial bits (high
   /// byte) for one (member, prefix) pair — all methods in one load.
+  /// Owned storage; empty on a cache-loaded plane.
   std::vector<std::uint16_t> records_;
+  /// What the hot paths actually read: the owned storage after
+  /// compile(), or the mapped snapshot after a plane-cache load (both
+  /// 8-byte aligned, little-endian hosts only on the mapped path).
+  const std::uint32_t* base_view_ = nullptr;
+  const std::uint16_t* records_view_ = nullptr;
+  /// Keeps the mapped snapshot alive for the lifetime of the views.
+  std::shared_ptr<const net::MappedTrace> plane_mapping_;
   /// Per (slot, method): the member's interval set when any partial bit
   /// is set in that lane (the extend() fallback), nullptr otherwise.
   /// Indexed slot * space_count() + method.

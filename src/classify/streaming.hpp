@@ -33,11 +33,13 @@
 #include <functional>
 #include <queue>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "classify/classifier.hpp"
 #include "net/flow.hpp"
+#include "util/error_policy.hpp"
 
 namespace spoofscope::net {
 class FlowBatch;
@@ -148,6 +150,30 @@ class StreamingDetector {
   /// Degradation snapshot (cheap; counters plus current depths).
   DetectorHealth health() const;
 
+  /// 64-bit FNV-1a over the detection configuration (StreamingParams +
+  /// space index). Checkpoints embed it and restore() refuses a
+  /// snapshot taken under a different configuration. The engine is
+  /// deliberately excluded: trie and flat are proven bit-identical, so
+  /// checkpoints are portable across engines.
+  std::uint64_t config_hash() const;
+
+  /// Crash-safe checkpoint: atomically persists the complete detection
+  /// state — windows, reorder buffer, eviction index (rebuilt on load),
+  /// health counters, stream cursor, config hash — so a restored
+  /// detector continues bit-identically to the uninterrupted run.
+  /// Throws std::runtime_error on I/O failure. (Defined in the state
+  /// library; link spoofscope_state to use checkpoints.)
+  void save(const std::string& path) const;
+
+  /// Restores a checkpoint written by save(). Returns true on success.
+  /// On damage, truncation or config mismatch: strict throws
+  /// (state::SnapshotError), skip accounts the ErrorKind in `stats`
+  /// (when given), resets to fresh state and returns false — detection
+  /// restarts cleanly rather than running on half-loaded state.
+  bool restore(const std::string& path,
+               util::ErrorPolicy policy = util::ErrorPolicy::kStrict,
+               util::IngestStats* stats = nullptr);
+
  private:
   struct Sample {
     std::uint32_t ts;
@@ -182,6 +208,8 @@ class StreamingDetector {
   void evict_idle_member();
   /// Keeps the idle-eviction index in sync with a member's activity.
   void touch_member(Asn member, MemberWindow& w, std::uint32_t ts);
+  /// Back to the freshly-constructed state (config and engine kept).
+  void reset_state();
 
   const Classifier* classifier_ = nullptr;   // exactly one engine is set
   const FlatClassifier* flat_ = nullptr;

@@ -1,0 +1,275 @@
+// StreamingDetector checkpoint payload (PayloadKind::kDetector) on the
+// snapshot container. The detector is a pure function of the ingested
+// flow sequence, so persisting its explicit state — windows, reorder
+// buffer, health counters, stream cursor — and the config hash is
+// sufficient for a restored run to continue bit-identically.
+//
+// Serialization choices that bit-identity depends on:
+//  - Window aggregates (spoofed/total/per_class) are stored as IEEE-754
+//    bit patterns, not recomputed from samples on load: the running
+//    sums accumulate in ingest order, and re-summing in any other
+//    order could change the low bits and flip a threshold comparison.
+//  - Members are written in ascending ASN order and the reorder buffer
+//    in its (ts, seq) pop order, so equal states serialize to equal
+//    bytes regardless of hash-map iteration order.
+//  - Pending FlowRecords carry full-width 32-bit ASNs (the trace
+//    format's 16-bit truncation never touches checkpoints).
+//  - The idle-eviction index is not stored; it is a pure function of
+//    the windows ({(last_seen_ts, member)}) and is rebuilt on load.
+//
+// These member functions live in the state library (not classify) so
+// the classify layer stays independent of the persistence layer.
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "classify/streaming.hpp"
+#include "net/mapped_trace.hpp"
+#include "state/snapshot.hpp"
+
+namespace spoofscope::classify {
+
+namespace {
+
+constexpr std::uint32_t kDetectorPayloadVersion = 1;
+
+// Section ids.
+constexpr std::uint32_t kSecConfig = 1;   ///< config hash + raw knobs
+constexpr std::uint32_t kSecStream = 2;   ///< cursor + health counters
+constexpr std::uint32_t kSecWindows = 3;  ///< per-member windows
+constexpr std::uint32_t kSecPending = 4;  ///< reorder buffer
+
+std::uint64_t fnv64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+[[noreturn]] void corrupt(const char* what) {
+  throw state::SnapshotError(util::ErrorKind::kParse, what);
+}
+
+}  // namespace
+
+std::uint64_t StreamingDetector::config_hash() const {
+  state::SectionBuilder b;
+  b.u32(params_.window_seconds);
+  b.f64(params_.min_spoofed_packets);
+  b.f64(params_.min_share);
+  b.u32(params_.cooldown_seconds);
+  b.u32(params_.reorder_skew_seconds);
+  b.u64(params_.max_reorder_records);
+  b.u64(params_.max_members);
+  b.u64(params_.max_window_samples);
+  b.u64(space_idx_);
+  const std::vector<std::uint8_t> bytes = b.take();
+  return fnv64({bytes.data(), bytes.size()});
+}
+
+void StreamingDetector::save(const std::string& path) const {
+  state::SnapshotWriter writer(state::PayloadKind::kDetector,
+                               kDetectorPayloadVersion);
+  {
+    state::SectionBuilder b;
+    b.u64(config_hash());
+    // The raw knobs ride along for diagnostics (the hash alone cannot
+    // tell an operator *which* knob differs).
+    b.u32(params_.window_seconds);
+    b.f64(params_.min_spoofed_packets);
+    b.f64(params_.min_share);
+    b.u32(params_.cooldown_seconds);
+    b.u32(params_.reorder_skew_seconds);
+    b.u64(params_.max_reorder_records);
+    b.u64(params_.max_members);
+    b.u64(params_.max_window_samples);
+    b.u64(space_idx_);
+    writer.add_section(kSecConfig, b.take());
+  }
+  {
+    state::SectionBuilder b;
+    b.u32(watermark_);
+    b.u32(last_released_ts_);
+    b.u64(seq_);
+    b.u8(saw_any_ ? 1 : 0);
+    b.u8(released_any_ ? 1 : 0);
+    b.u64(processed_);
+    b.u64(health_.regressions);
+    b.u64(health_.late_drops);
+    b.u64(health_.forced_releases);
+    b.u64(health_.member_evictions);
+    b.u64(health_.sample_evictions);
+    b.u64(health_.max_reorder_depth);
+    b.u64(health_.max_window_depth);
+    writer.add_section(kSecStream, b.take());
+  }
+  {
+    std::vector<Asn> members;
+    members.reserve(windows_.size());
+    for (const auto& [member, w] : windows_) members.push_back(member);
+    std::sort(members.begin(), members.end());
+    state::SectionBuilder b;
+    b.u64(members.size());
+    for (const Asn member : members) {
+      const MemberWindow& w = windows_.at(member);
+      b.u32(member);
+      b.u32(w.last_alert_ts);
+      b.u32(w.last_seen_ts);
+      b.u8(w.alerted_once ? 1 : 0);
+      b.f64(w.spoofed);
+      b.f64(w.total);
+      for (const double c : w.per_class) b.f64(c);
+      b.u64(w.samples.size());
+      for (const Sample& s : w.samples) {
+        b.u32(s.ts);
+        b.u32(s.packets);
+        b.u8(static_cast<std::uint8_t>(s.cls));
+      }
+    }
+    writer.add_section(kSecWindows, b.take());
+  }
+  {
+    state::SectionBuilder b;
+    b.u64(pending_.size());
+    auto pq = pending_;  // pop order is the deterministic (ts, seq) order
+    while (!pq.empty()) {
+      const Pending& p = pq.top();
+      b.u64(p.seq);
+      b.u32(p.flow.ts);
+      b.u32(p.flow.src.value());
+      b.u32(p.flow.dst.value());
+      b.u8(static_cast<std::uint8_t>(p.flow.proto));
+      b.u16(p.flow.sport);
+      b.u16(p.flow.dport);
+      b.u32(p.flow.packets);
+      b.u64(p.flow.bytes);
+      b.u32(p.flow.member_in);
+      b.u32(p.flow.member_out);
+      pq.pop();
+    }
+    writer.add_section(kSecPending, b.take());
+  }
+  writer.write_atomic(path);
+}
+
+void StreamingDetector::reset_state() {
+  windows_.clear();
+  idle_index_.clear();
+  pending_ = decltype(pending_){};
+  watermark_ = 0;
+  last_released_ts_ = 0;
+  seq_ = 0;
+  saw_any_ = false;
+  released_any_ = false;
+  processed_ = 0;
+  health_ = {};
+}
+
+bool StreamingDetector::restore(const std::string& path,
+                                util::ErrorPolicy policy,
+                                util::IngestStats* stats) {
+  util::IngestStats own;
+  util::IngestStats& st = stats ? *stats : own;
+  const bool strict = policy == util::ErrorPolicy::kStrict;
+  try {
+    const net::MappedTrace file(path);
+    const state::SnapshotView snap = state::parse_snapshot(
+        file.bytes(), state::PayloadKind::kDetector, kDetectorPayloadVersion);
+
+    {
+      state::SectionReader r(snap.section(kSecConfig));
+      if (r.u64() != config_hash()) {
+        corrupt("checkpoint was taken under a different configuration");
+      }
+    }
+
+    reset_state();
+    {
+      state::SectionReader r(snap.section(kSecStream));
+      watermark_ = r.u32();
+      last_released_ts_ = r.u32();
+      seq_ = r.u64();
+      saw_any_ = r.u8() != 0;
+      released_any_ = r.u8() != 0;
+      processed_ = r.u64();
+      health_.regressions = r.u64();
+      health_.late_drops = r.u64();
+      health_.forced_releases = r.u64();
+      health_.member_evictions = r.u64();
+      health_.sample_evictions = r.u64();
+      health_.max_reorder_depth = r.u64();
+      health_.max_window_depth = r.u64();
+      if (r.remaining() != 0) corrupt("trailing bytes in stream section");
+    }
+    {
+      state::SectionReader r(snap.section(kSecWindows));
+      const std::uint64_t count = r.u64();
+      windows_.reserve(count);
+      Asn prev = 0;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const Asn member = r.u32();
+        if (i > 0 && member <= prev) corrupt("windows out of order");
+        prev = member;
+        MemberWindow w;
+        w.last_alert_ts = r.u32();
+        w.last_seen_ts = r.u32();
+        w.alerted_once = r.u8() != 0;
+        w.spoofed = r.f64();
+        w.total = r.f64();
+        for (double& c : w.per_class) c = r.f64();
+        const std::uint64_t nsamples = r.u64();
+        for (std::uint64_t j = 0; j < nsamples; ++j) {
+          Sample s;
+          s.ts = r.u32();
+          s.packets = r.u32();
+          const std::uint8_t cls = r.u8();
+          if (cls >= kNumClasses) corrupt("sample class out of range");
+          s.cls = static_cast<TrafficClass>(cls);
+          w.samples.push_back(s);
+        }
+        if (params_.max_members != 0) {
+          idle_index_.insert({w.last_seen_ts, member});
+        }
+        windows_.emplace(member, std::move(w));
+      }
+      if (r.remaining() != 0) corrupt("trailing bytes in windows section");
+    }
+    {
+      state::SectionReader r(snap.section(kSecPending));
+      const std::uint64_t count = r.u64();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        Pending p;
+        p.seq = r.u64();
+        p.flow.ts = r.u32();
+        p.flow.src = net::Ipv4Addr(r.u32());
+        p.flow.dst = net::Ipv4Addr(r.u32());
+        p.flow.proto = static_cast<net::Proto>(r.u8());
+        p.flow.sport = r.u16();
+        p.flow.dport = r.u16();
+        p.flow.packets = r.u32();
+        p.flow.bytes = r.u64();
+        p.flow.member_in = r.u32();
+        p.flow.member_out = r.u32();
+        pending_.push(std::move(p));
+      }
+      if (r.remaining() != 0) corrupt("trailing bytes in pending section");
+    }
+    st.ok();
+    return true;
+  } catch (const state::SnapshotError& e) {
+    if (strict) throw;
+    st.skip(e.kind(), 0);
+    reset_state();
+    return false;
+  } catch (const std::runtime_error&) {
+    // MappedTrace open/read failure (missing or unreadable file).
+    if (strict) throw;
+    st.skip(util::ErrorKind::kTruncated, 0);
+    reset_state();
+    return false;
+  }
+}
+
+}  // namespace spoofscope::classify

@@ -254,6 +254,176 @@ TEST(CliSmoke, DetectAlertsIdenticalOnBothEngines) {
   EXPECT_EQ(alerts[0], alerts[1]);
 }
 
+/// First line of `out` starting with `prefix` (empty if none).
+std::string line_with(const std::string& out, const std::string& prefix) {
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind(prefix, 0) == 0) return line;
+  }
+  return {};
+}
+
+int count_lines_with(const std::string& out, const std::string& prefix) {
+  std::istringstream lines(out);
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind(prefix, 0) == 0) ++n;
+  }
+  return n;
+}
+
+TEST(CliSmoke, DetectCheckpointThenResumeReplaysNothing) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const fs::path ckpt = w.root / "detect.ckpt";
+  const std::string base = "detect --mrt " + w.mrt() + " --trace " +
+                           w.trace() + " --window 1800 --skew 60" +
+                           " --checkpoint " + ckpt.string();
+
+  const auto first = run_cli(base + " --checkpoint-every 5000", w.log);
+  ASSERT_EQ(first.exit_code, 0) << first.output;
+  EXPECT_TRUE(fs::exists(ckpt));
+  const int alerts = count_lines_with(first.output, "alert:");
+  EXPECT_GT(alerts, 0);
+  const std::string health = line_with(first.output, "health:");
+  ASSERT_FALSE(health.empty());
+
+  // The checkpoint covers the whole stream, so a resumed run restores,
+  // fast-forwards past every record, raises no new alert, and reports
+  // the exact same health counters.
+  const auto resumed = run_cli(base + " --resume", w.log);
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find("resume: restored detector state"),
+            std::string::npos)
+      << resumed.output;
+  EXPECT_EQ(count_lines_with(resumed.output, "alert:"), 0) << resumed.output;
+  EXPECT_EQ(line_with(resumed.output, "health:"), health);
+  // Same flows/members; the alert count in the summary is per-run (0
+  // new ones after the restore point).
+  const std::string first_detect = line_with(first.output, "detect:");
+  const std::string prefix = first_detect.substr(0, first_detect.find(" members,") + 9);
+  EXPECT_EQ(line_with(resumed.output, "detect:").rfind(prefix, 0), 0u)
+      << resumed.output;
+  EXPECT_NE(line_with(resumed.output, "detect:").find(" 0 alerts"),
+            std::string::npos)
+      << resumed.output;
+}
+
+TEST(CliSmoke, CorruptCheckpointStrictFailsSkipStartsFresh) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const fs::path ckpt = w.root / "damaged.ckpt";
+  const std::string base = "detect --mrt " + w.mrt() + " --trace " +
+                           w.trace() + " --window 1800 --checkpoint " +
+                           ckpt.string();
+  const auto clean = run_cli(
+      "detect --mrt " + w.mrt() + " --trace " + w.trace() + " --window 1800",
+      w.log);
+  ASSERT_EQ(clean.exit_code, 0);
+
+  const auto first = run_cli(base, w.log);
+  ASSERT_EQ(first.exit_code, 0) << first.output;
+  std::string bytes = slurp(ckpt);
+  ASSERT_GT(bytes.size(), 100u);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  {
+    std::ofstream out(ckpt, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  const auto strict = run_cli(base + " --resume", w.log);
+  EXPECT_EQ(strict.exit_code, 1);
+  EXPECT_NE(strict.output.find("error:"), std::string::npos) << strict.output;
+
+  const auto skip = run_cli(base + " --resume --on-error skip", w.log);
+  ASSERT_EQ(skip.exit_code, 0) << skip.output;
+  EXPECT_NE(skip.output.find("resume: checkpoint unusable, starting fresh"),
+            std::string::npos)
+      << skip.output;
+  // Fresh start over the full stream: same alerts and health as a run
+  // that never had a checkpoint.
+  EXPECT_EQ(count_lines_with(skip.output, "alert:"),
+            count_lines_with(clean.output, "alert:"));
+  EXPECT_EQ(line_with(skip.output, "health:"),
+            line_with(clean.output, "health:"));
+}
+
+TEST(CliSmoke, PlaneCacheMissThenHitProducesIdenticalLabels) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const fs::path cache = w.root / "plane-cache";
+  const fs::path miss_csv = w.root / "labels-cache-miss.csv";
+  const fs::path hit_csv = w.root / "labels-cache-hit.csv";
+  const std::string base = "classify --mrt " + w.mrt() + " --trace " +
+                           w.trace() + " --engine flat --plane-cache " +
+                           cache.string() + " --labels ";
+
+  const auto miss = run_cli(base + miss_csv.string(), w.log);
+  ASSERT_EQ(miss.exit_code, 0) << miss.output;
+  EXPECT_NE(miss.output.find("plane-cache: miss (compiled and stored)"),
+            std::string::npos)
+      << miss.output;
+
+  const auto hit = run_cli(base + hit_csv.string(), w.log);
+  ASSERT_EQ(hit.exit_code, 0) << hit.output;
+  EXPECT_NE(hit.output.find("plane-cache: hit"), std::string::npos)
+      << hit.output;
+
+  const std::string a = slurp(miss_csv);
+  const std::string b = slurp(hit_csv);
+  ASSERT_GT(a.size(), 100u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CliSmoke, PlaneCacheRequiresFlatEngine) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const auto r = run_cli("classify --mrt " + w.mrt() + " --trace " +
+                             w.trace() + " --plane-cache " +
+                             (w.root / "pc").string(),
+                         w.log);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--plane-cache requires --engine flat"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliSmoke, DetectStrictAbortStillEmitsHealthCheckpointAndStats) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  // Flip a bit inside the record region so strict ingest aborts partway.
+  const fs::path bad = w.root / "detect-corrupt.trace";
+  std::string bytes = slurp(w.trace());
+  ASSERT_GT(bytes.size(), 5000u);
+  bytes[5000] = static_cast<char>(bytes[5000] ^ 0x10);
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out << bytes;
+  }
+  const fs::path json_path = w.root / "abort-stats.json";
+  const fs::path ckpt = w.root / "abort.ckpt";
+  const auto r = run_cli("detect --mrt " + w.mrt() + " --trace " +
+                             bad.string() + " --window 1800 --stats-json " +
+                             json_path.string() + " --checkpoint " +
+                             ckpt.string(),
+                         w.log);
+  // The abort still fails the run...
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error:"), std::string::npos) << r.output;
+  // ...but the partial detector state is not swallowed: the health line
+  // prints, the last-consistent checkpoint lands, and the stats JSON
+  // carries the detector section.
+  EXPECT_NE(r.output.find("health:"), std::string::npos) << r.output;
+  EXPECT_NE(line_with(r.output, "detect:"), "") << r.output;
+  EXPECT_TRUE(fs::exists(ckpt));
+  const std::string json = slurp(json_path);
+  EXPECT_NE(json.find("\"detector\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"path\":\"" + bad.string() + "\""), std::string::npos)
+      << json;
+}
+
 TEST(CliSmoke, UnwritableLabelsPathFails) {
   auto& w = cli_world();
   ASSERT_TRUE(w.generated);

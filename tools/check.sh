@@ -4,12 +4,15 @@
 #   2. ThreadSanitizer build, running the concurrency-sensitive suites
 #      (the parallel engine oracles including the flat/trie and batch
 #      differentials, the thread pool, the streaming detector and the
-#      corruption differential suite, which classifies on a shared pool)
-#   3. AddressSanitizer build, same suites plus the trie/interval code
-#      and the byte-level corruption/resync and batch-decode paths
+#      corruption differential suite, which classifies on a shared pool,
+#      and the state suites, which resume/compile across thread counts)
+#   3. AddressSanitizer build, same suites plus the trie/interval code,
+#      the byte-level corruption/resync and batch-decode paths, and the
+#      snapshot container + checkpoint/plane-cache fuzz suites
 #   4. UndefinedBehaviorSanitizer build over the parser fuzz and
 #      robustness suites (the code that chews on hostile bytes),
-#      including the mmap/batch reader differential
+#      including the mmap/batch reader differential and the snapshot
+#      parser, which reinterprets mapped cache entries
 #
 # Usage: tools/check.sh
 set -euo pipefail
@@ -40,6 +43,8 @@ TSAN_SUITES=(
   robustness_differential_test
   util_thread_pool_test
   scenario_multiseed_test
+  state_resume_test
+  state_plane_cache_test
 )
 
 echo "=== ThreadSanitizer: parallel + flat/trie differential suites ==="
@@ -59,6 +64,9 @@ ASAN_SUITES=(
   robustness_differential_test
   classify_streaming_degraded_test
   net_trace_batch_test
+  state_snapshot_test
+  state_resume_test
+  state_plane_cache_test
 )
 
 echo "=== AddressSanitizer: classification + trie + corruption suites ==="
@@ -75,6 +83,8 @@ UBSAN_SUITES=(
   net_trace_batch_test
   bgp_mrt_lite_test
   data_rpsl_test
+  state_snapshot_test
+  state_plane_cache_test
 )
 
 echo "=== UndefinedBehaviorSanitizer: parser + robustness suites ==="

@@ -22,9 +22,14 @@
 //
 //   spoofscope detect --mrt FILE[,FILE...] --trace FILE [--rpsl FILE]
 //              [--window SECONDS] [--skew SECONDS]
+//              [--checkpoint PATH [--checkpoint-every N] [--resume]]
 //       Streaming detection: feed the trace through the online
 //       StreamingDetector batch-at-a-time and print every alert plus the
-//       detector health counters.
+//       detector health counters. --checkpoint persists the detector
+//       state (crash-safe atomic snapshot) every N processed flows and
+//       at end of stream; --resume restores it first and skips the
+//       already-processed records, so a killed run continues with
+//       bit-identical alerts and health.
 //
 // All readers honour --on-error strict|skip: strict (default) fails on
 // the first malformed record; skip quarantines bad records, prints an
@@ -33,7 +38,11 @@
 // (net::FlowBatch), so classify never materializes the whole trace in
 // memory and never copies record bytes. --stats-json PATH writes the
 // per-source IngestStats (and, for detect, the DetectorHealth) as JSON
-// for monitoring pipelines.
+// for monitoring pipelines. Under --engine flat, --plane-cache DIR
+// serves the compiled classification plane from a digest-validated
+// mmap'd snapshot when one matches the routing view and valid spaces,
+// compiling (and storing) only on a miss.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -61,6 +70,7 @@
 #include "net/mapped_trace.hpp"
 #include "net/trace.hpp"
 #include "scenario/scenario.hpp"
+#include "state/plane_cache.hpp"
 #include "topo/serialize.hpp"
 #include "util/error_policy.hpp"
 #include "util/format.hpp"
@@ -85,15 +95,19 @@ constexpr std::size_t kChunkFlows = 1u << 17;
       "  spoofscope classify --mrt FILES --trace FILE [--rpsl FILE]\n"
       "                      [--method naive|cc|cc+org|full|full+org]\n"
       "                      [--labels OUT.csv] [--threads N]\n"
-      "                      [--engine trie|flat] [--on-error strict|skip]\n"
-      "                      [--stats-json PATH]\n"
+      "                      [--engine trie|flat] [--plane-cache DIR]\n"
+      "                      [--on-error strict|skip] [--stats-json PATH]\n"
       "  spoofscope report   --mrt FILES --trace FILE [--rpsl FILE]\n"
       "                      [--threads N] [--engine trie|flat]\n"
+      "                      [--plane-cache DIR]\n"
       "                      [--on-error strict|skip] [--stats-json PATH]\n"
       "  spoofscope detect   --mrt FILES --trace FILE [--rpsl FILE]\n"
       "                      [--method naive|cc|cc+org|full|full+org]\n"
       "                      [--window SECONDS] [--skew SECONDS]\n"
       "                      [--threads N] [--engine trie|flat]\n"
+      "                      [--plane-cache DIR]\n"
+      "                      [--checkpoint PATH] [--checkpoint-every N]\n"
+      "                      [--resume]\n"
       "                      [--on-error strict|skip] [--stats-json PATH]\n"
       "\n"
       "--threads N runs valid-space construction and classification on N\n"
@@ -106,7 +120,15 @@ constexpr std::size_t kChunkFlows = 1u << 17;
       "corrupt trace records instead of aborting, prints an ingest report\n"
       "and analyses the surviving records (default: strict).\n"
       "--stats-json PATH writes per-source ingest statistics (and, for\n"
-      "detect, the detector health counters) as JSON.\n";
+      "detect, the detector health counters) as JSON.\n"
+      "--plane-cache DIR (flat engine) caches the compiled classification\n"
+      "plane on disk keyed by a digest of the routing view + valid spaces;\n"
+      "hits mmap the plane instead of recompiling.\n"
+      "--checkpoint PATH (detect) saves the detector state atomically\n"
+      "every --checkpoint-every N flows (and at end of stream); --resume\n"
+      "restores PATH first and skips the already-processed records, so a\n"
+      "restarted run produces the same alerts and health as an\n"
+      "uninterrupted one.\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -116,7 +138,7 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) 
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) usage("unexpected argument: " + key);
     key = key.substr(2);
-    if (key == "paper") {
+    if (key == "paper" || key == "resume") {
       flags[key] = "1";
     } else if (i + 1 < argc) {
       flags[key] = argv[++i];
@@ -315,12 +337,24 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
 
 /// First pass over the mapped trace: the distinct injecting members
 /// (needed to build valid spaces) without materializing the flows.
+/// A strict-mode throw mid-trace is deliberately swallowed here (after
+/// harvesting the partial batch): the members of the clean prefix are
+/// exactly the members the main ingest loop will see before it aborts
+/// at the same damage, and that loop owns the error reporting — so
+/// detect can still emit its health line and stats for the records that
+/// were delivered. Header validation stays loud (reader construction is
+/// outside the catch): an unusable trace aborts everything.
 std::vector<net::Asn> scan_members(const net::MappedTrace& trace,
                                    util::ErrorPolicy policy) {
   net::MappedTraceReader reader(trace, policy);
   net::FlowBatch batch;
   std::set<net::Asn> members;
-  while (reader.next_batch(batch, kChunkFlows) > 0) {
+  try {
+    while (reader.next_batch(batch, kChunkFlows) > 0) {
+      for (const net::Asn m : batch.member_in()) members.insert(m);
+      batch.clear();
+    }
+  } catch (const std::exception&) {
     for (const net::Asn m : batch.member_in()) members.insert(m);
   }
   return {members.begin(), members.end()};
@@ -368,9 +402,31 @@ void build_context(const std::map<std::string, std::string>& flags,
   }
 
   // The flat plane is compiled after the RPSL whitelist so the
-  // extend()ed spaces are baked in.
+  // extend()ed spaces are baked in. With --plane-cache the compile is
+  // replaced by a digest-validated mmap load whenever a matching
+  // snapshot exists (a stale or damaged entry recompiles under skip,
+  // throws under strict).
+  if (flags.count("plane-cache") && ctx.engine != classify::Engine::kFlat) {
+    usage("--plane-cache requires --engine flat");
+  }
   if (ctx.engine == classify::Engine::kFlat) {
-    ctx.flat.emplace(classify::FlatClassifier::compile(*ctx.classifier, pool));
+    if (flags.count("plane-cache")) {
+      state::PlaneCache cache(flags.at("plane-cache"));
+      util::IngestStats cache_stats;
+      auto loaded = cache.load_or_compile(*ctx.classifier, &pool, policy,
+                                          &cache_stats);
+      std::cout << "plane-cache: "
+                << (loaded.hit ? "hit" : "miss (compiled and stored)") << " "
+                << cache.entry_path(state::classifier_digest(*ctx.classifier))
+                << "\n";
+      if (!cache_stats.clean()) {
+        print_ingest(flags.at("plane-cache"), cache_stats);
+      }
+      sources.emplace_back(flags.at("plane-cache"), cache_stats);
+      ctx.flat.emplace(std::move(loaded.plane));
+    } else {
+      ctx.flat.emplace(classify::FlatClassifier::compile(*ctx.classifier, pool));
+    }
   }
 }
 
@@ -504,6 +560,37 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
       ctx.flat ? classify::StreamingDetector(*ctx.flat, 0, params)
                : classify::StreamingDetector(*ctx.classifier, 0, params);
 
+  const std::string ckpt =
+      flags.count("checkpoint") ? flags.at("checkpoint") : std::string();
+  const std::uint64_t ckpt_every = u64_flag(flags, "checkpoint-every", 0);
+  const bool resume = flags.count("resume") != 0;
+  if (ckpt.empty() && (ckpt_every != 0 || resume)) {
+    usage("--checkpoint-every/--resume require --checkpoint");
+  }
+
+  // Resuming restores the detector then fast-forwards the trace past
+  // the flows the checkpoint already processed. Skip-mode survivor
+  // selection is a pure function of the input bytes, so the records
+  // skipped here are exactly the records the checkpointed run ingested.
+  std::uint64_t skip_records = 0;
+  if (resume) {
+    if (std::filesystem::exists(ckpt)) {
+      util::IngestStats ckpt_stats;
+      if (detector.restore(ckpt, policy, &ckpt_stats)) {
+        skip_records = detector.processed();
+        std::cout << "resume: restored detector state (" << skip_records
+                  << " flows processed) from " << ckpt << "\n";
+      } else {
+        std::cout << "resume: checkpoint unusable, starting fresh\n";
+      }
+      if (!ckpt_stats.clean()) print_ingest(ckpt, ckpt_stats);
+      sources.emplace_back(ckpt, ckpt_stats);
+    } else {
+      std::cout << "resume: no checkpoint at " << ckpt
+                << ", starting fresh\n";
+    }
+  }
+
   std::uint64_t alert_count = 0;
   const auto on_alert = [&alert_count](const classify::SpoofingAlert& a) {
     ++alert_count;
@@ -516,10 +603,54 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
   util::IngestStats trace_stats;
   net::MappedTraceReader reader(trace, policy, &trace_stats);
   net::FlowBatch batch;
-  while (reader.next_batch(batch, kChunkFlows) > 0) {
-    detector.ingest_batch(batch, on_alert);
+  std::uint64_t last_saved = detector.processed();
+  // An ingest abort (--on-error strict hitting damage) must not swallow
+  // the partial detector state: catch it, emit the health line, the
+  // checkpoint and the --stats-json report, then rethrow so the exit
+  // code and error: line are unchanged.
+  bool aborted = false;
+  std::string abort_reason;
+  try {
+    while (reader.next_batch(batch, kChunkFlows) > 0) {
+      std::size_t start = 0;
+      if (skip_records > 0) {
+        start = static_cast<std::size_t>(
+            std::min<std::uint64_t>(skip_records, batch.size()));
+        skip_records -= start;
+      }
+      if (start == 0) {
+        detector.ingest_batch(batch, on_alert);
+      } else {
+        for (std::size_t i = start; i < batch.size(); ++i) {
+          detector.ingest(batch.record(i), on_alert);
+        }
+      }
+      batch.clear();  // records not yet ingested stay visible to the catch
+      if (!ckpt.empty() && ckpt_every != 0 &&
+          detector.processed() - last_saved >= ckpt_every) {
+        detector.save(ckpt);
+        last_saved = detector.processed();
+      }
+    }
+    detector.flush(on_alert);
+  } catch (const std::exception& e) {
+    // A strict-mode throw mid-batch leaves the records decoded before
+    // the damage in the batch; ingest them so the reported state covers
+    // everything the reader actually delivered.
+    std::size_t start = 0;
+    if (skip_records > 0) {
+      start = static_cast<std::size_t>(
+          std::min<std::uint64_t>(skip_records, batch.size()));
+      skip_records -= start;
+    }
+    for (std::size_t i = start; i < batch.size(); ++i) {
+      detector.ingest(batch.record(i), on_alert);
+    }
+    aborted = true;
+    abort_reason = e.what();
   }
-  detector.flush(on_alert);
+  // The end-of-stream (or last-consistent-state) checkpoint.
+  if (!ckpt.empty()) detector.save(ckpt);
   if (!trace_stats.clean()) print_ingest(trace_path, trace_stats);
   sources.emplace_back(trace_path, trace_stats);
 
@@ -541,6 +672,7 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
     write_stats_json(flags.at("stats-json"), sources, &health);
     std::cout << "stats written to " << flags.at("stats-json") << "\n";
   }
+  if (aborted) throw std::runtime_error(abort_reason);
   return 0;
 }
 
