@@ -3,11 +3,19 @@
 // SCC-bitset cones vs naive per-node DFS.
 #include "bench/common.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <queue>
 #include <sstream>
+#include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+#include "analysis/streaming.hpp"
 #include "asgraph/full_cone.hpp"
 #include "bgp/simulator.hpp"
 #include "classify/flat_classifier.hpp"
@@ -392,6 +400,112 @@ void BM_EndToEndTraceClassificationPerRecordTrie(benchmark::State& state) {
                           static_cast<std::int64_t>(w.trace().flows.size()));
 }
 BENCHMARK(BM_EndToEndTraceClassificationPerRecordTrie)
+    ->Unit(benchmark::kMillisecond);
+
+// --- streaming report: throughput + constant-memory evidence -----------------
+
+/// Process-lifetime peak resident set in KiB (getrusage; ru_maxrss is
+/// KiB on Linux, bytes on macOS). 0 where getrusage is unavailable.
+long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  ::getrusage(RUSAGE_SELF, &ru);
+#ifdef __APPLE__
+  return static_cast<long>(ru.ru_maxrss / 1024);
+#else
+  return static_cast<long>(ru.ru_maxrss);
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Current resident set in KiB (Linux /proc/self/statm; 0 elsewhere).
+/// Unlike peak_rss_kb this can shrink, so deltas around a bench loop
+/// measure the memory the loop actually retained.
+long current_rss_kb() {
+#if defined(__linux__)
+  std::ifstream in("/proc/self/statm");
+  long pages_total = 0;
+  long pages_resident = 0;
+  in >> pages_total >> pages_resident;
+  return pages_resident * (::sysconf(_SC_PAGESIZE) / 1024);
+#else
+  return 0;
+#endif
+}
+
+/// Writes the bench trace repeated `mult` times as one valid v2 trace
+/// file and returns its path. Built at the byte level — header patched
+/// to declare mult x records, record bytes written mult times — so a
+/// 10x trace never materializes 10x flows in RAM (which would pollute
+/// the peak-RSS measurement this file exists for).
+std::filesystem::path multiplied_trace_file(int mult) {
+  const auto path =
+      std::filesystem::temp_directory_path() /
+      ("spoofscope-bench-report-" + std::to_string(mult) + "x.trace");
+  std::ostringstream buf;
+  net::write_trace(buf, world().trace());
+  const std::string bytes = buf.str();
+  std::string header = bytes.substr(0, net::format::kHeaderSizeV2);
+  auto* h = reinterpret_cast<std::uint8_t*>(header.data());
+  net::format::put_u64(
+      h + 24, static_cast<std::uint64_t>(world().trace().flows.size()) *
+                  static_cast<std::uint64_t>(mult));
+  net::format::put_u32(h + net::format::kHeaderBody,
+                       net::format::fnv1a32(h, net::format::kHeaderBody));
+  std::ofstream out(path, std::ios::binary);
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  for (int i = 0; i < mult; ++i) {
+    out.write(bytes.data() + header.size(),
+              static_cast<std::streamsize>(bytes.size() - header.size()));
+  }
+  if (!out) throw std::runtime_error("bench: cannot write " + path.string());
+  return path;
+}
+
+void BM_ReportStreaming(benchmark::State& state) {
+  // The full `spoofscope report` data path: mmapped trace -> batched
+  // decode -> flat classification -> all streaming analysis builders
+  // (production caps), with consumed pages released as the pass
+  // advances. Arg is the trace-length multiplier; the rss counters are
+  // the machine-checked constant-memory evidence (growth must not
+  // scale with trace_mult).
+  const int mult = static_cast<int>(state.range(0));
+  const auto path = multiplied_trace_file(mult);
+  const auto& flat = flat_world();
+  const std::size_t spaces = world().classifier().space_count();
+  std::int64_t records = 0;
+  const long rss_before = current_rss_kb();
+  for (auto _ : state) {
+    net::MappedTrace trace(path.string());
+    net::MappedTraceReader reader(trace);
+    analysis::ReportOptions opts;
+    opts.limits = analysis::ReportLimits::production();
+    analysis::StreamingReport report(spaces, opts);
+    net::FlowBatch batch;
+    std::vector<classify::Label> labels;
+    while (reader.next_batch(batch, 8192) > 0) {
+      labels.resize(batch.size());
+      flat.classify_batch(batch, labels);
+      report.add(batch, labels);
+      reader.drop_consumed();
+      records += static_cast<std::int64_t>(batch.size());
+    }
+    auto result = report.finish();
+    benchmark::DoNotOptimize(result.aggregate.total_flows);
+  }
+  state.counters["peak_rss_kb"] =
+      benchmark::Counter(static_cast<double>(peak_rss_kb()));
+  state.counters["rss_growth_kb"] = benchmark::Counter(
+      static_cast<double>(std::max(0L, current_rss_kb() - rss_before)));
+  state.SetItemsProcessed(records);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_ReportStreaming)
+    ->ArgName("trace_mult")
+    ->Arg(1)
+    ->Arg(10)
     ->Unit(benchmark::kMillisecond);
 
 // --- durable state plane -----------------------------------------------------

@@ -1,0 +1,451 @@
+// Bounded-memory streaming analysis builders — the report-side twin of
+// classify::AggregateBuilder (DESIGN.md §12). Every analysis the
+// `report` command computes (member stats, Venn, filtering strategies,
+// port mix, traffic characteristics, attack patterns, NTP amplification,
+// incidents, Table 1 aggregates) gains an incremental builder with an
+// `add(batch, labels)` / `finish()` shape, fed straight from
+// net::MappedTrace + net::FlowBatch lanes. State is bounded:
+//
+//  - per-key accumulators (members, destinations, victims, amplifier
+//    sets, incident clusters) live in BoundedTable, which applies the
+//    same deterministic LRU discipline StreamingDetector uses for
+//    member windows: at the cap, the least-recently-touched entry is
+//    evicted (ties: smallest key), and every eviction is counted;
+//  - distribution summaries (packet-size CDFs) use the mergeable
+//    util::QuantileSketch instead of materialized sample vectors;
+//  - time series bins are fixed by the window length (or grow with the
+//    observed timestamps — O(duration / bin), not O(flows)).
+//
+// Determinism contract: every builder is a pure function of the record
+// sequence it was fed — no hash-order or wall-clock dependence — so
+// results are bit-identical regardless of where batch boundaries fall,
+// and finish() may be called mid-stream (the builder stays usable).
+// With unbounded limits (the default), every exact analysis reproduces
+// the retained in-memory oracle functions bit-identically; sketched
+// quantiles carry a pinned rank-error bound. merge() folds another
+// builder in; because all exact accumulations are order-free integer
+// sums, a chunk-order merge reduction equals the sequential pass
+// bit-identically for everything but the sketches (which stay within
+// their combined error bound). tests/analysis_streaming_oracle_test.cpp
+// pins all of this differentially.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/attack_patterns.hpp"
+#include "analysis/filtering_strategy.hpp"
+#include "analysis/incidents.hpp"
+#include "analysis/member_stats.hpp"
+#include "analysis/portmix.hpp"
+#include "analysis/traffic_char.hpp"
+#include "analysis/venn.hpp"
+#include "classify/pipeline.hpp"
+#include "net/flow_batch.hpp"
+#include "util/stats.hpp"
+
+namespace spoofscope::analysis {
+
+/// Deterministic bounded key->value accumulator table. Mirrors the
+/// StreamingDetector member-window discipline: admitting a new key at
+/// the cap evicts the least-recently-touched entry (recency is a
+/// logical sequence number — a pure function of the touch sequence —
+/// with ties broken towards the smallest key), and evictions are
+/// counted so degraded results are visible rather than silent.
+/// max_entries == 0 means unbounded (the oracle-exact configuration).
+template <typename Key, typename Value>
+class BoundedTable {
+ public:
+  BoundedTable() = default;  // unbounded; non-explicit so Value types
+                             // holding a table aggregate-initialize
+  explicit BoundedTable(std::size_t max_entries)
+      : max_entries_(max_entries) {}
+
+  /// The entry for `key`, created (default-constructed) if absent,
+  /// marked most-recently-used either way. May evict another entry.
+  Value& touch(const Key& key) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      recency_.erase({it->second.last_touch, key});
+      it->second.last_touch = ++seq_;
+      recency_.insert({it->second.last_touch, key});
+      return it->second.value;
+    }
+    if (max_entries_ != 0 && entries_.size() >= max_entries_) {
+      const auto victim = *recency_.begin();
+      recency_.erase(recency_.begin());
+      entries_.erase(victim.second);
+      ++evictions_;
+    }
+    Entry fresh;
+    fresh.last_touch = ++seq_;
+    const auto ins = entries_.emplace(key, std::move(fresh)).first;
+    recency_.insert({ins->second.last_touch, key});
+    return ins->second.value;
+  }
+
+  const Value* find(const Key& key) const {
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second.value;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t cap() const { return max_entries_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Re-caps the table; shrinking below the current size evicts the
+  /// least-recently-touched entries immediately.
+  void set_cap(std::size_t max_entries) {
+    max_entries_ = max_entries;
+    while (max_entries_ != 0 && entries_.size() > max_entries_) {
+      const auto victim = *recency_.begin();
+      recency_.erase(recency_.begin());
+      entries_.erase(victim.second);
+      ++evictions_;
+    }
+  }
+
+  /// Keys in ascending order — the deterministic iteration order every
+  /// finish() uses.
+  std::vector<Key> sorted_keys() const {
+    std::vector<Key> keys;
+    keys.reserve(entries_.size());
+    for (const auto& [k, e] : entries_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  /// Folds `other` into this table in ascending key order; `fold(ours,
+  /// theirs)` combines values for keys present on both sides.
+  template <typename Fold>
+  void merge(const BoundedTable& other, Fold&& fold) {
+    evictions_ += other.evictions_;
+    for (const Key& k : other.sorted_keys()) {
+      fold(touch(k), *other.find(k));
+    }
+  }
+
+ private:
+  struct Entry {
+    Value value{};  // value-initialize: Value may be a bare scalar
+    std::uint64_t last_touch = 0;
+  };
+  std::size_t max_entries_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::unordered_map<Key, Entry> entries_;
+  std::set<std::pair<std::uint64_t, Key>> recency_;
+};
+
+/// State caps for one streaming report. 0 = unbounded. unbounded() is
+/// the differential-test configuration (bit-identical to the oracle);
+/// production() bounds every table so peak memory is independent of
+/// trace length even under adversarial traffic.
+struct ReportLimits {
+  std::size_t max_members = 0;
+  std::size_t max_destinations = 0;             ///< src-ratio dst table, per class
+  std::size_t max_sources_per_destination = 0;  ///< distinct-src sets
+  std::size_t max_victims = 0;                  ///< NTP reflection victims
+  std::size_t max_amplifiers_per_victim = 0;
+  std::size_t max_amplifiers = 0;               ///< distinct amplifier set
+  std::size_t max_pairs = 0;                    ///< (victim, amplifier) pairs
+  std::size_t max_clusters = 0;                 ///< incident clusters per table
+  std::size_t max_counterparts_per_cluster = 0;
+  std::size_t sketch_k = 256;                   ///< QuantileSketch accuracy knob
+
+  static ReportLimits unbounded() { return {}; }
+  static ReportLimits production();
+};
+
+// ---------------------------------------------------------------- members
+
+/// Streaming twin of per_member_counts(): per-member class counters
+/// under one inference method. finish() returns members in ascending
+/// ASN order, exactly like the oracle.
+class MemberStatsBuilder {
+ public:
+  explicit MemberStatsBuilder(std::size_t space_idx = 0,
+                              const ixp::Ixp* ixp = nullptr,
+                              std::size_t max_members = 0)
+      : space_idx_(space_idx), ixp_(ixp), members_(max_members) {}
+
+  void add(const net::FlowBatch& batch, std::span<const Label> labels);
+  void merge(const MemberStatsBuilder& other);
+  std::vector<MemberClassCounts> finish() const;
+
+  std::size_t tracked() const { return members_.size(); }
+  std::uint64_t evictions() const { return members_.evictions(); }
+
+ private:
+  std::size_t space_idx_;
+  const ixp::Ixp* ixp_;
+  BoundedTable<Asn, MemberClassCounts> members_;
+};
+
+// ------------------------------------------------------------------- venn
+
+/// Streaming twin of venn_membership(): three contribution bits per
+/// member instead of full counters.
+class VennBuilder {
+ public:
+  explicit VennBuilder(std::size_t space_idx = 0, std::size_t max_members = 0)
+      : space_idx_(space_idx), members_(max_members) {}
+
+  void add(const net::FlowBatch& batch, std::span<const Label> labels);
+  void merge(const VennBuilder& other);
+  VennCounts finish() const;
+
+  std::uint64_t evictions() const { return members_.evictions(); }
+
+ private:
+  std::size_t space_idx_;
+  BoundedTable<Asn, std::uint8_t> members_;  ///< bit c set: contributes class c
+};
+
+// --------------------------------------------------------------- port mix
+
+/// Streaming twin of port_mix(). State is inherently bounded (six
+/// tracked ports plus "other", per class x transport x direction).
+class PortMixBuilder {
+ public:
+  explicit PortMixBuilder(std::size_t space_idx = 0) : space_idx_(space_idx) {}
+
+  void add(const net::FlowBatch& batch, std::span<const Label> labels);
+  void merge(const PortMixBuilder& other);
+  PortMix finish() const;
+
+ private:
+  std::size_t space_idx_;
+  std::map<std::uint16_t, double> counts_[kNumClasses][2][2];
+  double totals_[kNumClasses][2][2] = {};
+};
+
+// ----------------------------------------------------- traffic character
+
+/// Streaming traffic-characteristics summary (Fig 8): per-class
+/// packet-size distributions as quantile sketches, small-packet
+/// fractions and the class time series.
+struct TrafficCharSummary {
+  ClassTimeSeries series;
+  std::array<double, kNumClasses> small_packet_fraction{};
+  std::array<util::QuantileSketch, kNumClasses> size_sketch;
+};
+
+class TrafficCharBuilder {
+ public:
+  /// window_seconds == 0: the series grows with the observed
+  /// timestamps; > 0: fixed bins with the oracle's last-bin clamp.
+  explicit TrafficCharBuilder(std::size_t space_idx = 0,
+                              std::uint32_t window_seconds = 0,
+                              std::uint32_t bin_seconds = 3600,
+                              std::size_t sketch_k = 256,
+                              double small_threshold = 60.0);
+
+  void add(const net::FlowBatch& batch, std::span<const Label> labels);
+  void merge(const TrafficCharBuilder& other);
+  TrafficCharSummary finish() const;
+
+  const util::QuantileSketch& size_sketch(int cls) const {
+    return sketches_[cls];
+  }
+
+ private:
+  std::size_t bin_of(std::uint32_t ts);
+
+  std::size_t space_idx_;
+  std::uint32_t window_seconds_;
+  std::uint32_t bin_seconds_;
+  double small_threshold_;
+  std::array<util::QuantileSketch, kNumClasses> sketches_;
+  double small_[kNumClasses] = {};
+  double total_[kNumClasses] = {};
+  std::array<std::vector<double>, kNumClasses> series_;
+};
+
+// --------------------------------------------------------- attack patterns
+
+/// Streaming twin of src_per_dst_ratio() + analyze_ntp(): per-dst
+/// source-uniqueness state and the NTP amplification aggregation, all
+/// behind bounded tables.
+class AttackPatternsBuilder {
+ public:
+  explicit AttackPatternsBuilder(std::size_t space_idx = 0,
+                                 const ReportLimits& limits = {});
+
+  void add(const net::FlowBatch& batch, std::span<const Label> labels);
+  void merge(const AttackPatternsBuilder& other);
+
+  SrcRatioHistogram ratio(std::uint32_t min_sampled_packets = 50,
+                          std::size_t bins = 10) const;
+  NtpAnalysis ntp(std::size_t top_victims = 10) const;
+
+  std::uint64_t evictions() const;
+
+ private:
+  struct DstInfo {
+    std::uint64_t packets = 0;
+    BoundedTable<std::uint32_t, char> sources;
+  };
+  struct VictimAgg {
+    std::uint64_t packets = 0;
+    BoundedTable<std::uint32_t, std::uint64_t> per_amplifier;
+  };
+
+  std::size_t space_idx_;
+  ReportLimits limits_;
+  std::array<BoundedTable<std::uint32_t, DstInfo>, kNumClasses> by_dst_;
+  BoundedTable<std::uint32_t, VictimAgg> victims_;
+  BoundedTable<std::uint32_t, char> amplifiers_;
+  std::map<Asn, std::uint64_t> member_packets_;
+  std::uint64_t trigger_packets_ = 0;
+  double invalid_udp_ = 0;
+  double invalid_udp_ntp_ = 0;
+};
+
+// ------------------------------------------------------ amplification effect
+
+/// Streaming twin of amplification_effect(): accumulates per-pair
+/// time-binned volumes for every candidate (victim, amplifier) pair in
+/// a single pass and intersects trigger/response evidence at finish()
+/// — the oracle's two passes collapsed into one.
+class AmplificationBuilder {
+ public:
+  explicit AmplificationBuilder(std::size_t space_idx = 0,
+                                std::uint32_t window_seconds = 0,
+                                std::uint32_t bin_seconds = 3600,
+                                std::size_t max_pairs = 0);
+
+  void add(const net::FlowBatch& batch, std::span<const Label> labels);
+  void merge(const AmplificationBuilder& other);
+  AmplificationTimeseries finish() const;
+
+  std::uint64_t evictions() const { return pairs_.evictions(); }
+
+ private:
+  struct PairState {
+    bool trigger = false;   ///< Invalid UDP/123 towards the amplifier seen
+    bool response = false;  ///< UDP sport 123 back towards the victim seen
+    std::vector<double> to_packets, from_packets, to_bytes, from_bytes;
+    /// Flows with both ports NTP: direction resolved at finish() (the
+    /// oracle's else-if on pair qualification).
+    std::vector<double> dual_packets, dual_bytes;
+  };
+  std::size_t bin_of(std::uint32_t ts) const;
+
+  std::size_t space_idx_;
+  std::uint32_t window_seconds_;
+  std::uint32_t bin_seconds_;
+  BoundedTable<std::uint64_t, PairState> pairs_;
+};
+
+// -------------------------------------------------------------- incidents
+
+/// Streaming twin of extract_incidents(): flood clusters keyed by
+/// destination, amplification clusters keyed by trigger source.
+class IncidentsBuilder {
+ public:
+  explicit IncidentsBuilder(std::size_t space_idx = 0,
+                            IncidentParams params = {},
+                            std::size_t max_clusters = 0,
+                            std::size_t max_counterparts = 0);
+
+  void add(const net::FlowBatch& batch, std::span<const Label> labels);
+  void merge(const IncidentsBuilder& other);
+  std::vector<Incident> finish() const;
+
+  std::uint64_t evictions() const {
+    return by_dst_.evictions() + by_trigger_src_.evictions();
+  }
+
+ private:
+  struct ClusterState {
+    std::uint32_t start_ts = ~0u;
+    std::uint32_t end_ts = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    BoundedTable<std::uint32_t, char> counterparts;
+    std::set<Asn> members;
+  };
+
+  std::size_t space_idx_;
+  IncidentParams params_;
+  std::size_t max_counterparts_;
+  BoundedTable<std::uint32_t, ClusterState> by_dst_;
+  BoundedTable<std::uint32_t, ClusterState> by_trigger_src_;
+};
+
+// -------------------------------------------------------- the full report
+
+/// Everything `spoofscope report` computes, assembled by one streaming
+/// pass.
+struct ReportOptions {
+  std::size_t space_idx = 0;
+  std::uint32_t window_seconds = 0;  ///< 0: series bins grow with ts
+  std::uint32_t bin_seconds = 3600;
+  ReportLimits limits;               ///< default: unbounded (oracle-exact)
+  IncidentParams incident_params;
+  std::uint32_t ratio_min_packets = 50;
+  std::size_t ratio_bins = 10;
+  std::size_t top_victims = 10;
+  double small_packet_threshold = 60.0;
+  const ixp::Ixp* ixp = nullptr;     ///< member types (nullptr: kOther)
+};
+
+struct ReportResult {
+  classify::Aggregate aggregate;     ///< Table-1 totals, all spaces
+  std::vector<MemberClassCounts> member_counts;
+  VennCounts venn;
+  std::array<std::size_t, kNumStrategies> strategy_counts{};
+  PortMix ports;
+  TrafficCharSummary traffic;
+  SrcRatioHistogram src_ratio;
+  NtpAnalysis ntp;
+  AmplificationTimeseries amplification;
+  std::vector<Incident> incidents;
+  std::uint64_t flows = 0;
+  std::uint64_t evictions = 0;       ///< total across all bounded tables
+};
+
+class StreamingReport {
+ public:
+  explicit StreamingReport(std::size_t space_count, ReportOptions opts = {});
+
+  /// Accumulates one classified batch; labels[i] belongs to record i.
+  void add(const net::FlowBatch& batch, std::span<const classify::Label> labels);
+
+  /// Folds another report (same space count and options) into this one.
+  void merge(const StreamingReport& other);
+
+  /// Snapshot of the report so far; the builder stays usable.
+  ReportResult finish() const;
+
+  std::uint64_t flows() const { return flows_; }
+  std::uint64_t evictions() const;
+  const ReportOptions& options() const { return opts_; }
+
+ private:
+  ReportOptions opts_;
+  classify::AggregateBuilder aggregate_;
+  MemberStatsBuilder members_;
+  VennBuilder venn_;
+  PortMixBuilder ports_;
+  TrafficCharBuilder traffic_;
+  AttackPatternsBuilder attacks_;
+  AmplificationBuilder amplification_;
+  IncidentsBuilder incidents_;
+  std::uint64_t flows_ = 0;
+};
+
+/// Human-readable rendering of the full report (the CLI's analysis
+/// sections; the totals table is printed by the caller from
+/// ReportResult::aggregate).
+std::string format_report(const ReportResult& r, std::size_t top_incidents = 10);
+
+}  // namespace spoofscope::analysis

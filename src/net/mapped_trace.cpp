@@ -1,5 +1,6 @@
 #include "net/mapped_trace.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -84,6 +85,24 @@ MappedTrace MappedTrace::from_buffer(std::vector<std::uint8_t> bytes) {
   return t;
 }
 
+void MappedTrace::drop_pages(std::size_t begin, std::size_t end) const {
+#if defined(SPOOFSCOPE_HAVE_MMAP) && defined(MADV_DONTNEED)
+  if (map_ == nullptr) return;
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  // Align outward-safe: begin rounds down (re-advising an already
+  // released page is free; skipping a completed boundary page is a
+  // leak), end rounds down so no unconsumed byte loses its page.
+  begin &= ~(page - 1);
+  end = std::min(end, size_) & ~(page - 1);
+  if (begin >= end) return;
+  ::madvise(static_cast<std::uint8_t*>(map_) + begin, end - begin,
+            MADV_DONTNEED);
+#else
+  (void)begin;
+  (void)end;
+#endif
+}
+
 void MappedTrace::release() {
 #ifdef SPOOFSCOPE_HAVE_MMAP
   if (map_ != nullptr) ::munmap(map_, size_);
@@ -125,7 +144,7 @@ MappedTrace& MappedTrace::operator=(MappedTrace&& other) noexcept {
 MappedTraceReader::MappedTraceReader(const MappedTrace& trace,
                                      util::ErrorPolicy policy,
                                      util::IngestStats* stats)
-    : policy_(policy), stats_(stats ? stats : &own_stats_) {
+    : policy_(policy), trace_(&trace), stats_(stats ? stats : &own_stats_) {
   const std::span<const std::uint8_t> all = trace.bytes();
   const format::Header h = format::parse_header(all, policy_, *stats_);
   if (!h.ok) {
@@ -152,6 +171,16 @@ void MappedTraceReader::finish_if_exhausted(std::size_t got, std::size_t want) {
   rest_ = {};
   scanner_.finish(tail);  // throws in strict mode if records are owed
   done_ = true;
+}
+
+void MappedTraceReader::drop_consumed() {
+  // rest_ is the unconsumed suffix of the whole mapping (empty once the
+  // stream is finished), so the consumed prefix falls out by size.
+  const std::size_t consumed = trace_->bytes().size() - rest_.size();
+  if (consumed > dropped_) {
+    trace_->drop_pages(dropped_, consumed);
+    dropped_ = consumed;
+  }
 }
 
 std::optional<FlowRecord> MappedTraceReader::next() {

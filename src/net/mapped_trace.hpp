@@ -51,6 +51,14 @@ class MappedTrace {
   /// True when the bytes come from an actual mmap (false: heap buffer).
   bool mapped() const { return map_ != nullptr; }
 
+  /// Advises the kernel that every page fully contained in
+  /// [begin, end) will not be needed again, releasing its physical
+  /// memory — the discipline a single-pass reader uses to keep resident
+  /// set size independent of trace length. Purely advisory: the bytes
+  /// remain addressable (a later access refaults them from the file).
+  /// No-op for fallback buffers and on platforms without madvise.
+  void drop_pages(std::size_t begin, std::size_t end) const;
+
  private:
   MappedTrace() = default;
   void release();
@@ -86,12 +94,22 @@ class MappedTraceReader {
   /// means end of stream.
   std::size_t next_batch(FlowBatch& out, std::size_t max_records);
 
+  /// Releases the physical pages behind every byte this reader has
+  /// already consumed (MappedTrace::drop_pages of the consumed prefix,
+  /// tracked incrementally so repeated calls touch each page once).
+  /// Call between batches on a single-pass ingest to keep peak RSS
+  /// independent of trace length; safe at any point, including after
+  /// end of stream.
+  void drop_consumed();
+
   const util::IngestStats& stats() const { return *stats_; }
 
  private:
   void finish_if_exhausted(std::size_t got, std::size_t want);
 
   util::ErrorPolicy policy_;
+  const MappedTrace* trace_ = nullptr;
+  std::size_t dropped_ = 0;  ///< consumed-prefix bytes already released
   util::IngestStats own_stats_;
   util::IngestStats* stats_;
   TraceMeta meta_;

@@ -112,6 +112,108 @@ double LogHistogram::bin_lo(std::size_t i) const {
   return i == 0 ? 0.0 : std::pow(base_, static_cast<double>(i - 1));
 }
 
+QuantileSketch::QuantileSketch(std::size_t k) : k_(std::max<std::size_t>(k, 8)) {
+  if (k_ % 2 != 0) ++k_;
+  levels_.emplace_back();
+  parity_.push_back(0);
+}
+
+void QuantileSketch::add(double x, std::uint64_t weight) {
+  for (std::uint64_t i = 0; i < weight; ++i) {
+    levels_[0].push_back(x);
+    ++count_;
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      if (levels_[l].size() >= k_) compact(l);
+    }
+  }
+}
+
+void QuantileSketch::compact(std::size_t level) {
+  std::sort(levels_[level].begin(), levels_[level].end());
+  // Promote every other element of the sorted even-length prefix with
+  // doubled weight; an odd straggler (possible after merge) stays put.
+  const std::size_t pairs = levels_[level].size() / 2;
+  if (pairs == 0) return;
+  if (level + 1 >= levels_.size()) {
+    levels_.emplace_back();  // may reallocate levels_: take refs after
+    parity_.push_back(0);
+  }
+  auto& buf = levels_[level];
+  auto& up = levels_[level + 1];
+  const std::size_t offset = parity_[level];
+  parity_[level] ^= 1;
+  for (std::size_t i = 0; i < pairs; ++i) up.push_back(buf[2 * i + offset]);
+  if (buf.size() % 2 != 0) {
+    buf[0] = buf.back();
+    buf.resize(1);
+  } else {
+    buf.clear();
+  }
+  // Keeping one of each weight-w pair shifts any rank by at most w.
+  error_bound_ += std::uint64_t{1} << level;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.k_ != k_) {
+    throw std::invalid_argument("QuantileSketch::merge: mismatched k");
+  }
+  count_ += other.count_;
+  error_bound_ += other.error_bound_;
+  for (std::size_t l = 0; l < other.levels_.size(); ++l) {
+    if (l >= levels_.size()) {
+      levels_.emplace_back();
+      parity_.push_back(0);
+    }
+    levels_[l].insert(levels_[l].end(), other.levels_[l].begin(),
+                      other.levels_[l].end());
+  }
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    while (levels_[l].size() >= k_) compact(l);
+  }
+}
+
+std::vector<std::pair<double, std::uint64_t>> QuantileSketch::weighted() const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  out.reserve(retained());
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const std::uint64_t w = std::uint64_t{1} << l;
+    for (const double x : levels_[l]) out.emplace_back(x, w);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (exact()) return util::quantile(levels_[0], q);
+  q = std::clamp(q, 0.0, 1.0);
+  const auto items = weighted();
+  const double pos = q * static_cast<double>(count_ - 1);
+  std::uint64_t cum = 0;
+  for (const auto& [x, w] : items) {
+    if (static_cast<double>(cum + w) > pos) return x;
+    cum += w;
+  }
+  return items.back().first;
+}
+
+std::uint64_t QuantileSketch::rank(double x) const {
+  std::uint64_t r = 0;
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const std::uint64_t w = std::uint64_t{1} << l;
+    for (const double v : levels_[l]) {
+      if (v <= x) r += w;
+    }
+  }
+  return r;
+}
+
+std::size_t QuantileSketch::retained() const {
+  std::size_t n = 0;
+  for (const auto& level : levels_) n += level.size();
+  return n;
+}
+
 double pearson(std::span<const double> xs, std::span<const double> ys) {
   if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
   const Summary sx = summarize(xs);

@@ -83,6 +83,78 @@ class LogHistogram {
   std::vector<double> counts_;
 };
 
+/// Bounded-memory streaming quantile summary — the sketch behind the
+/// streaming analysis builders (DESIGN.md §12).
+///
+/// A deterministic multi-level compactor in the MRL/KLL family: samples
+/// land in a level-0 buffer of capacity `k`; a full level is sorted and
+/// every other element (alternating offset per level) is promoted with
+/// doubled weight. Everything is a pure function of the insertion
+/// sequence — no randomness, no hash order — so two runs over the same
+/// stream produce bit-identical summaries.
+///
+/// Guarantees:
+///  - Exact mode: while count() < exact_threshold() no compaction has
+///    happened and quantile() equals util::quantile() of the retained
+///    samples exactly.
+///  - Sketched mode: every rank estimate is within rank_error_bound()
+///    of the truth. The bound is maintained conservatively (each
+///    compaction of weight-w elements adds w), giving
+///    rank_error_bound() <= ~2·(count/k)·log2(count/k) — a fraction
+///    that shrinks as k grows and is pinned by the property tests.
+///  - Memory: retained() <= k · (log2(count/k) + 2) values, independent
+///    of the stream length for practical purposes.
+///  - merge() folds another sketch in (same k required); counts add,
+///    error bounds add, and all merged rank estimates stay within the
+///    combined bound regardless of merge grouping.
+class QuantileSketch {
+ public:
+  /// `k` is the per-level buffer capacity (rounded up to an even value,
+  /// minimum 8): larger k = smaller error, more memory.
+  explicit QuantileSketch(std::size_t k = 256);
+
+  /// Inserts one sample (weight folds `weight` identical samples in).
+  void add(double x, std::uint64_t weight = 1);
+
+  /// Folds `other` into this sketch. Throws std::invalid_argument if
+  /// the two sketches were built with different k.
+  void merge(const QuantileSketch& other);
+
+  /// Total samples inserted (including merged-in ones).
+  std::uint64_t count() const { return count_; }
+
+  /// Counts strictly below this are guaranteed exact (no compaction).
+  std::size_t exact_threshold() const { return k_; }
+
+  /// True while no compaction has discarded information.
+  bool exact() const { return error_bound_ == 0; }
+
+  /// q-quantile estimate (0 <= q <= 1); exact-mode results match
+  /// util::quantile() bit-for-bit. Empty sketch -> 0.
+  double quantile(double q) const;
+
+  /// Estimated number of inserted samples <= x; off by at most
+  /// rank_error_bound().
+  std::uint64_t rank(double x) const;
+
+  /// Absolute rank-error bound accumulated so far (0 = exact).
+  std::uint64_t rank_error_bound() const { return error_bound_; }
+
+  /// Values currently held across all levels (the memory footprint).
+  std::size_t retained() const;
+
+ private:
+  void compact(std::size_t level);
+  /// All retained (value, weight) pairs, sorted by value.
+  std::vector<std::pair<double, std::uint64_t>> weighted() const;
+
+  std::size_t k_;
+  std::uint64_t count_ = 0;
+  std::uint64_t error_bound_ = 0;
+  std::vector<std::vector<double>> levels_;  ///< level i holds weight-2^i values
+  std::vector<std::uint8_t> parity_;         ///< per-level alternating offset
+};
+
 /// Pearson correlation of two equal-length samples; 0 for degenerate input.
 double pearson(std::span<const double> xs, std::span<const double> ys);
 

@@ -1,0 +1,780 @@
+// Differential harness for the streaming analysis plane (DESIGN.md §12):
+// with unbounded limits, every incremental report builder must reproduce
+// the retained in-memory oracle functions bit-identically — across seeds,
+// classification engines, thread counts, batch sizes and arbitrary
+// batch-boundary cuts — and the sketched packet-size quantiles must stay
+// within their pinned rank-error bound. Also pins the chunk-order merge
+// reduction to the sequential pass, skip-mode streaming over corrupted
+// traces to the clean-survivor-restricted oracle, determinism under
+// finite caps, and the BoundedTable LRU eviction discipline itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "analysis/filtering_strategy.hpp"
+#include "analysis/streaming.hpp"
+#include "analysis/table1.hpp"
+#include "classify/flat_classifier.hpp"
+#include "classify/pipeline.hpp"
+#include "corruption.hpp"
+#include "net/flow_batch.hpp"
+#include "net/mapped_trace.hpp"
+#include "net/trace.hpp"
+#include "net/trace_format.hpp"
+#include "scenario/scenario.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spoofscope::analysis {
+namespace {
+
+using classify::Label;
+
+/// Scenario builds dominate the suite's runtime; the differential seeds
+/// reuse one world per seed (tests only read from it).
+scenario::Scenario& world(std::uint64_t seed) {
+  static std::map<std::uint64_t, std::unique_ptr<scenario::Scenario>> cache;
+  auto& slot = cache[seed];
+  if (!slot) {
+    auto params = scenario::ScenarioParams::small();
+    params.seed = seed;
+    slot = scenario::build_scenario(params);
+  }
+  return *slot;
+}
+
+/// Feeds `flows` through the report in batches of `batch_size`, so batch
+/// boundaries land at every multiple of it — the boundary-cut sweep runs
+/// this with sizes from 1 to the whole trace.
+void feed(StreamingReport& report, std::span<const net::FlowRecord> flows,
+          std::span<const Label> labels, std::size_t batch_size) {
+  net::FlowBatch batch;
+  std::size_t i = 0;
+  while (i < flows.size()) {
+    const std::size_t n = std::min(batch_size, flows.size() - i);
+    batch.clear();
+    for (std::size_t k = 0; k < n; ++k) batch.push_back(flows[i + k]);
+    report.add(batch, labels.subspan(i, n));
+    i += n;
+  }
+}
+
+ReportOptions base_options(scenario::Scenario& w, std::size_t space_idx,
+                           std::uint32_t window_seconds) {
+  ReportOptions opts;
+  opts.space_idx = space_idx;
+  opts.window_seconds = window_seconds;
+  opts.ixp = &w.ixp();
+  return opts;
+}
+
+// ----------------------------------------------------- oracle computation
+
+/// The retained in-memory reference: every analysis computed by the
+/// original whole-trace functions.
+struct OracleReport {
+  classify::Aggregate aggregate;
+  std::vector<MemberClassCounts> member_counts;
+  VennCounts venn;
+  std::array<std::size_t, kNumStrategies> strategy_counts{};
+  PortMix ports;
+  ClassTimeSeries series;
+  std::array<double, kNumClasses> small_fraction{};
+  SrcRatioHistogram src_ratio;
+  NtpAnalysis ntp;
+  AmplificationTimeseries amplification;
+  std::vector<Incident> incidents;
+};
+
+OracleReport oracle_report(std::span<const net::FlowRecord> flows,
+                           std::span<const Label> labels,
+                           std::size_t space_count, std::size_t space_idx,
+                           const ixp::Ixp& ixp, std::uint32_t window_seconds) {
+  OracleReport o;
+  o.aggregate = classify::aggregate_classes(space_count, flows, labels);
+  o.member_counts = per_member_counts(flows, labels, space_idx, ixp);
+  o.venn = venn_membership(o.member_counts);
+  for (const auto& mc : o.member_counts) {
+    ++o.strategy_counts[static_cast<int>(deduce_strategy(mc))];
+  }
+  o.ports = port_mix(flows, labels, space_idx);
+  o.series = class_time_series(flows, labels, space_idx, window_seconds);
+  for (int c = 0; c < kNumClasses; ++c) {
+    o.small_fraction[c] = small_packet_fraction(
+        flows, labels, space_idx, static_cast<TrafficClass>(c));
+  }
+  o.src_ratio = src_per_dst_ratio(flows, labels, space_idx);
+  o.ntp = analyze_ntp(flows, labels, space_idx);
+  o.amplification =
+      amplification_effect(flows, labels, space_idx, window_seconds);
+  o.incidents = extract_incidents(flows, labels, space_idx);
+  return o;
+}
+
+/// Ground-truth weighted packet-size samples per class — the exact input
+/// packet_size_cdfs() materializes, against which the sketch is judged.
+struct RankOracle {
+  std::vector<double> values;       ///< sorted distinct sample values
+  std::vector<std::uint64_t> cum;   ///< cumulative weight up to values[i]
+
+  void build(std::vector<std::pair<double, std::uint64_t>> samples) {
+    std::sort(samples.begin(), samples.end());
+    for (const auto& [v, w] : samples) {
+      if (!values.empty() && values.back() == v) {
+        cum.back() += w;
+      } else {
+        values.push_back(v);
+        cum.push_back((cum.empty() ? 0 : cum.back()) + w);
+      }
+    }
+  }
+  std::uint64_t rank(double x) const {
+    const auto it = std::upper_bound(values.begin(), values.end(), x);
+    return it == values.begin() ? 0
+                                : cum[static_cast<std::size_t>(
+                                      it - values.begin() - 1)];
+  }
+  std::uint64_t total() const { return cum.empty() ? 0 : cum.back(); }
+};
+
+std::array<RankOracle, kNumClasses> size_rank_oracles(
+    std::span<const net::FlowRecord> flows, std::span<const Label> labels,
+    std::size_t space_idx) {
+  std::array<std::vector<std::pair<double, std::uint64_t>>, kNumClasses> raw;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].packets == 0) continue;  // same skip as packet_size_cdfs
+    const auto c =
+        static_cast<int>(classify::Classifier::unpack(labels[i], space_idx));
+    const double mean =
+        static_cast<double>(flows[i].bytes) / flows[i].packets;
+    raw[c].emplace_back(mean, std::min<std::uint64_t>(flows[i].packets, 16));
+  }
+  std::array<RankOracle, kNumClasses> out;
+  for (int c = 0; c < kNumClasses; ++c) out[c].build(std::move(raw[c]));
+  return out;
+}
+
+// ------------------------------------------------------------ comparators
+
+void expect_same_aggregate(const classify::Aggregate& a,
+                           const classify::Aggregate& b, const char* what) {
+  EXPECT_EQ(a.total_flows, b.total_flows) << what;
+  EXPECT_EQ(a.total_packets, b.total_packets) << what;
+  EXPECT_EQ(a.total_bytes, b.total_bytes) << what;
+  ASSERT_EQ(a.totals.size(), b.totals.size()) << what;
+  for (std::size_t s = 0; s < a.totals.size(); ++s) {
+    for (int c = 0; c < kNumClasses; ++c) {
+      EXPECT_EQ(a.totals[s][c].flows, b.totals[s][c].flows)
+          << what << " space=" << s << " class=" << c;
+      EXPECT_EQ(a.totals[s][c].packets, b.totals[s][c].packets)
+          << what << " space=" << s << " class=" << c;
+      EXPECT_EQ(a.totals[s][c].bytes, b.totals[s][c].bytes)
+          << what << " space=" << s << " class=" << c;
+      EXPECT_EQ(a.totals[s][c].members, b.totals[s][c].members)
+          << what << " space=" << s << " class=" << c;
+    }
+  }
+}
+
+void expect_same_member_counts(std::span<const MemberClassCounts> a,
+                               std::span<const MemberClassCounts> b,
+                               const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].member, b[i].member) << what << " i=" << i;
+    EXPECT_EQ(a[i].type, b[i].type) << what << " i=" << i;
+    for (int c = 0; c < kNumClasses; ++c) {
+      EXPECT_EQ(a[i].packets[c], b[i].packets[c])
+          << what << " member=" << a[i].member << " class=" << c;
+      EXPECT_EQ(a[i].bytes[c], b[i].bytes[c])
+          << what << " member=" << a[i].member << " class=" << c;
+      EXPECT_EQ(a[i].flows[c], b[i].flows[c])
+          << what << " member=" << a[i].member << " class=" << c;
+    }
+  }
+}
+
+void expect_same_venn(const VennCounts& a, const VennCounts& b,
+                      const char* what) {
+  EXPECT_EQ(a.member_count, b.member_count) << what;
+  EXPECT_EQ(a.clean, b.clean) << what;
+  EXPECT_EQ(a.only_bogon, b.only_bogon) << what;
+  EXPECT_EQ(a.only_unrouted, b.only_unrouted) << what;
+  EXPECT_EQ(a.only_invalid, b.only_invalid) << what;
+  EXPECT_EQ(a.bogon_unrouted, b.bogon_unrouted) << what;
+  EXPECT_EQ(a.bogon_invalid, b.bogon_invalid) << what;
+  EXPECT_EQ(a.unrouted_invalid, b.unrouted_invalid) << what;
+  EXPECT_EQ(a.all_three, b.all_three) << what;
+  EXPECT_EQ(a.unrouted_also_other, b.unrouted_also_other) << what;
+}
+
+void expect_same_port_mix(const PortMix& a, const PortMix& b,
+                          const char* what) {
+  for (int c = 0; c < kNumClasses; ++c) {
+    for (int t = 0; t < 2; ++t) {
+      for (int d = 0; d < 2; ++d) {
+        const auto& xa = a.shares[c][t][d];
+        const auto& xb = b.shares[c][t][d];
+        ASSERT_EQ(xa.size(), xb.size())
+            << what << " c=" << c << " t=" << t << " d=" << d;
+        for (std::size_t i = 0; i < xa.size(); ++i) {
+          EXPECT_EQ(xa[i].port, xb[i].port)
+              << what << " c=" << c << " t=" << t << " d=" << d << " i=" << i;
+          EXPECT_EQ(xa[i].fraction, xb[i].fraction)
+              << what << " c=" << c << " t=" << t << " d=" << d << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+void expect_same_series(const ClassTimeSeries& a, const ClassTimeSeries& b,
+                        const char* what) {
+  EXPECT_EQ(a.bin_seconds, b.bin_seconds) << what;
+  for (int c = 0; c < kNumClasses; ++c) {
+    EXPECT_EQ(a.series[c], b.series[c]) << what << " class=" << c;
+  }
+}
+
+void expect_same_ratio(const SrcRatioHistogram& a, const SrcRatioHistogram& b,
+                       const char* what) {
+  EXPECT_EQ(a.bins, b.bins) << what;
+  for (int c = 0; c < kNumClasses; ++c) {
+    EXPECT_EQ(a.destinations[c], b.destinations[c]) << what << " class=" << c;
+    EXPECT_EQ(a.fractions[c], b.fractions[c]) << what << " class=" << c;
+  }
+}
+
+void expect_same_ntp(const NtpAnalysis& a, const NtpAnalysis& b,
+                     const char* what) {
+  EXPECT_EQ(a.trigger_packets, b.trigger_packets) << what;
+  EXPECT_EQ(a.distinct_victims, b.distinct_victims) << what;
+  EXPECT_EQ(a.contributing_members, b.contributing_members) << what;
+  EXPECT_EQ(a.amplifiers_contacted, b.amplifiers_contacted) << what;
+  EXPECT_EQ(a.top_member_share, b.top_member_share) << what;
+  EXPECT_EQ(a.top5_member_share, b.top5_member_share) << what;
+  EXPECT_EQ(a.invalid_udp_ntp_share, b.invalid_udp_ntp_share) << what;
+  ASSERT_EQ(a.top_victims.size(), b.top_victims.size()) << what;
+  for (std::size_t i = 0; i < a.top_victims.size(); ++i) {
+    const auto& va = a.top_victims[i];
+    const auto& vb = b.top_victims[i];
+    EXPECT_EQ(va.victim, vb.victim) << what << " victim=" << i;
+    EXPECT_EQ(va.trigger_packets, vb.trigger_packets) << what << " victim=" << i;
+    EXPECT_EQ(va.amplifiers, vb.amplifiers) << what << " victim=" << i;
+    EXPECT_EQ(va.packets_per_amplifier, vb.packets_per_amplifier)
+        << what << " victim=" << i;
+    EXPECT_EQ(va.concentration, vb.concentration) << what << " victim=" << i;
+  }
+}
+
+void expect_same_amplification(const AmplificationTimeseries& a,
+                               const AmplificationTimeseries& b,
+                               const char* what) {
+  EXPECT_EQ(a.bin_seconds, b.bin_seconds) << what;
+  EXPECT_EQ(a.packets_to_amplifier, b.packets_to_amplifier) << what;
+  EXPECT_EQ(a.packets_from_amplifier, b.packets_from_amplifier) << what;
+  EXPECT_EQ(a.bytes_to_amplifier, b.bytes_to_amplifier) << what;
+  EXPECT_EQ(a.bytes_from_amplifier, b.bytes_from_amplifier) << what;
+}
+
+void expect_same_incidents(std::span<const Incident> a,
+                           std::span<const Incident> b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << what << " i=" << i;
+    EXPECT_EQ(a[i].victim, b[i].victim) << what << " i=" << i;
+    EXPECT_EQ(a[i].start_ts, b[i].start_ts) << what << " i=" << i;
+    EXPECT_EQ(a[i].end_ts, b[i].end_ts) << what << " i=" << i;
+    EXPECT_EQ(a[i].packets, b[i].packets) << what << " i=" << i;
+    EXPECT_EQ(a[i].bytes, b[i].bytes) << what << " i=" << i;
+    EXPECT_EQ(a[i].distinct_sources, b[i].distinct_sources) << what << " i=" << i;
+    EXPECT_EQ(a[i].distinct_destinations, b[i].distinct_destinations)
+        << what << " i=" << i;
+    EXPECT_EQ(a[i].members, b[i].members) << what << " i=" << i;
+  }
+}
+
+/// Streaming result vs the retained oracle — everything but the sketches
+/// (handled separately, they have no oracle counterpart to be equal to).
+void expect_matches_oracle(const ReportResult& r, const OracleReport& o,
+                           const char* what) {
+  expect_same_aggregate(r.aggregate, o.aggregate, what);
+  expect_same_member_counts(r.member_counts, o.member_counts, what);
+  expect_same_venn(r.venn, o.venn, what);
+  EXPECT_EQ(r.strategy_counts, o.strategy_counts) << what;
+  expect_same_port_mix(r.ports, o.ports, what);
+  expect_same_series(r.traffic.series, o.series, what);
+  for (int c = 0; c < kNumClasses; ++c) {
+    EXPECT_EQ(r.traffic.small_packet_fraction[c], o.small_fraction[c])
+        << what << " class=" << c;
+  }
+  expect_same_ratio(r.src_ratio, o.src_ratio, what);
+  expect_same_ntp(r.ntp, o.ntp, what);
+  expect_same_amplification(r.amplification, o.amplification, what);
+  expect_same_incidents(r.incidents, o.incidents, what);
+}
+
+constexpr double kSketchProbes[] = {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0};
+
+/// Streaming result vs another streaming result. `exact_sketches` demands
+/// bit-identical sketch quantiles (true whenever both sides saw the same
+/// per-record insertion sequence, regardless of batch boundaries).
+void expect_same_report(const ReportResult& a, const ReportResult& b,
+                        bool exact_sketches, const char* what) {
+  EXPECT_EQ(a.flows, b.flows) << what;
+  EXPECT_EQ(a.evictions, b.evictions) << what;
+  expect_same_aggregate(a.aggregate, b.aggregate, what);
+  expect_same_member_counts(a.member_counts, b.member_counts, what);
+  expect_same_venn(a.venn, b.venn, what);
+  EXPECT_EQ(a.strategy_counts, b.strategy_counts) << what;
+  expect_same_port_mix(a.ports, b.ports, what);
+  expect_same_series(a.traffic.series, b.traffic.series, what);
+  for (int c = 0; c < kNumClasses; ++c) {
+    EXPECT_EQ(a.traffic.small_packet_fraction[c],
+              b.traffic.small_packet_fraction[c])
+        << what << " class=" << c;
+    EXPECT_EQ(a.traffic.size_sketch[c].count(),
+              b.traffic.size_sketch[c].count())
+        << what << " class=" << c;
+    if (exact_sketches) {
+      for (const double q : kSketchProbes) {
+        EXPECT_EQ(a.traffic.size_sketch[c].quantile(q),
+                  b.traffic.size_sketch[c].quantile(q))
+            << what << " class=" << c << " q=" << q;
+      }
+    }
+  }
+  expect_same_ratio(a.src_ratio, b.src_ratio, what);
+  expect_same_ntp(a.ntp, b.ntp, what);
+  expect_same_amplification(a.amplification, b.amplification, what);
+  expect_same_incidents(a.incidents, b.incidents, what);
+}
+
+/// Every rank estimate of the sketch must be within its self-reported
+/// error bound of the ground truth, and the bound itself must be a small
+/// fraction of the stream.
+void expect_sketch_within_bound(const util::QuantileSketch& sketch,
+                                const RankOracle& truth, const char* what) {
+  ASSERT_EQ(sketch.count(), truth.total()) << what;
+  if (truth.total() == 0) return;
+  // Probe every distinct sample value (strided down for very long lists).
+  const std::size_t stride = std::max<std::size_t>(1, truth.values.size() / 2000);
+  for (std::size_t i = 0; i < truth.values.size(); i += stride) {
+    const double x = truth.values[i];
+    const std::uint64_t est = sketch.rank(x);
+    const std::uint64_t exact = truth.rank(x);
+    const std::uint64_t diff = est > exact ? est - exact : exact - est;
+    EXPECT_LE(diff, sketch.rank_error_bound()) << what << " value=" << x;
+  }
+  if (truth.total() >= 4096) {
+    EXPECT_LT(static_cast<double>(sketch.rank_error_bound()) /
+                  static_cast<double>(truth.total()),
+              0.10)
+        << what;
+  }
+}
+
+// ------------------------------------------------------------------ tests
+
+class StreamingOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Tentpole claim: for every inference space, the streaming report equals
+// the retained oracle bit-for-bit, no matter where batch boundaries fall
+// — including degenerate one-record batches and a single whole-trace
+// batch. The sketched quantiles are additionally batch-cut independent
+// (identical insertion sequence => identical sketch) and within their
+// rank-error bound of the ground truth.
+TEST_P(StreamingOracleTest, MatchesOracleAcrossBatchCutsAndSpaces) {
+  auto& w = world(GetParam());
+  const auto& flows = w.trace().flows;
+  const auto& labels = w.labels();
+  const std::size_t space_count = w.classifier().space_count();
+  const std::uint32_t window = w.params().workload.window_seconds;
+
+  const std::size_t batch_sizes[] = {1, 7, 64, 4096, flows.size()};
+  for (const std::size_t space : {std::size_t{0}, space_count - 1}) {
+    const auto oracle =
+        oracle_report(flows, labels, space_count, space, w.ixp(), window);
+    const auto truth = size_rank_oracles(flows, labels, space);
+
+    ReportResult reference;
+    bool have_reference = false;
+    for (const std::size_t bs : batch_sizes) {
+      StreamingReport report(space_count, base_options(w, space, window));
+      feed(report, flows, labels, bs);
+      const auto result = report.finish();
+      const std::string what =
+          "space=" + std::to_string(space) + " batch=" + std::to_string(bs);
+
+      EXPECT_EQ(result.flows, flows.size()) << what;
+      EXPECT_EQ(result.evictions, 0u) << what;
+      expect_matches_oracle(result, oracle, what.c_str());
+      for (int c = 0; c < kNumClasses; ++c) {
+        expect_sketch_within_bound(result.traffic.size_sketch[c], truth[c],
+                                   what.c_str());
+      }
+      if (!have_reference) {
+        reference = result;
+        have_reference = true;
+      } else {
+        expect_same_report(result, reference, /*exact_sketches=*/true,
+                           what.c_str());
+      }
+    }
+  }
+}
+
+// Table 1 is a pure function of the aggregate, so the streaming pass must
+// feed it the exact same columns the retained path would.
+TEST_P(StreamingOracleTest, Table1FromStreamingAggregateMatchesOracle) {
+  auto& w = world(GetParam());
+  const auto& flows = w.trace().flows;
+  const auto& labels = w.labels();
+  const std::size_t space_count = w.classifier().space_count();
+  ASSERT_GE(space_count, 5u);  // table1 wants all five method spaces
+
+  StreamingReport report(
+      space_count, base_options(w, 0, w.params().workload.window_seconds));
+  feed(report, flows, labels, 1024);
+  const auto result = report.finish();
+
+  const auto oracle_agg = classify::aggregate_classes(space_count, flows, labels);
+  const double scale = 1000.0;
+  const std::size_t members = w.ixp().member_asns().size();
+  const auto got = table1_columns(result.aggregate, scale, members);
+  const auto want = table1_columns(oracle_agg, scale, members);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].name, want[i].name) << "col=" << i;
+    EXPECT_EQ(got[i].members, want[i].members) << "col=" << i;
+    EXPECT_EQ(got[i].member_fraction, want[i].member_fraction) << "col=" << i;
+    EXPECT_EQ(got[i].bytes, want[i].bytes) << "col=" << i;
+    EXPECT_EQ(got[i].bytes_fraction, want[i].bytes_fraction) << "col=" << i;
+    EXPECT_EQ(got[i].packets, want[i].packets) << "col=" << i;
+    EXPECT_EQ(got[i].packets_fraction, want[i].packets_fraction) << "col=" << i;
+  }
+}
+
+// With window_seconds == 0 the time series grows with the observed
+// timestamps; sized to what it grew to, the oracle must agree exactly.
+// The amplification ratios are binning-independent totals, so they must
+// match the fixed-window oracle too.
+TEST_P(StreamingOracleTest, DynamicWindowSeriesMatchesSizedOracle) {
+  auto& w = world(GetParam());
+  const auto& flows = w.trace().flows;
+  const auto& labels = w.labels();
+  const std::size_t space_count = w.classifier().space_count();
+
+  StreamingReport report(space_count, base_options(w, 0, /*window=*/0));
+  feed(report, flows, labels, 512);
+  const auto result = report.finish();
+
+  std::uint32_t max_ts = 0;
+  for (const auto& f : flows) max_ts = std::max(max_ts, f.ts);
+  const std::uint32_t grown_bins = max_ts / 3600 + 1;
+  ASSERT_EQ(result.traffic.series.series[0].size(), grown_bins);
+  const auto oracle_series =
+      class_time_series(flows, labels, 0, grown_bins * 3600);
+  expect_same_series(result.traffic.series, oracle_series, "dynamic window");
+
+  const auto oracle_amp = amplification_effect(
+      flows, labels, 0, w.params().workload.window_seconds);
+  EXPECT_EQ(result.amplification.amplification_factor(),
+            oracle_amp.amplification_factor());
+  EXPECT_EQ(result.amplification.packet_ratio(), oracle_amp.packet_ratio());
+}
+
+// finish() is a snapshot: flushing mid-stream (and mid-time-bin) must
+// yield exactly the oracle over the prefix, and the builder must keep
+// accumulating afterwards as if the flush never happened.
+TEST_P(StreamingOracleTest, MidStreamFlushIsPrefixOracleAndNonDestructive) {
+  auto& w = world(GetParam());
+  const std::span<const net::FlowRecord> flows = w.trace().flows;
+  const std::span<const Label> labels = w.labels();
+  const std::size_t space_count = w.classifier().space_count();
+  const std::uint32_t window = w.params().workload.window_seconds;
+  const std::size_t half = flows.size() / 2;
+
+  StreamingReport report(space_count, base_options(w, 0, window));
+  feed(report, flows.first(half), labels.first(half), 7);
+  const auto mid = report.finish();
+  const auto prefix_oracle = oracle_report(
+      flows.first(half), labels.first(half), space_count, 0, w.ixp(), window);
+  EXPECT_EQ(mid.flows, half);
+  expect_matches_oracle(mid, prefix_oracle, "mid-stream flush");
+
+  feed(report, flows.subspan(half), labels.subspan(half), 7);
+  StreamingReport sequential(space_count, base_options(w, 0, window));
+  feed(sequential, flows, labels, 4096);
+  expect_same_report(report.finish(), sequential.finish(),
+                     /*exact_sketches=*/true, "after flush");
+}
+
+// Labels produced by either engine on any thread count must drive the
+// report to the same result as the scenario's own labels.
+TEST_P(StreamingOracleTest, EnginesAndThreadCountsProduceIdenticalReports) {
+  auto& w = world(GetParam());
+  const auto& flows = w.trace().flows;
+  const std::size_t space_count = w.classifier().space_count();
+  const auto opts = base_options(w, 0, w.params().workload.window_seconds);
+  const auto flat = classify::FlatClassifier::compile(w.classifier());
+
+  StreamingReport reference(space_count, opts);
+  feed(reference, flows, w.labels(), 1024);
+  const auto want = reference.finish();
+
+  constexpr std::size_t kThreadCounts[] = {1, 2, 0};
+  for (const std::size_t threads : kThreadCounts) {
+    util::ThreadPool pool(threads);
+    for (const bool use_flat : {false, true}) {
+      StreamingReport report(space_count, opts);
+      net::FlowBatch batch;
+      std::vector<Label> labels;
+      std::size_t i = 0;
+      while (i < flows.size()) {
+        const std::size_t n = std::min<std::size_t>(1024, flows.size() - i);
+        batch.clear();
+        for (std::size_t k = 0; k < n; ++k) batch.push_back(flows[i + k]);
+        labels.resize(batch.size());
+        if (use_flat) {
+          flat.classify_batch(batch, labels, pool);
+        } else {
+          w.classifier().classify_batch(batch, labels, pool);
+        }
+        report.add(batch, labels);
+        i += n;
+      }
+      const std::string what = std::string(use_flat ? "flat" : "trie") +
+                               " threads=" + std::to_string(threads);
+      expect_same_report(report.finish(), want, /*exact_sketches=*/true,
+                         what.c_str());
+    }
+  }
+}
+
+// The pool-shard reduction: batches dealt round-robin onto N shard
+// reports, folded back in shard order, must equal the sequential pass
+// bit-identically for every exact analysis; the merged sketch keeps its
+// (combined) rank-error bound against the ground truth.
+TEST_P(StreamingOracleTest, ChunkOrderMergeReductionMatchesSequential) {
+  auto& w = world(GetParam());
+  const std::span<const net::FlowRecord> flows = w.trace().flows;
+  const std::span<const Label> labels = w.labels();
+  const std::size_t space_count = w.classifier().space_count();
+  const auto opts = base_options(w, 0, w.params().workload.window_seconds);
+  const auto truth = size_rank_oracles(flows, labels, 0);
+
+  StreamingReport sequential(space_count, opts);
+  feed(sequential, flows, labels, 64);
+  const auto want = sequential.finish();
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{3}, std::size_t{5}}) {
+    std::vector<std::unique_ptr<StreamingReport>> parts;
+    for (std::size_t s = 0; s < shards; ++s) {
+      parts.push_back(std::make_unique<StreamingReport>(space_count, opts));
+    }
+    net::FlowBatch batch;
+    std::size_t i = 0, chunk = 0;
+    while (i < flows.size()) {
+      const std::size_t n = std::min<std::size_t>(64, flows.size() - i);
+      batch.clear();
+      for (std::size_t k = 0; k < n; ++k) batch.push_back(flows[i + k]);
+      parts[chunk % shards]->add(batch, labels.subspan(i, n));
+      i += n;
+      ++chunk;
+    }
+    StreamingReport merged(space_count, opts);
+    for (const auto& part : parts) merged.merge(*part);
+    const auto got = merged.finish();
+    const std::string what = "shards=" + std::to_string(shards);
+
+    expect_same_report(got, want, /*exact_sketches=*/false, what.c_str());
+    for (int c = 0; c < kNumClasses; ++c) {
+      expect_sketch_within_bound(got.traffic.size_sketch[c], truth[c],
+                                 what.c_str());
+    }
+  }
+}
+
+// Corruption differential: a skip-mode streaming report over a damaged
+// trace must equal the oracle restricted to the records a per-record
+// skip-mode reader survives; strict mode must refuse the stream.
+TEST_P(StreamingOracleTest, CorruptedSkipModeMatchesSurvivorOracle) {
+  auto& w = world(GetParam());
+  const std::size_t space_count = w.classifier().space_count();
+  const std::uint32_t window = w.params().workload.window_seconds;
+  const auto flat = classify::FlatClassifier::compile(w.classifier());
+
+  std::stringstream ss;
+  net::write_trace(ss, w.trace());
+  const std::string clean = ss.str();
+
+  util::Rng flip_rng(GetParam() ^ 0x5eedau);
+  util::Rng splice_rng(GetParam() ^ 0x9a11u);
+  const std::string corrupted[] = {
+      testing::flip_bits(clean, flip_rng, 3, net::format::kHeaderSizeV2),
+      testing::splice_garbage(clean, splice_rng, net::format::kHeaderSizeV2),
+  };
+  for (const auto& bytes : corrupted) {
+    // Reference: per-record skip-mode survivors through the oracle.
+    std::istringstream in(bytes, std::ios::binary);
+    util::IngestStats ref_stats;
+    net::TraceReader reader(in, util::ErrorPolicy::kSkip, &ref_stats);
+    std::vector<net::FlowRecord> survivors;
+    while (const auto f = reader.next()) survivors.push_back(*f);
+    ASSERT_LT(survivors.size(), w.trace().flows.size());  // damage landed
+    const auto labels = classify::classify_trace(flat, survivors);
+    const auto oracle = oracle_report(survivors, labels, space_count, 0,
+                                      w.ixp(), window);
+
+    // Streaming: mmap-style skip-mode batches straight into the report.
+    const net::MappedTrace trace = net::MappedTrace::from_buffer(
+        std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+    util::IngestStats stream_stats;
+    net::MappedTraceReader mapped(trace, util::ErrorPolicy::kSkip,
+                                  &stream_stats);
+    util::ThreadPool pool(2);
+    StreamingReport report(space_count, base_options(w, 0, window));
+    net::FlowBatch batch;
+    std::vector<Label> batch_labels;
+    while (mapped.next_batch(batch, 512) > 0) {
+      batch_labels.resize(batch.size());
+      flat.classify_batch(batch, batch_labels, pool);
+      report.add(batch, batch_labels);
+    }
+
+    EXPECT_EQ(stream_stats, ref_stats);
+    const auto result = report.finish();
+    EXPECT_EQ(result.flows, survivors.size());
+    expect_matches_oracle(result, oracle, "corrupted/skip");
+
+    // Strict mode refuses the same bytes.
+    net::MappedTraceReader strict(trace, util::ErrorPolicy::kStrict);
+    EXPECT_THROW(
+        {
+          net::FlowBatch b;
+          while (strict.next_batch(b, 512) > 0) {
+          }
+        },
+        std::exception);
+  }
+}
+
+// Under finite caps the results degrade but stay a pure function of the
+// record sequence: identical across batch cuts, evictions visible, and
+// tables bounded. Production limits are far above the small-world sizes,
+// so they must reproduce the unbounded result exactly.
+TEST_P(StreamingOracleTest, BoundedCapsAreDeterministicAcrossBatchCuts) {
+  auto& w = world(GetParam());
+  const auto& flows = w.trace().flows;
+  const auto& labels = w.labels();
+  const std::size_t space_count = w.classifier().space_count();
+  const std::uint32_t window = w.params().workload.window_seconds;
+
+  auto opts = base_options(w, 0, window);
+  opts.limits.max_members = 8;
+  opts.limits.max_destinations = 16;
+  opts.limits.max_sources_per_destination = 8;
+  opts.limits.max_victims = 8;
+  opts.limits.max_amplifiers_per_victim = 8;
+  opts.limits.max_amplifiers = 16;
+  opts.limits.max_pairs = 16;
+  opts.limits.max_clusters = 8;
+  opts.limits.max_counterparts_per_cluster = 8;
+  opts.limits.sketch_k = 64;
+
+  ReportResult reference;
+  bool have_reference = false;
+  for (const std::size_t bs : {std::size_t{1}, std::size_t{64}, flows.size()}) {
+    StreamingReport report(space_count, opts);
+    feed(report, flows, labels, bs);
+    const auto result = report.finish();
+    const std::string what = "capped batch=" + std::to_string(bs);
+    EXPECT_GT(result.evictions, 0u) << what;
+    EXPECT_LE(result.member_counts.size(), opts.limits.max_members) << what;
+    if (!have_reference) {
+      reference = result;
+      have_reference = true;
+    } else {
+      expect_same_report(result, reference, /*exact_sketches=*/true,
+                         what.c_str());
+    }
+  }
+
+  // Production caps dwarf the small world: no evictions, oracle-exact.
+  auto prod = base_options(w, 0, window);
+  prod.limits = ReportLimits::production();
+  StreamingReport bounded(space_count, prod);
+  feed(bounded, flows, labels, 4096);
+  StreamingReport unbounded(space_count, base_options(w, 0, window));
+  feed(unbounded, flows, labels, 4096);
+  const auto bounded_result = bounded.finish();
+  EXPECT_EQ(bounded_result.evictions, 0u);
+  expect_same_report(bounded_result, unbounded.finish(),
+                     /*exact_sketches=*/true, "production limits");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingOracleTest,
+                         ::testing::Values(1, 7, 20170205));
+
+// The LRU discipline itself: least-recently-touched eviction, refresh on
+// touch, visible eviction counts, live re-capping and fold-merge.
+TEST(BoundedTableTest, LruEvictionDiscipline) {
+  BoundedTable<int, int> table(2);
+  table.touch(1) = 10;
+  table.touch(2) = 20;
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.evictions(), 0u);
+
+  table.touch(1);     // refresh: 2 becomes least-recently-touched
+  table.touch(3) = 30;  // evicts 2
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.evictions(), 1u);
+  ASSERT_NE(table.find(1), nullptr);
+  EXPECT_EQ(*table.find(1), 10);
+  EXPECT_EQ(table.find(2), nullptr);
+  ASSERT_NE(table.find(3), nullptr);
+  EXPECT_EQ(table.sorted_keys(), (std::vector<int>{1, 3}));
+
+  // A re-inserted key counts as fresh — its old recency is gone.
+  table.touch(2) = 21;  // evicts 1: touch order is now 1 (refresh), 3, 2
+  EXPECT_EQ(table.evictions(), 2u);
+  EXPECT_EQ(table.find(1), nullptr);
+
+  // Shrinking the cap evicts down immediately, oldest first.
+  table.set_cap(1);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.evictions(), 3u);
+  ASSERT_NE(table.find(2), nullptr);  // 2 was touched last
+
+  // Cap 0 = unbounded.
+  table.set_cap(0);
+  for (int k = 10; k < 20; ++k) table.touch(k) = k;
+  EXPECT_EQ(table.size(), 11u);
+  EXPECT_EQ(table.evictions(), 3u);
+}
+
+TEST(BoundedTableTest, MergeFoldsValuesAndAccumulatesEvictions) {
+  BoundedTable<int, int> a(0);
+  a.touch(1) = 1;
+  a.touch(2) = 2;
+
+  BoundedTable<int, int> b(1);
+  b.touch(2) = 20;
+  b.touch(3) = 30;  // evicts 2 in b
+  EXPECT_EQ(b.evictions(), 1u);
+
+  a.merge(b, [](int& ours, const int& theirs) { ours += theirs; });
+  EXPECT_EQ(a.sorted_keys(), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(*a.find(1), 1);
+  EXPECT_EQ(*a.find(2), 2);   // 2 was evicted from b before the merge
+  EXPECT_EQ(*a.find(3), 30);
+  EXPECT_EQ(a.evictions(), 1u);  // b's evictions carried over
+}
+
+}  // namespace
+}  // namespace spoofscope::analysis

@@ -424,6 +424,75 @@ TEST(CliSmoke, DetectStrictAbortStillEmitsHealthCheckpointAndStats) {
       << json;
 }
 
+TEST(CliSmoke, ReportOverCorruptedTraceStrictFailsSkipRecovers) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const fs::path bad = w.root / "report-corrupt.trace";
+  std::string bytes = slurp(w.trace());
+  ASSERT_GT(bytes.size(), 5000u);
+  bytes[5000] = static_cast<char>(bytes[5000] ^ 0x10);
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out << bytes;
+  }
+
+  const auto strict = run_cli("report --mrt " + w.mrt() + " --trace " +
+                                  bad.string() + " --rpsl " + w.rpsl(),
+                              w.log);
+  EXPECT_EQ(strict.exit_code, 1);
+  EXPECT_NE(strict.output.find("error:"), std::string::npos) << strict.output;
+
+  const auto skip = run_cli("report --mrt " + w.mrt() + " --trace " +
+                                bad.string() + " --rpsl " + w.rpsl() +
+                                " --on-error skip",
+                            w.log);
+  ASSERT_EQ(skip.exit_code, 0) << skip.output;
+  // The streaming report survives on the remaining records and still
+  // surfaces the degraded ingest.
+  EXPECT_NE(skip.output.find("ingest:"), std::string::npos) << skip.output;
+  EXPECT_NE(skip.output.find("1 skipped"), std::string::npos) << skip.output;
+  EXPECT_NE(skip.output.find("NTP amplification"), std::string::npos)
+      << skip.output;
+  EXPECT_NE(skip.output.find("incidents ("), std::string::npos) << skip.output;
+}
+
+TEST(CliSmoke, StatsJsonSchemaOnReport) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const fs::path bad = w.root / "report-stats-corrupt.trace";
+  std::string bytes = slurp(w.trace());
+  ASSERT_GT(bytes.size(), 5000u);
+  bytes[5000] = static_cast<char>(bytes[5000] ^ 0x10);
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out << bytes;
+  }
+  const fs::path json_path = w.root / "report-stats.json";
+  const auto r = run_cli("report --mrt " + w.mrt() + " --trace " +
+                             bad.string() + " --rpsl " + w.rpsl() +
+                             " --on-error skip --stats-json " +
+                             json_path.string(),
+                         w.log);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+
+  const std::string json = slurp(json_path);
+  ASSERT_GT(json.size(), 2u);
+  EXPECT_EQ(json.front(), '{');
+  // Ingest schema: per-source stats including the skipped record.
+  EXPECT_NE(json.find("\"sources\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"records_skipped\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"checksum\":1"), std::string::npos) << json;
+  // Report section: streaming-pass outcome counters.
+  EXPECT_NE(json.find("\"report\":{"), std::string::npos) << json;
+  for (const std::string key :
+       {"\"flows\":", "\"members\":", "\"incidents\":",
+        "\"ntp_trigger_packets\":", "\"evictions\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " " << json;
+  }
+  // The bounded production tables never evict on the small world.
+  EXPECT_NE(json.find("\"evictions\":0"), std::string::npos) << json;
+}
+
 TEST(CliSmoke, UnwritableLabelsPathFails) {
   auto& w = cli_world();
   ASSERT_TRUE(w.generated);

@@ -357,6 +357,41 @@ TEST(TraceBatch, MappedFileAndFallbackBufferAgree) {
   fs::remove(path);
 }
 
+TEST(TraceBatch, DropConsumedPreservesRecordStreamAndStats) {
+  // Releasing consumed pages is purely advisory: a mapped reader that
+  // drops after every batch must deliver the identical record stream
+  // and stats as one that never drops, on both the real mapping and
+  // the fallback buffer (where drop_consumed is a no-op).
+  const std::string bytes = make_trace_bytes(500, 21);
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("spoofscope-drop-" + std::to_string(::getpid()) + ".trace");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << bytes;
+  }
+  util::Rng ref_rng(0);
+  const auto ref =
+      read_all(bytes, Path::kStreamNext, util::ErrorPolicy::kStrict, ref_rng);
+  const MappedTrace from_file(path.string());
+  const MappedTrace from_buf = MappedTrace::from_buffer(
+      std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  for (const MappedTrace* trace : {&from_file, &from_buf}) {
+    util::IngestStats stats;
+    MappedTraceReader reader(*trace, util::ErrorPolicy::kSkip, &stats);
+    std::vector<FlowRecord> got;
+    FlowBatch batch;
+    while (reader.next_batch(batch, 64) > 0) {
+      batch.append_to(got);
+      reader.drop_consumed();
+    }
+    reader.drop_consumed();  // past end of stream: must be harmless
+    EXPECT_EQ(got, ref.records) << (trace->mapped() ? "mapped" : "buffer");
+    EXPECT_EQ(stats, ref.stats) << (trace->mapped() ? "mapped" : "buffer");
+  }
+  fs::remove(path);
+}
+
 TEST(TraceBatch, MappedTraceMissingFileThrows) {
   EXPECT_THROW(MappedTrace("/nonexistent-spoofscope-dir/no.trace"),
                std::runtime_error);

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace spoofscope::util {
 namespace {
@@ -156,6 +162,190 @@ TEST(Gini, EmptyAndZeroInputs) {
   EXPECT_DOUBLE_EQ(gini({}), 0.0);
   const std::vector<double> zeros{0, 0};
   EXPECT_DOUBLE_EQ(gini(zeros), 0.0);
+}
+
+// ---------------------------------------------------------- QuantileSketch
+
+/// True rank (number of samples <= x) in a materialized stream.
+std::uint64_t true_rank(const std::vector<double>& xs, double x) {
+  std::uint64_t r = 0;
+  for (const double v : xs) {
+    if (v <= x) ++r;
+  }
+  return r;
+}
+
+/// Every rank estimate must be within the sketch's self-reported bound.
+void expect_ranks_within_bound(const QuantileSketch& sk,
+                               const std::vector<double>& xs,
+                               const char* what) {
+  ASSERT_EQ(sk.count(), xs.size()) << what;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t stride = std::max<std::size_t>(1, sorted.size() / 500);
+  for (std::size_t i = 0; i < sorted.size(); i += stride) {
+    const double x = sorted[i];
+    // True rank of sorted[i]: index of the last duplicate + 1.
+    const auto last =
+        std::upper_bound(sorted.begin(), sorted.end(), x) - sorted.begin();
+    const std::uint64_t exact = static_cast<std::uint64_t>(last);
+    const std::uint64_t est = sk.rank(x);
+    const std::uint64_t diff = est > exact ? est - exact : exact - est;
+    EXPECT_LE(diff, sk.rank_error_bound()) << what << " x=" << x;
+  }
+}
+
+TEST(QuantileSketch, ExactModeMatchesQuantileBitForBit) {
+  QuantileSketch sk(64);
+  EXPECT_EQ(sk.exact_threshold(), 64u);
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 63; ++i) {
+    xs.push_back(static_cast<double>(rng.uniform_u32(0, 1000)));
+    sk.add(xs.back());
+  }
+  ASSERT_TRUE(sk.exact());
+  EXPECT_EQ(sk.rank_error_bound(), 0u);
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(sk.quantile(q), quantile(xs, q)) << "q=" << q;
+  }
+  for (const double x : xs) EXPECT_EQ(sk.rank(x), true_rank(xs, x));
+}
+
+TEST(QuantileSketch, ExactUntilThresholdThenSketched) {
+  QuantileSketch sk(16);
+  for (int i = 0; i < 15; ++i) sk.add(i);
+  EXPECT_TRUE(sk.exact());
+  sk.add(15);  // hits k: first compaction
+  EXPECT_FALSE(sk.exact());
+  EXPECT_GT(sk.rank_error_bound(), 0u);
+}
+
+TEST(QuantileSketch, EmptySketch) {
+  const QuantileSketch sk;
+  EXPECT_EQ(sk.count(), 0u);
+  EXPECT_TRUE(sk.exact());
+  EXPECT_EQ(sk.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, WeightedAddFoldsIdenticalSamples) {
+  QuantileSketch a(32), b(32);
+  Rng rng(11);
+  std::uint64_t total = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(rng.uniform_u32(0, 100));
+    const std::uint64_t w = 1 + rng.index(5);
+    a.add(x, w);
+    for (std::uint64_t j = 0; j < w; ++j) b.add(x);
+    total += w;
+  }
+  EXPECT_EQ(a.count(), total);
+  // add(x, w) is defined as w sequential inserts — bit-identical summary.
+  EXPECT_EQ(a.rank_error_bound(), b.rank_error_bound());
+  EXPECT_EQ(a.retained(), b.retained());
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+  }
+}
+
+// The rank-error guarantee must survive adversarial insertion orders —
+// the orderings that break naive reservoir/heap schemes.
+TEST(QuantileSketch, AdversarialOrderingsStayWithinRankErrorBound) {
+  constexpr std::size_t kN = 50000;
+  constexpr std::size_t kK = 256;
+
+  std::vector<double> ascending(kN);
+  for (std::size_t i = 0; i < kN; ++i) ascending[i] = static_cast<double>(i);
+  std::vector<double> descending(ascending.rbegin(), ascending.rend());
+  std::vector<double> sawtooth(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    sawtooth[i] = static_cast<double>(i % 2 == 0 ? i / 2 : kN - 1 - i / 2);
+  }
+  std::vector<double> shuffled = ascending;
+  Rng rng(20170205);
+  for (std::size_t i = shuffled.size() - 1; i > 0; --i) {
+    std::swap(shuffled[i], shuffled[rng.index(i + 1)]);
+  }
+
+  const struct {
+    const char* name;
+    const std::vector<double>* xs;
+  } cases[] = {{"ascending", &ascending},
+               {"descending", &descending},
+               {"sawtooth", &sawtooth},
+               {"shuffled", &shuffled}};
+  for (const auto& c : cases) {
+    QuantileSketch sk(kK);
+    for (const double x : *c.xs) sk.add(x);
+    expect_ranks_within_bound(sk, *c.xs, c.name);
+    // The bound itself stays a small fraction of the stream (the §12
+    // pinned accuracy contract for the report's packet-size quantiles).
+    EXPECT_LT(static_cast<double>(sk.rank_error_bound()) / kN, 0.07) << c.name;
+  }
+}
+
+TEST(QuantileSketch, DeterministicAcrossIdenticalStreams) {
+  QuantileSketch a(64), b(64);
+  Rng ra(3), rb(3);
+  for (int i = 0; i < 10000; ++i) a.add(ra.uniform_u32(0, 1 << 20));
+  for (int i = 0; i < 10000; ++i) b.add(rb.uniform_u32(0, 1 << 20));
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.retained(), b.retained());
+  EXPECT_EQ(a.rank_error_bound(), b.rank_error_bound());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.999, 1.0}) {
+    EXPECT_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+  }
+}
+
+// merge() must keep every estimate within the combined bound no matter
+// how the partial sketches are grouped — the property the chunk-order
+// report reduction relies on.
+TEST(QuantileSketch, MergeGroupingsAllStayWithinCombinedBounds) {
+  constexpr std::size_t kN = 20000;
+  constexpr std::size_t kParts = 4;
+  std::vector<double> xs(kN);
+  Rng rng(42);
+  for (auto& x : xs) x = static_cast<double>(rng.uniform_u32(0, 1 << 16));
+
+  std::vector<QuantileSketch> parts(kParts, QuantileSketch(128));
+  for (std::size_t i = 0; i < kN; ++i) parts[i % kParts].add(xs[i]);
+
+  // Left fold: ((p0 + p1) + p2) + p3.
+  QuantileSketch left = parts[0];
+  for (std::size_t p = 1; p < kParts; ++p) left.merge(parts[p]);
+  // Right fold: p0 + (p1 + (p2 + p3)).
+  QuantileSketch right = parts[kParts - 1];
+  for (std::size_t p = kParts - 1; p-- > 0;) {
+    QuantileSketch acc = parts[p];
+    acc.merge(right);
+    right = acc;
+  }
+  // Balanced: (p0 + p1) + (p2 + p3).
+  QuantileSketch lo = parts[0], hi = parts[2];
+  lo.merge(parts[1]);
+  hi.merge(parts[3]);
+  QuantileSketch balanced = lo;
+  balanced.merge(hi);
+
+  expect_ranks_within_bound(left, xs, "left fold");
+  expect_ranks_within_bound(right, xs, "right fold");
+  expect_ranks_within_bound(balanced, xs, "balanced");
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedK) {
+  QuantileSketch a(64), b(128);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(QuantileSketch, RetainedMemoryStaysBounded) {
+  constexpr std::size_t kN = 200000;
+  constexpr std::size_t kK = 128;
+  QuantileSketch sk(kK);
+  Rng rng(9);
+  for (std::size_t i = 0; i < kN; ++i) sk.add(rng.uniform_u32(0, 1u << 30));
+  const double levels = std::log2(static_cast<double>(kN) / kK);
+  EXPECT_LE(sk.retained(),
+            kK * (static_cast<std::size_t>(std::ceil(levels)) + 2));
 }
 
 }  // namespace

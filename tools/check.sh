@@ -5,14 +5,19 @@
 #      (the parallel engine oracles including the flat/trie and batch
 #      differentials, the thread pool, the streaming detector and the
 #      corruption differential suite, which classifies on a shared pool,
-#      and the state suites, which resume/compile across thread counts)
+#      the state suites, which resume/compile across thread counts, and
+#      the streaming-analysis oracle, which shards reports across pools)
 #   3. AddressSanitizer build, same suites plus the trie/interval code,
-#      the byte-level corruption/resync and batch-decode paths, and the
-#      snapshot container + checkpoint/plane-cache fuzz suites
+#      the byte-level corruption/resync and batch-decode paths, the
+#      snapshot container + checkpoint/plane-cache fuzz suites, and the
+#      bounded-table/quantile-sketch analysis suites (LRU eviction and
+#      compactor reallocation are where lifetime bugs would hide)
 #   4. UndefinedBehaviorSanitizer build over the parser fuzz and
 #      robustness suites (the code that chews on hostile bytes),
 #      including the mmap/batch reader differential and the snapshot
-#      parser, which reinterprets mapped cache entries
+#      parser, which reinterprets mapped cache entries, plus the
+#      streaming-analysis oracle (sketch rank arithmetic, ratio
+#      histogram binning and eviction folds over adversarial batches)
 #
 # Usage: tools/check.sh
 set -euo pipefail
@@ -45,6 +50,7 @@ TSAN_SUITES=(
   scenario_multiseed_test
   state_resume_test
   state_plane_cache_test
+  analysis_streaming_oracle_test
 )
 
 echo "=== ThreadSanitizer: parallel + flat/trie differential suites ==="
@@ -67,6 +73,8 @@ ASAN_SUITES=(
   state_snapshot_test
   state_resume_test
   state_plane_cache_test
+  util_stats_test
+  analysis_streaming_oracle_test
 )
 
 echo "=== AddressSanitizer: classification + trie + corruption suites ==="
@@ -85,6 +93,8 @@ UBSAN_SUITES=(
   data_rpsl_test
   state_snapshot_test
   state_plane_cache_test
+  util_stats_test
+  analysis_streaming_oracle_test
 )
 
 echo "=== UndefinedBehaviorSanitizer: parser + robustness suites ==="

@@ -22,3 +22,29 @@ cmake --build "${BUILD_DIR}" --target bench_perf_core -j "$(nproc)"
   "$@"
 
 echo "wrote ${OUT_JSON}"
+
+# Machine-check the constant-memory claim: BM_ReportStreaming records
+# rss_growth_kb (resident-set delta across the bench loop) per trace
+# multiplier; streaming report memory must not scale with trace length,
+# so the 10x growth may exceed the 1x growth only by a fixed slack.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${OUT_JSON}" <<'PY'
+import json, sys
+
+SLACK_KB = 32 * 1024  # allocator noise, not O(trace) growth
+
+growth = {}
+for b in json.load(open(sys.argv[1]))["benchmarks"]:
+    name = b.get("name", "")
+    if name.startswith("BM_ReportStreaming/trace_mult:"):
+        mult = int(name.split("trace_mult:")[1].split("/")[0])
+        growth[mult] = b.get("rss_growth_kb", 0.0)
+if 1 in growth and 10 in growth:
+    line = (f"BM_ReportStreaming rss_growth_kb: "
+            f"1x={growth[1]:.0f} 10x={growth[10]:.0f}")
+    if growth[10] > growth[1] + SLACK_KB:
+        sys.exit(f"FAIL constant-memory check: {line} "
+                 f"(10x grew >{SLACK_KB}KB past 1x)")
+    print(f"OK constant-memory check: {line}")
+PY
+fi

@@ -17,8 +17,12 @@
 //       and documented links before classification (Sec 4.4).
 //
 //   spoofscope report --mrt FILE[,FILE...] --trace FILE [--rpsl FILE]
-//       Full study output: Table 1 column (chosen method), Venn, member
-//       share quantiles and the NTP attack summary.
+//       Full study output: Table-1-style totals, Venn, filtering
+//       strategies, per-member share quantiles, traffic characteristics,
+//       port mix, attack patterns and incidents. Computed in the same
+//       single mmap+batch pass classify uses, via the bounded-memory
+//       streaming builders (analysis::StreamingReport) — peak RSS is
+//       independent of trace length.
 //
 //   spoofscope detect --mrt FILE[,FILE...] --trace FILE [--rpsl FILE]
 //              [--window SECONDS] [--skew SECONDS]
@@ -55,11 +59,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/attack_patterns.hpp"
-#include "analysis/filtering_strategy.hpp"
-#include "analysis/member_stats.hpp"
-#include "analysis/table1.hpp"
-#include "analysis/venn.hpp"
+#include "analysis/streaming.hpp"
 #include "bgp/mrt_lite.hpp"
 #include "bgp/simulator.hpp"
 #include "classify/pipeline.hpp"
@@ -232,9 +232,11 @@ void finish_output(std::ofstream& out, const std::string& path) {
 }
 
 /// Writes the --stats-json document: every ingested source's stats plus
-/// (streaming mode) the detector health.
+/// (detect) the detector health and (report) the streaming-report
+/// summary.
 void write_stats_json(const std::string& path, const SourceStats& sources,
-                      const classify::DetectorHealth* health) {
+                      const classify::DetectorHealth* health,
+                      const analysis::ReportResult* report = nullptr) {
   auto out = open_output(path);
   out << "{\"sources\":[";
   for (std::size_t i = 0; i < sources.size(); ++i) {
@@ -244,6 +246,13 @@ void write_stats_json(const std::string& path, const SourceStats& sources,
   }
   out << ']';
   if (health != nullptr) out << ",\"detector\":" << classify::to_json(*health);
+  if (report != nullptr) {
+    out << ",\"report\":{\"flows\":" << report->flows
+        << ",\"members\":" << report->member_counts.size()
+        << ",\"incidents\":" << report->incidents.size()
+        << ",\"ntp_trigger_packets\":" << report->ntp.trigger_packets
+        << ",\"evictions\":" << report->evictions << '}';
+  }
   out << "}\n";
   finish_output(out, path);
 }
@@ -353,6 +362,7 @@ std::vector<net::Asn> scan_members(const net::MappedTrace& trace,
     while (reader.next_batch(batch, kChunkFlows) > 0) {
       for (const net::Asn m : batch.member_in()) members.insert(m);
       batch.clear();
+      reader.drop_consumed();
     }
   } catch (const std::exception&) {
     for (const net::Asn m : batch.member_in()) members.insert(m);
@@ -448,16 +458,21 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
   }
 
   // Second pass over the mapping: classify and aggregate batch-at-a-time
-  // (SoA lanes and the label buffer are reused across batches). Only
-  // `report` (whose member/attack analyses need the whole trace) keeps
-  // the flows around.
+  // (SoA lanes and the label buffer are reused across batches). `report`
+  // feeds the same batches to the bounded-memory streaming builders
+  // instead of materializing flows: every analysis is incremental, so
+  // peak RSS is independent of trace length.
   util::IngestStats trace_stats;
   net::MappedTraceReader reader(trace, policy, &trace_stats);
   classify::AggregateBuilder builder(ctx.classifier->space_count());
+  std::optional<analysis::StreamingReport> streaming;
+  if (report) {
+    analysis::ReportOptions opts;
+    opts.limits = analysis::ReportLimits::production();
+    streaming.emplace(ctx.classifier->space_count(), opts);
+  }
   net::FlowBatch batch;
   std::vector<classify::Label> labels;
-  std::vector<net::FlowRecord> all_flows;
-  std::vector<classify::Label> all_labels;
   std::uint64_t flow_count = 0;
   while (reader.next_batch(batch, kChunkFlows) > 0) {
     labels.resize(batch.size());
@@ -466,8 +481,13 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
     } else {
       ctx.classifier->classify_batch(batch, labels, pool);
     }
-    builder.add(batch, labels);
+    if (streaming) {
+      streaming->add(batch, labels);
+    } else {
+      builder.add(batch, labels);
+    }
     flow_count += batch.size();
+    reader.drop_consumed();
     if (labels_out) {
       for (std::size_t i = 0; i < batch.size(); ++i) {
         const auto f = batch.record(i);
@@ -478,16 +498,14 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
                     << '\n';
       }
     }
-    if (report) {
-      batch.append_to(all_flows);
-      all_labels.insert(all_labels.end(), labels.begin(), labels.end());
-    }
   }
   if (!trace_stats.clean()) print_ingest(trace_path, trace_stats);
   sources.emplace_back(trace_path, trace_stats);
 
-  // Totals.
-  const auto agg = builder.build();
+  // Totals (report: from the streaming pass's own aggregate).
+  std::optional<analysis::ReportResult> result;
+  if (streaming) result = streaming->finish();
+  const auto agg = result ? result->aggregate : builder.build();
   std::cout << "classified " << flow_count << " flows from "
             << ctx.members.size() << " members under "
             << inference::method_name(ctx.method) << " (routing view: "
@@ -509,32 +527,15 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
     std::cout << "\nper-flow labels written to " << flags.at("labels") << "\n";
   }
 
-  if (report) {
-    // Member-level analyses (no IXP metadata available from files: types
-    // default to Other).
-    const ixp::Ixp no_ixp;  // empty: member types unknown from files
-    const auto counts =
-        analysis::per_member_counts(all_flows, all_labels, 0, no_ixp);
-    std::cout << "\n" << analysis::format_venn(analysis::venn_membership(counts));
-    std::map<analysis::FilteringStrategy, std::size_t> strategies;
-    for (const auto& mc : counts) {
-      ++strategies[analysis::deduce_strategy(mc)];
-    }
-    std::cout << "\nDeduced filtering strategies:\n";
-    for (const auto& [s, n] : strategies) {
-      std::cout << "  " << util::pad_right(analysis::strategy_name(s), 18) << n
-                << "\n";
-    }
-    const auto ntp = analysis::analyze_ntp(all_flows, all_labels, 0);
-    std::cout << "\nNTP amplification: " << ntp.trigger_packets
-              << " trigger pkts from " << ntp.distinct_victims
-              << " victim IPs towards " << ntp.amplifiers_contacted
-              << " amplifiers; top member share "
-              << util::percent(ntp.top_member_share) << "\n";
+  if (result) {
+    // All analyses come out of the one streaming pass (no IXP metadata
+    // available from files: member types default to Other).
+    std::cout << "\n" << analysis::format_report(*result);
   }
 
   if (flags.count("stats-json")) {
-    write_stats_json(flags.at("stats-json"), sources, nullptr);
+    write_stats_json(flags.at("stats-json"), sources, nullptr,
+                     result ? &*result : nullptr);
     std::cout << "\ningest stats written to " << flags.at("stats-json") << "\n";
   }
   return 0;
@@ -626,6 +627,7 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
         }
       }
       batch.clear();  // records not yet ingested stay visible to the catch
+      reader.drop_consumed();
       if (!ckpt.empty() && ckpt_every != 0 &&
           detector.processed() - last_saved >= ckpt_every) {
         detector.save(ckpt);
