@@ -340,15 +340,24 @@ void BM_BatchDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchDecode)->Unit(benchmark::kMillisecond);
 
+/// The bench trace as one big SoA batch (built once per binary).
+const net::FlowBatch& world_batch() {
+  static const net::FlowBatch batch = [] {
+    net::FlowBatch b;
+    b.reserve(world().trace().flows.size());
+    for (const auto& f : world().trace().flows) b.push_back(f);
+    return b;
+  }();
+  return batch;
+}
+
 void BM_FlatClassifyBatch(benchmark::State& state) {
-  // The prefetched SoA kernel alone (batch already decoded): upper bound
-  // of the batched plane, and the number to compare against
-  // BM_FlatClassifyTrace's per-record loop.
-  const auto& w = world();
+  // The batch kernel alone (batch already decoded), on the auto-selected
+  // SIMD kernel: upper bound of the batched plane, and the number to
+  // compare against BM_FlatClassifyTrace's per-record loop. The
+  // per-kernel comparison lives in BM_FlatClassifyBatchKernel.
   const auto& flat = flat_world();
-  net::FlowBatch batch;
-  batch.reserve(w.trace().flows.size());
-  for (const auto& f : w.trace().flows) batch.push_back(f);
+  const auto& batch = world_batch();
   std::vector<classify::Label> labels(batch.size());
   for (auto _ : state) {
     flat.classify_batch(batch, labels);
@@ -358,6 +367,60 @@ void BM_FlatClassifyBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(batch.size()));
 }
 BENCHMARK(BM_FlatClassifyBatch)->Unit(benchmark::kMillisecond);
+
+void flat_classify_batch_kernel(benchmark::State& state,
+                                classify::SimdKernel kernel) {
+  // One registration per kernel usable on this host, so a single Release
+  // run records the scalar baseline and the SIMD speedup side by side.
+  const auto& flat = flat_world();
+  const auto& batch = world_batch();
+  std::vector<classify::Label> labels(batch.size());
+  for (auto _ : state) {
+    flat.classify_batch(batch, labels, kernel);
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+
+const int kKernelBenchesRegistered = [] {
+  for (const auto k : classify::usable_simd_kernels()) {
+    const std::string name = std::string("BM_FlatClassifyBatchKernel/simd:") +
+                             classify::simd_kernel_name(k);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [k](benchmark::State& st) { flat_classify_batch_kernel(st, k); })
+        ->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}();
+
+void BM_FlatClassifyBatchPrefetch(benchmark::State& state) {
+  // kPrefetchDistance sweep for the scalar fallback kernel (the hot path
+  // on non-AVX2/NEON hosts); the winner is compiled into
+  // flat_classifier.cpp and the numbers recorded in DESIGN.md §13.
+  const auto& flat = flat_world();
+  const auto& batch = world_batch();
+  std::vector<classify::Label> labels(batch.size());
+  const auto dist = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    flat.classify_batch_scalar(batch, labels, dist);
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_FlatClassifyBatchPrefetch)
+    ->ArgName("dist")
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
 
 // --- end-to-end throughput ----------------------------------------------------
 
@@ -388,6 +451,33 @@ void BM_EndToEndTraceClassification(benchmark::State& state) {
   state.SetItemsProcessed(records);
 }
 BENCHMARK(BM_EndToEndTraceClassification)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndTraceClassificationScalarKernel(benchmark::State& state) {
+  // Same pipeline pinned to the scalar batch kernel: the end-to-end lift
+  // attributable to SIMD is this number against
+  // BM_EndToEndTraceClassification.
+  const auto& trace = mapped_world_trace();
+  const auto& flat = flat_world();
+  const std::size_t spaces = world().classifier().space_count();
+  net::FlowBatch batch;
+  std::vector<classify::Label> labels;
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    net::MappedTraceReader reader(trace);
+    classify::AggregateBuilder builder(spaces);
+    while (reader.next_batch(batch, 8192) > 0) {
+      labels.resize(batch.size());
+      flat.classify_batch(batch, labels, classify::SimdKernel::kScalar);
+      builder.add(batch, labels);
+      records += static_cast<std::int64_t>(batch.size());
+    }
+    auto agg = builder.build();
+    benchmark::DoNotOptimize(agg);
+  }
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_EndToEndTraceClassificationScalarKernel)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EndToEndTraceClassificationPerRecordTrie(benchmark::State& state) {
   // The pre-batching baseline this PR is measured against.

@@ -6,12 +6,95 @@
 
 #include <benchmark/benchmark.h>
 
+#include <ctime>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <string_view>
 
+#include "classify/batch_kernels.hpp"
 #include "scenario/scenario.hpp"
 
 namespace spoofscope::bench {
+
+/// How the code under test was compiled. The system libbenchmark.so bakes
+/// its own (debug) build type into the JSON context, which is useless —
+/// and actively misleading — as provenance for OUR numbers: what matters
+/// is whether the spoofscope translation units were optimized.
+/// tools/run_benches.sh refuses to record BENCH JSON that does not say
+/// "release" here.
+inline const char* spoofscope_build_type() {
+#if defined(NDEBUG) && defined(__OPTIMIZE__)
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Comma-separated kernels the differentials/benches can run here.
+inline std::string simd_kernels_string() {
+  std::string out;
+  for (const auto k : classify::usable_simd_kernels()) {
+    if (!out.empty()) out += ",";
+    out += classify::simd_kernel_name(k);
+  }
+  return out;
+}
+
+/// JSON file reporter that emits a truthful context block. The stock
+/// JSONReporter's "library_build_type" reports how libbenchmark.so was
+/// compiled (the distro ships a debug build), not how this binary was;
+/// recording it once mislabelled BENCH_perf_core.json as a debug run.
+/// Only ReportContext is overridden — it must end with the opening of
+/// the "benchmarks" array exactly as the base class does, because the
+/// inherited ReportRuns/Finalize complete that JSON structure.
+class ProvenanceJsonReporter : public ::benchmark::JSONReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    std::ostream& out = GetOutputStream();
+    char when[64] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm tm{}; localtime_r(&now, &tm) != nullptr) {
+      std::strftime(when, sizeof when, "%Y-%m-%dT%H:%M:%S%z", &tm);
+    }
+    out << "{\n";
+    out << "  \"context\": {\n";
+    out << "    \"date\": \"" << when << "\",\n";
+    out << "    \"host_name\": \"" << context.sys_info.name << "\",\n";
+    out << "    \"executable\": \"" << Context::executable_name << "\",\n";
+    out << "    \"num_cpus\": " << context.cpu_info.num_cpus << ",\n";
+    out << "    \"mhz_per_cpu\": "
+        << static_cast<long>(context.cpu_info.cycles_per_second / 1e6)
+        << ",\n";
+    out << "    \"cpu_scaling_enabled\": "
+        << (context.cpu_info.scaling == ::benchmark::CPUInfo::ENABLED
+                ? "true"
+                : "false")
+        << ",\n";
+    out << "    \"library_build_type\": \"" << spoofscope_build_type()
+        << "\",\n";
+    out << "    \"spoofscope_build_type\": \"" << spoofscope_build_type()
+        << "\",\n";
+    out << "    \"spoofscope_simd_kernels\": \"" << simd_kernels_string()
+        << "\"\n";
+    out << "  },\n";
+    out << "  \"benchmarks\": [\n";
+    return true;
+  }
+};
+
+/// True when --benchmark_out is among the args (before Initialize eats
+/// them): the file reporter may only be passed to RunSpecifiedBenchmarks
+/// when an output file is configured.
+inline bool wants_file_report(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--benchmark_out" || arg.rfind("--benchmark_out=", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
 
 /// The bench-scale configuration: large enough for the paper's shapes to
 /// be visible, small enough that the whole bench suite runs in minutes.
@@ -66,13 +149,23 @@ inline void print_header(const char* artifact, const char* paper_summary) {
 
 }  // namespace spoofscope::bench
 
-/// Standard bench main: timers first, reproduction output second.
-#define SPOOFSCOPE_BENCH_MAIN(print_fn)                       \
-  int main(int argc, char** argv) {                           \
-    ::benchmark::Initialize(&argc, argv);                     \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
-      return 1;                                               \
-    ::benchmark::RunSpecifiedBenchmarks();                    \
-    print_fn();                                               \
-    return 0;                                                 \
+/// Standard bench main: timers first, reproduction output second. When
+/// --benchmark_out is given, the JSON goes through ProvenanceJsonReporter
+/// so the recorded context describes this binary's build, not the
+/// system libbenchmark's.
+#define SPOOFSCOPE_BENCH_MAIN(print_fn)                                 \
+  int main(int argc, char** argv) {                                     \
+    const bool to_file = ::spoofscope::bench::wants_file_report(argc,   \
+                                                                argv);  \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))           \
+      return 1;                                                         \
+    if (to_file) {                                                      \
+      ::spoofscope::bench::ProvenanceJsonReporter file_reporter;        \
+      ::benchmark::RunSpecifiedBenchmarks(nullptr, &file_reporter);     \
+    } else {                                                            \
+      ::benchmark::RunSpecifiedBenchmarks();                            \
+    }                                                                   \
+    print_fn();                                                         \
+    return 0;                                                           \
   }

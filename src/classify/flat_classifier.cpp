@@ -243,8 +243,14 @@ FlatClassifier FlatClassifier::compile_impl(const Classifier& source,
 
   const std::size_t num_spaces = flat.spaces_.size();
   flat.num_prefixes_ = table.prefix_count();
-  flat.records_.assign(flat.members_.size() * flat.num_prefixes_, 0);
+  // One zeroed element of tail padding keeps the vector kernels' 32-bit
+  // record gathers in bounds at the last real record; every size that
+  // shapes behaviour (digest, snapshot save, stats) counts
+  // members * prefixes explicitly.
+  const std::size_t record_count = flat.members_.size() * flat.num_prefixes_;
+  flat.records_.assign(record_count + 1, 0);
   flat.records_view_ = flat.records_.data();
+  flat.records_gather_safe_ = true;
   flat.fallback_.assign(flat.members_.size() * num_spaces, nullptr);
 
   // Address-ordered prefix ranges: each (member, space) row is built by a
@@ -308,25 +314,14 @@ FlatClassifier FlatClassifier::compile_impl(const Classifier& source,
     if (fb) ++flat.stats_.partial_rows;
   }
   flat.stats_.table_bytes = kBaseEntries * sizeof(std::uint32_t);
-  flat.stats_.bitset_bytes = flat.records_.size() * sizeof(std::uint16_t);
+  flat.stats_.bitset_bytes = record_count * sizeof(std::uint16_t);
   flat.stats_.prefixes = flat.num_prefixes_;
   flat.stats_.members = flat.members_.size();
   return flat;
 }
 
 FlatClassifier::MemberView FlatClassifier::member_view(Asn member) const {
-  MemberView view;
-  view.member_ = member;
-  std::uint32_t h =
-      (static_cast<std::uint32_t>(member) * 2654435761u) & probe_mask_;
-  while (probe_slots_[h] != MemberView::kNoSlot) {
-    if (probe_keys_[h] == member) {
-      view.slot_ = probe_slots_[h];
-      break;
-    }
-    h = (h + 1) & probe_mask_;
-  }
-  return view;
+  return view_for(member, slot_of(member));
 }
 
 TrafficClass FlatClassifier::class_in_space(net::Ipv4Addr src,
@@ -404,7 +399,8 @@ TrafficClass FlatClassifier::classify(net::Ipv4Addr src, const MemberView& view,
 template <typename GetSrc, typename GetMember>
 void FlatClassifier::classify_kernel(std::size_t begin, std::size_t end,
                                      GetSrc&& src_at, GetMember&& member_at,
-                                     Label* out) const {
+                                     Label* out,
+                                     std::size_t prefetch_distance) const {
   // Member views are memoized per distinct ASN (unordered_map values are
   // pointer-stable), with a last-member fast path for runs; base-table
   // reads are prefetched a fixed distance ahead so consecutive random
@@ -414,8 +410,8 @@ void FlatClassifier::classify_kernel(std::size_t begin, std::size_t end,
   Asn last_member = net::kNoAsn;
   const MemberView* last_view = nullptr;
   for (std::size_t i = begin; i < end; ++i) {
-    if (i + kPrefetchDistance < end) {
-      prefetch_ro(base + (src_at(i + kPrefetchDistance) >> 8));
+    if (i + prefetch_distance < end && prefetch_distance != 0) {
+      prefetch_ro(base + (src_at(i + prefetch_distance) >> 8));
     }
     const Asn member = member_at(i);
     if (member != last_member || last_view == nullptr) {
@@ -428,32 +424,105 @@ void FlatClassifier::classify_kernel(std::size_t begin, std::size_t end,
   }
 }
 
+void FlatClassifier::kernel_scalar(const std::uint32_t* src, const Asn* member,
+                                   std::size_t n, Label* out,
+                                   std::size_t prefetch_distance) const {
+  classify_kernel(
+      0, n, [src](std::size_t i) { return src[i]; },
+      [member](std::size_t i) { return member[i]; }, out, prefetch_distance);
+}
+
+void FlatClassifier::resolve_pending(const std::uint32_t* src,
+                                     const Asn* member,
+                                     const std::uint32_t* entry,
+                                     const std::uint32_t* slot,
+                                     const std::uint32_t* pending,
+                                     std::size_t n_pending, Label* out) const {
+  for (std::size_t p = 0; p < n_pending; ++p) {
+    const std::uint32_t i = pending[p];
+    const MemberView view = view_for(member[i], slot[i]);
+    const std::uint32_t e = entry[i];
+    out[i] = (e >> kKindShift) == kKindOverflow
+                 ? classify_overflow(net::Ipv4Addr(src[i]), view)
+                 : classify_routed(net::Ipv4Addr(src[i]), e & kPayloadMask,
+                                   view);
+  }
+}
+
+SimdKernel FlatClassifier::effective_kernel(SimdKernel requested) const {
+  const SimdKernel kernel = resolve_simd_kernel(requested);
+  if (kernel == SimdKernel::kAvx2 &&
+      members_.size() * num_prefixes_ >= (std::size_t{1} << 31)) {
+    return SimdKernel::kScalar;
+  }
+  return kernel;
+}
+
+void FlatClassifier::run_kernel(SimdKernel kernel, const std::uint32_t* src,
+                                const Asn* member, std::size_t n,
+                                Label* out) const {
+  switch (kernel) {
+#if SPOOFSCOPE_KERNEL_AVX2
+    case SimdKernel::kAvx2:
+      kernel_avx2(src, member, n, out);
+      return;
+#endif
+#if SPOOFSCOPE_KERNEL_NEON
+    case SimdKernel::kNeon:
+      kernel_neon(src, member, n, out);
+      return;
+#endif
+    default:
+      kernel_scalar(src, member, n, out, kPrefetchDistance);
+      return;
+  }
+}
+
 void FlatClassifier::classify_batch(const net::FlowBatch& batch,
                                     std::span<Label> out) const {
+  classify_batch(batch, out, SimdKernel::kAuto);
+}
+
+void FlatClassifier::classify_batch(const net::FlowBatch& batch,
+                                    std::span<Label> out,
+                                    SimdKernel kernel) const {
   if (out.size() != batch.size()) {
     throw std::invalid_argument("classify_batch: label span size mismatch");
   }
-  const auto src = batch.src();
-  const auto member = batch.member_in();
-  classify_kernel(
-      0, batch.size(), [src](std::size_t i) { return src[i]; },
-      [member](std::size_t i) { return member[i]; }, out.data());
+  run_kernel(effective_kernel(kernel), batch.src().data(),
+             batch.member_in().data(), batch.size(), out.data());
 }
 
 void FlatClassifier::classify_batch(const net::FlowBatch& batch,
                                     std::span<Label> out,
                                     util::ThreadPool& pool) const {
+  classify_batch(batch, out, pool, SimdKernel::kAuto);
+}
+
+void FlatClassifier::classify_batch(const net::FlowBatch& batch,
+                                    std::span<Label> out,
+                                    util::ThreadPool& pool,
+                                    SimdKernel kernel) const {
   if (out.size() != batch.size()) {
     throw std::invalid_argument("classify_batch: label span size mismatch");
   }
-  const auto src = batch.src();
-  const auto member = batch.member_in();
+  const SimdKernel resolved = effective_kernel(kernel);
+  const std::uint32_t* src = batch.src().data();
+  const Asn* member = batch.member_in().data();
   Label* labels = out.data();
   pool.parallel_for(0, batch.size(), [&](std::size_t b, std::size_t e) {
-    classify_kernel(
-        b, e, [src](std::size_t i) { return src[i]; },
-        [member](std::size_t i) { return member[i]; }, labels);
+    run_kernel(resolved, src + b, member + b, e - b, labels + b);
   });
+}
+
+void FlatClassifier::classify_batch_scalar(const net::FlowBatch& batch,
+                                           std::span<Label> out,
+                                           std::size_t prefetch_distance) const {
+  if (out.size() != batch.size()) {
+    throw std::invalid_argument("classify_batch: label span size mismatch");
+  }
+  kernel_scalar(batch.src().data(), batch.member_in().data(), batch.size(),
+                out.data(), prefetch_distance);
 }
 
 std::vector<Label> FlatClassifier::classify_batch(
@@ -465,12 +534,40 @@ std::vector<Label> FlatClassifier::classify_batch(
 
 void FlatClassifier::classify_records(std::span<const net::FlowRecord> flows,
                                       std::span<Label> out) const {
+  classify_records(flows, out, SimdKernel::kAuto);
+}
+
+void FlatClassifier::classify_records(std::span<const net::FlowRecord> flows,
+                                      std::span<Label> out,
+                                      SimdKernel kernel) const {
   if (out.size() != flows.size()) {
     throw std::invalid_argument("classify_records: label span size mismatch");
   }
-  classify_kernel(
-      0, flows.size(), [flows](std::size_t i) { return flows[i].src.value(); },
-      [flows](std::size_t i) { return flows[i].member_in; }, out.data());
+  const SimdKernel resolved = effective_kernel(kernel);
+  if (resolved == SimdKernel::kScalar) {
+    classify_kernel(
+        0, flows.size(),
+        [flows](std::size_t i) { return flows[i].src.value(); },
+        [flows](std::size_t i) { return flows[i].member_in; }, out.data(),
+        kPrefetchDistance);
+    return;
+  }
+  // Vector kernels read SoA lanes: repack the AoS records tile-wise. The
+  // copies are linear streams — a small cost against the gather savings.
+  constexpr std::size_t kPackTile = 4096;
+  thread_local std::vector<std::uint32_t> src_lane;
+  thread_local std::vector<Asn> member_lane;
+  src_lane.resize(kPackTile);
+  member_lane.resize(kPackTile);
+  for (std::size_t t = 0; t < flows.size(); t += kPackTile) {
+    const std::size_t m = std::min(kPackTile, flows.size() - t);
+    for (std::size_t i = 0; i < m; ++i) {
+      src_lane[i] = flows[t + i].src.value();
+      member_lane[i] = flows[t + i].member_in;
+    }
+    run_kernel(resolved, src_lane.data(), member_lane.data(), m,
+               out.data() + t);
+  }
 }
 
 std::uint64_t FlatClassifier::plane_digest() const {
@@ -492,20 +589,21 @@ std::uint64_t FlatClassifier::plane_digest() const {
 }
 
 std::vector<Label> classify_trace(const FlatClassifier& classifier,
-                                  std::span<const net::FlowRecord> flows) {
+                                  std::span<const net::FlowRecord> flows,
+                                  SimdKernel kernel) {
   std::vector<Label> labels(flows.size());
-  classifier.classify_records(flows, labels);
+  classifier.classify_records(flows, labels, kernel);
   return labels;
 }
 
 std::vector<Label> classify_trace(const FlatClassifier& classifier,
                                   std::span<const net::FlowRecord> flows,
-                                  util::ThreadPool& pool) {
+                                  util::ThreadPool& pool, SimdKernel kernel) {
   std::vector<Label> labels(flows.size());
   Label* out = labels.data();
   pool.parallel_for(0, flows.size(), [&](std::size_t b, std::size_t e) {
     classifier.classify_records(flows.subspan(b, e - b),
-                                std::span<Label>(out + b, e - b));
+                                std::span<Label>(out + b, e - b), kernel);
   });
   return labels;
 }

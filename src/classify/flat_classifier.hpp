@@ -34,6 +34,7 @@
 #include <memory>
 #include <vector>
 
+#include "classify/batch_kernels.hpp"
 #include "classify/classifier.hpp"
 
 namespace spoofscope::net {
@@ -107,23 +108,51 @@ class FlatClassifier {
 
   Label classify_all(net::Ipv4Addr src, const MemberView& view) const;
 
-  /// Batch classification over a FlowBatch's SoA lanes: member views are
-  /// memoized per distinct ASN and the base-table reads are
-  /// software-prefetched a fixed distance ahead, overlapping the random
-  /// 64 MiB-table misses that dominate per-record cost. out.size() must
-  /// equal batch.size(); labels are element-wise identical to calling
-  /// classify_all per record.
+  /// Batch classification over a FlowBatch's SoA lanes through the best
+  /// kernel this build + CPU supports (SimdKernel::kAuto): an 8-wide AVX2
+  /// gather kernel, a 4-wide NEON kernel, or the portable scalar loop
+  /// with software prefetch. All kernels run a two-phase hot/slow split —
+  /// phase 1 resolves the pure-table fast path for the whole batch and
+  /// compacts the rows that touch the overflow or interval-set fallback
+  /// lanes; phase 2 re-runs only those through the exact scalar slow
+  /// lane — so labels are element-wise identical to calling classify_all
+  /// per record, whichever kernel runs. out.size() must equal
+  /// batch.size().
   void classify_batch(const net::FlowBatch& batch, std::span<Label> out) const;
+
+  /// Kernel-pinned variant: `kernel` selects the implementation (the
+  /// --simd knob); an explicit kernel this build/CPU cannot run throws.
+  void classify_batch(const net::FlowBatch& batch, std::span<Label> out,
+                      SimdKernel kernel) const;
 
   /// Parallel batch variant (contiguous deterministic chunks).
   void classify_batch(const net::FlowBatch& batch, std::span<Label> out,
                       util::ThreadPool& pool) const;
 
+  void classify_batch(const net::FlowBatch& batch, std::span<Label> out,
+                      util::ThreadPool& pool, SimdKernel kernel) const;
+
   std::vector<Label> classify_batch(const net::FlowBatch& batch) const;
 
-  /// Same prefetched kernel over AoS records (what classify_trace uses).
+  /// Same kernels over AoS records (what classify_trace uses); non-scalar
+  /// kernels pack the src/member lanes tile-wise into SoA scratch.
   void classify_records(std::span<const net::FlowRecord> flows,
                         std::span<Label> out) const;
+
+  void classify_records(std::span<const net::FlowRecord> flows,
+                        std::span<Label> out, SimdKernel kernel) const;
+
+  /// Tuning hook for the prefetch-distance sweep bench: the portable
+  /// scalar kernel with an explicit lookahead instead of the compiled-in
+  /// default. Not a dispatch path — labels are identical at any distance.
+  void classify_batch_scalar(const net::FlowBatch& batch, std::span<Label> out,
+                             std::size_t prefetch_distance) const;
+
+  /// The concrete kernel a request resolves to against this plane. Mostly
+  /// resolve_simd_kernel(), plus one plane-specific demotion: the AVX2
+  /// record gather indexes 32-bit, so planes whose record lane exceeds
+  /// 2^31 entries fall back to scalar record loads via kScalar.
+  SimdKernel effective_kernel(SimdKernel requested) const;
 
   /// 64-bit FNV-1a digest over the complete compiled plane (base table,
   /// membership records, member order, fallback lanes). Two compiles with
@@ -170,9 +199,54 @@ class FlatClassifier {
   /// Rebuilds the open-addressed probe table from members_.
   void rebuild_probe();
 
+  /// member_view without the handle: the slot, or MemberView::kNoSlot.
+  std::uint32_t slot_of(Asn member) const {
+    std::uint32_t h =
+        (static_cast<std::uint32_t>(member) * 2654435761u) & probe_mask_;
+    while (probe_slots_[h] != MemberView::kNoSlot) {
+      if (probe_keys_[h] == member) return probe_slots_[h];
+      h = (h + 1) & probe_mask_;
+    }
+    return MemberView::kNoSlot;
+  }
+
+  /// Reassembles a handle from a slot the kernels resolved earlier.
+  MemberView view_for(Asn member, std::uint32_t slot) const {
+    MemberView view;
+    view.member_ = member;
+    view.slot_ = slot;
+    return view;
+  }
+
   template <typename GetSrc, typename GetMember>
   void classify_kernel(std::size_t begin, std::size_t end, GetSrc&& src_at,
-                       GetMember&& member_at, Label* out) const;
+                       GetMember&& member_at, Label* out,
+                       std::size_t prefetch_distance) const;
+
+  /// Dispatches one contiguous SoA run to the resolved kernel. `kernel`
+  /// must be concrete (never kAuto) and usable in this build.
+  void run_kernel(SimdKernel kernel, const std::uint32_t* src,
+                  const Asn* member, std::size_t n, Label* out) const;
+
+  void kernel_scalar(const std::uint32_t* src, const Asn* member,
+                     std::size_t n, Label* out,
+                     std::size_t prefetch_distance) const;
+#if SPOOFSCOPE_KERNEL_AVX2
+  void kernel_avx2(const std::uint32_t* src, const Asn* member, std::size_t n,
+                   Label* out) const;
+#endif
+#if SPOOFSCOPE_KERNEL_NEON
+  void kernel_neon(const std::uint32_t* src, const Asn* member, std::size_t n,
+                   Label* out) const;
+#endif
+
+  /// Shared phase-2 slow lane: re-resolves the pending rows a vector
+  /// kernel compacted (overflow entries and partial-bit records) through
+  /// the exact scalar paths.
+  void resolve_pending(const std::uint32_t* src, const Asn* member,
+                       const std::uint32_t* entry, const std::uint32_t* slot,
+                       const std::uint32_t* pending, std::size_t n_pending,
+                       Label* out) const;
 
   /// Base-class table, kBaseEntries entries. Heap array instead of a
   /// vector so the compile can skip the 64 MiB zero-fill: stripes only
@@ -198,6 +272,12 @@ class FlatClassifier {
   /// 8-byte aligned, little-endian hosts only on the mapped path).
   const std::uint32_t* base_view_ = nullptr;
   const std::uint16_t* records_view_ = nullptr;
+  /// True when a 32-bit gather load at the last record cannot overread
+  /// the backing storage: compile() pads owned records_ by one element;
+  /// mapped planes set this only if the snapshot has trailing bytes.
+  /// When false, vector kernels use scalar record loads (labels are
+  /// identical either way — only the load width changes).
+  bool records_gather_safe_ = false;
   /// Keeps the mapped snapshot alive for the lifetime of the views.
   std::shared_ptr<const net::MappedTrace> plane_mapping_;
   /// Per (slot, method): the member's interval set when any partial bit
@@ -214,11 +294,13 @@ class FlatClassifier {
 /// Trace classification on the flat engine; element-wise identical to the
 /// trie-engine classify_trace.
 std::vector<Label> classify_trace(const FlatClassifier& classifier,
-                                  std::span<const net::FlowRecord> flows);
+                                  std::span<const net::FlowRecord> flows,
+                                  SimdKernel kernel = SimdKernel::kAuto);
 
 /// Parallel variant (same chunking contract as the trie overload).
 std::vector<Label> classify_trace(const FlatClassifier& classifier,
                                   std::span<const net::FlowRecord> flows,
-                                  util::ThreadPool& pool);
+                                  util::ThreadPool& pool,
+                                  SimdKernel kernel = SimdKernel::kAuto);
 
 }  // namespace spoofscope::classify

@@ -18,12 +18,24 @@ StreamingDetector::StreamingDetector(const FlatClassifier& classifier,
                                      StreamingParams params)
     : flat_(&classifier), space_idx_(space_idx), params_(params) {}
 
+TrafficClass StreamingDetector::classify_one(
+    const net::FlowRecord& flow) const {
+  return flat_ ? flat_->classify(flow.src, flow.member_in, space_idx_)
+               : classifier_->classify(flow.src, flow.member_in, space_idx_);
+}
+
 void StreamingDetector::ingest(const net::FlowRecord& flow,
                                const AlertFn& on_alert) {
+  ingest_classified(flow, classify_one(flow), on_alert);
+}
+
+void StreamingDetector::ingest_classified(const net::FlowRecord& flow,
+                                          TrafficClass cls,
+                                          const AlertFn& on_alert) {
   ++processed_;
   const std::uint32_t skew = params_.reorder_skew_seconds;
   if (skew == 0) {
-    account(flow, on_alert);
+    account(flow, cls, on_alert);
     return;
   }
   // Watermark reordering: a flow is deliverable once the maximum
@@ -33,7 +45,7 @@ void StreamingDetector::ingest(const net::FlowRecord& flow,
     ++health_.late_drops;
     return;
   }
-  pending_.push({flow, seq_++});
+  pending_.push({flow, cls, seq_++});
   watermark_ = saw_any_ ? std::max(watermark_, flow.ts) : flow.ts;
   saw_any_ = true;
   health_.max_reorder_depth =
@@ -53,8 +65,22 @@ void StreamingDetector::ingest(const net::FlowRecord& flow,
 
 void StreamingDetector::ingest_batch(const net::FlowBatch& batch,
                                      const AlertFn& on_alert) {
+  if (flat_ == nullptr) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ingest(batch.record(i), on_alert);
+    }
+    return;
+  }
+  // Flat engine: classify the whole batch through the SIMD kernel, then
+  // ingest in lane order with the classes precomputed. Classification is
+  // a pure per-flow function, so alerts and health counters stay
+  // identical to per-record ingest.
+  batch_labels_.resize(batch.size());
+  flat_->classify_batch(batch, batch_labels_, params_.simd);
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    ingest(batch.record(i), on_alert);
+    ingest_classified(batch.record(i),
+                      Classifier::unpack(batch_labels_[i], space_idx_),
+                      on_alert);
   }
 }
 
@@ -63,9 +89,9 @@ void StreamingDetector::flush(const AlertFn& on_alert) {
 }
 
 void StreamingDetector::release_one(const AlertFn& on_alert) {
-  const net::FlowRecord flow = pending_.top().flow;
+  const Pending p = pending_.top();
   pending_.pop();
-  account(flow, on_alert);
+  account(p.flow, p.cls, on_alert);
 }
 
 void StreamingDetector::touch_member(Asn member, MemberWindow& w,
@@ -84,7 +110,7 @@ void StreamingDetector::evict_idle_member() {
   ++health_.member_evictions;
 }
 
-void StreamingDetector::account(const net::FlowRecord& flow,
+void StreamingDetector::account(const net::FlowRecord& flow, TrafficClass cls,
                                 const AlertFn& on_alert) {
   // The window math below assumes nondecreasing timestamps; a regression
   // that survived the reorder buffer (or arrived with the buffer
@@ -96,9 +122,6 @@ void StreamingDetector::account(const net::FlowRecord& flow,
   last_released_ts_ = flow.ts;
   released_any_ = true;
 
-  const TrafficClass cls =
-      flat_ ? flat_->classify(flow.src, flow.member_in, space_idx_)
-            : classifier_->classify(flow.src, flow.member_in, space_idx_);
   auto it = windows_.find(flow.member_in);
   if (it == windows_.end()) {
     if (params_.max_members != 0 && windows_.size() >= params_.max_members) {

@@ -37,6 +37,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "classify/batch_kernels.hpp"
 #include "classify/classifier.hpp"
 #include "net/flow.hpp"
 #include "util/error_policy.hpp"
@@ -88,6 +89,12 @@ struct StreamingParams {
   /// retires the member's oldest sample early, counted in
   /// health().sample_evictions.
   std::size_t max_window_samples = 0;
+
+  /// Batch-classification kernel for the flat engine (ingest_batch
+  /// classifies whole batches through it; the kernels are proven
+  /// bit-identical, so — like the engine choice — this is excluded from
+  /// config_hash() and checkpoints stay portable across kernels).
+  SimdKernel simd = SimdKernel::kAuto;
 };
 
 /// Degradation counters: how far the detector had to deviate from the
@@ -191,6 +198,11 @@ class StreamingDetector {
   };
   struct Pending {
     net::FlowRecord flow;
+    /// Classified at ingest (classification is a pure per-flow function,
+    /// so computing it before or after buffering is equivalent — doing
+    /// it at ingest lets ingest_batch classify whole batches through the
+    /// SIMD kernels). Recomputed on checkpoint restore.
+    TrafficClass cls = TrafficClass::kInvalid;
     std::uint64_t seq;  ///< arrival order; stabilizes equal timestamps
   };
   struct PendingLater {
@@ -200,8 +212,15 @@ class StreamingDetector {
     }
   };
 
+  /// Per-flow classification on whichever engine is configured.
+  TrafficClass classify_one(const net::FlowRecord& flow) const;
+  /// ingest() with the class already resolved (the batch path classifies
+  /// up front through the SIMD kernels).
+  void ingest_classified(const net::FlowRecord& flow, TrafficClass cls,
+                         const AlertFn& on_alert);
   /// Window accounting + alerting for one in-order flow.
-  void account(const net::FlowRecord& flow, const AlertFn& on_alert);
+  void account(const net::FlowRecord& flow, TrafficClass cls,
+               const AlertFn& on_alert);
   /// Pops the earliest buffered flow into account().
   void release_one(const AlertFn& on_alert);
   /// Evicts the least-recently-active member (ties: smallest ASN).
@@ -227,6 +246,7 @@ class StreamingDetector {
   bool released_any_ = false;         ///< last_released_ts_ is meaningful
   std::uint64_t processed_ = 0;
   DetectorHealth health_;
+  std::vector<Label> batch_labels_;  ///< ingest_batch scratch (flat engine)
 };
 
 }  // namespace spoofscope::classify

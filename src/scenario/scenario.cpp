@@ -140,7 +140,8 @@ Scenario::Scenario(const ScenarioParams& params)
   if (params_.engine == classify::Engine::kFlat) {
     flat_ = std::make_unique<classify::FlatClassifier>(
         classify::FlatClassifier::compile(classifier_, pool_));
-    labels_ = classify::classify_trace(*flat_, workload_.trace.flows, pool_);
+    labels_ = classify::classify_trace(*flat_, workload_.trace.flows, pool_,
+                                       params_.simd);
   } else {
     labels_ = classify::classify_trace(classifier_, workload_.trace.flows,
                                        pool_);

@@ -50,6 +50,11 @@ struct ScenarioParams {
   /// for both; flat trades a one-off compile for O(1) per-flow lookups.
   classify::Engine engine = classify::Engine::kTrie;
 
+  /// Batch kernel for flat-engine classification (the --simd knob).
+  /// Kernels are proven bit-identical, so this changes throughput only;
+  /// ignored under the trie engine.
+  classify::SimdKernel simd = classify::SimdKernel::kAuto;
+
   /// Laptop-quick configuration for tests and examples.
   static ScenarioParams small();
 

@@ -252,6 +252,10 @@ bool StreamingDetector::restore(const std::string& path,
         p.flow.bytes = r.u64();
         p.flow.member_in = r.u32();
         p.flow.member_out = r.u32();
+        // The class is not serialized (it is a pure function of the flow
+        // and the plane, and keeping it out preserves the checkpoint
+        // format across the SIMD work); recompute it on the way in.
+        p.cls = classify_one(p.flow);
         pending_.push(std::move(p));
       }
       if (r.remaining() != 0) corrupt("trailing bytes in pending section");

@@ -192,6 +192,15 @@ classify::FlatClassifier PlaneCache::load_entry(
   // page- (or heap-) aligned, so the reinterpret views are aligned.
   flat.base_view_ = reinterpret_cast<const std::uint32_t*>(base.data());
   flat.records_view_ = reinterpret_cast<const std::uint16_t*>(records.data());
+  // The records section usually ends flush against the end of the
+  // mapping, where a 32-bit gather at the last 16-bit record would read
+  // past the file; the vector kernels then load records scalar instead.
+  {
+    const std::span<const std::uint8_t> all = mapping->bytes();
+    flat.records_gather_safe_ =
+        records.data() + records.size() + sizeof(std::uint16_t) <=
+        all.data() + all.size();
+  }
   flat.num_prefixes_ = num_prefixes;
   flat.rebuild_probe();
 

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <tuple>
 #include <unordered_set>
 #include <vector>
 
@@ -79,6 +80,95 @@ TEST_P(BatchOracleTest, BatchLabelsIdenticalToPerRecordOnBothEngines) {
     std::fill(out.begin(), out.end(), Label{0});
     flat.classify_batch(batch, out, pool);
     ASSERT_EQ(out, oracle) << "flat threads=" << threads;
+  }
+}
+
+TEST_P(BatchOracleTest, EveryUsableKernelMatchesForcedScalarOracle) {
+  auto params = scenario::ScenarioParams::small();
+  params.seed = GetParam();
+  const auto w = scenario::build_scenario(params);
+  const auto& flows = w->trace().flows;
+  const auto full = to_batch(flows);
+  const auto flat = FlatClassifier::compile(w->classifier());
+
+  // The oracle: the portable scalar kernel, forced explicitly (so this
+  // stays a kernel-vs-kernel differential even when SPOOFSCOPE_SIMD pins
+  // what kAuto resolves to). It must itself equal the trie engine.
+  std::vector<Label> oracle(full.size());
+  flat.classify_batch(full, oracle, SimdKernel::kScalar);
+  ASSERT_EQ(oracle, w->classifier().classify_batch(full));
+
+  // Batch sizes below/at/above the vector widths: ragged tails (1, 7,
+  // 31), a mid-size chunk (4095) and the whole trace in one batch.
+  const std::size_t sizes[] = {1, 7, 31, 4095, flows.size()};
+  for (const SimdKernel kernel : usable_simd_kernels()) {
+    for (const std::size_t chunk : sizes) {
+      std::vector<Label> got;
+      got.reserve(flows.size());
+      net::FlowBatch batch;
+      std::vector<Label> out;
+      for (std::size_t i = 0; i < flows.size(); i += chunk) {
+        const std::size_t n = std::min(chunk, flows.size() - i);
+        batch.clear();
+        for (std::size_t k = 0; k < n; ++k) batch.push_back(flows[i + k]);
+        out.resize(n);
+        flat.classify_batch(batch, out, kernel);
+        got.insert(got.end(), out.begin(), out.end());
+      }
+      ASSERT_EQ(got, oracle)
+          << simd_kernel_name(kernel) << " chunk=" << chunk;
+    }
+    for (const std::size_t threads : kThreadCounts) {
+      util::ThreadPool pool(threads);
+      std::vector<Label> out(full.size());
+      flat.classify_batch(full, out, pool, kernel);
+      ASSERT_EQ(out, oracle)
+          << simd_kernel_name(kernel) << " threads=" << threads;
+    }
+  }
+}
+
+TEST_P(BatchOracleTest, StreamingAlertsAndHealthIdenticalAcrossKernels) {
+  auto params = scenario::ScenarioParams::small();
+  params.seed = GetParam();
+  const auto w = scenario::build_scenario(params);
+  const auto& flows = w->trace().flows;
+  const auto flat = FlatClassifier::compile(w->classifier());
+
+  StreamingParams sp;
+  sp.window_seconds = 1800;
+  sp.min_spoofed_packets = 20;
+  sp.min_share = 0.01;
+  sp.reorder_skew_seconds = 60;  // skew > 0: pending heap carries classes
+
+  const auto run_with = [&](SimdKernel kernel) {
+    StreamingParams p = sp;
+    p.simd = kernel;
+    StreamingDetector det(flat, 0, p);
+    std::vector<SpoofingAlert> alerts;
+    const auto sink = [&alerts](const SpoofingAlert& a) {
+      alerts.push_back(a);
+    };
+    // Uneven batch sizes so alert boundaries land mid-batch.
+    net::FlowBatch batch;
+    std::size_t i = 0;
+    util::Rng rng(GetParam() ^ 0x513d);
+    while (i < flows.size()) {
+      const std::size_t n =
+          std::min(flows.size() - i, std::size_t{1} + rng.index(997));
+      batch.clear();
+      for (std::size_t k = 0; k < n; ++k) batch.push_back(flows[i + k]);
+      det.ingest_batch(batch, sink);
+      i += n;
+    }
+    det.flush(sink);
+    return std::tuple(std::move(alerts), det.processed(), det.health());
+  };
+
+  const auto expected = run_with(SimdKernel::kScalar);
+  EXPECT_FALSE(std::get<0>(expected).empty());  // thresholds actually fire
+  for (const SimdKernel kernel : usable_simd_kernels()) {
+    EXPECT_EQ(run_with(kernel), expected) << simd_kernel_name(kernel);
   }
 }
 

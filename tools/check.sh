@@ -18,6 +18,14 @@
 #      parser, which reinterprets mapped cache entries, plus the
 #      streaming-analysis oracle (sketch rank arithmetic, ratio
 #      histogram binning and eviction folds over adversarial batches)
+#   5. portable build guard: -DSPOOFSCOPE_DISABLE_SIMD=ON compiles only
+#      the scalar batch kernel — what a target with neither AVX2 nor
+#      NEON gets — and the batch differentials must still pass on it
+#
+# The batch-classification suites run twice per sanitizer stage: once
+# with SPOOFSCOPE_SIMD=auto (the vector kernel this host supports) and
+# once pinned to SPOOFSCOPE_SIMD=scalar, so every sanitizer inspects
+# both sides of the kernel differential.
 #
 # Usage: tools/check.sh
 set -euo pipefail
@@ -25,12 +33,35 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc)"
 
+# Suites that drive FlatClassifier::classify_batch and therefore get the
+# auto/scalar double run.
+BATCH_SUITES=(
+  classify_batch_oracle_test
+  classify_simd_kernel_test
+  classify_flat_oracle_test
+)
+
+is_batch_suite() {
+  local bin="$1" b
+  for b in "${BATCH_SUITES[@]}"; do
+    [[ "${bin}" == "${b}" ]] && return 0
+  done
+  return 1
+}
+
 run_suite() {
   local dir="$1"
   shift
   for bin in "$@"; do
-    echo "--- ${dir}/tests/${bin}"
-    "${REPO_ROOT}/${dir}/tests/${bin}"
+    if is_batch_suite "${bin}"; then
+      for kernel in auto scalar; do
+        echo "--- ${dir}/tests/${bin} (SPOOFSCOPE_SIMD=${kernel})"
+        SPOOFSCOPE_SIMD="${kernel}" "${REPO_ROOT}/${dir}/tests/${bin}"
+      done
+    else
+      echo "--- ${dir}/tests/${bin}"
+      "${REPO_ROOT}/${dir}/tests/${bin}"
+    fi
   done
 }
 
@@ -43,6 +74,7 @@ TSAN_SUITES=(
   classify_parallel_oracle_test
   classify_flat_oracle_test
   classify_batch_oracle_test
+  classify_simd_kernel_test
   classify_streaming_test
   classify_streaming_degraded_test
   robustness_differential_test
@@ -63,6 +95,7 @@ ASAN_SUITES=(
   classify_parallel_oracle_test
   classify_flat_oracle_test
   classify_batch_oracle_test
+  classify_simd_kernel_test
   trie_interval_set_test
   trie_property_test
   classify_test
@@ -86,6 +119,8 @@ run_suite build-asan "${ASAN_SUITES[@]}"
 UBSAN_SUITES=(
   parser_fuzz_test
   robustness_differential_test
+  classify_batch_oracle_test
+  classify_simd_kernel_test
   classify_streaming_degraded_test
   net_trace_test
   net_trace_batch_test
@@ -102,5 +137,17 @@ cmake -S "${REPO_ROOT}" -B "${REPO_ROOT}/build-ubsan" \
   -DSPOOFSCOPE_SANITIZE=undefined >/dev/null
 cmake --build "${REPO_ROOT}/build-ubsan" -j "${JOBS}" --target "${UBSAN_SUITES[@]}"
 run_suite build-ubsan "${UBSAN_SUITES[@]}"
+
+PORTABLE_SUITES=(
+  classify_batch_oracle_test
+  classify_simd_kernel_test
+)
+
+echo "=== portable guard: scalar-only build (SPOOFSCOPE_DISABLE_SIMD) ==="
+cmake -S "${REPO_ROOT}" -B "${REPO_ROOT}/build-portable" \
+  -DSPOOFSCOPE_DISABLE_SIMD=ON >/dev/null
+cmake --build "${REPO_ROOT}/build-portable" -j "${JOBS}" \
+  --target "${PORTABLE_SUITES[@]}"
+run_suite build-portable "${PORTABLE_SUITES[@]}"
 
 echo "=== all checks passed ==="

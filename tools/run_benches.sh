@@ -5,40 +5,61 @@
 # Usage: tools/run_benches.sh [extra google-benchmark flags...]
 #   e.g. tools/run_benches.sh --benchmark_filter='Flat'
 #
+# The bench tree is a dedicated Release build (build-bench) so recorded
+# numbers are never an unoptimized run: the JSON is written to a temp file
+# and only promoted to BENCH_perf_core.json after the provenance check
+# confirms the binary itself reports a release build. (The context block
+# comes from the binary's ProvenanceJsonReporter, not libbenchmark.so —
+# the distro ships a debug libbenchmark whose baked-in build type once
+# mislabelled a release run as "debug".)
+#
 # JSON goes through --benchmark_out (not stdout) so the reproduction report
 # the binary prints after the runs cannot corrupt it.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build-bench}"
 OUT_JSON="${REPO_ROOT}/BENCH_perf_core.json"
+TMP_JSON="$(mktemp "${TMPDIR:-/tmp}/bench_perf_core.XXXXXX.json")"
+trap 'rm -f "${TMP_JSON}"' EXIT
 
-cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" >/dev/null
+cmake -S "${REPO_ROOT}" -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BUILD_DIR}" --target bench_perf_core -j "$(nproc)"
 
 "${BUILD_DIR}/bench/bench_perf_core" \
-  --benchmark_out="${OUT_JSON}" \
+  --benchmark_out="${TMP_JSON}" \
   --benchmark_out_format=json \
   "$@"
 
-echo "wrote ${OUT_JSON}"
-
-# Machine-check the constant-memory claim: BM_ReportStreaming records
-# rss_growth_kb (resident-set delta across the bench loop) per trace
-# multiplier; streaming report memory must not scale with trace length,
-# so the 10x growth may exceed the 1x growth only by a fixed slack.
-if command -v python3 >/dev/null 2>&1; then
-  python3 - "${OUT_JSON}" <<'PY'
+# Refuse to record results from an unoptimized binary, then machine-check
+# the constant-memory claim: BM_ReportStreaming records rss_growth_kb
+# (resident-set delta across the bench loop) per trace multiplier;
+# streaming report memory must not scale with trace length, so the 10x
+# growth may exceed the 1x growth only by a fixed slack. Also prints the
+# vector-kernel speedup whenever the run measured both kernels.
+python3 - "${TMP_JSON}" <<'PY'
 import json, sys
 
 SLACK_KB = 32 * 1024  # allocator noise, not O(trace) growth
 
+doc = json.load(open(sys.argv[1]))
+build = doc.get("context", {}).get("spoofscope_build_type", "unknown")
+if build != "release":
+    sys.exit(f"FAIL provenance check: spoofscope_build_type={build!r} "
+             "(refusing to record non-release numbers; the bench tree "
+             "must be configured with -DCMAKE_BUILD_TYPE=Release)")
+print(f"OK provenance check: spoofscope_build_type={build}")
+
+rate = {}
 growth = {}
-for b in json.load(open(sys.argv[1]))["benchmarks"]:
+for b in doc.get("benchmarks", []):
     name = b.get("name", "")
     if name.startswith("BM_ReportStreaming/trace_mult:"):
         mult = int(name.split("trace_mult:")[1].split("/")[0])
         growth[mult] = b.get("rss_growth_kb", 0.0)
+    if name.startswith("BM_FlatClassifyBatchKernel/simd:"):
+        kernel = name.split("simd:")[1].split("/")[0]
+        rate[kernel] = b.get("items_per_second", 0.0)
 if 1 in growth and 10 in growth:
     line = (f"BM_ReportStreaming rss_growth_kb: "
             f"1x={growth[1]:.0f} 10x={growth[10]:.0f}")
@@ -46,5 +67,13 @@ if 1 in growth and 10 in growth:
         sys.exit(f"FAIL constant-memory check: {line} "
                  f"(10x grew >{SLACK_KB}KB past 1x)")
     print(f"OK constant-memory check: {line}")
+for kernel, flows in sorted(rate.items()):
+    note = ""
+    if kernel != "scalar" and rate.get("scalar"):
+        note = f" ({flows / rate['scalar']:.2f}x scalar)"
+    print(f"kernel {kernel}: {flows / 1e6:.1f}M flows/s{note}")
 PY
-fi
+
+mv "${TMP_JSON}" "${OUT_JSON}"
+trap - EXIT
+echo "wrote ${OUT_JSON}"

@@ -91,21 +91,24 @@ constexpr std::size_t kChunkFlows = 1u << 17;
   std::cerr <<
       "usage:\n"
       "  spoofscope generate --out DIR [--seed N] [--paper] [--threads N]\n"
-      "                      [--engine trie|flat]\n"
+      "                      [--engine trie|flat] [--simd auto|avx2|neon|scalar]\n"
       "  spoofscope classify --mrt FILES --trace FILE [--rpsl FILE]\n"
       "                      [--method naive|cc|cc+org|full|full+org]\n"
       "                      [--labels OUT.csv] [--threads N]\n"
       "                      [--engine trie|flat] [--plane-cache DIR]\n"
+      "                      [--simd auto|avx2|neon|scalar]\n"
       "                      [--on-error strict|skip] [--stats-json PATH]\n"
       "  spoofscope report   --mrt FILES --trace FILE [--rpsl FILE]\n"
       "                      [--threads N] [--engine trie|flat]\n"
       "                      [--plane-cache DIR]\n"
+      "                      [--simd auto|avx2|neon|scalar]\n"
       "                      [--on-error strict|skip] [--stats-json PATH]\n"
       "  spoofscope detect   --mrt FILES --trace FILE [--rpsl FILE]\n"
       "                      [--method naive|cc|cc+org|full|full+org]\n"
       "                      [--window SECONDS] [--skew SECONDS]\n"
       "                      [--threads N] [--engine trie|flat]\n"
       "                      [--plane-cache DIR]\n"
+      "                      [--simd auto|avx2|neon|scalar]\n"
       "                      [--checkpoint PATH] [--checkpoint-every N]\n"
       "                      [--resume]\n"
       "                      [--on-error strict|skip] [--stats-json PATH]\n"
@@ -116,6 +119,10 @@ constexpr std::size_t kChunkFlows = 1u << 17;
       "--engine flat compiles the classifier into the DIR-24-8 flat plane\n"
       "(O(1) per-flow lookups) before classifying; labels are identical\n"
       "to the default trie engine.\n"
+      "--simd selects the flat engine's batch kernel (default auto = best\n"
+      "this build + CPU supports). Kernels are bit-identical; the knob\n"
+      "changes throughput only. Requesting a kernel this host cannot run\n"
+      "is an error, not a silent fallback. Ignored under --engine trie.\n"
       "--on-error skip quarantines malformed MRT lines, RPSL objects and\n"
       "corrupt trace records instead of aborting, prints an ingest report\n"
       "and analyses the surviving records (default: strict).\n"
@@ -171,6 +178,16 @@ classify::Engine engine_from(const std::map<std::string, std::string>& flags) {
   const auto engine = classify::parse_engine(flags.at("engine"));
   if (!engine) usage("unknown engine: " + flags.at("engine"));
   return *engine;
+}
+
+classify::SimdKernel simd_from(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("simd")) return classify::SimdKernel::kAuto;
+  const auto kernel = classify::parse_simd_kernel(flags.at("simd"));
+  if (!kernel) usage("unknown simd kernel: " + flags.at("simd"));
+  if (!classify::simd_kernel_usable(*kernel)) {
+    usage("simd kernel not usable on this host: " + flags.at("simd"));
+  }
+  return *kernel;
 }
 
 util::ErrorPolicy policy_from(const std::map<std::string, std::string>& flags) {
@@ -302,6 +319,7 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
   params.seed = u64_flag(flags, "seed", params.seed);
   params.threads = threads_from(flags);
   params.engine = engine_from(flags);
+  params.simd = simd_from(flags);
   const auto world = scenario::build_scenario(params);
 
   {
@@ -447,6 +465,7 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
   const net::MappedTrace trace(trace_path);
 
   util::ThreadPool pool(threads_from(flags));
+  const classify::SimdKernel simd = simd_from(flags);
   SourceStats sources;
   ClassifyContext ctx;
   build_context(flags, policy, trace, pool, sources, ctx);
@@ -477,7 +496,7 @@ int cmd_classify(const std::map<std::string, std::string>& flags, bool report) {
   while (reader.next_batch(batch, kChunkFlows) > 0) {
     labels.resize(batch.size());
     if (ctx.flat) {
-      ctx.flat->classify_batch(batch, labels, pool);
+      ctx.flat->classify_batch(batch, labels, pool, simd);
     } else {
       ctx.classifier->classify_batch(batch, labels, pool);
     }
@@ -557,6 +576,7 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
       static_cast<std::uint32_t>(u64_flag(flags, "window", params.window_seconds));
   params.reorder_skew_seconds =
       static_cast<std::uint32_t>(u64_flag(flags, "skew", 0));
+  params.simd = simd_from(flags);
   classify::StreamingDetector detector =
       ctx.flat ? classify::StreamingDetector(*ctx.flat, 0, params)
                : classify::StreamingDetector(*ctx.classifier, 0, params);
