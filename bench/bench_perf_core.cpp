@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <queue>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -17,6 +18,7 @@
 
 #include "analysis/streaming.hpp"
 #include "asgraph/full_cone.hpp"
+#include "bgp/message.hpp"
 #include "bgp/simulator.hpp"
 #include "classify/flat_classifier.hpp"
 #include "classify/pipeline.hpp"
@@ -184,6 +186,92 @@ BENCHMARK(BM_FlatCompileParallel)
     ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+/// Builds the oscillating 100-route batch pair for the plane-patch
+/// benchmarks. `scattered` false models flap/TE churn — each pair
+/// withdraws a routed prefix and announces its first-half split at the
+/// same address, so every canonical rank is preserved and the patch
+/// stays on its in-place path. `scattered` true is the worst case:
+/// withdrawals strided across the table plus brand-new announcements,
+/// shifting nearly every rank and forcing the remap + record-copy path.
+void build_patch_batches(bool scattered,
+                         std::vector<bgp::UpdateMessage>& forward,
+                         std::vector<bgp::UpdateMessage>& inverse) {
+  const auto& routed = world().table().prefixes();
+  const std::set<net::Prefix> in_table(routed.begin(), routed.end());
+  const auto add = [](std::vector<bgp::UpdateMessage>& batch,
+                      bgp::UpdateMessage::Kind kind, const net::Prefix& p) {
+    bgp::UpdateMessage u;
+    u.kind = kind;
+    u.prefix = p;
+    u.path = bgp::AsPath{65000};
+    batch.push_back(u);
+  };
+  using Kind = bgp::UpdateMessage::Kind;
+  if (scattered) {
+    // 50 strided withdrawals of routed prefixes ...
+    for (std::size_t i = 0; i < 50; ++i) {
+      const net::Prefix& p = routed[(i * 97) % routed.size()];
+      add(forward, Kind::kWithdraw, p);
+      add(inverse, Kind::kAnnounce, p);
+    }
+    // ... plus 50 announcements of /16s not already in the table (the
+    // scenario allocator roams the whole non-bogon space, so dedup).
+    for (std::uint32_t block = 0; forward.size() < 100; ++block) {
+      const net::Prefix p(net::Ipv4Addr(block << 16), 16);
+      if (in_table.count(p) != 0) continue;
+      add(forward, Kind::kAnnounce, p);
+      add(inverse, Kind::kWithdraw, p);
+    }
+    return;
+  }
+  // 50 withdraw-the-/N + announce-its-first-/N+1 pairs: both sort to the
+  // same canonical rank, so no other prefix renumbers.
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; pairs < 50; i += 97) {
+    const net::Prefix& p = routed[i % routed.size()];
+    if (p.length() > 23) continue;
+    const net::Prefix split(net::Ipv4Addr(p.first()),
+                            static_cast<std::uint8_t>(p.length() + 1));
+    if (in_table.count(split) != 0) continue;
+    add(forward, Kind::kWithdraw, p);
+    add(forward, Kind::kAnnounce, split);
+    add(inverse, Kind::kWithdraw, split);
+    add(inverse, Kind::kAnnounce, p);
+    ++pairs;
+  }
+}
+
+void BM_FlatPlanePatchImpl(benchmark::State& state, bool scattered) {
+  // Churn survival: apply a 100-route announce/withdraw batch in place
+  // instead of recompiling the whole plane. Iterations alternate a batch
+  // with its exact inverse so the plane oscillates between two states
+  // and every iteration pays a full 100-route patch.
+  auto flat = classify::FlatClassifier::compile(world().classifier());
+  std::vector<bgp::UpdateMessage> forward, inverse;
+  build_patch_batches(scattered, forward, inverse);
+  util::ThreadPool pool(0);  // hardware concurrency, like compile()
+  classify::FlatClassifier::UpdateApplyOptions opts;
+  opts.pool = &pool;
+  flat.apply_updates({}, opts);  // take ownership outside the timed loop
+  bool flip = false;
+  for (auto _ : state) {
+    const auto stats = flat.apply_updates(flip ? inverse : forward, opts);
+    benchmark::DoNotOptimize(stats);
+    flip = !flip;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+
+void BM_FlatPlanePatch(benchmark::State& state) {
+  BM_FlatPlanePatchImpl(state, /*scattered=*/false);
+}
+BENCHMARK(BM_FlatPlanePatch)->Unit(benchmark::kMillisecond);
+
+void BM_FlatPlanePatchScattered(benchmark::State& state) {
+  BM_FlatPlanePatchImpl(state, /*scattered=*/true);
+}
+BENCHMARK(BM_FlatPlanePatchScattered)->Unit(benchmark::kMillisecond);
 
 // --- ablation: trie LPM vs linear scan for the bogon check ------------------
 

@@ -363,9 +363,12 @@ Label FlatClassifier::classify_routed(net::Ipv4Addr src, std::uint32_t pid,
 Label FlatClassifier::classify_overflow(net::Ipv4Addr src,
                                         const MemberView& view) const {
   // Exact lane for /24 blocks broken by a longer-than-/24 prefix: re-run
-  // the cascade's trie lookups per address.
+  // the cascade's trie lookups per address. A live (patched) plane
+  // resolves against its own route set — the source table is stale once
+  // apply_updates has run.
   if (bogons_.covers(src)) return all_bogon_;
-  const auto pid = table_->covering_prefix(src);
+  const auto pid = live_ ? live_covering_prefix(src)
+                         : table_->covering_prefix(src);
   if (!pid) return all_unrouted_;
   return classify_routed(src, *pid, view);
 }

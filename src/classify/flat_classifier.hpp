@@ -30,8 +30,12 @@
 // mutate a compiled plane — recompile to pick them up.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "classify/batch_kernels.hpp"
@@ -157,8 +161,78 @@ class FlatClassifier {
   /// 64-bit FNV-1a digest over the complete compiled plane (base table,
   /// membership records, member order, fallback lanes). Two compiles with
   /// equal digests behave bit-identically; the striped parallel compile
-  /// is asserted against the sequential one through this.
+  /// is asserted against the sequential one through this, and
+  /// apply_updates() proves patched == fresh-compiled the same way.
   std::uint64_t plane_digest() const;
+
+  // --- live routing churn ----------------------------------------------
+  //
+  // apply_updates() edits the compiled plane in place for a batch of BGP
+  // announce/withdraw messages instead of recompiling: affected /24
+  // ranges of the base table are repainted, membership-record rows are
+  // rewritten around the surviving columns, and the overflow/fallback
+  // lanes are patched to match. Presence semantics, peer-agnostic: an
+  // announce adds the prefix to the live set if absent, a withdraw
+  // removes it if present; everything else counts as redundant.
+  //
+  // PrefixIds of a live plane are canonical: the index of the prefix in
+  // the live set sorted ascending by (address, length). A fresh compile
+  // of a RoutingTable built by ingesting the same live set in that order
+  // therefore yields a bit-identical plane — plane_digest() equality
+  // against exactly that compile is the correctness oracle the churn
+  // suites assert after every step. (The first apply_updates call
+  // renumbers the source table's ingest-order ids to canonical order if
+  // they differ.)
+
+  /// Knobs for apply_updates.
+  struct UpdateApplyOptions {
+    /// Announcement length window, mirroring RoutingTableBuilder::Options
+    /// (out-of-window updates are counted and ignored). Raise max_length
+    /// past 24 to let updates land on the overflow lane.
+    std::uint8_t min_length = 8;
+    std::uint8_t max_length = 24;
+    /// Optional pool: the base-table repaint fans out per /8 stripe and
+    /// the record rewrite per member row, exactly like compile().
+    util::ThreadPool* pool = nullptr;
+  };
+
+  /// What one batch did. announced/withdrawn count state-changing ops
+  /// (net of in-batch cancellation), redundant the no-ops, out_of_range
+  /// the length-filtered ones.
+  struct UpdateApplyStats {
+    std::size_t announced = 0;
+    std::size_t withdrawn = 0;
+    std::size_t redundant = 0;
+    std::size_t out_of_range = 0;
+    bool changed = false;  ///< plane bytes changed (epoch was bumped)
+  };
+
+  /// Applies one announce/withdraw batch in place. Only the batch's net
+  /// effect lands (an announce+withdraw pair inside one batch cancels).
+  /// Bumps epoch() iff the plane actually changed. Requires an owned or
+  /// cache-loaded plane either way: a mapped plane is copied out of its
+  /// snapshot first (ensure_owned), so the cache entry on disk is never
+  /// written through.
+  UpdateApplyStats apply_updates(std::span<const bgp::UpdateMessage> batch,
+                                 const UpdateApplyOptions& opts);
+  UpdateApplyStats apply_updates(std::span<const bgp::UpdateMessage> batch) {
+    return apply_updates(batch, UpdateApplyOptions{});
+  }
+
+  /// Monotonic per-plane patch counter: 0 until the first effective
+  /// apply_updates, +1 per plane-changing batch. StreamingDetector uses
+  /// it to notice the plane moved under buffered flows.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// True once apply_updates has taken ownership of the route set (the
+  /// overflow lane then resolves against the live set, not the source
+  /// table).
+  bool live() const { return live_; }
+
+  /// The live route set in canonical order (valid when live()).
+  const std::vector<net::Prefix>& live_prefixes() const {
+    return live_prefixes_;
+  }
 
   std::size_t space_count() const { return spaces_.size(); }
   const inference::ValidSpace& space(std::size_t i) const { return *spaces_[i]; }
@@ -289,6 +363,75 @@ class FlatClassifier {
   Label all_unrouted_ = 0;
   Label all_invalid_ = 0;
   Stats stats_;
+
+  // --- live-update state (populated by the first apply_updates) --------
+
+  /// One base-table paint over /24 blocks [begin, end], as in compile().
+  struct BlockOp {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    std::uint32_t entry = 0;
+  };
+
+  /// (address << 6) | length — the live-set hash key of a prefix.
+  static std::uint64_t live_key(const net::Prefix& p) {
+    return std::uint64_t{p.first()} << 6 | p.length();
+  }
+
+  /// Copies a cache-mapped plane's base table and records into owned
+  /// storage so in-place patches never write through the mmap.
+  void ensure_owned();
+
+  /// Builds live_index_ / live_lengths_ / live_overflow_blocks_ /
+  /// bogon_block_ops_ from live_prefixes_.
+  void rebuild_live_index();
+
+  /// Longest-prefix match over the live set (overflow lane when live());
+  /// mirrors RoutingTable::covering_prefix on the patched table.
+  std::optional<std::uint32_t> live_covering_prefix(net::Ipv4Addr a) const;
+
+  /// Recomputes one /24 block's base entry from the live set, reproducing
+  /// compile()'s paint order: routed lengths ascending (most specific
+  /// wins), >24 overflow on top, bogons last.
+  std::uint32_t compute_block_entry(std::uint32_t block) const;
+
+  /// Fresh membership record for (member's spaces, prefix): the same
+  /// full/partial decision the compile merge scan makes, via one binary
+  /// search per space.
+  std::uint16_t fresh_record_bits(
+      const trie::IntervalSet* const* member_spaces, const net::Prefix& p) const;
+
+  bool live_ = false;
+  std::uint64_t epoch_ = 0;
+  /// Canonical (address, length)-sorted live set; index == PrefixId.
+  std::vector<net::Prefix> live_prefixes_;
+  /// live_key -> PrefixId for every live prefix.
+  std::unordered_map<std::uint64_t, std::uint32_t> live_index_;
+  /// Bit l set: some live prefix has length l.
+  std::uint64_t live_lengths_ = 0;
+  /// /24 block -> number of live >24 prefixes inside it (the overflow
+  /// paint marks).
+  std::unordered_map<std::uint32_t, std::uint32_t> live_overflow_blocks_;
+  /// The static bogon paint ops in bogon_prefixes() order (the last op
+  /// covering a block wins, exactly as the compile paints them last).
+  std::vector<BlockOp> bogon_block_ops_;
+  /// Live >24 prefixes (stats_.overflow_prefixes = this + >24 bogons).
+  std::size_t live_overflow_prefixes_ = 0;
+  std::size_t bogon_overflow_prefixes_ = 0;
+  /// Per-length live prefix counts backing live_lengths_ (index ==
+  /// length), so withdrawing the last prefix of a length clears its bit
+  /// without a full index rebuild.
+  std::array<std::uint32_t, 33> live_length_counts_{};
+  /// Per (slot, space): how many live columns have that partial bit set.
+  /// The fallback lane is exactly the nonzero entries, so batches update
+  /// it by the removed/added columns alone instead of re-scanning rows.
+  /// Built lazily by the first plane-changing batch. Indexed like
+  /// fallback_ (slot * space_count() + space).
+  std::vector<std::uint32_t> partial_counts_;
+  bool partial_counts_ready_ = false;
+  /// Copy-mode record-rewrite scratch, recycled across batches so
+  /// steady-state churn neither allocates nor redundantly zero-fills.
+  std::vector<std::uint16_t> records_scratch_;
 };
 
 /// Trace classification on the flat engine; element-wise identical to the

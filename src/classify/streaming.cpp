@@ -24,6 +24,14 @@ TrafficClass StreamingDetector::classify_one(
                : classifier_->classify(flow.src, flow.member_in, space_idx_);
 }
 
+void StreamingDetector::sync_plane_epoch() {
+  if (flat_ == nullptr) return;
+  const std::uint64_t epoch = flat_->epoch();
+  if (epoch == last_plane_epoch_) return;
+  for (auto& p : pending_) p.cls = classify_one(p.flow);
+  last_plane_epoch_ = epoch;
+}
+
 void StreamingDetector::ingest(const net::FlowRecord& flow,
                                const AlertFn& on_alert) {
   ingest_classified(flow, classify_one(flow), on_alert);
@@ -32,6 +40,7 @@ void StreamingDetector::ingest(const net::FlowRecord& flow,
 void StreamingDetector::ingest_classified(const net::FlowRecord& flow,
                                           TrafficClass cls,
                                           const AlertFn& on_alert) {
+  sync_plane_epoch();
   ++processed_;
   const std::uint32_t skew = params_.reorder_skew_seconds;
   if (skew == 0) {
@@ -45,14 +54,15 @@ void StreamingDetector::ingest_classified(const net::FlowRecord& flow,
     ++health_.late_drops;
     return;
   }
-  pending_.push({flow, cls, seq_++});
+  pending_.push_back({flow, cls, seq_++});
+  std::push_heap(pending_.begin(), pending_.end(), PendingLater{});
   watermark_ = saw_any_ ? std::max(watermark_, flow.ts) : flow.ts;
   saw_any_ = true;
   health_.max_reorder_depth =
       std::max(health_.max_reorder_depth, pending_.size());
   if (watermark_ >= skew) {
     const std::uint32_t deliverable = watermark_ - skew;
-    while (!pending_.empty() && pending_.top().flow.ts <= deliverable) {
+    while (!pending_.empty() && pending_.front().flow.ts <= deliverable) {
       release_one(on_alert);
     }
   }
@@ -85,12 +95,14 @@ void StreamingDetector::ingest_batch(const net::FlowBatch& batch,
 }
 
 void StreamingDetector::flush(const AlertFn& on_alert) {
+  sync_plane_epoch();
   while (!pending_.empty()) release_one(on_alert);
 }
 
 void StreamingDetector::release_one(const AlertFn& on_alert) {
-  const Pending p = pending_.top();
-  pending_.pop();
+  std::pop_heap(pending_.begin(), pending_.end(), PendingLater{});
+  const Pending p = std::move(pending_.back());
+  pending_.pop_back();
   account(p.flow, p.cls, on_alert);
 }
 
@@ -108,6 +120,8 @@ void StreamingDetector::evict_idle_member() {
   idle_index_.erase(idle_index_.begin());
   windows_.erase(victim.second);
   ++health_.member_evictions;
+  dirty_members_.erase(victim.second);
+  removed_members_.insert(victim.second);
 }
 
 void StreamingDetector::account(const net::FlowRecord& flow, TrafficClass cls,
@@ -121,6 +135,10 @@ void StreamingDetector::account(const net::FlowRecord& flow, TrafficClass cls,
   }
   last_released_ts_ = flow.ts;
   released_any_ = true;
+  // Every path below mutates this member's window: mark it for the next
+  // delta checkpoint (and cancel a pending removal if it came back).
+  dirty_members_.insert(flow.member_in);
+  removed_members_.erase(flow.member_in);
 
   auto it = windows_.find(flow.member_in);
   if (it == windows_.end()) {
@@ -202,6 +220,11 @@ std::vector<SpoofingAlert> StreamingDetector::run(
   for (const auto& f : flows) ingest(f, sink);
   flush(sink);
   return alerts;
+}
+
+void StreamingDetector::clear_dirty() {
+  dirty_members_.clear();
+  removed_members_.clear();
 }
 
 DetectorHealth StreamingDetector::health() const {

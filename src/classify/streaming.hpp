@@ -31,10 +31,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <queue>
 #include <set>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "classify/batch_kernels.hpp"
@@ -117,6 +118,19 @@ struct DetectorHealth {
 /// the field names above).
 std::string to_json(const DetectorHealth& health);
 
+/// Update-stream cursor a checkpoint carries alongside the detector
+/// state: how many update messages had been applied to the plane at the
+/// cut (and the plane epoch, for diagnostics). `detect --resume` replays
+/// exactly updates [0, updates_applied) before continuing, so the
+/// resumed plane matches the cut bit for bit.
+struct DetectorCheckpointExtra {
+  std::uint64_t updates_applied = 0;
+  std::uint64_t plane_epoch = 0;
+
+  friend bool operator==(const DetectorCheckpointExtra&,
+                         const DetectorCheckpointExtra&) = default;
+};
+
 /// Stateful single-pass detector. Feed flows via ingest(); alerts are
 /// delivered through the callback. Call flush() (or use run()) after the
 /// last flow to drain the reorder buffer.
@@ -172,6 +186,11 @@ class StreamingDetector {
   /// library; link spoofscope_state to use checkpoints.)
   void save(const std::string& path) const;
 
+  /// Full-checkpoint save carrying the update-stream cursor (written as
+  /// an additive section; checkpoints without it restore with a
+  /// zero-valued extra).
+  void save(const std::string& path, const DetectorCheckpointExtra& extra) const;
+
   /// Restores a checkpoint written by save(). Returns true on success.
   /// On damage, truncation or config mismatch: strict throws
   /// (state::SnapshotError), skip accounts the ErrorKind in `stats`
@@ -180,6 +199,41 @@ class StreamingDetector {
   bool restore(const std::string& path,
                util::ErrorPolicy policy = util::ErrorPolicy::kStrict,
                util::IngestStats* stats = nullptr);
+
+  /// restore() variant that also recovers the update-stream cursor (left
+  /// zero-valued when the checkpoint predates it).
+  bool restore(const std::string& path, util::ErrorPolicy policy,
+               util::IngestStats* stats, DetectorCheckpointExtra* extra_out);
+
+  /// Delta checkpoint: persists only what changed since the last full
+  /// save()/save_delta()/clear_dirty() — stream cursor and health, the
+  /// windows of members touched since the baseline, the members evicted
+  /// since the baseline, and the (small, bounded) reorder buffer. The
+  /// delta embeds `chain_seq` and `parent_digest` so apply_delta() can
+  /// refuse an out-of-order or cross-chain file. Returns the FNV-1a-64
+  /// digest of the written file image (the next link's parent digest)
+  /// and resets the dirty baseline. (Defined in the state library.)
+  std::uint64_t save_delta(const std::string& path,
+                           const DetectorCheckpointExtra& extra,
+                           std::uint64_t chain_seq, std::uint64_t parent_digest);
+
+  /// Applies one delta image on top of the current state. Validates the
+  /// config hash, chain sequence number and parent digest, decodes the
+  /// whole delta before mutating anything (a damaged file leaves the
+  /// detector at the previous cut), then replays it: dirty windows are
+  /// replaced wholesale, removed members erased, stream cursor and
+  /// reorder buffer overwritten. Throws state::SnapshotError on damage
+  /// or chain mismatch; `origin` labels error messages.
+  void apply_delta(std::span<const std::uint8_t> bytes,
+                   const std::string& origin, std::uint64_t expected_seq,
+                   std::uint64_t expected_parent_digest,
+                   DetectorCheckpointExtra* extra_out = nullptr);
+
+  /// Resets the delta baseline: subsequent save_delta() calls diff
+  /// against the state as of this call. Invoke after a successful full
+  /// save() (save() itself is const and leaves the baseline alone;
+  /// save_delta() resets it on success).
+  void clear_dirty();
 
  private:
   struct Sample {
@@ -229,6 +283,11 @@ class StreamingDetector {
   void touch_member(Asn member, MemberWindow& w, std::uint32_t ts);
   /// Back to the freshly-constructed state (config and engine kept).
   void reset_state();
+  /// Reclassifies buffered flows when the flat plane's epoch moved
+  /// (apply_updates() patched it while flows sat in the reorder buffer):
+  /// a flow's class is resolved against the plane in force when it
+  /// *leaves* the buffer, matching what classify-at-release would do.
+  void sync_plane_epoch();
 
   const Classifier* classifier_ = nullptr;   // exactly one engine is set
   const FlatClassifier* flat_ = nullptr;
@@ -238,7 +297,11 @@ class StreamingDetector {
   /// (last_seen_ts, member) ordered index over windows_ for O(log n)
   /// deterministic idle eviction.
   std::set<std::pair<std::uint32_t, Asn>> idle_index_;
-  std::priority_queue<Pending, std::vector<Pending>, PendingLater> pending_;
+  /// Binary min-heap on (ts, seq) via PendingLater (std::push_heap /
+  /// std::pop_heap; top is front()). A plain vector rather than
+  /// std::priority_queue so sync_plane_epoch() can rewrite `cls` in
+  /// place — cls is not part of the ordering, so the heap stays valid.
+  std::vector<Pending> pending_;
   std::uint32_t watermark_ = 0;       ///< max ts seen by the buffer
   std::uint32_t last_released_ts_ = 0;
   std::uint64_t seq_ = 0;
@@ -247,6 +310,13 @@ class StreamingDetector {
   std::uint64_t processed_ = 0;
   DetectorHealth health_;
   std::vector<Label> batch_labels_;  ///< ingest_batch scratch (flat engine)
+  std::uint64_t last_plane_epoch_ = 0;  ///< plane epoch pending_ was classified under
+  /// Delta baseline: members whose window changed / that were evicted
+  /// since the last clear_dirty(). Maintained unconditionally (a few
+  /// hash operations per flow) so full and resumed runs track
+  /// identically.
+  std::unordered_set<Asn> dirty_members_;
+  std::unordered_set<Asn> removed_members_;
 };
 
 }  // namespace spoofscope::classify

@@ -1,0 +1,85 @@
+// Delta-checkpoint chain driver: the layout and recovery policy for a
+// base full checkpoint plus its trailing delta links,
+//
+//   <base>              full detector checkpoint (PayloadKind::kDetector)
+//   <base>.d1 .. .dN    delta links (PayloadKind::kDetectorDelta)
+//
+// Each link embeds its sequence number and the FNV-1a-64 digest of its
+// parent's file image (link k's parent is link k-1; link 1's parent is
+// the base), so resume can prove it is replaying the one chain the
+// writer produced — a stale link from an earlier chain, a reordered
+// link or a foreign file fails the digest check instead of silently
+// corrupting state.
+//
+// Recovery contract (mirrors the detector's ErrorPolicy semantics):
+//  - strict: any damaged or out-of-chain link throws SnapshotError —
+//    loud refusal, nothing half-applied.
+//  - skip: the chain is truncated at the first damaged link. Because
+//    apply_delta() decodes everything before committing, the detector
+//    settles at the last good cut; the damaged link and everything
+//    after it are unlinked so the next append writes a consistent
+//    chain. Dropped links are accounted in the resume result and the
+//    caller's IngestStats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "classify/streaming.hpp"
+#include "util/error_policy.hpp"
+
+namespace spoofscope::state {
+
+/// What resume() recovered.
+struct DeltaResume {
+  bool restored = false;           ///< base checkpoint (plus deltas) loaded
+  std::size_t deltas_applied = 0;  ///< links replayed on top of the base
+  std::size_t deltas_dropped = 0;  ///< damaged/stale links unlinked (skip)
+  classify::DetectorCheckpointExtra extra;  ///< cursor at the recovered cut
+};
+
+class DeltaChain {
+ public:
+  /// `base_path` names the full checkpoint; delta links live beside it
+  /// as <base_path>.dN. A chain longer than `max_chain` links rolls
+  /// over into a fresh full checkpoint on the next append.
+  explicit DeltaChain(std::string base_path, std::size_t max_chain = 16);
+
+  /// Restores `detector` to the newest consistent cut the chain holds
+  /// and positions the chain for subsequent appends. Missing base with
+  /// no deltas is a clean first run (restored = false). See the
+  /// recovery contract above for damage handling.
+  DeltaResume resume(classify::StreamingDetector& detector,
+                     util::ErrorPolicy policy = util::ErrorPolicy::kStrict,
+                     util::IngestStats* stats = nullptr);
+
+  /// Persists the next checkpoint: a delta link while the chain is
+  /// short, a full-checkpoint rollover once it exceeds max_chain (or
+  /// when no base exists yet). Returns true when it wrote a full
+  /// checkpoint.
+  bool append(classify::StreamingDetector& detector,
+              const classify::DetectorCheckpointExtra& extra);
+
+  /// Forces a full-checkpoint rollover: writes the base, resets the
+  /// detector's dirty baseline and unlinks every delta link.
+  void save_full(classify::StreamingDetector& detector,
+                 const classify::DetectorCheckpointExtra& extra);
+
+  /// Links written (or recovered) since the base.
+  std::size_t chain_length() const { return next_seq_ - 1; }
+
+ private:
+  std::string delta_path(std::uint64_t seq) const;
+  /// Unlinks <base>.dN for N = seq, seq+1, ... until a gap; returns how
+  /// many files were removed.
+  std::size_t unlink_deltas_from(std::uint64_t seq) const;
+
+  std::string base_path_;
+  std::size_t max_chain_;
+  bool have_base_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t last_digest_ = 0;  ///< digest of the newest durable link/base
+};
+
+}  // namespace spoofscope::state

@@ -10,6 +10,7 @@
 #include "net/bogon.hpp"
 #include "net/mapped_trace.hpp"
 #include "state/snapshot.hpp"
+#include "util/fault_injection.hpp"
 
 namespace spoofscope::state {
 
@@ -42,8 +43,8 @@ struct Fnv64 {
   void u64(std::uint64_t v) { mix(v); }
 };
 
-[[noreturn]] void corrupt(const char* what) {
-  throw SnapshotError(util::ErrorKind::kParse, what);
+[[noreturn]] void corrupt(const std::string& what, const std::string& ctx = {}) {
+  throw SnapshotError(util::ErrorKind::kParse, what, ctx);
 }
 
 }  // namespace
@@ -103,6 +104,8 @@ PlaneCache::LoadResult PlaneCache::load_or_compile(
         out.hit = true;
         st.ok();
         return out;
+      } catch (const util::InjectedCrash&) {
+        throw;  // a modelled crash is a process death, not damage to skip
       } catch (const SnapshotError& e) {
         if (strict) throw;
         st.skip(e.kind(), 0);
@@ -129,10 +132,26 @@ classify::FlatClassifier PlaneCache::load_entry(
     const std::string& path, const classify::Classifier& source,
     std::uint64_t source_digest) const {
   auto mapping = std::make_shared<const net::MappedTrace>(path);
+  {
+    // Read-fault shim: when an injected fault damages the image, the
+    // damaged copy must be owned by the mapping (the plane's zero-copy
+    // views point into it), so rewrap the scratch buffer.
+    std::vector<std::uint8_t> scratch;
+    const std::span<const std::uint8_t> bytes = with_injected_read_faults(
+        "plane_cache.load", mapping->bytes(), scratch);
+    if (bytes.data() != mapping->bytes().data() ||
+        bytes.size() != mapping->bytes().size()) {
+      mapping = std::make_shared<const net::MappedTrace>(
+          net::MappedTrace::from_buffer(std::move(scratch)));
+    }
+  }
   const SnapshotView snap = parse_snapshot(
-      mapping->bytes(), PayloadKind::kPlane, kPlanePayloadVersion);
+      mapping->bytes(), PayloadKind::kPlane, kPlanePayloadVersion, path);
+  const auto sec_ctx = [&path](std::uint32_t id) {
+    return "file " + path + ", section " + std::to_string(id);
+  };
 
-  SectionReader meta(snap.section(kSecMeta));
+  SectionReader meta(snap.section(kSecMeta), sec_ctx(kSecMeta));
   const std::uint64_t stored_source = meta.u64();
   const std::uint64_t stored_plane = meta.u64();
   const std::uint64_t num_prefixes = meta.u64();
@@ -141,13 +160,19 @@ classify::FlatClassifier PlaneCache::load_entry(
   const std::uint64_t overflow_prefixes = meta.u64();
   const std::uint64_t overflow_slots = meta.u64();
   const std::uint64_t partial_rows = meta.u64();
-  if (meta.remaining() != 0) corrupt("trailing bytes in meta section");
+  if (meta.remaining() != 0) {
+    corrupt("trailing bytes in meta section", sec_ctx(kSecMeta));
+  }
   // The filename already encodes the source digest, but the stored copy
   // guards against renamed or hand-placed entries.
-  if (stored_source != source_digest) corrupt("stale plane: source digest");
-  if (space_count != source.space_count()) corrupt("stale plane: space count");
+  if (stored_source != source_digest) {
+    corrupt("stale plane: source digest", sec_ctx(kSecMeta));
+  }
+  if (space_count != source.space_count()) {
+    corrupt("stale plane: space count", sec_ctx(kSecMeta));
+  }
   if (num_prefixes != source.table().prefix_count()) {
-    corrupt("stale plane: prefix count");
+    corrupt("stale plane: prefix count", sec_ctx(kSecMeta));
   }
 
   classify::FlatClassifier flat;
@@ -165,15 +190,15 @@ classify::FlatClassifier PlaneCache::load_entry(
   for (const auto& p : net::bogon_prefixes()) flat.bogons_.insert(p);
 
   {
-    SectionReader r(snap.section(kSecMembers));
+    SectionReader r(snap.section(kSecMembers), sec_ctx(kSecMembers));
     if (r.remaining() != member_count * sizeof(std::uint32_t)) {
-      corrupt("members section size mismatch");
+      corrupt("members section size mismatch", sec_ctx(kSecMembers));
     }
     flat.members_.reserve(member_count);
     for (std::uint64_t i = 0; i < member_count; ++i) {
       const net::Asn member = r.u32();
       if (i > 0 && member <= flat.members_.back()) {
-        corrupt("members out of order");
+        corrupt("members out of order", sec_ctx(kSecMembers));
       }
       flat.members_.push_back(member);
     }
@@ -182,11 +207,11 @@ classify::FlatClassifier PlaneCache::load_entry(
   const std::span<const std::uint8_t> base = snap.section(kSecBase);
   if (base.size() !=
       classify::FlatClassifier::kBaseEntries * sizeof(std::uint32_t)) {
-    corrupt("base table size mismatch");
+    corrupt("base table size mismatch", sec_ctx(kSecBase));
   }
   const std::span<const std::uint8_t> records = snap.section(kSecRecords);
   if (records.size() != member_count * num_prefixes * sizeof(std::uint16_t)) {
-    corrupt("records size mismatch");
+    corrupt("records size mismatch", sec_ctx(kSecRecords));
   }
   // Sections are 8-byte aligned within the snapshot and the mapping is
   // page- (or heap-) aligned, so the reinterpret views are aligned.
@@ -214,7 +239,7 @@ classify::FlatClassifier PlaneCache::load_entry(
     std::uint16_t mask = 0;
     for (std::uint64_t p = 0; p < num_prefixes; ++p) mask |= row[p];
     if ((mask & 0xFFu) >> ns != 0 || (mask >> 8) >> ns != 0) {
-      corrupt("record bits beyond configured spaces");
+      corrupt("record bits beyond configured spaces", sec_ctx(kSecRecords));
     }
     std::uint32_t partial = mask >> 8;
     while (partial != 0) {
@@ -222,14 +247,14 @@ classify::FlatClassifier PlaneCache::load_entry(
       partial &= partial - 1;
       const trie::IntervalSet* space = flat.spaces_[s]->space_of(flat.members_[slot]);
       if (space == nullptr || space->empty()) {
-        corrupt("stale plane: missing fallback space");
+        corrupt("stale plane: missing fallback space", sec_ctx(kSecRecords));
       }
       flat.fallback_[slot * ns + s] = space;
       ++rebuilt_partial_rows;
     }
   }
   if (rebuilt_partial_rows != partial_rows) {
-    corrupt("fallback lane count mismatch");
+    corrupt("fallback lane count mismatch", sec_ctx(kSecRecords));
   }
 
   flat.stats_.table_bytes = base.size();
@@ -244,7 +269,8 @@ classify::FlatClassifier PlaneCache::load_entry(
   // The decisive check: the served plane hashes exactly like the fresh
   // compile whose digest was stored alongside it.
   if (flat.plane_digest() != stored_plane) {
-    throw SnapshotError(util::ErrorKind::kChecksum, "plane digest mismatch");
+    throw SnapshotError(util::ErrorKind::kChecksum, "plane digest mismatch",
+                        "file " + path);
   }
   return flat;
 }

@@ -1,10 +1,12 @@
 #include "state/snapshot.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
 #include "net/trace_format.hpp"
+#include "util/fault_injection.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define SPOOFSCOPE_HAVE_POSIX_IO 1
@@ -72,6 +74,23 @@ std::uint32_t fnv1a32(const std::uint8_t* p, std::size_t n) {
   throw SnapshotError(kind, what);
 }
 
+[[noreturn]] void fail_at(util::ErrorKind kind, const std::string& what,
+                          const std::string& context) {
+  throw SnapshotError(kind, what, context);
+}
+
+/// "file <origin>" / "file <origin>, section <id>" — or just
+/// "section <id>" when the caller parsed an anonymous buffer.
+std::string where(const std::string& origin, std::int64_t section_id = -1) {
+  std::string ctx;
+  if (!origin.empty()) ctx = "file " + origin;
+  if (section_id >= 0) {
+    if (!ctx.empty()) ctx += ", ";
+    ctx += "section " + std::to_string(section_id);
+  }
+  return ctx;
+}
+
 }  // namespace
 
 // --- SectionBuilder ---------------------------------------------------
@@ -110,7 +129,7 @@ void SectionBuilder::bytes(const void* data, std::size_t n) {
 
 const std::uint8_t* SectionReader::need(std::size_t n) {
   if (data_.size() - off_ < n) {
-    fail(util::ErrorKind::kTruncated, "section underrun");
+    fail_at(util::ErrorKind::kTruncated, "section underrun", context_);
   }
   const std::uint8_t* p = data_.data() + off_;
   off_ += n;
@@ -171,26 +190,54 @@ std::vector<std::uint8_t> SnapshotWriter::serialize() const {
 }
 
 void SnapshotWriter::write_atomic(const std::string& path) const {
+  using util::FaultInjector;
+  using util::FaultKind;
   const std::vector<std::uint8_t> image = serialize();
   const std::string tmp = path + ".tmp";
   const auto io_fail = [&](const char* what) {
     std::remove(tmp.c_str());
     throw std::runtime_error("snapshot: " + std::string(what) + ": " + path);
   };
+  // Both fault sites are consulted on every call (when an injector is
+  // installed) so occurrence counts stay stable whatever fires.
+  FaultKind write_fault = FaultKind::kNone;
+  FaultKind rename_fault = FaultKind::kNone;
+  std::size_t write_stop = image.size();
+  if (FaultInjector* inj = FaultInjector::current()) {
+    write_fault = inj->at("snapshot.write",
+                          {FaultKind::kShortWrite, FaultKind::kEnospc});
+    if (write_fault != FaultKind::kNone) write_stop = inj->pick(image.size());
+    rename_fault =
+        inj->at("snapshot.rename",
+                {FaultKind::kCrashBeforeRename, FaultKind::kCrashAfterRename});
+  }
 #ifdef SPOOFSCOPE_HAVE_POSIX_IO
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) io_fail("cannot create");
   std::size_t written = 0;
-  while (written < image.size()) {
+  while (written < write_stop) {
     const ssize_t got =
-        ::write(fd, image.data() + written, image.size() - written);
+        ::write(fd, image.data() + written, write_stop - written);
     if (got < 0) {
       ::close(fd);
       io_fail("write failed");
     }
     written += static_cast<std::size_t>(got);
   }
+  if (write_fault == FaultKind::kShortWrite) {
+    // Modelled kill mid-write: the torn tmp file stays on disk.
+    ::close(fd);
+    throw util::InjectedCrash("snapshot.write");
+  }
+  if (write_fault == FaultKind::kEnospc) {
+    // Modelled disk-full: same clean error path a real ENOSPC takes.
+    ::close(fd);
+    io_fail("write failed (injected ENOSPC)");
+  }
   if (::fsync(fd) != 0 || ::close(fd) != 0) io_fail("fsync failed");
+  if (rename_fault == FaultKind::kCrashBeforeRename) {
+    throw util::InjectedCrash("snapshot.rename");
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) io_fail("rename failed");
   // Make the rename itself durable: fsync the containing directory.
   const auto dir = std::filesystem::path(path).parent_path();
@@ -199,17 +246,30 @@ void SnapshotWriter::write_atomic(const std::string& path) const {
     ::fsync(dfd);
     ::close(dfd);
   }
+  if (rename_fault == FaultKind::kCrashAfterRename) {
+    throw util::InjectedCrash("snapshot.rename");
+  }
 #else
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os ||
-        !os.write(reinterpret_cast<const char*>(image.data()), image.size())) {
+    if (!os || !os.write(reinterpret_cast<const char*>(image.data()),
+                         static_cast<std::streamsize>(write_stop))) {
       io_fail("write failed");
     }
     os.flush();
     if (!os) io_fail("flush failed");
   }
+  if (write_fault == FaultKind::kShortWrite) {
+    throw util::InjectedCrash("snapshot.write");
+  }
+  if (write_fault == FaultKind::kEnospc) io_fail("write failed (injected ENOSPC)");
+  if (rename_fault == FaultKind::kCrashBeforeRename) {
+    throw util::InjectedCrash("snapshot.rename");
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) io_fail("rename failed");
+  if (rename_fault == FaultKind::kCrashAfterRename) {
+    throw util::InjectedCrash("snapshot.rename");
+  }
 #endif
 }
 
@@ -231,45 +291,53 @@ std::span<const std::uint8_t> SnapshotView::section(std::uint32_t id) const {
 
 SnapshotView parse_snapshot(std::span<const std::uint8_t> bytes,
                             PayloadKind expected_kind,
-                            std::uint32_t expected_payload_version) {
+                            std::uint32_t expected_payload_version,
+                            const std::string& origin) {
   if (bytes.size() < kHeaderBytes) {
-    fail(util::ErrorKind::kTruncated, "truncated header");
+    fail_at(util::ErrorKind::kTruncated, "truncated header", where(origin));
   }
   if (get_u32(bytes.data()) != kSnapshotMagic) {
-    fail(util::ErrorKind::kBadMagic, "bad magic");
+    fail_at(util::ErrorKind::kBadMagic, "bad magic", where(origin));
   }
   if (get_u32(bytes.data() + 4) != kContainerVersion) {
-    fail(util::ErrorKind::kBadVersion, "unsupported container version");
+    fail_at(util::ErrorKind::kBadVersion, "unsupported container version",
+            where(origin));
   }
   SnapshotView view;
   view.kind_ = static_cast<PayloadKind>(get_u32(bytes.data() + 8));
   view.payload_version_ = get_u32(bytes.data() + 12);
   const std::uint32_t n = get_u32(bytes.data() + 16);
   const std::uint64_t total = get_u64(bytes.data() + 24);
-  if (n > kMaxSections) fail(util::ErrorKind::kParse, "absurd section count");
+  if (n > kMaxSections) {
+    fail_at(util::ErrorKind::kParse, "absurd section count", where(origin));
+  }
   const std::uint64_t meta_bytes =
       kHeaderBytes + kTableEntryBytes * std::uint64_t{n} + 4;
   if (bytes.size() < meta_bytes) {
-    fail(util::ErrorKind::kTruncated, "truncated section table");
+    fail_at(util::ErrorKind::kTruncated, "truncated section table",
+            where(origin));
   }
   if (total != bytes.size()) {
-    fail(bytes.size() < total ? util::ErrorKind::kTruncated
-                              : util::ErrorKind::kParse,
-         bytes.size() < total ? "file shorter than declared"
-                              : "trailing bytes past declared size");
+    fail_at(bytes.size() < total ? util::ErrorKind::kTruncated
+                                 : util::ErrorKind::kParse,
+            bytes.size() < total ? "file shorter than declared"
+                                 : "trailing bytes past declared size",
+            where(origin));
   }
   const std::size_t checksum_off = meta_bytes - 4;
   if (get_u32(bytes.data() + checksum_off) !=
       fnv1a32(bytes.data(), checksum_off)) {
-    fail(util::ErrorKind::kChecksum, "header checksum mismatch");
+    fail_at(util::ErrorKind::kChecksum, "header checksum mismatch",
+            where(origin));
   }
   // Kind/version checks come after the checksum so a flipped bit in the
   // kind field reports as damage, not as a foreign snapshot.
   if (view.kind_ != expected_kind) {
-    fail(util::ErrorKind::kParse, "payload kind mismatch");
+    fail_at(util::ErrorKind::kParse, "payload kind mismatch", where(origin));
   }
   if (view.payload_version_ != expected_payload_version) {
-    fail(util::ErrorKind::kBadVersion, "unsupported payload version");
+    fail_at(util::ErrorKind::kBadVersion, "unsupported payload version",
+            where(origin));
   }
 
   std::uint64_t off = meta_bytes;
@@ -282,23 +350,54 @@ SnapshotView parse_snapshot(std::span<const std::uint8_t> bytes,
     const std::uint64_t len = get_u64(entry + 8);
     const std::uint64_t start = align8(off);
     for (std::uint64_t p = off; p < start; ++p) {
-      if (bytes[p] != 0) fail(util::ErrorKind::kParse, "nonzero padding");
+      if (bytes[p] != 0) {
+        fail_at(util::ErrorKind::kParse, "nonzero padding", where(origin, id));
+      }
     }
     if (start > total || total - start < len) {
-      fail(util::ErrorKind::kTruncated, "section past end of file");
+      fail_at(util::ErrorKind::kTruncated, "section past end of file",
+              where(origin, id));
     }
     const std::span<const std::uint8_t> payload{bytes.data() + start,
                                                 static_cast<std::size_t>(len)};
     if (fnv1a32(payload.data(), payload.size()) != checksum) {
-      fail(util::ErrorKind::kChecksum, "section checksum mismatch");
+      fail_at(util::ErrorKind::kChecksum, "section checksum mismatch",
+              where(origin, id));
     }
     view.sections_.emplace_back(id, payload);
     off = start + len;
   }
   if (off != total) {
-    fail(util::ErrorKind::kParse, "trailing bytes after last section");
+    fail_at(util::ErrorKind::kParse, "trailing bytes after last section",
+            where(origin));
   }
   return view;
+}
+
+// --- read-fault shim --------------------------------------------------
+
+std::span<const std::uint8_t> with_injected_read_faults(
+    std::string_view site, std::span<const std::uint8_t> bytes,
+    std::vector<std::uint8_t>& scratch) {
+  using util::FaultInjector;
+  using util::FaultKind;
+  FaultInjector* inj = FaultInjector::current();
+  if (inj == nullptr) return bytes;
+  const FaultKind fault =
+      inj->at(site, {FaultKind::kShortRead, FaultKind::kTornPage});
+  if (fault == FaultKind::kNone || bytes.empty()) return bytes;
+  scratch.assign(bytes.begin(), bytes.end());
+  if (fault == FaultKind::kShortRead) {
+    scratch.resize(inj->pick(bytes.size()));
+  } else {
+    constexpr std::size_t kPage = 4096;
+    const std::size_t pages = (scratch.size() + kPage - 1) / kPage;
+    const std::size_t lo = inj->pick(pages) * kPage;
+    const std::size_t hi = std::min(lo + kPage, scratch.size());
+    std::fill(scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+              scratch.begin() + static_cast<std::ptrdiff_t>(hi), 0);
+  }
+  return scratch;
 }
 
 }  // namespace spoofscope::state

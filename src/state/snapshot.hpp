@@ -33,6 +33,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -46,17 +47,29 @@ inline constexpr std::uint32_t kContainerVersion = 1;
 /// What the payload sections describe. New kinds append; readers reject
 /// a kind they were not asked to open.
 enum class PayloadKind : std::uint32_t {
-  kDetector = 1,  ///< StreamingDetector checkpoint
-  kPlane = 2,     ///< compiled FlatClassifier plane
+  kDetector = 1,       ///< StreamingDetector checkpoint
+  kPlane = 2,          ///< compiled FlatClassifier plane
+  kDetectorDelta = 3,  ///< delta checkpoint chained off a full kDetector
 };
 
 /// Any defect found while parsing a snapshot: structural damage,
 /// checksum mismatch, version/kind mismatch, semantic mismatch. Carries
-/// the ErrorKind bucket so skip-mode callers can account it.
+/// the ErrorKind bucket so skip-mode callers can account it, plus
+/// whatever context the thrower knew (file path, section id) so
+/// corrupted-checkpoint reports are actionable from the CLI.
 class SnapshotError : public std::runtime_error {
  public:
   SnapshotError(util::ErrorKind kind, const std::string& what)
       : std::runtime_error("snapshot: " + what), kind_(kind) {}
+
+  /// `context` names where the damage was found, e.g.
+  /// "file out.ckpt, section 3". Empty context degrades to the plain
+  /// message.
+  SnapshotError(util::ErrorKind kind, const std::string& what,
+                const std::string& context)
+      : std::runtime_error("snapshot: " + what +
+                           (context.empty() ? "" : " [" + context + "]")),
+        kind_(kind) {}
 
   util::ErrorKind kind() const { return kind_; }
 
@@ -91,6 +104,11 @@ class SectionReader {
   explicit SectionReader(std::span<const std::uint8_t> payload)
       : data_(payload) {}
 
+  /// Labeled variant: `context` (e.g. "file out.ckpt, section 3") is
+  /// carried into every underrun error this reader throws.
+  SectionReader(std::span<const std::uint8_t> payload, std::string context)
+      : data_(payload), context_(std::move(context)) {}
+
   std::uint8_t u8();
   std::uint16_t u16();
   std::uint32_t u32();
@@ -107,6 +125,7 @@ class SectionReader {
 
   std::span<const std::uint8_t> data_;
   std::size_t off_ = 0;
+  std::string context_;
 };
 
 /// Assembles and persists one snapshot.
@@ -152,7 +171,8 @@ class SnapshotView {
 
  private:
   friend SnapshotView parse_snapshot(std::span<const std::uint8_t>,
-                                     PayloadKind, std::uint32_t);
+                                     PayloadKind, std::uint32_t,
+                                     const std::string&);
 
   PayloadKind kind_ = PayloadKind::kDetector;
   std::uint32_t payload_version_ = 0;
@@ -163,8 +183,22 @@ class SnapshotView {
 /// `expected_payload_version`, validating every checksum, the pinned
 /// total size and the zero alignment padding. Throws SnapshotError on
 /// any defect; policy-aware callers translate per their ErrorPolicy.
+/// `origin` names the source file: it is woven into every error message
+/// (together with the section id for per-section damage) so corruption
+/// reports say which file and where.
 SnapshotView parse_snapshot(std::span<const std::uint8_t> bytes,
                             PayloadKind expected_kind,
-                            std::uint32_t expected_payload_version);
+                            std::uint32_t expected_payload_version,
+                            const std::string& origin = {});
+
+/// Fault-injection shim for snapshot reads. With no installed
+/// util::FaultInjector (or none armed at `site`) this returns `bytes`
+/// untouched. When a read fault fires, the damaged image (truncated
+/// span for a short read, one 4 KiB page zeroed for a torn mmap page)
+/// is materialized in `scratch` and the returned span views scratch —
+/// the caller's original buffer is never modified.
+std::span<const std::uint8_t> with_injected_read_faults(
+    std::string_view site, std::span<const std::uint8_t> bytes,
+    std::vector<std::uint8_t>& scratch);
 
 }  // namespace spoofscope::state

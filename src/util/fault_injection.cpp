@@ -1,0 +1,128 @@
+#include "util/fault_injection.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace spoofscope::util {
+
+namespace {
+
+FaultInjector* g_current = nullptr;
+
+// splitmix64: full-avalanche mix so (seed, site, occurrence) keys give
+// independent-looking draws.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_site(std::string_view site) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a 64
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kShortWrite:
+      return "short-write";
+    case FaultKind::kEnospc:
+      return "enospc";
+    case FaultKind::kCrashBeforeRename:
+      return "crash-before-rename";
+    case FaultKind::kCrashAfterRename:
+      return "crash-after-rename";
+    case FaultKind::kShortRead:
+      return "short-read";
+    case FaultKind::kTornPage:
+      return "torn-page";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed, double probability)
+    : random_(true), seed_(seed), probability_(probability) {}
+
+void FaultInjector::arm(std::string_view site, std::uint64_t nth,
+                        FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[std::string(site)].push_back(Armed{nth, kind});
+}
+
+FaultKind FaultInjector::at(std::string_view site,
+                            std::initializer_list<FaultKind> allowed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto cit = counts_.find(site);
+  if (cit == counts_.end()) {
+    cit = counts_.emplace(std::string(site), 0).first;
+  }
+  const std::uint64_t occurrence = ++cit->second;
+
+  auto fire = [&](FaultKind kind) {
+    injected_++;
+    aux_ = mix64(seed_ ^ hash_site(site) ^ (occurrence * 0x7fb5d329728ea185ULL));
+    return kind;
+  };
+
+  if (auto ait = armed_.find(site); ait != armed_.end()) {
+    for (const Armed& a : ait->second) {
+      if (a.nth != occurrence) continue;
+      if (std::find(allowed.begin(), allowed.end(), a.kind) == allowed.end()) {
+        continue;
+      }
+      return fire(a.kind);
+    }
+  }
+
+  if (random_ && allowed.size() > 0) {
+    const std::uint64_t draw =
+        mix64(seed_ ^ mix64(hash_site(site)) ^ occurrence);
+    // Top 53 bits give an unbiased double in [0,1).
+    const double u =
+        static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+    if (u < probability_) {
+      const std::uint64_t which = mix64(draw) % allowed.size();
+      return fire(*(allowed.begin() + which));
+    }
+  }
+  return FaultKind::kNone;
+}
+
+std::uint64_t FaultInjector::pick(std::uint64_t bound) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bound == 0) return 0;
+  aux_ = mix64(aux_);
+  return aux_ % bound;
+}
+
+std::uint64_t FaultInjector::occurrences(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(site);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+FaultInjector* FaultInjector::current() { return g_current; }
+
+FaultInjector::Scope::Scope(FaultInjector& injector) : prev_(g_current) {
+  g_current = &injector;
+}
+
+FaultInjector::Scope::~Scope() { g_current = prev_; }
+
+}  // namespace spoofscope::util

@@ -1,0 +1,423 @@
+// In-place plane patching vs the fresh-compile oracle: apply_updates()
+// must leave the DIR-24-8 plane bit-identical (plane_digest()) to a
+// from-scratch compile over the same live route set — after hand-built
+// announce/withdraw batches, after thousand-step randomized churn
+// (including overflow-lane lengths and unaligned valid-space extends),
+// and when the starting plane was mmapped out of a PlaneCache entry.
+// The oracle classifier shares the source's ValidSpace handles, so any
+// digest difference is the patch path's fault, never the inputs'.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/message.hpp"
+#include "bgp/routing_table.hpp"
+#include "classify/flat_classifier.hpp"
+#include "classify/streaming.hpp"
+#include "net/prefix.hpp"
+#include "scenario/scenario.hpp"
+#include "state/plane_cache.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spoofscope::classify {
+namespace {
+
+namespace fs = std::filesystem;
+using bgp::UpdateMessage;
+using net::Ipv4Addr;
+using net::pfx;
+
+UpdateMessage announce(const net::Prefix& p, std::uint32_t ts = 0) {
+  UpdateMessage u;
+  u.kind = UpdateMessage::Kind::kAnnounce;
+  u.timestamp = ts;
+  u.prefix = p;
+  u.path = bgp::AsPath{65000};
+  return u;
+}
+
+UpdateMessage withdraw(const net::Prefix& p, std::uint32_t ts = 0) {
+  UpdateMessage u;
+  u.kind = UpdateMessage::Kind::kWithdraw;
+  u.timestamp = ts;
+  u.prefix = p;
+  return u;
+}
+
+/// The correctness oracle: compile a fresh plane over exactly `live`,
+/// with a routing table rebuilt in canonical order and the SOURCE
+/// classifier's shared ValidSpace handles (bit-identical spaces), then
+/// hand it to `probe` and return its plane_digest(). Any divergence
+/// from the patched plane is therefore a patching bug by construction.
+template <typename Probe>
+std::uint64_t fresh_compile_digest(const Classifier& source,
+                                   std::vector<net::Prefix> live,
+                                   const FlatClassifier::UpdateApplyOptions& w,
+                                   util::ThreadPool* pool, Probe&& probe) {
+  std::sort(live.begin(), live.end());
+  bgp::RoutingTableBuilder::Options topts;
+  topts.min_length = w.min_length;
+  topts.max_length = w.max_length;
+  bgp::RoutingTableBuilder b(topts);
+  for (const auto& p : live) b.ingest_route(p, bgp::AsPath{65000});
+  const bgp::RoutingTable table = b.build();
+  std::vector<std::shared_ptr<const inference::ValidSpace>> spaces;
+  spaces.reserve(source.space_count());
+  for (std::size_t i = 0; i < source.space_count(); ++i) {
+    spaces.push_back(source.shared_space(i));
+  }
+  const Classifier oracle(table, std::move(spaces));
+  const FlatClassifier plane = pool != nullptr
+                                   ? FlatClassifier::compile(oracle, *pool)
+                                   : FlatClassifier::compile(oracle);
+  probe(plane);
+  return plane.plane_digest();
+}
+
+std::uint64_t fresh_compile_digest(const Classifier& source,
+                                   std::vector<net::Prefix> live,
+                                   const FlatClassifier::UpdateApplyOptions& w,
+                                   util::ThreadPool* pool = nullptr) {
+  return fresh_compile_digest(source, std::move(live), w, pool,
+                              [](const FlatClassifier&) {});
+}
+
+/// Two-member hand fixture (mirrors state_resume_test): member 1 owns
+/// 50.0/16 as valid space, 60.0/16 is routed but unowned.
+struct Fixture {
+  Fixture() {
+    bgp::RoutingTableBuilder b;
+    b.ingest_route(pfx("50.0.0.0/16"), bgp::AsPath{1});
+    b.ingest_route(pfx("60.0.0.0/16"), bgp::AsPath{2});
+    table = b.build();
+    trie::IntervalSet s;
+    s.add(pfx("50.0.0.0/16"));
+    std::unordered_map<Asn, trie::IntervalSet> spaces;
+    spaces.emplace(1, std::move(s));
+    classifier = std::make_unique<Classifier>(
+        table, std::vector<inference::ValidSpace>{
+                   inference::ValidSpace(inference::Method::kFullCone,
+                                         std::move(spaces))});
+  }
+  bgp::RoutingTable table;
+  std::unique_ptr<Classifier> classifier;
+};
+
+TEST(PlaneUpdate, FirstApplyCanonicalizesAndMatchesFreshCompile) {
+  auto params = scenario::ScenarioParams::small();
+  const auto w = scenario::build_scenario(params);
+  auto& classifier = w->classifier();
+  FlatClassifier flat = FlatClassifier::compile(classifier);
+
+  // An empty batch still takes ownership of the route set and renumbers
+  // ingest-order pids into canonical order.
+  const auto stats = flat.apply_updates({});
+  EXPECT_TRUE(flat.live());
+  EXPECT_EQ(stats.announced, 0u);
+  EXPECT_EQ(stats.withdrawn, 0u);
+  EXPECT_TRUE(std::is_sorted(flat.live_prefixes().begin(),
+                             flat.live_prefixes().end()));
+  EXPECT_EQ(flat.live_prefixes().size(), w->table().prefix_count());
+
+  FlatClassifier::UpdateApplyOptions uopts;
+  const auto& flows = w->trace().flows;
+  EXPECT_EQ(flat.plane_digest(),
+            fresh_compile_digest(classifier, flat.live_prefixes(), uopts,
+                                 nullptr, [&](const FlatClassifier& oracle) {
+                                   EXPECT_EQ(classify_trace(flat, flows),
+                                             classify_trace(oracle, flows));
+                                 }));
+  // Classification is untouched by pid renumbering: labels carry
+  // classes, not pids.
+  EXPECT_EQ(classify_trace(flat, flows), classify_trace(classifier, flows));
+
+  // Re-announcing the whole live set is a pure no-op: no epoch bump, no
+  // byte changes.
+  const std::uint64_t epoch = flat.epoch();
+  const std::uint64_t digest = flat.plane_digest();
+  std::vector<UpdateMessage> redundant;
+  for (const auto& p : flat.live_prefixes()) redundant.push_back(announce(p));
+  const auto again = flat.apply_updates(redundant);
+  EXPECT_FALSE(again.changed);
+  EXPECT_EQ(again.redundant, redundant.size());
+  EXPECT_EQ(flat.epoch(), epoch);
+  EXPECT_EQ(flat.plane_digest(), digest);
+}
+
+TEST(PlaneUpdate, AnnounceWithdrawCountersAndClassifyParity) {
+  Fixture fx;
+  FlatClassifier flat = FlatClassifier::compile(*fx.classifier);
+  FlatClassifier::UpdateApplyOptions uopts;
+
+  std::vector<UpdateMessage> batch = {
+      announce(pfx("70.0.0.0/16")),   // new route
+      withdraw(pfx("60.0.0.0/16")),   // drops a live route
+      announce(pfx("50.0.0.0/16")),   // already live -> redundant
+      announce(pfx("10.1.2.0/30")),   // /30 outside the [8,24] window
+  };
+  const auto stats = flat.apply_updates(batch, uopts);
+  EXPECT_EQ(stats.announced, 1u);
+  EXPECT_EQ(stats.withdrawn, 1u);
+  EXPECT_EQ(stats.redundant, 1u);
+  EXPECT_EQ(stats.out_of_range, 1u);
+  EXPECT_TRUE(stats.changed);
+  EXPECT_EQ(flat.epoch(), 1u);
+
+  const std::vector<net::Prefix> want = {pfx("50.0.0.0/16"),
+                                         pfx("70.0.0.0/16")};
+  EXPECT_EQ(flat.live_prefixes(), want);
+  EXPECT_EQ(flat.plane_digest(),
+            fresh_compile_digest(
+                *fx.classifier, flat.live_prefixes(), uopts, nullptr,
+                [&](const FlatClassifier& oracle) {
+                  // Spot probes across the changed ranges and both
+                  // members, against the freshly compiled plane.
+                  for (const char* addr : {"50.0.1.1", "60.0.0.1", "70.0.3.9",
+                                           "10.1.2.1", "99.9.9.9"}) {
+                    const Ipv4Addr a = pfx(addr).address();
+                    for (const Asn member : {Asn{1}, Asn{2}}) {
+                      EXPECT_EQ(flat.classify_all(a, member),
+                                oracle.classify_all(a, member))
+                          << addr << " member " << member;
+                    }
+                  }
+                }));
+
+  // An announce+withdraw pair inside one batch cancels to nothing.
+  const std::uint64_t epoch = flat.epoch();
+  const std::uint64_t digest = flat.plane_digest();
+  const std::vector<UpdateMessage> cancel = {announce(pfx("80.0.0.0/12")),
+                                             withdraw(pfx("80.0.0.0/12"))};
+  const auto net0 = flat.apply_updates(cancel, uopts);
+  EXPECT_EQ(net0.announced, 0u);
+  EXPECT_EQ(net0.withdrawn, 0u);
+  EXPECT_FALSE(net0.changed);
+  EXPECT_EQ(flat.epoch(), epoch);
+  EXPECT_EQ(flat.plane_digest(), digest);
+
+  // Withdrawing everything leaves an empty live set that still matches
+  // its (empty) fresh compile.
+  const auto gone = flat.apply_updates(
+      std::vector<UpdateMessage>{withdraw(pfx("50.0.0.0/16")),
+                                 withdraw(pfx("70.0.0.0/16"))},
+      uopts);
+  EXPECT_EQ(gone.withdrawn, 2u);
+  EXPECT_TRUE(flat.live_prefixes().empty());
+  EXPECT_EQ(flat.plane_digest(),
+            fresh_compile_digest(*fx.classifier, {}, uopts));
+}
+
+TEST(PlaneUpdate, MappedCachePlanePatchesWithoutTouchingTheEntry) {
+  Fixture fx;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("spoofscope_plane_update_cache." + std::to_string(::getpid())))
+          .string();
+  state::PlaneCache cache(dir);
+  util::ThreadPool pool(2);
+  {
+    const auto stored = cache.load_or_compile(*fx.classifier, &pool);
+    ASSERT_TRUE(stored.stored);
+  }
+  auto loaded = cache.load_or_compile(*fx.classifier, &pool);
+  ASSERT_TRUE(loaded.hit);
+
+  // Snapshot the single cache entry's bytes before patching.
+  std::string entry;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    entry = e.path().string();
+  }
+  ASSERT_FALSE(entry.empty());
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  };
+  const std::string before = slurp(entry);
+
+  // Patching the mmapped plane copies it out of the snapshot first
+  // (ensure_owned): the entry on disk must never be written through.
+  FlatClassifier::UpdateApplyOptions uopts;
+  const auto stats = loaded.plane.apply_updates(
+      std::vector<UpdateMessage>{announce(pfx("70.0.0.0/16")),
+                                 withdraw(pfx("60.0.0.0/16"))},
+      uopts);
+  EXPECT_TRUE(stats.changed);
+  EXPECT_EQ(loaded.plane.plane_digest(),
+            fresh_compile_digest(*fx.classifier, loaded.plane.live_prefixes(),
+                                 uopts));
+  EXPECT_EQ(slurp(entry), before);
+
+  // A second load still validates and serves the original plane.
+  const auto reloaded = cache.load_or_compile(*fx.classifier, &pool);
+  EXPECT_TRUE(reloaded.hit);
+  EXPECT_FALSE(reloaded.plane.live());
+  fs::remove_all(dir);
+}
+
+TEST(PlaneUpdate, EpochBumpReclassifiesBufferedFlows) {
+  Fixture fx;
+  FlatClassifier patched_early = FlatClassifier::compile(*fx.classifier);
+  FlatClassifier patched_mid = FlatClassifier::compile(*fx.classifier);
+  const std::vector<UpdateMessage> batch = {withdraw(pfx("50.0.0.0/16")),
+                                            announce(pfx("99.0.0.0/16"))};
+
+  StreamingParams params;
+  params.window_seconds = 300;
+  params.min_spoofed_packets = 5;
+  params.min_share = 0.1;
+  params.reorder_skew_seconds = 1000;  // everything stays buffered
+  params.max_reorder_records = 4096;
+
+  // Stream short enough to sit in the reorder buffer end-to-end: the
+  // mid-stream patch lands while every flow is still pending, so both
+  // runs must release every flow under the patched plane.
+  util::Rng rng(7);
+  std::vector<net::FlowRecord> flows;
+  for (int i = 0; i < 200; ++i) {
+    net::FlowRecord f;
+    const bool legit = rng.chance(0.5);
+    f.src = legit ? Ipv4Addr::from_octets(50, 0, 0, 1)
+                  : Ipv4Addr::from_octets(99, 0, 0, 1);
+    f.dst = Ipv4Addr::from_octets(60, 0, 0, 1);
+    f.ts = static_cast<std::uint32_t>(i);
+    f.packets = 2;
+    f.bytes = 80;
+    f.member_in = 1;
+    flows.push_back(f);
+  }
+
+  std::vector<SpoofingAlert> mid_alerts, early_alerts;
+  const auto mid_sink = [&](const SpoofingAlert& a) { mid_alerts.push_back(a); };
+  const auto early_sink = [&](const SpoofingAlert& a) {
+    early_alerts.push_back(a);
+  };
+
+  StreamingDetector mid(patched_mid, 0, params);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (i == flows.size() / 2) {
+      ASSERT_TRUE(patched_mid.apply_updates(batch).changed);
+    }
+    mid.ingest(flows[i], mid_sink);
+  }
+  mid.flush(mid_sink);
+
+  ASSERT_TRUE(patched_early.apply_updates(batch).changed);
+  StreamingDetector early(patched_early, 0, params);
+  for (const auto& f : flows) early.ingest(f, early_sink);
+  early.flush(early_sink);
+
+  EXPECT_EQ(mid_alerts, early_alerts);
+  EXPECT_EQ(mid.health(), early.health());
+  ASSERT_FALSE(early_alerts.empty())
+      << "the patch must flip member 1's 50.0/16 traffic to spoofed";
+}
+
+// ------------------------------------------------------------- churn fuzz
+
+/// Satellite: 1k-step randomized announce/withdraw churn. After EVERY
+/// step the patched plane's digest must equal a fresh compile over the
+/// live set — with overflow-lane lengths (/25../28) in the mix, members
+/// extended with unaligned interval ranges (partial rows engaged), and
+/// pooled/sequential application alternating step to step.
+class PlaneChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlaneChurnTest, ChurnMatchesFreshCompileEveryStep) {
+  const std::uint64_t seed = GetParam();
+  auto params = scenario::ScenarioParams::small();
+  params.seed = seed;
+  const auto w = scenario::build_scenario(params);
+  auto& classifier = w->classifier();
+  const auto& table_prefixes = w->table().prefixes();
+  const auto members = w->ixp().member_asns();
+  ASSERT_FALSE(table_prefixes.empty());
+
+  // Unaligned extends (as in the flat-oracle suite) so churn repaints
+  // ranges served by the interval-set fallback lane too.
+  for (std::size_t m = 0; m < 4 && m < members.size(); ++m) {
+    const auto& p = table_prefixes[(m * 13) % table_prefixes.size()];
+    trie::IntervalSet extra;
+    if (p.last() - p.first() >= 8) {
+      extra.add(p.first() + 1, p.first() + (p.last() - p.first()) / 2);
+    }
+    classifier.mutable_space(4).extend(members[m], extra);
+  }
+
+  util::ThreadPool pool(0);
+  FlatClassifier flat = FlatClassifier::compile(classifier, pool);
+  EXPECT_GT(flat.stats().partial_rows, 0u);
+
+  FlatClassifier::UpdateApplyOptions uopts;
+  uopts.min_length = 8;
+  uopts.max_length = 28;  // let announcements land on the overflow lane
+
+  util::Rng rng(seed ^ 0xc4c4c4c4ull);
+  // Every step fresh-compiles the 64 MiB oracle plane (~200 ms), so the
+  // default tier-1 sweep is trimmed; tools/check.sh runs the full
+  // thousand-step sweep via SPOOFSCOPE_CHURN_STEPS=1000.
+  int steps = 200;
+  if (const char* env = std::getenv("SPOOFSCOPE_CHURN_STEPS")) {
+    steps = std::max(1, std::atoi(env));
+  }
+  std::uint64_t last_epoch = flat.epoch();
+  for (int step = 0; step < steps; ++step) {
+    std::vector<UpdateMessage> batch;
+    const std::size_t ops = 1 + rng.index(8);
+    for (std::size_t o = 0; o < ops; ++o) {
+      const auto& live =
+          flat.live() ? flat.live_prefixes() : table_prefixes;
+      if (!live.empty() && rng.chance(0.45)) {
+        batch.push_back(withdraw(live[rng.index(live.size())],
+                                 static_cast<std::uint32_t>(step)));
+      } else {
+        // Mostly in-window lengths; a fifth land on the overflow lane.
+        const std::uint8_t len =
+            rng.chance(0.2)
+                ? static_cast<std::uint8_t>(25 + rng.index(4))
+                : static_cast<std::uint8_t>(8 + rng.index(17));
+        // Bias into the scenario's own address ranges half the time so
+        // withdraws/announces collide with routed space.
+        const std::uint32_t addr =
+            rng.chance(0.5)
+                ? table_prefixes[rng.index(table_prefixes.size())].first() +
+                      rng.next_u32() % 4096
+                : rng.next_u32();
+        batch.push_back(announce(net::Prefix(Ipv4Addr(addr), len),
+                                 static_cast<std::uint32_t>(step)));
+      }
+    }
+    FlatClassifier::UpdateApplyOptions step_opts = uopts;
+    step_opts.pool = (step % 2 == 0) ? &pool : nullptr;
+    const auto stats = flat.apply_updates(batch, step_opts);
+    if (stats.changed) {
+      ASSERT_EQ(flat.epoch(), last_epoch + 1);
+      last_epoch = flat.epoch();
+    } else {
+      ASSERT_EQ(flat.epoch(), last_epoch);
+    }
+    ASSERT_TRUE(std::is_sorted(flat.live_prefixes().begin(),
+                               flat.live_prefixes().end()))
+        << "live set must stay canonical, step " << step;
+
+    ASSERT_EQ(flat.plane_digest(),
+              fresh_compile_digest(classifier, flat.live_prefixes(), uopts,
+                                   &pool))
+        << "seed " << seed << " step " << step << " (batch of " << ops
+        << " ops, epoch " << flat.epoch() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlaneChurnTest,
+                         ::testing::Values(0xA11CEull, 0xB0Bull, 0x5EEDull));
+
+}  // namespace
+}  // namespace spoofscope::classify

@@ -311,6 +311,59 @@ TEST(CliSmoke, DetectCheckpointThenResumeReplaysNothing) {
       << resumed.output;
 }
 
+TEST(CliSmoke, CheckpointEveryRejectsNonPositiveValues) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const fs::path ckpt = w.root / "rejected.ckpt";
+  const auto r = run_cli("detect --mrt " + w.mrt() + " --trace " + w.trace() +
+                             " --checkpoint " + ckpt.string() +
+                             " --checkpoint-every 0",
+                         w.log);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--checkpoint-every must be > 0, got: '0'"),
+            std::string::npos)
+      << r.output;
+  EXPECT_FALSE(fs::exists(ckpt));
+}
+
+TEST(CliSmoke, UpdatesFlagRequiresFlatEngine) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const auto r = run_cli("detect --mrt " + w.mrt() + " --trace " + w.trace() +
+                             " --updates " + w.mrt(),
+                         w.log);
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("--updates requires --engine flat"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliSmoke, DeltaCheckpointChainResumesLikeAFullOne) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const fs::path ckpt = w.root / "delta.ckpt";
+  const std::string base = "detect --mrt " + w.mrt() + " --trace " +
+                           w.trace() + " --window 1800 --skew 60" +
+                           " --checkpoint " + ckpt.string() +
+                           " --checkpoint-delta";
+
+  const auto first = run_cli(base + " --checkpoint-every 5000", w.log);
+  ASSERT_EQ(first.exit_code, 0) << first.output;
+  EXPECT_TRUE(fs::exists(ckpt));
+  // Mid-stream checkpoints landed as delta links chained off the base.
+  EXPECT_TRUE(fs::exists(fs::path(ckpt.string() + ".d1"))) << first.output;
+  const std::string health = line_with(first.output, "health:");
+  ASSERT_FALSE(health.empty());
+
+  const auto resumed = run_cli(base + " --resume", w.log);
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find("resume: restored detector state"),
+            std::string::npos)
+      << resumed.output;
+  EXPECT_EQ(count_lines_with(resumed.output, "alert:"), 0) << resumed.output;
+  EXPECT_EQ(line_with(resumed.output, "health:"), health);
+}
+
 TEST(CliSmoke, CorruptCheckpointStrictFailsSkipStartsFresh) {
   auto& w = cli_world();
   ASSERT_TRUE(w.generated);

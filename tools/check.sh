@@ -21,6 +21,11 @@
 #   5. portable build guard: -DSPOOFSCOPE_DISABLE_SIMD=ON compiles only
 #      the scalar batch kernel — what a target with neither AVX2 nor
 #      NEON gets — and the batch differentials must still pass on it
+#   6. fault injection: the crash/churn differential suite re-runs under
+#      all three sanitizer builds with a widened injector seed sweep
+#      (SPOOFSCOPE_FAULT_SEEDS), and the plane-churn fuzz runs its full
+#      1000-step sweep (SPOOFSCOPE_CHURN_STEPS) against the fresh-compile
+#      digest oracle
 #
 # The batch-classification suites run twice per sanitizer stage: once
 # with SPOOFSCOPE_SIMD=auto (the vector kernel this host supports) and
@@ -82,6 +87,9 @@ TSAN_SUITES=(
   scenario_multiseed_test
   state_resume_test
   state_plane_cache_test
+  state_delta_chain_test
+  state_fault_injection_test
+  classify_plane_update_test
   analysis_streaming_oracle_test
 )
 
@@ -106,6 +114,9 @@ ASAN_SUITES=(
   state_snapshot_test
   state_resume_test
   state_plane_cache_test
+  state_delta_chain_test
+  state_fault_injection_test
+  classify_plane_update_test
   util_stats_test
   analysis_streaming_oracle_test
 )
@@ -128,6 +139,8 @@ UBSAN_SUITES=(
   data_rpsl_test
   state_snapshot_test
   state_plane_cache_test
+  state_delta_chain_test
+  state_fault_injection_test
   util_stats_test
   analysis_streaming_oracle_test
 )
@@ -149,5 +162,15 @@ cmake -S "${REPO_ROOT}" -B "${REPO_ROOT}/build-portable" \
 cmake --build "${REPO_ROOT}/build-portable" -j "${JOBS}" \
   --target "${PORTABLE_SUITES[@]}"
 run_suite build-portable "${PORTABLE_SUITES[@]}"
+
+echo "=== fault injection: widened seed sweep across all sanitizers ==="
+FAULT_SEEDS="1 2 3 4 5 6 7 8"
+for tree in build-tsan build-asan build-ubsan; do
+  echo "--- ${tree}/tests/state_fault_injection_test (SPOOFSCOPE_FAULT_SEEDS=${FAULT_SEEDS})"
+  SPOOFSCOPE_FAULT_SEEDS="${FAULT_SEEDS}" \
+    "${REPO_ROOT}/${tree}/tests/state_fault_injection_test"
+done
+echo "--- build/tests/classify_plane_update_test (SPOOFSCOPE_CHURN_STEPS=1000)"
+SPOOFSCOPE_CHURN_STEPS=1000 "${REPO_ROOT}/build/tests/classify_plane_update_test"
 
 echo "=== all checks passed ==="

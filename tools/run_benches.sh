@@ -36,7 +36,9 @@ cmake --build "${BUILD_DIR}" --target bench_perf_core -j "$(nproc)"
 # (resident-set delta across the bench loop) per trace multiplier;
 # streaming report memory must not scale with trace length, so the 10x
 # growth may exceed the 1x growth only by a fixed slack. Also prints the
-# vector-kernel speedup whenever the run measured both kernels.
+# vector-kernel speedup whenever the run measured both kernels, and the
+# incremental-patch speedup (BM_FlatPlanePatch vs BM_FlatCompileParallel)
+# whenever the run measured both.
 python3 - "${TMP_JSON}" <<'PY'
 import json, sys
 
@@ -52,6 +54,8 @@ print(f"OK provenance check: spoofscope_build_type={build}")
 
 rate = {}
 growth = {}
+compile_ms = {}
+patch_ms = None
 for b in doc.get("benchmarks", []):
     name = b.get("name", "")
     if name.startswith("BM_ReportStreaming/trace_mult:"):
@@ -60,6 +64,11 @@ for b in doc.get("benchmarks", []):
     if name.startswith("BM_FlatClassifyBatchKernel/simd:"):
         kernel = name.split("simd:")[1].split("/")[0]
         rate[kernel] = b.get("items_per_second", 0.0)
+    if name.startswith("BM_FlatCompileParallel/threads:"):
+        threads = int(name.split("threads:")[1].split("/")[0])
+        compile_ms[threads] = b.get("real_time", 0.0)
+    if name == "BM_FlatPlanePatch":
+        patch_ms = b.get("real_time", 0.0)
 if 1 in growth and 10 in growth:
     line = (f"BM_ReportStreaming rss_growth_kb: "
             f"1x={growth[1]:.0f} 10x={growth[10]:.0f}")
@@ -72,6 +81,14 @@ for kernel, flows in sorted(rate.items()):
     if kernel != "scalar" and rate.get("scalar"):
         note = f" ({flows / rate['scalar']:.2f}x scalar)"
     print(f"kernel {kernel}: {flows / 1e6:.1f}M flows/s{note}")
+if patch_ms and compile_ms:
+    best = min(compile_ms.values())
+    speedup = best / patch_ms
+    line = (f"plane patch (100-route batch): {patch_ms:.2f}ms vs "
+            f"{best:.2f}ms recompile = {speedup:.1f}x")
+    if speedup < 10.0:
+        sys.exit(f"FAIL incremental-patch check: {line} (want >= 10x)")
+    print(f"OK incremental-patch check: {line}")
 PY
 
 mv "${TMP_JSON}" "${OUT_JSON}"

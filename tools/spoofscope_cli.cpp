@@ -25,15 +25,23 @@
 //       independent of trace length.
 //
 //   spoofscope detect --mrt FILE[,FILE...] --trace FILE [--rpsl FILE]
-//              [--window SECONDS] [--skew SECONDS]
-//              [--checkpoint PATH [--checkpoint-every N] [--resume]]
+//              [--window SECONDS] [--skew SECONDS] [--updates FILE]
+//              [--checkpoint PATH [--checkpoint-every N]
+//               [--checkpoint-delta] [--resume]]
 //       Streaming detection: feed the trace through the online
 //       StreamingDetector batch-at-a-time and print every alert plus the
 //       detector health counters. --checkpoint persists the detector
 //       state (crash-safe atomic snapshot) every N processed flows and
 //       at end of stream; --resume restores it first and skips the
 //       already-processed records, so a killed run continues with
-//       bit-identical alerts and health.
+//       bit-identical alerts and health. --updates (flat engine) plays
+//       an MRT-lite announce/withdraw stream into the compiled plane as
+//       the trace advances — route churn patches the plane in place
+//       (FlatClassifier::apply_updates) instead of recompiling, and
+//       checkpoints record the update cursor so a resumed run replays
+//       the plane to the exact cut. --checkpoint-delta chains small
+//       delta checkpoints off the last full snapshot instead of
+//       rewriting the whole state every interval.
 //
 // All readers honour --on-error strict|skip: strict (default) fails on
 // the first malformed record; skip quarantines bad records, prints an
@@ -55,8 +63,10 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 #include <sstream>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "analysis/streaming.hpp"
@@ -70,6 +80,7 @@
 #include "net/mapped_trace.hpp"
 #include "net/trace.hpp"
 #include "scenario/scenario.hpp"
+#include "state/delta_chain.hpp"
 #include "state/plane_cache.hpp"
 #include "topo/serialize.hpp"
 #include "util/error_policy.hpp"
@@ -107,10 +118,10 @@ constexpr std::size_t kChunkFlows = 1u << 17;
       "                      [--method naive|cc|cc+org|full|full+org]\n"
       "                      [--window SECONDS] [--skew SECONDS]\n"
       "                      [--threads N] [--engine trie|flat]\n"
-      "                      [--plane-cache DIR]\n"
+      "                      [--plane-cache DIR] [--updates FILE]\n"
       "                      [--simd auto|avx2|neon|scalar]\n"
       "                      [--checkpoint PATH] [--checkpoint-every N]\n"
-      "                      [--resume]\n"
+      "                      [--checkpoint-delta] [--resume]\n"
       "                      [--on-error strict|skip] [--stats-json PATH]\n"
       "\n"
       "--threads N runs valid-space construction and classification on N\n"
@@ -132,10 +143,21 @@ constexpr std::size_t kChunkFlows = 1u << 17;
       "plane on disk keyed by a digest of the routing view + valid spaces;\n"
       "hits mmap the plane instead of recompiling.\n"
       "--checkpoint PATH (detect) saves the detector state atomically\n"
-      "every --checkpoint-every N flows (and at end of stream); --resume\n"
-      "restores PATH first and skips the already-processed records, so a\n"
-      "restarted run produces the same alerts and health as an\n"
-      "uninterrupted one.\n";
+      "every --checkpoint-every N flows (N > 0; and at end of stream);\n"
+      "--resume restores PATH first and skips the already-processed\n"
+      "records, so a restarted run produces the same alerts and health as\n"
+      "an uninterrupted one.\n"
+      "--checkpoint-delta (detect) writes small delta checkpoints\n"
+      "(PATH.d1, PATH.d2, ...) chained off the last full snapshot instead\n"
+      "of rewriting the whole state every interval; each link carries its\n"
+      "parent's digest, and --resume replays the chain to the newest\n"
+      "consistent cut (strict refuses a broken chain, skip truncates it).\n"
+      "--updates FILE (detect, flat engine) streams MRT-lite UPDATE lines\n"
+      "into the compiled plane as the trace plays: every announce or\n"
+      "withdraw with a timestamp <= the next flow's is patched into the\n"
+      "plane in place before that flow is classified. Checkpoints record\n"
+      "the update cursor, so a resumed run replays the already-applied\n"
+      "updates and continues on a bit-identical plane.\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -145,7 +167,7 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv, int from) 
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) usage("unexpected argument: " + key);
     key = key.substr(2);
-    if (key == "paper" || key == "resume") {
+    if (key == "paper" || key == "resume" || key == "checkpoint-delta") {
       flags[key] = "1";
     } else if (i + 1 < argc) {
       flags[key] = argv[++i];
@@ -584,10 +606,51 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
   const std::string ckpt =
       flags.count("checkpoint") ? flags.at("checkpoint") : std::string();
   const std::uint64_t ckpt_every = u64_flag(flags, "checkpoint-every", 0);
-  const bool resume = flags.count("resume") != 0;
-  if (ckpt.empty() && (ckpt_every != 0 || resume)) {
-    usage("--checkpoint-every/--resume require --checkpoint");
+  if (flags.count("checkpoint-every") && ckpt_every == 0) {
+    usage("--checkpoint-every must be > 0, got: '" +
+          flags.at("checkpoint-every") + "'");
   }
+  const bool resume = flags.count("resume") != 0;
+  const bool delta_mode = flags.count("checkpoint-delta") != 0;
+  if (ckpt.empty() && (ckpt_every != 0 || resume || delta_mode)) {
+    usage("--checkpoint-every/--checkpoint-delta/--resume require --checkpoint");
+  }
+
+  // --updates: a route-churn feed patched into the compiled plane as the
+  // trace plays. Loaded up front (update streams are small next to
+  // traces); stably sorted by timestamp so the firing rule below is a
+  // pure function of (updates, flow timestamps).
+  std::vector<bgp::UpdateMessage> updates;
+  if (flags.count("updates")) {
+    if (!ctx.flat) usage("--updates requires --engine flat");
+    std::ifstream uin(flags.at("updates"));
+    if (!uin) usage("cannot open updates file: " + flags.at("updates"));
+    util::IngestStats ustats;
+    std::size_t rib_lines = 0;
+    for (auto& rec : bgp::read_mrt(uin, policy, &ustats)) {
+      if (auto* u = std::get_if<bgp::UpdateMessage>(&rec)) {
+        updates.push_back(*u);
+      } else {
+        ++rib_lines;  // TABLE_DUMP lines carry no churn; ignored
+      }
+    }
+    std::stable_sort(updates.begin(), updates.end(),
+                     [](const bgp::UpdateMessage& a, const bgp::UpdateMessage& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    std::cout << "updates: " << updates.size() << " route updates from "
+              << flags.at("updates");
+    if (rib_lines != 0) std::cout << " (" << rib_lines << " rib lines ignored)";
+    std::cout << "\n";
+    if (!ustats.clean()) print_ingest(flags.at("updates"), ustats);
+    sources.emplace_back(flags.at("updates"), ustats);
+  }
+  classify::FlatClassifier::UpdateApplyOptions uopts;
+  uopts.pool = &pool;
+  std::uint64_t ucursor = 0;  ///< updates already applied to the plane
+
+  std::optional<state::DeltaChain> chain;
+  if (!ckpt.empty() && delta_mode) chain.emplace(ckpt);
 
   // Resuming restores the detector then fast-forwards the trace past
   // the flows the checkpoint already processed. Skip-mode survivor
@@ -595,12 +658,35 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
   // skipped here are exactly the records the checkpointed run ingested.
   std::uint64_t skip_records = 0;
   if (resume) {
-    if (std::filesystem::exists(ckpt)) {
+    classify::DetectorCheckpointExtra extra;
+    bool restored = false;
+    if (chain) {
       util::IngestStats ckpt_stats;
-      if (detector.restore(ckpt, policy, &ckpt_stats)) {
-        skip_records = detector.processed();
-        std::cout << "resume: restored detector state (" << skip_records
-                  << " flows processed) from " << ckpt << "\n";
+      const state::DeltaResume res = chain->resume(detector, policy, &ckpt_stats);
+      restored = res.restored;
+      extra = res.extra;
+      if (restored) {
+        std::cout << "resume: restored detector state ("
+                  << detector.processed() << " flows processed, "
+                  << res.deltas_applied << " delta links) from " << ckpt
+                  << "\n";
+      } else {
+        std::cout << "resume: no usable checkpoint chain at " << ckpt
+                  << ", starting fresh\n";
+      }
+      if (res.deltas_dropped != 0) {
+        std::cout << "resume: dropped " << res.deltas_dropped
+                  << " damaged or stale delta links\n";
+      }
+      if (!ckpt_stats.clean()) print_ingest(ckpt, ckpt_stats);
+      sources.emplace_back(ckpt, ckpt_stats);
+    } else if (std::filesystem::exists(ckpt)) {
+      util::IngestStats ckpt_stats;
+      restored = detector.restore(ckpt, policy, &ckpt_stats, &extra);
+      if (restored) {
+        std::cout << "resume: restored detector state ("
+                  << detector.processed() << " flows processed) from " << ckpt
+                  << "\n";
       } else {
         std::cout << "resume: checkpoint unusable, starting fresh\n";
       }
@@ -609,6 +695,28 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
     } else {
       std::cout << "resume: no checkpoint at " << ckpt
                 << ", starting fresh\n";
+    }
+    if (restored) {
+      skip_records = detector.processed();
+      // Replay the plane to the cut: the checkpoint's update cursor says
+      // how many updates the interrupted run had applied. Presence
+      // semantics make one batched replay equivalent to the original
+      // one-at-a-time application.
+      if (extra.updates_applied != 0) {
+        if (extra.updates_applied > updates.size()) {
+          throw std::runtime_error(
+              "checkpoint is ahead of the --updates stream (cursor " +
+              std::to_string(extra.updates_applied) + " of " +
+              std::to_string(updates.size()) + " updates)");
+        }
+        ctx.flat->apply_updates(
+            std::span<const bgp::UpdateMessage>(updates).first(
+                extra.updates_applied),
+            uopts);
+        ucursor = extra.updates_applied;
+        std::cout << "resume: replayed " << ucursor
+                  << " route updates into the plane\n";
+      }
     }
   }
 
@@ -625,6 +733,32 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
   net::MappedTraceReader reader(trace, policy, &trace_stats);
   net::FlowBatch batch;
   std::uint64_t last_saved = detector.processed();
+  // Applies every not-yet-applied update with timestamp <= ts (one
+  // apply_updates call per trigger point: the firing points, and hence
+  // the plane every flow sees, are a pure function of the update and
+  // flow timestamp sequences — identical for resumed and uninterrupted
+  // runs).
+  const auto fire_updates_through = [&](std::uint32_t ts) {
+    const std::uint64_t begin = ucursor;
+    while (ucursor < updates.size() && updates[ucursor].timestamp <= ts) {
+      ++ucursor;
+    }
+    if (ucursor != begin) {
+      ctx.flat->apply_updates(
+          std::span<const bgp::UpdateMessage>(updates).subspan(
+              begin, ucursor - begin),
+          uopts);
+    }
+  };
+  const auto save_checkpoint = [&] {
+    const classify::DetectorCheckpointExtra extra{
+        ucursor, ctx.flat ? ctx.flat->epoch() : 0};
+    if (chain) {
+      chain->append(detector, extra);
+    } else {
+      detector.save(ckpt, extra);
+    }
+  };
   // An ingest abort (--on-error strict hitting damage) must not swallow
   // the partial detector state: catch it, emit the health line, the
   // checkpoint and the --stats-json report, then rethrow so the exit
@@ -639,18 +773,22 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
             std::min<std::uint64_t>(skip_records, batch.size()));
         skip_records -= start;
       }
-      if (start == 0) {
+      if (start == 0 && ucursor >= updates.size()) {
         detector.ingest_batch(batch, on_alert);
       } else {
+        // Per-record path: live route churn interleaves with the flows
+        // (and a resume fast-forward may start mid-batch).
         for (std::size_t i = start; i < batch.size(); ++i) {
-          detector.ingest(batch.record(i), on_alert);
+          const net::FlowRecord rec = batch.record(i);
+          if (ucursor < updates.size()) fire_updates_through(rec.ts);
+          detector.ingest(rec, on_alert);
         }
       }
       batch.clear();  // records not yet ingested stay visible to the catch
       reader.drop_consumed();
       if (!ckpt.empty() && ckpt_every != 0 &&
           detector.processed() - last_saved >= ckpt_every) {
-        detector.save(ckpt);
+        save_checkpoint();
         last_saved = detector.processed();
       }
     }
@@ -666,13 +804,15 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
       skip_records -= start;
     }
     for (std::size_t i = start; i < batch.size(); ++i) {
-      detector.ingest(batch.record(i), on_alert);
+      const net::FlowRecord rec = batch.record(i);
+      if (ucursor < updates.size()) fire_updates_through(rec.ts);
+      detector.ingest(rec, on_alert);
     }
     aborted = true;
     abort_reason = e.what();
   }
   // The end-of-stream (or last-consistent-state) checkpoint.
-  if (!ckpt.empty()) detector.save(ckpt);
+  if (!ckpt.empty()) save_checkpoint();
   if (!trace_stats.clean()) print_ingest(trace_path, trace_stats);
   sources.emplace_back(trace_path, trace_stats);
 
