@@ -4,12 +4,15 @@
 #include "bench/common.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <queue>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -18,6 +21,7 @@
 
 #include "analysis/streaming.hpp"
 #include "asgraph/full_cone.hpp"
+#include "bgp/collector.hpp"
 #include "bgp/message.hpp"
 #include "bgp/simulator.hpp"
 #include "classify/flat_classifier.hpp"
@@ -806,6 +810,120 @@ BENCHMARK(BM_BuildValidSpacesParallel)
     ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+// --- internet-scale parallel generation --------------------------------------
+
+/// Thread-count points for the scenario-generation benches: 1, 2, and
+/// hardware concurrency when it is a distinct third point. Registered
+/// via Apply so a 1-core box still gets a (trivially gated) baseline.
+void scaling_thread_args(benchmark::internal::Benchmark* b) {
+  b->ArgName("threads");
+  b->Arg(1);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw >= 2) b->Arg(2);
+  if (hw > 2) b->Arg(hw);
+}
+
+void BM_TopologyGenerateParallel(benchmark::State& state) {
+  // Chunk-parallel KaGen-style generation. chunk_ases is part of the
+  // output contract, so it is pinned here: every thread count generates
+  // the same ~7-chunk world and the timings are comparable.
+  auto params = bench::bench_params().topology;
+  params.chunk_ases = 64;
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto topo = topo::generate_topology(params, 7, pool);
+    benchmark::DoNotOptimize(topo);
+  }
+}
+BENCHMARK(BM_TopologyGenerateParallel)
+    ->Apply(scaling_thread_args)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BgpPropagationParallel(benchmark::State& state) {
+  // The internet-scale propagation data path: every plan group fanned
+  // over the pool, records streamed per chunk (propagate_collect), with
+  // a full-feed spec consuming them. items_per_second = plan groups/s;
+  // tools/run_benches.sh gates the threads:1 -> threads:max speedup.
+  static const auto topo =
+      topo::generate_topology(bench::bench_params().topology, 7);
+  static const bgp::Simulator sim(topo);
+  static const auto plan = bgp::make_announcement_plan(topo, {}, 11);
+  bgp::CollectorSpec spec;
+  spec.name = "bench-full-feed";
+  for (std::size_t i = 0; i < 8; ++i) spec.feeders.push_back(topo.asn_at(i));
+  const std::array<bgp::CollectorSpec, 1> specs{spec};
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::int64_t groups = 0;
+  std::size_t records = 0;
+  for (auto _ : state) {
+    records = 0;
+    bgp::propagate_collect(
+        sim, plan, specs, pool,
+        [&](std::size_t, const bgp::MrtRecord&) { ++records; });
+    groups += static_cast<std::int64_t>(plan.groups.size());
+  }
+  benchmark::DoNotOptimize(records);
+  state.SetItemsProcessed(groups);
+}
+BENCHMARK(BM_BgpPropagationParallel)
+    ->Apply(scaling_thread_args)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioEndToEnd(benchmark::State& state) {
+  // Full internet-scale world (ScenarioParams::internet(): 80K ASes,
+  // on the order of a million announced prefixes) end to end through
+  // build_scenario. The rss counters are the bounded-memory evidence:
+  // streamed chunked propagation must keep the build inside a fixed
+  // route-state budget instead of materializing 80K propagation
+  // results. All-origins propagation is inherently O(ASes x links), so
+  // SPOOFSCOPE_BENCH_INTERNET_FACTOR (default 8) divides the AS
+  // populations; set it to 1 for the real thing (minutes of CPU).
+  const char* env = std::getenv("SPOOFSCOPE_BENCH_INTERNET_FACTOR");
+  const int factor = env != nullptr ? std::max(1, std::atoi(env)) : 8;
+  auto params = scenario::ScenarioParams::internet();
+  params.threads = static_cast<std::size_t>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  auto shrink = [factor](std::size_t& n, std::size_t floor) {
+    n = std::max(floor, n / static_cast<std::size_t>(factor));
+  };
+  shrink(params.topology.num_tier1, 1);
+  shrink(params.topology.num_transit, 1);
+  shrink(params.topology.num_isp, 1);
+  shrink(params.topology.num_hosting, 1);
+  shrink(params.topology.num_content, 1);
+  shrink(params.topology.num_other, 1);
+  shrink(params.ixp.member_count, 8);
+  const long rss_before = current_rss_kb();
+  for (auto _ : state) {
+    auto w = scenario::build_scenario(params);
+    state.counters["ases"] =
+        benchmark::Counter(static_cast<double>(w->topology().as_count()));
+    state.counters["table_prefixes"] =
+        benchmark::Counter(static_cast<double>(w->table().prefix_count()));
+    benchmark::DoNotOptimize(w);
+  }
+  state.counters["scale_factor"] =
+      benchmark::Counter(static_cast<double>(factor));
+  state.counters["peak_rss_kb"] =
+      benchmark::Counter(static_cast<double>(peak_rss_kb()));
+  state.counters["rss_growth_kb"] = benchmark::Counter(
+      static_cast<double>(std::max(0L, current_rss_kb() - rss_before)));
+}
+/// Registered only when SPOOFSCOPE_BENCH_INTERNET=1: even scaled down
+/// it costs whole minutes of CPU, which would dominate every default
+/// bench run. tools/run_benches.sh prints how to enable it.
+const bool scenario_end_to_end_registered = [] {
+  const char* enabled = std::getenv("SPOOFSCOPE_BENCH_INTERNET");
+  if (enabled == nullptr || std::string_view(enabled) != "1") return false;
+  benchmark::RegisterBenchmark("BM_ScenarioEndToEnd", BM_ScenarioEndToEnd)
+      ->Iterations(1)
+      ->UseRealTime()
+      ->Unit(benchmark::kSecond);
+  return true;
+}();
 
 void print_reproduction() {
   bench::print_header(

@@ -1,6 +1,7 @@
 #include "bgp/collector.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -87,12 +88,164 @@ AnnouncementPlan make_announcement_plan(const topo::Topology& topo,
   return plan;
 }
 
+namespace {
+
+/// Per-spec state resolved once up front: feeder dense indices and the
+/// dump schedule (a single t=0 dump by default, or RIS/RouteViews-style
+/// periodic snapshots).
+struct SpecView {
+  std::vector<std::size_t> feeder_idx;
+  std::vector<std::uint32_t> dump_times;
+};
+
+SpecView resolve_spec(const topo::Topology& topo, const CollectorSpec& spec) {
+  SpecView view;
+  view.feeder_idx.reserve(spec.feeders.size());
+  for (const Asn f : spec.feeders) {
+    const auto idx = topo.index_of(f);
+    if (!idx) {
+      throw std::invalid_argument("collect_records: unknown feeder AS " +
+                                  std::to_string(f) + " (collector '" +
+                                  spec.name + "')");
+    }
+    view.feeder_idx.push_back(*idx);
+  }
+  view.dump_times.push_back(0);
+  if (spec.dump_interval_seconds > 0) {
+    for (std::uint32_t t = spec.dump_interval_seconds; t < spec.window_seconds;
+         t += spec.dump_interval_seconds) {
+      view.dump_times.push_back(t);
+    }
+  }
+  return view;
+}
+
+/// Emits everything `spec` collects for one plan group.
+void render_group(const AnnouncementGroup& group, const PropagationResult& res,
+                  const CollectorSpec& spec, const SpecView& view,
+                  const std::function<void(const MrtRecord&)>& sink) {
+  for (std::size_t fi = 0; fi < view.feeder_idx.size(); ++fi) {
+    const std::size_t idx = view.feeder_idx[fi];
+    if (!res.reachable(idx)) continue;
+    const RouteClass cls = res.route_class(idx);
+    if (!spec.full_feed && cls != RouteClass::kOrigin &&
+        cls != RouteClass::kCustomer) {
+      continue;  // route servers only see peer-exportable routes
+    }
+    const AsPath path = res.path_at(idx);
+    for (const auto& prefix : group.prefixes) {
+      if (group.transient) {
+        UpdateMessage a;
+        a.kind = UpdateMessage::Kind::kAnnounce;
+        a.timestamp = group.announce_ts;
+        a.peer = spec.feeders[fi];
+        a.prefix = prefix;
+        a.path = path;
+        sink(MrtRecord{a});
+        if (group.withdraw_ts != 0) {
+          UpdateMessage w;
+          w.kind = UpdateMessage::Kind::kWithdraw;
+          w.timestamp = group.withdraw_ts;
+          w.peer = spec.feeders[fi];
+          w.prefix = prefix;
+          sink(MrtRecord{w});
+        }
+        // Periodic dumps taken while the route was installed also
+        // carry it.
+        for (const std::uint32_t t : view.dump_times) {
+          if (t < group.announce_ts) continue;
+          if (group.withdraw_ts != 0 && t >= group.withdraw_ts) continue;
+          RibEntry e;
+          e.timestamp = t;
+          e.peer = spec.feeders[fi];
+          e.prefix = prefix;
+          e.path = path;
+          sink(MrtRecord{e});
+        }
+      } else {
+        for (const std::uint32_t t : view.dump_times) {
+          RibEntry e;
+          e.timestamp = t;
+          e.peer = spec.feeders[fi];
+          e.prefix = prefix;
+          e.path = path;
+          sink(MrtRecord{e});
+        }
+      }
+    }
+  }
+}
+
+/// True when consecutive plan groups share one propagation result: same
+/// origin, same (or equally absent) first-hop restriction.
+bool same_propagation(const AnnouncementGroup& a, const AnnouncementGroup& b) {
+  return a.origin == b.origin && a.first_hops == b.first_hops;
+}
+
+std::shared_ptr<const PropagationResult> propagate_group(
+    const Simulator& sim, const AnnouncementPlan& plan, std::size_t g,
+    Simulator::Workspace& ws) {
+  const auto& group = plan.groups[g];
+  try {
+    return std::make_shared<PropagationResult>(
+        sim.propagate(group.origin, group.first_hops, ws));
+  } catch (const std::invalid_argument& e) {
+    // Surface which plan group produced the unknown origin — at a
+    // million prefixes "unknown origin AS" alone is undebuggable.
+    throw std::invalid_argument("plan group #" + std::to_string(g) +
+                                " (origin AS " + std::to_string(group.origin) +
+                                ", " + std::to_string(group.prefixes.size()) +
+                                " prefixes): " + e.what());
+  }
+}
+
+/// Propagates plan groups [begin, end) into `results` (slot i holds group
+/// begin+i) across the pool, sharing results between consecutive
+/// identical groups. Deterministic: every slot's content depends only on
+/// its group.
+void propagate_chunk(
+    const Simulator& sim, const AnnouncementPlan& plan, std::size_t begin,
+    std::size_t end, util::ThreadPool& pool,
+    std::vector<Simulator::Workspace>& workspaces,
+    std::vector<std::shared_ptr<const PropagationResult>>& results) {
+  results.assign(end - begin, nullptr);
+  const auto parts = util::ThreadPool::partition(begin, end, pool.thread_count());
+  if (workspaces.size() < parts.size()) workspaces.resize(parts.size());
+  pool.parallel_for(0, parts.size(), [&](std::size_t pb, std::size_t pe) {
+    for (std::size_t p = pb; p < pe; ++p) {
+      auto& ws = workspaces[p];
+      for (std::size_t g = parts[p].begin; g < parts[p].end; ++g) {
+        if (g > parts[p].begin &&
+            same_propagation(plan.groups[g - 1], plan.groups[g])) {
+          results[g - begin] = results[g - 1 - begin];
+          continue;
+        }
+        results[g - begin] = propagate_group(sim, plan, g, ws);
+      }
+    }
+  });
+}
+
+}  // namespace
+
 RouteFabric::RouteFabric(const Simulator& sim, const AnnouncementPlan& plan)
     : sim_(&sim), plan_(&plan) {
+  Simulator::Workspace ws;
   results_.reserve(plan.groups.size());
-  for (const auto& g : plan.groups) {
-    results_.push_back(sim.propagate(g.origin, g.first_hops));
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    if (g > 0 && same_propagation(plan.groups[g - 1], plan.groups[g])) {
+      results_.push_back(results_.back());
+      continue;
+    }
+    results_.push_back(propagate_group(sim, plan, g, ws));
   }
+}
+
+RouteFabric::RouteFabric(const Simulator& sim, const AnnouncementPlan& plan,
+                         util::ThreadPool& pool)
+    : sim_(&sim), plan_(&plan) {
+  std::vector<Simulator::Workspace> workspaces;
+  propagate_chunk(sim, plan, 0, plan.groups.size(), pool, workspaces, results_);
 }
 
 std::vector<MrtRecord> collect_records(const RouteFabric& fabric,
@@ -106,80 +259,44 @@ std::vector<MrtRecord> collect_records(const RouteFabric& fabric,
 void collect_records(const RouteFabric& fabric, const CollectorSpec& spec,
                      const std::function<void(const MrtRecord&)>& sink) {
   const auto& topo = fabric.simulator().topology();
-
-  std::vector<std::size_t> feeder_idx;
-  feeder_idx.reserve(spec.feeders.size());
-  for (const Asn f : spec.feeders) {
-    const auto idx = topo.index_of(f);
-    if (!idx) {
-      throw std::invalid_argument("collect_records: unknown feeder AS " +
-                                  std::to_string(f));
-    }
-    feeder_idx.push_back(*idx);
-  }
-
-  // Dump schedule: a single t=0 dump by default, or RIS/RouteViews-style
-  // periodic snapshots.
-  std::vector<std::uint32_t> dump_times{0};
-  if (spec.dump_interval_seconds > 0) {
-    for (std::uint32_t t = spec.dump_interval_seconds; t < spec.window_seconds;
-         t += spec.dump_interval_seconds) {
-      dump_times.push_back(t);
-    }
-  }
-
+  const SpecView view = resolve_spec(topo, spec);
   const auto& plan = fabric.plan();
   for (std::size_t g = 0; g < plan.groups.size(); ++g) {
-    const auto& group = plan.groups[g];
-    const auto& res = fabric.result(g);
-    for (std::size_t fi = 0; fi < feeder_idx.size(); ++fi) {
-      const std::size_t idx = feeder_idx[fi];
-      if (!res.reachable(idx)) continue;
-      const RouteClass cls = res.route_class(idx);
-      if (!spec.full_feed && cls != RouteClass::kOrigin &&
-          cls != RouteClass::kCustomer) {
-        continue;  // route servers only see peer-exportable routes
-      }
-      const AsPath path = res.path_at(idx);
-      for (const auto& prefix : group.prefixes) {
-        if (group.transient) {
-          UpdateMessage a;
-          a.kind = UpdateMessage::Kind::kAnnounce;
-          a.timestamp = group.announce_ts;
-          a.peer = spec.feeders[fi];
-          a.prefix = prefix;
-          a.path = path;
-          sink(MrtRecord{a});
-          if (group.withdraw_ts != 0) {
-            UpdateMessage w;
-            w.kind = UpdateMessage::Kind::kWithdraw;
-            w.timestamp = group.withdraw_ts;
-            w.peer = spec.feeders[fi];
-            w.prefix = prefix;
-            sink(MrtRecord{w});
-          }
-          // Periodic dumps taken while the route was installed also
-          // carry it.
-          for (const std::uint32_t t : dump_times) {
-            if (t < group.announce_ts) continue;
-            if (group.withdraw_ts != 0 && t >= group.withdraw_ts) continue;
-            RibEntry e;
-            e.timestamp = t;
-            e.peer = spec.feeders[fi];
-            e.prefix = prefix;
-            e.path = path;
-            sink(MrtRecord{e});
-          }
-        } else {
-          for (const std::uint32_t t : dump_times) {
-            RibEntry e;
-            e.timestamp = t;
-            e.peer = spec.feeders[fi];
-            e.prefix = prefix;
-            e.path = path;
-            sink(MrtRecord{e});
-          }
-        }
+    render_group(plan.groups[g], fabric.result(g), spec, view, sink);
+  }
+}
+
+void propagate_collect(const Simulator& sim, const AnnouncementPlan& plan,
+                       std::span<const CollectorSpec> specs,
+                       util::ThreadPool& pool, const SpecSink& sink,
+                       const PropagateOptions& options) {
+  const auto& topo = sim.topology();
+  std::vector<SpecView> views;
+  views.reserve(specs.size());
+  for (const auto& spec : specs) views.push_back(resolve_spec(topo, spec));
+
+  // Chunk size bounds retained route state to roughly
+  // kChunkStateBudget bytes (one Route per AS per group) while keeping
+  // every pool lane busy. The choice never changes the emitted records —
+  // rendering always walks groups in plan order.
+  std::size_t chunk = options.chunk_groups;
+  if (chunk == 0) {
+    constexpr std::size_t kChunkStateBudget = 256u << 20;
+    const std::size_t per_group =
+        std::max<std::size_t>(1, topo.as_count()) * sizeof(Route);
+    chunk = std::clamp<std::size_t>(kChunkStateBudget / per_group, 64, 8192);
+    chunk = std::max(chunk, pool.thread_count() * 8);
+  }
+
+  std::vector<Simulator::Workspace> workspaces;
+  std::vector<std::shared_ptr<const PropagationResult>> results;
+  for (std::size_t begin = 0; begin < plan.groups.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, plan.groups.size());
+    propagate_chunk(sim, plan, begin, end, pool, workspaces, results);
+    for (std::size_t g = begin; g < end; ++g) {
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        render_group(plan.groups[g], *results[g - begin], specs[s], views[s],
+                     [&sink, s](const MrtRecord& r) { sink(s, r); });
       }
     }
   }

@@ -13,12 +13,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bgp/mrt_lite.hpp"
 #include "bgp/simulator.hpp"
 #include "topo/topology.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spoofscope::bgp {
 
@@ -68,22 +71,37 @@ AnnouncementPlan make_announcement_plan(const topo::Topology& topo,
 
 /// Precomputed propagation results for every plan group, shared by all
 /// collectors (propagation depends only on origin and first-hop policy).
+///
+/// The pool overload fans the per-group propagations out over the pool's
+/// worker threads; results are written to pre-assigned group slots, so
+/// they are bit-identical to the sequential construction for every
+/// thread count. Consecutive groups of the same origin with the same
+/// first-hop policy (an origin's stable group followed by its transient
+/// prefixes) share one propagation result instead of recomputing it.
+///
+/// A RouteFabric retains every group's result — convenient at IXP scale,
+/// ruinous at internet scale (~1M prefixes x ~80K ASes of route state).
+/// Internet-scale callers use propagate_collect() below, which streams
+/// records per origin chunk and never holds more than one chunk of
+/// results.
 class RouteFabric {
  public:
   RouteFabric(const Simulator& sim, const AnnouncementPlan& plan);
+  RouteFabric(const Simulator& sim, const AnnouncementPlan& plan,
+              util::ThreadPool& pool);
 
   const AnnouncementPlan& plan() const { return *plan_; }
   const Simulator& simulator() const { return *sim_; }
 
   /// Propagation result of plan group `g`.
-  const PropagationResult& result(std::size_t g) const { return results_[g]; }
+  const PropagationResult& result(std::size_t g) const { return *results_[g]; }
 
   std::size_t group_count() const { return results_.size(); }
 
  private:
   const Simulator* sim_;
   const AnnouncementPlan* plan_;
-  std::vector<PropagationResult> results_;
+  std::vector<std::shared_ptr<const PropagationResult>> results_;
 };
 
 /// One collector (or route server) configuration.
@@ -119,5 +137,28 @@ std::vector<MrtRecord> collect_records(const RouteFabric& fabric,
 /// RoutingTableBuilder (or an MRT writer) without an intermediate vector.
 void collect_records(const RouteFabric& fabric, const CollectorSpec& spec,
                      const std::function<void(const MrtRecord&)>& sink);
+
+/// Options for propagate_collect().
+struct PropagateOptions {
+  /// Plan groups propagated (and retained) per chunk; 0 picks a size
+  /// that bounds chunk route state to a few hundred MB. The choice
+  /// affects scheduling only, never the records produced.
+  std::size_t chunk_groups = 0;
+};
+
+/// Receives every record `specs[spec_idx]` collects.
+using SpecSink = std::function<void(std::size_t spec_idx, const MrtRecord&)>;
+
+/// Renders, for every spec at once, what it collects over the window —
+/// without ever materializing propagation results for more than one
+/// chunk of plan groups. Records are emitted in deterministic order
+/// (plan-group major, then spec, then feeder) for every thread count and
+/// chunk size. Unknown feeders throw std::invalid_argument up front;
+/// an unknown plan-group origin throws std::invalid_argument naming the
+/// offending group.
+void propagate_collect(const Simulator& sim, const AnnouncementPlan& plan,
+                       std::span<const CollectorSpec> specs,
+                       util::ThreadPool& pool, const SpecSink& sink,
+                       const PropagateOptions& options = {});
 
 }  // namespace spoofscope::bgp

@@ -28,34 +28,45 @@ std::size_t PropagationResult::reachable_count() const {
 }
 
 Simulator::Simulator(const topo::Topology& topo) : topo_(&topo) {
-  adj_.resize(topo.as_count());
-  for (const auto& l : topo.links()) {
-    if (!l.visible_in_bgp) continue;  // invisible links never carry routes
-    const auto fi = topo.index_of(l.from);
-    const auto ti = topo.index_of(l.to);
-    assert(fi && ti);
-    switch (l.type) {
-      case RelType::kCustomerToProvider:
-        adj_[*fi].push_back({static_cast<std::uint32_t>(*ti), l.type, /*up=*/true});
-        adj_[*ti].push_back({static_cast<std::uint32_t>(*fi), l.type, /*up=*/false});
-        break;
-      case RelType::kPeerToPeer:
-      case RelType::kSibling:
-        adj_[*fi].push_back({static_cast<std::uint32_t>(*ti), l.type, false});
-        adj_[*ti].push_back({static_cast<std::uint32_t>(*fi), l.type, false});
-        break;
+  const std::size_t n = topo.as_count();
+  // Two-pass CSR build: count degrees, then scatter edges into place.
+  offsets_.assign(n + 1, 0);
+  const auto each_directed = [&](auto&& fn) {
+    for (const auto& l : topo.links()) {
+      if (!l.visible_in_bgp) continue;  // invisible links never carry routes
+      const auto fi = topo.index_of(l.from);
+      const auto ti = topo.index_of(l.to);
+      assert(fi && ti);
+      const auto f = static_cast<std::uint32_t>(*fi);
+      const auto t = static_cast<std::uint32_t>(*ti);
+      const bool c2p = l.type == RelType::kCustomerToProvider;
+      fn(f, Edge{t, l.type, /*up=*/c2p});
+      fn(t, Edge{f, l.type, /*up=*/false});
     }
-  }
+  };
+  each_directed([&](std::uint32_t from, const Edge&) { ++offsets_[from + 1]; });
+  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+  edges_.resize(offsets_[n]);
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  each_directed([&](std::uint32_t from, const Edge& e) { edges_[cursor[from]++] = e; });
   // Deterministic tie-breaking: scan neighbors in ascending ASN order.
-  for (auto& edges : adj_) {
-    std::sort(edges.begin(), edges.end(), [&](const Edge& a, const Edge& b) {
-      return topo.asn_at(a.to) < topo.asn_at(b.to);
-    });
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(edges_.begin() + offsets_[v], edges_.begin() + offsets_[v + 1],
+              [&](const Edge& a, const Edge& b) {
+                return topo.asn_at(a.to) < topo.asn_at(b.to);
+              });
   }
 }
 
 PropagationResult Simulator::propagate(Asn origin,
                                        std::span<const Asn> allowed_first_hops) const {
+  Workspace ws;
+  return propagate(origin, allowed_first_hops, ws);
+}
+
+PropagationResult Simulator::propagate(Asn origin,
+                                       std::span<const Asn> allowed_first_hops,
+                                       Workspace& ws) const {
   const auto oi = topo_->index_of(origin);
   if (!oi) throw std::invalid_argument("Simulator: unknown origin AS " + std::to_string(origin));
   const std::uint32_t origin_idx = static_cast<std::uint32_t>(*oi);
@@ -71,8 +82,20 @@ PropagationResult Simulator::propagate(Asn origin,
            allowed_first_hops.end();
   };
 
-  // Bucket queue by hop count (paths are at most n hops long).
-  std::vector<std::vector<std::uint32_t>> buckets(n + 2);
+  // Bucket queue by hop count (paths are at most n hops long). The
+  // buckets live in the workspace: run_buckets leaves every bucket
+  // cleared, so reuse across origins only recycles their capacity.
+  auto& buckets = ws.buckets_;
+  if (buckets.size() < n + 2) buckets.resize(n + 2);
+
+  // `hi` tracks the highest occupied bucket so scans and clears touch
+  // only the hop counts that actually occur (~topology diameter), not
+  // all n of them.
+  std::size_t hi = 0;
+  const auto seed = [&](std::uint32_t v) {
+    buckets[routes[v].hops].push_back(v);
+    hi = std::max<std::size_t>(hi, routes[v].hops);
+  };
 
   const auto relax = [&](std::uint32_t v, std::uint32_t t, RouteClass cls) {
     if (!first_hop_allowed(v, t)) return;
@@ -81,6 +104,7 @@ PropagationResult Simulator::propagate(Asn origin,
     if (r.cls == RouteClass::kNone) {
       r = Route{cls, nh, v};
       buckets[nh].push_back(t);
+      hi = std::max<std::size_t>(hi, nh);
     } else if (r.cls == cls && r.hops == nh &&
                topo_->asn_at(v) < topo_->asn_at(r.parent)) {
       r.parent = v;  // same cost: prefer the lower next-hop ASN
@@ -88,20 +112,22 @@ PropagationResult Simulator::propagate(Asn origin,
   };
 
   const auto run_buckets = [&](auto&& relax_from) {
-    for (std::size_t h = 0; h < buckets.size(); ++h) {
-      // Bucket h can grow while processing hop h-1; index loop is safe.
+    for (std::size_t h = 0; h <= hi; ++h) {
+      // Buckets above h (and hi itself) can grow while processing hop h;
+      // index loops are safe.
       for (std::size_t i = 0; i < buckets[h].size(); ++i) {
         relax_from(buckets[h][i]);
       }
     }
-    for (auto& b : buckets) b.clear();
+    for (std::size_t h = 0; h <= hi; ++h) buckets[h].clear();
+    hi = 0;
   };
 
   // --- Phase 1: customer-class routes flow up c2p edges (and across
   // siblings, which are transparent).
   buckets[0].push_back(origin_idx);
   run_buckets([&](std::uint32_t v) {
-    for (const Edge& e : adj_[v]) {
+    for (const Edge& e : edges_of(v)) {
       if ((e.rel == RelType::kCustomerToProvider && e.up) ||
           e.rel == RelType::kSibling) {
         relax(v, e.to, RouteClass::kCustomer);
@@ -114,21 +140,22 @@ PropagationResult Simulator::propagate(Asn origin,
   // not re-exported to further peers or providers).
   for (std::uint32_t v = 0; v < n; ++v) {
     if (routes[v].cls == RouteClass::kOrigin || routes[v].cls == RouteClass::kCustomer) {
-      buckets[routes[v].hops].push_back(v);
+      seed(v);
     }
   }
   {
-    std::vector<bool> is_source(n, false);
-    for (const auto& b : buckets) {
-      for (const std::uint32_t v : b) is_source[v] = true;
+    auto& is_source = ws.is_source_;
+    is_source.assign(n, 0);
+    for (std::size_t h = 0; h <= hi; ++h) {
+      for (const std::uint32_t v : buckets[h]) is_source[v] = 1;
     }
     run_buckets([&](std::uint32_t v) {
       if (is_source[v]) {
-        for (const Edge& e : adj_[v]) {
+        for (const Edge& e : edges_of(v)) {
           if (e.rel == RelType::kPeerToPeer) relax(v, e.to, RouteClass::kPeer);
         }
       }
-      for (const Edge& e : adj_[v]) {
+      for (const Edge& e : edges_of(v)) {
         if (e.rel == RelType::kSibling) relax(v, e.to, RouteClass::kPeer);
       }
     });
@@ -137,10 +164,10 @@ PropagationResult Simulator::propagate(Asn origin,
   // --- Phase 3: provider-class routes flow down to customers (and across
   // siblings) from every AS that has any route.
   for (std::uint32_t v = 0; v < n; ++v) {
-    if (routes[v].cls != RouteClass::kNone) buckets[routes[v].hops].push_back(v);
+    if (routes[v].cls != RouteClass::kNone) seed(v);
   }
   run_buckets([&](std::uint32_t v) {
-    for (const Edge& e : adj_[v]) {
+    for (const Edge& e : edges_of(v)) {
       if (e.rel == RelType::kCustomerToProvider && !e.up) {
         relax(v, e.to, RouteClass::kProvider);
       } else if (e.rel == RelType::kSibling) {

@@ -72,12 +72,28 @@ class PropagationResult {
   std::vector<Route> routes_;
 };
 
-/// The propagation engine. Construction preprocesses the topology into
-/// dense adjacency; propagate() is then cheap enough to run once per
-/// origin AS (all prefixes of an origin share paths unless a selective
-/// announcement restricts the first hop).
+/// The propagation engine. Construction preprocesses the topology into a
+/// flat CSR adjacency (one contiguous edge array — at internet scale the
+/// per-AS vector-of-vectors layout thrashes the cache); propagate() is
+/// then cheap enough to run once per origin AS (all prefixes of an origin
+/// share paths unless a selective announcement restricts the first hop).
 class Simulator {
  public:
+  /// Reusable per-thread scratch for propagate(): the hop-bucket queue
+  /// and phase-2 source marks, whose n-element allocations would
+  /// otherwise dominate a propagation sweep over every origin. A
+  /// Workspace may be reused freely across calls on the same Simulator
+  /// but must not be shared between concurrent calls.
+  class Workspace {
+   public:
+    Workspace() = default;
+
+   private:
+    friend class Simulator;
+    std::vector<std::vector<std::uint32_t>> buckets_;
+    std::vector<std::uint8_t> is_source_;
+  };
+
   explicit Simulator(const topo::Topology& topo);
 
   /// Propagates routes for prefixes originated by `origin`.
@@ -87,6 +103,12 @@ class Simulator {
   /// follows normal policy. Unknown origin throws std::invalid_argument.
   PropagationResult propagate(Asn origin,
                               std::span<const Asn> allowed_first_hops = {}) const;
+
+  /// Workspace variant: identical result, but the queue scratch is
+  /// borrowed from `ws` instead of allocated per call — the form the
+  /// parallel RouteFabric runs once per plan group.
+  PropagationResult propagate(Asn origin, std::span<const Asn> allowed_first_hops,
+                              Workspace& ws) const;
 
   const topo::Topology& topology() const { return *topo_; }
 
@@ -98,8 +120,14 @@ class Simulator {
     bool up = false;
   };
 
+  /// Edges of the AS at dense index `v`.
+  std::span<const Edge> edges_of(std::uint32_t v) const {
+    return {edges_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
   const topo::Topology* topo_;
-  std::vector<std::vector<Edge>> adj_;  // dense index -> edges
+  std::vector<Edge> edges_;            // CSR edge array
+  std::vector<std::uint32_t> offsets_; // dense index -> first edge (n+1 entries)
 };
 
 }  // namespace spoofscope::bgp

@@ -33,7 +33,12 @@ Ixp Ixp::build(const topo::Topology& topo, const IxpParams& params,
   for (std::size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
   std::vector<double> weights(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
-    weights[i] = params.join_weight[static_cast<int>(topo.ases()[i].type)];
+    // Member ASNs must fit the trace format's 16-bit member fields
+    // (net::format::encode_record); at internet scale the AS population
+    // extends past that, so those ASes simply do not join this IXP.
+    weights[i] = topo.ases()[i].asn > 0xffff
+                     ? 0.0
+                     : params.join_weight[static_cast<int>(topo.ases()[i].type)];
   }
 
   Ixp out;

@@ -12,13 +12,15 @@ namespace {
 
 /// Runs the BGP machinery: propagation, collectors (full feeds at
 /// NSP-heavy vantage points) plus the IXP route server, aggregated into
-/// one routing table.
+/// one routing table. Propagation fans out over `pool` chunk-at-a-time
+/// (bgp::propagate_collect), so route state never exceeds one chunk of
+/// plan groups no matter how many prefixes the plan announces.
 bgp::RoutingTable build_table(const topo::Topology& topology,
-                              const ixp::Ixp& ixp, const ScenarioParams& params) {
+                              const ixp::Ixp& ixp, const ScenarioParams& params,
+                              util::ThreadPool& pool) {
   const bgp::Simulator sim(topology);
   const auto plan =
       bgp::make_announcement_plan(topology, params.plan, params.seed ^ 0xb1a);
-  const bgp::RouteFabric fabric(sim, plan);
 
   util::Rng rng(params.seed ^ 0xc011ec7);
   // Feeder candidates, weighted towards transit networks (the typical
@@ -31,22 +33,31 @@ bgp::RoutingTable build_table(const topo::Topology& topology,
   }
   const util::DiscreteDistribution pick{weights};
 
-  bgp::RoutingTableBuilder builder;
+  // A collector cannot have more distinct feeders than there are
+  // candidate ASes; without the clamp the rejection-sampling loop below
+  // would spin forever on small topologies.
+  std::size_t feeders_per_collector = params.feeders_per_collector;
+  if (feeders_per_collector > candidates.size()) {
+    util::log_warn() << "feeders_per_collector=" << params.feeders_per_collector
+                     << " exceeds the " << candidates.size()
+                     << " candidate ASes; clamping";
+    feeders_per_collector = candidates.size();
+  }
+
+  std::vector<bgp::CollectorSpec> specs;
+  specs.reserve(params.num_collectors + 1);
   for (std::size_t c = 0; c < params.num_collectors; ++c) {
     bgp::CollectorSpec spec;
     spec.name = "rrc" + std::to_string(c);
     spec.full_feed = true;
-    while (spec.feeders.size() < params.feeders_per_collector) {
+    while (spec.feeders.size() < feeders_per_collector) {
       const net::Asn f = candidates[pick(rng)];
       if (std::find(spec.feeders.begin(), spec.feeders.end(), f) ==
           spec.feeders.end()) {
         spec.feeders.push_back(f);
       }
     }
-    // Stream into the builder: full feeds at paper scale are tens of
-    // millions of records.
-    bgp::collect_records(fabric, spec,
-                         [&builder](const bgp::MrtRecord& r) { builder.ingest(r); });
+    specs.push_back(std::move(spec));
   }
 
   // The IXP route server: member routes only (peer-exportable).
@@ -54,11 +65,14 @@ bgp::RoutingTable build_table(const topo::Topology& topology,
   rs.name = "ixp-route-server";
   rs.feeders = ixp.route_server_feeders();
   rs.full_feed = false;
-  if (!rs.feeders.empty()) {
-    bgp::collect_records(fabric, rs,
-                         [&builder](const bgp::MrtRecord& r) { builder.ingest(r); });
-  }
+  if (!rs.feeders.empty()) specs.push_back(std::move(rs));
 
+  // Stream into the builder: full feeds at paper scale are tens of
+  // millions of records.
+  bgp::RoutingTableBuilder builder;
+  bgp::propagate_collect(
+      sim, plan, specs, pool,
+      [&builder](std::size_t, const bgp::MrtRecord& r) { builder.ingest(r); });
   return builder.build();
 }
 
@@ -106,6 +120,31 @@ ScenarioParams ScenarioParams::small() {
   return p;
 }
 
+ScenarioParams ScenarioParams::internet() {
+  ScenarioParams p;
+  // Paper Sec 3: ~57K ASes visible at the IXP, ~600K routed prefixes
+  // internet-wide; round up to an 80K-AS population whose allocation
+  // grid (/20 blocks) yields on the order of a million announced
+  // prefixes once the plan deaggregates.
+  p.topology.num_tier1 = 16;
+  p.topology.num_transit = 2384;
+  p.topology.num_isp = 36000;
+  p.topology.num_hosting = 14000;
+  p.topology.num_content = 4800;
+  p.topology.num_other = 22800;
+  // A 0.15 pairwise mesh over 2384 transits would dominate the link
+  // count; real transit peering is degree-bounded.
+  p.topology.transit_peering_prob = 0.015;
+  p.topology.alloc_block_slash24 = 16;
+  // Keep the number of distinct propagations (origins x first-hop
+  // policies) near the origin count.
+  p.plan.selective_prob = 0.02;
+  p.num_collectors = 6;
+  p.feeders_per_collector = 8;
+  p.threads = 0;  // hardware concurrency: serial generation is pointless here
+  return p;
+}
+
 ScenarioParams ScenarioParams::paper() {
   ScenarioParams p;
   // The paper ingests 34 collectors with hundreds of feeders; give the
@@ -124,9 +163,9 @@ ScenarioParams ScenarioParams::paper() {
 Scenario::Scenario(const ScenarioParams& params)
     : params_(params),
       pool_(params.threads),
-      topology_(topo::generate_topology(params.topology, params.seed)),
+      topology_(topo::generate_topology(params.topology, params.seed, pool_)),
       ixp_(ixp::Ixp::build(topology_, params.ixp, params.seed ^ 0x1c9)),
-      table_(build_table(topology_, ixp_, params)),
+      table_(build_table(topology_, ixp_, params, pool_)),
       orgs_(data::build_as2org(topology_, params.as2org, params.seed ^ 0x02c)),
       whois_(data::build_whois(topology_, params.whois, params.seed ^ 0x3b0)),
       ark_(data::run_ark_campaign(topology_, params.ark, params.seed ^ 0xa2c)),

@@ -60,6 +60,11 @@ struct ScenarioParams {
 
   /// The paper-scale default used by the benches.
   static ScenarioParams paper();
+
+  /// Internet scale: ~80K ASes and on the order of a million announced
+  /// prefixes. Exercises the chunk-parallel generator and the streaming
+  /// chunked propagation; expect minutes of CPU, not seconds.
+  static ScenarioParams internet();
 };
 
 /// The fully assembled world. Non-copyable and heap-only (internal

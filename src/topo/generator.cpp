@@ -1,10 +1,12 @@
 #include "topo/generator.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
-#include <map>
+#include <functional>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <tuple>
 
@@ -18,67 +20,122 @@ namespace {
 
 using net::Ipv4Addr;
 using net::Prefix;
+using util::IndexRange;
 using util::Rng;
+using util::ThreadPool;
 
-/// Carves aligned CIDR blocks out of the non-bogon IPv4 space.
-///
-/// /16 blocks are handed out from a shuffled free list; sub-/16 requests
-/// are served by a buddy allocator that subdivides one /16 at a time.
-class SpaceAllocator {
- public:
-  explicit SpaceAllocator(Rng& rng) {
-    free16_.reserve(1 << 16);
-    for (std::uint32_t block = 0; block < (1u << 16); ++block) {
-      const Prefix p(Ipv4Addr(block << 16), 16);
-      bool bogon = false;
-      for (const auto& b : net::bogon_prefixes()) {
-        if (b.overlaps(p)) {
-          bogon = true;
-          break;
-        }
+/// First ASN handed out; drafts are numbered densely from here, so
+/// asn - kFirstAsn recovers the dense index without a lookup table.
+constexpr Asn kFirstAsn = 100;
+
+/// Per-(phase, chunk) PRNG stream labels. Every randomized phase draws
+/// from its own family of streams so chunks are communication-free: a
+/// worker seeds chunk_stream(seed, phase, c) and never touches another
+/// chunk's generator state.
+enum Stream : std::uint64_t {
+  kStreamSpace = 1,
+  kStreamOrg,
+  kStreamSize,
+  kStreamAlloc,
+  kStreamTransit,
+  kStreamEdge,
+  kStreamContentPeer,
+  kStreamIspPeer,
+  kStreamInfra,
+  kStreamFilter,
+};
+
+/// Independent generator for (phase, chunk): the golden-ratio odd
+/// multiplier spreads chunk ids across the seed space and Rng's
+/// SplitMix64 initialization decorrelates the rest.
+Rng chunk_stream(std::uint64_t seed, std::uint64_t phase, std::uint64_t chunk) {
+  return Rng(seed ^ ((phase << 56) + 0x9e3779b97f4a7c15ULL * (chunk + 1)));
+}
+
+/// Runs fn(chunk_id) for every chunk across the pool. Chunks must be
+/// mutually independent (each writes only its own slots).
+void for_each_chunk(ThreadPool& pool, std::size_t num_chunks,
+                    const std::function<void(std::size_t)>& fn) {
+  pool.parallel_for(0, num_chunks, [&](std::size_t b, std::size_t e) {
+    for (std::size_t c = b; c < e; ++c) fn(c);
+  });
+}
+
+/// All non-bogon /16 blocks, shuffled once. Allocation phases consume
+/// disjoint contiguous slices of this list, so parallel chunks can never
+/// hand out overlapping space.
+std::vector<Prefix> build_free16(Rng& rng) {
+  std::vector<Prefix> free16;
+  free16.reserve(1 << 16);
+  for (std::uint32_t block = 0; block < (1u << 16); ++block) {
+    const Prefix p(Ipv4Addr(block << 16), 16);
+    bool bogon = false;
+    for (const auto& b : net::bogon_prefixes()) {
+      if (b.overlaps(p)) {
+        bogon = true;
+        break;
       }
-      if (!bogon) free16_.push_back(p);
     }
-    rng.shuffle(free16_);
+    if (!bogon) free16.push_back(p);
   }
+  rng.shuffle(free16);
+  return free16;
+}
 
-  /// Remaining whole /16 blocks.
-  std::size_t free16_count() const { return free16_.size(); }
+/// Buddy allocator carving aligned blocks (lengths in [16, 24]) out of
+/// /16s pulled on demand from `source`. The /16 source is a callback so
+/// the counting pass (which measures a chunk's exact /16 demand against
+/// dummy blocks) and the real pass (which consumes the chunk's slice of
+/// the shuffled free list) share one code path — and therefore produce
+/// the same take-from-source sequence, making the measured demand exact.
+class BlockAllocator {
+ public:
+  explicit BlockAllocator(std::function<Prefix()> source)
+      : source_(std::move(source)) {}
 
-  /// Allocates one /16. Throws std::runtime_error when exhausted.
-  Prefix take16() {
-    if (free16_.empty()) throw std::runtime_error("SpaceAllocator: out of /16 blocks");
-    const Prefix p = free16_.back();
-    free16_.pop_back();
-    return p;
-  }
-
-  /// Allocates one block of the given length in (16, 24].
-  Prefix take_sub(std::uint8_t len) {
-    assert(len > 16 && len <= 24);
-    // Find the shortest free block with length <= len; split down.
+  Prefix take(std::uint8_t len) {
+    assert(len >= 16 && len <= 24);
+    if (len == 16) return source_();
+    // Find the shortest free sub-block with length <= len; split down.
     for (std::uint8_t l = len; l > 16; --l) {
       auto& pool = sub_free_[l];
       if (!pool.empty()) {
-        Prefix block = pool.back();
+        const Prefix block = pool.back();
         pool.pop_back();
         return split_down(block, len);
       }
     }
-    return split_down(take16(), len);
+    return split_down(source_(), len);
   }
 
  private:
   Prefix split_down(Prefix block, std::uint8_t len) {
     while (block.length() < len) {
-      sub_free_[static_cast<std::uint8_t>(block.length() + 1)].push_back(block.child(1));
+      sub_free_[static_cast<std::uint8_t>(block.length() + 1)].push_back(
+          block.child(1));
       block = block.child(0);
     }
     return block;
   }
 
-  std::vector<Prefix> free16_;
-  std::map<std::uint8_t, std::vector<Prefix>> sub_free_;
+  std::function<Prefix()> source_;
+  std::array<std::vector<Prefix>, 25> sub_free_{};
+};
+
+/// Counts how many /16s a request sequence consumes (the pass-A side of
+/// the two-pass allocation). The dummy /16s are never compared or stored
+/// beyond the buddy pools, only split.
+class CountingSource {
+ public:
+  BlockAllocator allocator() {
+    return BlockAllocator([this] {
+      return Prefix(Ipv4Addr(static_cast<std::uint32_t>(taken_++) << 16), 16);
+    });
+  }
+  std::size_t taken() const { return taken_; }
+
+ private:
+  std::size_t taken_ = 0;
 };
 
 /// Role during generation (finer than BusinessType: tier-1 vs transit).
@@ -124,14 +181,69 @@ struct Draft {
   double desired24 = 0.0;
 };
 
+/// Emits the block lengths one AS's allocation is built from: whole
+/// blocks of `block_len`, then the remainder rounded up to a power of
+/// two. Shared by the counting and the allocating pass.
+template <typename Emit>
+void allocation_shape(std::uint64_t want_units, std::uint8_t block_len,
+                      std::uint64_t block_units, Emit&& emit) {
+  while (want_units >= block_units) {
+    emit(block_len);
+    want_units -= block_units;
+  }
+  if (want_units > 0) {
+    std::uint8_t len = 24;
+    std::uint64_t blocks = 1;
+    while (blocks < want_units && len > block_len + 1) {
+      blocks <<= 1;
+      --len;
+    }
+    emit(len);
+  }
+}
+
+/// Draws up to k distinct pool members != self (uniform, or weighted when
+/// `dist` is provided). Bounded attempts keep degenerate pools finite.
+std::vector<std::size_t> pick_distinct(
+    Rng& rng, const std::vector<std::size_t>& pool,
+    const util::DiscreteDistribution* dist, std::size_t k, std::size_t self) {
+  std::vector<std::size_t> out;
+  if (pool.empty()) return out;
+  int attempts = 0;
+  while (out.size() < k && attempts < 200) {
+    ++attempts;
+    const std::size_t cand = dist ? pool[(*dist)(rng)] : pool[rng.index(pool.size())];
+    if (cand == self) continue;
+    if (std::find(out.begin(), out.end(), cand) != out.end()) continue;
+    out.push_back(cand);
+  }
+  return out;
+}
+
 }  // namespace
 
 Topology generate_topology(const TopologyParams& params, std::uint64_t seed) {
-  Rng rng(seed);
+  ThreadPool pool(1);  // inline execution: no workers are spawned
+  return generate_topology(params, seed, pool);
+}
+
+Topology generate_topology(const TopologyParams& params, std::uint64_t seed,
+                           ThreadPool& pool) {
+  const std::size_t block_units = params.alloc_block_slash24;
+  if (block_units < 2 || block_units > 256 ||
+      (block_units & (block_units - 1)) != 0) {
+    throw std::invalid_argument(
+        "generate_topology: alloc_block_slash24 must be a power of two in "
+        "[2, 256], got " +
+        std::to_string(block_units));
+  }
+  std::uint8_t block_len = 24;
+  for (std::uint64_t u = block_units; u > 1; u >>= 1) --block_len;
+
+  // ---- population (serial, draw-free) ------------------------------------
   std::vector<Draft> drafts;
   drafts.reserve(params.total_ases());
-
-  Asn next_asn = 100;
+  Asn next_asn = kFirstAsn;
   const auto add_group = [&](std::size_t n, Role role) {
     for (std::size_t i = 0; i < n; ++i) {
       Draft d;
@@ -149,58 +261,94 @@ Topology generate_topology(const TopologyParams& params, std::uint64_t seed) {
   add_group(params.num_other, Role::kOther);
   if (drafts.empty()) throw std::invalid_argument("generate_topology: no ASes requested");
 
-  // ---- organizations ----------------------------------------------------
-  // Walk the AS list; each unassigned AS founds an org, which with some
-  // probability absorbs a few of the following unassigned ASes.
-  OrgId next_org = 1;
-  std::vector<bool> org_assigned(drafts.size(), false);
-  std::vector<AsLink> links;
-  for (std::size_t i = 0; i < drafts.size(); ++i) {
-    if (org_assigned[i]) continue;
-    const OrgId org = next_org++;
-    drafts[i].info.org = org;
-    org_assigned[i] = true;
-    if (!rng.chance(params.multi_as_org_fraction)) continue;
+  // Fixed chunk grid over the AS population. The same granularity chunks
+  // the link-indexed phases below.
+  const std::size_t chunk_len = std::max<std::size_t>(1, params.chunk_ases);
+  const auto chunk_grid = [&](std::size_t count) {
+    const std::size_t n = std::max<std::size_t>(1, (count + chunk_len - 1) / chunk_len);
+    return ThreadPool::partition(0, count, n);
+  };
+  const std::vector<IndexRange> as_chunks = chunk_grid(drafts.size());
 
-    const std::size_t extra =
-        rng.uniform_u32(1, static_cast<std::uint32_t>(
-                               std::max<std::size_t>(1, params.max_org_size - 1)));
-    std::vector<std::size_t> members{i};
-    std::size_t j = i + 1;
-    while (members.size() < extra + 1 && j < drafts.size()) {
-      if (!org_assigned[j]) {
-        drafts[j].info.org = org;
-        org_assigned[j] = true;
-        members.push_back(j);
+  // ---- organizations (chunk-parallel) ------------------------------------
+  // Walk each chunk's AS slice; every unassigned AS founds an org, which
+  // with some probability absorbs a few of the following unassigned ASes
+  // of the same chunk (absorption never crosses a chunk boundary — that
+  // is what makes the phase communication-free). The org id is the
+  // founder's dense index + 1: globally unique without coordination.
+  std::vector<std::vector<AsLink>> org_links(as_chunks.size());
+  for_each_chunk(pool, as_chunks.size(), [&](std::size_t c) {
+    Rng rng = chunk_stream(seed, kStreamOrg, c);
+    const auto [cb, ce] = as_chunks[c];
+    std::vector<bool> assigned(ce - cb, false);
+    for (std::size_t i = cb; i < ce; ++i) {
+      if (assigned[i - cb]) continue;
+      const OrgId org = static_cast<OrgId>(i + 1);
+      drafts[i].info.org = org;
+      assigned[i - cb] = true;
+      if (!rng.chance(params.multi_as_org_fraction)) continue;
+
+      const std::size_t extra =
+          rng.uniform_u32(1, static_cast<std::uint32_t>(
+                                 std::max<std::size_t>(1, params.max_org_size - 1)));
+      std::vector<std::size_t> members{i};
+      std::size_t j = i + 1;
+      while (members.size() < extra + 1 && j < ce) {
+        if (!assigned[j - cb]) {
+          drafts[j].info.org = org;
+          assigned[j - cb] = true;
+          members.push_back(j);
+        }
+        ++j;
       }
-      ++j;
-    }
-    // Full sibling mesh, with partial BGP visibility (Sec 3.2: internal
-    // peerings of multi-AS orgs are often not exposed).
-    for (std::size_t a = 0; a < members.size(); ++a) {
-      for (std::size_t b = a + 1; b < members.size(); ++b) {
-        AsLink l;
-        l.from = drafts[members[a]].info.asn;
-        l.to = drafts[members[b]].info.asn;
-        l.type = RelType::kSibling;
-        l.visible_in_bgp = rng.chance(params.sibling_link_visible_prob);
-        links.push_back(l);
+      // Full sibling mesh, with partial BGP visibility (Sec 3.2: internal
+      // peerings of multi-AS orgs are often not exposed).
+      for (std::size_t a = 0; a < members.size(); ++a) {
+        for (std::size_t b = a + 1; b < members.size(); ++b) {
+          AsLink l;
+          l.from = drafts[members[a]].info.asn;
+          l.to = drafts[members[b]].info.asn;
+          l.type = RelType::kSibling;
+          l.visible_in_bgp = rng.chance(params.sibling_link_visible_prob);
+          org_links[c].push_back(l);
+        }
       }
     }
-  }
+  });
 
-  // ---- address allocation ------------------------------------------------
-  SpaceAllocator space(rng);
-
+  // ---- desired allocation sizes (chunk-parallel) --------------------------
+  for_each_chunk(pool, as_chunks.size(), [&](std::size_t c) {
+    Rng rng = chunk_stream(seed, kStreamSize, c);
+    for (std::size_t i = as_chunks[c].begin; i < as_chunks[c].end; ++i) {
+      drafts[i].desired24 =
+          rng.lognormal(std::log(median_size24(drafts[i].role)),
+                        size_sigma(drafts[i].role));
+    }
+  });
   double raw_sum = 0.0;
-  for (auto& d : drafts) {
-    d.desired24 = rng.lognormal(std::log(median_size24(d.role)), size_sigma(d.role));
-    raw_sum += d.desired24;
+  for (const auto& d : drafts) raw_sum += d.desired24;
+
+  // ---- address space ------------------------------------------------------
+  Rng space_rng = chunk_stream(seed, kStreamSpace, 0);
+  const std::vector<Prefix> free16 = build_free16(space_rng);
+
+  // Hold back enough /16s for the worst-case dark router-infrastructure
+  // demand (every possible c2p link drawing a never-announced /24), plus
+  // one partially-used /16 per chunk of either phase.
+  const std::size_t edge_population = params.num_isp + params.num_hosting +
+                                      params.num_content + params.num_other;
+  const std::size_t max_c2p =
+      (params.num_transit + edge_population) * (params.max_providers + 1);
+  const std::size_t reserve16 = max_c2p / 256 + 2 * as_chunks.size() + 2;
+  if (free16.size() <= reserve16) {
+    throw std::runtime_error("generate_topology: population too large for the "
+                             "available address space");
   }
+
   const double target_alloc24 = std::min(
       params.target_routed_fraction * net::kTotalSlash24 /
           std::max(0.05, 1.0 - params.unannounced_fraction),
-      static_cast<double>(space.free16_count()) * 256.0 * 0.95);
+      static_cast<double>(free16.size() - reserve16) * 256.0 * 0.95);
   // Water-fill: find the scale factor such that sum(min(raw*scale, cap))
   // hits the target, so the per-AS cap does not starve small topologies.
   const double per_as_cap =
@@ -222,28 +370,62 @@ Topology generate_topology(const TopologyParams& params, std::uint64_t seed) {
     scale = hi;
   }
 
-  for (auto& d : drafts) {
-    double want = std::min(d.desired24 * scale, per_as_cap);
-    auto want_units = static_cast<std::uint64_t>(std::max(1.0, std::round(want)));
-
-    while (want_units >= 256 && space.free16_count() > 16) {
-      d.info.prefixes.push_back(space.take16());
-      want_units -= 256;
-    }
-    if (want_units > 0) {
-      // Round the remainder up to a power of two and allocate one block.
-      std::uint8_t len = 24;
-      std::uint64_t blocks = 1;
-      while (blocks < want_units && len > 17) {
-        blocks <<= 1;
-        --len;
+  // ---- address allocation (two-pass, chunk-parallel) ----------------------
+  // Pass A simulates every chunk's allocation sequence against a counting
+  // buddy allocator, yielding the chunk's exact /16 demand; a serial
+  // prefix sum then assigns each chunk a disjoint slice of the shuffled
+  // free list, and pass B performs the identical sequence for real. The
+  // power-of-two remainder rounding can overshoot the water-fill target,
+  // so the scale is shrunk (deterministically) until the demand fits.
+  const auto want_units_of = [&](const Draft& d, double s) {
+    const double want = std::min(d.desired24 * s, per_as_cap);
+    return static_cast<std::uint64_t>(std::max(1.0, std::round(want)));
+  };
+  std::vector<std::size_t> demand16(as_chunks.size(), 0);
+  std::vector<std::size_t> slice_off(as_chunks.size() + 1, 0);
+  for (int attempt = 0;; ++attempt) {
+    for_each_chunk(pool, as_chunks.size(), [&](std::size_t c) {
+      CountingSource counter;
+      BlockAllocator alloc = counter.allocator();
+      for (std::size_t i = as_chunks[c].begin; i < as_chunks[c].end; ++i) {
+        allocation_shape(want_units_of(drafts[i], scale), block_len, block_units,
+                         [&](std::uint8_t len) { alloc.take(len); });
       }
-      d.info.prefixes.push_back(space.take_sub(len));
+      demand16[c] = counter.taken();
+    });
+    for (std::size_t c = 0; c < as_chunks.size(); ++c) {
+      slice_off[c + 1] = slice_off[c] + demand16[c];
     }
-    rng.shuffle(d.info.prefixes);
-    d.info.announce_fraction = std::clamp(
-        1.0 - params.unannounced_fraction * rng.uniform(0.3, 2.0), 0.5, 1.0);
+    if (slice_off.back() + reserve16 <= free16.size()) break;
+    if (attempt >= 8) {
+      throw std::runtime_error(
+          "generate_topology: address space exhausted (demand " +
+          std::to_string(slice_off.back()) + " /16s of " +
+          std::to_string(free16.size()) + ")");
+    }
+    scale *= 0.95 * static_cast<double>(free16.size() - reserve16) /
+             static_cast<double>(slice_off.back());
   }
+
+  for_each_chunk(pool, as_chunks.size(), [&](std::size_t c) {
+    Rng rng = chunk_stream(seed, kStreamAlloc, c);
+    const std::span<const Prefix> slice(free16.data() + slice_off[c], demand16[c]);
+    std::size_t used = 0;
+    BlockAllocator alloc([&slice, &used] {
+      assert(used < slice.size() && "pass A demand must cover pass B");
+      return slice[used++];
+    });
+    for (std::size_t i = as_chunks[c].begin; i < as_chunks[c].end; ++i) {
+      auto& d = drafts[i];
+      allocation_shape(want_units_of(d, scale), block_len, block_units,
+                       [&](std::uint8_t len) {
+                         d.info.prefixes.push_back(alloc.take(len));
+                       });
+      rng.shuffle(d.info.prefixes);
+      d.info.announce_fraction = std::clamp(
+          1.0 - params.unannounced_fraction * rng.uniform(0.3, 2.0), 0.5, 1.0);
+    }
+  });
 
   // ---- connectivity -------------------------------------------------------
   const auto asn_of = [&](std::size_t idx) { return drafts[idx].info.asn; };
@@ -259,115 +441,155 @@ Topology generate_topology(const TopologyParams& params, std::uint64_t seed) {
     }
   }
 
-  // Tier-1 clique (settlement-free mesh).
+  // Tier-1 clique (settlement-free mesh) — serial, draw-free.
+  std::vector<AsLink> t1_links;
   for (std::size_t a = 0; a < tier1s.size(); ++a) {
     for (std::size_t b = a + 1; b < tier1s.size(); ++b) {
-      links.push_back({asn_of(tier1s[a]), asn_of(tier1s[b]), RelType::kPeerToPeer,
-                       /*visible=*/true, Prefix()});
+      t1_links.push_back({asn_of(tier1s[a]), asn_of(tier1s[b]),
+                          RelType::kPeerToPeer, /*visible=*/true, Prefix()});
     }
   }
 
-  // Weight transits by allocation size for provider selection.
+  // Weight transits by allocation size for provider selection. Built once
+  // serially; the chunk workers below only read it.
   std::vector<double> transit_weight;
   transit_weight.reserve(transits.size());
   for (const std::size_t t : transits) transit_weight.push_back(drafts[t].desired24 + 1.0);
+  std::optional<util::DiscreteDistribution> transit_dist;
+  if (!transit_weight.empty()) transit_dist.emplace(transit_weight);
 
-  const auto pick_distinct = [&](const std::vector<std::size_t>& pool,
-                                 const std::vector<double>* weights, std::size_t k,
-                                 std::size_t self) {
-    std::vector<std::size_t> out;
-    if (pool.empty()) return out;
-    std::optional<util::DiscreteDistribution> dist;
-    if (weights && !weights->empty()) dist.emplace(*weights);
-    int attempts = 0;
-    while (out.size() < k && attempts < 200) {
-      ++attempts;
-      const std::size_t cand = dist ? pool[(*dist)(rng)] : pool[rng.index(pool.size())];
-      if (cand == self) continue;
-      if (std::find(out.begin(), out.end(), cand) != out.end()) continue;
-      out.push_back(cand);
-    }
-    return out;
-  };
-
-  // Transit providers: 1-3 links into tier-1s or larger transits.
-  for (std::size_t ti = 0; ti < transits.size(); ++ti) {
-    const std::size_t self = transits[ti];
-    const std::size_t nprov =
-        1 + rng.index(std::max<std::size_t>(1, params.max_providers));
-    std::vector<std::size_t> provs;
-    // Mostly tier-1s; sometimes an earlier (bigger-index == arbitrary) transit.
-    for (std::size_t k = 0; k < nprov; ++k) {
-      if (ti > 0 && rng.chance(0.3)) {
-        const std::size_t other = transits[rng.index(ti)];  // earlier transit only: keeps hierarchy acyclic
-        if (other != self &&
-            std::find(provs.begin(), provs.end(), other) == provs.end()) {
-          provs.push_back(other);
-          continue;
+  // Transit providers and the sparse transit peering mesh, chunked over
+  // the transit list. Providers are tier-1s or strictly earlier transits
+  // (keeps the hierarchy acyclic); both lists are immutable here, so
+  // cross-chunk reads are safe.
+  const std::vector<IndexRange> transit_chunks = chunk_grid(transits.size());
+  std::vector<std::vector<AsLink>> transit_links(transit_chunks.size());
+  for_each_chunk(pool, transit_chunks.size(), [&](std::size_t c) {
+    Rng rng = chunk_stream(seed, kStreamTransit, c);
+    auto& out = transit_links[c];
+    for (std::size_t ti = transit_chunks[c].begin; ti < transit_chunks[c].end; ++ti) {
+      const std::size_t self = transits[ti];
+      const std::size_t nprov =
+          1 + rng.index(std::max<std::size_t>(1, params.max_providers));
+      std::vector<std::size_t> provs;
+      // Mostly tier-1s; sometimes an earlier (bigger-index == arbitrary) transit.
+      for (std::size_t k = 0; k < nprov; ++k) {
+        if (ti > 0 && rng.chance(0.3)) {
+          const std::size_t other = transits[rng.index(ti)];
+          if (other != self &&
+              std::find(provs.begin(), provs.end(), other) == provs.end()) {
+            provs.push_back(other);
+            continue;
+          }
+        }
+        if (tier1s.empty()) continue;
+        const std::size_t t1 = tier1s[rng.index(tier1s.size())];
+        if (std::find(provs.begin(), provs.end(), t1) == provs.end()) provs.push_back(t1);
+      }
+      for (const std::size_t p : provs) {
+        out.push_back({asn_of(self), asn_of(p), RelType::kCustomerToProvider,
+                       /*visible=*/true, Prefix()});
+      }
+      // Peering among transits (sparse mesh).
+      for (std::size_t tj = ti + 1; tj < transits.size(); ++tj) {
+        if (rng.chance(params.transit_peering_prob)) {
+          out.push_back({asn_of(self), asn_of(transits[tj]), RelType::kPeerToPeer,
+                         rng.chance(params.peer_link_visible_prob), Prefix()});
         }
       }
-      const std::size_t t1 = tier1s[rng.index(tier1s.size())];
-      if (std::find(provs.begin(), provs.end(), t1) == provs.end()) provs.push_back(t1);
     }
-    for (const std::size_t p : provs) {
-      links.push_back({asn_of(self), asn_of(p), RelType::kCustomerToProvider,
-                       /*visible=*/true, Prefix()});
-    }
-    // Peering among transits (sparse mesh).
-    for (std::size_t tj = ti + 1; tj < transits.size(); ++tj) {
-      if (rng.chance(params.transit_peering_prob)) {
-        links.push_back({asn_of(self), asn_of(transits[tj]), RelType::kPeerToPeer,
-                         rng.chance(params.peer_link_visible_prob), Prefix()});
-      }
-    }
-  }
+  });
 
   // Edge networks: 1-3 providers drawn from transits (weighted), rarely a
-  // tier-1 directly.
-  std::vector<std::size_t> edges;
-  edges.insert(edges.end(), isps.begin(), isps.end());
-  edges.insert(edges.end(), hostings.begin(), hostings.end());
-  edges.insert(edges.end(), contents.begin(), contents.end());
-  edges.insert(edges.end(), others.begin(), others.end());
-  for (const std::size_t self : edges) {
-    const std::size_t nprov =
-        1 + rng.index(std::max<std::size_t>(1, params.max_providers));
-    auto provs = pick_distinct(transits, &transit_weight, nprov, self);
-    if (provs.empty() && !tier1s.empty()) provs.push_back(tier1s[rng.index(tier1s.size())]);
-    if (rng.chance(0.08) && !tier1s.empty()) {
-      const std::size_t t1 = tier1s[rng.index(tier1s.size())];
-      if (std::find(provs.begin(), provs.end(), t1) == provs.end()) provs.push_back(t1);
-    }
-    for (const std::size_t p : provs) {
-      links.push_back({asn_of(self), asn_of(p), RelType::kCustomerToProvider,
+  // tier-1 directly. Chunked over the concatenated edge list.
+  std::vector<std::size_t> edge_list;
+  edge_list.insert(edge_list.end(), isps.begin(), isps.end());
+  edge_list.insert(edge_list.end(), hostings.begin(), hostings.end());
+  edge_list.insert(edge_list.end(), contents.begin(), contents.end());
+  edge_list.insert(edge_list.end(), others.begin(), others.end());
+  const std::vector<IndexRange> edge_chunks = chunk_grid(edge_list.size());
+  std::vector<std::vector<AsLink>> edge_links(edge_chunks.size());
+  for_each_chunk(pool, edge_chunks.size(), [&](std::size_t c) {
+    Rng rng = chunk_stream(seed, kStreamEdge, c);
+    auto& out = edge_links[c];
+    for (std::size_t ei = edge_chunks[c].begin; ei < edge_chunks[c].end; ++ei) {
+      const std::size_t self = edge_list[ei];
+      const std::size_t nprov =
+          1 + rng.index(std::max<std::size_t>(1, params.max_providers));
+      auto provs = pick_distinct(rng, transits,
+                                 transit_dist ? &*transit_dist : nullptr, nprov,
+                                 self);
+      if (provs.empty() && !tier1s.empty()) provs.push_back(tier1s[rng.index(tier1s.size())]);
+      if (rng.chance(0.08) && !tier1s.empty()) {
+        const std::size_t t1 = tier1s[rng.index(tier1s.size())];
+        if (std::find(provs.begin(), provs.end(), t1) == provs.end()) provs.push_back(t1);
+      }
+      for (const std::size_t p : provs) {
+        out.push_back({asn_of(self), asn_of(p), RelType::kCustomerToProvider,
                        /*visible=*/true, Prefix()});
+      }
     }
-  }
+  });
 
   // Peering at the edge: content networks peer broadly with ISPs; ISPs
   // peer moderately among themselves and with hosting.
-  const auto add_edge_peerings = [&](const std::vector<std::size_t>& who,
-                                     const std::vector<std::size_t>& pool,
-                                     double mean) {
-    if (pool.empty()) return;
-    for (const std::size_t self : who) {
-      const auto n = static_cast<std::size_t>(rng.exponential(1.0 / std::max(0.1, mean)));
-      auto ps = pick_distinct(pool, nullptr, std::min<std::size_t>(n, pool.size() / 2 + 1), self);
-      for (const std::size_t p : ps) {
-        // store once with from < to to avoid duplicate mesh entries
-        const Asn a = std::min(asn_of(self), asn_of(p));
-        const Asn b = std::max(asn_of(self), asn_of(p));
-        links.push_back({a, b, RelType::kPeerToPeer,
-                         rng.chance(params.peer_link_visible_prob), Prefix()});
+  const auto edge_peerings = [&](const std::vector<std::size_t>& who,
+                                 const std::vector<std::size_t>& peer_pool,
+                                 double mean, Stream stream) {
+    const std::vector<IndexRange> chunks = chunk_grid(who.size());
+    std::vector<std::vector<AsLink>> out(chunks.size());
+    if (peer_pool.empty() || who.empty()) return out;
+    for_each_chunk(pool, chunks.size(), [&](std::size_t c) {
+      Rng rng = chunk_stream(seed, stream, c);
+      for (std::size_t wi = chunks[c].begin; wi < chunks[c].end; ++wi) {
+        const std::size_t self = who[wi];
+        const auto n = static_cast<std::size_t>(
+            rng.exponential(1.0 / std::max(0.1, mean)));
+        auto ps = pick_distinct(rng, peer_pool, nullptr,
+                                std::min<std::size_t>(n, peer_pool.size() / 2 + 1),
+                                self);
+        for (const std::size_t p : ps) {
+          // store once with from < to to avoid duplicate mesh entries
+          const Asn a = std::min(asn_of(self), asn_of(p));
+          const Asn b = std::max(asn_of(self), asn_of(p));
+          out[c].push_back({a, b, RelType::kPeerToPeer,
+                            rng.chance(params.peer_link_visible_prob), Prefix()});
+        }
       }
-    }
+    });
+    return out;
   };
-  add_edge_peerings(contents, isps, params.content_peering_mean);
+  const auto content_peer_links =
+      edge_peerings(contents, isps, params.content_peering_mean, kStreamContentPeer);
+  std::vector<std::size_t> isp_pool;
+  isp_pool.insert(isp_pool.end(), isps.begin(), isps.end());
+  isp_pool.insert(isp_pool.end(), hostings.begin(), hostings.end());
+  const auto isp_peer_links =
+      edge_peerings(isps, isp_pool, params.isp_peering_mean, kStreamIspPeer);
+
+  // Merge all link sources in fixed chunk order — the only order-sensitive
+  // step, and it depends on the chunk grid alone.
+  std::vector<AsLink> links;
   {
-    std::vector<std::size_t> isp_pool;
-    isp_pool.insert(isp_pool.end(), isps.begin(), isps.end());
-    isp_pool.insert(isp_pool.end(), hostings.begin(), hostings.end());
-    add_edge_peerings(isps, isp_pool, params.isp_peering_mean);
+    std::size_t total = t1_links.size();
+    const auto count = [&total](const std::vector<std::vector<AsLink>>& vs) {
+      for (const auto& v : vs) total += v.size();
+    };
+    count(org_links);
+    count(transit_links);
+    count(edge_links);
+    count(content_peer_links);
+    count(isp_peer_links);
+    links.reserve(total);
+    const auto append = [&links](const std::vector<std::vector<AsLink>>& vs) {
+      for (const auto& v : vs) links.insert(links.end(), v.begin(), v.end());
+    };
+    append(org_links);
+    links.insert(links.end(), t1_links.begin(), t1_links.end());
+    append(transit_links);
+    append(edge_links);
+    append(content_peer_links);
+    append(isp_peer_links);
   }
 
   // Deduplicate links (same unordered pair may have been generated twice).
@@ -386,39 +608,72 @@ Topology generate_topology(const TopologyParams& params, std::uint64_t seed) {
                 links.end());
   }
 
-  // ---- router infrastructure prefixes -------------------------------------
+  // ---- router infrastructure prefixes (two-pass, chunk-parallel) ----------
   // Each c2p link gets a /24 for its point-to-point router interfaces:
   // usually from the provider's space (stray router traffic then lands in
-  // Invalid), otherwise from never-announced space (lands in Unrouted).
-  std::map<Asn, std::size_t> index_by_asn;
-  for (std::size_t i = 0; i < drafts.size(); ++i) index_by_asn[drafts[i].info.asn] = i;
-  for (auto& l : links) {
-    if (l.type != RelType::kCustomerToProvider) continue;
-    const AsInfo& provider = drafts[index_by_asn[l.to]].info;
-    if (rng.chance(params.infra_from_provider_prob) && !provider.prefixes.empty()) {
-      const Prefix& base = provider.prefixes[rng.index(provider.prefixes.size())];
-      if (base.length() >= 24) {
-        l.infra = base;
+  // Invalid), otherwise from never-announced space (-> Unrouted). The
+  // provider-sourced picks happen in pass A (links are partitioned, so
+  // writing l.infra is race-free); dark /24s are counted per chunk and
+  // carved in pass B from slices past the allocation phase's high-water
+  // mark.
+  const std::vector<IndexRange> link_chunks = chunk_grid(links.size());
+  std::vector<std::vector<std::size_t>> dark_idx(link_chunks.size());
+  for_each_chunk(pool, link_chunks.size(), [&](std::size_t c) {
+    Rng rng = chunk_stream(seed, kStreamInfra, c);
+    for (std::size_t li = link_chunks[c].begin; li < link_chunks[c].end; ++li) {
+      AsLink& l = links[li];
+      if (l.type != RelType::kCustomerToProvider) continue;
+      assert(l.to >= kFirstAsn && l.to < kFirstAsn + drafts.size());
+      const AsInfo& provider = drafts[l.to - kFirstAsn].info;
+      if (rng.chance(params.infra_from_provider_prob) && !provider.prefixes.empty()) {
+        const Prefix& base = provider.prefixes[rng.index(provider.prefixes.size())];
+        if (base.length() >= 24) {
+          l.infra = base;
+        } else {
+          const std::uint32_t slots = std::uint32_t(1) << (24 - base.length());
+          const std::uint32_t pick = rng.uniform_u32(0, slots - 1);
+          l.infra = Prefix(Ipv4Addr(base.first() + (pick << 8)), 24);
+        }
       } else {
-        const std::uint32_t slots = std::uint32_t(1) << (24 - base.length());
-        const std::uint32_t pick = rng.uniform_u32(0, slots - 1);
-        l.infra = Prefix(Ipv4Addr(base.first() + (pick << 8)), 24);
+        dark_idx[c].push_back(li);  // carve from never-announced space in pass B
       }
-    } else {
-      l.infra = space.take_sub(24);  // allocated to nobody -> never announced
     }
+  });
+  {
+    std::vector<std::size_t> dark_off(link_chunks.size() + 1, slice_off.back());
+    for (std::size_t c = 0; c < link_chunks.size(); ++c) {
+      dark_off[c + 1] = dark_off[c] + (dark_idx[c].size() + 255) / 256;
+    }
+    if (dark_off.back() > free16.size()) {
+      throw std::runtime_error(
+          "generate_topology: address space exhausted by router infrastructure");
+    }
+    for_each_chunk(pool, link_chunks.size(), [&](std::size_t c) {
+      const std::span<const Prefix> slice(free16.data() + dark_off[c],
+                                          dark_off[c + 1] - dark_off[c]);
+      std::size_t used = 0;
+      BlockAllocator alloc([&slice, &used] {
+        assert(used < slice.size());
+        return slice[used++];
+      });
+      for (const std::size_t li : dark_idx[c]) links[li].infra = alloc.take(24);
+    });
   }
 
-  // ---- filtering ground truth ---------------------------------------------
-  for (auto& d : drafts) {
-    const int t = static_cast<int>(d.info.type);
-    d.info.filter.blocks_bogon = rng.chance(params.bogon_filter_prob[t]);
-    d.info.filter.blocks_spoofed = rng.chance(params.spoof_filter_prob[t]);
-    d.info.spoofer_density =
-        std::max(0.0, params.spoofer_density[t] * rng.lognormal(0.0, 0.6));
-    d.info.nat_leak_density =
-        std::max(0.0, params.nat_leak_density[t] * rng.lognormal(0.0, 0.6));
-  }
+  // ---- filtering ground truth (chunk-parallel) ----------------------------
+  for_each_chunk(pool, as_chunks.size(), [&](std::size_t c) {
+    Rng rng = chunk_stream(seed, kStreamFilter, c);
+    for (std::size_t i = as_chunks[c].begin; i < as_chunks[c].end; ++i) {
+      auto& d = drafts[i];
+      const int t = static_cast<int>(d.info.type);
+      d.info.filter.blocks_bogon = rng.chance(params.bogon_filter_prob[t]);
+      d.info.filter.blocks_spoofed = rng.chance(params.spoof_filter_prob[t]);
+      d.info.spoofer_density =
+          std::max(0.0, params.spoofer_density[t] * rng.lognormal(0.0, 0.6));
+      d.info.nat_leak_density =
+          std::max(0.0, params.nat_leak_density[t] * rng.lognormal(0.0, 0.6));
+    }
+  });
 
   std::vector<AsInfo> ases;
   ases.reserve(drafts.size());
@@ -431,7 +686,8 @@ Topology generate_topology(const TopologyParams& params, std::uint64_t seed) {
   }
   util::log_info() << "generated topology: " << topo.as_count() << " ASes, "
                    << topo.links().size() << " links, "
-                   << topo.allocated_slash24() << " /24s allocated";
+                   << topo.allocated_slash24() << " /24s allocated ("
+                   << as_chunks.size() << " chunks)";
   return topo;
 }
 

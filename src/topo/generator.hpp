@@ -6,11 +6,20 @@
 // (partially invisible) sibling links, heavy-tailed address allocations
 // carved from non-bogon space, per-link router infrastructure prefixes and
 // per-AS egress filtering ground truth.
+//
+// Generation is chunk-parallel in the communication-free KaGen style: the
+// AS population is cut into fixed-size chunks, every randomized phase
+// derives one independent PRNG stream per (phase, chunk) from the seed,
+// and workers emit into pre-assigned per-chunk slots that are merged in
+// chunk order. Chunk boundaries and streams depend only on (params, seed)
+// — never on the thread count — so the generated topology is bit-identical
+// whether it is built on one thread or sixty-four.
 #pragma once
 
 #include <cstdint>
 
 #include "topo/topology.hpp"
+#include "util/thread_pool.hpp"
 
 namespace spoofscope::topo {
 
@@ -52,6 +61,18 @@ struct TopologyParams {
   double content_peering_mean = 18.0; ///< mean #peers of a content AS
   double isp_peering_mean = 4.0;      ///< mean #peers of an ISP
 
+  // --- generation chunking ---
+  /// ASes (and links, for the link-indexed phases) per generation chunk.
+  /// Part of the output contract: chunk boundaries and the per-chunk PRNG
+  /// streams derive from this value and the seed alone, so changing it
+  /// changes the topology — but the thread count never does.
+  std::size_t chunk_ases = 2048;
+  /// Largest allocation block handed to one AS, in /24 units (a power of
+  /// two in [2, 256]). 256 allocates whole /16s; the internet preset uses
+  /// 16 (/20 blocks) so the routed-space target is covered by ~1M
+  /// distinct prefixes instead of a few thousand giant ones.
+  std::size_t alloc_block_slash24 = 256;
+
   // --- filtering ground truth (per business type probabilities) ---
   /// P(blocks_bogon) indexed by BusinessType.
   double bogon_filter_prob[kNumBusinessTypes] = {0.35, 0.22, 0.20, 0.70, 0.28};
@@ -72,5 +93,11 @@ struct TopologyParams {
 /// Generates a topology. Deterministic in (params, seed). The result
 /// passes Topology::validate().
 Topology generate_topology(const TopologyParams& params, std::uint64_t seed);
+
+/// Pool overload: fans the per-chunk generation phases out over `pool`.
+/// The result is bit-identical to the single-threaded overload for every
+/// pool size.
+Topology generate_topology(const TopologyParams& params, std::uint64_t seed,
+                           util::ThreadPool& pool);
 
 }  // namespace spoofscope::topo

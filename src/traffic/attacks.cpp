@@ -27,6 +27,13 @@ const topo::AsInfo* pick_attacker(const TrafficContext& ctx, util::Rng& rng) {
 
 /// A victim address: usually inside a hosting/content member's announced
 /// space (the popular targets), otherwise anywhere announced.
+bool announces_addr(const topo::AsInfo& as, net::Ipv4Addr addr) {
+  for (const auto& p : as.prefixes) {
+    if (p.contains(addr)) return true;
+  }
+  return false;
+}
+
 net::Ipv4Addr pick_victim(const TrafficContext& ctx, util::Rng& rng) {
   for (int attempt = 0; attempt < 200; ++attempt) {
     const auto& m = ctx.uniform_member(rng);
@@ -103,7 +110,17 @@ void generate_ntp_amplification(const TrafficContext& ctx, util::Rng& rng,
 
     NtpCampaign campaign;
     campaign.attacker_member = attacker->asn;
+    // The trigger's source address IS the victim: a victim inside the
+    // attacker's own announced space would be a legitimately sourced
+    // packet mislabelled as spoofed ground truth (and reflecting an
+    // attack onto your own prefix is not source spoofing), so re-draw
+    // until the victim is foreign to the attacker.
     campaign.victim = pick_victim(ctx, rng);
+    for (int attempt = 0;
+         attempt < 16 && announces_addr(*attacker, campaign.victim);
+         ++attempt) {
+      campaign.victim = pick_victim(ctx, rng);
+    }
     campaign.distributed = rng.chance(0.4);
 
     // Strategy: concentrated campaigns hammer a handful of amplifiers;

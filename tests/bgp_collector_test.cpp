@@ -206,6 +206,59 @@ TEST(AnnouncementPlan, DeaggregationSplitsPrefixes) {
   }
 }
 
+TEST(Collector, UnknownOriginNamesPlanGroup) {
+  const auto t = tiny_topology();
+  const Simulator sim(t);
+  AnnouncementPlan plan;
+  AnnouncementGroup good;
+  good.origin = 2;
+  good.prefixes = {pfx("30.0.0.0/16")};
+  plan.groups.push_back(good);
+  AnnouncementGroup bad;
+  bad.origin = 999;  // not in the topology
+  bad.prefixes = {pfx("50.0.0.0/16"), pfx("51.0.0.0/16")};
+  plan.groups.push_back(bad);
+  const auto expect_context = [](const auto& build) {
+    try {
+      build();
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("plan group #1"), std::string::npos) << what;
+      EXPECT_NE(what.find("origin AS 999"), std::string::npos) << what;
+      EXPECT_NE(what.find("2 prefixes"), std::string::npos) << what;
+    }
+  };
+  expect_context([&] { RouteFabric fabric(sim, plan); });
+  util::ThreadPool pool(2);
+  expect_context([&] { RouteFabric fabric(sim, plan, pool); });
+  expect_context([&] {
+    std::vector<CollectorSpec> specs(1);
+    specs[0].name = "rrc-test";
+    specs[0].feeders = {2};
+    propagate_collect(sim, plan, specs, pool,
+                      [](std::size_t, const MrtRecord&) {});
+  });
+}
+
+TEST(Collector, UnknownFeederNamesCollector) {
+  const auto t = tiny_topology();
+  const Simulator sim(t);
+  const auto plan = make_announcement_plan(t, stable_only(), 1);
+  const RouteFabric fabric(sim, plan);
+  CollectorSpec spec;
+  spec.name = "rrc-broken";
+  spec.feeders = {2, 777};
+  try {
+    collect_records(fabric, spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown feeder AS 777"), std::string::npos) << what;
+    EXPECT_NE(what.find("rrc-broken"), std::string::npos) << what;
+  }
+}
+
 TEST(Collector, DeterministicPlan) {
   const auto t = tiny_topology();
   PlanParams pp;

@@ -271,5 +271,17 @@ TEST_F(ScenarioTest, Table1ColumnsWellFormed) {
   EXPECT_GE(cols[3].packets_fraction, cols[2].packets_fraction);
 }
 
+TEST(ScenarioBuild, ClampsFeederCountToPopulation) {
+  // More feeders per collector than ASes exist: the builder must clamp
+  // (every AS feeds every collector) instead of rejection-sampling
+  // forever.
+  auto params = ScenarioParams::small();
+  params.feeders_per_collector = 100000;
+  params.num_collectors = 2;
+  const auto world = build_scenario(params);
+  EXPECT_EQ(world->topology().as_count(), params.topology.total_ases());
+  EXPECT_FALSE(world->table().prefixes().empty());
+}
+
 }  // namespace
 }  // namespace spoofscope::scenario

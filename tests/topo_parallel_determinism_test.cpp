@@ -1,0 +1,214 @@
+// Thread-count differential tests for the chunk-parallel pipeline: the
+// generated topology and the collected route records must be
+// bit-identical whether they are produced on one thread, two, or the
+// machine's full concurrency. Chunk sizes are forced small so even the
+// laptop-sized test topologies split into many chunks.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bgp/collector.hpp"
+#include "bgp/mrt_lite.hpp"
+#include "bgp/simulator.hpp"
+#include "topo/generator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spoofscope {
+namespace {
+
+std::uint64_t fnv64(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv64(std::uint64_t h, const std::string& s) {
+  return fnv64(h, s.data(), s.size());
+}
+
+template <typename T>
+std::uint64_t fnv64_pod(std::uint64_t h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return fnv64(h, &v, sizeof(v));
+}
+
+/// Order-sensitive digest over everything the generator decides.
+std::uint64_t topology_digest(const topo::Topology& t) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& as : t.ases()) {
+    h = fnv64_pod(h, as.asn);
+    h = fnv64_pod(h, as.org);
+    h = fnv64_pod(h, as.type);
+    h = fnv64_pod(h, as.announce_fraction);
+    h = fnv64_pod(h, as.filter.blocks_bogon);
+    h = fnv64_pod(h, as.filter.blocks_spoofed);
+    h = fnv64_pod(h, as.spoofer_density);
+    h = fnv64_pod(h, as.nat_leak_density);
+    for (const auto& p : as.prefixes) h = fnv64(h, p.str());
+  }
+  for (const auto& l : t.links()) {
+    h = fnv64_pod(h, l.from);
+    h = fnv64_pod(h, l.to);
+    h = fnv64_pod(h, l.type);
+    h = fnv64_pod(h, l.visible_in_bgp);
+    h = fnv64(h, l.infra.str());
+  }
+  return h;
+}
+
+topo::TopologyParams chunky_params() {
+  topo::TopologyParams p;
+  p.num_tier1 = 3;
+  p.num_transit = 12;
+  p.num_isp = 60;
+  p.num_hosting = 30;
+  p.num_content = 15;
+  p.num_other = 40;
+  // Plenty of multi-AS orgs so sibling links (visible and invisible)
+  // exist in every seed.
+  p.multi_as_org_fraction = 0.25;
+  p.sibling_link_visible_prob = 0.5;
+  p.chunk_ases = 16;  // 160 ASes -> 10 chunks even in this small world
+  return p;
+}
+
+std::vector<std::size_t> thread_counts() {
+  std::vector<std::size_t> t{1, 2};
+  const std::size_t hw = util::ThreadPool::resolve(0);
+  if (hw > 2) t.push_back(hw);
+  return t;
+}
+
+constexpr std::uint64_t kSeeds[] = {11, 1203, 777777};
+
+TEST(ParallelDeterminism, TopologyBitIdenticalAcrossThreadCounts) {
+  for (const std::uint64_t seed : kSeeds) {
+    const auto baseline = generate_topology(chunky_params(), seed);
+    const std::uint64_t want = topology_digest(baseline);
+    for (const std::size_t threads : thread_counts()) {
+      util::ThreadPool pool(threads);
+      const auto t = generate_topology(chunky_params(), seed, pool);
+      EXPECT_EQ(topology_digest(t), want)
+          << "seed " << seed << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ChunkSizeIsPartOfTheOutputContract) {
+  // Different chunk grids legitimately produce different topologies —
+  // the guarantee is over thread counts, not chunk sizes.
+  auto a = chunky_params();
+  auto b = chunky_params();
+  b.chunk_ases = 64;
+  EXPECT_NE(topology_digest(generate_topology(a, 11)),
+            topology_digest(generate_topology(b, 11)));
+}
+
+/// Digest of everything the collectors record, in emitted order.
+std::uint64_t records_digest(const bgp::Simulator& sim,
+                             const bgp::AnnouncementPlan& plan,
+                             std::span<const bgp::CollectorSpec> specs,
+                             util::ThreadPool& pool,
+                             std::size_t chunk_groups = 0) {
+  std::uint64_t h = 1469598103934665603ULL;
+  bgp::PropagateOptions options;
+  options.chunk_groups = chunk_groups;
+  bgp::propagate_collect(
+      sim, plan, specs, pool,
+      [&h](std::size_t spec_idx, const bgp::MrtRecord& r) {
+        h = fnv64_pod(h, spec_idx);
+        std::visit([&h](const auto& rec) { h = fnv64(h, to_mrt_line(rec)); }, r);
+      },
+      options);
+  return h;
+}
+
+TEST(ParallelDeterminism, PropagationRecordsBitIdenticalAcrossThreadCounts) {
+  for (const std::uint64_t seed : kSeeds) {
+    const auto topo = generate_topology(chunky_params(), seed);
+    const bgp::Simulator sim(topo);
+    // Exercise every plan-group shape: selective announcements (first-hop
+    // restrictions), transients (update records), deaggregation.
+    bgp::PlanParams pp;
+    pp.selective_prob = 0.3;
+    pp.transient_prob = 0.15;
+    pp.deaggregate_prob = 0.2;
+    const auto plan = bgp::make_announcement_plan(topo, pp, seed ^ 0xfeed);
+
+    std::vector<bgp::CollectorSpec> specs(2);
+    specs[0].name = "full";
+    specs[0].feeders = {topo.ases()[1].asn, topo.ases()[20].asn,
+                        topo.ases()[77].asn};
+    specs[1].name = "rs";
+    specs[1].feeders = {topo.ases()[5].asn, topo.ases()[50].asn};
+    specs[1].full_feed = false;
+
+    // Independent oracle: the serial RouteFabric rendered spec-by-spec.
+    // Record *order* differs from propagate_collect (spec-major vs
+    // group-major), so compare the per-spec record sequences, which both
+    // paths emit in plan order.
+    std::vector<std::vector<std::string>> oracle(specs.size());
+    {
+      const bgp::RouteFabric fabric(sim, plan);
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        collect_records(fabric, specs[s], [&oracle, s](const bgp::MrtRecord& r) {
+          std::visit([&oracle, s](const auto& rec) {
+            oracle[s].push_back(to_mrt_line(rec));
+          }, r);
+        });
+      }
+    }
+
+    util::ThreadPool seq(1);
+    const std::uint64_t want = records_digest(sim, plan, specs, seq);
+    for (const std::size_t threads : thread_counts()) {
+      util::ThreadPool pool(threads);
+      EXPECT_EQ(records_digest(sim, plan, specs, pool), want)
+          << "seed " << seed << ", " << threads << " threads";
+      // Chunking must not change the emitted records either.
+      EXPECT_EQ(records_digest(sim, plan, specs, pool, 7), want)
+          << "seed " << seed << ", " << threads << " threads, chunk 7";
+
+      std::vector<std::vector<std::string>> got(specs.size());
+      bgp::propagate_collect(sim, plan, specs, pool,
+                             [&got](std::size_t s, const bgp::MrtRecord& r) {
+                               std::visit([&got, s](const auto& rec) {
+                                 got[s].push_back(to_mrt_line(rec));
+                               }, r);
+                             });
+      EXPECT_EQ(got, oracle) << "seed " << seed << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelDeterminism, RouteFabricPoolCtorMatchesSerial) {
+  const auto topo = generate_topology(chunky_params(), 1203);
+  const bgp::Simulator sim(topo);
+  bgp::PlanParams pp;
+  pp.selective_prob = 0.2;
+  const auto plan = bgp::make_announcement_plan(topo, pp, 99);
+
+  const bgp::RouteFabric serial(sim, plan);
+  for (const std::size_t threads : thread_counts()) {
+    util::ThreadPool pool(threads);
+    const bgp::RouteFabric parallel(sim, plan, pool);
+    ASSERT_EQ(parallel.group_count(), serial.group_count());
+    for (std::size_t g = 0; g < serial.group_count(); ++g) {
+      const auto& a = serial.result(g).routes();
+      const auto& b = parallel.result(g).routes();
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_TRUE(a[i].cls == b[i].cls && a[i].hops == b[i].hops &&
+                    a[i].parent == b[i].parent)
+            << "group " << g << " idx " << i << " (" << threads << " threads)";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spoofscope

@@ -76,6 +76,8 @@ cmake --build "${REPO_ROOT}/build" -j "${JOBS}"
 ctest --test-dir "${REPO_ROOT}/build" --output-on-failure -j "${JOBS}"
 
 TSAN_SUITES=(
+  topo_parallel_determinism_test
+  bgp_collector_test
   classify_parallel_oracle_test
   classify_flat_oracle_test
   classify_batch_oracle_test
@@ -100,6 +102,7 @@ cmake --build "${REPO_ROOT}/build-tsan" -j "${JOBS}" --target "${TSAN_SUITES[@]}
 run_suite build-tsan "${TSAN_SUITES[@]}"
 
 ASAN_SUITES=(
+  topo_parallel_determinism_test
   classify_parallel_oracle_test
   classify_flat_oracle_test
   classify_batch_oracle_test
@@ -162,6 +165,21 @@ cmake -S "${REPO_ROOT}" -B "${REPO_ROOT}/build-portable" \
 cmake --build "${REPO_ROOT}/build-portable" -j "${JOBS}" \
   --target "${PORTABLE_SUITES[@]}"
 run_suite build-portable "${PORTABLE_SUITES[@]}"
+
+echo "=== internet-scale generate under TSan + ASan ==="
+# Drives the chunk-parallel topology generator and the streamed parallel
+# route propagation end to end through the CLI on a scaled-down internet
+# preset: --scale-factor 16 keeps sanitizer runtime in check while the
+# world still spans multiple AS chunks (5000 ASes / chunk_ases=2048) and
+# multiple propagation chunks, with 4 worker threads racing for real.
+for tree in build-tsan build-asan; do
+  cmake --build "${REPO_ROOT}/${tree}" -j "${JOBS}" --target spoofscope_cli
+  GEN_OUT="$(mktemp -d "${TMPDIR:-/tmp}/spoofscope-check-gen.XXXXXX")"
+  echo "--- ${tree}/tools/spoofscope generate --scale internet --scale-factor 16 --threads 4"
+  "${REPO_ROOT}/${tree}/tools/spoofscope" generate --scale internet \
+    --scale-factor 16 --threads 4 --seed 7 --out "${GEN_OUT}"
+  rm -rf "${GEN_OUT}"
+done
 
 echo "=== fault injection: widened seed sweep across all sanitizers ==="
 FAULT_SEEDS="1 2 3 4 5 6 7 8"

@@ -56,6 +56,8 @@ rate = {}
 growth = {}
 compile_ms = {}
 patch_ms = None
+prop_rate = {}
+e2e = None
 for b in doc.get("benchmarks", []):
     name = b.get("name", "")
     if name.startswith("BM_ReportStreaming/trace_mult:"):
@@ -69,6 +71,11 @@ for b in doc.get("benchmarks", []):
         compile_ms[threads] = b.get("real_time", 0.0)
     if name == "BM_FlatPlanePatch":
         patch_ms = b.get("real_time", 0.0)
+    if name.startswith("BM_BgpPropagationParallel/threads:"):
+        threads = int(name.split("threads:")[1].split("/")[0])
+        prop_rate[threads] = b.get("items_per_second", 0.0)
+    if name.startswith("BM_ScenarioEndToEnd"):
+        e2e = b
 if 1 in growth and 10 in growth:
     line = (f"BM_ReportStreaming rss_growth_kb: "
             f"1x={growth[1]:.0f} 10x={growth[10]:.0f}")
@@ -89,6 +96,36 @@ if patch_ms and compile_ms:
     if speedup < 10.0:
         sys.exit(f"FAIL incremental-patch check: {line} (want >= 10x)")
     print(f"OK incremental-patch check: {line}")
+
+# Parallel route propagation must actually scale: on >= 8 hardware
+# threads the all-origins fan-out (BM_BgpPropagationParallel) has to
+# reach 6x the single-thread origins/s; on smaller machines the bar is
+# prorated to 0.75x the thread count (the 8-core bar expressed per
+# core). A 1-thread-only run (1-core box) is reported, not gated.
+if prop_rate and 1 in prop_rate and prop_rate[1] > 0:
+    top = max(prop_rate)
+    if top == 1:
+        print("note: propagation speedup gate skipped "
+              "(single hardware thread; no parallel data point)")
+    else:
+        speedup = prop_rate[top] / prop_rate[1]
+        need = 6.0 if top >= 8 else 0.75 * top
+        line = (f"propagation {prop_rate[1] / 1e3:.1f}K -> "
+                f"{prop_rate[top] / 1e3:.1f}K groups/s "
+                f"({speedup:.2f}x on {top} threads, need {need:.2f}x)")
+        if speedup < need:
+            sys.exit(f"FAIL propagation-speedup check: {line}")
+        print(f"OK propagation-speedup check: {line}")
+if e2e is not None:
+    print(f"internet end-to-end: {e2e.get('real_time', 0.0):.1f}"
+          f"{e2e.get('time_unit', 's')} for {e2e.get('ases', 0):.0f} ASes, "
+          f"{e2e.get('table_prefixes', 0):.0f} table prefixes, "
+          f"peak rss {e2e.get('peak_rss_kb', 0) / 1024:.0f}MB "
+          f"(scale factor {e2e.get('scale_factor', 0):.0f})")
+else:
+    print("note: internet-scale end-to-end bench not run; enable with "
+          "SPOOFSCOPE_BENCH_INTERNET=1 (SPOOFSCOPE_BENCH_INTERNET_FACTOR=N "
+          "shrinks the world)")
 PY
 
 mv "${TMP_JSON}" "${OUT_JSON}"

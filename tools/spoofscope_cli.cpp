@@ -101,7 +101,8 @@ constexpr std::size_t kChunkFlows = 1u << 17;
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
       "usage:\n"
-      "  spoofscope generate --out DIR [--seed N] [--paper] [--threads N]\n"
+      "  spoofscope generate --out DIR [--seed N] [--threads N]\n"
+      "                      [--scale small|ixp|internet] [--scale-factor N]\n"
       "                      [--engine trie|flat] [--simd auto|avx2|neon|scalar]\n"
       "  spoofscope classify --mrt FILES --trace FILE [--rpsl FILE]\n"
       "                      [--method naive|cc|cc+org|full|full+org]\n"
@@ -127,6 +128,12 @@ constexpr std::size_t kChunkFlows = 1u << 17;
       "--threads N runs valid-space construction and classification on N\n"
       "worker threads (0 = hardware concurrency, default 1 = sequential);\n"
       "results are identical for every N.\n"
+      "--scale picks the generated world: small (laptop-quick, default),\n"
+      "ixp (the paper-scale vantage, alias --paper) or internet (~80K\n"
+      "ASes, ~1M announced prefixes; defaults --threads to hardware\n"
+      "concurrency and takes minutes of CPU). --scale-factor N divides\n"
+      "the AS population by N — e.g. a sanitizer run exercising every\n"
+      "chunk-parallel code path at affordable cost.\n"
       "--engine flat compiles the classifier into the DIR-24-8 flat plane\n"
       "(O(1) per-flow lookups) before classifying; labels are identical\n"
       "to the default trie engine.\n"
@@ -335,11 +342,31 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
   const std::string dir = flags.at("out");
   std::filesystem::create_directories(dir);
 
-  scenario::ScenarioParams params = flags.count("paper")
-                                        ? scenario::ScenarioParams::paper()
-                                        : scenario::ScenarioParams::small();
+  scenario::ScenarioParams params = scenario::ScenarioParams::small();
+  std::string scale = flags.count("paper") ? "ixp" : "small";
+  if (flags.count("scale")) scale = flags.at("scale");
+  if (scale == "ixp" || scale == "paper") {
+    params = scenario::ScenarioParams::paper();
+  } else if (scale == "internet") {
+    params = scenario::ScenarioParams::internet();
+  } else if (scale != "small") {
+    usage("unknown scale: " + scale);
+  }
+  if (flags.count("scale-factor")) {
+    const std::uint64_t f = u64_flag(flags, "scale-factor", 1);
+    if (f == 0) usage("--scale-factor must be positive");
+    auto& t = params.topology;
+    t.num_tier1 = std::max<std::size_t>(1, t.num_tier1 / f);
+    t.num_transit = t.num_transit / f;
+    t.num_isp = t.num_isp / f;
+    t.num_hosting = t.num_hosting / f;
+    t.num_content = t.num_content / f;
+    t.num_other = t.num_other / f;
+    params.ixp.member_count =
+        std::max<std::size_t>(1, params.ixp.member_count / f);
+  }
   params.seed = u64_flag(flags, "seed", params.seed);
-  params.threads = threads_from(flags);
+  if (flags.count("threads")) params.threads = threads_from(flags);
   params.engine = engine_from(flags);
   params.simd = simd_from(flags);
   const auto world = scenario::build_scenario(params);
@@ -355,20 +382,24 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
     finish_output(out, dir + "/ixp.trace");
   }
   {
+    // Streamed chunk-at-a-time (never holds internet-scale route state)
+    // and fanned over the scenario's pool.
     const bgp::Simulator sim(world->topology());
     const auto plan =
         bgp::make_announcement_plan(world->topology(), params.plan,
                                     params.seed ^ 0xb1a);
-    const bgp::RouteFabric fabric(sim, plan);
-    bgp::CollectorSpec rs;
-    rs.name = "ixp-route-server";
-    rs.feeders = world->ixp().route_server_feeders();
-    rs.full_feed = false;
+    std::vector<bgp::CollectorSpec> specs(1);
+    specs[0].name = "ixp-route-server";
+    specs[0].feeders = world->ixp().route_server_feeders();
+    specs[0].full_feed = false;
     auto out = open_output(dir + "/route-server.mrt");
-    bgp::collect_records(fabric, rs, [&out](const bgp::MrtRecord& r) {
-      std::visit([&out](const auto& rec) { out << bgp::to_mrt_line(rec) << '\n'; },
-                 r);
-    });
+    bgp::propagate_collect(
+        sim, plan, specs, world->pool(),
+        [&out](std::size_t, const bgp::MrtRecord& r) {
+          std::visit(
+              [&out](const auto& rec) { out << bgp::to_mrt_line(rec) << '\n'; },
+              r);
+        });
     finish_output(out, dir + "/route-server.mrt");
   }
   {
