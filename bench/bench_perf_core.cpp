@@ -27,6 +27,7 @@
 #include "classify/flat_classifier.hpp"
 #include "classify/pipeline.hpp"
 #include "classify/streaming.hpp"
+#include "service/server.hpp"
 #include "state/plane_cache.hpp"
 #include "net/flow_batch.hpp"
 #include "net/mapped_trace.hpp"
@@ -747,6 +748,59 @@ void BM_FlatPlaneCacheLoad(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_FlatPlaneCacheLoad)->Unit(benchmark::kMillisecond);
+
+// --- resident service --------------------------------------------------------
+
+/// The bench trace pre-decoded into routing-round-sized batches, so the
+/// serve bench measures shard fan-out + classify + detect, not decode.
+const std::vector<net::FlowBatch>& world_trace_batches() {
+  static const std::vector<net::FlowBatch> batches = [] {
+    std::vector<net::FlowBatch> out;
+    net::MappedTraceReader reader(mapped_world_trace());
+    net::FlowBatch batch;
+    while (reader.next_batch(batch, 8192) > 0) {
+      out.push_back(batch);
+      batch.clear();
+    }
+    return out;
+  }();
+  return batches;
+}
+
+void BM_ServeThroughput(benchmark::State& state) {
+  // Whole-service ingest throughput at N shards: control thread routes
+  // pre-decoded batches, shard workers run the SIMD classify + detect
+  // path in parallel. run_benches.sh gates 4-shard >= 2x single-shard
+  // on machines with >= 4 cores (the shards are the scaling unit the
+  // ISSUE's acceptance criterion measures).
+  static const auto plane = std::make_shared<classify::FlatClassifier>(
+      classify::FlatClassifier::compile(world().classifier()));
+  const auto& batches = world_trace_batches();
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    service::ServerConfig cfg;
+    cfg.shards = static_cast<std::size_t>(state.range(0));
+    cfg.params.window_seconds = 1800;
+    service::Server server(plane, cfg);
+    server.start();
+    for (const auto& batch : batches) {
+      server.submit_batch(batch);
+      records += static_cast<std::int64_t>(batch.size());
+    }
+    server.barrier();
+    const auto drained = server.drain();
+    benchmark::DoNotOptimize(drained.alerts);
+    server.stop();
+  }
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_ServeThroughput)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 // --- parallel engine scaling -------------------------------------------------
 

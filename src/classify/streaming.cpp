@@ -24,6 +24,13 @@ TrafficClass StreamingDetector::classify_one(
                : classifier_->classify(flow.src, flow.member_in, space_idx_);
 }
 
+void StreamingDetector::rebind(const FlatClassifier& plane) {
+  flat_ = &plane;
+  classifier_ = nullptr;
+  for (auto& p : pending_) p.cls = classify_one(p.flow);
+  last_plane_epoch_ = plane.epoch();
+}
+
 void StreamingDetector::sync_plane_epoch() {
   if (flat_ == nullptr) return;
   const std::uint64_t epoch = flat_->epoch();

@@ -161,6 +161,18 @@ class StreamingDetector {
   /// is disabled or empty.
   void flush(const AlertFn& on_alert);
 
+  /// Repoints the detector at a different compiled plane (the service's
+  /// wholesale plane republish): detection state — windows, reorder
+  /// buffer, health, cursor — is untouched, buffered flows are
+  /// reclassified against the new plane (the same resolve-at-release
+  /// rule sync_plane_epoch() applies to in-place patches), and the
+  /// epoch baseline is taken from the new object. The caller owns the
+  /// lifetime of `plane` and must not call this concurrently with
+  /// ingest. Rebinding a trie-engine detector switches it to the flat
+  /// engine; the engines are proven bit-identical, and config_hash()
+  /// deliberately excludes the engine, so checkpoints stay valid.
+  void rebind(const FlatClassifier& plane);
+
   /// Convenience: run over a whole trace (including flush), collecting
   /// all alerts.
   std::vector<SpoofingAlert> run(std::span<const net::FlowRecord> flows);

@@ -1,0 +1,72 @@
+#include "service/control.hpp"
+
+namespace spoofscope::service {
+
+namespace {
+
+struct VerbSpec {
+  std::string_view name;
+  Verb verb;
+  bool takes_arg;
+};
+
+constexpr VerbSpec kVerbs[] = {
+    {"submit", Verb::kSubmit, true},
+    {"health", Verb::kHealth, false},
+    {"stats-json", Verb::kStatsJson, false},
+    {"alerts", Verb::kAlerts, false},
+    {"checkpoint", Verb::kCheckpoint, false},
+    {"reload-updates", Verb::kReloadUpdates, true},
+    {"drain", Verb::kDrain, false},
+    {"shutdown", Verb::kShutdown, false},
+};
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<Request> parse_request(std::string_view line, std::string& error) {
+  line = trim(line);
+  if (line.empty()) {
+    error = "empty request";
+    return std::nullopt;
+  }
+  const std::size_t space = line.find(' ');
+  const std::string_view name = line.substr(0, space);
+  const std::string_view rest =
+      space == std::string_view::npos ? std::string_view{}
+                                      : trim(line.substr(space + 1));
+  for (const VerbSpec& spec : kVerbs) {
+    if (name != spec.name) continue;
+    if (spec.takes_arg && rest.empty()) {
+      error = std::string(spec.name) + " requires a path argument";
+      return std::nullopt;
+    }
+    if (!spec.takes_arg && !rest.empty()) {
+      error = std::string(spec.name) + " takes no argument";
+      return std::nullopt;
+    }
+    Request req;
+    req.verb = spec.verb;
+    req.arg = std::string(rest);
+    return req;
+  }
+  error = "unknown command: " + std::string(name);
+  return std::nullopt;
+}
+
+std::string_view verb_name(Verb verb) {
+  for (const VerbSpec& spec : kVerbs) {
+    if (spec.verb == verb) return spec.name;
+  }
+  return "?";
+}
+
+}  // namespace spoofscope::service

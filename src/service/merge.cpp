@@ -1,0 +1,71 @@
+#include "service/merge.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace spoofscope::service {
+
+classify::DetectorHealth merge_health(
+    std::span<const classify::DetectorHealth> parts) {
+  classify::DetectorHealth merged;
+  for (const auto& h : parts) {
+    merged.regressions += h.regressions;
+    merged.late_drops += h.late_drops;
+    merged.forced_releases += h.forced_releases;
+    merged.member_evictions += h.member_evictions;
+    merged.sample_evictions += h.sample_evictions;
+    merged.reorder_depth += h.reorder_depth;
+    merged.tracked_members += h.tracked_members;
+    merged.max_reorder_depth = std::max(merged.max_reorder_depth, h.max_reorder_depth);
+    merged.max_window_depth = std::max(merged.max_window_depth, h.max_window_depth);
+  }
+  return merged;
+}
+
+std::string to_json(const ServiceStats& stats) {
+  std::ostringstream out;
+  out << "{\"shards\":" << stats.shards << ",\"processed\":" << stats.processed
+      << ",\"alerts\":" << stats.alerts << ",\"segments\":" << stats.segments
+      << ",\"plane_epoch\":" << stats.plane_epoch
+      << ",\"detector\":" << classify::to_json(stats.merged) << ",\"per_shard\":[";
+  for (std::size_t i = 0; i < stats.per_shard.size(); ++i) {
+    if (i != 0) out << ',';
+    out << classify::to_json(stats.per_shard[i]);
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string format_alert(const classify::SpoofingAlert& alert) {
+  std::ostringstream out;
+  out << "alert: member AS" << alert.member << " ts=" << alert.ts
+      << " dominant=" << classify::class_name(alert.dominant_class)
+      << " spoofed-pkts=" << alert.spoofed_packets_in_window
+      << " share=" << util::percent(alert.window_share);
+  return out.str();
+}
+
+std::string format_health(const classify::DetectorHealth& health) {
+  std::ostringstream out;
+  out << "health: regressions=" << health.regressions
+      << " late_drops=" << health.late_drops
+      << " forced_releases=" << health.forced_releases
+      << " member_evictions=" << health.member_evictions
+      << " sample_evictions=" << health.sample_evictions
+      << " max_reorder_depth=" << health.max_reorder_depth
+      << " max_window_depth=" << health.max_window_depth;
+  return out.str();
+}
+
+void sort_alerts(std::vector<classify::SpoofingAlert>& alerts) {
+  std::stable_sort(alerts.begin(), alerts.end(),
+                   [](const classify::SpoofingAlert& a,
+                      const classify::SpoofingAlert& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.member < b.member;
+                   });
+}
+
+}  // namespace spoofscope::service

@@ -1,0 +1,57 @@
+// Cross-shard merge: fuses per-shard detector verdicts and health into
+// the service-wide view, plus the operator-facing formatting shared by
+// the one-shot `detect` command and the resident `serve` daemon — both
+// modes emit the same alert lines, the same health line and the same
+// stats-json schema, so monitoring built against one works against the
+// other unchanged.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "classify/streaming.hpp"
+
+namespace spoofscope::service {
+
+/// Folds per-shard (or per-vantage) health snapshots into one: event
+/// counters and current-depth gauges sum (each event happened on
+/// exactly one shard), high-water marks take the max (the service-wide
+/// peak is at least any shard's peak). A single-element span is the
+/// identity, which is how the one-shot detect path uses it.
+classify::DetectorHealth merge_health(
+    std::span<const classify::DetectorHealth> parts);
+
+/// The service-wide snapshot the control socket's `stats-json` returns.
+struct ServiceStats {
+  std::size_t shards = 0;
+  std::uint64_t processed = 0;  ///< flows ingested across all shards
+  std::uint64_t alerts = 0;
+  std::uint64_t segments = 0;   ///< trace segments submitted
+  std::uint64_t plane_epoch = 0;
+  classify::DetectorHealth merged;
+  std::vector<classify::DetectorHealth> per_shard;
+};
+
+/// {"shards":...,"processed":...,"alerts":...,"segments":...,
+///  "plane_epoch":...,"detector":{...},"per_shard":[{...},...]} — the
+/// "detector" object is classify::to_json of the merged health, the
+/// exact schema `detect --stats-json` writes.
+std::string to_json(const ServiceStats& stats);
+
+/// The alert line both detect and serve print:
+/// "alert: member AS7 ts=42 dominant=Bogon spoofed-pkts=128 share=12.5%".
+std::string format_alert(const classify::SpoofingAlert& alert);
+
+/// The health line both detect and serve print:
+/// "health: regressions=0 late_drops=0 ...".
+std::string format_health(const classify::DetectorHealth& health);
+
+/// Canonical service-wide alert order: (ts, member). Within one shard
+/// alerts already emerge in released order; across shards this is the
+/// deterministic interleaving the merge presents. A member alerts at
+/// most once per cooldown window, so the key is unique in practice.
+void sort_alerts(std::vector<classify::SpoofingAlert>& alerts);
+
+}  // namespace spoofscope::service

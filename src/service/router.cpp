@@ -1,0 +1,22 @@
+#include "service/router.hpp"
+
+#include "net/flow_batch.hpp"
+
+namespace spoofscope::service {
+
+void ShardRouter::route(const net::FlowBatch& batch,
+                        std::vector<net::FlowBatch>& lanes) const {
+  if (lanes.size() < shards_) lanes.resize(shards_);
+  if (shards_ == 1) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      lanes[0].push_back(batch.record(i));
+    }
+    return;
+  }
+  const auto members = batch.member_in();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    lanes[shard_of(members[i], shards_)].push_back(batch.record(i));
+  }
+}
+
+}  // namespace spoofscope::service

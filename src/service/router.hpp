@@ -1,0 +1,63 @@
+// Shard routing for the resident detection service: flows are assigned
+// to ingest shards by a hash of the injecting member AS, so every flow
+// of one member lands on one shard and that shard's StreamingDetector
+// sees exactly the member subsequence of the trace, in trace order.
+//
+// Why this decomposes the one-shot computation exactly: the detector's
+// window accounting is per member — samples, spoofed/total counters,
+// alert thresholds and cooldown all live in one member's MemberWindow
+// and never read another member's state. Splitting a nondecreasing-ts
+// flow sequence by member and replaying each part through its own
+// detector therefore reproduces the one-shot alerts and counters bit
+// for bit (the global couplings — the ts-regression guard, the reorder
+// watermark, the member/record caps — only engage on disordered input
+// or bounded configurations; DESIGN.md §16 walks the argument).
+//
+// The hash is a fixed Fibonacci multiply, not std::hash: shard
+// placement is part of the service's checkpoint contract (a shard's
+// delta chain names its index), so it must be identical across
+// processes, libstdc++ versions and runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace spoofscope::net {
+class FlowBatch;
+}
+
+namespace spoofscope::service {
+
+/// The shard owning member `m` in an `n`-shard service. Deterministic
+/// and process-independent; n must be >= 1.
+inline std::size_t shard_of(net::Asn member, std::size_t n) {
+  // Fibonacci hashing: the multiplier is 2^64 / phi, so consecutive
+  // ASNs (the common allocation pattern) spread across shards instead
+  // of striping.
+  const std::uint64_t h =
+      static_cast<std::uint64_t>(member) * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>((h >> 33) % n);
+}
+
+/// Scatters batches into per-shard batches, preserving trace order
+/// within each shard (stable partition by shard_of). The lanes vector
+/// is caller-owned scratch, recycled across calls like FlowBatch.
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t shards) : shards_(shards) {}
+
+  std::size_t shards() const { return shards_; }
+
+  /// Appends every record of `batch` to lanes[shard_of(member_in)].
+  /// `lanes` is resized to the shard count; existing contents are kept
+  /// (callers clear() per routing round to reuse lane capacity).
+  void route(const net::FlowBatch& batch, std::vector<net::FlowBatch>& lanes) const;
+
+ private:
+  std::size_t shards_;
+};
+
+}  // namespace spoofscope::service

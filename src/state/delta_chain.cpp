@@ -36,6 +36,14 @@ bool file_exists(const std::string& path) {
 
 }  // namespace
 
+std::string shard_checkpoint_base(const std::string& dir, std::size_t index,
+                                  std::size_t count) {
+  return (std::filesystem::path(dir) /
+          ("shard-" + std::to_string(index) + "-of-" + std::to_string(count) +
+           ".ckpt"))
+      .string();
+}
+
 DeltaChain::DeltaChain(std::string base_path, std::size_t max_chain)
     : base_path_(std::move(base_path)),
       max_chain_(max_chain == 0 ? 1 : max_chain) {}

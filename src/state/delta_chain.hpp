@@ -31,6 +31,15 @@
 
 namespace spoofscope::state {
 
+/// Canonical delta-chain base path for one shard of an N-shard service:
+/// <dir>/shard-<index>-of-<count>.ckpt. The shard count is part of the
+/// name on purpose — routing is a pure function of (member, count), so
+/// a chain written under a different --shards value describes a
+/// different flow partition; restarting with a new count must find no
+/// chain and start fresh rather than resume a mispartitioned cut.
+std::string shard_checkpoint_base(const std::string& dir, std::size_t index,
+                                  std::size_t count);
+
 /// What resume() recovered.
 struct DeltaResume {
   bool restored = false;           ///< base checkpoint (plus deltas) loaded

@@ -5,14 +5,20 @@
 //
 // SPOOFSCOPE_CLI_BIN is injected by CMake as the built binary's path.
 #include <gtest/gtest.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -544,6 +550,183 @@ TEST(CliSmoke, StatsJsonSchemaOnReport) {
   }
   // The bounded production tables never evict on the small world.
   EXPECT_NE(json.find("\"evictions\":0"), std::string::npos) << json;
+}
+
+TEST(CliSmoke, ServeRejectsBadShardCounts) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const std::string base = "serve --mrt " + w.mrt() + " --trace " + w.trace() +
+                           " --socket " + (w.root / "rej.sock").string();
+  for (const std::string bad : {"0", "5000"}) {
+    const auto r = run_cli(base + " --shards " + bad, w.log);
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+    EXPECT_NE(
+        r.output.find("--shards must be between 1 and 4096, got: '" + bad + "'"),
+        std::string::npos)
+        << r.output;
+  }
+  EXPECT_FALSE(fs::exists(w.root / "rej.sock"));
+}
+
+/// Minimal control-socket client: connects once, sends LF-terminated
+/// request lines, reads response lines until the status line ("ok..." /
+/// "err..."; payload lines never start with either).
+class ControlClient {
+ public:
+  explicit ControlClient(const std::string& socket_path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  socket_path.c_str());
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~ControlClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `request` and returns every response line (status line last).
+  std::vector<std::string> transact(const std::string& request) {
+    std::vector<std::string> lines;
+    const std::string wire = request + "\n";
+    if (::send(fd_, wire.data(), wire.size(), 0) !=
+        static_cast<ssize_t>(wire.size())) {
+      return lines;
+    }
+    std::string line;
+    while (read_line(line)) {
+      lines.push_back(line);
+      if (line.rfind("ok", 0) == 0 || line.rfind("err", 0) == 0) break;
+    }
+    return lines;
+  }
+
+ private:
+  bool read_line(std::string& line) {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(CliSmoke, ServeEndToEndOverControlSocket) {
+  auto& w = cli_world();
+  ASSERT_TRUE(w.generated);
+  const std::string sock = (w.root / "ctl.sock").string();
+  const fs::path daemon_log = w.root / "serve.log";
+
+  // One-shot oracle with the same detection knobs and engine.
+  const auto detect = run_cli("detect --mrt " + w.mrt() + " --trace " +
+                                  w.trace() + " --engine flat --window 1800",
+                              w.log);
+  ASSERT_EQ(detect.exit_code, 0) << detect.output;
+  const std::string want_health = line_with(detect.output, "health:");
+  ASSERT_FALSE(want_health.empty());
+  std::vector<std::string> want_alerts;
+  {
+    std::istringstream lines(detect.output);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.rfind("alert:", 0) == 0) want_alerts.push_back(line);
+    }
+  }
+  ASSERT_FALSE(want_alerts.empty());
+  // serve's alert listing is in canonical (ts, member) order; detect
+  // prints stream order. Compare as sorted sets of lines.
+  std::sort(want_alerts.begin(), want_alerts.end());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: become the daemon, output to the log file.
+    const int out = ::open(daemon_log.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                           0644);
+    if (out >= 0) {
+      ::dup2(out, 1);
+      ::dup2(out, 2);
+      ::close(out);
+    }
+    ::execl(SPOOFSCOPE_CLI_BIN, SPOOFSCOPE_CLI_BIN, "serve", "--mrt",
+            w.mrt().c_str(), "--trace", w.trace().c_str(), "--socket",
+            sock.c_str(), "--shards", "3", "--window", "1800",
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+
+  // Wait for the daemon to bind (or die trying).
+  bool up = false;
+  for (int i = 0; i < 400 && !up; ++i) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, WNOHANG), 0)
+        << "daemon exited early:\n" << slurp(daemon_log);
+    ControlClient probe(sock);
+    up = probe.connected();
+    if (!up) ::usleep(25 * 1000);
+  }
+  ASSERT_TRUE(up) << slurp(daemon_log);
+
+  ControlClient client(sock);
+  ASSERT_TRUE(client.connected());
+
+  const auto submitted = client.transact("submit " + w.trace());
+  ASSERT_FALSE(submitted.empty());
+  EXPECT_EQ(submitted.back().rfind("ok submitted flows=", 0), 0u)
+      << submitted.back();
+
+  const auto drained = client.transact("drain");
+  ASSERT_FALSE(drained.empty());
+  EXPECT_EQ(drained.back().rfind("ok drained", 0), 0u) << drained.back();
+
+  const auto health = client.transact("health");
+  ASSERT_EQ(health.size(), 2u);
+  EXPECT_EQ(health[0], want_health);
+  EXPECT_EQ(health[1].rfind("ok shards=3 processed=", 0), 0u) << health[1];
+
+  const auto stats = client.transact("stats-json");
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[1], "ok");
+  EXPECT_EQ(stats[0].front(), '{');
+  EXPECT_NE(stats[0].find("\"shards\":3"), std::string::npos) << stats[0];
+  EXPECT_NE(stats[0].find("\"detector\":{"), std::string::npos) << stats[0];
+
+  auto alerts = client.transact("alerts");
+  ASSERT_GE(alerts.size(), 2u);
+  EXPECT_EQ(alerts.back(),
+            "ok alerts=" + std::to_string(want_alerts.size()));
+  alerts.pop_back();
+  std::sort(alerts.begin(), alerts.end());
+  EXPECT_EQ(alerts, want_alerts);
+
+  const auto bogus = client.transact("restart now");
+  ASSERT_EQ(bogus.size(), 1u);
+  EXPECT_EQ(bogus[0], "err unknown command: restart");
+
+  const auto bye = client.transact("shutdown");
+  ASSERT_EQ(bye.size(), 1u);
+  EXPECT_EQ(bye[0], "ok shutting-down");
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << slurp(daemon_log);
+  EXPECT_FALSE(fs::exists(sock)) << "socket not unlinked on shutdown";
 }
 
 TEST(CliSmoke, UnwritableLabelsPathFails) {

@@ -1,0 +1,346 @@
+// Rolling-restart differential (ISSUE satellite): kill one shard of a
+// three-shard service mid-stream with an injected crash during a
+// checkpoint write, stand up a replacement over the same delta chain,
+// re-feed the shard's flow sequence, and prove the merged service
+// output — alerts and health — equals the uninterrupted run bit for
+// bit, under every crash kind the snapshot writer can suffer.
+//
+// Only the victim shard is given a checkpoint base: the injector counts
+// site occurrences globally, so confining "snapshot.write" hits to one
+// worker thread keeps (site, nth) a deterministic address for the
+// crash. The survivor shards neither checkpoint nor crash, exactly the
+// rolling-restart regime the service is built for.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/routing_table.hpp"
+#include "classify/flat_classifier.hpp"
+#include "classify/streaming.hpp"
+#include "net/flow_batch.hpp"
+#include "net/prefix.hpp"
+#include "service/merge.hpp"
+#include "service/router.hpp"
+#include "service/shard.hpp"
+#include "state/delta_chain.hpp"
+#include "util/fault_injection.hpp"
+#include "util/rng.hpp"
+
+namespace spoofscope::service {
+namespace {
+
+namespace fs = std::filesystem;
+using classify::Classifier;
+using classify::DetectorHealth;
+using classify::FlatClassifier;
+using classify::SpoofingAlert;
+using classify::StreamingDetector;
+using classify::StreamingParams;
+using net::Asn;
+using net::Ipv4Addr;
+using net::pfx;
+
+constexpr std::size_t kMembers = 10;
+constexpr std::size_t kShards = 3;
+
+struct Fixture {
+  Fixture() {
+    bgp::RoutingTableBuilder b;
+    std::unordered_map<Asn, trie::IntervalSet> spaces;
+    for (std::uint32_t m = 1; m <= kMembers; ++m) {
+      const net::Prefix p = pfx(("10." + std::to_string(m) + ".0.0/16").c_str());
+      b.ingest_route(p, bgp::AsPath{m});
+      if (m <= 8) {
+        trie::IntervalSet s;
+        s.add(p);
+        spaces.emplace(m, std::move(s));
+      }
+    }
+    table = b.build();
+    classifier = std::make_unique<Classifier>(
+        table, std::vector<inference::ValidSpace>{
+                   inference::ValidSpace(inference::Method::kFullCone,
+                                         std::move(spaces))});
+  }
+  bgp::RoutingTable table;
+  std::unique_ptr<Classifier> classifier;
+};
+
+StreamingParams detect_params() {
+  StreamingParams p;
+  p.window_seconds = 300;
+  p.min_spoofed_packets = 20;
+  p.min_share = 0.1;
+  p.cooldown_seconds = 120;
+  return p;
+}
+
+std::vector<net::FlowRecord> make_stream(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  std::vector<net::FlowRecord> flows;
+  flows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    net::FlowRecord f;
+    const std::uint8_t member = static_cast<std::uint8_t>(1 + rng.index(kMembers));
+    const std::uint8_t other =
+        static_cast<std::uint8_t>(1 + (member % kMembers));
+    const std::uint8_t host = static_cast<std::uint8_t>(1 + rng.index(250));
+    f.src = rng.chance(0.5) ? Ipv4Addr::from_octets(10, member, 0, host)
+                            : Ipv4Addr::from_octets(99, 0, 0, host);
+    f.dst = Ipv4Addr::from_octets(10, other, 0, 1);
+    f.ts = static_cast<std::uint32_t>(i / 4);
+    f.packets = 1 + rng.uniform_u32(0, 3);
+    f.bytes = 40ull * f.packets;
+    f.member_in = member;
+    f.member_out = other;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+/// The victim's flow sequence as routed batches (trace order preserved).
+std::vector<net::FlowBatch> lane_batches(std::span<const net::FlowRecord> flows,
+                                         std::size_t shard, std::size_t chunk) {
+  std::vector<net::FlowBatch> batches;
+  net::FlowBatch cur;
+  for (const auto& f : flows) {
+    if (shard_of(f.member_in, kShards) != shard) continue;
+    cur.push_back(f);
+    if (cur.size() >= chunk) {
+      batches.push_back(std::move(cur));
+      cur = net::FlowBatch();
+    }
+  }
+  if (cur.size() > 0) batches.push_back(std::move(cur));
+  return batches;
+}
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const char* name)
+      : path_(fs::temp_directory_path() /
+              (std::string(name) + "." + std::to_string(::getpid()))),
+        str_(path_.string()) {
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  const std::string& str() const { return str_; }
+
+ private:
+  fs::path path_;
+  std::string str_;
+};
+
+struct RunResult {
+  std::vector<SpoofingAlert> alerts;
+  DetectorHealth health;
+};
+
+/// One-shot whole-trace oracle (what `detect` prints for this stream).
+RunResult whole_oracle(const FlatClassifier& flat,
+                       std::span<const net::FlowRecord> flows) {
+  RunResult r;
+  StreamingDetector d(flat, 0, detect_params());
+  r.alerts = d.run(flows);
+  r.health = d.health();
+  sort_alerts(r.alerts);
+  return r;
+}
+
+/// Per-lane oracle: the victim shard's ideal uninterrupted output.
+RunResult lane_oracle(const FlatClassifier& flat,
+                      const std::vector<net::FlowBatch>& batches) {
+  RunResult r;
+  StreamingDetector d(flat, 0, detect_params());
+  const auto sink = [&r](const SpoofingAlert& a) { r.alerts.push_back(a); };
+  for (const auto& b : batches) d.ingest_batch(b, sink);
+  d.flush(sink);
+  r.health = d.health();
+  return r;
+}
+
+ShardConfig shard_config(std::size_t index, const std::string& ckpt_dir) {
+  ShardConfig cfg;
+  cfg.index = index;
+  cfg.shard_count = kShards;
+  cfg.params = detect_params();
+  if (!ckpt_dir.empty()) {
+    cfg.checkpoint_base = state::shard_checkpoint_base(ckpt_dir, index, kShards);
+    cfg.checkpoint_every = 150;
+    cfg.max_chain = 4;  // force delta links AND full-checkpoint rollovers
+    cfg.policy = util::ErrorPolicy::kSkip;  // recovery truncates damage
+  }
+  return cfg;
+}
+
+/// Feeds `batches` to a shard, flushes and waits. Returns false if the
+/// worker died en route (the stored error is swallowed here; the caller
+/// asserts on it via dead()).
+bool feed(Shard& shard, const std::vector<net::FlowBatch>& batches) {
+  try {
+    for (const auto& b : batches) shard.submit(net::FlowBatch(b));
+    shard.flush_async();
+    shard.wait_idle();
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+TEST(ServiceRestart, ShardCrashResumesBitIdenticallyUnderEveryCrashKind) {
+  Fixture fx;
+  const FlatClassifier flat = FlatClassifier::compile(*fx.classifier);
+  const auto plane =
+      std::make_shared<FlatClassifier>(FlatClassifier::compile(*fx.classifier));
+  const auto flows = make_stream(9, 4500);
+  const RunResult whole = whole_oracle(flat, flows);
+  ASSERT_FALSE(whole.alerts.empty());
+
+  std::vector<std::vector<net::FlowBatch>> lanes;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    lanes.push_back(lane_batches(flows, s, 256));
+    ASSERT_FALSE(lanes.back().empty()) << "shard " << s << " starved";
+  }
+  // Victim: the shard with the most batches (most checkpoint cuts).
+  std::size_t victim = 0;
+  for (std::size_t s = 1; s < kShards; ++s) {
+    if (lanes[s].size() > lanes[victim].size()) victim = s;
+  }
+  const RunResult victim_ideal = lane_oracle(flat, lanes[victim]);
+  ASSERT_FALSE(victim_ideal.alerts.empty());
+
+  // Every damage mode the atomic snapshot writer can suffer, at early
+  // and later checkpoint cuts. The write site expresses torn/failed
+  // writes; the crash-around-rename kinds live at the rename site (both
+  // sites are consulted on every save, so `nth` addresses the same cut
+  // either way).
+  const struct {
+    const char* site;
+    util::FaultKind kind;
+    std::uint64_t nth;  ///< which checkpoint save crashes
+  } scenarios[] = {
+      {"snapshot.write", util::FaultKind::kShortWrite, 1},
+      {"snapshot.write", util::FaultKind::kShortWrite, 3},
+      {"snapshot.write", util::FaultKind::kEnospc, 2},
+      {"snapshot.rename", util::FaultKind::kCrashBeforeRename, 2},
+      {"snapshot.rename", util::FaultKind::kCrashAfterRename, 2},
+  };
+  for (const auto& sc : scenarios) {
+    const std::string tag = std::string(util::fault_kind_name(sc.kind)) +
+                            "@" + std::to_string(sc.nth);
+    ScratchDir dir("spoofscope_serve_restart");
+
+    // Survivors run fault-free to completion first (one worker at a
+    // time also keeps this suite deterministic under the sanitizers).
+    std::vector<std::unique_ptr<Shard>> fleet;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      fleet.push_back(std::make_unique<Shard>(
+          plane, shard_config(s, s == victim ? dir.str() : "")));
+    }
+    for (std::size_t s = 0; s < kShards; ++s) {
+      if (s == victim) continue;
+      fleet[s]->start();
+      ASSERT_TRUE(feed(*fleet[s], lanes[s])) << tag;
+    }
+
+    // The victim crashes inside checkpoint nth's write.
+    std::vector<SpoofingAlert> pre_crash;
+    {
+      util::FaultInjector injector;
+      injector.arm(sc.site, sc.nth, sc.kind);
+      util::FaultInjector::Scope scope(injector);
+      fleet[victim]->start();
+      ASSERT_FALSE(feed(*fleet[victim], lanes[victim])) << tag
+          << ": stream finished without tripping the armed fault";
+      ASSERT_TRUE(fleet[victim]->dead()) << tag;
+      EXPECT_EQ(injector.injected(), 1u) << tag;
+      pre_crash = fleet[victim]->alerts();
+    }
+
+    // Pre-crash alerts must be a prefix of the victim's ideal sequence
+    // (the shard emitted them in released order before dying).
+    ASSERT_LE(pre_crash.size(), victim_ideal.alerts.size()) << tag;
+    EXPECT_TRUE(std::equal(pre_crash.begin(), pre_crash.end(),
+                           victim_ideal.alerts.begin()))
+        << tag;
+
+    // Rolling restart: a fresh Shard over the same chain. resume()
+    // restores the newest consistent cut; re-feeding the full lane
+    // fast-forwards through the already-processed prefix.
+    Shard replacement(plane, shard_config(victim, dir.str()));
+    const std::uint64_t restored = replacement.resume();
+    replacement.start();
+    ASSERT_TRUE(feed(replacement, lanes[victim])) << tag;
+
+    // Bit-identical continuation: final health and stream cursor match
+    // the uninterrupted per-lane run exactly, and the replacement's
+    // alerts are precisely the ideal sequence minus the pre-restore
+    // prefix — no alert lost, none duplicated.
+    EXPECT_EQ(replacement.health(), victim_ideal.health) << tag;
+    std::uint64_t lane_flows = 0;
+    for (const auto& b : lanes[victim]) lane_flows += b.size();
+    EXPECT_EQ(replacement.processed(), lane_flows) << tag;
+    EXPECT_LE(restored, lane_flows) << tag;
+    const auto& resumed = replacement.alerts();
+    ASSERT_LE(resumed.size(), victim_ideal.alerts.size()) << tag;
+    const std::size_t overlap_start =
+        victim_ideal.alerts.size() - resumed.size();
+    EXPECT_TRUE(std::equal(resumed.begin(), resumed.end(),
+                           victim_ideal.alerts.begin() +
+                               static_cast<std::ptrdiff_t>(overlap_start)))
+        << tag;
+    // The restored cut precedes the crash, so prefix + suffix cover the
+    // ideal sequence with no gap.
+    EXPECT_GE(pre_crash.size() + resumed.size(), victim_ideal.alerts.size())
+        << tag;
+
+    // Merged service view after the rolling restart == uninterrupted
+    // whole-trace run. The victim's full alert set is the union the
+    // prefix/suffix equalities above pin down, i.e. its ideal sequence.
+    std::vector<SpoofingAlert> merged_alerts = victim_ideal.alerts;
+    std::vector<DetectorHealth> healths = {replacement.health()};
+    for (std::size_t s = 0; s < kShards; ++s) {
+      if (s == victim) continue;
+      merged_alerts.insert(merged_alerts.end(), fleet[s]->alerts().begin(),
+                           fleet[s]->alerts().end());
+      healths.push_back(fleet[s]->health());
+    }
+    sort_alerts(merged_alerts);
+    EXPECT_EQ(merged_alerts, whole.alerts) << tag;
+    EXPECT_EQ(merge_health(healths), whole.health) << tag;
+  }
+}
+
+TEST(ServiceRestart, ChangedShardCountStartsFreshInsteadOfResuming) {
+  // The chain name embeds the shard count; a restart with a different
+  // --shards must not adopt a mispartitioned cut.
+  Fixture fx;
+  const auto plane =
+      std::make_shared<FlatClassifier>(FlatClassifier::compile(*fx.classifier));
+  const auto flows = make_stream(9, 1200);
+  ScratchDir dir("spoofscope_serve_rescale");
+
+  ShardConfig cfg = shard_config(0, dir.str());
+  {
+    Shard shard(plane, cfg);
+    shard.start();
+    ASSERT_TRUE(feed(shard, lane_batches(flows, 0, 256)));
+    EXPECT_TRUE(fs::exists(cfg.checkpoint_base));
+  }
+  ShardConfig rescaled = cfg;
+  rescaled.shard_count = kShards + 1;
+  rescaled.checkpoint_base =
+      state::shard_checkpoint_base(dir.str(), 0, kShards + 1);
+  Shard shard(plane, rescaled);
+  EXPECT_EQ(shard.resume(), 0u) << "adopted a chain from a different partition";
+}
+
+}  // namespace
+}  // namespace spoofscope::service

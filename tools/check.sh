@@ -21,7 +21,12 @@
 #   5. portable build guard: -DSPOOFSCOPE_DISABLE_SIMD=ON compiles only
 #      the scalar batch kernel — what a target with neither AVX2 nor
 #      NEON gets — and the batch differentials must still pass on it
-#   6. fault injection: the crash/churn differential suite re-runs under
+#   6. serve smoke: the resident sharded daemon boots on a generated
+#      world and every control verb is driven through a real socket
+#      session, ending in a clean shutdown (the service suites — shard
+#      differential, rolling restart, control units — also run under
+#      TSan and ASan in stages 2 and 3)
+#   7. fault injection: the crash/churn differential suite re-runs under
 #      all three sanitizer builds with a widened injector seed sweep
 #      (SPOOFSCOPE_FAULT_SEEDS), and the plane-churn fuzz runs its full
 #      1000-step sweep (SPOOFSCOPE_CHURN_STEPS) against the fresh-compile
@@ -93,6 +98,9 @@ TSAN_SUITES=(
   state_fault_injection_test
   classify_plane_update_test
   analysis_streaming_oracle_test
+  service_control_test
+  service_differential_test
+  service_restart_test
 )
 
 echo "=== ThreadSanitizer: parallel + flat/trie differential suites ==="
@@ -122,6 +130,9 @@ ASAN_SUITES=(
   classify_plane_update_test
   util_stats_test
   analysis_streaming_oracle_test
+  service_control_test
+  service_differential_test
+  service_restart_test
 )
 
 echo "=== AddressSanitizer: classification + trie + corruption suites ==="
@@ -165,6 +176,71 @@ cmake -S "${REPO_ROOT}" -B "${REPO_ROOT}/build-portable" \
 cmake --build "${REPO_ROOT}/build-portable" -j "${JOBS}" \
   --target "${PORTABLE_SUITES[@]}"
 run_suite build-portable "${PORTABLE_SUITES[@]}"
+
+echo "=== serve smoke: resident daemon over the control socket ==="
+# Boots the sharded service on a generated world and drives every
+# control verb through a real Unix-domain socket session: submit,
+# health, stats-json, alerts, checkpoint, drain, an unknown verb (must
+# answer "err ..."), then shutdown — and requires a clean daemon exit.
+SERVE_OUT="$(mktemp -d "${TMPDIR:-/tmp}/spoofscope-check-serve.XXXXXX")"
+"${REPO_ROOT}/build/tools/spoofscope" generate --seed 7 --out "${SERVE_OUT}/world"
+"${REPO_ROOT}/build/tools/spoofscope" serve \
+  --mrt "${SERVE_OUT}/world/route-server.mrt" \
+  --trace "${SERVE_OUT}/world/ixp.trace" \
+  --socket "${SERVE_OUT}/ctl.sock" --shards 4 \
+  --checkpoint-dir "${SERVE_OUT}/ckpt" --checkpoint-every 5000 &
+SERVE_PID=$!
+python3 - "${SERVE_OUT}/ctl.sock" "${SERVE_OUT}/world/ixp.trace" <<'PY'
+import socket, sys, time
+
+sock_path, trace = sys.argv[1], sys.argv[2]
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+for _ in range(400):
+    try:
+        s.connect(sock_path)
+        break
+    except OSError:
+        time.sleep(0.025)
+else:
+    sys.exit("FAIL serve smoke: control socket never came up")
+f = s.makefile("rw")
+
+def rpc(line):
+    f.write(line + "\n")
+    f.flush()
+    out = []
+    while True:
+        resp = f.readline()
+        if not resp:
+            sys.exit(f"FAIL serve smoke: connection closed during {line!r}")
+        resp = resp.rstrip("\n")
+        out.append(resp)
+        if resp.startswith(("ok", "err")):
+            return out
+
+def expect(line, prefix):
+    out = rpc(line)
+    if not out[-1].startswith(prefix):
+        sys.exit(f"FAIL serve smoke: {line!r} answered {out[-1]!r}, "
+                 f"want {prefix!r}")
+    return out
+
+submitted = expect(f"submit {trace}", "ok submitted flows=")
+health = expect("health", "ok shards=4 processed=")
+if not health[0].startswith("health: "):
+    sys.exit(f"FAIL serve smoke: no health line, got {health[0]!r}")
+stats = expect("stats-json", "ok")
+if '"detector":{' not in stats[0] or '"shards":4' not in stats[0]:
+    sys.exit(f"FAIL serve smoke: stats-json schema: {stats[0][:200]}")
+alerts = expect("alerts", "ok alerts=")
+expect("checkpoint", "ok checkpoint shards=4")
+expect("drain", "ok drained processed=")
+expect("bogus", "err unknown command: bogus")
+expect("shutdown", "ok shutting-down")
+print(f"serve smoke: {submitted[-1]}; {alerts[-1]}")
+PY
+wait "${SERVE_PID}"
+rm -rf "${SERVE_OUT}"
 
 echo "=== internet-scale generate under TSan + ASan ==="
 # Drives the chunk-parallel topology generator and the streamed parallel

@@ -43,6 +43,18 @@
 //       delta checkpoints off the last full snapshot instead of
 //       rewriting the whole state every interval.
 //
+//   spoofscope serve --mrt FILE[,FILE...] --trace FILE --socket PATH
+//              [--rpsl FILE] [--shards N] [--window SECONDS]
+//              [--skew SECONDS] [--checkpoint-dir DIR]
+//              [--checkpoint-every N] [--resume]
+//       Resident multi-vantage detection service: one shared compiled
+//       plane, N ingest shards (flows routed by member AS), per-shard
+//       delta-checkpoint chains, and a Unix-domain control socket
+//       accepting submit/health/stats-json/alerts/checkpoint/
+//       reload-updates/drain/shutdown (see src/service/control.hpp for
+//       the protocol grammar). --trace here seeds the member universe
+//       the valid spaces are built for; traffic arrives via `submit`.
+//
 // All readers honour --on-error strict|skip: strict (default) fails on
 // the first malformed record; skip quarantines bad records, prints an
 // ingest report, and analyses the surviving records. The trace is
@@ -80,6 +92,8 @@
 #include "net/mapped_trace.hpp"
 #include "net/trace.hpp"
 #include "scenario/scenario.hpp"
+#include "service/merge.hpp"
+#include "service/server.hpp"
 #include "state/delta_chain.hpp"
 #include "state/plane_cache.hpp"
 #include "topo/serialize.hpp"
@@ -124,6 +138,15 @@ constexpr std::size_t kChunkFlows = 1u << 17;
       "                      [--checkpoint PATH] [--checkpoint-every N]\n"
       "                      [--checkpoint-delta] [--resume]\n"
       "                      [--on-error strict|skip] [--stats-json PATH]\n"
+      "  spoofscope serve    --mrt FILES --trace FILE --socket PATH\n"
+      "                      [--rpsl FILE] [--shards N]\n"
+      "                      [--method naive|cc|cc+org|full|full+org]\n"
+      "                      [--window SECONDS] [--skew SECONDS]\n"
+      "                      [--threads N] [--engine trie|flat]\n"
+      "                      [--plane-cache DIR]\n"
+      "                      [--simd auto|avx2|neon|scalar]\n"
+      "                      [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+      "                      [--resume] [--on-error strict|skip]\n"
       "\n"
       "--threads N runs valid-space construction and classification on N\n"
       "worker threads (0 = hardware concurrency, default 1 = sequential);\n"
@@ -164,7 +187,18 @@ constexpr std::size_t kChunkFlows = 1u << 17;
       "withdraw with a timestamp <= the next flow's is patched into the\n"
       "plane in place before that flow is classified. Checkpoints record\n"
       "the update cursor, so a resumed run replays the already-applied\n"
-      "updates and continues on a bit-identical plane.\n";
+      "updates and continues on a bit-identical plane.\n"
+      "serve runs the detection pipeline as a resident daemon: --shards N\n"
+      "(1..4096, default 1) ingest shards each own a StreamingDetector;\n"
+      "flows route to shards by member AS, so N does not change the\n"
+      "alerts — any shard count reproduces the one-shot detect output.\n"
+      "--socket PATH is the Unix-domain control socket (submit TRACE,\n"
+      "health, stats-json, alerts, checkpoint, reload-updates MRT, drain,\n"
+      "shutdown). --checkpoint-dir DIR keeps one delta-checkpoint chain\n"
+      "per shard (shard-<i>-of-<n>.ckpt) every --checkpoint-every flows;\n"
+      "--resume restores the chains on startup for rolling restart.\n"
+      "serve defaults to --engine flat (the shards share one compiled\n"
+      "plane; reload-updates requires it).\n";
   std::exit(error.empty() ? 0 : 2);
 }
 
@@ -754,10 +788,7 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
   std::uint64_t alert_count = 0;
   const auto on_alert = [&alert_count](const classify::SpoofingAlert& a) {
     ++alert_count;
-    std::cout << "alert: member AS" << a.member << " ts=" << a.ts
-              << " dominant=" << classify::class_name(a.dominant_class)
-              << " spoofed-pkts=" << a.spoofed_packets_in_window
-              << " share=" << util::percent(a.window_share) << "\n";
+    std::cout << service::format_alert(a) << "\n";
   };
 
   util::IngestStats trace_stats;
@@ -847,19 +878,19 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
   if (!trace_stats.clean()) print_ingest(trace_path, trace_stats);
   sources.emplace_back(trace_path, trace_stats);
 
-  const auto health = detector.health();
+  // The one-shot run is the single-shard case of the service merge: a
+  // one-element merge_health is the identity, and routing the health
+  // line and --stats-json through the same service::merge code path
+  // keeps the schema bit-identical between `detect` and `serve`.
+  const classify::DetectorHealth shard_health = detector.health();
+  const classify::DetectorHealth health = service::merge_health(
+      std::span<const classify::DetectorHealth>(&shard_health, 1));
   std::cout << "detect: " << detector.processed() << " flows from "
             << ctx.members.size() << " members, " << alert_count
             << " alerts (" << classify::engine_name(ctx.engine)
             << " engine, window " << params.window_seconds << "s, skew "
             << params.reorder_skew_seconds << "s)\n"
-            << "health: regressions=" << health.regressions
-            << " late_drops=" << health.late_drops
-            << " forced_releases=" << health.forced_releases
-            << " member_evictions=" << health.member_evictions
-            << " sample_evictions=" << health.sample_evictions
-            << " max_reorder_depth=" << health.max_reorder_depth
-            << " max_window_depth=" << health.max_window_depth << "\n";
+            << service::format_health(health) << "\n";
 
   if (flags.count("stats-json")) {
     write_stats_json(flags.at("stats-json"), sources, &health);
@@ -867,6 +898,86 @@ int cmd_detect(const std::map<std::string, std::string>& flags) {
   }
   if (aborted) throw std::runtime_error(abort_reason);
   return 0;
+}
+
+int cmd_serve(const std::map<std::string, std::string>& flags_in) {
+  // serve defaults to the flat engine: the shared compiled plane is the
+  // point of the resident service (and reload-updates requires it).
+  // --engine trie stays available as the oracle configuration.
+  auto flags = flags_in;
+  if (!flags.count("engine")) flags["engine"] = "flat";
+
+  if (!flags.count("trace")) {
+    usage("--trace is required (it seeds the member universe the valid "
+          "spaces are built for)");
+  }
+  if (!flags.count("socket")) usage("--socket is required");
+  const std::uint64_t shards = u64_flag(flags, "shards", 1);
+  if (flags.count("shards") && (shards == 0 || shards > 4096)) {
+    usage("--shards must be between 1 and 4096, got: '" + flags.at("shards") +
+          "'");
+  }
+  const auto policy = policy_from(flags);
+  const net::MappedTrace trace(flags.at("trace"));
+
+  util::ThreadPool pool(threads_from(flags));
+  SourceStats sources;
+  ClassifyContext ctx;
+  build_context(flags, policy, trace, pool, sources, ctx);
+
+  service::ServerConfig scfg;
+  scfg.shards = static_cast<std::size_t>(shards);
+  scfg.params.window_seconds = static_cast<std::uint32_t>(
+      u64_flag(flags, "window", scfg.params.window_seconds));
+  scfg.params.reorder_skew_seconds =
+      static_cast<std::uint32_t>(u64_flag(flags, "skew", 0));
+  scfg.params.simd = simd_from(flags);
+  scfg.policy = policy;
+  scfg.pool = &pool;
+  if (flags.count("checkpoint-dir")) {
+    scfg.checkpoint_dir = flags.at("checkpoint-dir");
+  }
+  scfg.checkpoint_every = u64_flag(flags, "checkpoint-every", 0);
+  if (flags.count("checkpoint-every") && scfg.checkpoint_every == 0) {
+    usage("--checkpoint-every must be > 0, got: '" +
+          flags.at("checkpoint-every") + "'");
+  }
+  scfg.resume = flags.count("resume") != 0;
+  if (scfg.checkpoint_dir.empty() &&
+      (scfg.checkpoint_every != 0 || scfg.resume)) {
+    usage("--checkpoint-every/--resume require --checkpoint-dir");
+  }
+
+  std::optional<service::Server> server;
+  if (ctx.flat) {
+    // The hub takes the compiled plane by shared_ptr so reload-updates
+    // can patch it in place and republish to every shard.
+    server.emplace(
+        std::make_shared<classify::FlatClassifier>(std::move(*ctx.flat)),
+        scfg);
+  } else {
+    server.emplace(*ctx.classifier, scfg);
+  }
+
+  const auto info = server->start();
+  if (scfg.resume) {
+    if (info.shards_restored != 0) {
+      std::cout << "resume: restored " << info.shards_restored
+                << " shard chains (" << info.flows << " flows processed) from "
+                << scfg.checkpoint_dir << "\n";
+    } else {
+      std::cout << "resume: no usable shard chains in " << scfg.checkpoint_dir
+                << ", starting fresh\n";
+    }
+  }
+  std::cout << "serve: listening on " << flags.at("socket") << " (" << shards
+            << " shard" << (shards == 1 ? "" : "s") << ", "
+            << classify::engine_name(ctx.engine) << " engine, "
+            << ctx.members.size() << " members, window "
+            << scfg.params.window_seconds << "s, skew "
+            << scfg.params.reorder_skew_seconds << "s)\n";
+  std::cout.flush();  // daemonized callers wait for this line
+  return service::run_control_loop(*server, flags.at("socket"), std::cout);
 }
 
 }  // namespace
@@ -880,6 +991,7 @@ int main(int argc, char** argv) {
     if (cmd == "classify") return cmd_classify(flags, /*report=*/false);
     if (cmd == "report") return cmd_classify(flags, /*report=*/true);
     if (cmd == "detect") return cmd_detect(flags);
+    if (cmd == "serve") return cmd_serve(flags);
     if (cmd == "help" || cmd == "--help") usage();
     usage("unknown command: " + cmd);
   } catch (const std::exception& e) {
